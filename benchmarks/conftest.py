@@ -1,0 +1,11 @@
+"""Shared benchmark fixtures and workloads."""
+
+import pytest
+
+from repro.workloads.frequency import planted_heavy_stream
+
+
+@pytest.fixture(scope="session")
+def hh_stream():
+    """A 20k-update planted heavy-hitter stream reused across benches."""
+    return planted_heavy_stream(10_000, 20_000, {7: 0.2, 42: 0.1}, seed=1)

@@ -1,0 +1,117 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation perturbs one knob of a paper algorithm and records the
+space/accuracy consequence, so the role of every moving part is visible:
+
+* Morris base ``a = 2 eps^2 delta`` -- accuracy/space trade of the counter;
+* the epoch base ``B = 16/eps`` of Algorithm 2 -- smaller bases rotate more
+  (more prefix loss), larger bases oversample (more space);
+* Algorithm 5's ``c`` exponent -- sketch height vs. false-zero resistance;
+* CRHF security parameter -- fingerprint throughput vs. attack budget.
+
+Assertions encode the expected monotonicity, so these run as tests too.
+"""
+
+import pytest
+
+from repro.core.stream import Update
+from repro.counters.morris import MorrisCounter
+from repro.crypto.crhf import generate_crhf
+from repro.crypto.fingerprint import StreamFingerprint
+from repro.distinct.sis_l0 import SisL0Estimator
+from repro.heavyhitters.epochs import MorrisDoublingScheme
+from repro.heavyhitters.robust_l1 import RobustL1HeavyHitters
+from repro.workloads.frequency import planted_heavy_stream
+from repro.workloads.turnstile import sparse_survivors_stream
+
+
+class TestMorrisBaseAblation:
+    @pytest.mark.parametrize("eps", [0.5, 0.25, 0.1])
+    def test_accuracy_space_trade(self, benchmark, eps):
+        def run():
+            deviations = []
+            bits = 0
+            for seed in range(10):
+                counter = MorrisCounter(
+                    accuracy=eps, failure_probability=0.1, seed=seed
+                )
+                counter.increment(200_000)
+                deviations.append(abs(counter.estimate() - 200_000) / 200_000)
+                bits = max(bits, counter.space_bits())
+            return max(deviations), bits
+
+        worst, bits = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert worst <= eps  # the configured envelope holds
+        # Tighter eps costs more register (log 1/a grows).
+        if eps <= 0.1:
+            assert bits >= 20
+
+
+class TestEpochBaseAblation:
+    @pytest.mark.parametrize("base", [4.0, 16.0 / 0.1, 1024.0])
+    def test_rotation_count_vs_base(self, benchmark, base):
+        def run():
+            import random
+
+            from repro.core.randomness import WitnessedRandom
+
+            scheme = MorrisDoublingScheme(
+                base=base,
+                factory=lambda epoch, guess, rnd: {"guess": guess},
+                random=WitnessedRandom(seed=1),
+            )
+            rotations = 0
+            for _ in range(2000):
+                if scheme.tick(50):
+                    rotations += 1
+            return rotations
+
+        rotations = benchmark.pedantic(run, rounds=1, iterations=1)
+        # Smaller bases rotate more over the same stream.
+        if base == 4.0:
+            assert rotations >= 4
+        if base == 1024.0:
+            assert rotations <= 3
+
+
+class TestSisHeightAblation:
+    @pytest.mark.parametrize("c", [0.1, 0.25, 0.4])
+    def test_sketch_height_vs_space(self, benchmark, c):
+        def run():
+            estimator = SisL0Estimator(universe_size=1024, eps=0.5, c=c, seed=1)
+            updates, true_l0 = sparse_survivors_stream(1024, 40, seed=1)
+            for update in updates:
+                estimator.feed(update)
+            z = estimator.query()
+            ok = z <= true_l0 <= z * estimator.approximation_factor()
+            return estimator.space_bits(), estimator.params.rows, ok
+
+        bits, rows, ok = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert ok
+        # Taller sketches (larger c) cost more bits.
+        if c >= 0.4:
+            assert rows >= 2
+
+
+class TestCrhfSecurityAblation:
+    @pytest.mark.parametrize("bits", [32, 64, 96])
+    def test_fingerprint_throughput_vs_security(self, benchmark, bits):
+        crhf = generate_crhf(security_bits=bits, seed=2)
+        fingerprint = StreamFingerprint(crhf, alphabet_size=2)
+        benchmark(lambda: fingerprint.push(1))
+        assert crhf.digest_bits() >= bits - 1
+
+
+class TestRobustHHCapacityAblation:
+    @pytest.mark.parametrize("eps", [0.2, 0.1])
+    def test_space_scales_inverse_eps(self, benchmark, eps):
+        def run():
+            algorithm = RobustL1HeavyHitters(10_000, accuracy=eps, seed=3)
+            for update in planted_heavy_stream(
+                10_000, 5_000, {7: 3 * eps}, seed=3
+            ):
+                algorithm.feed(update)
+            return algorithm.space_bits(), 7 in algorithm.heavy_hitters()
+
+        bits, found = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert found

@@ -1,0 +1,55 @@
+"""Micro-benchmarks for the cryptographic substrate.
+
+The CRHF exponentiations dominate the robust string/graph algorithms'
+per-symbol cost, and the SIS accumulate dominates Algorithm 5's per-update
+cost -- these benches make those costs visible and comparable to the
+non-crypto baselines (Karp-Rabin, plain hashing).
+"""
+
+import pytest
+
+from repro.crypto.crhf import generate_crhf
+from repro.crypto.fingerprint import SlidingWindowFingerprint, StreamFingerprint
+from repro.crypto.random_oracle import RandomOracle
+from repro.crypto.sis import SISMatrix, sis_parameters_for_l0
+from repro.strings.karp_rabin import KarpRabin
+
+CRHF = generate_crhf(security_bits=64, seed=1)
+
+
+class TestCRHF:
+    def test_extend_one_symbol(self, benchmark):
+        fp = StreamFingerprint(CRHF, alphabet_size=2)
+        benchmark(lambda: fp.push(1))
+
+    def test_sliding_window_push(self, benchmark):
+        window = SlidingWindowFingerprint(CRHF, alphabet_size=2, width=16)
+        benchmark(lambda: window.push(1))
+
+    def test_hash_int(self, benchmark):
+        benchmark(lambda: CRHF.hash_int(123456789))
+
+    def test_karp_rabin_push_baseline(self, benchmark):
+        kr = KarpRabin(prime=(1 << 31) - 1, x=7)
+        benchmark(lambda: kr.push(1))
+
+
+class TestOracleAndSIS:
+    def test_oracle_uniform(self, benchmark):
+        oracle = RandomOracle(b"bench")
+        counter = iter(range(10**9))
+        benchmark(lambda: oracle.uniform(1_000_003, next(counter)))
+
+    def test_sis_accumulate(self, benchmark):
+        params = sis_parameters_for_l0(4096, eps=0.5, c=0.25)
+        matrix = SISMatrix(params, seed=2)
+        sketch = matrix.zero_sketch()
+        benchmark(lambda: matrix.accumulate(sketch, 3, 1))
+
+    def test_crhf_generation(self, benchmark):
+        counter = iter(range(10**9))
+        benchmark.pedantic(
+            lambda: generate_crhf(security_bits=32, seed=next(counter)),
+            rounds=3,
+            iterations=1,
+        )

@@ -1,0 +1,23 @@
+"""One benchmark per experiment: regenerates every table (quick mode) and
+records its wall-clock cost.
+
+``pytest benchmarks/ --benchmark-only`` therefore re-runs the full
+reproduction suite of DESIGN.md §4.  Each experiment executes exactly once
+(`pedantic` with one round): the experiments are statistical tables, not
+microseconds-level kernels.
+"""
+
+import pytest
+
+from repro.experiments import all_experiments
+
+EXPERIMENTS = list(all_experiments().items())
+
+
+@pytest.mark.parametrize(
+    "experiment_id,run", EXPERIMENTS, ids=[eid for eid, _ in EXPERIMENTS]
+)
+def test_experiment(benchmark, experiment_id, run):
+    result = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+    assert result.rows, f"{experiment_id} produced no rows"
+    assert result.experiment_id == experiment_id

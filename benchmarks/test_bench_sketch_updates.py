@@ -1,0 +1,107 @@
+"""Micro-benchmarks: per-update cost of every streaming structure.
+
+These are the ops/sec numbers a systems adopter would ask about, and they
+calibrate the experiment harness (how long a 10^6-update sweep takes).
+"""
+
+import pytest
+
+from repro.core.stream import Update
+from repro.counters.deterministic import BucketedTimerCounter
+from repro.counters.morris import MorrisCounter
+from repro.distinct.sis_l0 import SisL0Estimator
+from repro.heavyhitters.bern_mg import BernMG
+from repro.heavyhitters.count_min import CountMinSketch
+from repro.heavyhitters.count_sketch import CountSketch
+from repro.heavyhitters.misra_gries import MisraGries
+from repro.heavyhitters.robust_l1 import RobustL1HeavyHitters
+from repro.heavyhitters.space_saving import SpaceSaving
+from repro.moments.ams import AMSSketch
+
+
+def drive(algorithm, stream):
+    for update in stream:
+        algorithm.feed(update)
+    return algorithm
+
+
+class TestCounterThroughput:
+    def test_morris_unit_increments(self, benchmark):
+        counter = MorrisCounter(accuracy=0.3, failure_probability=0.1, seed=1)
+        benchmark(lambda: counter.increment(1))
+
+    def test_morris_batched_million(self, benchmark):
+        def run():
+            counter = MorrisCounter(accuracy=0.3, failure_probability=0.1, seed=2)
+            counter.increment(1_000_000)
+            return counter.estimate()
+
+        assert benchmark(run) > 0
+
+    def test_bucketed_deterministic(self, benchmark):
+        counter = BucketedTimerCounter(accuracy=0.5)
+        update = Update(0, 1)
+        benchmark(lambda: counter.feed(update))
+
+
+class TestSummaryThroughput:
+    def test_misra_gries_offer(self, benchmark, hh_stream):
+        summary = MisraGries(capacity=20)
+        items = [u.item for u in hh_stream[:2000]]
+
+        def run():
+            for item in items:
+                summary.offer(item)
+
+        benchmark(run)
+
+    def test_space_saving_offer(self, benchmark, hh_stream):
+        summary = SpaceSaving(capacity=20)
+        items = [u.item for u in hh_stream[:2000]]
+
+        def run():
+            for item in items:
+                summary.offer(item)
+
+        benchmark(run)
+
+    def test_bern_mg_process(self, benchmark, hh_stream):
+        instance = BernMG(10_000, 100_000, 0.1, 0.05, seed=3)
+        chunk = hh_stream[:2000]
+
+        def run():
+            for update in chunk:
+                instance.process(update)
+
+        benchmark(run)
+
+    def test_robust_l1_feed(self, benchmark, hh_stream):
+        algorithm = RobustL1HeavyHitters(10_000, accuracy=0.1, seed=4)
+        chunk = hh_stream[:2000]
+        benchmark.pedantic(
+            lambda: drive(algorithm, chunk), rounds=3, iterations=1
+        )
+
+
+class TestSketchThroughput:
+    def test_count_min_process(self, benchmark, hh_stream):
+        sketch = CountMinSketch(10_000, width=64, depth=4, seed=5)
+        chunk = hh_stream[:2000]
+        benchmark.pedantic(lambda: drive(sketch, chunk), rounds=3, iterations=1)
+
+    def test_count_sketch_process(self, benchmark, hh_stream):
+        sketch = CountSketch(10_000, width=64, depth=4, seed=6)
+        chunk = hh_stream[:2000]
+        benchmark.pedantic(lambda: drive(sketch, chunk), rounds=3, iterations=1)
+
+    def test_ams_process(self, benchmark, hh_stream):
+        sketch = AMSSketch(10_000, rows=16, seed=7)
+        chunk = hh_stream[:500]
+        benchmark.pedantic(lambda: drive(sketch, chunk), rounds=3, iterations=1)
+
+    def test_sis_l0_feed(self, benchmark):
+        estimator = SisL0Estimator(universe_size=4096, eps=0.5, c=0.25, seed=8)
+        updates = [Update((i * 37) % 4096, 1) for i in range(1000)]
+        benchmark.pedantic(
+            lambda: drive(estimator, updates), rounds=3, iterations=1
+        )

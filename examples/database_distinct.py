@@ -1,0 +1,77 @@
+"""Database cardinality estimation on a turnstile table stream (Theorem 1.5).
+
+Section 1.1.1's motivation: query optimizers need the number of distinct
+values of an attribute ("L0 estimation is used by query optimizers to find
+the number of unique values of some attribute without having to perform an
+expensive sort").  Rows are inserted *and deleted* -- a turnstile stream --
+which rules out order-statistics estimators like KMV outright.
+
+The white-box angle: the optimizer's statistics structures are readable by
+whoever writes queries (the "insider" of [MMNW11], quoted in the paper), so
+the workload hitting the table may correlate with the estimator's internal
+matrix.  Algorithm 5's SIS sketch tolerates that unless the workload author
+can solve a lattice problem.
+
+Run:  python examples/database_distinct.py
+"""
+
+from repro.adversaries.distinct_attack import attack_kmv
+from repro.core.stream import FrequencyVector
+from repro.distinct.exact_l0 import ExactL0
+from repro.distinct.kmv import KMVEstimator
+from repro.distinct.sis_l0 import SisL0Estimator
+from repro.workloads.turnstile import insert_delete_stream
+
+
+def main() -> None:
+    attribute_domain = 4096  # distinct possible attribute values
+    survivors = [7, 100, 101, 2048, 2049, 2050, 4000]  # values left in table
+
+    # A day of churn: 400 transient values inserted and deleted 3 times.
+    workload = insert_delete_stream(
+        attribute_domain,
+        survivors=survivors,
+        churn_items=400,
+        churn_rounds=3,
+        seed=11,
+    )
+
+    exact = ExactL0(attribute_domain)
+    sketch_explicit = SisL0Estimator(
+        attribute_domain, eps=0.5, c=0.25, mode="explicit", seed=1
+    )
+    sketch_oracle = SisL0Estimator(
+        attribute_domain, eps=0.5, c=0.25, mode="oracle", seed=1
+    )
+    vector = FrequencyVector(attribute_domain)
+    for update in workload:
+        exact.feed(update)
+        sketch_explicit.feed(update)
+        sketch_oracle.feed(update)
+        vector.apply(update)
+
+    factor = sketch_explicit.approximation_factor()
+    z = sketch_explicit.query()
+    print(f"table churn: {len(workload)} row operations over "
+          f"{attribute_domain} attribute values")
+    print(f"true distinct values:      {exact.query()}")
+    print(f"SIS sketch (explicit):     z = {z}  "
+          f"(guarantee: z <= L0 <= z*{factor:.0f})  "
+          f"[{sketch_explicit.space_bits()} bits]")
+    print(f"SIS sketch (random oracle): z = {sketch_oracle.query()}  "
+          f"[{sketch_oracle.space_bits()} bits -- no stored matrix]")
+    print(f"exact tracker:             {exact.space_bits()} bits")
+    print()
+
+    # KMV cannot even consume deletions; on insertions a white-box workload
+    # author destroys it.
+    kmv = KMVEstimator(attribute_domain, k=32, seed=2)
+    report = attack_kmv(kmv, direction="inflate")
+    print("KMV (oblivious-model estimator) under a white-box workload:")
+    print(f"  adversarial inserts: {report.true_l0} distinct values")
+    print(f"  KMV estimate:        {report.estimate:.0f}  "
+          f"({report.ratio:.1f}x off -- hash order was public)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro -- reproduction of "The White-Box Adversarial Data Stream Model".
+
+Paper: Ajtai, Braverman, Jayram, Silwal, Sun, Woodruff, Zhou (PODS 2022,
+arXiv:2204.09136).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the theorem-by-theorem reproduction record.
+
+Subpackages
+-----------
+core
+    Streams, the white-box game, witnessed randomness, space accounting.
+crypto
+    CRHFs (discrete log), random oracle, SIS instances, lattice attacks.
+counters
+    Morris counters, deterministic counters, OBDD/interval machinery.
+sampling
+    Bernoulli and reservoir sampling.
+heavyhitters
+    Misra-Gries, SpaceSaving, CountMin/CountSketch, Algorithms 1-2,
+    the (phi, eps) CRHF variant.
+hhh
+    Hierarchical heavy hitters (domain, [TMS12] baseline, Algorithms 3-4).
+distinct
+    L0 estimation: SIS sketches (Algorithm 5), exact and KMV baselines.
+moments
+    Exact F_p, AMS, robust inner products (Corollary 2.8).
+linalg
+    Modular/exact algebra, rank decision (Theorem 1.6), row basis.
+strings
+    Periods, Karp-Rabin (+Fermat attack), robust matching (Algorithm 6).
+graphs
+    Vertex-arrival neighborhood identification (Theorems 1.3/1.4).
+comm
+    Communication problems, protocols, the Theorem 1.8 reduction.
+lowerbounds
+    Executable Theorems 1.4, 1.9, 1.10, 1.11.
+adversaries
+    White-box attacks and adaptive stress adversaries.
+workloads
+    Stream generators for experiments and examples.
+experiments
+    The theorem-by-theorem experiment harness (``python -m
+    repro.experiments``).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    FrequencyVector,
+    GameResult,
+    StateView,
+    StreamAlgorithm,
+    Update,
+    WhiteBoxAdversary,
+    WitnessedRandom,
+    run_game,
+)
+
+__all__ = [
+    "FrequencyVector",
+    "GameResult",
+    "StateView",
+    "StreamAlgorithm",
+    "Update",
+    "WhiteBoxAdversary",
+    "WitnessedRandom",
+    "__version__",
+    "run_game",
+]

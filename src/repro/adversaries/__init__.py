@@ -1,0 +1,53 @@
+"""Adversaries: white-box attacks and adaptive stress (negative controls)."""
+
+from repro.adversaries.blackbox_attack import (
+    AttackRoundsReport,
+    BlackBoxSignLearner,
+    compare_attack_rounds,
+)
+from repro.adversaries.distinct_attack import (
+    KMVAttackReport,
+    SisAttackReport,
+    attack_kmv,
+    attack_sis_l0,
+    kmv_inflation_items,
+    kmv_suppression_items,
+)
+from repro.adversaries.fingerprint_attack import (
+    KarpRabinAttackReport,
+    attack_karp_rabin,
+    attack_robust_fingerprint,
+)
+from repro.adversaries.sketch_attack import (
+    KernelStreamAdversary,
+    ams_attack_updates,
+    ams_kernel_vector,
+    count_sketch_kernel_vector,
+)
+from repro.adversaries.stress import (
+    MorrisStressAdversary,
+    SampleEvasionAdversary,
+    ThresholdDancerAdversary,
+)
+
+__all__ = [
+    "AttackRoundsReport",
+    "BlackBoxSignLearner",
+    "KMVAttackReport",
+    "compare_attack_rounds",
+    "KarpRabinAttackReport",
+    "KernelStreamAdversary",
+    "MorrisStressAdversary",
+    "SampleEvasionAdversary",
+    "SisAttackReport",
+    "ThresholdDancerAdversary",
+    "ams_attack_updates",
+    "ams_kernel_vector",
+    "attack_karp_rabin",
+    "attack_kmv",
+    "attack_robust_fingerprint",
+    "attack_sis_l0",
+    "count_sketch_kernel_vector",
+    "kmv_inflation_items",
+    "kmv_suppression_items",
+]

@@ -1,0 +1,137 @@
+"""Black-box sketch learning vs. the one-shot white-box read ([HW13], §1.1).
+
+The paper motivates the white-box model with [HW13]: a *black-box*
+adversary -- seeing only outputs -- can still defeat a linear sketch, but
+must run "a sophisticated attack ... to iteratively learn the matrix",
+spending many adaptive rounds.  "On the other hand, the white-box adversary
+immediately sees the sketching matrix when the algorithm is initiated."
+
+This module makes the round-complexity gap measurable on a single-row AMS
+sketch ``<Z, f>`` with sign vector ``Z in {-1,+1}^n``:
+
+* black-box: stream ``e_0 + e_j``, observe the F2 estimate
+  ``(Z_0 + Z_j)^2 in {0, 4}`` which reveals the *relative sign*
+  ``Z_0 Z_j``; undo the probe with deletions; repeat for each ``j`` until
+  two coordinates with equal signs are known, then stream the kernel vector
+  ``e_i - e_j``.  Θ(1) expected probes to find a same-sign pair, Θ(n) to
+  learn the full vector -- each probe is 2 insertions + 2 deletions +
+  1 query of adaptive interaction;
+* white-box: read the sign vector from the state view, stream the kernel:
+  **zero** probes.
+
+``compare_attack_rounds`` runs both against fresh sketches and reports the
+interaction counts -- experiment E15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adversaries.sketch_attack import ams_kernel_vector
+from repro.core.stream import Update
+from repro.moments.ams import AMSSketch
+
+__all__ = ["BlackBoxSignLearner", "compare_attack_rounds", "AttackRoundsReport"]
+
+
+class BlackBoxSignLearner:
+    """Learns a single-row AMS sign vector through output queries only.
+
+    Drives the sketch directly (probe -> query -> unprobe); the only
+    information consumed is ``sketch.query()`` -- black-box access.
+    """
+
+    def __init__(self, sketch: AMSSketch) -> None:
+        if sketch.rows != 1:
+            raise ValueError("the pedagogical learner handles rows = 1")
+        self.sketch = sketch
+        self.relative_signs: dict[int, int] = {0: 1}  # vs. coordinate 0
+        self.interactions = 0
+
+    def _probe_pair(self, j: int) -> int:
+        """Stream e_0 + e_j, read the estimate, undo; returns Z_0 * Z_j."""
+        self.sketch.feed(Update(0, 1))
+        self.sketch.feed(Update(j, 1))
+        estimate = self.sketch.query()  # (Z_0 + Z_j)^2: 0 or 4
+        self.sketch.feed(Update(0, -1))
+        self.sketch.feed(Update(j, -1))
+        self.interactions += 5  # 4 updates + 1 query, all adaptive
+        return 1 if estimate > 2 else -1
+
+    def learn_coordinate(self, j: int) -> int:
+        """Relative sign of coordinate ``j`` (cached)."""
+        if j not in self.relative_signs:
+            self.relative_signs[j] = self._probe_pair(j)
+        return self.relative_signs[j]
+
+    def find_kernel_vector(self, max_coordinates: Optional[int] = None) -> list[int]:
+        """A vector with ``<Z, v> = 0``: ``e_i - e_j`` for same-sign i, j.
+
+        Probes coordinates until two share a sign (expected O(1) probes on
+        a random sign vector, worst case the whole universe).
+        """
+        limit = max_coordinates or self.sketch.universe_size
+        seen: dict[int, int] = {1: 0}
+        for j in range(1, limit):
+            sign = self.learn_coordinate(j)
+            if sign in seen and seen[sign] != j:
+                i = seen[sign]
+                vector = [0] * self.sketch.universe_size
+                vector[i] = 1
+                vector[j] = -1
+                return vector
+            seen.setdefault(sign, j)
+        raise RuntimeError("no same-sign pair found within the probe budget")
+
+    def learn_full_vector(self) -> list[int]:
+        """All relative signs: the [HW13]-flavored full reconstruction."""
+        return [self.learn_coordinate(j) for j in range(self.sketch.universe_size)]
+
+
+@dataclass(frozen=True)
+class AttackRoundsReport:
+    """Interaction counts for the two attack modes on equal sketches."""
+
+    universe_size: int
+    black_box_interactions: int
+    black_box_succeeded: bool
+    white_box_interactions: int
+    white_box_succeeded: bool
+    full_learning_interactions: int
+
+
+def compare_attack_rounds(universe_size: int = 64, seed: int = 0) -> AttackRoundsReport:
+    """Run both attacks on fresh single-row AMS sketches."""
+    # Black-box: kernel through probes.
+    victim = AMSSketch(universe_size=universe_size, rows=1, seed=seed)
+    learner = BlackBoxSignLearner(victim)
+    kernel = learner.find_kernel_vector()
+    for item, value in enumerate(kernel):
+        if value:
+            victim.feed(Update(item, value))
+    black_box_ok = victim.query() == 0.0 and any(kernel)
+    black_box_cost = learner.interactions
+
+    # Full [HW13]-style reconstruction cost (for the table's Theta(n) row).
+    full_victim = AMSSketch(universe_size=universe_size, rows=1, seed=seed + 1)
+    full_learner = BlackBoxSignLearner(full_victim)
+    full_learner.learn_full_vector()
+    full_cost = full_learner.interactions
+
+    # White-box: read the state, stream the kernel -- zero probes.
+    wb_victim = AMSSketch(universe_size=universe_size, rows=1, seed=seed + 2)
+    wb_kernel = ams_kernel_vector(wb_victim)
+    for item, value in enumerate(wb_kernel):
+        if value:
+            wb_victim.feed(Update(item, value))
+    white_box_ok = wb_victim.query() == 0.0 and any(wb_kernel)
+
+    return AttackRoundsReport(
+        universe_size=universe_size,
+        black_box_interactions=black_box_cost,
+        black_box_succeeded=black_box_ok,
+        white_box_interactions=0,
+        white_box_succeeded=white_box_ok,
+        full_learning_interactions=full_cost,
+    )

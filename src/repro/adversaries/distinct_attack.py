@@ -1,0 +1,150 @@
+"""White-box attacks on distinct-element estimators.
+
+*KMV*: the estimator keeps the k smallest hash values; the white-box
+adversary sorts the universe by the (visible) hash and feeds either the
+globally smallest-hashing items (estimate explodes toward ``n`` while the
+true count is ``k``) or the largest-hashing items (estimate stays ``~k``
+while the true count grows unboundedly).  Either direction defeats any
+constant-factor guarantee -- the oblivious-model analysis dies with the
+hash's secrecy.
+
+*SIS L0* (Algorithm 5): the only attack surface is producing a short
+kernel vector of the chunk matrix ``A``.  :func:`attack_sis_l0` hands the
+adversary our strongest tools (brute force, then LLL) and streams the found
+vector into one chunk, zeroing its sketch while the chunk holds nonzero
+frequencies.  At experiment parameters this *succeeds on tiny instances and
+fails (or costs exponentially) on realistic ones* -- the bounded/unbounded
+separation of Theorem 1.5 versus Theorem 1.9 made measurable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.stream import Update
+from repro.crypto.lattice import brute_force_short_kernel, lll_short_kernel
+from repro.distinct.kmv import KMVEstimator
+from repro.distinct.sis_l0 import SisL0Estimator
+
+__all__ = [
+    "kmv_inflation_items",
+    "kmv_suppression_items",
+    "attack_kmv",
+    "KMVAttackReport",
+    "attack_sis_l0",
+    "SisAttackReport",
+]
+
+
+@dataclass(frozen=True)
+class KMVAttackReport:
+    direction: str
+    true_l0: int
+    estimate: float
+    ratio: float
+    succeeded: bool
+
+
+def kmv_inflation_items(kmv: KMVEstimator, count: int) -> list[int]:
+    """The ``count`` items with globally smallest hash values."""
+    ranked = sorted(range(kmv.universe_size), key=kmv.hash_value)
+    return ranked[:count]
+
+
+def kmv_suppression_items(kmv: KMVEstimator, count: int) -> list[int]:
+    """The ``count`` items with globally largest hash values."""
+    ranked = sorted(range(kmv.universe_size), key=kmv.hash_value, reverse=True)
+    return ranked[:count]
+
+
+def attack_kmv(
+    kmv: KMVEstimator, direction: str = "inflate", factor_goal: float = 4.0
+) -> KMVAttackReport:
+    """Feed the adversarial item set; report the achieved distortion.
+
+    ``inflate``: feed exactly ``k`` smallest-hashing items -> estimate ~ n.
+    ``suppress``: feed ``n/2`` largest-hashing items -> estimate ~ k.
+    Success = the estimate is off by more than ``factor_goal``.
+    """
+    if direction == "inflate":
+        items = kmv_inflation_items(kmv, kmv.k)
+    elif direction == "suppress":
+        items = kmv_suppression_items(kmv, max(kmv.k * int(factor_goal) * 2, kmv.k + 1))
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+    for item in items:
+        kmv.feed(Update(item, 1))
+    truth = len(set(items))
+    estimate = kmv.query()
+    ratio = max(estimate, 1.0) / truth if truth else float("inf")
+    distortion = max(ratio, 1.0 / ratio) if ratio > 0 else float("inf")
+    return KMVAttackReport(
+        direction=direction,
+        true_l0=truth,
+        estimate=estimate,
+        ratio=ratio,
+        succeeded=distortion > factor_goal,
+    )
+
+
+@dataclass(frozen=True)
+class SisAttackReport:
+    method: str
+    found: bool
+    seconds: float
+    candidates_tried: int
+    estimator_fooled: bool
+    true_l0: int
+    reported: int
+
+
+def attack_sis_l0(
+    estimator: SisL0Estimator,
+    brute_force_bound: int = 1,
+    max_candidates: Optional[int] = 200_000,
+    try_lll: bool = True,
+) -> SisAttackReport:
+    """Full SIS attack pipeline against Algorithm 5.
+
+    1. Brute-force small-coefficient kernel vectors (cost counted);
+    2. optionally LLL on the q-ary kernel lattice;
+    3. on success, stream the vector into chunk 0 and check the estimator
+       now reports 0 nonzero chunks despite a nonzero chunk.
+    """
+    start = time.perf_counter()
+    vector, tried = brute_force_short_kernel(
+        estimator.matrix, coefficient_bound=brute_force_bound, max_candidates=max_candidates
+    )
+    method = "brute-force"
+    if vector is None and try_lll:
+        method = "lll"
+        vector = lll_short_kernel(estimator.matrix)
+    elapsed = time.perf_counter() - start
+    if vector is None:
+        return SisAttackReport(
+            method=method,
+            found=False,
+            seconds=elapsed,
+            candidates_tried=tried,
+            estimator_fooled=False,
+            true_l0=0,
+            reported=estimator.query(),
+        )
+    # Stream the kernel vector into chunk 0 (turnstile deltas).
+    support = 0
+    for offset, value in enumerate(vector):
+        if value:
+            estimator.feed(Update(offset, int(value)))
+            support += 1
+    reported = estimator.query()
+    return SisAttackReport(
+        method=method,
+        found=True,
+        seconds=elapsed,
+        candidates_tried=tried,
+        estimator_fooled=reported == 0 and support > 0,
+        true_l0=support,
+        reported=reported,
+    )

@@ -1,0 +1,160 @@
+"""White-box kernel attacks on linear sketches (the Theorem 1.9 narrative).
+
+A linear sketch maintains ``S f`` for a matrix ``S`` with far fewer rows
+than columns.  In the black-box model, [HW13] needed a sophisticated
+adaptive procedure to *learn* ``S``; the white-box adversary reads it from
+the state view on round one.  Any ``rows + 1`` columns of ``S`` are
+linearly dependent, so an exact rational kernel vector ``v`` with support
+``rows + 1`` exists; streaming ``v`` as turnstile updates leaves the sketch
+at zero while ``F_2(v) = ||v||^2 > 0`` -- the estimator is blind to an
+arbitrarily large moment.
+
+Attacks provided for :class:`~repro.moments.ams.AMSSketch` and
+:class:`~repro.heavyhitters.count_sketch.CountSketch` (whose linear map has
+``depth * width`` rows), both as one-shot helpers and as game adversaries.
+The computation the adversary performs (materializing ``s + 1`` columns and
+eliminating) is ``poly(s)`` -- these attacks are cheap, which is exactly
+why Theorem 1.9 holds even against *bounded* adversaries for non-crypto
+sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.adversary import AdversaryView, WhiteBoxAdversary
+from repro.core.stream import Update
+from repro.heavyhitters.count_sketch import CountSketch
+from repro.linalg.modular import rational_kernel_vector
+from repro.moments.ams import AMSSketch
+
+__all__ = [
+    "ams_kernel_vector",
+    "count_sketch_kernel_vector",
+    "KernelStreamAdversary",
+    "ams_attack_updates",
+]
+
+
+def ams_kernel_vector(sketch: AMSSketch, support: Optional[int] = None) -> list[int]:
+    """A nonzero integer vector in the kernel of the AMS sign matrix.
+
+    Uses the first ``rows + 1`` items of the universe (any ``rows + 1``
+    columns are dependent); the returned vector is indexed over the full
+    universe, zero outside the chosen support.
+    """
+    columns = support if support is not None else sketch.rows + 1
+    if columns > sketch.universe_size:
+        raise ValueError(
+            "universe too small to host a kernel vector of this support"
+        )
+    submatrix = [
+        [sketch.sign(row, item) for item in range(columns)]
+        for row in range(sketch.rows)
+    ]
+    small = rational_kernel_vector(submatrix)
+    if small is None:
+        raise RuntimeError(
+            "no rational kernel found -- columns were unexpectedly independent; "
+            "retry with a larger support"
+        )
+    vector = [0] * sketch.universe_size
+    for item, value in enumerate(small):
+        vector[item] = value
+    return vector
+
+
+def count_sketch_kernel_vector(sketch: CountSketch) -> list[int]:
+    """A kernel vector of CountSketch's (depth*width)-row linear map."""
+    columns = sketch.depth * sketch.width + 1
+    if columns > sketch.universe_size:
+        raise ValueError(
+            "universe too small: need depth*width + 1 columns for dependence"
+        )
+    # Row (r, b): entry sign_r(i) if bucket_r(i) == b else 0.
+    submatrix = []
+    for row in range(sketch.depth):
+        for bucket in range(sketch.width):
+            submatrix.append(
+                [
+                    sketch._sign(row, item) if sketch._bucket(row, item) == bucket else 0
+                    for item in range(columns)
+                ]
+            )
+    small = rational_kernel_vector(submatrix)
+    if small is None:
+        raise RuntimeError("no rational kernel found for CountSketch map")
+    vector = [0] * sketch.universe_size
+    for item, value in enumerate(small):
+        vector[item] = value
+    return vector
+
+
+def ams_attack_updates(sketch: AMSSketch) -> list[Update]:
+    """The attack stream: one turnstile update per kernel coordinate."""
+    vector = ams_kernel_vector(sketch)
+    return [Update(item, value) for item, value in enumerate(vector) if value]
+
+
+class KernelStreamAdversary(WhiteBoxAdversary):
+    """Game adversary: read the sketch from the state, stream its kernel.
+
+    Works against any algorithm whose state view exposes enough to
+    reconstruct the sketch's linear map; concrete extraction is delegated
+    to ``extract_kernel`` (defaults to the AMS extraction, reading the row
+    seeds out of the state view exactly as the model permits).
+
+    After the kernel has been streamed, the sketch is zero while the true
+    frequency vector is the kernel vector: any F_2 answer of 0 (or any
+    constant-factor answer) is wrong, and the game's validator records the
+    failure.
+    """
+
+    name = "kernel-stream"
+
+    def __init__(self, sketch_from_view, budget: Optional[int] = None) -> None:
+        super().__init__(budget=budget)
+        self.sketch_from_view = sketch_from_view
+        self._queue: Optional[list[Update]] = None
+
+    def next_update(self, view: AdversaryView) -> Optional[Update]:
+        if self._queue is None:
+            # Round 0 gives no state yet: send a probe so a view exists.
+            if view.latest_state is None:
+                return Update(0, 1)
+            sketch = self.sketch_from_view(view.latest_state)
+            # Charge the linear-algebra cost to the budget: ~ s^3.
+            rows = getattr(sketch, "rows", None) or (
+                sketch.depth * sketch.width
+            )
+            self.spend(rows**3)
+            kernel = (
+                ams_kernel_vector(sketch)
+                if isinstance(sketch, AMSSketch)
+                else count_sketch_kernel_vector(sketch)
+            )
+            # Undo the probe, then stream the kernel.
+            self._queue = [Update(0, -1)] + [
+                Update(item, value) for item, value in enumerate(kernel) if value
+            ]
+        if self._queue:
+            return self._queue.pop(0)
+        return None
+
+
+def ams_sketch_from_view(state_view) -> AMSSketch:
+    """Reconstruct an attackable AMS clone from a state view.
+
+    The adversary only needs the row seeds and the (public) sign
+    derivation; the clone's accumulators are irrelevant to the kernel.
+    """
+    seeds = list(state_view["row_seeds"])
+    clone = AMSSketch.__new__(AMSSketch)
+    clone.row_seeds = seeds
+    clone.rows = len(seeds)
+    # Universe size is part of the public problem statement; the caller's
+    # factory captures it via closure when needed.  Default: enough columns
+    # for the kernel.
+    clone.universe_size = len(seeds) + 1
+    clone.accumulators = [0] * len(seeds)
+    return clone

@@ -1,0 +1,157 @@
+"""Adaptive stress adversaries -- the *negative controls* of the experiments.
+
+The upper-bound theorems claim robustness; these adversaries try their best
+to falsify that claim using full white-box access, and the experiments
+record that they fail (within the stated failure probabilities):
+
+* :class:`MorrisStressAdversary` -- adaptive stopping against a Morris
+  counter: watches the exponent after every increment and steers toward
+  the moment of maximum deviation.  Lemma 2.1 says the counter stays a
+  ``(1 + eps)``-approximation anyway (fresh coins cannot be biased by
+  scheduling).
+* :class:`SampleEvasionAdversary` -- against BernMG-style algorithms:
+  reads the Misra-Gries table out of the state and pours mass into items
+  the sampler has *not yet* counted, trying to sneak a heavy hitter past
+  the summary.  Theorem 2.3's point is that the coins are flipped after
+  the update is committed, so evasion cannot work better than chance.
+* :class:`ThresholdDancerAdversary` -- drives one planted item exactly
+  around the reporting threshold, alternating with background noise chosen
+  adversarially against the visible counters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.adversary import AdversaryView, WhiteBoxAdversary
+from repro.core.stream import Update
+
+__all__ = [
+    "MorrisStressAdversary",
+    "SampleEvasionAdversary",
+    "ThresholdDancerAdversary",
+]
+
+
+class MorrisStressAdversary(WhiteBoxAdversary):
+    """Adaptive stopping: halt the stream when the estimate looks worst.
+
+    Sends unit increments; tracks the worst relative deviation it has
+    *seen* (it knows the exact count -- it generated it).  If the deviation
+    ever exceeds ``target_deviation`` it stops immediately, freezing the
+    algorithm at its worst moment (the classic adaptive-stopping trick that
+    breaks per-query-only guarantees).
+    """
+
+    name = "morris-adaptive-stopping"
+
+    def __init__(self, max_rounds: int, target_deviation: float) -> None:
+        super().__init__(budget=None)
+        self.max_rounds = max_rounds
+        self.target_deviation = target_deviation
+        self.worst_deviation = 0.0
+        self.worst_round: Optional[int] = None
+
+    def next_update(self, view: AdversaryView) -> Optional[Update]:
+        true_count = view.round_index  # every prior round sent one unit
+        if view.outputs and true_count > 8:
+            estimate = view.latest_output
+            if estimate is not None and true_count > 0:
+                deviation = abs(float(estimate) - true_count) / true_count
+                if deviation > self.worst_deviation:
+                    self.worst_deviation = deviation
+                    self.worst_round = view.round_index
+                if deviation > self.target_deviation:
+                    return None  # freeze at the worst moment
+        if view.round_index >= self.max_rounds:
+            return None
+        return Update(0, 1)
+
+
+class SampleEvasionAdversary(WhiteBoxAdversary):
+    """Pour a heavy hitter's mass into moments the sampler 'is not looking'.
+
+    Strategy: plant item 0 as the target heavy hitter, but only send its
+    updates at rounds where the previous update to item 0 was *not*
+    sampled (visible in the BernMG counters of the state view); pad other
+    rounds with distinct background items.  If evasion worked, item 0
+    would end the stream epsilon-heavy yet absent from the summary.
+    """
+
+    name = "sample-evasion"
+
+    def __init__(
+        self, max_rounds: int, universe_size: int, target_item: int = 0
+    ) -> None:
+        super().__init__(budget=None)
+        self.max_rounds = max_rounds
+        self.universe_size = universe_size
+        self.target_item = target_item
+        self._background = 1
+        self._last_target_count: Optional[float] = None
+
+    def _target_tracked_count(self, view: AdversaryView) -> float:
+        state = view.latest_state
+        if state is None or "instances" not in state:
+            return 0.0
+        total = 0.0
+        for instance in state["instances"].values():
+            counters = instance.get("counters", {})
+            total += counters.get(self.target_item, 0)
+        return total
+
+    def next_update(self, view: AdversaryView) -> Optional[Update]:
+        if view.round_index >= self.max_rounds:
+            return None
+        tracked = self._target_tracked_count(view)
+        send_target = (
+            self._last_target_count is None or tracked == self._last_target_count
+        )
+        # Keep the target at half the stream regardless of evasion logic so
+        # it is unambiguously heavy: alternate when evasion stalls.
+        if view.round_index % 2 == 0 or send_target:
+            self._last_target_count = tracked
+            return Update(self.target_item, 1)
+        self._background = 1 + (self._background % (self.universe_size - 1))
+        return Update(self._background, 1)
+
+
+class ThresholdDancerAdversary(WhiteBoxAdversary):
+    """Keep a planted item dancing at the reporting threshold.
+
+    Alternates target and adversarially chosen background mass so the
+    target's true frequency hovers just above ``threshold`` of the stream;
+    a robust epsilon-heavy-hitter algorithm must keep reporting it, so any
+    round where it disappears from the answer is a failure the game
+    validator catches.
+    """
+
+    name = "threshold-dancer"
+
+    def __init__(
+        self,
+        max_rounds: int,
+        universe_size: int,
+        threshold: float,
+        target_item: int = 0,
+    ) -> None:
+        super().__init__(budget=None)
+        if not 0 < threshold < 1:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        self.max_rounds = max_rounds
+        self.universe_size = universe_size
+        self.threshold = threshold
+        self.target_item = target_item
+        self._target_mass = 0
+        self._background = 1
+
+    def next_update(self, view: AdversaryView) -> Optional[Update]:
+        if view.round_index >= self.max_rounds:
+            return None
+        total = view.round_index + 1
+        # Send target mass whenever its share would drop to 1.5x threshold.
+        if self._target_mass < 1.5 * self.threshold * total:
+            self._target_mass += 1
+            return Update(self.target_item, 1)
+        self._background = 1 + (self._background % (self.universe_size - 1))
+        return Update(self._background, 1)

@@ -1,0 +1,40 @@
+"""Communication complexity: problems, protocols, the Theorem 1.8 reduction."""
+
+from repro.comm.matrix import CommunicationMatrix, build_matrix
+from repro.comm.problems import (
+    CommunicationProblem,
+    EqualityProblem,
+    GapEqualityProblem,
+    IndexProblem,
+    OrEqualityProblem,
+    balanced_strings,
+    hamming,
+)
+from repro.comm.protocols import (
+    OneWayProtocol,
+    ProtocolReport,
+    distinct_message_lower_bound,
+    fooling_set_bound,
+    verify_protocol,
+)
+from repro.comm.reduction import ReductionOutcome, StreamBridge, derandomize
+
+__all__ = [
+    "CommunicationMatrix",
+    "CommunicationProblem",
+    "EqualityProblem",
+    "GapEqualityProblem",
+    "IndexProblem",
+    "OneWayProtocol",
+    "OrEqualityProblem",
+    "ProtocolReport",
+    "ReductionOutcome",
+    "StreamBridge",
+    "balanced_strings",
+    "build_matrix",
+    "derandomize",
+    "distinct_message_lower_bound",
+    "fooling_set_bound",
+    "hamming",
+    "verify_protocol",
+]

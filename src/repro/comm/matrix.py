@@ -1,0 +1,149 @@
+"""The Section 3.3 communication matrix for randomized one-way protocols.
+
+Section 3.3 packages the Theorem 1.8 machinery as a matrix ``M`` whose rows
+are ``(x, r_x)`` (Alice input, Alice randomness) and columns ``(y, r_y)``;
+the entry is the protocol's output.  Because the streaming algorithm uses
+``s`` bits, rows sharing a state are identical -- realized here by building
+rows from the algorithm's *state*, so the partition property holds by
+construction.  The module computes
+
+    p_state(x, r_x) = min_y Pr_{r_y}[ M_{(x,r_x),(y,r_y)} = f(x, y) ]
+
+(equation (1)) and checks the robustness guarantee
+``E_{r_x}[p_state(x, r_x)] >= p`` for all ``x`` -- the quantitative bridge
+between "robust against white-box adversaries" and matrix structure.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.comm.problems import CommunicationProblem
+from repro.comm.reduction import StreamBridge, _reseed
+from repro.core.algorithm import StreamAlgorithm
+
+__all__ = ["CommunicationMatrix", "build_matrix"]
+
+
+@dataclass
+class CommunicationMatrix:
+    """Dense matrix over (input, seed) pairs, plus the induced guarantees."""
+
+    problem: CommunicationProblem
+    alice_seeds: tuple[int, ...]
+    bob_seeds: tuple[int, ...]
+    entries: dict  # (x, rx, y, ry) -> output
+    states: dict  # (x, rx) -> frozen state
+
+    def p_state(self, x, rx) -> float:
+        """Equation (1): worst-case-over-y success of one Alice row."""
+        worst = 1.0
+        for y in self.problem.bob_inputs():
+            if not self.problem.in_promise(x, y):
+                continue
+            truth = self.problem.evaluate(x, y)
+            wins = sum(
+                1
+                for ry in self.bob_seeds
+                if self.entries[(x, rx, y, ry)] == truth
+            )
+            worst = min(worst, wins / len(self.bob_seeds))
+        return worst
+
+    def expected_p_state(self, x) -> float:
+        """``E_{r_x}[p_state(x, r_x)]`` -- must be >= p for robust algs."""
+        values = [self.p_state(x, rx) for rx in self.alice_seeds]
+        return sum(values) / len(values)
+
+    def robustness_holds(self, p: float) -> bool:
+        """The §3.3 guarantee across every Alice input."""
+        return all(
+            self.expected_p_state(x) >= p for x in self.problem.alice_inputs()
+        )
+
+    def bounded_adversary_guarantee(self, choose_y, p: float) -> bool:
+        """The §3.3 *computationally bounded* guarantee.
+
+        A bounded adversary may not be able to find the worst ``y``;
+        instead it runs some strategy ``choose_y(state, x) -> y`` on the
+        observed state.  The weaker guarantee is
+
+            E_{r_x} Pr_{r_y}[ M = f(x, choose_y(state)) ] >= p
+
+        for every ``x`` -- exactly the displayed inequality at the end of
+        Section 3.3, with the expectation realized over the enumerated
+        Alice seeds.
+        """
+        for x in self.problem.alice_inputs():
+            total = 0.0
+            for rx in self.alice_seeds:
+                y = choose_y(self.states[(x, rx)], x)
+                if not self.problem.in_promise(x, y):
+                    total += 1.0  # off-promise choices cannot defeat anyone
+                    continue
+                truth = self.problem.evaluate(x, y)
+                wins = sum(
+                    1
+                    for ry in self.bob_seeds
+                    if self.entries[(x, rx, y, ry)] == truth
+                )
+                total += wins / len(self.bob_seeds)
+            if total / len(self.alice_seeds) < p:
+                return False
+        return True
+
+    def rows_partition_by_state(self) -> bool:
+        """Rows with equal state must be identical (the 2^s partition)."""
+        by_state: dict = {}
+        for (x, rx), state in self.states.items():
+            row = tuple(
+                self.entries[(x, rx, y, ry)]
+                for y in self.problem.bob_inputs()
+                for ry in self.bob_seeds
+                if self.problem.in_promise(x, y)
+            )
+            if state in by_state and by_state[state] != row:
+                return False
+            by_state[state] = row
+        return True
+
+
+def build_matrix(
+    problem: CommunicationProblem,
+    algorithm_factory: Callable[[int], StreamAlgorithm],
+    bridge: StreamBridge,
+    alice_seeds: Sequence[int],
+    bob_seeds: Sequence[int],
+) -> CommunicationMatrix:
+    """Materialize the §3.3 matrix for a streaming-algorithm protocol."""
+    entries: dict = {}
+    states: dict = {}
+    for x in problem.alice_inputs():
+        stream = list(bridge.alice_stream(x))
+        for rx in alice_seeds:
+            algorithm = algorithm_factory(rx)
+            algorithm.consume(stream)
+            states[(x, rx)] = _frozen(algorithm)
+            for y in problem.bob_inputs():
+                if not problem.in_promise(x, y):
+                    continue
+                for ry in bob_seeds:
+                    resumed = copy.deepcopy(algorithm)
+                    _reseed(resumed, ry)
+                    resumed.consume(bridge.bob_stream(y))
+                    entries[(x, rx, y, ry)] = bridge.interpret(resumed.query(), y)
+    return CommunicationMatrix(
+        problem=problem,
+        alice_seeds=tuple(alice_seeds),
+        bob_seeds=tuple(bob_seeds),
+        entries=entries,
+        states=states,
+    )
+
+
+def _frozen(algorithm: StreamAlgorithm) -> tuple:
+    from repro.comm.reduction import _freeze_state
+
+    return _freeze_state(algorithm)

@@ -1,0 +1,173 @@
+"""Two-player communication problems used by the lower-bound machinery.
+
+Section 3 reduces white-box streaming space to *deterministic* one-way
+communication: Equality (deterministic complexity Theta(n) versus
+randomized Theta(log n)), Gap Equality (Definition 3.1, [BCW98] lower bound
+Omega(n)), OR-Equality (Definition 2.20, [KW09] lower bound Omega(nk)), and
+Index.  Instances are enumerable so the Theorem 1.8 reduction can be
+*executed* exhaustively at small ``n``.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Iterable, Sequence
+
+__all__ = [
+    "CommunicationProblem",
+    "EqualityProblem",
+    "GapEqualityProblem",
+    "IndexProblem",
+    "OrEqualityProblem",
+    "hamming",
+    "balanced_strings",
+]
+
+Bits = tuple[int, ...]
+
+
+def hamming(x: Sequence[int], y: Sequence[int]) -> int:
+    """Hamming distance between equal-length 0/1 strings."""
+    if len(x) != len(y):
+        raise ValueError("strings must have equal length")
+    return sum(a != b for a, b in zip(x, y))
+
+
+def balanced_strings(n: int, weight: int) -> list[Bits]:
+    """All 0/1 strings of length ``n`` with exactly ``weight`` ones."""
+    if not 0 <= weight <= n:
+        raise ValueError(f"weight must be in [0, n], got {weight}")
+    strings = []
+    for support in itertools.combinations(range(n), weight):
+        s = [0] * n
+        for i in support:
+            s[i] = 1
+        strings.append(tuple(s))
+    return strings
+
+
+class CommunicationProblem(abc.ABC):
+    """A (possibly promise) two-player problem with enumerable inputs."""
+
+    name: str = "communication-problem"
+
+    @abc.abstractmethod
+    def alice_inputs(self) -> Iterable:
+        """All of Alice's inputs."""
+
+    @abc.abstractmethod
+    def bob_inputs(self) -> Iterable:
+        """All of Bob's inputs."""
+
+    @abc.abstractmethod
+    def evaluate(self, x, y):
+        """``f(x, y)`` -- the required answer."""
+
+    def in_promise(self, x, y) -> bool:
+        """Whether ``(x, y)`` satisfies the problem's promise (default: yes)."""
+        return True
+
+    def instance_pairs(self):
+        """All promise-satisfying (x, y) pairs."""
+        for x in self.alice_inputs():
+            for y in self.bob_inputs():
+                if self.in_promise(x, y):
+                    yield x, y
+
+
+class EqualityProblem(CommunicationProblem):
+    """Equality over all n-bit strings: deterministic cost Theta(n)."""
+
+    name = "equality"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+
+    def alice_inputs(self):
+        return list(itertools.product((0, 1), repeat=self.n))
+
+    bob_inputs = alice_inputs
+
+    def evaluate(self, x: Bits, y: Bits) -> bool:
+        return x == y
+
+
+class GapEqualityProblem(CommunicationProblem):
+    """Definition 3.1: balanced strings, equal or Hamming-far.
+
+    Alice and Bob receive weight-``n/2`` strings with the promise that
+    ``x = y`` or ``HAM(x, y) >= gap``.  The paper's gap is ``n/10``;
+    small-``n`` experiments use a larger gap so the F_p distinguishing
+    factor is comfortable (the parameter is explicit either way).
+    Deterministic complexity Omega(n) [BCW98].
+    """
+
+    name = "gap-equality"
+
+    def __init__(self, n: int, gap: int | None = None, weight: int | None = None) -> None:
+        if n < 2:
+            raise ValueError(f"n must be >= 2, got {n}")
+        self.n = n
+        self.weight = weight if weight is not None else n // 2
+        self.gap = gap if gap is not None else max(1, n // 10)
+
+    def alice_inputs(self):
+        return balanced_strings(self.n, self.weight)
+
+    bob_inputs = alice_inputs
+
+    def in_promise(self, x: Bits, y: Bits) -> bool:
+        return x == y or hamming(x, y) >= self.gap
+
+    def evaluate(self, x: Bits, y: Bits) -> bool:
+        return x == y
+
+
+class IndexProblem(CommunicationProblem):
+    """Alice holds x in {0,1}^n, Bob holds i; output x_i.  One-way cost n."""
+
+    name = "index"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+
+    def alice_inputs(self):
+        return list(itertools.product((0, 1), repeat=self.n))
+
+    def bob_inputs(self):
+        return list(range(self.n))
+
+    def evaluate(self, x: Bits, i: int) -> int:
+        return x[i]
+
+
+class OrEqualityProblem(CommunicationProblem):
+    """Definition 2.20: k parallel equalities over {0,1}^n strings.
+
+    Inputs are k-tuples of n-bit strings; the answer is the k-bit vector of
+    per-coordinate equalities.  Deterministic complexity Omega(nk) [KW09]
+    (even promising at most one equal coordinate).  Exponentially many
+    inputs -- use only at very small (n, k).
+    """
+
+    name = "or-equality"
+
+    def __init__(self, n: int, k: int) -> None:
+        if n < 1 or k < 1:
+            raise ValueError("n and k must be >= 1")
+        self.n = n
+        self.k = k
+
+    def alice_inputs(self):
+        singles = list(itertools.product((0, 1), repeat=self.n))
+        return list(itertools.product(singles, repeat=self.k))
+
+    bob_inputs = alice_inputs
+
+    def evaluate(self, xs, ys) -> Bits:
+        return tuple(int(x == y) for x, y in zip(xs, ys))

@@ -1,0 +1,50 @@
+"""Core framework: streams, the white-box game, randomness, space accounting."""
+
+from repro.core.adversary import (
+    AdversaryView,
+    BlackBoxAdversary,
+    BudgetExhausted,
+    ObliviousAdversary,
+    WhiteBoxAdversary,
+)
+from repro.core.algorithm import DeterministicAlgorithm, StateView, StreamAlgorithm
+from repro.core.game import GameResult, GroundTruth, RoundRecord, frequency_truth, run_game
+from repro.core.randomness import RandomDraw, WitnessedRandom
+from repro.core.space import (
+    bits_for_float,
+    bits_for_int,
+    bits_for_range,
+    bits_for_signed_int,
+    bits_for_universe,
+    log2_ceil,
+    loglog_bits,
+)
+from repro.core.stream import FrequencyVector, Update, stream_from_items
+
+__all__ = [
+    "AdversaryView",
+    "BlackBoxAdversary",
+    "BudgetExhausted",
+    "DeterministicAlgorithm",
+    "FrequencyVector",
+    "GameResult",
+    "GroundTruth",
+    "ObliviousAdversary",
+    "RandomDraw",
+    "RoundRecord",
+    "StateView",
+    "StreamAlgorithm",
+    "Update",
+    "WhiteBoxAdversary",
+    "WitnessedRandom",
+    "bits_for_float",
+    "bits_for_int",
+    "bits_for_range",
+    "bits_for_signed_int",
+    "bits_for_universe",
+    "frequency_truth",
+    "log2_ceil",
+    "loglog_bits",
+    "run_game",
+    "stream_from_items",
+]

@@ -1,0 +1,133 @@
+"""Adversary interfaces for the white-box game.
+
+The game of Section 1 gives the adversary, before it chooses update
+``u_{t+1}``: all previous updates, all previous internal states, all previous
+randomness, and all previous outputs.  :class:`WhiteBoxAdversary` receives
+exactly that through :class:`AdversaryView`.
+
+Adversaries may be *computationally bounded* (Theorem 1.2's ``T``-time
+adversaries, Assumption 2.17's polynomial-time adversaries): the base class
+carries an operation budget that attack implementations debit through
+:meth:`WhiteBoxAdversary.spend`; exhausting it ends the attack.  This makes
+"robust against T-time-bounded adversaries" an executable statement.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.core.algorithm import StateView
+from repro.core.stream import Update
+
+__all__ = [
+    "AdversaryView",
+    "BudgetExhausted",
+    "WhiteBoxAdversary",
+    "ObliviousAdversary",
+    "BlackBoxAdversary",
+]
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a bounded adversary runs out of computation budget."""
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """Everything the white-box adversary knows entering round ``t+1``."""
+
+    round_index: int
+    updates: tuple[Update, ...]
+    states: tuple[StateView, ...]
+    outputs: tuple[Any, ...]
+
+    @property
+    def latest_state(self) -> Optional[StateView]:
+        return self.states[-1] if self.states else None
+
+    @property
+    def latest_output(self) -> Any:
+        return self.outputs[-1] if self.outputs else None
+
+
+class WhiteBoxAdversary(abc.ABC):
+    """Base class for adversaries in the white-box game.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of abstract computation steps the adversary may spend
+        over the whole game (``None`` = unbounded).  Attack code calls
+        :meth:`spend` for its expensive operations; the game runner treats
+        :class:`BudgetExhausted` as the adversary giving up.
+    """
+
+    name: str = "white-box-adversary"
+
+    def __init__(self, budget: Optional[int] = None) -> None:
+        if budget is not None and budget <= 0:
+            raise ValueError(f"budget must be positive or None, got {budget}")
+        self.budget = budget
+        self.spent = 0
+
+    @abc.abstractmethod
+    def next_update(self, view: AdversaryView) -> Optional[Update]:
+        """Choose the next stream update (or ``None`` to end the stream)."""
+
+    def spend(self, operations: int = 1) -> None:
+        """Debit computation budget; raises :class:`BudgetExhausted`."""
+        self.spent += operations
+        if self.budget is not None and self.spent > self.budget:
+            raise BudgetExhausted(
+                f"{self.name} exceeded its budget of {self.budget} operations"
+            )
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.budget is not None
+
+
+class ObliviousAdversary(WhiteBoxAdversary):
+    """A non-adaptive "adversary": replays a fixed update sequence.
+
+    This is the classical oblivious streaming model embedded in the game, and
+    the natural negative control in robustness experiments.
+    """
+
+    name = "oblivious"
+
+    def __init__(self, updates: Sequence[Update]) -> None:
+        super().__init__(budget=None)
+        self._updates = list(updates)
+
+    def next_update(self, view: AdversaryView) -> Optional[Update]:
+        if view.round_index >= len(self._updates):
+            return None
+        return self._updates[view.round_index]
+
+
+class BlackBoxAdversary(WhiteBoxAdversary):
+    """Adapter restricting a white-box adversary's view to outputs only.
+
+    Wraps an adaptive strategy that may use previous updates and previous
+    *outputs* but not internal states or randomness -- the black-box
+    adversarial model of [BJWY21] and others, included for the experiments
+    that separate the two models.
+    """
+
+    name = "black-box"
+
+    def next_update(self, view: AdversaryView) -> Optional[Update]:
+        censored = AdversaryView(
+            round_index=view.round_index,
+            updates=view.updates,
+            states=(),
+            outputs=view.outputs,
+        )
+        return self.next_update_black_box(censored)
+
+    @abc.abstractmethod
+    def next_update_black_box(self, view: AdversaryView) -> Optional[Update]:
+        """Adaptive choice based on outputs alone."""

@@ -1,0 +1,139 @@
+"""Streaming-algorithm base class and white-box state views.
+
+Every algorithm in the library subclasses :class:`StreamAlgorithm` and
+implements:
+
+* ``process(update)`` -- consume one stream update;
+* ``query()`` -- answer the fixed query ``Q`` of the game (its type depends
+  on the problem: a number, a set of heavy hitters, ...);
+* ``state_view()`` -- the *complete* internal state the white-box adversary
+  observes: every data-structure field plus the randomness transcript;
+* ``space_bits()`` -- idealized bit cost of the current state (see
+  :mod:`repro.core.space`).
+
+``state_view`` is a real API, not a debugging aid: the attack modules in
+:mod:`repro.adversaries` consume it to mount white-box attacks (e.g., reading
+the AMS sign matrix out of the view and streaming one of its kernel vectors).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.randomness import RandomDraw, WitnessedRandom
+from repro.core.stream import Update
+
+__all__ = ["StateView", "StreamAlgorithm", "DeterministicAlgorithm"]
+
+
+@dataclass(frozen=True)
+class StateView:
+    """A snapshot of everything the white-box adversary can see.
+
+    Attributes
+    ----------
+    fields:
+        All internal data-structure contents, keyed by descriptive names.
+        Values should be plain data (ints, tuples, dicts, numpy arrays); the
+        adversary may inspect them arbitrarily.
+    randomness:
+        The full transcript of random draws made so far.
+    """
+
+    fields: Mapping[str, Any]
+    randomness: tuple[RandomDraw, ...] = ()
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.fields
+
+
+class StreamAlgorithm(abc.ABC):
+    """Base class for one-pass streaming algorithms in the white-box game.
+
+    Subclasses that use randomness must draw it exclusively through
+    ``self.random`` (a :class:`WitnessedRandom`) so the transcript the
+    adversary sees is complete.  Deterministic algorithms may ignore it.
+    """
+
+    #: human-readable name used in experiment tables
+    name: str = "stream-algorithm"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.random = WitnessedRandom(seed=seed)
+        self.updates_processed = 0
+
+    # -- the streaming interface ----------------------------------------
+
+    @abc.abstractmethod
+    def process(self, update: Update) -> None:
+        """Consume one stream update."""
+
+    @abc.abstractmethod
+    def query(self) -> Any:
+        """Answer the game's fixed query on the stream seen so far."""
+
+    @abc.abstractmethod
+    def space_bits(self) -> int:
+        """Idealized bit cost of the current state."""
+
+    # -- white-box exposure ----------------------------------------------
+
+    def state_view(self) -> StateView:
+        """Full white-box snapshot: internal fields + randomness transcript.
+
+        The default implementation exposes ``_state_fields()`` plus the
+        transcript; subclasses normally override only ``_state_fields``.
+        """
+        return StateView(
+            fields=self._state_fields(), randomness=self.random.transcript
+        )
+
+    def _state_fields(self) -> dict[str, Any]:
+        """Internal data-structure contents; override in subclasses."""
+        return {"updates_processed": self.updates_processed}
+
+    # -- conveniences -------------------------------------------------------
+
+    def feed(self, update: Update) -> None:
+        """Process an update and maintain the position counter."""
+        self.process(update)
+        self.updates_processed += 1
+
+    def consume(self, updates) -> "StreamAlgorithm":
+        """Feed a whole iterable of updates; returns self for chaining."""
+        for update in updates:
+            self.feed(update)
+        return self
+
+
+class DeterministicAlgorithm(StreamAlgorithm):
+    """Marker base for deterministic algorithms.
+
+    Deterministic algorithms are trivially robust in the white-box model
+    (Section 1.1.1): there is no randomness for the adversary to exploit.
+    The class removes access to random draws so determinism is enforced, not
+    just asserted.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(seed=0)
+        # Replace the random source with one that refuses to draw.
+        self.random = _ForbiddenRandom()
+
+
+class _ForbiddenRandom(WitnessedRandom):
+    """A random source that raises on any draw (determinism enforcement)."""
+
+    def __init__(self) -> None:
+        super().__init__(seed=0)
+
+    def _refuse(self, *args, **kwargs):
+        raise RuntimeError("deterministic algorithm attempted a random draw")
+
+    bit = bits = randint = randrange = random = _refuse
+    bernoulli = binomial = geometric = choice = sign = shuffle = spawn = _refuse

@@ -1,0 +1,180 @@
+"""The white-box adversarial game (Section 1 of the paper), executable.
+
+``run_game`` plays the m-round game between a :class:`StreamAlgorithm` and a
+:class:`WhiteBoxAdversary`:
+
+1. the adversary computes ``u_t`` from all previous updates, states,
+   randomness and outputs;
+2. the algorithm consumes ``u_t`` (drawing fresh witnessed randomness) and
+   answers the query;
+3. the adversary observes the response, the new internal state and the new
+   random bits.
+
+A :class:`GroundTruth` tracks the exact answer alongside, and a *validator*
+decides whether each response is acceptable (e.g. "within ``(1 + eps)``" or
+"contains every true heavy hitter").  The adversary wins if any round's
+response is invalid.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.adversary import AdversaryView, BudgetExhausted, WhiteBoxAdversary
+from repro.core.algorithm import StateView, StreamAlgorithm
+from repro.core.stream import FrequencyVector, Update
+
+__all__ = ["GroundTruth", "RoundRecord", "GameResult", "run_game", "frequency_truth"]
+
+Validator = Callable[[Any, Any], bool]
+
+
+class GroundTruth:
+    """Exact side-computation paired with a truth function.
+
+    ``ingest`` mirrors the stream; ``truth()`` returns the exact answer to
+    the game's query at the current time.
+    """
+
+    def __init__(
+        self,
+        ingest: Callable[[Update], None],
+        truth: Callable[[], Any],
+    ) -> None:
+        self.ingest = ingest
+        self.truth = truth
+
+
+def frequency_truth(
+    universe_size: int,
+    truth_of: Callable[[FrequencyVector], Any],
+    allow_negative: bool = True,
+) -> GroundTruth:
+    """Ground truth backed by an exact :class:`FrequencyVector`."""
+    vector = FrequencyVector(universe_size, allow_negative=allow_negative)
+    return GroundTruth(ingest=vector.apply, truth=lambda: truth_of(vector))
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Outcome of one game round."""
+
+    round_index: int
+    update: Update
+    answer: Any
+    truth: Any
+    valid: bool
+
+
+@dataclass
+class GameResult:
+    """Outcome of a full game."""
+
+    rounds_played: int
+    failures: list[RoundRecord] = field(default_factory=list)
+    total_failures: int = 0
+    adversary_gave_up: bool = False
+    budget_exhausted: bool = False
+    final_answer: Any = None
+    final_truth: Any = None
+    final_space_bits: int = 0
+    max_space_bits: int = 0
+
+    @property
+    def algorithm_won(self) -> bool:
+        """True if the algorithm was correct at every round it was queried."""
+        return self.total_failures == 0
+
+    @property
+    def first_failure(self) -> Optional[RoundRecord]:
+        return self.failures[0] if self.failures else None
+
+
+def run_game(
+    algorithm: StreamAlgorithm,
+    adversary: WhiteBoxAdversary,
+    ground_truth: GroundTruth,
+    validator: Validator,
+    max_rounds: int,
+    query_every: int = 1,
+    record_failures: int = 16,
+    retain_history: Optional[int] = 64,
+) -> GameResult:
+    """Play the white-box game for up to ``max_rounds`` rounds.
+
+    Parameters
+    ----------
+    query_every:
+        Query (and validate) the algorithm every this-many rounds.  The model
+        queries at every step; large experiments may thin the checks for
+        speed without changing who can win.
+    record_failures:
+        Keep at most this many failing rounds in the result (all failures
+        still count toward ``algorithm_won``).
+    retain_history:
+        How many recent rounds of (update, state, output) the adversary view
+        carries (``None`` = all).  The model grants the adversary the full
+        history; bounding it is a harness memory optimization -- every
+        adversary implemented in :mod:`repro.adversaries` decides from the
+        latest state, and tests that need full history pass ``None``.
+
+    Returns
+    -------
+    GameResult with per-round failures and space accounting.
+    """
+    if max_rounds <= 0:
+        raise ValueError(f"max_rounds must be positive, got {max_rounds}")
+    if query_every <= 0:
+        raise ValueError(f"query_every must be positive, got {query_every}")
+
+    updates: deque[Update] = deque(maxlen=retain_history)
+    states: deque[StateView] = deque(maxlen=retain_history)
+    outputs: deque[Any] = deque(maxlen=retain_history)
+    result = GameResult(rounds_played=0)
+    failure_count = 0
+
+    for round_index in range(max_rounds):
+        view = AdversaryView(
+            round_index=round_index,
+            updates=tuple(updates),
+            states=tuple(states),
+            outputs=tuple(outputs),
+        )
+        try:
+            update = adversary.next_update(view)
+        except BudgetExhausted:
+            result.budget_exhausted = True
+            break
+        if update is None:
+            result.adversary_gave_up = True
+            break
+
+        ground_truth.ingest(update)
+        algorithm.feed(update)
+        result.rounds_played += 1
+
+        answer: Any = None
+        if (round_index + 1) % query_every == 0 or round_index == max_rounds - 1:
+            answer = algorithm.query()
+            truth = ground_truth.truth()
+            valid = validator(answer, truth)
+            result.final_answer = answer
+            result.final_truth = truth
+            if not valid:
+                failure_count += 1
+                if len(result.failures) < record_failures:
+                    result.failures.append(
+                        RoundRecord(round_index, update, answer, truth, False)
+                    )
+        space = algorithm.space_bits()
+        result.final_space_bits = space
+        result.max_space_bits = max(result.max_space_bits, space)
+
+        updates.append(update)
+        states.append(algorithm.state_view())
+        outputs.append(answer)
+
+    result.total_failures = failure_count
+    return result

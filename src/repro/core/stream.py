@@ -1,0 +1,170 @@
+"""Stream updates, frequency vectors, and ground-truth oracles.
+
+The paper's streams define an underlying dataset through updates
+``u_1, ..., u_m``.  For frequency problems each update touches one coordinate
+of a frequency vector ``f`` over universe ``[n]``; insertion-only streams use
+``delta = +1`` while turnstile streams allow arbitrary integer deltas
+(Section 2.3 and Remark 2.23 explicitly treat turnstile updates).
+
+:class:`FrequencyVector` is the exact ground truth used by oracles and tests:
+it tracks ``f`` as a sparse dict plus ``L1 = ||f||_1`` and the stream length,
+and exposes the norms and moments the paper studies (``F_p``, ``L_p``,
+``L_0``, heavy hitters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Update", "FrequencyVector", "stream_from_items"]
+
+
+@dataclass(frozen=True)
+class Update:
+    """One stream update: add ``delta`` to coordinate ``item``.
+
+    ``item`` is an integer in ``[0, n)`` (the paper writes ``[n]``; we use
+    zero-based indices throughout).  ``delta = +1`` for insertion-only
+    streams; turnstile streams allow any integer, including negatives.
+    """
+
+    item: int
+    delta: int = 1
+
+    def __post_init__(self) -> None:
+        if self.item < 0:
+            raise ValueError(f"item must be non-negative, got {self.item}")
+
+
+def stream_from_items(items: Iterable[int]) -> Iterator[Update]:
+    """Wrap a sequence of item identifiers as unit-insertion updates."""
+    for item in items:
+        yield Update(item, 1)
+
+
+class FrequencyVector:
+    """Exact frequency vector over universe ``[0, n)``.
+
+    Serves as the ground-truth oracle in white-box games and as the reference
+    implementation for every estimator in the library.
+
+    Parameters
+    ----------
+    universe_size:
+        ``n``; updates must name items below this bound.
+    allow_negative:
+        If ``False`` (strict turnstile), an update driving a coordinate
+        negative raises :class:`ValueError`.  The paper's L0 algorithm only
+        needs ``||f||_inf <= poly(n)`` at the end, so general turnstile
+        streams set this to ``True``.
+    """
+
+    def __init__(self, universe_size: int, allow_negative: bool = True) -> None:
+        if universe_size <= 0:
+            raise ValueError(f"universe_size must be positive, got {universe_size}")
+        self.universe_size = universe_size
+        self.allow_negative = allow_negative
+        self._counts: dict[int, int] = {}
+        self._length = 0
+
+    # -- updates --------------------------------------------------------
+
+    def apply(self, update: Update) -> None:
+        """Apply one update, maintaining sparsity (zeros are evicted)."""
+        if update.item >= self.universe_size:
+            raise ValueError(
+                f"item {update.item} outside universe [0, {self.universe_size})"
+            )
+        new_value = self._counts.get(update.item, 0) + update.delta
+        if new_value < 0 and not self.allow_negative:
+            raise ValueError(
+                f"update would drive item {update.item} negative in a strict stream"
+            )
+        if new_value == 0:
+            self._counts.pop(update.item, None)
+        else:
+            self._counts[update.item] = new_value
+        self._length += 1
+
+    def extend(self, updates: Iterable[Update]) -> None:
+        """Apply a sequence of updates."""
+        for update in updates:
+            self.apply(update)
+
+    # -- queries ----------------------------------------------------------
+
+    def __getitem__(self, item: int) -> int:
+        return self._counts.get(item, 0)
+
+    def __len__(self) -> int:
+        """Number of updates applied so far (the stream position ``t``)."""
+        return self._length
+
+    @property
+    def support(self) -> frozenset[int]:
+        return frozenset(self._counts)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Sorted (item, frequency) pairs of the support."""
+        return iter(sorted(self._counts.items()))
+
+    def l0(self) -> int:
+        """``F_0 = L_0``: number of nonzero coordinates."""
+        return len(self._counts)
+
+    def l1(self) -> int:
+        """``||f||_1`` (sum of absolute frequencies)."""
+        return sum(abs(v) for v in self._counts.values())
+
+    def fp_moment(self, p: float) -> float:
+        """``F_p(f) = sum |f_k|^p`` (``F_0`` counts nonzeros)."""
+        if p < 0:
+            raise ValueError(f"p must be >= 0, got {p}")
+        if p == 0:
+            return float(self.l0())
+        return float(sum(abs(v) ** p for v in self._counts.values()))
+
+    def lp_norm(self, p: float) -> float:
+        """``L_p = F_p^{1/p}`` for ``p > 0``; ``L_0`` for ``p = 0``."""
+        if p == 0:
+            return float(self.l0())
+        return self.fp_moment(p) ** (1.0 / p)
+
+    def heavy_hitters(self, threshold: float, p: float = 1.0) -> frozenset[int]:
+        """All items with ``|f_k| >= threshold * L_p``.
+
+        With ``p = 1`` this is the epsilon-L1-heavy-hitters ground truth of
+        Theorem 1.1 (the paper states ``f_i > eps * L1``; we use ``>=`` with
+        an explicit threshold so callers control strictness via epsilon).
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        bar = threshold * self.lp_norm(p)
+        return frozenset(k for k, v in self._counts.items() if abs(v) >= bar)
+
+    def inner_product(self, other: "FrequencyVector") -> int:
+        """``<f, g>`` between two exact vectors."""
+        if len(self._counts) > len(other._counts):
+            return other.inner_product(self)
+        return sum(v * other[k] for k, v in self._counts.items())
+
+    def to_dense(self) -> list[int]:
+        """Dense list representation (for small universes / tests)."""
+        dense = [0] * self.universe_size
+        for item, value in self._counts.items():
+            dense[item] = value
+        return dense
+
+    def copy(self) -> "FrequencyVector":
+        """Deep copy of the vector (oracle snapshots in games)."""
+        clone = FrequencyVector(self.universe_size, self.allow_negative)
+        clone._counts = dict(self._counts)
+        clone._length = self._length
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"FrequencyVector(n={self.universe_size}, length={self._length}, "
+            f"support={self.l0()})"
+        )

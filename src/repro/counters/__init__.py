@@ -1,0 +1,51 @@
+"""Counters: Morris (robust), exact/deterministic baselines, OBDD machinery."""
+
+from repro.counters.deterministic import BucketedTimerCounter
+from repro.counters.exact import ExactCounter
+from repro.counters.intervals import (
+    Interval,
+    IntervalFamily,
+    additive_error,
+    exceptional_times,
+    multiplicative_error,
+    polynomial_error,
+)
+from repro.counters.morris import MorrisCounter, MorrisCountingAlgorithm, MorrisEnsemble
+from repro.counters.optimal_cover import (
+    GreedyTrajectoryReport,
+    greedy_trajectory,
+    minimum_cover,
+)
+from repro.counters.obdd import (
+    CounterProgram,
+    bucketed_counter_program,
+    exact_counter_program,
+    interval_profile,
+    program_errors,
+    state_count_profile,
+    truncated_counter_program,
+)
+
+__all__ = [
+    "BucketedTimerCounter",
+    "CounterProgram",
+    "ExactCounter",
+    "GreedyTrajectoryReport",
+    "Interval",
+    "IntervalFamily",
+    "MorrisCounter",
+    "MorrisCountingAlgorithm",
+    "MorrisEnsemble",
+    "additive_error",
+    "bucketed_counter_program",
+    "exact_counter_program",
+    "exceptional_times",
+    "greedy_trajectory",
+    "interval_profile",
+    "minimum_cover",
+    "multiplicative_error",
+    "polynomial_error",
+    "program_errors",
+    "state_count_profile",
+    "truncated_counter_program",
+]

@@ -1,0 +1,37 @@
+"""Exact counting baseline: the trivial O(log n) algorithm.
+
+Theorem 1.11 shows deterministic *approximate* counting (even with a timer)
+asymptotically cannot beat this trivial exact counter; experiment E13 plots
+both against the Morris counter's O(log log n) bits.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import DeterministicAlgorithm
+from repro.core.space import bits_for_int
+from repro.core.stream import Update
+
+__all__ = ["ExactCounter"]
+
+
+class ExactCounter(DeterministicAlgorithm):
+    """Maintains the count exactly; space is the count's bit-length."""
+
+    name = "exact-counter"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.count = 0
+
+    def process(self, update: Update) -> None:
+        if update.delta != 0:
+            self.count += abs(update.delta)
+
+    def query(self) -> int:
+        return self.count
+
+    def space_bits(self) -> int:
+        return bits_for_int(max(1, self.count))
+
+    def _state_fields(self) -> dict:
+        return {"count": self.count}

@@ -1,0 +1,167 @@
+"""Interval families I(t) from Section 3.2 (the Theorem 1.11 machinery).
+
+A streaming counter with a timer is a leveled read-once branching program
+(OBDD).  For each node ``u`` at level ``t``, ``J_u = [min C_u, max C_u]``
+covers the set of true counts reaching ``u``; ``I(t)`` is the set of
+*maximal* such intervals, and ``|I(t)|`` lower-bounds the number of nodes.
+The paper's Lemmas 3.5-3.7 pin down how any correct family must evolve:
+
+* Lemma 3.5 -- ``I(1) = {[1, 1]}`` (the monotonic counter starts at 1);
+* Lemma 3.6 -- every interval of ``I(t)`` is contained in some interval of
+  ``I(t')`` for ``t' >= t`` (a "stay" symbol exists);
+* Lemma 3.7 -- for every ``[k, l]`` in ``I(t)`` some interval of
+  ``I(t + 1)`` contains ``[k + 1, l + 1]`` (an "increment" symbol exists).
+
+This module gives the family datatype, maximality normalization,
+``eps``-boundedness (the approximation-error notion of §3.2), and executable
+checks for the three lemmas -- used both by the lower-bound calculator in
+:mod:`repro.lowerbounds.counting` and as hypothesis-tested invariants on
+interval profiles extracted from concrete programs
+(:mod:`repro.counters.obdd`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "Interval",
+    "IntervalFamily",
+    "additive_error",
+    "exceptional_times",
+    "multiplicative_error",
+    "polynomial_error",
+]
+
+ErrorFunction = Callable[[int], float]
+
+
+def multiplicative_error(delta: float) -> ErrorFunction:
+    """``eps(k) = delta * k``: a ``(1 + delta)``-multiplicative approximation."""
+    return lambda k: delta * k
+
+
+def additive_error(amount: float) -> ErrorFunction:
+    """``eps(k) = amount``: an additive approximation."""
+    return lambda k: amount
+
+
+def polynomial_error(n: int, delta: float) -> ErrorFunction:
+    """``eps(k) = (n^delta - 1) * k``: an ``n^delta``-multiplicative approx."""
+    factor = n**delta - 1.0
+    return lambda k: factor * k
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed integer interval ``[low, high]`` of counter values."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"empty interval [{self.low}, {self.high}]")
+        if self.low < 0:
+            raise ValueError("counter values are non-negative")
+
+    def contains(self, other: "Interval") -> bool:
+        """Set inclusion: does this interval contain ``other``?"""
+        return self.low <= other.low and other.high <= self.high
+
+    def shift(self, amount: int = 1) -> "Interval":
+        """The interval translated right by ``amount`` (Lemma 3.7's +1)."""
+        return Interval(self.low + amount, self.high + amount)
+
+    def is_bound(self, error: ErrorFunction) -> bool:
+        """``eps``-boundedness: ``high - k <= eps(k)`` for every ``k`` inside.
+
+        For the monotone error functions of §3.2 the left endpoint is the
+        binding constraint, but we check every point so arbitrary error
+        functions (used in property tests) are handled correctly.
+        """
+        return all(self.high - k <= error(k) for k in range(self.low, self.high + 1))
+
+    @property
+    def width(self) -> int:
+        return self.high - self.low
+
+
+class IntervalFamily:
+    """A set of maximal intervals -- one ``I(t)``."""
+
+    def __init__(self, intervals: Iterable[Interval]) -> None:
+        self.intervals = self._maximal(list(intervals))
+
+    @staticmethod
+    def _maximal(intervals: list[Interval]) -> tuple[Interval, ...]:
+        """Drop intervals contained in another (set-inclusion maximality)."""
+        unique = sorted(set(intervals), key=lambda iv: (iv.low, -iv.high))
+        kept: list[Interval] = []
+        best_high = -1
+        for interval in unique:
+            if interval.high > best_high:
+                kept.append(interval)
+                best_high = interval.high
+        return tuple(kept)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __iter__(self):
+        return iter(self.intervals)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntervalFamily) and self.intervals == other.intervals
+
+    def __repr__(self) -> str:
+        spans = ", ".join(f"[{iv.low},{iv.high}]" for iv in self.intervals)
+        return f"IntervalFamily({spans})"
+
+    # -- §3.2 predicates --------------------------------------------------
+
+    def covers(self, interval: Interval) -> bool:
+        """Is ``interval`` contained in some member?"""
+        return any(member.contains(interval) for member in self.intervals)
+
+    def present(self, k: int) -> bool:
+        """Is ``k`` the left endpoint of some member (definition before
+        Lemma 3.8)?"""
+        return any(member.low == k for member in self.intervals)
+
+    def all_bound(self, error: ErrorFunction) -> bool:
+        """Does every member satisfy ``eps``-boundedness?"""
+        return all(member.is_bound(error) for member in self.intervals)
+
+    # -- lemma checks (executable statements of Lemmas 3.5-3.7) -----------
+
+    @staticmethod
+    def initial() -> "IntervalFamily":
+        """Lemma 3.5: ``I(1) = {[1, 1]}``."""
+        return IntervalFamily([Interval(1, 1)])
+
+    def satisfies_lemma_3_6(self, successor: "IntervalFamily") -> bool:
+        """Every interval here is contained in some successor interval."""
+        return all(successor.covers(interval) for interval in self.intervals)
+
+    def satisfies_lemma_3_7(self, successor: "IntervalFamily") -> bool:
+        """Every ``[k, l]`` here has ``[k+1, l+1]`` inside some successor."""
+        return all(successor.covers(interval.shift(1)) for interval in self.intervals)
+
+
+def exceptional_times(
+    trajectory: Sequence[IntervalFamily], k: int
+) -> list[int]:
+    """Times ``t`` (1-based) at which ``k`` is exceptional.
+
+    ``k`` is exceptional at time ``t`` if it is present at ``t`` but
+    ``k + 1`` is absent at ``t + 1`` (definition before Lemma 3.9).  The
+    trajectory lists ``I(1), I(2), ...``; the last family cannot witness
+    exceptionality (no successor).
+    """
+    times = []
+    for t in range(len(trajectory) - 1):
+        if trajectory[t].present(k) and not trajectory[t + 1].present(k + 1):
+            times.append(t + 1)
+    return times

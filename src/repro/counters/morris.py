@@ -1,0 +1,212 @@
+"""Morris approximate counters -- white-box robust (Lemma 2.1).
+
+Morris counters [Mor78] store only the *exponent* ``X`` of an estimate: each
+increment raises ``X`` with probability ``(1 + a)^{-X}``, and the estimate is
+``((1 + a)^X - 1) / a``, an unbiased estimator of the true count with
+variance ``~ (a/2) Z^2``.  Choosing ``a = Theta(eps^2 delta)`` gives a
+``(1 + eps)``-approximation with probability ``1 - delta`` by Chebyshev, in
+
+    O(log log m + log 1/eps + log 1/delta)   bits,
+
+matching Lemma 2.1 (the ``log log n`` and ``log log m`` terms both come from
+the exponent register).
+
+Why this is white-box robust (the observation the paper leans on throughout
+Section 2): the increment randomness is *fresh* at every step and the
+estimator's distribution is a function of the number of increments alone --
+an adversary who sees ``X`` and the whole coin history can decide *when* to
+send increments, but cannot bias coins that have not been flipped yet, and
+the per-time-step failure probability bounds are oblivious to the schedule.
+An adaptive stopping adversary is handled by a union bound over all ``m``
+time steps (set ``delta' = delta / m``; the register only grows by the
+``log log`` of that).
+
+:class:`MorrisCounter` is the raw counter (usable as a subroutine, sharing a
+witnessed random source with its parent); :class:`MorrisEnsemble` is the
+median-of-``k`` amplification; :class:`MorrisCountingAlgorithm` wraps either
+as a game-ready :class:`~repro.core.algorithm.StreamAlgorithm`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.algorithm import StreamAlgorithm
+from repro.core.randomness import WitnessedRandom
+from repro.core.space import bits_for_int
+from repro.core.stream import Update
+
+__all__ = ["MorrisCounter", "MorrisEnsemble", "MorrisCountingAlgorithm"]
+
+
+class MorrisCounter:
+    """One base-``(1 + a)`` Morris counter.
+
+    Parameters
+    ----------
+    accuracy:
+        Target relative error ``eps``.
+    failure_probability:
+        Target failure probability ``delta`` (per query).
+    random:
+        Shared witnessed random source; a private one is created if omitted
+        (seeded deterministically for reproducibility).
+    """
+
+    def __init__(
+        self,
+        accuracy: float = 0.5,
+        failure_probability: float = 0.25,
+        random: Optional[WitnessedRandom] = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < accuracy <= 1:
+            raise ValueError(f"accuracy must be in (0, 1], got {accuracy}")
+        if not 0 < failure_probability < 1:
+            raise ValueError(
+                f"failure_probability must be in (0, 1), got {failure_probability}"
+            )
+        self.accuracy = accuracy
+        self.failure_probability = failure_probability
+        # Chebyshev: Var ~ (a/2) Z^2, so  a = 2 eps^2 delta  gives
+        # P[|est - Z| > eps Z] <= delta.
+        self.base_increment = 2.0 * accuracy * accuracy * failure_probability
+        self.random = random if random is not None else WitnessedRandom(seed=seed)
+        self.exponent = 0
+
+    def increment(self, times: int = 1) -> None:
+        """Count ``times`` unit events.
+
+        Small batches flip individual coins; large batches skip over runs of
+        failed promotion coins with geometric draws, making the cost
+        ``O(number of exponent bumps)`` instead of ``O(times)`` -- the same
+        distribution, recorded as batched draws.
+        """
+        if times < 0:
+            raise ValueError(f"times must be >= 0, got {times}")
+        a = self.base_increment
+        if times <= 8:
+            for _ in range(times):
+                probability = min(1.0, (1.0 + a) ** (-self.exponent))
+                if self.random.bernoulli(probability):
+                    self.exponent += 1
+            return
+        remaining = times
+        while remaining > 0:
+            probability = min(1.0, (1.0 + a) ** (-self.exponent))
+            if probability >= 1.0:
+                self.exponent += 1
+                remaining -= 1
+                continue
+            gap = self.random.geometric(probability)
+            if gap > remaining:
+                break
+            remaining -= gap
+            self.exponent += 1
+
+    def estimate(self) -> float:
+        """Unbiased estimate of the number of increments."""
+        a = self.base_increment
+        return ((1.0 + a) ** self.exponent - 1.0) / a
+
+    def space_bits(self) -> int:
+        """Exponent register + the accuracy parameter's precision.
+
+        The exponent is at most ``log_{1+a}(m a + 1) = O((log m)/a)`` whose
+        register width is ``O(log log m + log 1/a)`` bits; storing ``a``
+        itself costs ``O(log 1/a) = O(log 1/eps + log 1/delta)`` bits.
+        """
+        register = bits_for_int(max(1, self.exponent))
+        parameter = max(1, math.ceil(math.log2(1.0 / self.base_increment)))
+        return register + parameter
+
+
+class MorrisEnsemble:
+    """Median of ``k`` independent constant-accuracy Morris counters.
+
+    Standard amplification: each counter targets ``(1 + eps)`` accuracy with
+    constant failure probability ``1/3``; the median of
+    ``k = O(log 1/delta)`` copies fails with probability ``<= delta``
+    (Chernoff).  Space multiplies by ``k`` but the per-counter register stays
+    ``O(log log m + log 1/eps)``.
+    """
+
+    def __init__(
+        self,
+        accuracy: float = 0.5,
+        failure_probability: float = 0.05,
+        random: Optional[WitnessedRandom] = None,
+        seed: int = 0,
+    ) -> None:
+        self.random = random if random is not None else WitnessedRandom(seed=seed)
+        copies = max(1, math.ceil(8 * math.log(1.0 / failure_probability)))
+        # Keep the ensemble odd so the median is well-defined.
+        if copies % 2 == 0:
+            copies += 1
+        self.counters = [
+            MorrisCounter(
+                accuracy=accuracy,
+                failure_probability=1.0 / 3.0,
+                random=self.random.spawn(f"morris-{i}"),
+            )
+            for i in range(copies)
+        ]
+
+    def increment(self, times: int = 1) -> None:
+        """Count ``times`` unit events on every copy."""
+        for counter in self.counters:
+            counter.increment(times)
+
+    def estimate(self) -> float:
+        """Median of the copies' estimates."""
+        values = sorted(counter.estimate() for counter in self.counters)
+        return values[len(values) // 2]
+
+    def space_bits(self) -> int:
+        """Sum of the copies' registers."""
+        return sum(counter.space_bits() for counter in self.counters)
+
+
+class MorrisCountingAlgorithm(StreamAlgorithm):
+    """Game-ready wrapper: counts updates with nonzero delta.
+
+    Used by experiment E01 (Morris robustness) and as the stream clock in
+    Algorithm 2 / Algorithm 4.
+    """
+
+    name = "morris-counter"
+
+    def __init__(
+        self,
+        accuracy: float = 0.5,
+        failure_probability: float = 0.25,
+        seed: int = 0,
+        ensemble: bool = False,
+    ) -> None:
+        super().__init__(seed=seed)
+        maker = MorrisEnsemble if ensemble else MorrisCounter
+        self.counter = maker(
+            accuracy=accuracy,
+            failure_probability=failure_probability,
+            random=self.random,
+        )
+
+    def process(self, update: Update) -> None:
+        if update.delta != 0:
+            self.counter.increment(abs(update.delta))
+
+    def query(self) -> float:
+        return self.counter.estimate()
+
+    def space_bits(self) -> int:
+        return self.counter.space_bits()
+
+    def _state_fields(self) -> dict:
+        fields = {"updates_processed": self.updates_processed}
+        if isinstance(self.counter, MorrisCounter):
+            fields["exponent"] = self.counter.exponent
+            fields["base_increment"] = self.counter.base_increment
+        else:
+            fields["exponents"] = tuple(c.exponent for c in self.counter.counters)
+        return fields

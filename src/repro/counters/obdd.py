@@ -1,0 +1,202 @@
+"""Leveled read-once branching programs (OBDDs) for counting streams.
+
+Section 3.2 models a deterministic streaming counter with a timer as an
+oblivious leveled read-once branching program over ``{0, 1}``.  This module
+makes that model executable:
+
+* :class:`CounterProgram` -- a purely functional leveled program: hashable
+  states, ``transition(state, t, bit)``, ``output(state, t)``;
+* :func:`interval_profile` -- breadth-first dynamic program computing, for
+  every level ``t``, each reachable state's count interval
+  ``J_u = [min C_u, max C_u]`` (reachable-count extremes are exact under the
+  min/max DP because transitions are monotone in the count), and hence the
+  maximal-interval family ``I(t)``;
+* :func:`program_errors` -- checks ``eps``-boundedness of every state's
+  interval against the program's outputs, i.e. whether the program is a
+  correct ``eps``-approximate counter at each level;
+* canned programs: the exact counter, the bucketed deterministic counter of
+  :mod:`repro.counters.deterministic`, and a deliberately-too-small
+  ``truncated_counter_program`` that the lower-bound experiment shows must
+  err.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from repro.counters.intervals import ErrorFunction, Interval, IntervalFamily
+
+__all__ = [
+    "CounterProgram",
+    "interval_profile",
+    "state_count_profile",
+    "program_errors",
+    "exact_counter_program",
+    "bucketed_counter_program",
+    "truncated_counter_program",
+]
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class CounterProgram:
+    """A leveled branching program reading one bit per level.
+
+    ``transition(state, t, bit)`` consumes the bit at time ``t`` (0-based);
+    ``output(state, t)`` is the count estimate at a level-``t`` node.
+    """
+
+    initial_state: State
+    transition: Callable[[State, int, int], State]
+    output: Callable[[State, int], float]
+    name: str = "counter-program"
+
+
+def interval_profile(
+    program: CounterProgram, horizon: int, initial_count: int = 1
+) -> list[IntervalFamily]:
+    """Compute ``I(t)`` for ``t = 1 .. horizon + 1``.
+
+    Level ``t`` corresponds to having read ``t - 1`` input bits; following
+    §3.2's convention the monotonic counter starts at 1 (``chi(epsilon) = 1``)
+    and a ``1`` bit increments it.  Returns the list
+    ``[I(1), ..., I(horizon + 1)]``.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    # state -> (min_count, max_count) at the current level
+    current: dict[State, tuple[int, int]] = {
+        program.initial_state: (initial_count, initial_count)
+    }
+    families = [IntervalFamily(Interval(lo, hi) for lo, hi in current.values())]
+    for t in range(horizon):
+        nxt: dict[State, tuple[int, int]] = {}
+        for state, (lo, hi) in current.items():
+            for bit in (0, 1):
+                successor = program.transition(state, t, bit)
+                new_lo, new_hi = lo + bit, hi + bit
+                if successor in nxt:
+                    old_lo, old_hi = nxt[successor]
+                    nxt[successor] = (min(old_lo, new_lo), max(old_hi, new_hi))
+                else:
+                    nxt[successor] = (new_lo, new_hi)
+        current = nxt
+        families.append(IntervalFamily(Interval(lo, hi) for lo, hi in current.values()))
+    return families
+
+
+def state_count_profile(program: CounterProgram, horizon: int) -> list[int]:
+    """Number of *reachable states* per level (an upper bound proxy for
+    ``|I(t)|``; always >= the maximal-interval count)."""
+    current = {program.initial_state}
+    counts = [1]
+    for t in range(horizon):
+        current = {
+            program.transition(state, t, bit) for state in current for bit in (0, 1)
+        }
+        counts.append(len(current))
+    return counts
+
+
+def program_errors(
+    program: CounterProgram, horizon: int, error: ErrorFunction
+) -> list[tuple[int, State, int, int]]:
+    """Levels/states whose reachable-count interval is not ``eps``-bound.
+
+    Returns tuples ``(level, state, min_count, max_count)``.  An empty list
+    certifies the program is a correct ``eps``-approximate counter on all
+    length-``horizon`` streams (per the §3.2 interval notion of error).
+    """
+    current: dict[State, tuple[int, int]] = {program.initial_state: (1, 1)}
+    violations: list[tuple[int, State, int, int]] = []
+
+    def check(level: int, states: dict[State, tuple[int, int]]) -> None:
+        for state, (lo, hi) in states.items():
+            if not Interval(lo, hi).is_bound(error):
+                violations.append((level, state, lo, hi))
+
+    check(1, current)
+    for t in range(horizon):
+        nxt: dict[State, tuple[int, int]] = {}
+        for state, (lo, hi) in current.items():
+            for bit in (0, 1):
+                successor = program.transition(state, t, bit)
+                new_lo, new_hi = lo + bit, hi + bit
+                if successor in nxt:
+                    old_lo, old_hi = nxt[successor]
+                    nxt[successor] = (min(old_lo, new_lo), max(old_hi, new_hi))
+                else:
+                    nxt[successor] = (new_lo, new_hi)
+        current = nxt
+        check(t + 2, current)
+    return violations
+
+
+# -- canned programs -----------------------------------------------------
+
+
+def exact_counter_program() -> CounterProgram:
+    """The trivial exact counter: state = exact count."""
+
+    def transition(state: int, t: int, bit: int) -> int:
+        return state + bit
+
+    return CounterProgram(
+        initial_state=0,
+        transition=transition,
+        output=lambda state, t: float(state) + 1.0,
+        name="exact",
+    )
+
+
+def bucketed_counter_program(accuracy: float) -> CounterProgram:
+    """Functional mirror of
+    :class:`repro.counters.deterministic.BucketedTimerCounter`.
+
+    State = (bucket, residual); O(log n)-bit states, (1 + accuracy)-correct.
+    The §3.2 counter starts at 1, so the program counts ``ones + 1``.
+    """
+    if not 0 < accuracy <= 1:
+        raise ValueError(f"accuracy must be in (0, 1], got {accuracy}")
+
+    def floor_of(bucket: int) -> int:
+        return int(math.floor((1.0 + accuracy) ** bucket)) - 1
+
+    def transition(state: tuple[int, int], t: int, bit: int) -> tuple[int, int]:
+        bucket, residual = state
+        if bit:
+            residual += 1
+            while floor_of(bucket) + residual >= floor_of(bucket + 1):
+                residual -= floor_of(bucket + 1) - floor_of(bucket)
+                bucket += 1
+        return (bucket, residual)
+
+    return CounterProgram(
+        initial_state=(0, 0),
+        transition=transition,
+        output=lambda state, t: float(floor_of(state[0]) + state[1]) + 1.0,
+        name=f"bucketed({accuracy})",
+    )
+
+
+def truncated_counter_program(max_states: int) -> CounterProgram:
+    """A counter squeezed into ``max_states`` states: counts saturate.
+
+    With fewer than the lower bound's required states it *must* violate
+    ``eps``-boundedness on long streams -- the experiment's negative control.
+    """
+    if max_states < 2:
+        raise ValueError(f"max_states must be >= 2, got {max_states}")
+
+    def transition(state: int, t: int, bit: int) -> int:
+        return min(state + bit, max_states - 1)
+
+    return CounterProgram(
+        initial_state=0,
+        transition=transition,
+        output=lambda state, t: float(state) + 1.0,
+        name=f"truncated({max_states})",
+    )

@@ -1,0 +1,108 @@
+"""Valid interval-family trajectories: the constructive side of Theorem 1.11.
+
+The lower bound (Lemmas 3.5-3.10) says every correct family trajectory has
+``max_t |I(t)| >= h + 1 = Theta(n^{1/3})`` for constant multiplicative
+error.  This module *constructs* correct trajectories greedily: at each
+step the mandatory cover set is ``{J, J + 1 : J in I(t)}`` (Lemmas
+3.6/3.7), and a minimum-cardinality family of ``eps``-bound intervals
+covering a set of mandatory intervals is computable by a classic
+left-to-right sweep (for monotone error functions, an interval ``[a, b]``
+is eps-bound iff ``b <= a + eps(a)``, so each cover interval starts at the
+smallest uncovered left endpoint and extends as far as boundedness
+allows).
+
+The resulting trajectory satisfies all three lemmas and eps-boundedness by
+construction -- so correct approximate counters exist at every horizon --
+and it beats exact counting by a constant factor (~2t/3 intervals versus
+t + 1).  **It does not approach the n^{1/3} floor**: per-step minimization
+keeps small-left-endpoint intervals alive (their eps slack is tiny, so
+they can never merge) and they accumulate linearly.  This is an honest
+empirical finding the test suite pins down: the Lemma 3.9 floor
+lower-bounds every trajectory, but whether Theta(n^{1/3}) is *achievable*
+is not resolved by the paper (its theorem only needs "poly(n) states",
+i.e. Omega(log n) bits, which both the greedy trajectory and the exact
+counter already exhibit -- the bit asymptotics differ only by the constant
+1/3).
+
+In algorithmic terms a trajectory is the information-theoretic core of a
+counter with a timer: store the index of the interval the history falls in
+(``ceil(log2 |I(t)|)`` bits), with transitions indexed by the timer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.counters.intervals import ErrorFunction, Interval, IntervalFamily
+
+__all__ = ["minimum_cover", "greedy_trajectory", "GreedyTrajectoryReport"]
+
+
+def minimum_cover(required: list[Interval], error: ErrorFunction) -> IntervalFamily:
+    """Minimum-cardinality eps-bound family covering all required intervals.
+
+    Precondition: each required interval is itself eps-boundable
+    (``high <= low + error(low)``) -- guaranteed along greedy trajectories
+    whenever the error function satisfies ``error(k+1) >= error(k) - 1``
+    (all the §3.2 error shapes do).  Raises otherwise.
+    """
+    if not required:
+        return IntervalFamily([])
+    todo = sorted(set(required), key=lambda iv: (iv.low, iv.high))
+    for interval in todo:
+        if interval.high - interval.low > error(interval.low):
+            raise ValueError(
+                f"required interval [{interval.low}, {interval.high}] cannot "
+                f"be eps-bound"
+            )
+    cover: list[Interval] = []
+    index = 0
+    while index < len(todo):
+        start = todo[index].low
+        reach = start + int(math.floor(error(start)))
+        high = todo[index].high
+        # Absorb every required interval that fits inside [start, reach].
+        next_index = index
+        while next_index < len(todo) and todo[next_index].high <= reach:
+            high = max(high, todo[next_index].high)
+            next_index += 1
+        cover.append(Interval(start, high))
+        if next_index == index:  # the first interval itself did not fit
+            raise ValueError("greedy cover stuck; non-monotone error function?")
+        index = next_index
+    return IntervalFamily(cover)
+
+
+@dataclass(frozen=True)
+class GreedyTrajectoryReport:
+    """Outcome of a greedy trajectory construction."""
+
+    horizon: int
+    sizes: tuple[int, ...]
+    max_size: int
+
+    @property
+    def implied_bits(self) -> int:
+        return max(1, math.ceil(math.log2(max(2, self.max_size))))
+
+
+def greedy_trajectory(horizon: int, error: ErrorFunction) -> GreedyTrajectoryReport:
+    """Build ``I(1) .. I(horizon + 1)`` greedily; returns the size profile.
+
+    The trajectory verifiably satisfies Lemmas 3.5-3.7 and eps-boundedness
+    at every step (asserted in tests); its ``max |I(t)|`` is the measured
+    upper-bound companion to :func:`repro.lowerbounds.counting.
+    counting_lower_bound`'s forced ``h + 1``.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    family = IntervalFamily.initial()
+    sizes = [len(family)]
+    for _ in range(horizon):
+        required = [iv for iv in family] + [iv.shift(1) for iv in family]
+        family = minimum_cover(required, error)
+        sizes.append(len(family))
+    return GreedyTrajectoryReport(
+        horizon=horizon, sizes=tuple(sizes), max_size=max(sizes)
+    )

@@ -1,0 +1,46 @@
+"""Cryptographic substrate: CRHFs, random oracle, SIS, lattice attacks."""
+
+from repro.crypto.crhf import CollisionResistantHash, CRHFParams, generate_crhf
+from repro.crypto.fingerprint import SlidingWindowFingerprint, StreamFingerprint
+from repro.crypto.lattice import (
+    brute_force_short_kernel,
+    gram_schmidt,
+    kernel_lattice_basis,
+    lll_reduce,
+    lll_short_kernel,
+)
+from repro.crypto.modmath import (
+    generator_mod_prime,
+    is_probable_prime,
+    modinv,
+    next_prime,
+    random_prime,
+    random_safe_prime,
+    subgroup_generator,
+)
+from repro.crypto.random_oracle import RandomOracle
+from repro.crypto.sis import SISMatrix, SISParams, sis_parameters_for_l0
+
+__all__ = [
+    "CollisionResistantHash",
+    "CRHFParams",
+    "RandomOracle",
+    "SISMatrix",
+    "SISParams",
+    "SlidingWindowFingerprint",
+    "StreamFingerprint",
+    "brute_force_short_kernel",
+    "generate_crhf",
+    "generator_mod_prime",
+    "gram_schmidt",
+    "is_probable_prime",
+    "kernel_lattice_basis",
+    "lll_reduce",
+    "lll_short_kernel",
+    "modinv",
+    "next_prime",
+    "random_prime",
+    "random_safe_prime",
+    "sis_parameters_for_l0",
+    "subgroup_generator",
+]

@@ -1,0 +1,161 @@
+"""Collision-resistant hash function family (Definition 2.4 / Theorem 2.5).
+
+The paper's CRHF family (following Theorem 7.73 of Katz-Lindell, cited as
+[KL14]) is discrete-log based: ``Gen(1^kappa)`` selects a safe prime ``p``
+with ``O(log kappa)``... in practice ``kappa`` bits, a generator ``g`` of the
+order-``q`` subgroup, and a second element ``y = g^s``; hashing a pair
+``(x0, x1)`` with ``x0, x1 < q`` gives ``h(x0, x1) = g^{x0} y^{x1} mod p``.
+Finding a collision reveals the discrete log ``s``, so collisions are as hard
+as discrete log.
+
+For arbitrary-length inputs we expose two modes:
+
+* :meth:`CollisionResistantHash.hash_int` -- the exponent map
+  ``x -> g^x mod p`` on integer encodings.  This is *incrementally computable*
+  over a character stream (the property Section 2.6 needs): appending a
+  character ``a`` over alphabet size ``sigma`` maps
+  ``H -> H^sigma * g^a mod p``.  It compresses arbitrarily long strings into
+  ``O(kappa)`` bits, and producing two colliding strings requires finding a
+  multiplicative relation in the group, i.e. solving discrete log.
+* :meth:`CollisionResistantHash.hash_pair` -- the textbook Pedersen pair
+  hash, used where fixed-length compression suffices.
+
+Security caveat (documented substitution): at the laptop-scale moduli used in
+tests/benchmarks (64-256 bits) discrete log is *actually breakable* with
+enough compute; experiment E12 exploits exactly this to exhibit the
+bounded/unbounded separation the paper proves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.space import bits_for_int
+from repro.crypto.modmath import modinv, random_safe_prime, subgroup_generator
+
+__all__ = ["CRHFParams", "CollisionResistantHash", "generate_crhf"]
+
+
+@dataclass(frozen=True)
+class CRHFParams:
+    """Public parameters of one family member (the index ``i`` of Def 2.4)."""
+
+    p: int  # safe prime
+    q: int  # (p - 1) / 2, prime subgroup order
+    g: int  # generator of the order-q subgroup
+    y: int  # second generator g^s (s discarded -- nobody knows it)
+    security_bits: int
+
+    def space_bits(self) -> int:
+        """Bits to store the public parameters: O(kappa)."""
+        return bits_for_int(self.p) + bits_for_int(self.g) + bits_for_int(self.y)
+
+
+def generate_crhf(security_bits: int = 64, seed: int = 0) -> "CollisionResistantHash":
+    """``Gen(1^kappa)``: sample a family member with ``security_bits`` bits.
+
+    The sampling randomness is public (white-box model: the adversary sees
+    parameters anyway); collision resistance rests on the discrete log being
+    hard *given* the parameters, not on their secrecy.
+    """
+    if security_bits < 8:
+        raise ValueError(f"security_bits must be >= 8, got {security_bits}")
+    rng = random.Random(seed)
+    p, q = random_safe_prime(security_bits, rng)
+    g = subgroup_generator(p, q, rng)
+    # y = g^s for random s; s is not retained (trapdoor-free).
+    s = rng.randrange(1, q)
+    y = pow(g, s, p)
+    return CollisionResistantHash(CRHFParams(p=p, q=q, g=g, y=y, security_bits=security_bits))
+
+
+class CollisionResistantHash:
+    """One member ``h_i`` of the CRHF family, with incremental string mode."""
+
+    def __init__(self, params: CRHFParams) -> None:
+        self.params = params
+
+    # -- fixed-length pair compression (Pedersen) -------------------------
+
+    def hash_pair(self, x0: int, x1: int) -> int:
+        """``h(x0, x1) = g^{x0} y^{x1} mod p`` with ``x0, x1 in [0, q)``."""
+        q = self.params.q
+        if not (0 <= x0 < q and 0 <= x1 < q):
+            raise ValueError("pair-hash inputs must lie in [0, q)")
+        p = self.params.p
+        return (pow(self.params.g, x0, p) * pow(self.params.y, x1, p)) % p
+
+    # -- exponent map (incremental over streams) -------------------------
+
+    def hash_int(self, value: int) -> int:
+        """``g^value mod p`` -- the streaming fingerprint map of Lemma 2.24."""
+        if value < 0:
+            raise ValueError(f"hash_int requires value >= 0, got {value}")
+        return pow(self.params.g, value, self.params.p)
+
+    def hash_bytes(self, data: bytes) -> int:
+        """Hash a byte string via its base-256 integer encoding."""
+        return self.hash_int(int.from_bytes(data, "big")) if data else self.hash_int(0)
+
+    def hash_sequence(self, symbols, alphabet_size: int) -> int:
+        """Hash a symbol sequence via its base-``alphabet_size`` encoding."""
+        digest = self.empty_digest()
+        for symbol in symbols:
+            digest = self.extend(digest, symbol, alphabet_size)
+        return digest
+
+    def empty_digest(self) -> int:
+        """Digest of the empty string: ``g^0 = 1``."""
+        return 1
+
+    def extend(self, digest: int, symbol: int, alphabet_size: int) -> int:
+        """Append one symbol: ``H -> H^sigma * g^symbol mod p``.
+
+        This realizes ``enc(U . a) = enc(U) * sigma + a`` in the exponent,
+        so incremental hashing equals batch hashing (tested property).
+        """
+        if not 0 <= symbol < alphabet_size:
+            raise ValueError(
+                f"symbol {symbol} outside alphabet [0, {alphabet_size})"
+            )
+        p = self.params.p
+        return (pow(digest, alphabet_size, p) * pow(self.params.g, symbol, p)) % p
+
+    def concat(self, left_digest: int, right_digest: int, right_length: int, alphabet_size: int) -> int:
+        """Digest of ``U . V`` from digests of ``U`` and ``V`` and ``|V|``.
+
+        ``g^{enc(U) sigma^{|V|} + enc(V)} = (H_U)^{sigma^{|V|}} * H_V``.
+        This is the crucial composition property Algorithm 6 relies on.
+        """
+        p = self.params.p
+        shift = pow(alphabet_size, right_length, self.params.q)
+        # Exponents live modulo q (the subgroup order), hence the pow above.
+        return (pow(left_digest, shift, p) * right_digest) % p
+
+    def drop_prefix(self, digest: int, prefix_digest: int, suffix_length: int, alphabet_size: int) -> int:
+        """Digest of ``V`` given digests of ``U . V`` and ``U`` plus ``|V|``.
+
+        Inverts :meth:`concat`: ``H_V = H_{UV} * (H_U^{sigma^{|V|}})^{-1}``.
+        Enables sliding-window fingerprints (pop from the left).
+        """
+        p = self.params.p
+        shift = pow(alphabet_size, suffix_length, self.params.q)
+        shifted_prefix = pow(prefix_digest, shift, p)
+        return (digest * modinv(shifted_prefix, p)) % p
+
+    # -- accounting ----------------------------------------------------------
+
+    def digest_bits(self) -> int:
+        """Bits per stored digest: ``O(log kappa)`` in the paper's accounting.
+
+        A digest is one group element, i.e. ``O(kappa)`` raw bits at security
+        parameter ``kappa``; the paper's ``O(log kappa)``-bit statement of
+        Theorem 2.5 counts the *output length index* ``m_i = O(log kappa)``
+        in its own parametrization.  We charge the honest group-element size.
+        """
+        return bits_for_int(self.params.p)
+
+    def space_bits(self) -> int:
+        """Bits to store the public parameters."""
+        return self.params.space_bits()

@@ -1,0 +1,144 @@
+"""Incremental and sliding-window CRHF string fingerprints (Lemma 2.24).
+
+Section 2.6: Karp-Rabin fingerprints are *not* robust to white-box
+adversaries (Fermat collisions, see :mod:`repro.strings.karp_rabin`), so the
+paper replaces them with the discrete-log CRHF ``h(U) = g^{enc(U)} mod p``,
+which "can be computed as characters of U arrive sequentially".  This module
+packages that computation as two cursor objects:
+
+* :class:`StreamFingerprint` -- append-only prefix fingerprint with
+  O(log kappa)-word state; supports ``snapshot()`` so Algorithm 6 can
+  remember the digest at a candidate position and later *divide it out* to
+  fingerprint a substring (the ``concat``/``drop_prefix`` identities).
+* :class:`SlidingWindowFingerprint` -- fixed-width window over the stream
+  (push right, pop left) used for the period-length window of Algorithm 6.
+  Popping requires knowing the outgoing symbol; the window buffers its
+  contents (an explicit, documented deviation from the paper's O(log T)-bit
+  accounting, which charges the pattern-derived outgoing symbols to the
+  read-only input).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.core.space import bits_for_int, bits_for_universe
+from repro.crypto.crhf import CollisionResistantHash
+
+__all__ = ["StreamFingerprint", "SlidingWindowFingerprint"]
+
+
+class StreamFingerprint:
+    """Append-only fingerprint of everything seen so far.
+
+    ``digest`` after consuming symbols ``s_1 ... s_t`` equals
+    ``g^{enc(s_1...s_t)} mod p`` where ``enc`` is the base-``sigma``
+    encoding.  Equal digests imply equal strings unless the producer solved
+    discrete log (collision resistance of the underlying CRHF).
+    """
+
+    def __init__(self, crhf: CollisionResistantHash, alphabet_size: int) -> None:
+        if alphabet_size < 2:
+            raise ValueError(f"alphabet_size must be >= 2, got {alphabet_size}")
+        self.crhf = crhf
+        self.alphabet_size = alphabet_size
+        self.digest = crhf.empty_digest()
+        self.length = 0
+
+    def push(self, symbol: int) -> None:
+        """Append one symbol."""
+        self.digest = self.crhf.extend(self.digest, symbol, self.alphabet_size)
+        self.length += 1
+
+    def push_all(self, symbols: Iterable[int]) -> None:
+        """Append a sequence of symbols."""
+        for symbol in symbols:
+            self.push(symbol)
+
+    def snapshot(self) -> tuple[int, int]:
+        """``(digest, length)`` pair identifying the current prefix."""
+        return self.digest, self.length
+
+    def substring_digest(self, prefix_snapshot: tuple[int, int]) -> int:
+        """Digest of the substring strictly after a snapshotted prefix.
+
+        If the snapshot was taken after position ``i`` and the cursor is now
+        at position ``t``, returns the digest of symbols ``i+1 .. t`` --
+        computed purely from two digests and the length difference, which is
+        the composition property Algorithm 6 needs.
+        """
+        prefix_digest, prefix_length = prefix_snapshot
+        suffix_length = self.length - prefix_length
+        if suffix_length < 0:
+            raise ValueError("snapshot is from the future")
+        return self.crhf.drop_prefix(
+            self.digest, prefix_digest, suffix_length, self.alphabet_size
+        )
+
+    def space_bits(self) -> int:
+        """One group element plus a position counter."""
+        return self.crhf.digest_bits() + bits_for_int(max(1, self.length))
+
+
+class SlidingWindowFingerprint:
+    """Fingerprint of the last ``width`` symbols of a stream.
+
+    Maintains the digest of the window exactly: pushing a symbol appends it,
+    and once the window is full the oldest symbol is divided back out using
+    :meth:`CollisionResistantHash.drop_prefix` with a single-symbol prefix.
+    """
+
+    def __init__(
+        self, crhf: CollisionResistantHash, alphabet_size: int, width: int
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if alphabet_size < 2:
+            raise ValueError(f"alphabet_size must be >= 2, got {alphabet_size}")
+        self.crhf = crhf
+        self.alphabet_size = alphabet_size
+        self.width = width
+        self.digest = crhf.empty_digest()
+        self._buffer: deque[int] = deque()
+        self.position = 0
+
+    @property
+    def full(self) -> bool:
+        return len(self._buffer) == self.width
+
+    def push(self, symbol: int) -> Optional[int]:
+        """Slide the window one symbol to the right.
+
+        Returns the current window digest if the window is full after the
+        push, else ``None``.
+        """
+        if self.full:
+            outgoing = self._buffer.popleft()
+            outgoing_digest = self.crhf.extend(
+                self.crhf.empty_digest(), outgoing, self.alphabet_size
+            )
+            self.digest = self.crhf.drop_prefix(
+                self.digest, outgoing_digest, len(self._buffer), self.alphabet_size
+            )
+        self.digest = self.crhf.extend(self.digest, symbol, self.alphabet_size)
+        self._buffer.append(symbol)
+        self.position += 1
+        return self.digest if self.full else None
+
+    def window(self) -> tuple[int, ...]:
+        """Current window contents (oldest first)."""
+        return tuple(self._buffer)
+
+    def space_bits(self) -> int:
+        """Digest + position counter + the buffered window symbols.
+
+        The buffered symbols (``width * log sigma`` bits) are the documented
+        deviation from the paper's O(log T) accounting -- see module
+        docstring.
+        """
+        return (
+            self.crhf.digest_bits()
+            + bits_for_int(max(1, self.position))
+            + self.width * bits_for_universe(self.alphabet_size)
+        )

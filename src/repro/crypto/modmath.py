@@ -1,0 +1,148 @@
+"""Modular arithmetic substrate: primality, safe primes, generators.
+
+The paper's collision-resistant hash functions (Theorem 2.5, via the discrete
+log assumption) and string fingerprints (Lemma 2.24) need: large primes,
+*safe* primes ``p = 2q + 1``, generators of the order-``q`` subgroup of
+``Z_p^*``, and modular inverses.  Everything here is deterministic given the
+caller-supplied randomness, built on Python's arbitrary-precision integers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = [
+    "is_probable_prime",
+    "next_prime",
+    "random_prime",
+    "random_safe_prime",
+    "modinv",
+    "subgroup_generator",
+    "generator_mod_prime",
+]
+
+# Deterministic Miller-Rabin witness sets: testing against these bases is
+# *exact* for all n below the listed bounds (Sinclair/Jaeschke tables).
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+_DETERMINISTIC_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_BOUND = 3317044064679887385961981  # exact below this bound
+
+
+def _miller_rabin_round(n: int, base: int) -> bool:
+    """Return ``True`` if ``n`` passes one Miller-Rabin round with ``base``."""
+    if base % n == 0:
+        return True
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(base, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, extra_rounds: int = 8, rng: Optional[random.Random] = None) -> bool:
+    """Miller-Rabin primality test.
+
+    Exact for ``n < 3.3e24`` via fixed witness bases; larger values add
+    ``extra_rounds`` random bases (error probability ``<= 4^-extra_rounds``).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    for base in _DETERMINISTIC_BASES:
+        if not _miller_rabin_round(n, base):
+            return False
+    if n < _DETERMINISTIC_BOUND:
+        return True
+    rng = rng or random.Random(n & 0xFFFFFFFF)
+    for _ in range(extra_rounds):
+        base = rng.randrange(2, n - 1)
+        if not _miller_rabin_round(n, base):
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime ``>= n``."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # odd
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """A uniform-ish random prime with exactly ``bits`` bits."""
+    if bits < 2:
+        raise ValueError(f"need bits >= 2, got {bits}")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def random_safe_prime(bits: int, rng: random.Random) -> tuple[int, int]:
+    """A random safe prime ``p = 2q + 1`` with ``bits`` bits; returns (p, q).
+
+    Safe primes give a prime-order subgroup of ``Z_p^*`` of order ``q``,
+    the standard setting for discrete-log-based CRHFs.
+    """
+    if bits < 4:
+        raise ValueError(f"need bits >= 4 for a safe prime, got {bits}")
+    while True:
+        q = random_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if p.bit_length() == bits and is_probable_prime(p):
+            return p, q
+
+
+def modinv(a: int, modulus: int) -> int:
+    """Modular inverse of ``a`` modulo ``modulus`` (raises if none exists)."""
+    try:
+        return pow(a, -1, modulus)
+    except ValueError as exc:
+        raise ValueError(f"{a} is not invertible modulo {modulus}") from exc
+
+
+def subgroup_generator(p: int, q: int, rng: random.Random) -> int:
+    """A generator of the order-``q`` subgroup of ``Z_p^*`` for safe prime p.
+
+    For safe primes ``p = 2q + 1`` the squares of ``Z_p^*`` form the unique
+    subgroup of prime order ``q``; any non-identity square generates it.
+    """
+    if p != 2 * q + 1:
+        raise ValueError("expected a safe prime p = 2q + 1")
+    while True:
+        h = rng.randrange(2, p - 1)
+        g = pow(h, 2, p)
+        if g not in (1, p - 1):
+            return g
+
+
+def generator_mod_prime(p: int, factors: tuple[int, ...], rng: random.Random) -> int:
+    """A generator of all of ``Z_p^*`` given the prime factors of ``p - 1``.
+
+    Used by the Karp-Rabin baseline, which the paper notes picks "a generator
+    x" for its fingerprints.
+    """
+    order = p - 1
+    while True:
+        candidate = rng.randrange(2, p)
+        if all(pow(candidate, order // f, p) != 1 for f in factors):
+            return candidate

@@ -1,0 +1,84 @@
+"""Random oracle (Bellare-Rogaway model), instantiated with SHA-256.
+
+Theorem 1.5's space improvement and Theorem 1.6 both work "in the random
+oracle model ... In practice, one can use SHA256 as the random oracle" --
+which is exactly what this module does.  The oracle is *publicly accessible*
+(both the algorithm and the adversary may query it), gives uniform values
+over a caller-specified range, and repeated queries give consistent answers.
+
+The key point for space accounting: a sketching matrix whose entries are
+``oracle(row, col)`` does not need to be stored -- only the (public) oracle
+name/key does.  ``RandomOracle.space_bits()`` is therefore O(key length),
+independent of how many entries are ever derived, which realizes the
+``~O(n^{1-eps+c eps})`` (matrix-free) space bound of Theorem 1.5.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["RandomOracle"]
+
+
+class RandomOracle:
+    """Deterministic, consistent, uniform function keyed by a public label.
+
+    ``oracle.uniform(modulus, *coordinates)`` returns a value in
+    ``[0, modulus)`` that is statistically uniform (rejection sampling over
+    SHA-256 blocks) and depends only on the key and coordinates.
+    """
+
+    def __init__(self, key: bytes | str = b"repro-white-box") -> None:
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        if not key:
+            raise ValueError("random-oracle key must be non-empty")
+        self.key = key
+        self.queries = 0
+
+    def _digest_stream(self, payload: bytes):
+        """Infinite stream of pseudorandom bytes for one query point."""
+        counter = 0
+        while True:
+            block = hashlib.sha256(
+                self.key + b"|" + payload + b"|" + counter.to_bytes(8, "big")
+            ).digest()
+            yield from block
+            counter += 1
+
+    def uniform(self, modulus: int, *coordinates: int) -> int:
+        """Uniform value in ``[0, modulus)`` at the given query point.
+
+        Uses rejection sampling so the output is exactly uniform rather than
+        merely close (important for the SIS matrices, whose hardness theorem
+        assumes uniform entries).
+        """
+        if modulus <= 0:
+            raise ValueError(f"modulus must be positive, got {modulus}")
+        self.queries += 1
+        if modulus == 1:
+            return 0
+        payload = b"/".join(str(c).encode() for c in coordinates)
+        n_bytes = (modulus.bit_length() + 7) // 8
+        # Smallest power-of-256 window, rejected down to a multiple of modulus.
+        window = 1 << (8 * n_bytes)
+        limit = window - (window % modulus)
+        stream = self._digest_stream(payload)
+        while True:
+            chunk = bytes(next(stream) for _ in range(n_bytes))
+            value = int.from_bytes(chunk, "big")
+            if value < limit:
+                return value % modulus
+
+    def bits(self, n_bits: int, *coordinates: int) -> int:
+        """``n_bits`` pseudorandom bits at the query point."""
+        if n_bits <= 0:
+            raise ValueError(f"n_bits must be positive, got {n_bits}")
+        return self.uniform(1 << n_bits, *coordinates)
+
+    def space_bits(self) -> int:
+        """Bits to store the oracle's public key (the whole persistent state)."""
+        return 8 * len(self.key)
+
+    def __repr__(self) -> str:
+        return f"RandomOracle(key={self.key!r}, queries={self.queries})"

@@ -1,0 +1,7 @@
+"""Distinct elements: SIS-sketch L0 (Theorem 1.5), exact and KMV baselines."""
+
+from repro.distinct.exact_l0 import ExactL0
+from repro.distinct.kmv import KMVEstimator
+from repro.distinct.sis_l0 import SisL0Estimator
+
+__all__ = ["ExactL0", "KMVEstimator", "SisL0Estimator"]

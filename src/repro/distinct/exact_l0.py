@@ -1,0 +1,50 @@
+"""Exact L0 (distinct elements) baseline for turnstile streams.
+
+Linear space; the ground-truth oracle for every L0 experiment.  Also the
+only *deterministic* option -- the paper's Theorem 1.9 (p = 0 case) shows a
+white-box adversary forces Omega(n) space for any constant-factor
+approximation, so exactness is essentially what deterministic robustness
+costs.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import DeterministicAlgorithm
+from repro.core.space import bits_for_signed_int, bits_for_universe
+from repro.core.stream import Update
+
+__all__ = ["ExactL0"]
+
+
+class ExactL0(DeterministicAlgorithm):
+    """Tracks the full sparse frequency vector; answers L0 exactly."""
+
+    name = "exact-l0"
+
+    def __init__(self, universe_size: int) -> None:
+        super().__init__()
+        self.universe_size = universe_size
+        self.counts: dict[int, int] = {}
+
+    def process(self, update: Update) -> None:
+        if update.item >= self.universe_size:
+            raise ValueError(
+                f"item {update.item} outside universe [0, {self.universe_size})"
+            )
+        value = self.counts.get(update.item, 0) + update.delta
+        if value == 0:
+            self.counts.pop(update.item, None)
+        else:
+            self.counts[update.item] = value
+
+    def query(self) -> int:
+        return len(self.counts)
+
+    def space_bits(self) -> int:
+        id_bits = bits_for_universe(self.universe_size)
+        return sum(
+            id_bits + bits_for_signed_int(v) for v in self.counts.values()
+        ) or 1
+
+    def _state_fields(self) -> dict:
+        return {"counts": dict(self.counts)}

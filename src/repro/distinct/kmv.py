@@ -1,0 +1,88 @@
+"""KMV (k-minimum-values) distinct-count estimator -- an oblivious baseline.
+
+The classic bottom-k estimator: hash every item, keep the ``k`` smallest
+hash values, estimate ``L0 ~ (k - 1) / max_kept``.  Excellent in the
+oblivious model -- and *defenseless* in the white-box model, where the
+adversary reads the hash parameters from the state view and feeds only
+items that hash high (estimate collapses) or low (estimate explodes).
+:mod:`repro.adversaries.distinct_attack` mounts both attacks; the contrast
+with :class:`~repro.distinct.sis_l0.SisL0Estimator` is experiment E06/E11's
+point: against white-box adversaries, distinct counting needs cryptography
+(Theorem 1.5) or linear space (Theorem 1.9, p = 0).
+
+Insertion-only (KMV does not support deletions -- one more reason the paper
+reaches for SIS sketches on turnstile streams).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.algorithm import StreamAlgorithm
+from repro.core.space import bits_for_universe
+from repro.core.stream import Update
+from repro.crypto.modmath import next_prime
+
+__all__ = ["KMVEstimator"]
+
+
+class KMVEstimator(StreamAlgorithm):
+    """Bottom-k distinct counting with a random linear hash."""
+
+    name = "kmv"
+
+    def __init__(self, universe_size: int, k: int = 64, seed: int = 0) -> None:
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        super().__init__(seed=seed)
+        self.universe_size = universe_size
+        self.k = k
+        self.prime = next_prime(universe_size * 4 + 7)
+        # The white-box adversary sees (a, b) in the transcript/state.
+        self.hash_a = self.random.randint(1, self.prime - 1)
+        self.hash_b = self.random.randint(0, self.prime - 1)
+        # max-heap (negated) of the k smallest hash values seen
+        self._heap: list[int] = []
+        self._members: set[int] = set()
+
+    def hash_value(self, item: int) -> int:
+        """The (public) linear hash of one item."""
+        return (self.hash_a * item + self.hash_b) % self.prime
+
+    def process(self, update: Update) -> None:
+        if update.delta < 0:
+            raise ValueError("KMV supports insertion-only streams")
+        if update.delta == 0:
+            return
+        value = self.hash_value(update.item)
+        if value in self._members:
+            return
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, -value)
+            self._members.add(value)
+        elif value < -self._heap[0]:
+            evicted = -heapq.heappushpop(self._heap, -value)
+            self._members.discard(evicted)
+            self._members.add(value)
+
+    def query(self) -> float:
+        """The KMV estimate ``(k - 1) * prime / kth_min`` (or exact count
+        while fewer than k distinct hashes have been seen)."""
+        if len(self._heap) < self.k:
+            return float(len(self._heap))
+        kth = -self._heap[0]
+        if kth == 0:
+            return float(self.k)
+        return (self.k - 1) * self.prime / kth
+
+    def space_bits(self) -> int:
+        value_bits = bits_for_universe(self.prime)
+        return self.k * value_bits + 2 * value_bits
+
+    def _state_fields(self) -> dict:
+        return {
+            "hash_a": self.hash_a,
+            "hash_b": self.hash_b,
+            "prime": self.prime,
+            "kept": tuple(sorted(self._members)),
+        }

@@ -1,0 +1,42 @@
+"""Theorem-by-theorem experiment harness (see DESIGN.md §4).
+
+Run from the command line::
+
+    python -m repro.experiments all          # quick mode, every experiment
+    python -m repro.experiments e06 --full   # one experiment, full sweep
+
+Each experiment module registers itself on import; the table each one
+prints is the reproduced artifact for its theorem (the paper itself has no
+tables or figures -- it is a PODS theory paper).
+"""
+
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    e01_morris,
+    e02_robust_hh,
+    e03_phi_eps,
+    e04_hhh,
+    e05_sampling,
+    e06_sis_l0,
+    e07_rank,
+    e08_pattern,
+    e09_neighborhood,
+    e10_reduction,
+    e11_attacks,
+    e12_sis_hardness,
+    e13_counting,
+    e14_inner_product,
+    e15_blackbox_gap,
+)
+from repro.experiments.base import (
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    render_table,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "render_table",
+]

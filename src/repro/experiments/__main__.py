@@ -1,0 +1,46 @@
+"""CLI for the experiment harness: ``python -m repro.experiments ...``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import all_experiments, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's theorem-by-theorem experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        help="experiment id (e01..e14) or 'all' (default)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full parameter sweeps (default: quick mode)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        targets = list(all_experiments().items())
+    else:
+        targets = [(args.experiment, get_experiment(args.experiment))]
+
+    for experiment_id, run in targets:
+        started = time.perf_counter()
+        result = run(quick=not args.full)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{experiment_id} took {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Experiment harness scaffolding: results, registry, table rendering.
+
+Every experiment module registers a ``run(quick: bool) -> ExperimentResult``
+function; ``python -m repro.experiments [id|all] [--full]`` renders aligned
+tables.  The paper has no tables or figures (it is a theory paper), so each
+experiment's table *is* the reproduced artifact: a theorem's quantitative
+claim made measurable (see DESIGN.md §4 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = ["ExperimentResult", "register", "get_experiment", "all_experiments", "render_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + commentary for one experiment."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    rows: list[dict]
+    conclusion: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable block: title, claim, table, conclusion."""
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"claim: {self.claim}",
+            "",
+            render_table(self.rows),
+        ]
+        if self.conclusion:
+            lines += ["", f"conclusion: {self.conclusion}"]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+_REGISTRY: dict[str, Callable[[bool], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator registering an experiment's run function."""
+
+    def decorate(fn: Callable[[bool], ExperimentResult]):
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return decorate
+
+
+def get_experiment(experiment_id: str) -> Callable[[bool], ExperimentResult]:
+    """Look up one experiment's run function by id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+
+
+def all_experiments() -> dict[str, Callable[[bool], ExperimentResult]]:
+    """All registered experiments, sorted by id."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def _format(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping]) -> str:
+    """Fixed-width table from a list of dict rows (union of keys, ordered
+    by first appearance)."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns)))
+        for r in rendered
+    ]
+    return "\n".join([header, rule, *body])

@@ -1,0 +1,76 @@
+"""E03 -- (phi, eps)-heavy hitters with CRHF-compressed identities (Thm 1.2).
+
+The theorem trades the counting table's ``log n``-bit identities for
+``O(log T + log log n + log 1/eps)``-bit CRHF digests, keeping full
+identities only for the ``O(1/phi)`` report candidates.  Sweeping the
+universe size ``n`` upward with ``T`` fixed, the compressed table's width
+stays flat while the raw-identity alternative grows with ``log n``.
+"""
+
+from __future__ import annotations
+
+from repro.core.space import bits_for_universe
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.e02_robust_hh import batched_planted_stream
+from repro.heavyhitters.phi_eps import (
+    PhiEpsilonHeavyHitters,
+    crhf_security_bits_for_adversary,
+)
+from repro.heavyhitters.robust_l1 import RobustL1HeavyHitters
+
+__all__ = ["run"]
+
+
+@register("e03")
+def run(quick: bool = True) -> ExperimentResult:
+    """Run E03: CRHF identity compression (Theorem 1.2)."""
+    phi, eps = 0.2, 0.1
+    # A modest adversary budget keeps the digest width small; the theorem's
+    # win appears once log n exceeds the (n-independent) digest width.
+    adversary_time = 1 << 10
+    m = 30_000 if quick else 300_000
+    rows = []
+    universes = (
+        [2**16, 2**32, 2**48] if quick else [2**16, 2**32, 2**48, 2**64]
+    )
+    for n in universes:
+        heavies = {3: 2 * phi, n - 5: phi + eps}
+        true_report = set(heavies)
+        alg = PhiEpsilonHeavyHitters(
+            universe_size=n,
+            phi=phi,
+            accuracy=eps,
+            adversary_time=adversary_time,
+            seed=23,
+        )
+        raw = RobustL1HeavyHitters(universe_size=n, accuracy=eps, seed=23)
+        for update in batched_planted_stream(n, m, heavies, seed=n):
+            alg.feed(update)
+            raw.feed(update)
+        reported = alg.query()
+        rows.append(
+            {
+                "n": n,
+                "log_n": bits_for_universe(n),
+                "digest_bits": crhf_security_bits_for_adversary(
+                    adversary_time, n, eps
+                ),
+                "phi_eps_bits": alg.space_bits(),
+                "raw_id_bits": raw.space_bits(),
+                "recall": len(true_report & reported) / len(true_report),
+                "false_reports": len(reported - true_report),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="e03",
+        title="(phi,eps)-heavy hitters via CRHF identity compression (Thm 1.2)",
+        claim="counting-table identities cost O(log T + log log n + log 1/eps) "
+        "bits instead of log n; only 1/phi full identities are kept",
+        rows=rows,
+        conclusion=(
+            "The digest width (digest_bits) is fixed by the adversary budget "
+            "T, independent of n, so phi_eps_bits grows far slower in n than "
+            "the raw-identity robust algorithm; recall of phi-heavy items "
+            "stays perfect with no (phi-eps)-light false reports."
+        ),
+    )

@@ -1,0 +1,86 @@
+"""E09 -- Neighborhood identification: the Theorem 1.3 / 1.4 separation.
+
+The CRHF identifier stores one ``O(log nT)``-bit digest per vertex
+(``O(n log n)`` total); the deterministic identifier must hold
+neighborhoods exactly and on the OR-Equality hard instances of Theorem 1.4
+pays ``Theta(n^2)`` bits.  Rows sweep the vertex count on planted-twin
+graphs and on the reduction's hard instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.problems import balanced_strings
+from repro.experiments.base import ExperimentResult, register
+from repro.graphs.neighborhood import (
+    CRHFNeighborhoodIdentifier,
+    DeterministicNeighborhoodIdentifier,
+)
+from repro.lowerbounds.neighborhood import solve_or_equality
+from repro.workloads.graphs import planted_twin_graph
+
+__all__ = ["run"]
+
+
+@register("e09")
+def run(quick: bool = True) -> ExperimentResult:
+    """Run E09: neighborhood-identification separation (Thms 1.3/1.4)."""
+    rows = []
+    sizes = [64, 128, 256] if quick else [64, 256, 1024]
+    for n in sizes:
+        twins = [(1, n // 2), (3, n - 4)]
+        arrivals = planted_twin_graph(n, twins, density=0.4, seed=n)
+        crhf_ident = CRHFNeighborhoodIdentifier(n, seed=n)
+        exact_ident = DeterministicNeighborhoodIdentifier(n)
+        for arrival in arrivals:
+            crhf_ident.offer(arrival)
+            exact_ident.offer(arrival)
+        crhf_groups = {frozenset(g) for g in crhf_ident.query()}
+        exact_groups = {frozenset(g) for g in exact_ident.query()}
+        rows.append(
+            {
+                "instance": f"twin graph n={n}",
+                "crhf_bits": crhf_ident.space_bits(),
+                "exact_bits": exact_ident.space_bits(),
+                "ratio": round(
+                    exact_ident.space_bits() / crhf_ident.space_bits(), 2
+                ),
+                "groups_agree": crhf_groups == exact_groups,
+                "twins_found": all(
+                    any(set(pair) <= g for g in crhf_groups) for pair in twins
+                ),
+            }
+        )
+
+    # Theorem 1.4 hard instances: OR-Equality encoded as a graph.
+    rng = random.Random(7)
+    n_bits = 10
+    k = 6
+    pool = balanced_strings(n_bits, n_bits // 2)
+    xs = [rng.choice(pool) for _ in range(k)]
+    ys = [x if i % 3 == 0 else rng.choice(pool) for i, x in enumerate(xs)]
+    exact_report = solve_or_equality(xs, ys, use_crhf=False)
+    crhf_report = solve_or_equality(xs, ys, use_crhf=True, seed=9)
+    rows.append(
+        {
+            "instance": f"or-equality k={k} n={n_bits}",
+            "crhf_bits": crhf_report.space_bits,
+            "exact_bits": exact_report.space_bits,
+            "ratio": round(exact_report.space_bits / crhf_report.space_bits, 2),
+            "groups_agree": exact_report.correct and crhf_report.correct,
+            "twins_found": crhf_report.answer == crhf_report.truth,
+        }
+    )
+    return ExperimentResult(
+        experiment_id="e09",
+        title="Neighborhood identification separation (Theorems 1.3/1.4)",
+        claim="randomized-vs-bounded-adversary O(n log n) bits against "
+        "deterministic Omega(n^2/log n)",
+        rows=rows,
+        conclusion=(
+            "The CRHF identifier matches the exact answers at a space ratio "
+            "that grows with n (digests are n-independent in width; exact "
+            "neighborhoods are Theta(n) bits each)."
+        ),
+    )

@@ -1,0 +1,105 @@
+"""E12 -- The bounded/unbounded adversary separation on SIS instances.
+
+Assumption 2.17 is what stands between Algorithm 5 / Theorem 1.6 and the
+Omega(n) lower bounds.  This experiment *uses* the attacks: brute force and
+LLL against SIS instances of growing dimension and modulus, recording cost
+and success.  Tiny instances fall (so the assumption is doing real work --
+an unbounded adversary wins, consistent with Theorem 1.9), and the measured
+cost curve climbs steeply with the parameters, the laptop-scale face of the
+hardness cliff.
+
+The final rows attack Algorithm 5 end-to-end via
+:func:`repro.adversaries.distinct_attack.attack_sis_l0`: at toy parameters
+the estimator is fooled (reports 0 with a nonzero chunk); at the
+experiment's standard parameters the brute-force budget expires empty.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.adversaries.distinct_attack import attack_sis_l0
+from repro.crypto.lattice import brute_force_short_kernel, lll_short_kernel
+from repro.crypto.sis import SISMatrix, SISParams
+from repro.distinct.sis_l0 import SisL0Estimator
+from repro.experiments.base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("e12")
+def run(quick: bool = True) -> ExperimentResult:
+    """Run E12: SIS attack-cost sweep (Assumption 2.17)."""
+    rows = []
+    dimension_sweep = [(1, 3), (2, 4), (2, 6)] if quick else [(1, 3), (2, 4), (2, 6), (3, 8), (4, 10)]
+    for sketch_rows, cols in dimension_sweep:
+        for q in (17, 257, 65537):
+            params = SISParams(rows=sketch_rows, cols=cols, modulus=q, beta=8.0)
+            matrix = SISMatrix(params, seed=q + cols)
+            start = time.perf_counter()
+            vector, tried = brute_force_short_kernel(
+                matrix, coefficient_bound=2, max_candidates=100_000
+            )
+            bf_time = time.perf_counter() - start
+            start = time.perf_counter()
+            lll_vector = lll_short_kernel(matrix)
+            lll_time = time.perf_counter() - start
+            rows.append(
+                {
+                    "instance": f"{sketch_rows}x{cols} q={q}",
+                    "bf_found": vector is not None,
+                    "bf_candidates": tried,
+                    "bf_seconds": round(bf_time, 4),
+                    "lll_found": lll_vector is not None,
+                    "lll_seconds": round(lll_time, 4),
+                }
+            )
+
+    # End-to-end: fool Algorithm 5 at toy parameters; fail at standard ones.
+    toy = SisL0Estimator(
+        universe_size=64,
+        params=SISParams(rows=1, cols=8, modulus=17, beta=16.0),
+        seed=2,
+    )
+    toy_report = attack_sis_l0(toy, brute_force_bound=2, max_candidates=300_000)
+    rows.append(
+        {
+            "instance": "Algorithm 5 (toy: 1x8 q=17)",
+            "bf_found": toy_report.found,
+            "bf_candidates": toy_report.candidates_tried,
+            "bf_seconds": round(toy_report.seconds, 4),
+            "lll_found": toy_report.estimator_fooled,
+            "lll_seconds": "-",
+        }
+    )
+    standard = SisL0Estimator(universe_size=1024, eps=0.5, c=0.25, seed=3)
+    standard_report = attack_sis_l0(
+        standard,
+        brute_force_bound=1,
+        max_candidates=20_000 if quick else 500_000,
+        try_lll=False,
+    )
+    rows.append(
+        {
+            "instance": "Algorithm 5 (n=1024 standard)",
+            "bf_found": standard_report.found,
+            "bf_candidates": standard_report.candidates_tried,
+            "bf_seconds": round(standard_report.seconds, 4),
+            "lll_found": standard_report.estimator_fooled,
+            "lll_seconds": "-",
+        }
+    )
+    return ExperimentResult(
+        experiment_id="e12",
+        title="SIS attack cost vs parameters (Assumption 2.17's role)",
+        claim="unbounded adversaries break the crypto algorithms (consistent "
+        "with Thm 1.9); attack cost climbs steeply with instance size",
+        rows=rows,
+        conclusion=(
+            "Small instances fall to brute force/LLL and the toy Algorithm 5 "
+            "is fooled end-to-end (reports 0 on a nonzero chunk); at the "
+            "standard parameters the same budget finds nothing -- the "
+            "separation between bounded and unbounded adversaries the paper "
+            "builds on."
+        ),
+    )

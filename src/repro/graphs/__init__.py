@@ -1,0 +1,15 @@
+"""Graph streams: vertex-arrival neighborhood identification (Thm 1.3/1.4)."""
+
+from repro.graphs.neighborhood import (
+    CRHFNeighborhoodIdentifier,
+    DeterministicNeighborhoodIdentifier,
+    VertexArrival,
+    group_identical,
+)
+
+__all__ = [
+    "CRHFNeighborhoodIdentifier",
+    "DeterministicNeighborhoodIdentifier",
+    "VertexArrival",
+    "group_identical",
+]

@@ -1,0 +1,26 @@
+"""Heavy hitters: deterministic baselines, Algorithm 1/2, Theorem 1.2."""
+
+from repro.heavyhitters.bern_mg import BernMG
+from repro.heavyhitters.count_min import CountMinSketch
+from repro.heavyhitters.count_sketch import CountSketch
+from repro.heavyhitters.epochs import MorrisDoublingScheme
+from repro.heavyhitters.misra_gries import MisraGries, MisraGriesAlgorithm
+from repro.heavyhitters.phi_eps import (
+    PhiEpsilonHeavyHitters,
+    crhf_security_bits_for_adversary,
+)
+from repro.heavyhitters.robust_l1 import RobustL1HeavyHitters
+from repro.heavyhitters.space_saving import SpaceSaving
+
+__all__ = [
+    "BernMG",
+    "CountMinSketch",
+    "CountSketch",
+    "MisraGries",
+    "MisraGriesAlgorithm",
+    "MorrisDoublingScheme",
+    "PhiEpsilonHeavyHitters",
+    "RobustL1HeavyHitters",
+    "SpaceSaving",
+    "crhf_security_bits_for_adversary",
+]

@@ -1,0 +1,103 @@
+"""BernMG (Algorithm 1): Bernoulli sampling feeding Misra-Gries.
+
+Given an upper bound ``m`` on the stream length, each update is kept with
+probability ``p = C log(n/delta) / ((eps/2)^2 m)`` and the kept updates feed
+a Misra-Gries summary with threshold ``eps/2`` (capacity ``2/eps``).
+Robustness is inherited from Theorem 2.3: the sampler keeps no private
+randomness, and Misra-Gries is deterministic.
+
+Frequency estimates are the MG counter scaled by ``1/p``; the additive error
+is ``O(eps) * m`` (sampling noise ``(eps/2) m`` plus MG underestimate
+``(eps/2) m_sampled / p``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.randomness import WitnessedRandom
+from repro.core.space import bits_for_float, bits_for_int, bits_for_universe
+from repro.core.stream import Update
+from repro.heavyhitters.misra_gries import MisraGries
+from repro.sampling.bernoulli import bernoulli_rate
+
+__all__ = ["BernMG"]
+
+
+class BernMG:
+    """One Algorithm-1 instance, valid while the stream is ``<= length_guess``."""
+
+    def __init__(
+        self,
+        universe_size: int,
+        length_guess: int,
+        accuracy: float,
+        failure_probability: float,
+        random: Optional[WitnessedRandom] = None,
+        seed: int = 0,
+    ) -> None:
+        if length_guess < 1:
+            raise ValueError(f"length_guess must be >= 1, got {length_guess}")
+        if not 0 < accuracy < 1:
+            raise ValueError(f"accuracy must be in (0, 1), got {accuracy}")
+        self.universe_size = universe_size
+        self.length_guess = length_guess
+        self.accuracy = accuracy
+        self.failure_probability = failure_probability
+        self.random = random if random is not None else WitnessedRandom(seed=seed)
+        self.probability = bernoulli_rate(
+            universe_size, length_guess, accuracy, failure_probability
+        )
+        self.summary = MisraGries(capacity=max(1, int(round(2.0 / accuracy))))
+        self.updates_seen = 0
+
+    def process(self, update: Update) -> None:
+        """Coin-flip the update into the summary (insertion streams).
+
+        A delta of ``d`` is ``d`` independent coins, drawn as one Binomial
+        batch -- identical distribution, O(1) time.
+        """
+        if update.delta < 0:
+            raise ValueError("BernMG is defined for insertion streams")
+        if update.delta == 0:
+            return
+        self.updates_seen += update.delta
+        if update.delta == 1:
+            kept = 1 if self.random.bernoulli(self.probability) else 0
+        else:
+            kept = self.random.binomial(update.delta, self.probability)
+        if kept:
+            self.summary.offer(update.item, kept)
+
+    def estimate(self, item: int) -> float:
+        """Scaled frequency estimate ``MG_count / p``."""
+        return self.summary.estimate(item) / self.probability
+
+    def candidates(self) -> dict[int, float]:
+        """The O(1/eps)-sized candidate list with scaled estimates."""
+        return {
+            item: count / self.probability
+            for item, count in self.summary.items().items()
+        }
+
+    def heavy_hitters(self, threshold: float, length_estimate: Optional[float] = None) -> frozenset[int]:
+        """Items whose scaled estimate reaches ``threshold * length``.
+
+        ``length_estimate`` defaults to the exact updates seen by this
+        instance; Algorithm 2 passes the Morris estimate instead (the whole
+        point being not to store the exact length).
+        """
+        length = self.updates_seen if length_estimate is None else length_estimate
+        bar = threshold * length
+        return frozenset(
+            item for item, est in self.candidates().items() if est >= bar
+        )
+
+    def space_bits(self) -> int:
+        """MG summary (counters sized for the *sampled* count: O(log(1/eps)
+        + log log n) bits each, not log m) plus the stored sampling rate."""
+        sampled = max(1, self.summary.offered)
+        id_bits = bits_for_universe(self.universe_size)
+        counter_bits = bits_for_int(sampled)
+        summary_bits = self.summary.capacity * (id_bits + counter_bits)
+        return summary_bits + bits_for_float(32)

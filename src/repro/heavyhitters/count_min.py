@@ -1,0 +1,77 @@
+"""CountMin sketch -- an oblivious-model baseline and white-box attack target.
+
+CountMin is correct in the oblivious model and (with output thresholding) in
+parts of the black-box adversarial model, but its guarantees lean on the
+hash functions being independent of the stream.  A white-box adversary reads
+the hash coefficients straight out of the state view and floods a single
+cell pattern, inflating a chosen victim item's estimate without ever
+inserting it -- :mod:`repro.adversaries.sketch_attack` does exactly this.
+Pairwise-independent hashing is implemented honestly (random linear maps
+over a prime field) so the oblivious guarantees hold in experiments.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import StreamAlgorithm
+from repro.core.space import bits_for_int, bits_for_universe
+from repro.core.stream import Update
+from repro.crypto.modmath import next_prime
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch(StreamAlgorithm):
+    """Standard depth x width CountMin with pairwise-independent rows."""
+
+    name = "count-min"
+
+    def __init__(
+        self, universe_size: int, width: int, depth: int, seed: int = 0
+    ) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        super().__init__(seed=seed)
+        self.universe_size = universe_size
+        self.width = width
+        self.depth = depth
+        self.prime = next_prime(max(universe_size, width) + 1)
+        # h_r(x) = (a_r x + b_r mod prime) mod width  -- drawn via the
+        # witnessed source: the white-box adversary sees a_r, b_r.
+        self.row_params = [
+            (self.random.randint(1, self.prime - 1), self.random.randint(0, self.prime - 1))
+            for _ in range(depth)
+        ]
+        self.table = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    def _cell(self, row: int, item: int) -> int:
+        a, b = self.row_params[row]
+        return ((a * item + b) % self.prime) % self.width
+
+    def process(self, update: Update) -> None:
+        self.total += update.delta
+        for row in range(self.depth):
+            self.table[row][self._cell(row, update.item)] += update.delta
+
+    def estimate(self, item: int) -> int:
+        """``min_r table[r][h_r(item)]`` -- an overestimate (insertions)."""
+        return min(self.table[row][self._cell(row, item)] for row in range(self.depth))
+
+    def query(self) -> dict[int, int]:
+        """Estimates for all tracked cells are not enumerable; games query
+        specific items via :meth:`estimate`.  The generic query returns the
+        stream total (useful as a sanity answer)."""
+        return {"total": self.total}
+
+    def space_bits(self) -> int:
+        cell_bits = bits_for_int(max(1, abs(self.total)))
+        param_bits = 2 * self.depth * bits_for_universe(self.prime)
+        return self.depth * self.width * cell_bits + param_bits
+
+    def _state_fields(self) -> dict:
+        return {
+            "row_params": tuple(self.row_params),
+            "prime": self.prime,
+            "width": self.width,
+            "table": tuple(tuple(row) for row in self.table),
+        }

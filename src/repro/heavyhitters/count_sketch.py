@@ -1,0 +1,111 @@
+"""CountSketch -- the canonical *linear* sketch attack target.
+
+CountSketch is a linear map ``f -> S f`` with random sign/bucket structure.
+[HW13] (cited in Section 1.1) showed a black-box adversary can *learn* such
+a sketching matrix through many adaptive queries; the white-box adversary
+simply reads it from the state view on round one and streams a vector in its
+kernel, making the sketch blind to an arbitrarily large frequency vector.
+:mod:`repro.adversaries.sketch_attack` implements that attack against this
+class; the experiments use it for the Theorem 1.9 narrative (sublinear
+linear sketches cannot be white-box robust).
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import StreamAlgorithm
+from repro.core.space import bits_for_int, bits_for_universe
+from repro.core.stream import Update
+from repro.crypto.modmath import next_prime
+
+__all__ = ["CountSketch"]
+
+
+class CountSketch(StreamAlgorithm):
+    """Standard CountSketch: per-row bucket hash + sign hash; median estimate."""
+
+    name = "count-sketch"
+
+    def __init__(
+        self, universe_size: int, width: int, depth: int, seed: int = 0
+    ) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        super().__init__(seed=seed)
+        self.universe_size = universe_size
+        self.width = width
+        self.depth = depth
+        self.prime = next_prime(max(universe_size, width) + 1)
+        self.bucket_params = [
+            (self.random.randint(1, self.prime - 1), self.random.randint(0, self.prime - 1))
+            for _ in range(depth)
+        ]
+        self.sign_params = [
+            (self.random.randint(1, self.prime - 1), self.random.randint(0, self.prime - 1))
+            for _ in range(depth)
+        ]
+        self.table = [[0] * width for _ in range(depth)]
+
+    def _bucket(self, row: int, item: int) -> int:
+        a, b = self.bucket_params[row]
+        return ((a * item + b) % self.prime) % self.width
+
+    def _sign(self, row: int, item: int) -> int:
+        a, b = self.sign_params[row]
+        return 1 if ((a * item + b) % self.prime) % 2 == 0 else -1
+
+    def process(self, update: Update) -> None:
+        for row in range(self.depth):
+            self.table[row][self._bucket(row, update.item)] += (
+                self._sign(row, update.item) * update.delta
+            )
+
+    def estimate(self, item: int) -> float:
+        """Median-of-rows point estimate of one item's frequency."""
+        values = sorted(
+            self._sign(row, item) * self.table[row][self._bucket(row, item)]
+            for row in range(self.depth)
+        )
+        mid = len(values) // 2
+        if len(values) % 2:
+            return float(values[mid])
+        return (values[mid - 1] + values[mid]) / 2.0
+
+    def f2_estimate(self) -> float:
+        """Median-of-rows estimate of ``F_2`` (each row's bucket-square sum)."""
+        row_estimates = sorted(
+            float(sum(v * v for v in row)) for row in self.table
+        )
+        mid = len(row_estimates) // 2
+        if len(row_estimates) % 2:
+            return row_estimates[mid]
+        return (row_estimates[mid - 1] + row_estimates[mid]) / 2.0
+
+    def query(self) -> float:
+        return self.f2_estimate()
+
+    def sketch_matrix_row_structure(self) -> list[list[tuple[int, int]]]:
+        """The sketch's linear structure: per row, (bucket, sign) per item.
+
+        Exposed for the kernel attack; in the white-box model this is public
+        information (it is derivable from the state view's parameters).
+        Materializes only for small universes.
+        """
+        return [
+            [(self._bucket(row, item), self._sign(row, item)) for item in range(self.universe_size)]
+            for row in range(self.depth)
+        ]
+
+    def space_bits(self) -> int:
+        magnitude = max((abs(v) for row in self.table for v in row), default=1)
+        cell_bits = bits_for_int(max(1, magnitude)) + 1
+        param_bits = 4 * self.depth * bits_for_universe(self.prime)
+        return self.depth * self.width * cell_bits + param_bits
+
+    def _state_fields(self) -> dict:
+        return {
+            "bucket_params": tuple(self.bucket_params),
+            "sign_params": tuple(self.sign_params),
+            "prime": self.prime,
+            "width": self.width,
+            "table": tuple(tuple(row) for row in self.table),
+        }

@@ -1,0 +1,108 @@
+"""The Morris-clocked two-guess epoch scheme shared by Algorithms 2 and 4.
+
+Both robust heavy-hitter algorithms (and the Theorem 1.2 variant) follow the
+same template, lines 1-11 of Algorithm 2 / Algorithm 4:
+
+* a Morris counter estimates the stream position ``t`` within a constant
+  factor in ``O(log log m)`` bits (exact tracking would cost ``log m``, the
+  very term being eliminated);
+* guesses ``B^1 < B^2 < ...`` for the stream length, with ``B = 16/eps``;
+* only **two** guesses are live at any time -- the *active* one (smallest
+  guess above the clock estimate, answers queries) and a *standby* one
+  warming up.  When the clock passes the active guess, the active instance
+  is deleted and a fresh standby started two guesses up.
+
+Epoch arithmetic (why two guesses suffice -- the proof idea of
+Theorem 1.1): the instance with guess ``B^j`` is created when the clock
+crosses ``B^{j-2}``, so it misses at most a
+``B^{j-2}/B^{j-1} = eps/16`` fraction of the stream it will ever be queried
+on; an epsilon-heavy item of the full stream is still ``Omega(eps)``-heavy
+in the suffix the instance saw.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generic, TypeVar
+
+from repro.core.randomness import WitnessedRandom
+from repro.counters.morris import MorrisCounter
+
+__all__ = ["MorrisDoublingScheme"]
+
+InstanceT = TypeVar("InstanceT")
+
+#: factory(epoch_index, length_guess, random) -> instance
+InstanceFactory = Callable[[int, int, WitnessedRandom], InstanceT]
+
+
+class MorrisDoublingScheme(Generic[InstanceT]):
+    """Lifecycle manager for the two live per-epoch instances."""
+
+    def __init__(
+        self,
+        base: float,
+        factory: InstanceFactory,
+        random: WitnessedRandom,
+        clock_accuracy: float = 0.25,
+        clock_failure_probability: float = 0.05,
+    ) -> None:
+        if base < 2.0:
+            raise ValueError(f"base must be >= 2, got {base}")
+        self.base = base
+        self.factory = factory
+        self.random = random
+        self.clock = MorrisCounter(
+            accuracy=clock_accuracy,
+            failure_probability=clock_failure_probability,
+            random=random.spawn("epoch-clock"),
+        )
+        self.epoch = 0  # c in the pseudocode
+        self.instances: dict[int, InstanceT] = {}
+        for j in (1, 2):  # "for i in [r], r = 2"
+            self._start_instance(j)
+
+    def guess(self, j: int) -> int:
+        """The j-th stream-length guess ``ceil(B^j)``."""
+        return max(1, math.ceil(self.base**j))
+
+    def _start_instance(self, j: int) -> None:
+        self.instances[j] = self.factory(j, self.guess(j), self.random.spawn(f"epoch-{j}"))
+
+    @property
+    def active_epoch(self) -> int:
+        """Index of the instance answering queries."""
+        return self.epoch + 1
+
+    @property
+    def active(self) -> InstanceT:
+        return self.instances[self.active_epoch]
+
+    def tick(self, count: int = 1) -> bool:
+        """Advance the clock; rotate epochs if a guess was passed.
+
+        Returns ``True`` if a rotation happened (useful for tests).
+        """
+        self.clock.increment(count)
+        rotated = False
+        while self.clock.estimate() >= self.guess(self.active_epoch):
+            del self.instances[self.active_epoch]
+            self.epoch += 1
+            self._start_instance(self.epoch + 2)
+            rotated = True
+        return rotated
+
+    def broadcast(self, action: Callable[[InstanceT], None]) -> None:
+        """Apply ``action`` to every live instance (line 6: update all)."""
+        for instance in self.instances.values():
+            action(instance)
+
+    def length_estimate(self) -> float:
+        """The Morris clock's estimate of the stream position."""
+        return self.clock.estimate()
+
+    def space_bits(self, instance_bits: Callable[[InstanceT], int]) -> int:
+        """Clock register plus the two live instances."""
+        return self.clock.space_bits() + sum(
+            instance_bits(instance) for instance in self.instances.values()
+        )

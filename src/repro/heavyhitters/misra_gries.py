@@ -1,0 +1,119 @@
+"""Misra-Gries frequent-items summary (Theorem 2.2, [MG82]).
+
+The deterministic baseline the paper's Theorem 1.1 competes against: with
+capacity ``k = ceil(1/eps)`` counters it returns estimates satisfying
+
+    f_i - m / (k + 1)  <=  estimate(i)  <=  f_i,
+
+so every item with ``f_i > eps m`` survives in the summary.  Deterministic,
+hence trivially white-box robust -- but each counter needs ``log m`` bits,
+which is the cost Theorem 1.1 removes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.algorithm import DeterministicAlgorithm
+from repro.core.space import bits_for_int, bits_for_universe
+from repro.core.stream import Update
+
+__all__ = ["MisraGries", "MisraGriesAlgorithm"]
+
+
+class MisraGries:
+    """The classic summary: ``capacity`` counters, decrement-all on overflow."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.counters: dict[int, int] = {}
+        self.offered = 0
+
+    def offer(self, item: int, count: int = 1) -> None:
+        """Insert ``count`` copies of ``item``."""
+        if count < 0:
+            raise ValueError("Misra-Gries accepts insertions only")
+        if count == 0:
+            return
+        self.offered += count
+        if item in self.counters:
+            self.counters[item] += count
+            return
+        if len(self.counters) < self.capacity:
+            self.counters[item] = count
+            return
+        # Decrement-all by the limiting amount, then recurse on the rest.
+        decrement = min(count, min(self.counters.values()))
+        survivors = {}
+        for key, value in self.counters.items():
+            if value > decrement:
+                survivors[key] = value - decrement
+        self.counters = survivors
+        remaining = count - decrement
+        if remaining > 0:
+            self.offered -= remaining  # offer() re-adds it
+            self.offer(item, remaining)
+
+    def estimate(self, item: int) -> int:
+        """Lower-bound estimate: ``f_i - offered/(capacity+1) <= est <= f_i``."""
+        return self.counters.get(item, 0)
+
+    def items(self) -> dict[int, int]:
+        """The current summary (item -> estimate)."""
+        return dict(self.counters)
+
+    def heavy_hitters(self, threshold: float) -> frozenset[int]:
+        """Items whose *estimate* meets ``threshold * offered``."""
+        bar = threshold * self.offered
+        return frozenset(k for k, v in self.counters.items() if v >= bar)
+
+    @property
+    def error_bound(self) -> float:
+        """Worst-case underestimate: ``offered / (capacity + 1)``."""
+        return self.offered / (self.capacity + 1)
+
+    def space_bits(self, universe_size: int) -> int:
+        """``capacity`` slots, each an id (log n) plus a counter register.
+
+        Counter registers are sized for the stream seen so far (log m bits)
+        -- the term Theorem 1.1's algorithm avoids.  Empty slots are still
+        charged: a deterministic algorithm must reserve them.
+        """
+        id_bits = bits_for_universe(universe_size)
+        counter_bits = bits_for_int(max(1, self.offered))
+        return self.capacity * (id_bits + counter_bits)
+
+
+class MisraGriesAlgorithm(DeterministicAlgorithm):
+    """Game-ready wrapper solving epsilon-L1 heavy hitters deterministically."""
+
+    name = "misra-gries"
+
+    def __init__(self, universe_size: int, accuracy: float) -> None:
+        if not 0 < accuracy < 1:
+            raise ValueError(f"accuracy must be in (0, 1), got {accuracy}")
+        super().__init__()
+        self.universe_size = universe_size
+        self.accuracy = accuracy
+        # Capacity 2/eps keeps the underestimate below (eps/2) m, so every
+        # eps-heavy item clears the (eps/2)-of-stream reporting threshold.
+        self.summary = MisraGries(capacity=max(1, round(2.0 / accuracy)))
+
+    def process(self, update: Update) -> None:
+        self.summary.offer(update.item, update.delta)
+
+    def query(self) -> dict[int, float]:
+        """The candidate list with estimates (Theorem 2.2's output shape)."""
+        return {item: float(v) for item, v in self.summary.items().items()}
+
+    def heavy_hitters(self) -> frozenset[int]:
+        """Items whose estimate clears (eps/2) of the stream."""
+        return self.summary.heavy_hitters(self.accuracy / 2.0)
+
+    def space_bits(self) -> int:
+        return self.summary.space_bits(self.universe_size)
+
+    def _state_fields(self) -> dict:
+        return {"counters": dict(self.summary.counters), "offered": self.summary.offered}

@@ -1,0 +1,170 @@
+"""(phi, eps)-L1 heavy hitters against T-time adversaries (Theorem 1.2).
+
+The (phi, eps) problem: report every item with ``f_i >= phi ||f||_1`` and no
+item with ``f_i < (phi - eps) ||f||_1``.  The eps-side counting structure
+needs ``O(1/eps)`` counters but -- and this is the theorem's point -- their
+*identities* need not be full ``log n``-bit names: a collision-resistant
+hash compresses each sampled identity into a universe of size
+``poly(log n, 1/eps, T)``, which a ``T``-time-bounded adversary cannot make
+collide.  Only the ``O(1/phi)`` candidate phi-heavy identities are kept at
+full width for reporting.
+
+Structure:
+
+* a Morris clock (``O(log log m)`` bits);
+* the Algorithm-2 epoch scheme over BernMG instances keyed by *hashed*
+  identities: ``(1/eps) * O(log T + log log n + log 1/eps)`` bits;
+* a SpaceSaving of capacity ``O(1/phi)`` over raw identities
+  (``(1/phi) log n`` bits) supplying report candidates.
+
+A candidate is reported iff its hashed twin's scaled estimate clears
+``(phi - eps/2)`` of the Morris length estimate -- accurate counting via
+the compressed table, identity via the small raw table.  Robustness holds
+against adversaries that cannot find CRHF collisions within their time
+budget ``T`` (Definition 2.4); the algorithm is *not*
+information-theoretically secure, exactly as the paper remarks after
+Theorem 1.2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.algorithm import StreamAlgorithm
+from repro.core.randomness import WitnessedRandom
+from repro.core.stream import Update
+from repro.crypto.crhf import generate_crhf
+from repro.heavyhitters.bern_mg import BernMG
+from repro.heavyhitters.epochs import MorrisDoublingScheme
+from repro.heavyhitters.space_saving import SpaceSaving
+
+__all__ = ["PhiEpsilonHeavyHitters", "crhf_security_bits_for_adversary"]
+
+
+def crhf_security_bits_for_adversary(
+    adversary_time: int, universe_size: int, accuracy: float
+) -> int:
+    """Output width making birthday collisions cost more than ``T`` time.
+
+    A ``T``-time adversary finds a collision in a ``2^b``-point range with
+    probability ``~ T^2 / 2^b``; taking ``b = 2 log2 T + log2(poly(log n,
+    1/eps))`` makes that negligible, which is the ``poly(log n, 1/eps, T)``
+    universe of Theorem 1.2.
+    """
+    if adversary_time < 2:
+        raise ValueError(f"adversary_time must be >= 2, got {adversary_time}")
+    slack = math.log2(max(2.0, math.log2(max(2, universe_size)))) + math.log2(
+        1.0 / accuracy
+    )
+    return max(16, math.ceil(2 * math.log2(adversary_time) + slack + 8))
+
+
+class PhiEpsilonHeavyHitters(StreamAlgorithm):
+    """Theorem 1.2's algorithm, robust against ``T``-time-bounded adversaries."""
+
+    name = "phi-eps-heavy-hitters"
+
+    def __init__(
+        self,
+        universe_size: int,
+        phi: float,
+        accuracy: float,
+        adversary_time: int = 1 << 20,
+        failure_probability: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < accuracy <= phi < 1:
+            raise ValueError(
+                f"need 0 < eps <= phi < 1, got eps={accuracy}, phi={phi}"
+            )
+        super().__init__(seed=seed)
+        self.universe_size = universe_size
+        self.phi = phi
+        self.accuracy = accuracy
+        self.adversary_time = adversary_time
+        security_bits = crhf_security_bits_for_adversary(
+            adversary_time, universe_size, accuracy
+        )
+        self.crhf = generate_crhf(security_bits=security_bits, seed=seed)
+        self.hashed_universe = self.crhf.params.p
+        self._hash_cache: dict[int, int] = {}
+
+        def make_instance(epoch: int, guess: int, random: WitnessedRandom) -> BernMG:
+            return BernMG(
+                universe_size=self.hashed_universe,
+                length_guess=guess,
+                accuracy=accuracy / 2.0,
+                failure_probability=failure_probability,
+                random=random,
+            )
+
+        self.scheme: MorrisDoublingScheme[BernMG] = MorrisDoublingScheme(
+            base=max(2.0, 16.0 / accuracy),
+            factory=make_instance,
+            random=self.random,
+            clock_failure_probability=failure_probability,
+        )
+        # Identity recovery: O(1/phi) raw-identity candidates.
+        self.identities = SpaceSaving(capacity=max(1, 2 * math.ceil(1.0 / phi)))
+
+    def _hash(self, item: int) -> int:
+        """CRHF-compressed identity (a group element < p), memoized.
+
+        The memo is a speed cache, not state the algorithm needs: entries
+        are recomputable from the public parameters, so it is not charged
+        to ``space_bits``.
+        """
+        cached = self._hash_cache.get(item)
+        if cached is None:
+            cached = self.crhf.hash_int(item)
+            self._hash_cache[item] = cached
+        return cached
+
+    def process(self, update: Update) -> None:
+        if update.delta < 0:
+            raise ValueError("the heavy-hitters algorithm expects insertions")
+        self.scheme.tick(update.delta)
+        hashed = Update(self._hash(update.item), update.delta)
+        self.scheme.broadcast(lambda instance: instance.process(hashed))
+        self.identities.offer(update.item, update.delta)
+
+    def query(self) -> frozenset[int]:
+        """All phi-heavy identities, no (phi - eps)-light ones."""
+        active = self.scheme.active
+        length = max(1.0, self.scheme.length_estimate())
+        bar = (self.phi - self.accuracy / 2.0) * length
+        report = set()
+        for item in self.identities.items():
+            if active.estimate(self._hash(item)) >= bar:
+                report.add(item)
+        return frozenset(report)
+
+    def estimate(self, item: int) -> float:
+        """Scaled frequency estimate via the hashed counting table."""
+        return self.scheme.active.estimate(self._hash(item))
+
+    def space_bits(self) -> int:
+        """Clock + hashed-count structure + raw-identity candidates.
+
+        The hashed BernMG charges ``O(log(hashed universe)) = O(log T +
+        log log n + log 1/eps)`` bits per identity; the SpaceSaving charges
+        full ``log n``-bit identities but only ``O(1/phi)`` of them.
+        """
+        return self.scheme.space_bits(
+            lambda instance: instance.space_bits()
+        ) + self.identities.space_bits(self.universe_size)
+
+    def _state_fields(self) -> dict:
+        return {
+            "epoch": self.scheme.epoch,
+            "crhf_params": (
+                self.crhf.params.p,
+                self.crhf.params.g,
+                self.crhf.params.y,
+            ),
+            "identity_counters": dict(self.identities.counters),
+            "instances": {
+                j: dict(inst.summary.counters)
+                for j, inst in self.scheme.instances.items()
+            },
+        }

@@ -1,0 +1,76 @@
+"""SpaceSaving summary [Metwally et al.], substrate for the HHH algorithm.
+
+The paper's deterministic hierarchical-heavy-hitters baseline ([TMS12],
+Theorem 2.11) is built on SpaceSaving, whose guarantee with ``k`` counters is
+
+    f_i  <=  estimate(i)  <=  f_i + offered / k,
+
+i.e. an *over*-estimate with bounded error (the dual of Misra-Gries).
+Deterministic, hence white-box robust.
+"""
+
+from __future__ import annotations
+
+from repro.core.space import bits_for_int, bits_for_universe
+
+__all__ = ["SpaceSaving"]
+
+
+class SpaceSaving:
+    """The classic summary: evict the minimum, inherit its count."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.counters: dict[int, int] = {}
+        self.offered = 0
+
+    def offer(self, item: int, count: int = 1) -> None:
+        """Insert ``count`` copies of ``item``."""
+        if count < 0:
+            raise ValueError("SpaceSaving accepts insertions only")
+        if count == 0:
+            return
+        self.offered += count
+        if item in self.counters:
+            self.counters[item] += count
+            return
+        if len(self.counters) < self.capacity:
+            self.counters[item] = count
+            return
+        victim = min(self.counters, key=self.counters.__getitem__)
+        inherited = self.counters.pop(victim)
+        self.counters[item] = inherited + count
+
+    def estimate(self, item: int) -> int:
+        """Upper-bound estimate: ``f_i <= est <= f_i + offered/capacity``.
+
+        Items not tracked are bounded by the minimum counter (the classic
+        SpaceSaving property); we return that bound for absent items.
+        """
+        if item in self.counters:
+            return self.counters[item]
+        if len(self.counters) < self.capacity:
+            return 0
+        return min(self.counters.values())
+
+    def items(self) -> dict[int, int]:
+        """The current summary (item -> estimate)."""
+        return dict(self.counters)
+
+    def heavy_hitters(self, threshold: float) -> frozenset[int]:
+        """Items whose estimate meets ``threshold * offered``."""
+        bar = threshold * self.offered
+        return frozenset(k for k, v in self.counters.items() if v >= bar)
+
+    @property
+    def error_bound(self) -> float:
+        """Worst-case overestimate: ``offered / capacity``."""
+        return self.offered / self.capacity
+
+    def space_bits(self, universe_size: int) -> int:
+        """Capacity slots of (id + counter) registers."""
+        id_bits = bits_for_universe(universe_size)
+        counter_bits = bits_for_int(max(1, self.offered))
+        return self.capacity * (id_bits + counter_bits)

@@ -1,0 +1,22 @@
+"""Hierarchical heavy hitters: domain, [TMS12] baseline, Algorithms 3-4."""
+
+from repro.hhh.bern_hhh import BernHHH
+from repro.hhh.domain import (
+    HierarchicalDomain,
+    Prefix,
+    conditioned_count,
+    exact_hhh,
+)
+from repro.hhh.hss import HierarchicalSpaceSaving, select_hhh
+from repro.hhh.robust_hhh import RobustHHH
+
+__all__ = [
+    "BernHHH",
+    "HierarchicalDomain",
+    "HierarchicalSpaceSaving",
+    "Prefix",
+    "RobustHHH",
+    "conditioned_count",
+    "exact_hhh",
+    "select_hhh",
+]

@@ -1,0 +1,98 @@
+"""BernHHH (Algorithm 3): Bernoulli sampling feeding the deterministic HHH.
+
+Identical shape to Algorithm 1: given an upper bound ``m`` on the stream
+length, keep each update with probability
+``p = C log(n/delta) / ((eps/2)^2 m)`` and feed the kept updates to the
+[TMS12] hierarchical SpaceSaving with threshold ``eps/2``.  Theorem 2.12
+(the [BY20] range-sampling theorem instantiated with the ``O(n)`` prefix
+ranges of the hierarchy) gives white-box robustness of the sampling;
+the inner algorithm is deterministic.
+
+Estimates are scaled by ``1/p``; the conditioned counts that drive HHH
+selection inherit an additive ``O(eps) m`` error (Lemma 2.13).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.randomness import WitnessedRandom
+from repro.core.space import bits_for_float, bits_for_int, bits_for_universe
+from repro.core.stream import Update
+from repro.hhh.domain import HierarchicalDomain, Prefix
+from repro.hhh.hss import HierarchicalSpaceSaving
+from repro.sampling.bernoulli import bernoulli_rate
+
+__all__ = ["BernHHH"]
+
+
+class BernHHH:
+    """One Algorithm-3 instance, valid while the stream is ``<= length_guess``."""
+
+    def __init__(
+        self,
+        domain: HierarchicalDomain,
+        length_guess: int,
+        gamma: float,
+        accuracy: float,
+        failure_probability: float,
+        random: Optional[WitnessedRandom] = None,
+        seed: int = 0,
+        capacity_per_level: Optional[int] = None,
+    ) -> None:
+        if length_guess < 1:
+            raise ValueError(f"length_guess must be >= 1, got {length_guess}")
+        self.domain = domain
+        self.length_guess = length_guess
+        self.gamma = gamma
+        self.accuracy = accuracy
+        self.random = random if random is not None else WitnessedRandom(seed=seed)
+        self.probability = bernoulli_rate(
+            domain.universe_size, length_guess, accuracy, failure_probability
+        )
+        self.inner = HierarchicalSpaceSaving(
+            domain=domain,
+            gamma=gamma,
+            accuracy=accuracy / 2.0,
+            capacity_per_level=capacity_per_level,
+        )
+        self.updates_seen = 0
+
+    def process(self, update: Update) -> None:
+        """Coin-flip the update into the inner HHH (one Binomial batch)."""
+        if update.delta < 0:
+            raise ValueError("BernHHH is defined for insertion streams")
+        if update.delta == 0:
+            return
+        self.updates_seen += update.delta
+        if update.delta == 1:
+            kept = 1 if self.random.bernoulli(self.probability) else 0
+        else:
+            kept = self.random.binomial(update.delta, self.probability)
+        if kept:
+            self.inner.process(Update(update.item, kept))
+
+    def hhh(self, length_estimate: Optional[float] = None) -> dict[Prefix, float]:
+        """Approximate HHHs with ``1/p``-scaled conditioned-count estimates."""
+        selected = self.inner.query()
+        return {
+            prefix: value / self.probability for prefix, value in selected.items()
+        }
+
+    def estimate(self, prefix: Prefix) -> float:
+        """Scaled (1/p) underestimate of a prefix's subtree mass."""
+        return self.inner.estimate(prefix) / self.probability
+
+    def space_bits(self) -> int:
+        """Inner HHH with counters sized for the *sampled* mass, plus rate.
+
+        The per-counter registers hold at most ``O(log(n/delta)/eps^2)``
+        sampled units, i.e. ``O(log log n + log 1/eps)`` bits -- the paper's
+        ``log log log m`` refinement is absorbed here because the sampled
+        mass, not ``m``, bounds the register.
+        """
+        sampled = max(1, self.inner.total)
+        id_bits = bits_for_universe(self.domain.universe_size)
+        counter_bits = bits_for_int(sampled)
+        per_level = self.inner.capacity_per_level * (id_bits + counter_bits)
+        return per_level * len(self.inner.levels) + bits_for_float(32)

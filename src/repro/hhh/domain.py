@@ -1,0 +1,157 @@
+"""Hierarchical domains over [n] and exact HHH ground truth (Def 2.9/2.10).
+
+A hierarchical domain of height ``h`` over ``[n]`` (Definition 2.9) is a
+tree of prefixes; we implement the standard base-``b`` digit hierarchy (an
+IP-style domain is ``b = 2, h = 32`` or byte-wise ``b = 256, h = 4``).  A
+*prefix* is ``(level, value)``: level 0 are the leaves (the items
+themselves), level ``h`` is the root; the level-``l`` ancestor of item ``x``
+is ``x // b^l``.
+
+:func:`exact_hhh` computes Definition 2.9's set exactly (bottom-up, with the
+conditioned counts ``F(p)`` that exclude descendants already chosen), and is
+the ground-truth oracle for every HHH experiment and test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stream import FrequencyVector
+
+__all__ = ["Prefix", "HierarchicalDomain", "exact_hhh", "conditioned_count"]
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """A node of the hierarchy: ``level`` 0 = leaf, higher = coarser."""
+
+    level: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.level < 0 or self.value < 0:
+            raise ValueError("level and value must be non-negative")
+
+
+class HierarchicalDomain:
+    """Base-``branching`` digit hierarchy of height ``height`` over [n]."""
+
+    def __init__(self, branching: int, height: int) -> None:
+        if branching < 2:
+            raise ValueError(f"branching must be >= 2, got {branching}")
+        if height < 1:
+            raise ValueError(f"height must be >= 1, got {height}")
+        self.branching = branching
+        self.height = height
+        self.universe_size = branching**height
+
+    def ancestor(self, item: int, level: int) -> Prefix:
+        """The level-``level`` ancestor prefix of leaf ``item``."""
+        self._check_item(item)
+        if not 0 <= level <= self.height:
+            raise ValueError(f"level {level} outside [0, {self.height}]")
+        return Prefix(level, item // (self.branching**level))
+
+    def ancestors(self, item: int) -> tuple[Prefix, ...]:
+        """All ancestors of ``item``, leaf (level 0) to root (level h)."""
+        self._check_item(item)
+        result = []
+        value = item
+        for level in range(self.height + 1):
+            result.append(Prefix(level, value))
+            value //= self.branching
+        return tuple(result)
+
+    def parent(self, prefix: Prefix) -> Prefix:
+        """The prefix one level up."""
+        if prefix.level >= self.height:
+            raise ValueError("the root has no parent")
+        return Prefix(prefix.level + 1, prefix.value // self.branching)
+
+    def is_ancestor(self, ancestor: Prefix, descendant: Prefix) -> bool:
+        """Is ``descendant`` in the subtree of ``ancestor`` (inclusive)?"""
+        if ancestor.level < descendant.level:
+            return False
+        shift = self.branching ** (ancestor.level - descendant.level)
+        return descendant.value // shift == ancestor.value
+
+    def leaves_below(self, prefix: Prefix) -> range:
+        """The leaf range covered by ``prefix``."""
+        width = self.branching**prefix.level
+        return range(prefix.value * width, (prefix.value + 1) * width)
+
+    def prefixes_at_level(self, level: int) -> range:
+        """Prefix values present at a level (for exhaustive small-n tests)."""
+        if not 0 <= level <= self.height:
+            raise ValueError(f"level {level} outside [0, {self.height}]")
+        return range(self.branching ** (self.height - level))
+
+    def all_prefixes(self):
+        """Every prefix of the domain, bottom-up (small n only)."""
+        for level in range(self.height + 1):
+            for value in self.prefixes_at_level(level):
+                yield Prefix(level, value)
+
+    def _check_item(self, item: int) -> None:
+        if not 0 <= item < self.universe_size:
+            raise ValueError(
+                f"item {item} outside universe [0, {self.universe_size})"
+            )
+
+
+def conditioned_count(
+    domain: HierarchicalDomain,
+    frequencies: FrequencyVector,
+    prefix: Prefix,
+    chosen: set[Prefix],
+) -> int:
+    """``F(p)``: mass below ``p`` excluding leaves covered by ``chosen``.
+
+    Definition 2.9's conditioned count, computed exactly from the frequency
+    vector: sum ``f(e)`` over leaves ``e`` below ``p`` that are *not* below
+    any prefix in ``chosen``.
+    """
+    total = 0
+    for item, count in frequencies.items():
+        if not domain.is_ancestor(prefix, Prefix(0, item)):
+            continue
+        covered = any(
+            domain.is_ancestor(c, Prefix(0, item)) and c != prefix for c in chosen
+        )
+        if not covered:
+            total += count
+    return total
+
+
+def exact_hhh(
+    domain: HierarchicalDomain,
+    frequencies: FrequencyVector,
+    threshold: float,
+) -> dict[Prefix, int]:
+    """Definition 2.9's exact hierarchical heavy hitters.
+
+    Bottom-up: level 0's HHHs are the plain heavy leaves
+    (``f(e) >= threshold * m``); at level ``i`` a prefix joins if its
+    conditioned count -- excluding leaves covered by HHHs from levels
+    ``< i`` -- reaches ``threshold * m``.  Returns prefix -> conditioned
+    count for every chosen prefix.
+    """
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    # m is the total stream mass ||f||_1 (equal to the stream length on
+    # unit-insertion streams; robust to batched updates).
+    bar = threshold * frequencies.l1()
+    chosen: dict[Prefix, int] = {}
+    for level in range(domain.height + 1):
+        # Candidates: ancestors of support leaves at this level.
+        candidates = {
+            domain.ancestor(item, level) for item, _ in frequencies.items()
+        }
+        lower = set(chosen)
+        newly: dict[Prefix, int] = {}
+        for prefix in sorted(candidates):
+            f_p = conditioned_count(domain, frequencies, prefix, lower)
+            if f_p >= bar:
+                newly[prefix] = f_p
+        chosen.update(newly)
+    return chosen

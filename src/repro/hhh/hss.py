@@ -1,0 +1,142 @@
+"""Deterministic hierarchical heavy hitters via per-level SpaceSaving.
+
+The paper's deterministic baseline (Theorem 2.11, [TMS12]) runs a
+SpaceSaving summary per level of the hierarchy; each update inserts all of
+its ``h + 1`` ancestor prefixes.  With per-level capacity ``O(h / eps)`` the
+per-level estimation error is ``<= eps m / h`` and the bottom-up selection
+below solves the HHH Problem of Definition 2.10:
+
+* **accuracy** -- reported estimates are ``f*_p - eps m <= f_p <= f*_p``
+  (SpaceSaving overestimates by at most the error bound, so we report
+  ``estimate - error`` to land under the truth);
+* **coverage** -- a prefix is selected whenever its estimated conditioned
+  count could still reach ``gamma m``, so anything unselected has true
+  conditioned count ``<= gamma m``.
+
+Space: ``(h + 1)`` levels x ``O(h/eps)`` counters x ``(log n + log m)``
+bits -- the ``O((h/eps)(log m + log n))`` of Theorem 2.11, and the ``log m``
+factor the randomized Algorithm 4 removes.
+
+The bottom-up selection walks levels 0..h keeping a *discount* per parent:
+once a prefix is selected, its (over-)estimated mass is charged to its
+ancestors so their conditioned counts shrink, mirroring Definition 2.9's
+``F(p)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.algorithm import DeterministicAlgorithm
+from repro.core.stream import Update
+from repro.heavyhitters.space_saving import SpaceSaving
+from repro.hhh.domain import HierarchicalDomain, Prefix
+
+__all__ = ["HierarchicalSpaceSaving", "select_hhh"]
+
+
+def select_hhh(
+    domain: HierarchicalDomain,
+    level_estimates: list[dict[int, int]],
+    level_errors: list[float],
+    total: float,
+    gamma: float,
+) -> dict[Prefix, float]:
+    """Bottom-up HHH selection from per-level (over-)estimates.
+
+    ``level_estimates[l]`` maps prefix value -> estimate at level ``l``;
+    ``level_errors[l]`` is that level's worst-case overestimate.  A prefix
+    is selected when its discounted estimate reaches ``gamma * total``;
+    the reported value is the *underestimate* ``discounted - error``
+    (clamped at 0), giving Definition 2.10 accuracy.
+    """
+    selected: dict[Prefix, float] = {}
+    # discount[p] = mass of already-selected descendants charged to p
+    discount: dict[Prefix, float] = {}
+    bar = gamma * total
+    for level in range(domain.height + 1):
+        estimates = level_estimates[level]
+        error = level_errors[level]
+        for value, estimate in estimates.items():
+            prefix = Prefix(level, value)
+            conditioned = estimate - discount.get(prefix, 0.0)
+            if conditioned >= bar:
+                selected[prefix] = max(0.0, conditioned - error)
+                covered = float(estimate)
+            else:
+                covered = discount.get(prefix, 0.0)
+            if level < domain.height and covered > 0:
+                parent = domain.parent(prefix)
+                discount[parent] = discount.get(parent, 0.0) + covered
+        # Prefixes with discounts but no estimate entry still propagate up.
+        for prefix, covered in list(discount.items()):
+            if prefix.level == level and prefix.value not in estimates:
+                if level < domain.height and covered > 0:
+                    parent = domain.parent(prefix)
+                    discount[parent] = discount.get(parent, 0.0) + covered
+    return selected
+
+
+class HierarchicalSpaceSaving(DeterministicAlgorithm):
+    """Theorem 2.11's deterministic one-pass HHH algorithm."""
+
+    name = "hierarchical-space-saving"
+
+    def __init__(
+        self,
+        domain: HierarchicalDomain,
+        gamma: float,
+        accuracy: float,
+        capacity_per_level: int | None = None,
+    ) -> None:
+        if not 0 < accuracy <= gamma < 1:
+            raise ValueError(
+                f"need 0 < eps <= gamma < 1, got eps={accuracy}, gamma={gamma}"
+            )
+        super().__init__()
+        self.domain = domain
+        self.gamma = gamma
+        self.accuracy = accuracy
+        levels = domain.height + 1
+        if capacity_per_level is None:
+            capacity_per_level = max(1, math.ceil(2 * levels / accuracy))
+        self.capacity_per_level = capacity_per_level
+        self.levels = [SpaceSaving(capacity_per_level) for _ in range(levels)]
+        self.total = 0
+
+    def process(self, update: Update) -> None:
+        if update.delta < 0:
+            raise ValueError("the HHH algorithm expects insertions")
+        self.total += update.delta
+        for prefix in self.domain.ancestors(update.item):
+            self.levels[prefix.level].offer(prefix.value, update.delta)
+
+    def level_error(self, level: int) -> float:
+        """SpaceSaving overestimate bound at one level."""
+        return self.levels[level].error_bound
+
+    def query(self) -> dict[Prefix, float]:
+        """The approximate HHH set with underestimated counts (Def 2.10)."""
+        return select_hhh(
+            domain=self.domain,
+            level_estimates=[s.items() for s in self.levels],
+            level_errors=[s.error_bound for s in self.levels],
+            total=float(self.total),
+            gamma=self.gamma - self.accuracy / 2.0,
+        )
+
+    def estimate(self, prefix: Prefix) -> float:
+        """Underestimate of the prefix's (unconditioned) subtree mass."""
+        level = self.levels[prefix.level]
+        return max(0.0, level.estimate(prefix.value) - level.error_bound)
+
+    def space_bits(self) -> int:
+        return sum(
+            level.space_bits(self.domain.universe_size) for level in self.levels
+        )
+
+    def _state_fields(self) -> dict:
+        return {
+            "total": self.total,
+            "levels": tuple(dict(level.counters) for level in self.levels),
+        }

@@ -1,0 +1,103 @@
+"""Robust hierarchical heavy hitters (Algorithm 4, Theorem 2.14).
+
+Algorithm 2's epoch scheme with BernHHH instances in place of BernMG:
+a Morris clock estimates the stream position, two BernHHH instances ride
+exponentially growing length guesses, and queries go to the active
+instance.  Space (Theorem 2.14):
+
+    O((h/eps)(log n + log 1/eps + log log log m) + log log m)
+
+versus the deterministic ``O((h/eps)(log m + log n))`` of Theorem 2.11 --
+the same ``log m -> log log m`` trade as Theorem 1.1, once per hierarchy
+level.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import StreamAlgorithm
+from repro.core.randomness import WitnessedRandom
+from repro.core.stream import Update
+from repro.heavyhitters.epochs import MorrisDoublingScheme
+from repro.hhh.bern_hhh import BernHHH
+from repro.hhh.domain import HierarchicalDomain, Prefix
+
+__all__ = ["RobustHHH"]
+
+
+class RobustHHH(StreamAlgorithm):
+    """Algorithm 4: white-box robust HHH with no exact length counter."""
+
+    name = "robust-hhh"
+
+    def __init__(
+        self,
+        domain: HierarchicalDomain,
+        gamma: float,
+        accuracy: float,
+        failure_probability_per_epoch: float = 0.05,
+        seed: int = 0,
+        capacity_per_level: int | None = None,
+    ) -> None:
+        if not 0 < accuracy <= gamma < 1:
+            raise ValueError(
+                f"need 0 < eps <= gamma < 1, got eps={accuracy}, gamma={gamma}"
+            )
+        super().__init__(seed=seed)
+        self.domain = domain
+        self.gamma = gamma
+        self.accuracy = accuracy
+
+        def make_instance(epoch: int, guess: int, random: WitnessedRandom) -> BernHHH:
+            return BernHHH(
+                domain=domain,
+                length_guess=guess,
+                gamma=gamma,
+                accuracy=accuracy / 2.0,
+                failure_probability=failure_probability_per_epoch,
+                random=random,
+                capacity_per_level=capacity_per_level,
+            )
+
+        self.scheme: MorrisDoublingScheme[BernHHH] = MorrisDoublingScheme(
+            base=max(2.0, 16.0 / accuracy),
+            factory=make_instance,
+            random=self.random,
+            clock_failure_probability=failure_probability_per_epoch,
+        )
+
+    def process(self, update: Update) -> None:
+        if update.delta < 0:
+            raise ValueError("the HHH algorithm expects insertions")
+        self.scheme.tick(update.delta)
+        self.scheme.broadcast(lambda instance: instance.process(update))
+
+    def query(self) -> dict[Prefix, float]:
+        """Approximate HHHs (Definition 2.10) from the active instance."""
+        return self.scheme.active.hhh(
+            length_estimate=self.scheme.length_estimate()
+        )
+
+    def estimate(self, prefix: Prefix) -> float:
+        """Prefix-mass estimate from the active instance."""
+        return self.scheme.active.estimate(prefix)
+
+    def length_estimate(self) -> float:
+        """The Morris clock's stream-position estimate."""
+        return self.scheme.length_estimate()
+
+    def space_bits(self) -> int:
+        return self.scheme.space_bits(lambda instance: instance.space_bits())
+
+    def _state_fields(self) -> dict:
+        return {
+            "epoch": self.scheme.epoch,
+            "clock_exponent": self.scheme.clock.exponent,
+            "instances": {
+                j: {
+                    "length_guess": inst.length_guess,
+                    "probability": inst.probability,
+                    "total_sampled": inst.inner.total,
+                }
+                for j, inst in self.scheme.instances.items()
+            },
+        }

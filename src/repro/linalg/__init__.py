@@ -1,0 +1,24 @@
+"""Linear algebra: modular/exact algebra, rank decision (Thm 1.6), basis."""
+
+from repro.linalg.basis import StreamingRowBasis
+from repro.linalg.modular import (
+    integer_rank,
+    mod_kernel_vector,
+    mod_rank,
+    mod_row_echelon,
+    mod_solve_homogeneous,
+    rational_kernel_vector,
+)
+from repro.linalg.rank_decision import RankDecision, RowUpdate
+
+__all__ = [
+    "RankDecision",
+    "RowUpdate",
+    "StreamingRowBasis",
+    "integer_rank",
+    "mod_kernel_vector",
+    "mod_rank",
+    "mod_row_echelon",
+    "mod_solve_homogeneous",
+    "rational_kernel_vector",
+]

@@ -1,0 +1,189 @@
+"""Exact linear algebra over Z_q (prime q) and over the integers.
+
+Substrate for Theorem 1.6 (rank decision via SIS sketches) and for the
+white-box sketch attacks (which need exact kernel vectors -- floating-point
+nullspaces would hand the adversary *approximate* kernel vectors that the
+sketch still distinguishes).
+
+Everything is plain Python integers: the moduli are ``poly(n)`` and row
+counts are small, so exactness costs little and buys trustworthy
+experiments.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.crypto.modmath import modinv
+
+__all__ = [
+    "mod_rank",
+    "mod_row_echelon",
+    "mod_kernel_vector",
+    "mod_solve_homogeneous",
+    "integer_rank",
+    "rational_kernel_vector",
+]
+
+Matrix = Sequence[Sequence[int]]
+
+
+def _to_rows(matrix: Matrix) -> list[list[int]]:
+    rows = [list(map(int, row)) for row in matrix]
+    if rows and any(len(row) != len(rows[0]) for row in rows):
+        raise ValueError("ragged matrix")
+    return rows
+
+
+def mod_row_echelon(matrix: Matrix, q: int) -> tuple[list[list[int]], list[int]]:
+    """Row-reduce over Z_q (q prime).  Returns (echelon rows, pivot columns)."""
+    if q < 2:
+        raise ValueError(f"q must be >= 2, got {q}")
+    rows = [[value % q for value in row] for row in _to_rows(matrix)]
+    if not rows:
+        return [], []
+    cols = len(rows[0])
+    pivots: list[int] = []
+    rank = 0
+    for col in range(cols):
+        pivot_row = next(
+            (r for r in range(rank, len(rows)) if rows[r][col] % q != 0), None
+        )
+        if pivot_row is None:
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        inv = modinv(rows[rank][col], q)
+        rows[rank] = [(value * inv) % q for value in rows[rank]]
+        for r in range(len(rows)):
+            if r != rank and rows[r][col] % q != 0:
+                factor = rows[r][col]
+                rows[r] = [
+                    (value - factor * pivot) % q
+                    for value, pivot in zip(rows[r], rows[rank])
+                ]
+        pivots.append(col)
+        rank += 1
+        if rank == len(rows):
+            break
+    return rows, pivots
+
+
+def mod_rank(matrix: Matrix, q: int) -> int:
+    """Rank of ``matrix`` over the field Z_q (q prime)."""
+    _, pivots = mod_row_echelon(matrix, q)
+    return len(pivots)
+
+
+def mod_kernel_vector(matrix: Matrix, q: int) -> Optional[list[int]]:
+    """A nonzero vector ``x`` with ``matrix @ x = 0 (mod q)``, if one exists.
+
+    Entries are returned in ``[0, q)``; ``None`` when the kernel is trivial
+    (full column rank).
+    """
+    rows = _to_rows(matrix)
+    if not rows:
+        return None
+    cols = len(rows[0])
+    echelon, pivots = mod_row_echelon(rows, q)
+    if len(pivots) == cols:
+        return None
+    free_col = next(col for col in range(cols) if col not in pivots)
+    x = [0] * cols
+    x[free_col] = 1
+    # Back-substitute: pivot variables = -(free column entries).
+    for pivot_index, col in enumerate(pivots):
+        x[col] = (-echelon[pivot_index][free_col]) % q
+    return x
+
+
+def mod_solve_homogeneous(matrix: Matrix, q: int, max_solutions: int = 8) -> list[list[int]]:
+    """A basis-sized sample of kernel vectors (one per free column)."""
+    rows = _to_rows(matrix)
+    if not rows:
+        return []
+    cols = len(rows[0])
+    echelon, pivots = mod_row_echelon(rows, q)
+    solutions = []
+    for free_col in (c for c in range(cols) if c not in pivots):
+        x = [0] * cols
+        x[free_col] = 1
+        for pivot_index, col in enumerate(pivots):
+            x[col] = (-echelon[pivot_index][free_col]) % q
+        solutions.append(x)
+        if len(solutions) >= max_solutions:
+            break
+    return solutions
+
+
+def integer_rank(matrix: Matrix) -> int:
+    """Exact rank over the rationals (fraction-free Gaussian elimination)."""
+    rows = [[Fraction(value) for value in row] for row in _to_rows(matrix)]
+    if not rows:
+        return 0
+    cols = len(rows[0])
+    rank = 0
+    for col in range(cols):
+        pivot_row = next((r for r in range(rank, len(rows)) if rows[r][col]), None)
+        if pivot_row is None:
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        pivot = rows[rank][col]
+        for r in range(rank + 1, len(rows)):
+            if rows[r][col]:
+                factor = rows[r][col] / pivot
+                rows[r] = [v - factor * p for v, p in zip(rows[r], rows[rank])]
+        rank += 1
+        if rank == len(rows):
+            break
+    return rank
+
+
+def rational_kernel_vector(matrix: Matrix) -> Optional[list[int]]:
+    """A nonzero *integer* kernel vector of ``matrix`` over Q, if any.
+
+    Gaussian elimination over Fractions, solution cleared to integers by
+    the LCM of denominators and reduced by the GCD.  This is the exact
+    kernel the white-box sketch attack streams at AMS/CountSketch.
+    """
+    rows = [[Fraction(value) for value in row] for row in _to_rows(matrix)]
+    if not rows:
+        return None
+    cols = len(rows[0])
+    pivots: list[int] = []
+    rank = 0
+    for col in range(cols):
+        pivot_row = next((r for r in range(rank, len(rows)) if rows[r][col]), None)
+        if pivot_row is None:
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        pivot = rows[rank][col]
+        rows[rank] = [v / pivot for v in rows[rank]]
+        for r in range(len(rows)):
+            if r != rank and rows[r][col]:
+                factor = rows[r][col]
+                rows[r] = [v - factor * p for v, p in zip(rows[r], rows[rank])]
+        pivots.append(col)
+        rank += 1
+        if rank == len(rows):
+            break
+    if len(pivots) == cols:
+        return None
+    free_col = next(col for col in range(cols) if col not in pivots)
+    solution = [Fraction(0)] * cols
+    solution[free_col] = Fraction(1)
+    for pivot_index, col in enumerate(pivots):
+        solution[col] = -rows[pivot_index][free_col]
+    # Clear denominators, reduce by gcd.
+    from math import gcd
+
+    lcm = 1
+    for value in solution:
+        lcm = lcm * value.denominator // gcd(lcm, value.denominator)
+    integers = [int(value * lcm) for value in solution]
+    divisor = 0
+    for value in integers:
+        divisor = gcd(divisor, abs(value))
+    if divisor > 1:
+        integers = [value // divisor for value in integers]
+    return integers

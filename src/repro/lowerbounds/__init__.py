@@ -1,0 +1,51 @@
+"""Executable lower bounds: Theorems 1.4, 1.9, 1.10, 1.11."""
+
+from repro.lowerbounds.counting import (
+    CountingBoundCertificate,
+    ProgramMeasurement,
+    best_h,
+    counting_lower_bound,
+    measure_program,
+)
+from repro.lowerbounds.fp_moments import (
+    FpReductionRow,
+    ams_factory,
+    exact_f2_factory,
+    f2_of_combined,
+    gap_equality_f2_bridge,
+    run_fp_reduction,
+)
+from repro.lowerbounds.neighborhood import (
+    OrEqualityGraphReport,
+    or_equality_graph,
+    solve_or_equality,
+)
+from repro.lowerbounds.rank import (
+    ExactDiagonalRank,
+    RankReductionRow,
+    gap_equality_rank_bridge,
+    rank_of_combined,
+    run_rank_reduction,
+)
+
+__all__ = [
+    "CountingBoundCertificate",
+    "ExactDiagonalRank",
+    "FpReductionRow",
+    "OrEqualityGraphReport",
+    "ProgramMeasurement",
+    "RankReductionRow",
+    "ams_factory",
+    "best_h",
+    "counting_lower_bound",
+    "exact_f2_factory",
+    "f2_of_combined",
+    "gap_equality_f2_bridge",
+    "gap_equality_rank_bridge",
+    "measure_program",
+    "or_equality_graph",
+    "rank_of_combined",
+    "run_fp_reduction",
+    "run_rank_reduction",
+    "solve_or_equality",
+]

@@ -1,0 +1,115 @@
+"""Theorem 1.9 (F_p moments need Omega(n) space), executable (Theorem 3.3).
+
+The reduction: Gap Equality rides on F_p estimation.  Alice streams her
+weight-``n/2`` string's support; Bob streams his; on the combined frequency
+vector ``x + y``,
+
+    F_2(x + y) = 2n - HAM(x, y)
+
+(overlap coordinates hold value 2, symmetric-difference coordinates hold
+value 1), so a sufficiently sharp constant-factor F_2 approximation decides
+``x = y`` versus ``HAM >= gap``.  Running Theorem 1.8's derandomization:
+
+* with the exact F_2 algorithm (linear space), a deterministic protocol
+  materializes and verifies exhaustively -- its message is Theta(n) bits,
+  respecting the [BCW98] Omega(n) bound;
+* with a sublinear AMS sketch, *no seed survives all Bob inputs* (the
+  kernel adversary exists), so the reduction reports failure -- the
+  empirical face of "sublinear white-box-robust F_p algorithms do not
+  exist".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.comm.problems import GapEqualityProblem
+from repro.comm.reduction import ReductionOutcome, StreamBridge, derandomize
+from repro.core.algorithm import StreamAlgorithm
+from repro.core.stream import Update
+from repro.moments.ams import AMSSketch
+from repro.moments.frequency import ExactFpMoment
+
+__all__ = [
+    "f2_of_combined",
+    "gap_equality_f2_bridge",
+    "run_fp_reduction",
+    "FpReductionRow",
+]
+
+
+def f2_of_combined(n: int, distance: int) -> float:
+    """``F_2(x + y) = 2n - d`` for weight-``n/2`` strings at distance ``d``.
+
+    With ``w = n/2`` ones each, ``(n - d)/2`` coordinates hold value 2
+    (contributing ``2(n - d)``) and ``d`` coordinates hold value 1
+    (contributing ``d``): total ``2n - d``.  Equal strings give ``2n``;
+    promise-far strings give at most ``2n - gap`` -- the constant-factor
+    gap Theorem 3.3 exploits.
+    """
+    return 2.0 * n - distance
+
+
+def gap_equality_f2_bridge(problem: GapEqualityProblem) -> StreamBridge:
+    """Encode Gap Equality as F2 estimation with a threshold interpreter.
+
+    The threshold sits halfway into the promise gap: estimates above
+    ``2n - gap/2`` read "equal", below read "far".
+    """
+    threshold = 2.0 * problem.n - problem.gap / 2.0
+
+    def to_stream(bits) -> list[Update]:
+        return [Update(i, 1) for i, bit in enumerate(bits) if bit]
+
+    return StreamBridge(
+        alice_stream=to_stream,
+        bob_stream=to_stream,
+        interpret=lambda estimate, y: bool(estimate > threshold),
+    )
+
+
+@dataclass(frozen=True)
+class FpReductionRow:
+    """One experiment row: algorithm vs. reduction outcome."""
+
+    algorithm: str
+    n: int
+    space_bits: int
+    reduction_succeeded: bool
+    protocol_bits: int | None
+    failed_inputs: int
+
+
+def run_fp_reduction(
+    n: int,
+    algorithm_factory: Callable[[int], StreamAlgorithm],
+    gap: int | None = None,
+    alice_seeds: Sequence[int] = tuple(range(8)),
+    bob_seeds: Sequence[int] = tuple(range(5)),
+) -> tuple[ReductionOutcome, FpReductionRow]:
+    """Run the Theorem 3.3 reduction for one algorithm at size ``n``."""
+    problem = GapEqualityProblem(n, gap=gap if gap is not None else max(1, n // 2))
+    bridge = gap_equality_f2_bridge(problem)
+    outcome = derandomize(
+        problem, algorithm_factory, bridge, alice_seeds, bob_seeds
+    )
+    row = FpReductionRow(
+        algorithm=outcome.algorithm_name,
+        n=n,
+        space_bits=outcome.max_state_bits,
+        reduction_succeeded=outcome.succeeded,
+        protocol_bits=outcome.report.message_bits if outcome.report else None,
+        failed_inputs=len(outcome.failed_inputs),
+    )
+    return outcome, row
+
+
+def exact_f2_factory(n: int) -> Callable[[int], StreamAlgorithm]:
+    """The linear-space survivor: exact F2."""
+    return lambda seed: ExactFpMoment(universe_size=n, p=2)
+
+
+def ams_factory(n: int, rows: int) -> Callable[[int], StreamAlgorithm]:
+    """The sublinear victim: an AMS sketch with ``rows`` sign rows."""
+    return lambda seed: AMSSketch(universe_size=n, rows=rows, seed=seed)

@@ -1,0 +1,128 @@
+"""Theorem 1.10 (matrix rank needs Omega(n) space), executable.
+
+Same template as the F_p bound, with rank as the distinguishing statistic:
+Alice's weight-``n/2`` string becomes the diagonal matrix ``diag(x)``, Bob
+adds ``diag(y)``; the combined matrix is ``diag(x + y)`` whose rank is the
+support size
+
+    rank(diag(x + y)) = |support(x + y)| = (n + HAM(x, y)) / 2
+
+(overlapping ones give value 2 -- still nonzero; symmetric-difference
+coordinates give 1; zeros elsewhere).  Equal strings: rank ``n/2``.
+Promise-far strings: rank ``>= n/2 + gap/2`` -- a constant-factor gap, so a
+C-approximation to rank decides Gap Equality and inherits its Omega(n)
+deterministic bound through Theorem 1.8.
+
+The matrix stream uses the packed (row, col) item encoding of
+:class:`repro.linalg.rank_decision.RankDecision`, so both the exact-rank
+algorithm and the SIS rank sketch plug straight into the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.comm.problems import GapEqualityProblem
+from repro.comm.reduction import ReductionOutcome, StreamBridge, derandomize
+from repro.core.algorithm import DeterministicAlgorithm, StreamAlgorithm
+from repro.core.space import bits_for_signed_int, bits_for_universe
+from repro.core.stream import Update
+
+__all__ = [
+    "rank_of_combined",
+    "gap_equality_rank_bridge",
+    "ExactDiagonalRank",
+    "run_rank_reduction",
+    "RankReductionRow",
+]
+
+
+def rank_of_combined(n: int, distance: int) -> int:
+    """``rank(diag(x + y)) = (n + d) / 2`` for weight-``n/2`` strings."""
+    return (n + distance) // 2
+
+
+class ExactDiagonalRank(DeterministicAlgorithm):
+    """Exact rank of a streamed diagonal matrix: the linear-space survivor.
+
+    Tracks the diagonal exactly (Theta(n) bits) and reports its support
+    size -- the rank of a diagonal matrix.
+    """
+
+    name = "exact-diagonal-rank"
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        self.n = n
+        self.diagonal: dict[int, int] = {}
+
+    def process(self, update: Update) -> None:
+        # Packed encoding: item = row * n + col; diagonal updates only.
+        row, col = divmod(update.item, self.n)
+        if row != col:
+            raise ValueError("diagonal-rank stream must update the diagonal")
+        value = self.diagonal.get(row, 0) + update.delta
+        if value == 0:
+            self.diagonal.pop(row, None)
+        else:
+            self.diagonal[row] = value
+
+    def query(self) -> int:
+        return len(self.diagonal)
+
+    def space_bits(self) -> int:
+        id_bits = bits_for_universe(max(2, self.n))
+        return sum(
+            id_bits + bits_for_signed_int(v) for v in self.diagonal.values()
+        ) or 1
+
+    def _state_fields(self) -> dict:
+        return {"diagonal": dict(self.diagonal)}
+
+
+def gap_equality_rank_bridge(problem: GapEqualityProblem) -> StreamBridge:
+    """Encode Gap Equality as rank estimation on ``diag(x + y)``."""
+    n = problem.n
+    threshold = n / 2.0 + problem.gap / 4.0
+
+    def to_stream(bits) -> list[Update]:
+        return [Update(i * n + i, 1) for i, bit in enumerate(bits) if bit]
+
+    return StreamBridge(
+        alice_stream=to_stream,
+        bob_stream=to_stream,
+        interpret=lambda rank, y: bool(rank < threshold),
+    )
+
+
+@dataclass(frozen=True)
+class RankReductionRow:
+    algorithm: str
+    n: int
+    space_bits: int
+    reduction_succeeded: bool
+    protocol_bits: int | None
+    failed_inputs: int
+
+
+def run_rank_reduction(
+    n: int,
+    algorithm_factory: Callable[[int], StreamAlgorithm],
+    gap: int | None = None,
+    alice_seeds: Sequence[int] = tuple(range(4)),
+    bob_seeds: Sequence[int] = tuple(range(3)),
+) -> tuple[ReductionOutcome, RankReductionRow]:
+    """Run the Theorem 1.10 reduction for one algorithm at size ``n``."""
+    problem = GapEqualityProblem(n, gap=gap if gap is not None else max(2, n // 2))
+    bridge = gap_equality_rank_bridge(problem)
+    outcome = derandomize(problem, algorithm_factory, bridge, alice_seeds, bob_seeds)
+    row = RankReductionRow(
+        algorithm=outcome.algorithm_name,
+        n=n,
+        space_bits=outcome.max_state_bits,
+        reduction_succeeded=outcome.succeeded,
+        protocol_bits=outcome.report.message_bits if outcome.report else None,
+        failed_inputs=len(outcome.failed_inputs),
+    )
+    return outcome, row

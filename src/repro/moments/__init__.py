@@ -1,0 +1,7 @@
+"""Frequency moments: exact F_p, the AMS sketch, inner products (Cor 2.8)."""
+
+from repro.moments.ams import AMSSketch
+from repro.moments.frequency import ExactFpMoment
+from repro.moments.inner_product import InnerProductEstimator, SampledVector
+
+__all__ = ["AMSSketch", "ExactFpMoment", "InnerProductEstimator", "SampledVector"]

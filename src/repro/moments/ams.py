@@ -1,0 +1,82 @@
+"""The AMS F2 sketch [AMS99] -- the paper's opening example of fragility.
+
+Section 1: "the famous AMS sketch for F2 estimation initializes a random
+sign vector Z, maintains <Z, f> in the stream, and outputs <Z, f>^2 ...
+However, the analysis demands that the randomness used to generate the sign
+vector Z is independent of the frequency vector f."
+
+In the white-box model the adversary sees ``Z`` immediately.  With ``s``
+independent sign vectors (rows), any ``s + 1`` columns are linearly
+dependent, so a frequency vector in the kernel exists with support
+``s + 1`` -- the adversary streams it and the sketch reads 0 while
+``F_2 = ||f||^2`` is huge.  :mod:`repro.adversaries.sketch_attack`
+implements the attack; this class is deliberately honest AMS, fully
+analyzable in the oblivious model and fully breakable here (the concrete
+face of Theorem 1.9's Omega(n) bound).
+
+Sign vectors are materialized lazily per item from seeded per-row
+generators, so the sketch itself uses ``O(s log m)``-bit state plus the
+seeds -- the standard accounting.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.algorithm import StreamAlgorithm
+from repro.core.space import bits_for_int
+from repro.core.stream import Update
+
+__all__ = ["AMSSketch"]
+
+
+class AMSSketch(StreamAlgorithm):
+    """Mean-of-squares AMS estimator with ``rows`` independent sign vectors."""
+
+    name = "ams-f2"
+
+    def __init__(self, universe_size: int, rows: int = 16, seed: int = 0) -> None:
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        super().__init__(seed=seed)
+        self.universe_size = universe_size
+        self.rows = rows
+        # Per-row seeds drawn from the witnessed source: white-box visible.
+        self.row_seeds = [self.random.bits(32) for _ in range(rows)]
+        self.accumulators = [0] * rows
+
+    def sign(self, row: int, item: int) -> int:
+        """The (row, item) entry of the sign matrix, derived from the seed.
+
+        Deterministic given the (public) seed -- this is what the white-box
+        adversary evaluates to build the kernel.
+        """
+        h = random.Random((self.row_seeds[row] << 20) ^ item)
+        return 1 if h.getrandbits(1) else -1
+
+    def process(self, update: Update) -> None:
+        for row in range(self.rows):
+            self.accumulators[row] += self.sign(row, update.item) * update.delta
+
+    def query(self) -> float:
+        """Mean of squared accumulators -- unbiased for F2 (obliviously)."""
+        return sum(a * a for a in self.accumulators) / self.rows
+
+    def sign_matrix(self) -> list[list[int]]:
+        """Materialize the full sign matrix (tests / attacks, small n)."""
+        return [
+            [self.sign(row, item) for item in range(self.universe_size)]
+            for row in range(self.rows)
+        ]
+
+    def space_bits(self) -> int:
+        magnitude = max((abs(a) for a in self.accumulators), default=1)
+        acc_bits = self.rows * (bits_for_int(max(1, magnitude)) + 1)
+        seed_bits = 32 * self.rows
+        return acc_bits + seed_bits
+
+    def _state_fields(self) -> dict:
+        return {
+            "row_seeds": tuple(self.row_seeds),
+            "accumulators": tuple(self.accumulators),
+        }

@@ -1,0 +1,44 @@
+"""Exact frequency-moment computation (the F_p oracle).
+
+``F_p(f) = sum_k |f_k|^p`` (Section 2 notation; ``F_0`` counts nonzeros).
+Linear space -- which, by Theorem 1.9, is unavoidable for *any* white-box
+robust constant-factor approximation with ``p != 1``.  This class is both
+the ground-truth oracle and the "algorithm that survives the lower bound"
+in experiment E11.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import DeterministicAlgorithm
+from repro.core.space import bits_for_signed_int, bits_for_universe
+from repro.core.stream import FrequencyVector, Update
+
+__all__ = ["ExactFpMoment"]
+
+
+class ExactFpMoment(DeterministicAlgorithm):
+    """Maintains the exact (sparse) frequency vector; answers ``F_p``."""
+
+    name = "exact-fp"
+
+    def __init__(self, universe_size: int, p: float) -> None:
+        if p < 0:
+            raise ValueError(f"p must be >= 0, got {p}")
+        super().__init__()
+        self.p = p
+        self.vector = FrequencyVector(universe_size, allow_negative=True)
+
+    def process(self, update: Update) -> None:
+        self.vector.apply(update)
+
+    def query(self) -> float:
+        return self.vector.fp_moment(self.p)
+
+    def space_bits(self) -> int:
+        id_bits = bits_for_universe(self.vector.universe_size)
+        return sum(
+            id_bits + bits_for_signed_int(v) for _, v in self.vector.items()
+        ) or 1
+
+    def _state_fields(self) -> dict:
+        return {"counts": dict(self.vector.items())}

@@ -1,0 +1,6 @@
+"""Sampling substrates: Bernoulli (Theorem 2.3) and reservoir sampling."""
+
+from repro.sampling.bernoulli import BernoulliSampler, bernoulli_rate
+from repro.sampling.reservoir import ReservoirSampler
+
+__all__ = ["BernoulliSampler", "ReservoirSampler", "bernoulli_rate"]

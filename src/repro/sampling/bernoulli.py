@@ -1,0 +1,96 @@
+"""Bernoulli sampling -- adversarially robust with no private state.
+
+Theorem 2.3 ([BY20], extended by the paper to white-box adversaries):
+sampling each stream item independently with probability
+``p >= C log(n / delta) / (eps^2 m)`` preserves epsilon-L1 heavy hitters.
+The white-box extension is *free* because the sampler keeps no private
+randomness: each coin is flipped fresh when the update arrives, after the
+adversary has already committed to the update, so seeing all previous coins
+gives the adversary no purchase on the next one.
+
+:func:`bernoulli_rate` computes the theorem's sampling probability;
+:class:`BernoulliSampler` draws through a witnessed source and scales counts
+by ``1/p`` for unbiased frequency estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.randomness import WitnessedRandom
+from repro.core.space import bits_for_int, bits_for_universe
+from repro.core.stream import Update
+
+__all__ = ["bernoulli_rate", "BernoulliSampler"]
+
+#: Constant C of Theorem 2.3; any fixed constant works, larger is safer.
+RATE_CONSTANT = 4.0
+
+
+def bernoulli_rate(
+    universe_size: int, stream_length: int, accuracy: float, failure_probability: float
+) -> float:
+    """The sampling probability ``p = C log(n / delta) / (eps^2 m)``, capped at 1."""
+    if universe_size < 1 or stream_length < 1:
+        raise ValueError("universe_size and stream_length must be positive")
+    if not 0 < accuracy < 1:
+        raise ValueError(f"accuracy must be in (0, 1), got {accuracy}")
+    if not 0 < failure_probability < 1:
+        raise ValueError(
+            f"failure_probability must be in (0, 1), got {failure_probability}"
+        )
+    rate = (
+        RATE_CONSTANT
+        * math.log(universe_size / failure_probability)
+        / (accuracy * accuracy * stream_length)
+    )
+    return min(1.0, rate)
+
+
+class BernoulliSampler:
+    """Independent p-sampling of stream updates with 1/p scaling.
+
+    Collects sampled items into a multiset; ``scaled_count(item)`` is the
+    unbiased estimate ``samples(item) / p`` of the item's frequency.
+    """
+
+    def __init__(self, probability: float, random: Optional[WitnessedRandom] = None, seed: int = 0) -> None:
+        if not 0 < probability <= 1:
+            raise ValueError(f"probability must be in (0, 1], got {probability}")
+        self.probability = probability
+        self.random = random if random is not None else WitnessedRandom(seed=seed)
+        self.samples: dict[int, int] = {}
+        self.sampled_total = 0
+        self.offered_total = 0
+
+    def offer(self, update: Update) -> bool:
+        """Flip the coin for one unit update; returns True if sampled.
+
+        Only unit insertions are meaningful here (Theorem 2.3 is stated for
+        insertion streams); a delta of ``d > 0`` is treated as ``d`` unit
+        offers.
+        """
+        if update.delta < 0:
+            raise ValueError("Bernoulli sampling is defined for insertion streams")
+        took_any = False
+        for _ in range(update.delta):
+            self.offered_total += 1
+            if self.random.bernoulli(self.probability):
+                self.samples[update.item] = self.samples.get(update.item, 0) + 1
+                self.sampled_total += 1
+                took_any = True
+        return took_any
+
+    def scaled_count(self, item: int) -> float:
+        """Unbiased frequency estimate ``samples / p``."""
+        return self.samples.get(item, 0) / self.probability
+
+    def scaled_total(self) -> float:
+        """Unbiased stream-length estimate."""
+        return self.sampled_total / self.probability
+
+    def space_bits(self, universe_size: int) -> int:
+        """Sampled multiset cost: id + count bits per distinct sample."""
+        id_bits = bits_for_universe(universe_size)
+        return sum(id_bits + bits_for_int(c) for c in self.samples.values()) or 1

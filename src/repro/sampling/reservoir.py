@@ -1,0 +1,58 @@
+"""Reservoir sampling (Vitter's Algorithm R) with witnessed randomness.
+
+[BY20, ABD+21] show reservoir sampling preserves subset densities against
+adaptive adversaries; like Bernoulli sampling it keeps no private randomness
+beyond the reservoir itself, which the white-box adversary sees anyway.
+Included as a substrate and as a robustness-experiment subject.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.randomness import WitnessedRandom
+from repro.core.space import bits_for_int, bits_for_universe
+
+__all__ = ["ReservoirSampler"]
+
+
+class ReservoirSampler:
+    """Uniform sample of ``capacity`` items from a stream of unknown length."""
+
+    def __init__(
+        self, capacity: int, random: Optional[WitnessedRandom] = None, seed: int = 0
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.random = random if random is not None else WitnessedRandom(seed=seed)
+        self.reservoir: list[int] = []
+        self.seen = 0
+
+    def offer(self, item: int) -> None:
+        """Offer one stream item."""
+        self.seen += 1
+        if len(self.reservoir) < self.capacity:
+            self.reservoir.append(item)
+            return
+        slot = self.random.randrange(self.seen)
+        if slot < self.capacity:
+            self.reservoir[slot] = item
+
+    def sample(self) -> tuple[int, ...]:
+        """The current reservoir contents."""
+        return tuple(self.reservoir)
+
+    def density(self, subset) -> float:
+        """Fraction of the reservoir landing in ``subset``."""
+        if not self.reservoir:
+            return 0.0
+        members = sum(1 for item in self.reservoir if item in subset)
+        return members / len(self.reservoir)
+
+    def space_bits(self, universe_size: int) -> int:
+        """Reservoir ids plus the seen-counter register."""
+        return (
+            len(self.reservoir) * bits_for_universe(universe_size)
+            + bits_for_int(max(1, self.seen))
+        )

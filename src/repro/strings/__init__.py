@@ -1,0 +1,28 @@
+"""Strings: periods, Karp-Rabin (+Fermat attack), robust matching (Alg 6)."""
+
+from repro.strings.chained_matching import ChainedPatternMatcher
+from repro.strings.karp_rabin import KarpRabin, fermat_collision_pair
+from repro.strings.pattern_matching import RobustPatternMatcher
+from repro.strings.period import (
+    check_lemma_2_25,
+    failure_function,
+    has_period,
+    make_periodic,
+    naive_occurrences,
+    period,
+)
+from repro.strings.robust_fingerprint import RobustStringEquality
+
+__all__ = [
+    "ChainedPatternMatcher",
+    "KarpRabin",
+    "RobustPatternMatcher",
+    "RobustStringEquality",
+    "check_lemma_2_25",
+    "failure_function",
+    "fermat_collision_pair",
+    "has_period",
+    "make_periodic",
+    "naive_occurrences",
+    "period",
+]

@@ -1,0 +1,154 @@
+"""Algorithm 6 with the paper's literal single-candidate chaining.
+
+:class:`RobustPatternMatcher` (the library default) keeps a FIFO of pending
+candidates for unconditional exactness.  This module implements the paper's
+lines 4-9 *literally*: one candidate position ``m``, reset whenever a
+window match lands off ``m``'s residue class (line 5-6), advanced by ``p``
+after each verified occurrence (line 9).  State is O(1) digests -- the
+``O(log T)`` bits of Theorem 1.7 -- plus the same p-symbol window buffer.
+
+The interesting scientific artifact: the chaining rule relies on the
+Lemma 2.25 progression structure, and there is a corner it does not cover
+-- a window match on ``m``'s residue class whose *chain is gapped* (the
+pattern's first block matches at ``m`` and at ``m + 2p`` but not at
+``m + p``).  The occurrence at ``m + 2p`` is silently absorbed into the
+pending verification of ``m``, which fails, and the newer start is never
+re-verified.  ``tests/test_strings_chained.py`` exhibits the miss on a
+crafted text and verifies agreement with the exact matcher everywhere the
+progression structure holds (in particular on all texts where every
+window match chain is contiguous -- the situation the paper's proof sketch
+of Lemma 2.26 assumes).
+
+Both matchers share the same CRHF fingerprint substrate, so the comparison
+isolates the candidate bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.space import bits_for_int
+from repro.crypto.crhf import CollisionResistantHash, generate_crhf
+from repro.crypto.fingerprint import SlidingWindowFingerprint, StreamFingerprint
+from repro.heavyhitters.phi_eps import crhf_security_bits_for_adversary
+from repro.strings.period import has_period, period as compute_period
+
+__all__ = ["ChainedPatternMatcher"]
+
+
+@dataclass
+class _Chain:
+    """The single candidate ``m`` with its prefix snapshot and deadline."""
+
+    start: int
+    snapshot: tuple[int, int]
+    deadline: int
+
+
+class ChainedPatternMatcher:
+    """Theorem 1.7's matcher with the paper's O(1)-candidate bookkeeping."""
+
+    def __init__(
+        self,
+        pattern: Sequence[int],
+        pattern_period: Optional[int] = None,
+        alphabet_size: int = 2,
+        adversary_time: int = 1 << 20,
+        seed: int = 0,
+        crhf: CollisionResistantHash | None = None,
+    ) -> None:
+        self.pattern = list(pattern)
+        if not self.pattern:
+            raise ValueError("pattern must be non-empty")
+        self.alphabet_size = alphabet_size
+        self.n = len(self.pattern)
+        self.p = (
+            pattern_period
+            if pattern_period is not None
+            else compute_period(self.pattern)
+        )
+        if not has_period(self.pattern, self.p):
+            raise ValueError(f"{self.p} is not a period of the pattern")
+        if crhf is None:
+            bits = crhf_security_bits_for_adversary(adversary_time, 2, 0.5)
+            crhf = generate_crhf(security_bits=max(16, bits), seed=seed)
+        self.crhf = crhf
+        self.psi = crhf.hash_sequence(self.pattern[: self.p], alphabet_size)
+        self.phi = crhf.hash_sequence(self.pattern, alphabet_size)
+
+        self.prefix = StreamFingerprint(crhf, alphabet_size)
+        self.delayed = StreamFingerprint(crhf, alphabet_size)
+        self.window = SlidingWindowFingerprint(crhf, alphabet_size, self.p)
+        self._lag: deque[int] = deque()
+        self.chain: Optional[_Chain] = None
+        self.matches: list[int] = []
+
+    def push(self, symbol: int) -> list[int]:
+        """Consume one text symbol; returns occurrences verified just now."""
+        reported: list[int] = []
+        self.prefix.push(symbol)
+        self._lag.append(symbol)
+        if len(self._lag) > self.p:
+            self.delayed.push(self._lag.popleft())
+        window_digest = self.window.push(symbol)
+        position = self.prefix.length
+
+        if window_digest is not None and window_digest == self.psi:
+            start = position - self.p
+            # Line 5-6: "if m != i (mod p) then m <- i".
+            if self.chain is None or (start - self.chain.start) % self.p != 0:
+                self.chain = _Chain(
+                    start=start,
+                    snapshot=self.delayed.snapshot(),
+                    deadline=start + self.n,
+                )
+
+        # Lines 7-9: verify when the candidate's n symbols are in.
+        if self.chain is not None and position == self.chain.deadline:
+            digest = self.prefix.substring_digest(self.chain.snapshot)
+            if digest == self.phi:
+                self.matches.append(self.chain.start)
+                reported.append(self.chain.start)
+                digest_m, length_m = self.chain.snapshot
+                # m <- m + p; snapshot extends by the confirmed P[1:p].
+                self.chain = _Chain(
+                    start=self.chain.start + self.p,
+                    snapshot=(
+                        self.crhf.concat(
+                            digest_m, self.psi, self.p, self.alphabet_size
+                        ),
+                        length_m + self.p,
+                    ),
+                    deadline=self.chain.start + self.p + self.n,
+                )
+            else:
+                self.chain = None
+        return reported
+
+    def push_all(self, symbols) -> list[int]:
+        """Consume a sequence of text symbols."""
+        reported: list[int] = []
+        for symbol in symbols:
+            reported.extend(self.push(symbol))
+        return reported
+
+    def occurrences(self) -> tuple[int, ...]:
+        """All verified occurrence starts so far (0-based)."""
+        return tuple(self.matches)
+
+    def space_bits(self) -> int:
+        """O(1) digests + the (documented) p-symbol window buffer."""
+        chain_bits = (
+            bits_for_int(max(1, self.chain.start)) + self.crhf.digest_bits()
+            if self.chain
+            else 1
+        )
+        return (
+            self.prefix.space_bits()
+            + self.delayed.space_bits()
+            + self.window.space_bits()
+            + 2 * self.crhf.digest_bits()
+            + chain_bits
+        )

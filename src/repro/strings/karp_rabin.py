@@ -1,0 +1,109 @@
+"""Karp-Rabin fingerprints and their white-box Fermat collision (§2.6).
+
+The classic fingerprint of ``U in {0,1}^n`` is ``sum_i U[i] x^i mod p`` for
+a random large prime ``p`` and generator ``x``.  Sound against oblivious
+inputs (Schwartz-Zippel) -- but the paper points out it is *not* robust to
+white-box adversaries: since ``x^{p-1} = 1 (mod p)`` (Fermat), the string
+with a single 1 at position ``i`` collides with the string with a single 1
+at position ``i + p - 1``, and an adversary who sees ``(p, x)`` writes the
+collision down immediately.  :func:`fermat_collision_pair` does exactly
+that; :mod:`repro.adversaries.fingerprint_attack` wraps it as a game
+adversary.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.space import bits_for_universe
+from repro.crypto.modmath import generator_mod_prime, is_probable_prime, next_prime
+
+__all__ = ["KarpRabin", "fermat_collision_pair"]
+
+
+class KarpRabin:
+    """Streaming Karp-Rabin fingerprint ``sum U[i] x^i mod p`` (i 1-based)."""
+
+    def __init__(self, prime: int, x: int) -> None:
+        if not is_probable_prime(prime):
+            raise ValueError(f"{prime} is not prime")
+        if not 1 < x < prime:
+            raise ValueError("x must lie in (1, p)")
+        self.prime = prime
+        self.x = x
+        self.fingerprint = 0
+        self.position = 0  # exponent of the next symbol
+        self._power = x  # x^{position+1}
+
+    @classmethod
+    def random_instance(cls, bits: int = 31, seed: int = 0) -> "KarpRabin":
+        """A fresh (p, x) pair; in the oblivious model this is all it takes."""
+        rng = random.Random(seed)
+        prime = next_prime(rng.getrandbits(bits) | (1 << (bits - 1)))
+        # A generator of Z_p^* (factor p-1 by trial division; fine at demo sizes).
+        factors = _prime_factors(prime - 1)
+        x = generator_mod_prime(prime, tuple(factors), rng)
+        return cls(prime, x)
+
+    def push(self, symbol: int) -> None:
+        """Append one symbol (binary or small integer alphabet)."""
+        self.position += 1
+        self.fingerprint = (self.fingerprint + symbol * self._power) % self.prime
+        self._power = (self._power * self.x) % self.prime
+
+    def push_all(self, symbols: Sequence[int]) -> None:
+        """Append a sequence of symbols."""
+        for symbol in symbols:
+            self.push(symbol)
+
+    def digest(self) -> int:
+        """The current fingerprint value."""
+        return self.fingerprint
+
+    @staticmethod
+    def of(symbols: Sequence[int], prime: int, x: int) -> int:
+        """Batch fingerprint (for tests and the attack)."""
+        kr = KarpRabin(prime, x)
+        kr.push_all(symbols)
+        return kr.digest()
+
+    def space_bits(self) -> int:
+        """Fingerprint + generator + power registers: O(log p)."""
+        return 3 * bits_for_universe(self.prime)
+
+
+def _prime_factors(n: int) -> list[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def fermat_collision_pair(prime: int, length: int) -> tuple[list[int], list[int]]:
+    """Two distinct binary strings with identical Karp-Rabin fingerprints.
+
+    Works for any generator ``x`` (the collision uses only Fermat's little
+    theorem): the indicator of position 1 collides with the indicator of
+    position ``p`` because ``x^p = x^1 * x^{p-1} = x``.
+
+    Requires ``length >= prime`` so both indicators fit; this is why the
+    attack demos use small primes -- the point is that the *adversary* pays
+    nothing beyond knowing ``p``, which the white-box model hands over.
+    """
+    if length < prime:
+        raise ValueError(
+            f"need length >= prime to place the collision, got {length} < {prime}"
+        )
+    u = [0] * length
+    v = [0] * length
+    u[0] = 1  # position 1 (1-based)
+    v[prime - 1] = 1  # position p: x^p = x^1 mod p
+    return u, v

@@ -1,0 +1,78 @@
+"""String periods (the structural input to Algorithm 6).
+
+The period of a string ``S`` of length ``n`` is the smallest ``pi`` such
+that ``S[1 : n - pi] = S[pi + 1 : n]`` (Section 2.6).  Computed via the KMP
+failure function: ``period = n - (longest proper border length)``.
+
+Lemma 2.25 [PP09] -- if a pattern with period ``p`` matches at position
+``i``, no match starts strictly between ``i`` and ``i + p`` -- is exposed as
+an executable check used by the property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "failure_function",
+    "period",
+    "has_period",
+    "make_periodic",
+    "naive_occurrences",
+    "check_lemma_2_25",
+]
+
+
+def failure_function(s: Sequence[int]) -> list[int]:
+    """KMP failure function: ``fail[i]`` = longest proper border of s[:i+1]."""
+    fail = [0] * len(s)
+    k = 0
+    for i in range(1, len(s)):
+        while k > 0 and s[i] != s[k]:
+            k = fail[k - 1]
+        if s[i] == s[k]:
+            k += 1
+        fail[i] = k
+    return fail
+
+
+def period(s: Sequence[int]) -> int:
+    """The smallest period of ``s``."""
+    if not s:
+        raise ValueError("the empty string has no period")
+    fail = failure_function(s)
+    return len(s) - fail[-1]
+
+
+def has_period(s: Sequence[int], p: int) -> bool:
+    """Does ``p`` function as a period of ``s`` (every p-shift matches)?"""
+    if p <= 0:
+        raise ValueError(f"period must be positive, got {p}")
+    return all(s[i] == s[i - p] for i in range(p, len(s)))
+
+
+def make_periodic(unit: Sequence[int], length: int) -> list[int]:
+    """Repeat ``unit`` (truncated) to exactly ``length`` symbols."""
+    if not unit:
+        raise ValueError("unit must be non-empty")
+    if length < 0:
+        raise ValueError("length must be >= 0")
+    reps = -(-length // len(unit))
+    return (list(unit) * reps)[:length]
+
+
+def naive_occurrences(pattern: Sequence[int], text: Sequence[int]) -> list[int]:
+    """All 0-based start positions of ``pattern`` in ``text`` (ground truth)."""
+    n, m = len(pattern), len(text)
+    if n == 0:
+        raise ValueError("pattern must be non-empty")
+    pattern = list(pattern)
+    text = list(text)
+    return [i for i in range(m - n + 1) if text[i : i + n] == pattern]
+
+
+def check_lemma_2_25(pattern: Sequence[int], text: Sequence[int]) -> bool:
+    """Executable Lemma 2.25: consecutive occurrences are >= period apart."""
+    p = period(pattern)
+    occurrences = naive_occurrences(pattern, text)
+    return all(b - a >= p for a, b in zip(occurrences, occurrences[1:]))

@@ -1,0 +1,68 @@
+"""Robust streaming string equality (Lemma 2.24).
+
+Replace Karp-Rabin with the discrete-log CRHF ``h(U) = g^{enc(U)} mod p``:
+equal digests imply equal strings unless the producer of the strings found
+a discrete-log relation, which a ``T``-time adversary cannot.  The digest is
+computable online as characters arrive (``H -> H^sigma g^a``), so two
+adaptively chosen streams can be compared in ``O(log min(T, n))`` bits.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.crhf import CollisionResistantHash, generate_crhf
+from repro.crypto.fingerprint import StreamFingerprint
+from repro.heavyhitters.phi_eps import crhf_security_bits_for_adversary
+
+__all__ = ["RobustStringEquality"]
+
+
+class RobustStringEquality:
+    """Compare two adaptively-generated streams for equality (Lemma 2.24).
+
+    Parameters
+    ----------
+    alphabet_size:
+        Symbol alphabet ``sigma`` (2 for bit strings).
+    adversary_time:
+        ``T``; the CRHF modulus is sized so a ``T``-time adversary cannot
+        find collisions, giving the ``O(log min(T, n))``-bit digests of the
+        lemma.
+    """
+
+    def __init__(
+        self,
+        alphabet_size: int = 2,
+        adversary_time: int = 1 << 20,
+        seed: int = 0,
+        crhf: CollisionResistantHash | None = None,
+    ) -> None:
+        if crhf is None:
+            bits = crhf_security_bits_for_adversary(adversary_time, 2, 0.5)
+            crhf = generate_crhf(security_bits=max(16, bits), seed=seed)
+        self.crhf = crhf
+        self.alphabet_size = alphabet_size
+        self.u = StreamFingerprint(crhf, alphabet_size)
+        self.v = StreamFingerprint(crhf, alphabet_size)
+
+    def push_u(self, symbol: int) -> None:
+        """Append one symbol to the U stream."""
+        self.u.push(symbol)
+
+    def push_v(self, symbol: int) -> None:
+        """Append one symbol to the V stream."""
+        self.v.push(symbol)
+
+    def equal(self) -> bool:
+        """Digest equality -- string equality up to CRHF collisions.
+
+        Lengths are compared first (unequal lengths are definitively
+        unequal; digests over different lengths could theoretically collide
+        without revealing a same-length collision).
+        """
+        return self.u.length == self.v.length and self.u.digest == self.v.digest
+
+    def space_bits(self) -> int:
+        """Two digests plus the CRHF parameters."""
+        return (
+            self.u.space_bits() + self.v.space_bits() + self.crhf.space_bits()
+        )

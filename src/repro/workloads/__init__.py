@@ -1,0 +1,35 @@
+"""Workload generators for experiments, examples, and benchmarks."""
+
+from repro.workloads.frequency import (
+    batched,
+    interleave,
+    planted_heavy_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.workloads.graphs import planted_twin_graph, random_vertex_stream
+from repro.workloads.hierarchy import planted_hhh_stream
+from repro.workloads.text import random_periodic_pattern, text_with_occurrences
+from repro.workloads.turnstile import (
+    churn_stream,
+    insert_delete_stream,
+    matrix_row_stream,
+    sparse_survivors_stream,
+)
+
+__all__ = [
+    "batched",
+    "churn_stream",
+    "insert_delete_stream",
+    "interleave",
+    "matrix_row_stream",
+    "planted_heavy_stream",
+    "planted_hhh_stream",
+    "planted_twin_graph",
+    "random_periodic_pattern",
+    "random_vertex_stream",
+    "sparse_survivors_stream",
+    "text_with_occurrences",
+    "uniform_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,47 @@
+"""Vertex-arrival graph workloads with planted duplicate neighborhoods."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.graphs.neighborhood import VertexArrival
+
+__all__ = ["planted_twin_graph", "random_vertex_stream"]
+
+
+def planted_twin_graph(
+    n_vertices: int,
+    twin_pairs: Sequence[tuple[int, int]],
+    density: float = 0.3,
+    seed: int = 0,
+) -> list[VertexArrival]:
+    """Random graph arrivals where each planted pair shares a neighborhood.
+
+    Non-twin vertices get independent random neighborhoods (which collide
+    only by chance); each pair in ``twin_pairs`` is forced identical.
+    """
+    rng = random.Random(seed)
+    planted = {v for pair in twin_pairs for v in pair}
+    neighborhoods: dict[int, frozenset[int]] = {}
+    for vertex in range(n_vertices):
+        if vertex in neighborhoods:
+            continue
+        neighbors = frozenset(
+            u for u in range(n_vertices) if u != vertex and rng.random() < density
+        )
+        neighborhoods[vertex] = neighbors
+    for a, b in twin_pairs:
+        shared = frozenset(u for u in neighborhoods[a] if u not in (a, b))
+        neighborhoods[a] = shared
+        neighborhoods[b] = shared
+    arrivals = [VertexArrival(v, neighborhoods[v]) for v in range(n_vertices)]
+    rng.shuffle(arrivals)
+    return arrivals
+
+
+def random_vertex_stream(
+    n_vertices: int, density: float = 0.3, seed: int = 0
+) -> list[VertexArrival]:
+    """Independent random neighborhoods (duplicate-free whp)."""
+    return planted_twin_graph(n_vertices, twin_pairs=[], density=density, seed=seed)

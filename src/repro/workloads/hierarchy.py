@@ -1,0 +1,45 @@
+"""Hierarchical (IP-prefix-style) traffic with planted HHHs.
+
+The DDoS-detection motivation of §2.2: attack traffic concentrates under a
+few prefixes (subnets) without any single leaf (host) being heavy.  The
+generator plants mass at chosen *prefixes*, spreading it uniformly over the
+leaves below, on top of uniform background noise.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.stream import Update
+from repro.hhh.domain import HierarchicalDomain, Prefix
+
+__all__ = ["planted_hhh_stream"]
+
+
+def planted_hhh_stream(
+    domain: HierarchicalDomain,
+    length: int,
+    planted: dict[Prefix, float],
+    seed: int = 0,
+) -> list[Update]:
+    """Traffic with ``planted[prefix] = fraction`` of the stream below it.
+
+    Mass under a planted prefix is spread uniformly over its leaves, so the
+    prefix is hierarchically heavy while individual leaves typically are
+    not.  Remaining mass is uniform over the whole universe.
+    """
+    total_fraction = sum(planted.values())
+    if total_fraction >= 1.0:
+        raise ValueError("planted fractions must sum below 1")
+    rng = random.Random(seed)
+    updates: list[Update] = []
+    for prefix, fraction in planted.items():
+        leaves = domain.leaves_below(prefix)
+        count = int(fraction * length)
+        updates.extend(
+            Update(rng.choice(leaves), 1) for _ in range(count)
+        )
+    while len(updates) < length:
+        updates.append(Update(rng.randrange(domain.universe_size), 1))
+    rng.shuffle(updates)
+    return updates

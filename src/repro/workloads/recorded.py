@@ -1,0 +1,105 @@
+"""Recording adversarial games into replayable oblivious workloads.
+
+An adaptive adversary's update sequence is a function of the algorithm's
+run; once recorded, it becomes a fixed stream that reproduces the exact
+same interaction against an identically-seeded algorithm (all randomness in
+this library is seed-deterministic).  That turns any white-box game into a
+portable regression artifact: attacks found by adaptive search can be
+frozen, shipped in test suites, and replayed against patched algorithms.
+
+``record_game`` wraps an adversary so every emitted update is captured;
+``replay`` feeds a captured stream through a fresh algorithm and reports
+whether the original failure (or success) reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.adversary import AdversaryView, ObliviousAdversary, WhiteBoxAdversary
+from repro.core.algorithm import StreamAlgorithm
+from repro.core.game import GameResult, GroundTruth, run_game
+
+__all__ = ["RecordingAdversary", "RecordedGame", "record_game", "replay"]
+
+
+class RecordingAdversary(WhiteBoxAdversary):
+    """Transparent wrapper capturing every update an adversary emits."""
+
+    name = "recording"
+
+    def __init__(self, inner: WhiteBoxAdversary) -> None:
+        super().__init__(budget=None)
+        self.inner = inner
+        self.captured = []
+
+    def next_update(self, view: AdversaryView):
+        update = self.inner.next_update(view)
+        if update is not None:
+            self.captured.append(update)
+        return update
+
+
+@dataclass
+class RecordedGame:
+    """A frozen adversarial interaction."""
+
+    updates: list
+    original_result: GameResult
+    algorithm_name: str
+
+    @property
+    def rounds(self) -> int:
+        return len(self.updates)
+
+
+def record_game(
+    algorithm: StreamAlgorithm,
+    adversary: WhiteBoxAdversary,
+    ground_truth: GroundTruth,
+    validator: Callable[[Any, Any], bool],
+    max_rounds: int,
+    query_every: int = 1,
+) -> RecordedGame:
+    """Run a white-box game while capturing the adversary's stream."""
+    recorder = RecordingAdversary(adversary)
+    result = run_game(
+        algorithm=algorithm,
+        adversary=recorder,
+        ground_truth=ground_truth,
+        validator=validator,
+        max_rounds=max_rounds,
+        query_every=query_every,
+    )
+    return RecordedGame(
+        updates=recorder.captured,
+        original_result=result,
+        algorithm_name=algorithm.name,
+    )
+
+
+def replay(
+    recorded: RecordedGame,
+    algorithm: StreamAlgorithm,
+    ground_truth: GroundTruth,
+    validator: Callable[[Any, Any], bool],
+    query_every: int = 1,
+) -> GameResult:
+    """Replay a captured stream obliviously against a fresh algorithm.
+
+    With the same algorithm seed the replay reproduces the original
+    interaction exactly (same coins, same answers); with a different seed
+    or a patched algorithm it measures whether the frozen attack still
+    bites.
+    """
+    if not recorded.updates:
+        raise ValueError("recorded game is empty")
+    return run_game(
+        algorithm=algorithm,
+        adversary=ObliviousAdversary(recorded.updates),
+        ground_truth=ground_truth,
+        validator=validator,
+        max_rounds=len(recorded.updates),
+        query_every=query_every,
+    )

@@ -1,0 +1,53 @@
+"""Text workloads: periodic patterns planted in random streams."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.strings.period import has_period, make_periodic
+
+__all__ = ["random_periodic_pattern", "text_with_occurrences"]
+
+
+def random_periodic_pattern(
+    length: int, period: int, alphabet_size: int = 2, seed: int = 0
+) -> list[int]:
+    """A pattern of exactly the given length whose period divides ``period``.
+
+    The generating unit is drawn at random; degenerate all-equal units are
+    rerolled so the pattern is not trivially 1-periodic (unless asked for).
+    """
+    if not 1 <= period <= length:
+        raise ValueError("need 1 <= period <= length")
+    rng = random.Random(seed)
+    while True:
+        unit = [rng.randrange(alphabet_size) for _ in range(period)]
+        if period == 1 or len(set(unit)) > 1:
+            pattern = make_periodic(unit, length)
+            assert has_period(pattern, period)
+            return pattern
+
+
+def text_with_occurrences(
+    pattern: Sequence[int],
+    text_length: int,
+    positions: Sequence[int],
+    alphabet_size: int = 2,
+    seed: int = 0,
+) -> list[int]:
+    """Random text with the pattern pasted at the given (0-based) starts.
+
+    Overlapping or colliding plants are allowed (the caller controls
+    positions); the ground truth should be recomputed with
+    :func:`repro.strings.period.naive_occurrences` since random background
+    can create extra occurrences by chance.
+    """
+    n = len(pattern)
+    if any(p < 0 or p + n > text_length for p in positions):
+        raise ValueError("a planted occurrence falls outside the text")
+    rng = random.Random(seed)
+    text = [rng.randrange(alphabet_size) for _ in range(text_length)]
+    for start in positions:
+        text[start : start + n] = list(pattern)
+    return text

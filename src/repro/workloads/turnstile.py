@@ -1,0 +1,101 @@
+"""Turnstile workloads: insert-delete patterns for L0 and rank experiments."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.stream import Update
+
+__all__ = [
+    "insert_delete_stream",
+    "churn_stream",
+    "sparse_survivors_stream",
+    "matrix_row_stream",
+]
+
+
+def insert_delete_stream(
+    universe_size: int,
+    survivors: Sequence[int],
+    churn_items: int,
+    churn_rounds: int = 1,
+    seed: int = 0,
+) -> list[Update]:
+    """Insert-and-fully-delete churn around a set of surviving items.
+
+    ``survivors`` end with frequency +1; ``churn_items`` other items are
+    inserted and deleted ``churn_rounds`` times (net zero) -- the workload
+    where insertion-only estimators (KMV) are unusable and turnstile L0
+    (Algorithm 5) must see through cancellations.
+    """
+    rng = random.Random(seed)
+    survivor_set = set(survivors)
+    pool = [i for i in range(universe_size) if i not in survivor_set]
+    if churn_items > len(pool):
+        raise ValueError("not enough non-survivor items to churn")
+    churners = rng.sample(pool, churn_items)
+    updates: list[Update] = [Update(item, 1) for item in survivors]
+    for _ in range(churn_rounds):
+        updates.extend(Update(item, 1) for item in churners)
+        updates.extend(Update(item, -1) for item in churners)
+    rng.shuffle(updates)
+    return updates
+
+
+def churn_stream(
+    universe_size: int, length: int, alive_target: int, seed: int = 0
+) -> list[Update]:
+    """Random walk over the support: keep ~``alive_target`` items nonzero."""
+    rng = random.Random(seed)
+    alive: set[int] = set()
+    updates: list[Update] = []
+    for _ in range(length):
+        if alive and (len(alive) > alive_target or rng.random() < 0.4):
+            item = rng.choice(sorted(alive))
+            updates.append(Update(item, -1))
+            alive.discard(item)
+        else:
+            item = rng.randrange(universe_size)
+            if item not in alive:
+                alive.add(item)
+                updates.append(Update(item, 1))
+            else:
+                updates.append(Update(item, 1))
+                updates.append(Update(item, -1))
+    return updates
+
+
+def sparse_survivors_stream(
+    universe_size: int, survivor_count: int, multiplicity: int = 3, seed: int = 0
+) -> tuple[list[Update], int]:
+    """Heavy insert/delete noise leaving exactly ``survivor_count`` alive.
+
+    Returns (updates, true_l0).
+    """
+    rng = random.Random(seed)
+    survivors = rng.sample(range(universe_size), survivor_count)
+    updates = []
+    for item in survivors:
+        for _ in range(multiplicity):
+            updates.append(Update(item, 1))
+        for _ in range(multiplicity - 1):
+            updates.append(Update(item, -1))
+    rng.shuffle(updates)
+    return updates, survivor_count
+
+
+def matrix_row_stream(
+    matrix: Sequence[Sequence[int]], n: int, seed: int = 0, shuffle: bool = True
+) -> list[Update]:
+    """Stream a matrix entry-by-entry in the packed (row*n + col) encoding."""
+    rng = random.Random(seed)
+    updates = [
+        Update(r * n + c, int(value))
+        for r, row in enumerate(matrix)
+        for c, value in enumerate(row)
+        if value
+    ]
+    if shuffle:
+        rng.shuffle(updates)
+    return updates

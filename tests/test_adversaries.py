@@ -1,0 +1,191 @@
+"""Tests for the attack modules and adaptive stress adversaries."""
+
+import pytest
+
+from repro.adversaries.distinct_attack import attack_kmv, attack_sis_l0
+from repro.adversaries.fingerprint_attack import (
+    attack_karp_rabin,
+    attack_robust_fingerprint,
+)
+from repro.adversaries.sketch_attack import (
+    KernelStreamAdversary,
+    ams_attack_updates,
+    ams_kernel_vector,
+    ams_sketch_from_view,
+    count_sketch_kernel_vector,
+)
+from repro.adversaries.stress import MorrisStressAdversary, ThresholdDancerAdversary
+from repro.core.game import frequency_truth, run_game
+from repro.core.stream import Update
+from repro.counters.morris import MorrisCountingAlgorithm
+from repro.crypto.crhf import generate_crhf
+from repro.crypto.sis import SISParams
+from repro.distinct.kmv import KMVEstimator
+from repro.distinct.sis_l0 import SisL0Estimator
+from repro.heavyhitters.count_sketch import CountSketch
+from repro.heavyhitters.robust_l1 import RobustL1HeavyHitters
+from repro.moments.ams import AMSSketch
+
+
+class TestAMSKernelAttack:
+    def test_kernel_vector_is_in_kernel(self):
+        sketch = AMSSketch(universe_size=32, rows=5, seed=1)
+        vector = ams_kernel_vector(sketch)
+        signs = sketch.sign_matrix()
+        for row in signs:
+            assert sum(s * v for s, v in zip(row, vector)) == 0
+        assert any(vector)
+
+    def test_attack_zeroes_the_sketch(self):
+        sketch = AMSSketch(universe_size=32, rows=5, seed=2)
+        updates = ams_attack_updates(sketch)
+        truth = sum(u.delta**2 for u in updates)
+        for update in updates:
+            sketch.feed(update)
+        assert sketch.query() == 0.0
+        assert truth > 0  # the true F2 is positive: estimate is wrong
+
+    def test_universe_too_small(self):
+        sketch = AMSSketch(universe_size=3, rows=5, seed=3)
+        with pytest.raises(ValueError):
+            ams_kernel_vector(sketch)
+
+    def test_clone_from_state_view(self):
+        sketch = AMSSketch(universe_size=32, rows=4, seed=4)
+        clone = ams_sketch_from_view(sketch.state_view())
+        assert clone.row_seeds == sketch.row_seeds
+        # Signs agree wherever both are defined.
+        for row in range(4):
+            for item in range(clone.universe_size):
+                assert clone.sign(row, item) == sketch.sign(row, item)
+
+    def test_game_adversary_defeats_ams(self):
+        universe = 16
+
+        def extract(view):
+            clone = ams_sketch_from_view(view)
+            clone.universe_size = universe
+            return clone
+
+        sketch = AMSSketch(universe_size=universe, rows=4, seed=5)
+        adversary = KernelStreamAdversary(extract)
+        truth = frequency_truth(universe, truth_of=lambda fv: fv.fp_moment(2))
+        result = run_game(
+            algorithm=sketch,
+            adversary=adversary,
+            ground_truth=truth,
+            validator=lambda answer, truth_value: (
+                truth_value == 0 or 0.5 <= (answer or 0) / truth_value <= 2.0
+            ),
+            max_rounds=64,
+        )
+        assert not result.algorithm_won  # the white-box adversary wins
+
+
+class TestCountSketchAttack:
+    def test_kernel_zeroes_table(self):
+        sketch = CountSketch(universe_size=32, width=3, depth=2, seed=6)
+        kernel = count_sketch_kernel_vector(sketch)
+        for item, value in enumerate(kernel):
+            if value:
+                sketch.feed(Update(item, value))
+        assert all(all(v == 0 for v in row) for row in sketch.table)
+        assert any(kernel)
+
+    def test_universe_too_small(self):
+        sketch = CountSketch(universe_size=5, width=4, depth=2, seed=7)
+        with pytest.raises(ValueError):
+            count_sketch_kernel_vector(sketch)
+
+
+class TestKMVAttack:
+    def test_inflation(self):
+        kmv = KMVEstimator(universe_size=2048, k=16, seed=8)
+        report = attack_kmv(kmv, direction="inflate")
+        assert report.succeeded
+        assert report.estimate > 4 * report.true_l0
+
+    def test_suppression(self):
+        kmv = KMVEstimator(universe_size=2048, k=16, seed=9)
+        report = attack_kmv(kmv, direction="suppress")
+        assert report.succeeded
+        assert report.estimate < report.true_l0 / 2
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError):
+            attack_kmv(KMVEstimator(64, k=4), direction="sideways")
+
+
+class TestSISAttack:
+    def test_toy_instance_is_fooled(self):
+        estimator = SisL0Estimator(
+            universe_size=64,
+            params=SISParams(rows=1, cols=8, modulus=17, beta=16.0),
+            seed=10,
+        )
+        report = attack_sis_l0(estimator, brute_force_bound=2, max_candidates=500_000)
+        assert report.found
+        assert report.estimator_fooled
+        assert report.reported == 0 and report.true_l0 > 0
+
+    def test_standard_instance_resists_small_budget(self):
+        estimator = SisL0Estimator(universe_size=1024, eps=0.5, c=0.25, seed=11)
+        report = attack_sis_l0(
+            estimator, brute_force_bound=1, max_candidates=5_000, try_lll=False
+        )
+        assert not report.found
+        assert not report.estimator_fooled
+
+
+class TestFingerprintAttacks:
+    def test_karp_rabin_breaks_instantly(self):
+        report = attack_karp_rabin(prime=101, x=7)
+        assert report.succeeded
+        assert report.operations == 1
+        u, v = report.collision
+        assert u != v
+
+    def test_crhf_resists_budgeted_search(self):
+        crhf = generate_crhf(security_bits=64, seed=12)
+        report = attack_robust_fingerprint(crhf, budget=500)
+        assert not report.succeeded
+        assert report.operations == 500
+
+
+class TestStressAdversaries:
+    def test_morris_survives_adaptive_stopping(self):
+        eps = 0.5
+        algorithm = MorrisCountingAlgorithm(
+            accuracy=eps, failure_probability=1e-4, seed=13
+        )
+        adversary = MorrisStressAdversary(max_rounds=5_000, target_deviation=eps)
+        truth = frequency_truth(4, truth_of=lambda fv: len(fv))
+        result = run_game(
+            algorithm=algorithm,
+            adversary=adversary,
+            ground_truth=truth,
+            validator=lambda answer, count: (
+                count <= 8 or abs(answer - count) <= eps * count
+            ),
+            max_rounds=5_000,
+        )
+        assert result.algorithm_won
+
+    def test_robust_hh_survives_threshold_dancer(self):
+        eps = 0.1
+        algorithm = RobustL1HeavyHitters(200, accuracy=eps, seed=14)
+        adversary = ThresholdDancerAdversary(
+            max_rounds=5_000, universe_size=200, threshold=eps
+        )
+        truth = frequency_truth(
+            200, truth_of=lambda fv: fv.heavy_hitters(2 * eps)
+        )
+        result = run_game(
+            algorithm=algorithm,
+            adversary=adversary,
+            ground_truth=truth,
+            validator=lambda answer, heavy: all(item in answer for item in heavy),
+            max_rounds=5_000,
+            query_every=100,
+        )
+        assert result.algorithm_won

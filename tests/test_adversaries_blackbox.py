@@ -1,0 +1,63 @@
+"""Tests for the black-box sign learner and the interaction-gap report."""
+
+import pytest
+
+from repro.adversaries.blackbox_attack import (
+    BlackBoxSignLearner,
+    compare_attack_rounds,
+)
+from repro.core.stream import Update
+from repro.moments.ams import AMSSketch
+
+
+class TestBlackBoxLearner:
+    def test_requires_single_row(self):
+        with pytest.raises(ValueError):
+            BlackBoxSignLearner(AMSSketch(16, rows=2))
+
+    def test_learned_signs_match_truth(self):
+        sketch = AMSSketch(32, rows=1, seed=1)
+        learner = BlackBoxSignLearner(sketch)
+        learned = learner.learn_full_vector()
+        truth = [sketch.sign(0, j) for j in range(32)]
+        base = truth[0]
+        assert learned == [base * t for t in truth] or learned == [
+            t * base for t in truth
+        ]
+        # Learned values are relative to coordinate 0.
+        assert learned[0] == 1
+        assert all(learned[j] == truth[0] * truth[j] for j in range(32))
+
+    def test_probes_leave_sketch_clean(self):
+        sketch = AMSSketch(16, rows=1, seed=2)
+        learner = BlackBoxSignLearner(sketch)
+        learner.learn_coordinate(5)
+        assert sketch.query() == 0.0  # probe fully undone
+
+    def test_kernel_vector_breaks_sketch(self):
+        sketch = AMSSketch(64, rows=1, seed=3)
+        learner = BlackBoxSignLearner(sketch)
+        kernel = learner.find_kernel_vector()
+        for item, value in enumerate(kernel):
+            if value:
+                sketch.feed(Update(item, value))
+        assert sketch.query() == 0.0
+        assert sum(v * v for v in kernel) > 0
+
+    def test_interaction_cost_counts_probes(self):
+        sketch = AMSSketch(64, rows=1, seed=4)
+        learner = BlackBoxSignLearner(sketch)
+        learner.find_kernel_vector()
+        assert learner.interactions >= 5  # at least one full probe
+        assert learner.interactions % 5 == 0
+
+
+class TestCompareAttackRounds:
+    def test_gap_is_measured(self):
+        report = compare_attack_rounds(universe_size=32, seed=7)
+        assert report.black_box_succeeded
+        assert report.white_box_succeeded
+        assert report.white_box_interactions == 0
+        assert report.black_box_interactions >= 5
+        # Full learning is ~5 interactions per coordinate.
+        assert report.full_learning_interactions == 5 * 31

@@ -1,0 +1,123 @@
+"""Tests for communication problems, protocols, and the §3.3 matrix."""
+
+import math
+
+import pytest
+
+from repro.comm.matrix import build_matrix
+from repro.comm.problems import (
+    EqualityProblem,
+    GapEqualityProblem,
+    IndexProblem,
+    OrEqualityProblem,
+    balanced_strings,
+    hamming,
+)
+from repro.comm.protocols import (
+    OneWayProtocol,
+    distinct_message_lower_bound,
+    fooling_set_bound,
+    verify_protocol,
+)
+from repro.comm.reduction import StreamBridge
+from repro.core.stream import Update
+from repro.lowerbounds.fp_moments import exact_f2_factory, gap_equality_f2_bridge
+
+
+class TestProblems:
+    def test_hamming(self):
+        assert hamming((0, 1, 1), (1, 1, 0)) == 2
+        with pytest.raises(ValueError):
+            hamming((0,), (0, 1))
+
+    def test_balanced_strings(self):
+        strings = balanced_strings(4, 2)
+        assert len(strings) == 6
+        assert all(sum(s) == 2 for s in strings)
+        with pytest.raises(ValueError):
+            balanced_strings(3, 4)
+
+    def test_equality(self):
+        problem = EqualityProblem(3)
+        assert len(list(problem.alice_inputs())) == 8
+        assert problem.evaluate((0, 1, 0), (0, 1, 0))
+        assert not problem.evaluate((0, 1, 0), (0, 1, 1))
+
+    def test_gap_equality_promise(self):
+        problem = GapEqualityProblem(4, gap=3)
+        assert problem.in_promise((1, 1, 0, 0), (1, 1, 0, 0))
+        # HAM = 2 < gap = 3: outside the promise.
+        assert not problem.in_promise((1, 1, 0, 0), (1, 0, 1, 0))
+        # HAM = 4 >= 3: inside.
+        assert problem.in_promise((1, 1, 0, 0), (0, 0, 1, 1))
+        pairs = list(problem.instance_pairs())
+        for x, y in pairs:
+            assert x == y or hamming(x, y) >= 2
+
+    def test_index(self):
+        problem = IndexProblem(3)
+        assert problem.evaluate((0, 1, 0), 1) == 1
+        assert len(list(problem.bob_inputs())) == 3
+
+    def test_or_equality(self):
+        problem = OrEqualityProblem(2, 2)
+        xs = ((0, 1), (1, 1))
+        ys = ((0, 1), (0, 1))
+        assert problem.evaluate(xs, ys) == (1, 0)
+
+
+class TestProtocols:
+    def test_identity_protocol_for_equality(self):
+        problem = EqualityProblem(3)
+        protocol = OneWayProtocol(
+            alice_message=lambda x: x,
+            bob_decide=lambda message, y: message == y,
+        )
+        report = verify_protocol(problem, protocol)
+        assert report.all_correct
+        assert report.distinct_messages == 8
+        assert report.message_bits == 3
+
+    def test_constant_protocol_fails(self):
+        problem = EqualityProblem(2)
+        protocol = OneWayProtocol(
+            alice_message=lambda x: 0,
+            bob_decide=lambda message, y: True,
+        )
+        report = verify_protocol(problem, protocol)
+        assert not report.all_correct
+        assert report.success_rate == 0.25  # only the 4 equal pairs
+
+    def test_fooling_set_for_equality_is_everything(self):
+        problem = EqualityProblem(3)
+        assert fooling_set_bound(problem) == 8
+        assert distinct_message_lower_bound(problem) == 3
+
+    def test_fooling_set_max_rows(self):
+        problem = EqualityProblem(4)
+        assert fooling_set_bound(problem, max_rows=5) == 5
+
+    def test_gap_equality_fooling_set_is_large(self):
+        problem = GapEqualityProblem(6, gap=3)
+        # Equal-pair diagonal forces distinct messages for far rows.
+        assert fooling_set_bound(problem) >= 4
+
+
+class TestCommunicationMatrix:
+    def test_exact_algorithm_has_perfect_p_state(self):
+        n = 4
+        problem = GapEqualityProblem(n, gap=2)
+        bridge = gap_equality_f2_bridge(problem)
+        matrix = build_matrix(
+            problem,
+            exact_f2_factory(n),
+            bridge,
+            alice_seeds=(0, 1),
+            bob_seeds=(0, 1),
+        )
+        for x in problem.alice_inputs():
+            for rx in (0, 1):
+                assert matrix.p_state(x, rx) == 1.0
+            assert matrix.expected_p_state(x) == 1.0
+        assert matrix.robustness_holds(0.9)
+        assert matrix.rows_partition_by_state()

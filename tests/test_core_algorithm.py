@@ -1,0 +1,100 @@
+"""Tests for the StreamAlgorithm base class and state views."""
+
+import pytest
+
+from repro.core.algorithm import DeterministicAlgorithm, StateView, StreamAlgorithm
+from repro.core.stream import Update
+
+
+class Echo(StreamAlgorithm):
+    """Minimal concrete algorithm for base-class behavior tests."""
+
+    name = "echo"
+
+    def __init__(self, seed=0):
+        super().__init__(seed=seed)
+        self.seen = []
+
+    def process(self, update):
+        self.seen.append((update.item, update.delta))
+
+    def query(self):
+        return list(self.seen)
+
+    def space_bits(self):
+        return max(1, 8 * len(self.seen))
+
+    def _state_fields(self):
+        return {"seen": tuple(self.seen)}
+
+
+class TestStreamAlgorithm:
+    def test_feed_tracks_position(self):
+        algorithm = Echo()
+        algorithm.feed(Update(1))
+        algorithm.feed(Update(2, 5))
+        assert algorithm.updates_processed == 2
+
+    def test_consume_chains(self):
+        algorithm = Echo().consume([Update(1), Update(2)])
+        assert algorithm.query() == [(1, 1), (2, 1)]
+        assert algorithm.updates_processed == 2
+
+    def test_state_view_includes_randomness(self):
+        algorithm = Echo(seed=9)
+        algorithm.random.bit()
+        view = algorithm.state_view()
+        assert isinstance(view, StateView)
+        assert view["seen"] == ()
+        assert view.randomness[0].label == "seed"
+        assert view.randomness[0].value == 9
+
+    def test_state_view_contains(self):
+        view = Echo().state_view()
+        assert "seen" in view
+        assert "nothing" not in view
+
+    def test_default_state_fields(self):
+        class Bare(StreamAlgorithm):
+            def process(self, update):
+                pass
+
+            def query(self):
+                return None
+
+            def space_bits(self):
+                return 1
+
+        bare = Bare()
+        bare.feed(Update(0))
+        assert bare.state_view()["updates_processed"] == 1
+
+
+class TestDeterministicMarker:
+    def test_marker_blocks_all_draw_kinds(self):
+        class Det(DeterministicAlgorithm):
+            def process(self, update):
+                pass
+
+            def query(self):
+                return None
+
+            def space_bits(self):
+                return 1
+
+        det = Det()
+        for method, args in [
+            ("bit", ()),
+            ("bits", (3,)),
+            ("randint", (0, 1)),
+            ("randrange", (2,)),
+            ("random", ()),
+            ("bernoulli", (0.5,)),
+            ("binomial", (3, 0.5)),
+            ("geometric", (0.5,)),
+            ("choice", ([1],)),
+            ("sign", ()),
+            ("spawn", ("x",)),
+        ]:
+            with pytest.raises(RuntimeError):
+                getattr(det.random, method)(*args)

@@ -1,0 +1,213 @@
+"""Tests for the white-box game runner."""
+
+from typing import Optional
+
+import pytest
+
+from repro.core.adversary import (
+    AdversaryView,
+    BlackBoxAdversary,
+    BudgetExhausted,
+    ObliviousAdversary,
+    WhiteBoxAdversary,
+)
+from repro.core.algorithm import DeterministicAlgorithm
+from repro.core.game import frequency_truth, run_game
+from repro.core.stream import Update
+from repro.counters.exact import ExactCounter
+
+
+class OffByOneCounter(DeterministicAlgorithm):
+    """A counter that starts answering wrong after 5 updates."""
+
+    name = "off-by-one"
+
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+
+    def process(self, update):
+        self.count += update.delta
+
+    def query(self):
+        return self.count if self.count <= 5 else self.count + 1
+
+    def space_bits(self):
+        return 8
+
+
+class SpendingAdversary(WhiteBoxAdversary):
+    def __init__(self, budget):
+        super().__init__(budget=budget)
+
+    def next_update(self, view: AdversaryView) -> Optional[Update]:
+        self.spend(10)
+        return Update(0, 1)
+
+
+def exact_count_truth():
+    return frequency_truth(universe_size=4, truth_of=lambda fv: len(fv))
+
+
+class TestRunGame:
+    def test_correct_algorithm_wins(self):
+        result = run_game(
+            algorithm=ExactCounter(),
+            adversary=ObliviousAdversary([Update(0, 1)] * 20),
+            ground_truth=exact_count_truth(),
+            validator=lambda answer, truth: answer == truth,
+            max_rounds=50,
+        )
+        assert result.algorithm_won
+        assert result.rounds_played == 20
+        assert result.adversary_gave_up
+        assert result.final_answer == 20
+
+    def test_failures_are_counted(self):
+        result = run_game(
+            algorithm=OffByOneCounter(),
+            adversary=ObliviousAdversary([Update(0, 1)] * 10),
+            ground_truth=exact_count_truth(),
+            validator=lambda answer, truth: answer == truth,
+            max_rounds=10,
+        )
+        assert not result.algorithm_won
+        assert result.total_failures == 5  # rounds 6..10
+        assert result.first_failure.round_index == 5
+
+    def test_failure_recording_is_truncated_but_counted(self):
+        result = run_game(
+            algorithm=OffByOneCounter(),
+            adversary=ObliviousAdversary([Update(0, 1)] * 30),
+            ground_truth=exact_count_truth(),
+            validator=lambda answer, truth: answer == truth,
+            max_rounds=30,
+            record_failures=3,
+        )
+        assert len(result.failures) == 3
+        assert result.total_failures == 25
+
+    def test_budget_exhaustion_ends_game(self):
+        result = run_game(
+            algorithm=ExactCounter(),
+            adversary=SpendingAdversary(budget=35),
+            ground_truth=exact_count_truth(),
+            validator=lambda answer, truth: answer == truth,
+            max_rounds=100,
+        )
+        assert result.budget_exhausted
+        assert result.rounds_played == 3  # 3 updates cost 30; 4th would hit 40
+
+    def test_query_every_thins_validation(self):
+        result = run_game(
+            algorithm=OffByOneCounter(),
+            adversary=ObliviousAdversary([Update(0, 1)] * 10),
+            ground_truth=exact_count_truth(),
+            validator=lambda answer, truth: answer == truth,
+            max_rounds=10,
+            query_every=4,
+        )
+        # Validated at rounds 4, 8, and the final round 10.
+        assert result.total_failures == 2
+
+    def test_space_tracking(self):
+        result = run_game(
+            algorithm=ExactCounter(),
+            adversary=ObliviousAdversary([Update(0, 1)] * 100),
+            ground_truth=exact_count_truth(),
+            validator=lambda answer, truth: True,
+            max_rounds=100,
+        )
+        assert result.final_space_bits == result.max_space_bits == 7  # 100 < 2^7
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            run_game(
+                ExactCounter(),
+                ObliviousAdversary([]),
+                exact_count_truth(),
+                lambda a, t: True,
+                max_rounds=0,
+            )
+        with pytest.raises(ValueError):
+            run_game(
+                ExactCounter(),
+                ObliviousAdversary([]),
+                exact_count_truth(),
+                lambda a, t: True,
+                max_rounds=5,
+                query_every=0,
+            )
+
+
+class TestAdversaryViews:
+    def test_white_box_sees_state_and_randomness(self):
+        seen = {}
+
+        class Peeker(WhiteBoxAdversary):
+            def next_update(self, view):
+                if view.round_index == 3:
+                    seen["state"] = view.latest_state
+                    return None
+                return Update(1, 1)
+
+        run_game(
+            algorithm=ExactCounter(),
+            adversary=Peeker(),
+            ground_truth=exact_count_truth(),
+            validator=lambda a, t: True,
+            max_rounds=10,
+        )
+        assert seen["state"] is not None
+        assert seen["state"]["count"] == 3
+        # The randomness transcript is part of the view (seed entry at least).
+        assert seen["state"].randomness[0].label == "seed"
+
+    def test_black_box_adapter_censors_states(self):
+        observed = {}
+
+        class BlackPeeker(BlackBoxAdversary):
+            def next_update_black_box(self, view):
+                observed["states"] = view.states
+                observed["outputs"] = view.outputs
+                if view.round_index >= 2:
+                    return None
+                return Update(0, 1)
+
+        run_game(
+            algorithm=ExactCounter(),
+            adversary=BlackPeeker(),
+            ground_truth=exact_count_truth(),
+            validator=lambda a, t: True,
+            max_rounds=5,
+        )
+        assert observed["states"] == ()
+        assert len(observed["outputs"]) == 2
+
+    def test_retain_history_bounds_view(self):
+        lengths = []
+
+        class Recorder(WhiteBoxAdversary):
+            def next_update(self, view):
+                lengths.append(len(view.updates))
+                return Update(0, 1)
+
+        run_game(
+            algorithm=ExactCounter(),
+            adversary=Recorder(),
+            ground_truth=exact_count_truth(),
+            validator=lambda a, t: True,
+            max_rounds=20,
+            retain_history=4,
+        )
+        assert max(lengths) == 4
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            SpendingAdversary(budget=0)
+
+    def test_spend_raises_past_budget(self):
+        adversary = SpendingAdversary(budget=15)
+        adversary.spend(10)
+        with pytest.raises(BudgetExhausted):
+            adversary.spend(10)

@@ -1,0 +1,103 @@
+"""Unit and property tests for the idealized bit-accounting model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.space import (
+    bits_for_float,
+    bits_for_int,
+    bits_for_range,
+    bits_for_signed_int,
+    bits_for_universe,
+    log2_ceil,
+    loglog_bits,
+)
+
+
+class TestLog2Ceil:
+    def test_one_needs_zero_bits(self):
+        assert log2_ceil(1) == 0
+
+    def test_powers_of_two(self):
+        for k in range(1, 20):
+            assert log2_ceil(2**k) == k
+
+    def test_between_powers_rounds_up(self):
+        assert log2_ceil(3) == 2
+        assert log2_ceil(5) == 3
+        assert log2_ceil(1025) == 11
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log2_ceil(0)
+        with pytest.raises(ValueError):
+            log2_ceil(-4)
+
+
+class TestBitsForInt:
+    def test_zero_still_costs_one_bit(self):
+        assert bits_for_int(0) == 1
+
+    def test_matches_bit_length(self):
+        assert bits_for_int(1) == 1
+        assert bits_for_int(255) == 8
+        assert bits_for_int(256) == 9
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits_for_int(-1)
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_monotone(self, v):
+        assert bits_for_int(v) <= bits_for_int(v + 1)
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_within_one_of_log(self, v):
+        assert abs(bits_for_int(v) - math.log2(v + 1)) <= 1.0
+
+
+class TestSignedAndRange:
+    def test_signed_adds_sign_bit(self):
+        assert bits_for_signed_int(-5) == bits_for_int(5) + 1
+        assert bits_for_signed_int(5) == bits_for_int(5) + 1
+
+    def test_range_sized_for_cap(self):
+        assert bits_for_range(0) == 1
+        assert bits_for_range(1) == 1
+        assert bits_for_range(255) == 8
+        assert bits_for_range(256) == 9
+
+    def test_range_rejects_negative_cap(self):
+        with pytest.raises(ValueError):
+            bits_for_range(-1)
+
+
+class TestUniverseAndFloat:
+    def test_universe(self):
+        assert bits_for_universe(1) == 1
+        assert bits_for_universe(2) == 1
+        assert bits_for_universe(1024) == 10
+
+    def test_universe_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bits_for_universe(0)
+
+    def test_float_precision(self):
+        assert bits_for_float() == 32
+        assert bits_for_float(64) == 64
+        with pytest.raises(ValueError):
+            bits_for_float(0)
+
+
+class TestLogLogBits:
+    def test_grows_doubly_logarithmically(self):
+        assert loglog_bits(2) <= loglog_bits(2**10) <= loglog_bits(2**1000)
+        # 2^1000 needs an exponent register of ~10 bits, not 1000.
+        assert loglog_bits(2**1000) <= 11
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            loglog_bits(0)

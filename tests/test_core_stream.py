@@ -1,0 +1,136 @@
+"""Tests for updates and the exact frequency-vector oracle."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.stream import FrequencyVector, Update, stream_from_items
+
+
+class TestUpdate:
+    def test_defaults_to_unit_insertion(self):
+        assert Update(3).delta == 1
+
+    def test_rejects_negative_item(self):
+        with pytest.raises(ValueError):
+            Update(-1)
+
+    def test_stream_from_items(self):
+        updates = list(stream_from_items([4, 4, 2]))
+        assert [(u.item, u.delta) for u in updates] == [(4, 1), (4, 1), (2, 1)]
+
+
+class TestFrequencyVector:
+    def test_apply_and_lookup(self):
+        fv = FrequencyVector(10)
+        fv.apply(Update(3, 2))
+        fv.apply(Update(3, -1))
+        assert fv[3] == 1
+        assert fv[4] == 0
+        assert len(fv) == 2  # two updates applied
+
+    def test_zero_coordinates_are_evicted(self):
+        fv = FrequencyVector(10)
+        fv.apply(Update(5, 3))
+        fv.apply(Update(5, -3))
+        assert fv.l0() == 0
+        assert 5 not in fv.support
+
+    def test_strict_mode_rejects_negative(self):
+        fv = FrequencyVector(10, allow_negative=False)
+        fv.apply(Update(1, 1))
+        with pytest.raises(ValueError):
+            fv.apply(Update(1, -2))
+
+    def test_turnstile_allows_negative(self):
+        fv = FrequencyVector(10)
+        fv.apply(Update(1, -5))
+        assert fv[1] == -5
+        assert fv.l1() == 5
+
+    def test_universe_bound_enforced(self):
+        fv = FrequencyVector(4)
+        with pytest.raises(ValueError):
+            fv.apply(Update(4, 1))
+
+    def test_rejects_bad_universe(self):
+        with pytest.raises(ValueError):
+            FrequencyVector(0)
+
+
+class TestNormsAndMoments:
+    def setup_method(self):
+        self.fv = FrequencyVector(8)
+        self.fv.extend([Update(0, 3), Update(1, -4), Update(5, 1)])
+
+    def test_l0_l1(self):
+        assert self.fv.l0() == 3
+        assert self.fv.l1() == 8
+
+    def test_f2(self):
+        assert self.fv.fp_moment(2) == 9 + 16 + 1
+
+    def test_f0_equals_l0(self):
+        assert self.fv.fp_moment(0) == 3.0
+
+    def test_lp_norm(self):
+        assert self.fv.lp_norm(2) == pytest.approx((9 + 16 + 1) ** 0.5)
+        assert self.fv.lp_norm(0) == 3.0
+
+    def test_rejects_negative_p(self):
+        with pytest.raises(ValueError):
+            self.fv.fp_moment(-1)
+
+    def test_heavy_hitters(self):
+        assert self.fv.heavy_hitters(0.45) == frozenset({1})
+        assert self.fv.heavy_hitters(0.3) == frozenset({0, 1})
+        with pytest.raises(ValueError):
+            self.fv.heavy_hitters(-0.1)
+
+    def test_inner_product(self):
+        other = FrequencyVector(8)
+        other.extend([Update(0, 2), Update(1, 1), Update(7, 9)])
+        assert self.fv.inner_product(other) == 3 * 2 + (-4) * 1
+        assert other.inner_product(self.fv) == self.fv.inner_product(other)
+
+    def test_dense_and_copy(self):
+        dense = self.fv.to_dense()
+        assert dense[0] == 3 and dense[1] == -4 and dense[5] == 1
+        clone = self.fv.copy()
+        clone.apply(Update(0, 1))
+        assert self.fv[0] == 3 and clone[0] == 4
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(-5, 5)),
+        max_size=60,
+    )
+)
+def test_l1_matches_reference(pairs):
+    fv = FrequencyVector(16)
+    reference = [0] * 16
+    for item, delta in pairs:
+        fv.apply(Update(item, delta))
+        reference[item] += delta
+    assert fv.l1() == sum(abs(v) for v in reference)
+    assert fv.l0() == sum(1 for v in reference if v)
+    assert fv.to_dense() == reference
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 9), st.integers(-3, 3)), max_size=40),
+    st.lists(st.tuples(st.integers(0, 9), st.integers(-3, 3)), max_size=40),
+)
+def test_inner_product_matches_reference(pairs_f, pairs_g):
+    f = FrequencyVector(10)
+    g = FrequencyVector(10)
+    dense_f = [0] * 10
+    dense_g = [0] * 10
+    for item, delta in pairs_f:
+        f.apply(Update(item, delta))
+        dense_f[item] += delta
+    for item, delta in pairs_g:
+        g.apply(Update(item, delta))
+        dense_g[item] += delta
+    assert f.inner_product(g) == sum(a * b for a, b in zip(dense_f, dense_g))

@@ -1,0 +1,67 @@
+"""Tests for deterministic counters (Theorem 1.11's upper-bound side)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stream import Update
+from repro.counters.deterministic import BucketedTimerCounter
+from repro.counters.exact import ExactCounter
+
+
+class TestExactCounter:
+    def test_counts(self):
+        counter = ExactCounter()
+        for _ in range(10):
+            counter.feed(Update(0, 1))
+        counter.feed(Update(1, 0))
+        assert counter.query() == 10
+
+    def test_space_is_bit_length(self):
+        counter = ExactCounter()
+        counter.count = 1023
+        assert counter.space_bits() == 10
+
+
+class TestBucketedTimerCounter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BucketedTimerCounter(accuracy=0.0)
+
+    def test_exact_for_small_counts(self):
+        counter = BucketedTimerCounter(accuracy=0.5)
+        for i in range(1, 8):
+            counter.feed(Update(0, 1))
+        # With eps = 0.5 early buckets have width <= 1: still exact-ish.
+        assert abs(counter.query() - 7) <= 0.5 * 7
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_always_within_one_plus_eps(self, bits):
+        eps = 0.5
+        counter = BucketedTimerCounter(accuracy=eps)
+        ones = 0
+        for bit in bits:
+            counter.feed(Update(0, bit))
+            ones += bit
+            estimate = counter.query()
+            assert abs(estimate - ones) <= eps * max(1, ones)
+
+    def test_timer_is_tracked(self):
+        counter = BucketedTimerCounter(accuracy=0.5)
+        for bit in (1, 0, 1, 0, 0):
+            counter.feed(Update(0, bit))
+        assert counter.timer == 5
+
+    def test_space_is_logarithmic(self):
+        counter = BucketedTimerCounter(accuracy=0.5)
+        for _ in range(5000):
+            counter.feed(Update(0, 1))
+        # Theta(log n): well above log log but below the count itself.
+        assert 4 <= counter.space_bits() <= 40
+
+    def test_state_fields(self):
+        counter = BucketedTimerCounter(accuracy=0.5)
+        counter.feed(Update(0, 1))
+        fields = counter.state_view().fields
+        assert {"bucket", "residual", "timer"} <= set(fields)

@@ -1,0 +1,118 @@
+"""Tests for Morris counters (Lemma 2.1)."""
+
+import pytest
+
+from repro.core.randomness import WitnessedRandom
+from repro.core.stream import Update
+from repro.counters.exact import ExactCounter
+from repro.counters.morris import MorrisCounter, MorrisCountingAlgorithm, MorrisEnsemble
+
+
+class TestMorrisCounter:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MorrisCounter(accuracy=0.0)
+        with pytest.raises(ValueError):
+            MorrisCounter(failure_probability=1.0)
+        with pytest.raises(ValueError):
+            MorrisCounter().increment(-1)
+
+    def test_zero_increments(self):
+        counter = MorrisCounter(seed=1)
+        counter.increment(0)
+        assert counter.estimate() == 0.0
+
+    def test_estimate_is_zero_initially(self):
+        assert MorrisCounter(seed=0).estimate() == 0.0
+
+    def test_accuracy_over_seeds(self):
+        """Deviation beyond eps should occur at most ~delta of the time."""
+        eps, delta = 0.3, 0.2
+        failures = 0
+        trials = 60
+        for seed in range(trials):
+            counter = MorrisCounter(
+                accuracy=eps, failure_probability=delta, seed=seed
+            )
+            counter.increment(50_000)
+            if abs(counter.estimate() - 50_000) > eps * 50_000:
+                failures += 1
+        # Allow generous slack over the Chebyshev bound (12 expected).
+        assert failures <= trials * delta * 2
+
+    def test_batched_increment_matches_distribution_coarsely(self):
+        """Geometric skipping and unit coins give similar estimates."""
+        unit_estimates = []
+        batch_estimates = []
+        for seed in range(40):
+            a = MorrisCounter(accuracy=0.4, failure_probability=0.2, seed=seed)
+            for _ in range(1250):
+                a.increment(8)  # unit-coin path (times <= 8)
+            unit_estimates.append(a.estimate())
+            b = MorrisCounter(accuracy=0.4, failure_probability=0.2, seed=seed)
+            b.increment(10_000)  # geometric path
+            batch_estimates.append(b.estimate())
+        unit_mean = sum(unit_estimates) / len(unit_estimates)
+        batch_mean = sum(batch_estimates) / len(batch_estimates)
+        assert abs(unit_mean - 10_000) < 2_500
+        assert abs(batch_mean - 10_000) < 2_500
+
+    def test_space_grows_doubly_logarithmically(self):
+        small = MorrisCounter(accuracy=0.5, failure_probability=0.25, seed=3)
+        small.increment(1_000)
+        large = MorrisCounter(accuracy=0.5, failure_probability=0.25, seed=3)
+        large.increment(10_000_000)
+        exact = ExactCounter()
+        exact.count = 10_000_000
+        # Morris grows by a few bits over 4 orders of magnitude...
+        assert large.space_bits() - small.space_bits() <= 4
+        # ...while sitting far below the exact counter.
+        assert large.space_bits() < exact.space_bits()
+
+    def test_shared_random_source_is_witnessed(self):
+        source = WitnessedRandom(seed=9, retain=None)
+        counter = MorrisCounter(accuracy=0.5, random=source)
+        counter.increment(100)
+        assert source.draws > 0
+
+
+class TestMorrisEnsemble:
+    def test_median_estimate(self):
+        ensemble = MorrisEnsemble(
+            accuracy=0.3, failure_probability=0.01, seed=4
+        )
+        ensemble.increment(20_000)
+        assert abs(ensemble.estimate() - 20_000) <= 0.5 * 20_000
+
+    def test_odd_number_of_copies(self):
+        ensemble = MorrisEnsemble(failure_probability=0.05, seed=1)
+        assert len(ensemble.counters) % 2 == 1
+
+    def test_space_scales_with_copies(self):
+        few = MorrisEnsemble(failure_probability=0.3, seed=1)
+        many = MorrisEnsemble(failure_probability=0.001, seed=1)
+        assert len(many.counters) > len(few.counters)
+        assert many.space_bits() > few.space_bits()
+
+
+class TestMorrisAlgorithm:
+    def test_counts_absolute_deltas(self):
+        algorithm = MorrisCountingAlgorithm(accuracy=0.3, seed=5)
+        algorithm.feed(Update(0, 3))
+        algorithm.feed(Update(1, -2))
+        algorithm.feed(Update(2, 0))
+        # 5 unit events counted (zero deltas skipped): estimate near 5.
+        assert 0 <= algorithm.query() <= 40
+
+    def test_state_view_exposes_exponent(self):
+        algorithm = MorrisCountingAlgorithm(seed=6)
+        algorithm.feed(Update(0, 100))
+        view = algorithm.state_view()
+        assert "exponent" in view
+        assert view["exponent"] == algorithm.counter.exponent
+
+    def test_ensemble_mode(self):
+        algorithm = MorrisCountingAlgorithm(seed=7, ensemble=True)
+        algorithm.feed(Update(0, 1000))
+        view = algorithm.state_view()
+        assert "exponents" in view

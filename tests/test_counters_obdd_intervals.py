@@ -1,0 +1,166 @@
+"""Tests for the Section 3.2 machinery: intervals, OBDDs, lemma invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counters.intervals import (
+    Interval,
+    IntervalFamily,
+    additive_error,
+    exceptional_times,
+    multiplicative_error,
+    polynomial_error,
+)
+from repro.counters.obdd import (
+    bucketed_counter_program,
+    exact_counter_program,
+    interval_profile,
+    program_errors,
+    state_count_profile,
+    truncated_counter_program,
+)
+
+
+class TestInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+        with pytest.raises(ValueError):
+            Interval(-1, 2)
+
+    def test_contains_and_shift(self):
+        assert Interval(1, 5).contains(Interval(2, 4))
+        assert not Interval(2, 4).contains(Interval(1, 5))
+        assert Interval(1, 3).shift(2) == Interval(3, 5)
+
+    def test_is_bound_multiplicative(self):
+        error = multiplicative_error(0.5)
+        assert Interval(10, 15).is_bound(error)  # 15 - 10 = 5 <= 0.5*10
+        assert not Interval(10, 16).is_bound(error)
+
+    def test_is_bound_additive(self):
+        error = additive_error(3)
+        assert Interval(1, 4).is_bound(error)
+        assert not Interval(1, 5).is_bound(error)
+
+    def test_polynomial_error(self):
+        error = polynomial_error(n=256, delta=0.5)  # factor 16 - 1 = 15
+        assert Interval(1, 16).is_bound(error)
+        assert not Interval(1, 17).is_bound(error)
+
+
+class TestIntervalFamily:
+    def test_maximality_normalization(self):
+        family = IntervalFamily(
+            [Interval(1, 3), Interval(2, 3), Interval(2, 5), Interval(4, 4)]
+        )
+        assert family.intervals == (Interval(1, 3), Interval(2, 5))
+
+    def test_covers_and_present(self):
+        family = IntervalFamily([Interval(1, 3), Interval(5, 9)])
+        assert family.covers(Interval(2, 3))
+        assert not family.covers(Interval(3, 5))
+        assert family.present(1) and family.present(5)
+        assert not family.present(2)
+
+    def test_initial_family(self):
+        assert IntervalFamily.initial().intervals == (Interval(1, 1),)
+
+    def test_lemma_checks(self):
+        now = IntervalFamily([Interval(1, 2)])
+        later_ok = IntervalFamily([Interval(1, 3)])
+        assert now.satisfies_lemma_3_6(later_ok)
+        assert now.satisfies_lemma_3_7(later_ok)
+        later_bad = IntervalFamily([Interval(1, 2)])
+        assert now.satisfies_lemma_3_6(later_bad)
+        assert not now.satisfies_lemma_3_7(later_bad)  # [2,3] uncovered
+
+
+class TestExceptionalTimes:
+    def test_definition(self):
+        trajectory = [
+            IntervalFamily([Interval(1, 1)]),
+            IntervalFamily([Interval(1, 2)]),  # 2 absent as left endpoint
+            IntervalFamily([Interval(1, 1), Interval(2, 3)]),
+        ]
+        # k=1 present at t=1; k+1=2 absent at t=2 -> exceptional at t=1.
+        assert exceptional_times(trajectory, 1) == [1]
+
+
+PROGRAMS = [
+    exact_counter_program(),
+    bucketed_counter_program(0.5),
+    truncated_counter_program(6),
+]
+
+
+class TestIntervalProfile:
+    @pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.name)
+    def test_lemmas_hold_on_every_program(self, program):
+        """Lemmas 3.5-3.7 are properties of *any* leveled program."""
+        families = interval_profile(program, horizon=40)
+        assert families[0] == IntervalFamily.initial()
+        for now, nxt in zip(families, families[1:]):
+            assert now.satisfies_lemma_3_6(nxt)
+            assert now.satisfies_lemma_3_7(nxt)
+
+    def test_exact_program_tracks_counts_exactly(self):
+        families = interval_profile(exact_counter_program(), horizon=10)
+        # At level t the counts 1..t+? are singleton intervals.
+        last = families[-1]
+        assert all(iv.width == 0 for iv in last)
+        assert len(last) == 11
+
+    def test_truncated_program_merges_counts(self):
+        families = interval_profile(truncated_counter_program(4), horizon=20)
+        # The saturated state absorbs everything above 4.
+        last = families[-1]
+        assert any(iv.width > 0 for iv in last)
+
+    def test_state_count_profile(self):
+        counts = state_count_profile(truncated_counter_program(4), horizon=20)
+        assert max(counts) <= 4
+        exact_counts = state_count_profile(exact_counter_program(), horizon=20)
+        assert exact_counts[-1] == 21
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            interval_profile(exact_counter_program(), horizon=-1)
+
+
+class TestProgramErrors:
+    def test_exact_program_has_no_errors(self):
+        assert program_errors(
+            exact_counter_program(), 50, multiplicative_error(0.01)
+        ) == []
+
+    def test_bucketed_program_is_correct_at_its_accuracy(self):
+        violations = program_errors(
+            bucketed_counter_program(0.5), 200, multiplicative_error(0.51)
+        )
+        assert violations == []
+
+    def test_truncated_program_violates(self):
+        violations = program_errors(
+            truncated_counter_program(4), 50, multiplicative_error(0.5)
+        )
+        assert violations
+        level, state, lo, hi = violations[0]
+        assert hi - lo > 0.5 * lo
+
+    def test_program_validation(self):
+        with pytest.raises(ValueError):
+            bucketed_counter_program(0.0)
+        with pytest.raises(ValueError):
+            truncated_counter_program(1)
+
+
+@given(st.integers(2, 40), st.integers(0, 60))
+@settings(max_examples=40, deadline=None)
+def test_truncated_interval_count_never_exceeds_states(max_states, horizon):
+    """|I(t)| lower-bounds the state count -- check the contrapositive."""
+    program = truncated_counter_program(max_states)
+    families = interval_profile(program, horizon)
+    for family in families:
+        assert len(family) <= max_states

@@ -1,0 +1,105 @@
+"""Tests for the greedy interval-family construction (Theorem 1.11's
+constructive companion)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counters.intervals import (
+    Interval,
+    IntervalFamily,
+    additive_error,
+    multiplicative_error,
+)
+from repro.counters.optimal_cover import greedy_trajectory, minimum_cover
+from repro.lowerbounds.counting import counting_lower_bound
+
+
+class TestMinimumCover:
+    def test_empty(self):
+        assert len(minimum_cover([], multiplicative_error(0.5))) == 0
+
+    def test_single_interval(self):
+        family = minimum_cover([Interval(4, 6)], multiplicative_error(0.5))
+        assert family.covers(Interval(4, 6))
+        assert len(family) == 1
+
+    def test_merges_when_bound_allows(self):
+        # eps(k) = k: [2,3] and [3,4] both fit inside [2,4].
+        family = minimum_cover(
+            [Interval(2, 3), Interval(3, 4)], multiplicative_error(1.0)
+        )
+        assert len(family) == 1
+        assert family.covers(Interval(2, 4))
+
+    def test_splits_when_bound_forbids(self):
+        # eps(k) = 1 (additive): [2,3] and [5,6] cannot share a cover.
+        family = minimum_cover(
+            [Interval(2, 3), Interval(5, 6)], additive_error(1.0)
+        )
+        assert len(family) == 2
+
+    def test_unboundable_interval_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_cover([Interval(2, 10)], additive_error(1.0))
+
+    def test_all_members_are_bound(self):
+        error = multiplicative_error(0.5)
+        required = [Interval(k, k + k // 3) for k in range(3, 30, 4)]
+        family = minimum_cover(required, error)
+        assert family.all_bound(error)
+        for interval in required:
+            assert family.covers(interval)
+
+
+class TestGreedyTrajectory:
+    def test_satisfies_the_lemmas(self):
+        error = multiplicative_error(0.5)
+        horizon = 120
+        family = IntervalFamily.initial()
+        from repro.counters.optimal_cover import minimum_cover as cover
+
+        for _ in range(horizon):
+            required = [iv for iv in family] + [iv.shift(1) for iv in family]
+            successor = cover(required, error)
+            assert family.satisfies_lemma_3_6(successor)
+            assert family.satisfies_lemma_3_7(successor)
+            assert successor.all_bound(error)
+            family = successor
+
+    def test_profile_matches_report(self):
+        report = greedy_trajectory(50, multiplicative_error(0.5))
+        assert report.sizes[0] == 1
+        assert report.max_size == max(report.sizes)
+        assert report.implied_bits >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            greedy_trajectory(-1, multiplicative_error(0.5))
+
+    @pytest.mark.parametrize("horizon", [100, 400, 1600])
+    def test_respects_the_lower_bound(self, horizon):
+        """Every valid trajectory sits above the Lemma 3.9 floor."""
+        error = multiplicative_error(0.5)
+        certificate = counting_lower_bound(horizon, error)
+        report = greedy_trajectory(horizon, error)
+        assert report.max_size >= certificate.min_states
+        # ... and below exact counting's t + 1 (the construction saves a
+        # constant factor by merging wherever eps slack allows).
+        assert report.max_size <= horizon + 1
+
+    def test_beats_exact_counting_by_a_constant_factor(self):
+        report = greedy_trajectory(1000, multiplicative_error(0.5))
+        assert report.max_size < 0.75 * 1001
+
+    def test_greedy_does_not_reach_the_cube_root_floor(self):
+        """The documented negative finding: per-step minimization grows
+        linearly (small-left-endpoint intervals can never merge), far above
+        the n^{1/3} certificate.  Both are Theta(log n) bits -- Theorem
+        1.11's actual claim -- differing only in the constant."""
+        error = multiplicative_error(0.5)
+        certificate = counting_lower_bound(1600, error)
+        report = greedy_trajectory(1600, error)
+        assert report.max_size > 10 * certificate.min_states
+        # Bit view: greedy, exact, and the floor are all Theta(log n).
+        assert abs(report.implied_bits - certificate.min_bits) <= 7

@@ -1,0 +1,101 @@
+"""Tests for the collision-resistant hash family (Definition 2.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.crhf import generate_crhf
+from repro.crypto.modmath import is_probable_prime
+
+CRHF = generate_crhf(security_bits=48, seed=1)  # shared: generation is slow
+
+symbols = st.lists(st.integers(0, 3), max_size=24)
+
+
+class TestGeneration:
+    def test_parameters_are_well_formed(self):
+        params = CRHF.params
+        assert is_probable_prime(params.p)
+        assert is_probable_prime(params.q)
+        assert params.p == 2 * params.q + 1
+        assert pow(params.g, params.q, params.p) == 1  # g in the q-subgroup
+        assert pow(params.y, params.q, params.p) == 1
+
+    def test_generation_is_seed_deterministic(self):
+        a = generate_crhf(security_bits=32, seed=9)
+        b = generate_crhf(security_bits=32, seed=9)
+        assert a.params == b.params
+
+    def test_rejects_tiny_security(self):
+        with pytest.raises(ValueError):
+            generate_crhf(security_bits=4)
+
+    def test_space_accounting(self):
+        assert CRHF.space_bits() > 0
+        assert CRHF.digest_bits() >= 47  # one group element
+
+
+class TestPairHash:
+    def test_compression_and_domain(self):
+        q = CRHF.params.q
+        digest = CRHF.hash_pair(5, 7)
+        assert 0 < digest < CRHF.params.p
+        with pytest.raises(ValueError):
+            CRHF.hash_pair(q, 0)
+        with pytest.raises(ValueError):
+            CRHF.hash_pair(0, -1)
+
+    def test_distinct_inputs_distinct_outputs_smoke(self):
+        outputs = {CRHF.hash_pair(a, b) for a in range(8) for b in range(8)}
+        assert len(outputs) == 64  # would be a collision otherwise
+
+
+class TestExponentMap:
+    def test_empty_digest_is_identity(self):
+        assert CRHF.empty_digest() == 1
+        assert CRHF.hash_int(0) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CRHF.hash_int(-1)
+
+    def test_extend_checks_alphabet(self):
+        with pytest.raises(ValueError):
+            CRHF.extend(1, 4, alphabet_size=4)
+
+    @given(symbols)
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_batch(self, seq):
+        encoding = 0
+        for s in seq:
+            encoding = encoding * 4 + s
+        assert CRHF.hash_sequence(seq, 4) == CRHF.hash_int(encoding)
+
+    @given(symbols, symbols)
+    @settings(max_examples=60, deadline=None)
+    def test_concat_property(self, left, right):
+        combined = CRHF.hash_sequence(left + right, 4)
+        via_concat = CRHF.concat(
+            CRHF.hash_sequence(left, 4),
+            CRHF.hash_sequence(right, 4),
+            len(right),
+            4,
+        )
+        assert combined == via_concat
+
+    @given(symbols, symbols)
+    @settings(max_examples=60, deadline=None)
+    def test_drop_prefix_inverts_concat(self, left, right):
+        combined = CRHF.hash_sequence(left + right, 4)
+        recovered = CRHF.drop_prefix(
+            combined, CRHF.hash_sequence(left, 4), len(right), 4
+        )
+        assert recovered == CRHF.hash_sequence(right, 4)
+
+    @given(symbols, symbols)
+    @settings(max_examples=40, deadline=None)
+    def test_no_accidental_collisions(self, a, b):
+        # Different same-length strings should hash differently (a collision
+        # here would be a discrete-log break found by accident).
+        if len(a) == len(b) and a != b:
+            assert CRHF.hash_sequence(a, 4) != CRHF.hash_sequence(b, 4)

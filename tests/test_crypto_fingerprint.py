@@ -1,0 +1,89 @@
+"""Tests for streaming/sliding-window CRHF fingerprints (Lemma 2.24 core)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.crhf import generate_crhf
+from repro.crypto.fingerprint import SlidingWindowFingerprint, StreamFingerprint
+
+CRHF = generate_crhf(security_bits=48, seed=2)
+
+bits = st.lists(st.integers(0, 1), max_size=40)
+
+
+class TestStreamFingerprint:
+    def test_matches_batch_hash(self):
+        fp = StreamFingerprint(CRHF, alphabet_size=2)
+        seq = [1, 0, 1, 1, 0]
+        fp.push_all(seq)
+        assert fp.digest == CRHF.hash_sequence(seq, 2)
+        assert fp.length == 5
+
+    @given(bits, bits)
+    @settings(max_examples=50, deadline=None)
+    def test_substring_digest(self, prefix, suffix):
+        fp = StreamFingerprint(CRHF, alphabet_size=2)
+        fp.push_all(prefix)
+        snapshot = fp.snapshot()
+        fp.push_all(suffix)
+        assert fp.substring_digest(snapshot) == CRHF.hash_sequence(suffix, 2)
+
+    def test_snapshot_from_future_rejected(self):
+        fp = StreamFingerprint(CRHF, alphabet_size=2)
+        fp.push(1)
+        future = (fp.digest, 5)
+        with pytest.raises(ValueError):
+            fp.substring_digest(future)
+
+    def test_alphabet_validation(self):
+        with pytest.raises(ValueError):
+            StreamFingerprint(CRHF, alphabet_size=1)
+        fp = StreamFingerprint(CRHF, alphabet_size=2)
+        with pytest.raises(ValueError):
+            fp.push(2)
+
+    def test_space_bits_constant_in_length(self):
+        fp = StreamFingerprint(CRHF, alphabet_size=2)
+        fp.push_all([0, 1] * 50)
+        small = fp.space_bits()
+        fp.push_all([0, 1] * 5000)
+        # Only the position counter grows (log of the length).
+        assert fp.space_bits() <= small + 8
+
+
+class TestSlidingWindow:
+    def test_not_full_returns_none(self):
+        window = SlidingWindowFingerprint(CRHF, alphabet_size=2, width=4)
+        assert window.push(1) is None
+        assert window.push(0) is None
+        assert window.push(1) is None
+        assert window.push(1) is not None
+        assert window.full
+
+    @given(st.lists(st.integers(0, 1), min_size=6, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_window_digest_matches_direct_hash(self, text):
+        width = 5
+        window = SlidingWindowFingerprint(CRHF, alphabet_size=2, width=width)
+        for position, symbol in enumerate(text):
+            digest = window.push(symbol)
+            if position >= width - 1:
+                expected = CRHF.hash_sequence(
+                    text[position - width + 1 : position + 1], 2
+                )
+                assert digest == expected
+                assert window.window() == tuple(
+                    text[position - width + 1 : position + 1]
+                )
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowFingerprint(CRHF, alphabet_size=2, width=0)
+        with pytest.raises(ValueError):
+            SlidingWindowFingerprint(CRHF, alphabet_size=1, width=3)
+
+    def test_space_charges_buffer(self):
+        narrow = SlidingWindowFingerprint(CRHF, alphabet_size=2, width=4)
+        wide = SlidingWindowFingerprint(CRHF, alphabet_size=2, width=64)
+        assert wide.space_bits() > narrow.space_bits()

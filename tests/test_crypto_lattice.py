@@ -1,0 +1,104 @@
+"""Tests for the lattice toolkit (Gram-Schmidt, LLL, SIS attacks)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.crypto.lattice import (
+    brute_force_short_kernel,
+    gram_schmidt,
+    kernel_lattice_basis,
+    lll_reduce,
+    lll_short_kernel,
+)
+from repro.crypto.sis import SISMatrix, SISParams
+
+
+def frac_dot(a, b):
+    return sum((x * y for x, y in zip(a, b)), Fraction(0))
+
+
+class TestGramSchmidt:
+    def test_orthogonality(self):
+        basis = [[3, 1, 0], [1, 2, 1], [0, 1, 4]]
+        ortho, mu = gram_schmidt(basis)
+        for i in range(3):
+            for j in range(i):
+                assert frac_dot(ortho[i], ortho[j]) == 0
+
+    def test_reconstruction(self):
+        basis = [[2, 0], [1, 3]]
+        ortho, mu = gram_schmidt(basis)
+        # b_1 = ortho_1; b_2 = ortho_2 + mu21 * ortho_1
+        reconstructed = [
+            o + mu[1][0] * p for o, p in zip(ortho[1], ortho[0])
+        ]
+        assert reconstructed == [Fraction(1), Fraction(3)]
+
+
+class TestLLL:
+    def test_preserves_lattice_and_shortens(self):
+        # Classic example: a skewed basis of Z^2-like lattice.
+        basis = [[1, 1], [0, 2]]
+        reduced = lll_reduce(basis)
+        # Determinant (lattice volume) preserved up to sign.
+        det = lambda b: b[0][0] * b[1][1] - b[0][1] * b[1][0]
+        assert abs(det(reduced)) == abs(det(basis))
+        # First vector no longer than the original first vector.
+        norm = lambda v: sum(x * x for x in v)
+        assert min(norm(v) for v in reduced) <= norm(basis[0])
+
+    def test_finds_short_vector_in_skewed_basis(self):
+        basis = [[201, 37], [1648, 297]]
+        reduced = lll_reduce(basis)
+        norms = sorted(sum(x * x for x in v) for v in reduced)
+        assert norms[0] < 201**2 + 37**2
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            lll_reduce([[1]], delta=Fraction(1, 8))
+
+    def test_empty_basis(self):
+        assert lll_reduce([]) == []
+
+
+class TestKernelLattice:
+    def test_basis_vectors_have_consistent_image(self):
+        params = SISParams(rows=2, cols=4, modulus=17, beta=8.0)
+        matrix = SISMatrix(params, seed=1)
+        basis = kernel_lattice_basis(matrix)
+        assert len(basis) == 4 + 2
+        assert all(len(row) == 6 for row in basis)
+
+    def test_lll_attack_succeeds_on_tiny_instance(self):
+        params = SISParams(rows=1, cols=6, modulus=17, beta=12.0)
+        matrix = SISMatrix(params, seed=3)
+        z = lll_short_kernel(matrix)
+        assert z is not None
+        assert matrix.is_short_kernel_vector(z)
+
+    def test_brute_force_finds_and_verifies(self):
+        params = SISParams(rows=1, cols=5, modulus=11, beta=6.0)
+        matrix = SISMatrix(params, seed=4)
+        z, tried = brute_force_short_kernel(matrix, coefficient_bound=2)
+        assert tried > 0
+        if z is not None:
+            assert matrix.is_short_kernel_vector(z)
+
+    def test_brute_force_budget_respected(self):
+        params = SISParams(rows=3, cols=8, modulus=10007, beta=4.0)
+        matrix = SISMatrix(params, seed=5)
+        z, tried = brute_force_short_kernel(
+            matrix, coefficient_bound=1, max_candidates=50
+        )
+        assert tried <= 50
+
+    def test_brute_force_fails_on_harder_instance(self):
+        # Larger modulus + more rows: tiny-coefficient kernels are unlikely
+        # and the budget should expire empty.
+        params = SISParams(rows=4, cols=6, modulus=65537, beta=3.0)
+        matrix = SISMatrix(params, seed=6)
+        z, _ = brute_force_short_kernel(
+            matrix, coefficient_bound=1, max_candidates=400
+        )
+        assert z is None

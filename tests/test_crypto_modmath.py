@@ -1,0 +1,122 @@
+"""Tests for the modular-arithmetic substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.modmath import (
+    generator_mod_prime,
+    is_probable_prime,
+    modinv,
+    next_prime,
+    random_prime,
+    random_safe_prime,
+    subgroup_generator,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [1, 4, 9, 100, 561, 1105, 1729, 41041, 2**31, 2**61 - 2]
+# 561, 1105, 1729, 41041 are Carmichael numbers (Fermat pseudoprimes).
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites_and_carmichaels(self, c):
+        assert not is_probable_prime(c)
+
+    def test_negative_and_zero(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(-7)
+
+    def test_large_prime_beyond_deterministic_bound(self):
+        # 2^89 - 1 is a Mersenne prime above the deterministic-witness bound.
+        assert is_probable_prime(2**89 - 1)
+        assert not is_probable_prime(2**89 - 3)
+
+    @given(st.integers(min_value=4, max_value=10**6))
+    @settings(max_examples=200)
+    def test_agrees_with_trial_division(self, n):
+        def trial(n):
+            if n < 2:
+                return False
+            d = 2
+            while d * d <= n:
+                if n % d == 0:
+                    return False
+                d += 1
+            return True
+
+        assert is_probable_prime(n) == trial(n)
+
+
+class TestPrimeGeneration:
+    def test_next_prime(self):
+        assert next_prime(2) == 2
+        assert next_prime(8) == 11
+        assert next_prime(14) == 17
+        assert is_probable_prime(next_prime(10**12))
+
+    def test_random_prime_bit_length(self):
+        rng = random.Random(0)
+        for bits in (8, 16, 32, 64):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_random_prime_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_prime(1, random.Random(0))
+
+    def test_safe_prime_structure(self):
+        rng = random.Random(1)
+        p, q = random_safe_prime(24, rng)
+        assert p == 2 * q + 1
+        assert is_probable_prime(p)
+        assert is_probable_prime(q)
+        assert p.bit_length() == 24
+
+    def test_safe_prime_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_safe_prime(3, random.Random(0))
+
+
+class TestModInv:
+    @given(st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=100)
+    def test_inverse_property(self, a):
+        p = 1_000_003  # prime
+        if a % p == 0:
+            return
+        inv = modinv(a, p)
+        assert (a * inv) % p == 1
+
+    def test_noninvertible_raises(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+
+class TestGenerators:
+    def test_subgroup_generator_has_order_q(self):
+        rng = random.Random(2)
+        p, q = random_safe_prime(20, rng)
+        g = subgroup_generator(p, q, rng)
+        assert pow(g, q, p) == 1
+        assert g != 1
+        # Order divides q (prime), and g != 1, so order is exactly q.
+
+    def test_subgroup_generator_checks_safe_prime(self):
+        with pytest.raises(ValueError):
+            subgroup_generator(23, 7, random.Random(0))  # 23 != 2*7+1
+
+    def test_full_group_generator(self):
+        rng = random.Random(3)
+        p = 23  # p - 1 = 2 * 11
+        g = generator_mod_prime(p, (2, 11), rng)
+        seen = {pow(g, k, p) for k in range(1, p)}
+        assert len(seen) == p - 1

@@ -1,0 +1,80 @@
+"""Tests for the SHA-256 random oracle."""
+
+import pytest
+
+from repro.crypto.random_oracle import RandomOracle
+
+
+class TestConsistency:
+    def test_repeated_queries_agree(self):
+        oracle = RandomOracle(b"test")
+        assert oracle.uniform(1000, 3, 4) == oracle.uniform(1000, 3, 4)
+
+    def test_same_key_same_answers(self):
+        a = RandomOracle(b"k")
+        b = RandomOracle(b"k")
+        assert [a.uniform(97, i) for i in range(20)] == [
+            b.uniform(97, i) for i in range(20)
+        ]
+
+    def test_different_keys_differ(self):
+        a = RandomOracle(b"k1")
+        b = RandomOracle(b"k2")
+        assert [a.uniform(10**9, i) for i in range(8)] != [
+            b.uniform(10**9, i) for i in range(8)
+        ]
+
+    def test_string_key_accepted(self):
+        assert RandomOracle("label").uniform(10, 1) in range(10)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            RandomOracle(b"")
+
+
+class TestDistribution:
+    def test_values_in_range(self):
+        oracle = RandomOracle(b"range")
+        for modulus in (2, 3, 97, 1 << 20, 10**12 + 39):
+            for point in range(30):
+                assert 0 <= oracle.uniform(modulus, point) < modulus
+
+    def test_modulus_one(self):
+        assert RandomOracle(b"x").uniform(1, 5) == 0
+
+    def test_modulus_validation(self):
+        with pytest.raises(ValueError):
+            RandomOracle(b"x").uniform(0)
+
+    def test_roughly_uniform_over_small_modulus(self):
+        oracle = RandomOracle(b"chi")
+        counts = [0] * 8
+        samples = 4000
+        for i in range(samples):
+            counts[oracle.uniform(8, i)] += 1
+        expected = samples / 8
+        for c in counts:
+            assert abs(c - expected) < 6 * (expected**0.5)  # generous
+
+    def test_coordinates_are_domain_separated(self):
+        oracle = RandomOracle(b"sep")
+        assert oracle.uniform(10**12, 1, 2) != oracle.uniform(10**12, 2, 1)
+        # "12" vs (1, 2) must not alias.
+        assert oracle.uniform(10**12, 12) != oracle.uniform(10**12, 1, 2)
+
+
+class TestBitsAndSpace:
+    def test_bits(self):
+        oracle = RandomOracle(b"bits")
+        for point in range(20):
+            assert 0 <= oracle.bits(13, point) < (1 << 13)
+        with pytest.raises(ValueError):
+            oracle.bits(0)
+
+    def test_space_is_key_length_only(self):
+        oracle = RandomOracle(b"12345678")
+        before = oracle.space_bits()
+        for i in range(100):
+            oracle.uniform(997, i)
+        assert oracle.space_bits() == before == 64
+        assert oracle.queries == 100

@@ -1,0 +1,134 @@
+"""Smoke + invariant tests for the experiment harness.
+
+Each experiment runs in quick mode; the assertions check the *claims*, not
+just that code executes: recall columns, bound columns, attack dichotomies.
+The slowest experiments (e02, e10) get reduced-size stand-ins via their
+building blocks, which the dedicated module tests already cover.
+"""
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment, render_table
+from repro.experiments.base import ExperimentResult
+
+
+class TestHarness:
+    def test_registry_is_complete(self):
+        # e01..e14 cover the paper's theorems; e15 is the [HW13] extension.
+        assert set(all_experiments()) == {f"e{i:02d}" for i in range(1, 16)}
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("e99")
+
+    def test_render_table_alignment(self):
+        table = render_table([{"a": 1, "b": "x"}, {"a": 22, "c": True}])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "yes" in table
+        assert render_table([]) == "(no rows)"
+
+    def test_result_render(self):
+        result = ExperimentResult(
+            experiment_id="eXX",
+            title="t",
+            claim="c",
+            rows=[{"v": 1}],
+            conclusion="done",
+            notes=["n1"],
+        )
+        text = result.render()
+        assert "eXX" in text and "done" in text and "note: n1" in text
+
+
+class TestExperimentClaims:
+    """Quick-mode runs with assertions on the theorem-shaped columns."""
+
+    def test_e01_morris(self):
+        result = get_experiment("e01")(True)
+        assert all(row["within_eps"] for row in result.rows)
+        sized = [r for r in result.rows if isinstance(r["exact_bits"], int)]
+        # Morris register far below exact register at the longest stream.
+        longest = max(sized, key=lambda r: r["m"])
+        assert longest["morris_bits"] < 2 * longest["exact_bits"]
+
+    def test_e03_identity_compression(self):
+        result = get_experiment("e03")(True)
+        digests = {row["digest_bits"] for row in result.rows}
+        assert len(digests) <= 2  # n-independent digest width
+        assert all(row["recall"] == 1 for row in result.rows)
+        assert all(row["false_reports"] == 0 for row in result.rows)
+        # Crossover: at the largest n the compressed table wins.
+        largest = max(result.rows, key=lambda r: r["n"])
+        assert largest["phi_eps_bits"] < largest["raw_id_bits"]
+
+    def test_e04_hhh(self):
+        result = get_experiment("e04")(True)
+        assert all(row["det_recall"] == 1 for row in result.rows)
+        assert all(row["robust_recall"] == 1 for row in result.rows)
+
+    def test_e06_sis_l0(self):
+        result = get_experiment("e06")(True)
+        assert all(row["bound_ok"] for row in result.rows)
+        oracle_rows = [r for r in result.rows if isinstance(r["oracle_bits"], int)]
+        assert all(r["oracle_bits"] <= r["explicit_bits"] for r in oracle_rows)
+
+    def test_e07_rank(self):
+        result = get_experiment("e07")(True)
+        assert all(row["correct"] for row in result.rows)
+
+    def test_e08_pattern(self):
+        result = get_experiment("e08")(True)
+        match_rows = [r for r in result.rows if str(r["case"]).startswith("match")]
+        assert all(r["missed"] == 0 and r["spurious"] == 0 for r in match_rows)
+        kr = next(r for r in result.rows if "karp" in r["case"])
+        assert kr["found"] == "collision"
+        crhf = next(r for r in result.rows if "crhf" in r["case"])
+        assert crhf["found"] == "none"
+
+    def test_e09_neighborhood(self):
+        result = get_experiment("e09")(True)
+        assert all(row["groups_agree"] for row in result.rows)
+        twin_rows = [r for r in result.rows if "twin" in r["instance"]]
+        ratios = [r["ratio"] for r in twin_rows]
+        assert ratios == sorted(ratios)  # the separation grows with n
+
+    def test_e11_attacks(self):
+        result = get_experiment("e11")(True)
+        by_target = {row["target"]: row for row in result.rows}
+        assert by_target["AMS (rows=6)"]["success_rate"] == 1.0
+        assert by_target["CountSketch 3x4"]["success_rate"] == 1.0
+        assert by_target["exact F2"]["success_rate"] == 0.0
+
+    def test_e12_sis_hardness(self):
+        result = get_experiment("e12")(True)
+        toy = next(r for r in result.rows if "toy" in r["instance"])
+        standard = next(r for r in result.rows if "standard" in r["instance"])
+        assert toy["bf_found"] and toy["lll_found"]  # fooled end-to-end
+        assert not standard["bf_found"]
+
+    def test_e13_counting(self):
+        result = get_experiment("e13")(True)
+        bound_rows = [r for r in result.rows if str(r["row"]).startswith("bound")]
+        forced = [r["forced_states"] for r in bound_rows]
+        assert forced == sorted(forced)  # grows with n
+        morris = [r["morris_bits"] for r in bound_rows]
+        det = [r["det_bits"] for r in bound_rows]
+        assert max(morris) - min(morris) <= 3  # log log growth
+        assert det[-1] > det[0]  # log growth
+        truncated = next(r for r in result.rows if "truncated" in str(r["row"]))
+        assert truncated["correct"] is False
+
+    def test_e14_inner_product(self):
+        result = get_experiment("e14")(True)
+        assert all(row["within_12x"] for row in result.rows)
+        assert all(row["err_over_bound"] <= 1.0 for row in result.rows)
+
+    def test_e15_blackbox_gap(self):
+        result = get_experiment("e15")(True)
+        assert all(row["both_succeed"] for row in result.rows)
+        assert all(row["white_box_break"] == 0 for row in result.rows)
+        # Full learning cost grows linearly with n.
+        costs = [(row["n"], row["black_box_learn_all"]) for row in result.rows]
+        for (n1, c1), (n2, c2) in zip(costs, costs[1:]):
+            assert c2 / c1 == pytest.approx(n2 / n1, rel=0.2)

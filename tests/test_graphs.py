@@ -1,0 +1,96 @@
+"""Tests for vertex-arrival neighborhood identification (Thms 1.3/1.4)."""
+
+import pytest
+
+from repro.core.stream import Update
+from repro.graphs.neighborhood import (
+    CRHFNeighborhoodIdentifier,
+    DeterministicNeighborhoodIdentifier,
+    VertexArrival,
+    group_identical,
+)
+from repro.workloads.graphs import planted_twin_graph, random_vertex_stream
+
+
+class TestGroupIdentical:
+    def test_groups_of_two_or_more(self):
+        digests = {0: 10, 1: 10, 2: 20, 3: 30, 4: 30, 5: 30}
+        groups = {frozenset(g) for g in group_identical(digests)}
+        assert groups == {frozenset({0, 1}), frozenset({3, 4, 5})}
+
+    def test_no_duplicates_no_groups(self):
+        assert group_identical({0: 1, 1: 2}) == ()
+
+
+class TestCRHFIdentifier:
+    def test_twins_share_digests(self):
+        identifier = CRHFNeighborhoodIdentifier(8, seed=1)
+        identifier.offer(VertexArrival(0, [2, 3]))
+        identifier.offer(VertexArrival(1, [2, 3]))
+        identifier.offer(VertexArrival(4, [2, 5]))
+        groups = identifier.query()
+        assert frozenset({0, 1}) in groups
+        assert all(4 not in g for g in groups)
+
+    def test_empty_neighborhoods_match(self):
+        identifier = CRHFNeighborhoodIdentifier(4, seed=2)
+        identifier.offer(VertexArrival(0, []))
+        identifier.offer(VertexArrival(1, []))
+        assert frozenset({0, 1}) in identifier.query()
+
+    def test_vertex_validation(self):
+        identifier = CRHFNeighborhoodIdentifier(4, seed=3)
+        with pytest.raises(ValueError):
+            identifier.offer(VertexArrival(4, []))
+        with pytest.raises(ValueError):
+            identifier.offer(VertexArrival(0, [9]))
+
+    def test_process_not_the_api(self):
+        with pytest.raises(NotImplementedError):
+            CRHFNeighborhoodIdentifier(4).feed(Update(0, 1))
+
+    def test_space_linear_in_vertices_seen(self):
+        identifier = CRHFNeighborhoodIdentifier(64, seed=4)
+        for arrival in random_vertex_stream(32, seed=4):
+            identifier.offer(arrival)
+        per_vertex = identifier.crhf.digest_bits()
+        assert identifier.space_bits() == 32 * per_vertex + identifier.crhf.space_bits()
+
+    def test_agrees_with_exact_on_planted_graphs(self):
+        twins = [(0, 5), (2, 9)]
+        arrivals = planted_twin_graph(16, twins, seed=5)
+        crhf = CRHFNeighborhoodIdentifier(16, seed=5)
+        exact = DeterministicNeighborhoodIdentifier(16)
+        for arrival in arrivals:
+            crhf.offer(arrival)
+            exact.offer(arrival)
+        assert {frozenset(g) for g in crhf.query()} == {
+            frozenset(g) for g in exact.query()
+        }
+
+
+class TestDeterministicIdentifier:
+    def test_groups_exactly(self):
+        identifier = DeterministicNeighborhoodIdentifier(8)
+        identifier.offer(VertexArrival(0, [3]))
+        identifier.offer(VertexArrival(1, [3]))
+        identifier.offer(VertexArrival(2, [4]))
+        assert identifier.query() == (frozenset({0, 1}),)
+
+    def test_space_grows_with_degrees(self):
+        small = DeterministicNeighborhoodIdentifier(64)
+        small.offer(VertexArrival(0, [1]))
+        big = DeterministicNeighborhoodIdentifier(64)
+        big.offer(VertexArrival(0, list(range(1, 33))))
+        assert big.space_bits() > small.space_bits()
+
+    def test_separation_on_dense_graphs(self):
+        """The Theorem 1.3/1.4 gap: digests beat exact storage as n grows."""
+        n = 128
+        arrivals = planted_twin_graph(n, [(0, 1)], density=0.5, seed=6)
+        crhf = CRHFNeighborhoodIdentifier(n, seed=6)
+        exact = DeterministicNeighborhoodIdentifier(n)
+        for arrival in arrivals:
+            crhf.offer(arrival)
+            exact.offer(arrival)
+        assert exact.space_bits() > 3 * crhf.space_bits()

@@ -1,0 +1,127 @@
+"""Tests for BernMG (Algorithm 1) and the epoch scheme."""
+
+import pytest
+
+from repro.core.randomness import WitnessedRandom
+from repro.core.stream import Update
+from repro.heavyhitters.bern_mg import BernMG
+from repro.heavyhitters.epochs import MorrisDoublingScheme
+
+
+class TestBernMG:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernMG(100, length_guess=0, accuracy=0.1, failure_probability=0.05)
+        with pytest.raises(ValueError):
+            BernMG(100, length_guess=10, accuracy=0.0, failure_probability=0.05)
+
+    def test_rejects_deletions(self):
+        instance = BernMG(100, 100, 0.2, 0.05)
+        with pytest.raises(ValueError):
+            instance.process(Update(1, -1))
+
+    def test_rate_one_equals_exact_counting(self):
+        # Tiny guess forces p = 1: estimates become exact counts.
+        instance = BernMG(100, length_guess=1, accuracy=0.3, failure_probability=0.05, seed=1)
+        assert instance.probability == 1.0
+        for _ in range(20):
+            instance.process(Update(4))
+        instance.process(Update(9, 5))
+        assert instance.estimate(4) == 20.0
+        assert instance.estimate(9) == 5.0
+        assert instance.candidates() == {4: 20.0, 9: 5.0}
+
+    def test_scaled_estimates_are_roughly_unbiased(self):
+        total = 0.0
+        m = 5000
+        for seed in range(20):
+            instance = BernMG(
+                1000, length_guess=m, accuracy=0.2, failure_probability=0.05, seed=seed
+            )
+            for _ in range(m // 2):
+                instance.process(Update(7))
+            for i in range(m // 2):
+                instance.process(Update(10 + (i % 400)))
+            total += instance.estimate(7)
+        mean = total / 20
+        assert abs(mean - m / 2) < 0.2 * m
+
+    def test_heavy_hitters_uses_supplied_length(self):
+        instance = BernMG(100, length_guess=1, accuracy=0.3, failure_probability=0.05)
+        instance.process(Update(5, 10))
+        # With an inflated external length estimate the item stops clearing
+        # the bar.
+        assert 5 in instance.heavy_hitters(0.5)
+        assert 5 not in instance.heavy_hitters(0.5, length_estimate=1000.0)
+
+    def test_batched_process_counts_total(self):
+        instance = BernMG(100, 10_000, 0.1, 0.05, seed=2)
+        instance.process(Update(3, 500))
+        assert instance.updates_seen == 500
+
+    def test_zero_delta_noop(self):
+        instance = BernMG(100, 10, 0.1, 0.05)
+        instance.process(Update(3, 0))
+        assert instance.updates_seen == 0
+
+    def test_space_independent_of_stream_length_scale(self):
+        short = BernMG(10**6, 10**4, 0.1, 0.05, seed=3)
+        long = BernMG(10**6, 10**8, 0.1, 0.05, seed=3)
+        for _ in range(1000):
+            short.process(Update(1))
+            long.process(Update(1))
+        # The longer-guess instance samples less, so its registers are no
+        # larger: no log m growth anywhere.
+        assert long.space_bits() <= short.space_bits() + 8
+
+
+class TestMorrisDoublingScheme:
+    @staticmethod
+    def make(base=4.0, seed=1):
+        random = WitnessedRandom(seed=seed)
+        made = []
+
+        def factory(epoch, guess, rnd):
+            made.append((epoch, guess))
+            return {"epoch": epoch, "guess": guess}
+
+        scheme = MorrisDoublingScheme(base=base, factory=factory, random=random)
+        return scheme, made
+
+    def test_base_validation(self):
+        with pytest.raises(ValueError):
+            MorrisDoublingScheme(
+                base=1.0, factory=lambda *a: None, random=WitnessedRandom()
+            )
+
+    def test_initial_instances(self):
+        scheme, made = self.make()
+        assert [epoch for epoch, _ in made] == [1, 2]
+        assert scheme.guess(1) == 4
+        assert scheme.guess(2) == 16
+        assert scheme.active_epoch == 1
+
+    def test_rotation_on_clock_passing_guess(self):
+        scheme, made = self.make()
+        rotated = False
+        for _ in range(500):
+            rotated = scheme.tick(1) or rotated
+            if scheme.epoch >= 2:
+                break
+        assert rotated
+        assert scheme.active_epoch == scheme.epoch + 1
+        assert set(scheme.instances) == {scheme.epoch + 1, scheme.epoch + 2}
+        # Every started instance has geometrically growing guesses.
+        guesses = [guess for _, guess in made]
+        assert guesses == sorted(guesses)
+
+    def test_broadcast_touches_all_instances(self):
+        scheme, _ = self.make()
+        touched = []
+        scheme.broadcast(lambda instance: touched.append(instance["epoch"]))
+        assert sorted(touched) == [1, 2]
+
+    def test_space_combines_clock_and_instances(self):
+        scheme, _ = self.make()
+        total = scheme.space_bits(lambda instance: 100)
+        assert total == scheme.clock.space_bits() + 200

@@ -1,0 +1,119 @@
+"""Tests for Misra-Gries (Theorem 2.2), including its classic guarantee."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stream import Update
+from repro.heavyhitters.misra_gries import MisraGries, MisraGriesAlgorithm
+
+streams = st.lists(st.integers(0, 12), min_size=1, max_size=300)
+
+
+class TestMisraGries:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MisraGries(0)
+
+    def test_tracks_within_capacity_exactly(self):
+        mg = MisraGries(4)
+        for item in (1, 1, 2, 3):
+            mg.offer(item)
+        assert mg.items() == {1: 2, 2: 1, 3: 1}
+        assert mg.estimate(1) == 2
+
+    def test_decrement_all_on_overflow(self):
+        mg = MisraGries(2)
+        for item in (1, 1, 2, 3):
+            mg.offer(item)
+        # Offering 3 decrements everyone: {1:1} survives, 2 and 3 vanish.
+        assert mg.items() == {1: 1}
+
+    def test_rejects_deletions(self):
+        with pytest.raises(ValueError):
+            MisraGries(2).offer(1, -1)
+
+    def test_zero_count_is_noop(self):
+        mg = MisraGries(2)
+        mg.offer(1, 0)
+        assert mg.items() == {}
+        assert mg.offered == 0
+
+    @given(streams)
+    @settings(max_examples=100)
+    def test_classic_guarantee(self, items):
+        """f_i - m/(k+1) <= estimate(i) <= f_i for every item."""
+        k = 3
+        mg = MisraGries(k)
+        truth: dict[int, int] = {}
+        for item in items:
+            mg.offer(item)
+            truth[item] = truth.get(item, 0) + 1
+        m = len(items)
+        for item in range(13):
+            f = truth.get(item, 0)
+            estimate = mg.estimate(item)
+            assert estimate <= f
+            assert estimate >= f - m / (k + 1)
+
+    @given(streams)
+    @settings(max_examples=50)
+    def test_batched_offers_equal_unit_offers(self, items):
+        unit = MisraGries(3)
+        batched = MisraGries(3)
+        for item in items:
+            unit.offer(item)
+        position = 0
+        while position < len(items):
+            run = 1
+            while (
+                position + run < len(items)
+                and items[position + run] == items[position]
+            ):
+                run += 1
+            batched.offer(items[position], run)
+            position += run
+        assert unit.items() == batched.items()
+        assert unit.offered == batched.offered
+
+    def test_heavy_hitters_threshold(self):
+        mg = MisraGries(10)
+        for _ in range(60):
+            mg.offer(1)
+        for i in range(40):
+            mg.offer(100 + i)
+        assert 1 in mg.heavy_hitters(0.5)
+        assert mg.error_bound == pytest.approx(100 / 11)
+
+    def test_space_charges_full_capacity(self):
+        mg = MisraGries(8)
+        mg.offer(1)
+        bits_one = mg.space_bits(universe_size=1024)
+        # Deterministic algorithms reserve all slots.
+        assert bits_one == 8 * (10 + 1)
+
+
+class TestMisraGriesAlgorithm:
+    def test_reports_heavy_hitters(self):
+        algorithm = MisraGriesAlgorithm(universe_size=100, accuracy=0.2)
+        for _ in range(50):
+            algorithm.feed(Update(7))
+        for i in range(50):
+            algorithm.feed(Update(i % 25 + 30))
+        assert 7 in algorithm.heavy_hitters()
+
+    def test_query_returns_candidates(self):
+        algorithm = MisraGriesAlgorithm(universe_size=100, accuracy=0.5)
+        algorithm.feed(Update(3, 5))
+        assert algorithm.query() == {3: 5.0}
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            MisraGriesAlgorithm(100, accuracy=0.0)
+
+    def test_state_view(self):
+        algorithm = MisraGriesAlgorithm(universe_size=100, accuracy=0.5)
+        algorithm.feed(Update(3, 5))
+        view = algorithm.state_view()
+        assert view["counters"] == {3: 5}
+        assert view["offered"] == 5

@@ -1,0 +1,89 @@
+"""Tests for the (phi, eps) CRHF heavy hitters (Theorem 1.2)."""
+
+import pytest
+
+from repro.core.stream import Update
+from repro.heavyhitters.phi_eps import (
+    PhiEpsilonHeavyHitters,
+    crhf_security_bits_for_adversary,
+)
+from repro.workloads.frequency import planted_heavy_stream
+
+
+class TestSecuritySizing:
+    def test_scales_with_adversary_time(self):
+        weak = crhf_security_bits_for_adversary(1 << 10, 1000, 0.1)
+        strong = crhf_security_bits_for_adversary(1 << 30, 1000, 0.1)
+        assert strong > weak
+        assert weak >= 2 * 10  # at least the birthday exponent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crhf_security_bits_for_adversary(1, 1000, 0.1)
+
+
+class TestPhiEpsilon:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhiEpsilonHeavyHitters(100, phi=0.1, accuracy=0.2)  # eps > phi
+        algorithm = PhiEpsilonHeavyHitters(100, phi=0.3, accuracy=0.1)
+        with pytest.raises(ValueError):
+            algorithm.feed(Update(1, -1))
+
+    def test_reports_phi_heavy_and_rejects_light(self):
+        phi, eps = 0.2, 0.1
+        hits = 0
+        clean = True
+        trials = 8
+        for seed in range(trials):
+            algorithm = PhiEpsilonHeavyHitters(
+                5000, phi=phi, accuracy=eps, adversary_time=1 << 12, seed=seed
+            )
+            # item 3: clearly phi-heavy (2 phi); item 77: clearly light
+            # (phi - 2 eps would be 0, use a tiny fraction).
+            stream = planted_heavy_stream(
+                5000, 4000, {3: 2 * phi, 77: 0.02}, seed=seed
+            )
+            for update in stream:
+                algorithm.feed(update)
+            report = algorithm.query()
+            if 3 in report:
+                hits += 1
+            if 77 in report:
+                clean = False
+        assert hits >= trials - 2  # 3/4 probability with margin
+        assert clean
+
+    def test_estimates_go_through_hashed_table(self):
+        algorithm = PhiEpsilonHeavyHitters(
+            100, phi=0.5, accuracy=0.25, adversary_time=1 << 12, seed=1
+        )
+        for _ in range(100):
+            algorithm.feed(Update(9))
+        assert algorithm.estimate(9) > 0
+        assert algorithm.estimate(10) == 0.0
+
+    def test_hash_memoization_is_stable(self):
+        algorithm = PhiEpsilonHeavyHitters(
+            100, phi=0.5, accuracy=0.25, adversary_time=1 << 12, seed=2
+        )
+        first = algorithm._hash(42)
+        assert algorithm._hash(42) == first == algorithm.crhf.hash_int(42)
+
+    def test_identity_table_is_bounded(self):
+        phi = 0.25
+        algorithm = PhiEpsilonHeavyHitters(
+            10_000, phi=phi, accuracy=0.1, adversary_time=1 << 12, seed=3
+        )
+        for i in range(2000):
+            algorithm.feed(Update(i % 1000))
+        assert len(algorithm.identities.counters) <= 2 * int(1 / phi) + 1
+
+    def test_state_view_has_crhf_params(self):
+        algorithm = PhiEpsilonHeavyHitters(
+            100, phi=0.5, accuracy=0.25, adversary_time=1 << 12, seed=4
+        )
+        algorithm.feed(Update(1))
+        view = algorithm.state_view()
+        assert len(view["crhf_params"]) == 3
+        assert "identity_counters" in view

@@ -1,0 +1,102 @@
+"""Tests for the robust eps-L1 heavy hitters (Algorithm 2 / Theorem 1.1)."""
+
+import pytest
+
+from repro.core.stream import FrequencyVector, Update
+from repro.heavyhitters.misra_gries import MisraGriesAlgorithm
+from repro.heavyhitters.robust_l1 import RobustL1HeavyHitters
+from repro.workloads.frequency import planted_heavy_stream
+
+
+class TestRobustL1:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RobustL1HeavyHitters(100, accuracy=0.0)
+        algorithm = RobustL1HeavyHitters(100, accuracy=0.2)
+        with pytest.raises(ValueError):
+            algorithm.feed(Update(1, -1))
+
+    def test_recall_on_planted_streams(self):
+        eps = 0.1
+        failures = 0
+        trials = 10
+        for seed in range(trials):
+            algorithm = RobustL1HeavyHitters(1000, accuracy=eps, seed=seed)
+            stream = planted_heavy_stream(
+                1000, 5000, {7: 0.3, 42: 0.15}, seed=seed
+            )
+            for update in stream:
+                algorithm.feed(update)
+            found = algorithm.heavy_hitters()
+            if not {7, 42} <= found:
+                failures += 1
+        assert failures <= 2  # 3/4 success per Theorem 1.1; margin applied
+
+    def test_no_wildly_light_false_positives(self):
+        eps = 0.1
+        algorithm = RobustL1HeavyHitters(1000, accuracy=eps, seed=3)
+        stream = planted_heavy_stream(1000, 8000, {7: 0.4}, seed=3)
+        vector = FrequencyVector(1000)
+        for update in stream:
+            algorithm.feed(update)
+            vector.apply(update)
+        for item in algorithm.heavy_hitters():
+            # Reported items should be at least (eps/8)-heavy in truth --
+            # the Theorem 1.1 false-positive regime with sampling slack.
+            assert vector[item] >= (eps / 8) * vector.l1()
+
+    def test_estimates_have_bounded_additive_error(self):
+        eps = 0.1
+        errors = []
+        for seed in range(8):
+            algorithm = RobustL1HeavyHitters(500, accuracy=eps, seed=seed)
+            m = 4000
+            stream = planted_heavy_stream(500, m, {9: 0.35}, seed=seed)
+            for update in stream:
+                algorithm.feed(update)
+            errors.append(abs(algorithm.estimate(9) - 0.35 * m) / m)
+        # Median error within O(eps).
+        errors.sort()
+        assert errors[len(errors) // 2] <= 2 * eps
+
+    def test_candidate_list_is_small(self):
+        eps = 0.1
+        algorithm = RobustL1HeavyHitters(10_000, accuracy=eps, seed=5)
+        stream = planted_heavy_stream(10_000, 5000, {3: 0.2}, seed=5)
+        for update in stream:
+            algorithm.feed(update)
+        # O(1/eps) candidates: capacity is 2/(eps/2) = 4/eps per instance.
+        assert len(algorithm.query()) <= 4 / eps + 1
+
+    def test_space_flat_in_stream_length(self):
+        eps = 0.1
+        bits = []
+        for m in (2_000, 20_000, 200_000):
+            algorithm = RobustL1HeavyHitters(1000, accuracy=eps, seed=7)
+            for i in range(m // 100):
+                algorithm.feed(Update(i % 1000, 100))
+            bits.append(algorithm.space_bits())
+        # Two orders of magnitude of stream growth: near-flat space (the
+        # Morris clock adds a couple of bits at most).
+        assert bits[-1] <= bits[0] * 2
+        mg = MisraGriesAlgorithm(1000, accuracy=eps)
+        for i in range(2000):
+            mg.feed(Update(i % 1000, 100))
+        # MG's counters are sized for the stream: grows with log m.
+        assert mg.space_bits() > 0  # sanity; cross-algorithm trend is E02
+
+    def test_length_estimate_tracks_stream(self):
+        algorithm = RobustL1HeavyHitters(100, accuracy=0.2, seed=9)
+        for _ in range(1000):
+            algorithm.feed(Update(1))
+        assert 500 <= algorithm.length_estimate() <= 2000
+
+    def test_state_view_exposes_everything(self):
+        algorithm = RobustL1HeavyHitters(100, accuracy=0.2, seed=11)
+        algorithm.feed(Update(1, 50))
+        view = algorithm.state_view()
+        assert "epoch" in view and "clock_exponent" in view
+        instances = view["instances"]
+        assert len(instances) == 2
+        for fields in instances.values():
+            assert {"length_guess", "probability", "counters"} <= set(fields)

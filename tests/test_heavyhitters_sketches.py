@@ -1,0 +1,103 @@
+"""Tests for CountMin and CountSketch (the oblivious attack targets)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stream import FrequencyVector, Update
+from repro.heavyhitters.count_min import CountMinSketch
+from repro.heavyhitters.count_sketch import CountSketch
+
+
+class TestCountMin:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(100, width=0, depth=2)
+
+    @given(st.lists(st.integers(0, 49), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_never_underestimates_insertions(self, items):
+        sketch = CountMinSketch(50, width=16, depth=4, seed=3)
+        truth: dict[int, int] = {}
+        for item in items:
+            sketch.feed(Update(item))
+            truth[item] = truth.get(item, 0) + 1
+        for item, f in truth.items():
+            assert sketch.estimate(item) >= f
+
+    def test_oblivious_accuracy_on_sparse_stream(self):
+        sketch = CountMinSketch(1000, width=64, depth=4, seed=5)
+        for i in range(10):
+            sketch.feed(Update(i, 10))
+        # Sparse load: estimates should be exact (no collisions likely).
+        exact = sum(1 for i in range(10) if sketch.estimate(i) == 10)
+        assert exact >= 8
+
+    def test_turnstile_totals(self):
+        sketch = CountMinSketch(100, width=16, depth=3, seed=1)
+        sketch.feed(Update(5, 4))
+        sketch.feed(Update(5, -4))
+        assert sketch.estimate(5) == 0
+        assert sketch.query() == {"total": 0}
+
+    def test_state_exposes_hash_parameters(self):
+        sketch = CountMinSketch(100, width=8, depth=2, seed=2)
+        view = sketch.state_view()
+        assert len(view["row_params"]) == 2
+        assert view["prime"] > 100
+
+    def test_space_bits_positive(self):
+        sketch = CountMinSketch(100, width=8, depth=2, seed=2)
+        sketch.feed(Update(1, 1000))
+        assert sketch.space_bits() > 8 * 2
+
+
+class TestCountSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountSketch(100, width=4, depth=0)
+
+    def test_sign_and_bucket_determinism(self):
+        sketch = CountSketch(100, width=8, depth=3, seed=7)
+        assert sketch._sign(0, 42) == sketch._sign(0, 42)
+        assert sketch._bucket(1, 42) == sketch._bucket(1, 42)
+        assert sketch._sign(0, 42) in (-1, 1)
+
+    def test_point_estimate_on_sparse_stream(self):
+        sketch = CountSketch(1000, width=64, depth=5, seed=9)
+        sketch.feed(Update(3, 50))
+        sketch.feed(Update(700, 20))
+        assert sketch.estimate(3) == pytest.approx(50, abs=25)
+
+    def test_f2_estimate_unbiased_across_seeds(self):
+        vector = FrequencyVector(64)
+        updates = [Update(i, i % 5 + 1) for i in range(20)]
+        for update in updates:
+            vector.apply(update)
+        truth = vector.fp_moment(2)
+        estimates = []
+        for seed in range(30):
+            sketch = CountSketch(64, width=16, depth=5, seed=seed)
+            for update in updates:
+                sketch.feed(update)
+            estimates.append(sketch.query())
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - truth) < 0.5 * truth
+
+    def test_linearity_of_table(self):
+        """CountSketch is a linear map: inserting then deleting zeroes it."""
+        sketch = CountSketch(100, width=8, depth=3, seed=4)
+        for item in range(10):
+            sketch.feed(Update(item, 7))
+        for item in range(10):
+            sketch.feed(Update(item, -7))
+        assert all(all(v == 0 for v in row) for row in sketch.table)
+
+    def test_row_structure_matches_hashes(self):
+        sketch = CountSketch(12, width=4, depth=2, seed=8)
+        structure = sketch.sketch_matrix_row_structure()
+        assert len(structure) == 2
+        assert len(structure[0]) == 12
+        bucket, sign = structure[1][5]
+        assert bucket == sketch._bucket(1, 5)
+        assert sign == sketch._sign(1, 5)

@@ -1,0 +1,78 @@
+"""Tests for SpaceSaving (the [TMS12] substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heavyhitters.space_saving import SpaceSaving
+
+streams = st.lists(st.integers(0, 12), min_size=1, max_size=300)
+
+
+class TestSpaceSaving:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+    def test_exact_within_capacity(self):
+        ss = SpaceSaving(4)
+        for item in (1, 1, 2, 3):
+            ss.offer(item)
+        assert ss.items() == {1: 2, 2: 1, 3: 1}
+
+    def test_eviction_inherits_minimum(self):
+        ss = SpaceSaving(2)
+        for item in (1, 1, 2, 3):
+            ss.offer(item)
+        # 3 evicts 2 (count 1) and inherits: estimate(3) = 2.
+        assert ss.estimate(3) == 2
+        assert 2 not in ss.items()
+
+    def test_rejects_deletions(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(2).offer(1, -1)
+
+    @given(streams)
+    @settings(max_examples=100)
+    def test_overestimate_guarantee(self, items):
+        """f_i <= estimate(i) <= f_i + m/k for tracked items; untracked
+        items are bounded by the minimum counter."""
+        k = 3
+        ss = SpaceSaving(k)
+        truth: dict[int, int] = {}
+        for item in items:
+            ss.offer(item)
+            truth[item] = truth.get(item, 0) + 1
+        m = len(items)
+        for item in range(13):
+            f = truth.get(item, 0)
+            estimate = ss.estimate(item)
+            assert estimate >= min(f, estimate)  # estimate covers f if tracked
+            assert estimate <= f + m / k
+            if item in ss.items():
+                assert estimate >= f
+
+    def test_untracked_estimate_is_min_counter(self):
+        ss = SpaceSaving(2)
+        for item in (1, 1, 1, 2, 2):
+            ss.offer(item)
+        assert ss.estimate(9) == 2  # min counter bound
+
+    def test_untracked_estimate_zero_when_not_full(self):
+        ss = SpaceSaving(5)
+        ss.offer(1)
+        assert ss.estimate(9) == 0
+
+    def test_heavy_hitters_and_error_bound(self):
+        ss = SpaceSaving(10)
+        for _ in range(80):
+            ss.offer(5)
+        for i in range(20):
+            ss.offer(50 + i)
+        assert 5 in ss.heavy_hitters(0.5)
+        assert ss.error_bound == pytest.approx(10.0)
+
+    def test_space_bits(self):
+        ss = SpaceSaving(4)
+        ss.offer(3, 100)
+        assert ss.space_bits(universe_size=256) == 4 * (8 + 7)

@@ -1,0 +1,174 @@
+"""Tests for the HHH algorithms (Theorems 2.11-2.14, Algorithms 3-4)."""
+
+import pytest
+
+from repro.core.stream import FrequencyVector, Update
+from repro.hhh.bern_hhh import BernHHH
+from repro.hhh.domain import HierarchicalDomain, Prefix, conditioned_count, exact_hhh
+from repro.hhh.hss import HierarchicalSpaceSaving, select_hhh
+from repro.hhh.robust_hhh import RobustHHH
+from repro.workloads.hierarchy import planted_hhh_stream
+
+DOMAIN = HierarchicalDomain(branching=2, height=5)
+
+
+def run_stream(algorithm, stream):
+    for update in stream:
+        algorithm.feed(update)
+    return algorithm
+
+
+def covered(domain, planted_prefix, reported) -> bool:
+    return any(domain.is_ancestor(planted_prefix, r) for r in reported)
+
+
+class TestSelectHHH:
+    def test_selects_above_bar(self):
+        estimates = [{} for _ in range(DOMAIN.height + 1)]
+        estimates[2] = {5: 60}
+        selected = select_hhh(
+            DOMAIN, estimates, [0.0] * 6, total=100.0, gamma=0.5
+        )
+        assert Prefix(2, 5) in selected
+
+    def test_discounts_descendants(self):
+        estimates = [{} for _ in range(DOMAIN.height + 1)]
+        estimates[0] = {20: 60}  # heavy leaf
+        estimates[1] = {10: 62}  # its parent: only 2 conditioned
+        selected = select_hhh(
+            DOMAIN, estimates, [0.0] * 6, total=100.0, gamma=0.5
+        )
+        assert Prefix(0, 20) in selected
+        assert Prefix(1, 10) not in selected
+
+    def test_reported_value_is_underestimate(self):
+        estimates = [{} for _ in range(DOMAIN.height + 1)]
+        estimates[0] = {20: 60}
+        selected = select_hhh(
+            DOMAIN, estimates, [5.0] * 6, total=100.0, gamma=0.5
+        )
+        assert selected[Prefix(0, 20)] == 55.0
+
+
+class TestHierarchicalSpaceSaving:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalSpaceSaving(DOMAIN, gamma=0.1, accuracy=0.2)
+
+    def test_rejects_deletions(self):
+        algorithm = HierarchicalSpaceSaving(DOMAIN, gamma=0.3, accuracy=0.1)
+        with pytest.raises(ValueError):
+            algorithm.feed(Update(0, -1))
+
+    def test_detects_planted_prefixes(self):
+        gamma = 0.25
+        planted = {Prefix(3, 2): 0.4}
+        stream = planted_hhh_stream(DOMAIN, 3000, planted, seed=1)
+        algorithm = run_stream(
+            HierarchicalSpaceSaving(DOMAIN, gamma=gamma, accuracy=0.1), stream
+        )
+        reported = set(algorithm.query())
+        assert covered(DOMAIN, Prefix(3, 2), reported)
+
+    def test_coverage_against_exact(self):
+        """Definition 2.10 coverage: unreported prefixes have small
+        conditioned counts relative to the reported set."""
+        gamma, eps = 0.3, 0.1
+        stream = planted_hhh_stream(DOMAIN, 2000, {Prefix(2, 3): 0.5}, seed=2)
+        algorithm = run_stream(
+            HierarchicalSpaceSaving(DOMAIN, gamma=gamma, accuracy=eps), stream
+        )
+        vector = FrequencyVector(DOMAIN.universe_size)
+        for update in planted_hhh_stream(DOMAIN, 2000, {Prefix(2, 3): 0.5}, seed=2):
+            vector.apply(update)
+        reported = set(algorithm.query())
+        m = len(vector)
+        for prefix in DOMAIN.all_prefixes():
+            if prefix in reported:
+                continue
+            residual = conditioned_count(DOMAIN, vector, prefix, reported)
+            assert residual <= (gamma + eps) * m
+
+    def test_estimates_below_subtree_mass(self):
+        stream = planted_hhh_stream(DOMAIN, 2000, {Prefix(2, 3): 0.5}, seed=3)
+        algorithm = run_stream(
+            HierarchicalSpaceSaving(DOMAIN, gamma=0.3, accuracy=0.1), stream
+        )
+        vector = FrequencyVector(DOMAIN.universe_size)
+        for update in planted_hhh_stream(DOMAIN, 2000, {Prefix(2, 3): 0.5}, seed=3):
+            vector.apply(update)
+        for prefix, value in algorithm.query().items():
+            subtree = sum(vector[leaf] for leaf in DOMAIN.leaves_below(prefix))
+            assert value <= subtree + 1e-9
+
+    def test_space_counts_all_levels(self):
+        algorithm = HierarchicalSpaceSaving(
+            DOMAIN, gamma=0.3, accuracy=0.1, capacity_per_level=16
+        )
+        algorithm.feed(Update(0, 10))
+        per_level = algorithm.levels[0].space_bits(DOMAIN.universe_size)
+        assert algorithm.space_bits() == per_level * (DOMAIN.height + 1)
+
+
+class TestBernHHH:
+    def test_rate_one_matches_deterministic(self):
+        instance = BernHHH(
+            DOMAIN, length_guess=1, gamma=0.3, accuracy=0.2, failure_probability=0.05
+        )
+        assert instance.probability == 1.0
+        stream = planted_hhh_stream(DOMAIN, 500, {Prefix(2, 3): 0.5}, seed=4)
+        for update in stream:
+            instance.process(update)
+        deterministic = HierarchicalSpaceSaving(DOMAIN, gamma=0.3, accuracy=0.1)
+        for update in planted_hhh_stream(DOMAIN, 500, {Prefix(2, 3): 0.5}, seed=4):
+            deterministic.feed(update)
+        assert covered(DOMAIN, Prefix(2, 3), set(instance.hhh()))
+        assert covered(DOMAIN, Prefix(2, 3), set(deterministic.query()))
+
+    def test_scaled_estimates(self):
+        instance = BernHHH(
+            DOMAIN, length_guess=1, gamma=0.3, accuracy=0.2, failure_probability=0.05
+        )
+        for _ in range(100):
+            instance.process(Update(5))
+        values = instance.hhh()
+        leaf_or_ancestor = [p for p in values if DOMAIN.is_ancestor(p, Prefix(0, 5))]
+        assert leaf_or_ancestor
+        assert instance.updates_seen == 100
+
+    def test_rejects_deletions(self):
+        instance = BernHHH(DOMAIN, 10, 0.3, 0.1, 0.05)
+        with pytest.raises(ValueError):
+            instance.process(Update(0, -1))
+
+
+class TestRobustHHH:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RobustHHH(DOMAIN, gamma=0.1, accuracy=0.5)
+
+    def test_detects_planted_traffic(self):
+        gamma, eps = 0.25, 0.1
+        hits = 0
+        trials = 6
+        for seed in range(trials):
+            algorithm = RobustHHH(
+                DOMAIN, gamma=gamma, accuracy=eps, seed=seed, capacity_per_level=32
+            )
+            stream = planted_hhh_stream(DOMAIN, 4000, {Prefix(3, 2): 0.5}, seed=seed)
+            for update in stream:
+                algorithm.feed(update)
+            if covered(DOMAIN, Prefix(3, 2), set(algorithm.query())):
+                hits += 1
+        assert hits >= trials - 1
+
+    def test_space_and_state(self):
+        algorithm = RobustHHH(
+            DOMAIN, gamma=0.3, accuracy=0.15, seed=1, capacity_per_level=8
+        )
+        for update in planted_hhh_stream(DOMAIN, 500, {Prefix(2, 1): 0.4}, seed=1):
+            algorithm.feed(update)
+        assert algorithm.space_bits() > 0
+        view = algorithm.state_view()
+        assert len(view["instances"]) == 2
+        assert algorithm.length_estimate() > 100

@@ -1,0 +1,70 @@
+"""Additional BernHHH / robust-HHH edge coverage."""
+
+import pytest
+
+from repro.core.stream import Update
+from repro.hhh.bern_hhh import BernHHH
+from repro.hhh.domain import HierarchicalDomain, Prefix
+from repro.hhh.robust_hhh import RobustHHH
+
+DOMAIN = HierarchicalDomain(branching=4, height=3)  # non-binary branching
+
+
+class TestNonBinaryDomain:
+    def test_ancestor_arithmetic_base4(self):
+        assert DOMAIN.ancestors(37) == (
+            Prefix(0, 37),
+            Prefix(1, 9),
+            Prefix(2, 2),
+            Prefix(3, 0),
+        )
+        assert DOMAIN.universe_size == 64
+
+    def test_bern_hhh_over_base4(self):
+        instance = BernHHH(
+            DOMAIN, length_guess=1, gamma=0.4, accuracy=0.2, failure_probability=0.05
+        )
+        for _ in range(50):
+            instance.process(Update(37))
+        for i in range(30):
+            instance.process(Update(i % 20))
+        chosen = instance.hhh()
+        assert any(
+            DOMAIN.is_ancestor(prefix, Prefix(0, 37)) for prefix in chosen
+        )
+
+    def test_robust_hhh_over_base4(self):
+        algorithm = RobustHHH(
+            DOMAIN, gamma=0.4, accuracy=0.2, seed=2, capacity_per_level=16
+        )
+        for i in range(600):
+            algorithm.feed(Update(37 if i % 2 == 0 else (i % 64)))
+        chosen = algorithm.query()
+        assert any(
+            DOMAIN.is_ancestor(prefix, Prefix(0, 37)) for prefix in chosen
+        )
+
+
+class TestBatchedHHHUpdates:
+    def test_batched_mass_counts_once(self):
+        instance = BernHHH(
+            DOMAIN, length_guess=1, gamma=0.3, accuracy=0.2, failure_probability=0.05
+        )
+        instance.process(Update(5, 40))
+        assert instance.updates_seen == 40
+        assert instance.inner.total == 40  # p = 1: everything lands
+
+    def test_estimate_scaling_with_rate(self):
+        instance = BernHHH(
+            DOMAIN,
+            length_guess=10_000,
+            gamma=0.3,
+            accuracy=0.2,
+            failure_probability=0.05,
+            seed=5,
+        )
+        assert instance.probability < 1.0
+        instance.process(Update(5, 5_000))
+        estimate = instance.estimate(Prefix(0, 5))
+        # Unbiased scaling: within a loose window of the truth.
+        assert 0 <= estimate <= 15_000

@@ -1,0 +1,124 @@
+"""Tests for hierarchical domains and exact HHH (Definitions 2.9/2.10)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stream import FrequencyVector, Update
+from repro.hhh.domain import (
+    HierarchicalDomain,
+    Prefix,
+    conditioned_count,
+    exact_hhh,
+)
+
+
+class TestDomainStructure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalDomain(branching=1, height=3)
+        with pytest.raises(ValueError):
+            HierarchicalDomain(branching=2, height=0)
+        with pytest.raises(ValueError):
+            Prefix(-1, 0)
+
+    def test_ancestors_chain(self):
+        domain = HierarchicalDomain(branching=2, height=3)
+        chain = domain.ancestors(5)  # 5 = 0b101
+        assert chain == (
+            Prefix(0, 5),
+            Prefix(1, 2),
+            Prefix(2, 1),
+            Prefix(3, 0),
+        )
+
+    def test_parent(self):
+        domain = HierarchicalDomain(branching=4, height=2)
+        assert domain.parent(Prefix(0, 13)) == Prefix(1, 3)
+        with pytest.raises(ValueError):
+            domain.parent(Prefix(2, 0))
+
+    def test_leaves_below(self):
+        domain = HierarchicalDomain(branching=2, height=3)
+        assert list(domain.leaves_below(Prefix(2, 1))) == [4, 5, 6, 7]
+        assert list(domain.leaves_below(Prefix(0, 3))) == [3]
+
+    def test_prefixes_at_level(self):
+        domain = HierarchicalDomain(branching=2, height=3)
+        assert len(domain.prefixes_at_level(0)) == 8
+        assert len(domain.prefixes_at_level(3)) == 1
+        with pytest.raises(ValueError):
+            domain.prefixes_at_level(4)
+
+    def test_item_bounds(self):
+        domain = HierarchicalDomain(branching=2, height=2)
+        with pytest.raises(ValueError):
+            domain.ancestors(4)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=80)
+    def test_is_ancestor_consistent_with_leaves(self, a, b):
+        domain = HierarchicalDomain(branching=2, height=6)
+        pa = domain.ancestor(a, 3)
+        assert domain.is_ancestor(pa, Prefix(0, b)) == (
+            b in domain.leaves_below(pa)
+        )
+
+    @given(st.integers(0, 80))
+    @settings(max_examples=40)
+    def test_every_ancestor_contains_the_leaf(self, item):
+        domain = HierarchicalDomain(branching=3, height=4)
+        for prefix in domain.ancestors(item):
+            assert domain.is_ancestor(prefix, Prefix(0, item))
+
+
+class TestExactHHH:
+    def make_vector(self, counts: dict[int, int], n=16) -> FrequencyVector:
+        fv = FrequencyVector(n)
+        for item, count in counts.items():
+            fv.apply(Update(item, count))
+        return fv
+
+    def test_single_heavy_leaf(self):
+        domain = HierarchicalDomain(branching=2, height=4)
+        fv = self.make_vector({3: 60, 9: 20, 12: 20})
+        hhh = exact_hhh(domain, fv, threshold=0.5)
+        assert Prefix(0, 3) in hhh
+        assert hhh[Prefix(0, 3)] == 60
+
+    def test_heavy_prefix_without_heavy_leaves(self):
+        domain = HierarchicalDomain(branching=2, height=4)
+        # Leaves 4..7 each carry 15: prefix (2,1) carries 60.
+        fv = self.make_vector({4: 15, 5: 15, 6: 15, 7: 15, 0: 40})
+        hhh = exact_hhh(domain, fv, threshold=0.5)
+        assert Prefix(2, 1) in hhh
+        assert hhh[Prefix(2, 1)] == 60
+
+    def test_descendant_mass_is_excluded(self):
+        domain = HierarchicalDomain(branching=2, height=4)
+        # Leaf 4 is heavy; the rest of prefix (2,1) is light.
+        fv = self.make_vector({4: 50, 5: 10, 0: 40})
+        hhh = exact_hhh(domain, fv, threshold=0.45)
+        assert Prefix(0, 4) in hhh
+        # (2,1)'s conditioned count is 10 < 45: excluded.
+        assert Prefix(2, 1) not in hhh
+
+    def test_root_collects_spread_mass(self):
+        domain = HierarchicalDomain(branching=2, height=4)
+        fv = self.make_vector({i: 6 for i in range(16)})  # 96 total, spread
+        hhh = exact_hhh(domain, fv, threshold=0.9)
+        assert Prefix(4, 0) in hhh
+
+    def test_threshold_validation(self):
+        domain = HierarchicalDomain(branching=2, height=2)
+        with pytest.raises(ValueError):
+            exact_hhh(domain, self.make_vector({0: 1}, n=4), threshold=0.0)
+
+    def test_conditioned_count(self):
+        domain = HierarchicalDomain(branching=2, height=4)
+        fv = self.make_vector({4: 10, 5: 20, 6: 5})
+        prefix = Prefix(2, 1)
+        assert conditioned_count(domain, fv, prefix, set()) == 35
+        assert (
+            conditioned_count(domain, fv, prefix, {Prefix(0, 5)}) == 15
+        )

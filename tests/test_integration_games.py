@@ -1,0 +1,173 @@
+"""Integration tests: full white-box games across algorithm families.
+
+These exercise the whole stack -- algorithm + adversary + oracle + game
+runner -- on each family the paper treats, checking that the robust
+algorithms win their games and the oblivious baselines lose theirs.
+"""
+
+import pytest
+
+from repro.adversaries.sketch_attack import KernelStreamAdversary, ams_sketch_from_view
+from repro.adversaries.stress import SampleEvasionAdversary
+from repro.core.adversary import ObliviousAdversary
+from repro.core.game import frequency_truth, run_game
+from repro.core.stream import FrequencyVector, Update
+from repro.counters.morris import MorrisCountingAlgorithm
+from repro.distinct.sis_l0 import SisL0Estimator
+from repro.heavyhitters.misra_gries import MisraGriesAlgorithm
+from repro.heavyhitters.robust_l1 import RobustL1HeavyHitters
+from repro.moments.ams import AMSSketch
+from repro.workloads.frequency import planted_heavy_stream
+from repro.workloads.turnstile import insert_delete_stream
+
+
+class TestHeavyHitterGames:
+    def heavy_validator(self, eps):
+        def validator(answer, heavy):
+            return all(item in answer for item in heavy)
+
+        return validator
+
+    def test_robust_l1_wins_oblivious_game(self):
+        eps = 0.1
+        stream = planted_heavy_stream(500, 4000, {3: 0.3}, seed=1)
+        result = run_game(
+            algorithm=RobustL1HeavyHitters(500, accuracy=eps, seed=1),
+            adversary=ObliviousAdversary(stream),
+            ground_truth=frequency_truth(
+                500, truth_of=lambda fv: fv.heavy_hitters(2 * eps)
+            ),
+            validator=self.heavy_validator(eps),
+            max_rounds=len(stream),
+            query_every=250,
+        )
+        assert result.algorithm_won
+
+    def test_robust_l1_wins_adaptive_game(self):
+        eps = 0.1
+        result = run_game(
+            algorithm=RobustL1HeavyHitters(300, accuracy=eps, seed=2),
+            adversary=SampleEvasionAdversary(max_rounds=4000, universe_size=300),
+            ground_truth=frequency_truth(
+                300, truth_of=lambda fv: fv.heavy_hitters(2 * eps)
+            ),
+            validator=self.heavy_validator(eps),
+            max_rounds=4000,
+            query_every=200,
+        )
+        assert result.algorithm_won
+
+    def test_misra_gries_wins_every_game(self):
+        """Deterministic algorithms are unconditionally robust."""
+        eps = 0.2
+        result = run_game(
+            algorithm=MisraGriesAlgorithm(300, accuracy=eps),
+            adversary=SampleEvasionAdversary(max_rounds=3000, universe_size=300),
+            ground_truth=frequency_truth(
+                300, truth_of=lambda fv: fv.heavy_hitters(2 * eps)
+            ),
+            validator=self.heavy_validator(eps),
+            max_rounds=3000,
+            query_every=100,
+        )
+        assert result.algorithm_won
+
+
+class TestMomentGames:
+    def test_ams_wins_oblivious_but_loses_white_box(self):
+        universe = 16
+        stream = planted_heavy_stream(universe, 400, {3: 0.4}, seed=3)
+
+        def f2_validator(answer, truth):
+            if truth == 0:
+                return True
+            return 0.2 <= (answer or 0) / truth <= 5.0
+
+        oblivious = run_game(
+            algorithm=AMSSketch(universe, rows=24, seed=3),
+            adversary=ObliviousAdversary(stream),
+            ground_truth=frequency_truth(
+                universe, truth_of=lambda fv: fv.fp_moment(2)
+            ),
+            validator=f2_validator,
+            max_rounds=len(stream),
+            query_every=100,
+        )
+        assert oblivious.algorithm_won
+
+        def extract(view):
+            clone = ams_sketch_from_view(view)
+            clone.universe_size = universe
+            return clone
+
+        white_box = run_game(
+            algorithm=AMSSketch(universe, rows=4, seed=4),
+            adversary=KernelStreamAdversary(extract),
+            ground_truth=frequency_truth(
+                universe, truth_of=lambda fv: fv.fp_moment(2)
+            ),
+            validator=f2_validator,
+            max_rounds=32,
+        )
+        assert not white_box.algorithm_won
+
+
+class TestCountingGames:
+    def test_morris_wins_long_oblivious_game(self):
+        eps = 0.5
+        result = run_game(
+            algorithm=MorrisCountingAlgorithm(
+                accuracy=eps, failure_probability=1e-4, seed=5
+            ),
+            adversary=ObliviousAdversary([Update(0, 1)] * 10_000),
+            ground_truth=frequency_truth(4, truth_of=lambda fv: len(fv)),
+            validator=lambda answer, count: (
+                count <= 8 or abs(answer - count) <= eps * count
+            ),
+            max_rounds=10_000,
+        )
+        assert result.algorithm_won
+
+
+class TestDistinctGames:
+    def test_sis_l0_wins_turnstile_game(self):
+        estimator = SisL0Estimator(universe_size=256, eps=0.5, c=0.25, seed=6)
+        stream = insert_delete_stream(
+            256, survivors=[1, 60, 200], churn_items=40, churn_rounds=2, seed=6
+        )
+        factor = estimator.approximation_factor()
+        result = run_game(
+            algorithm=estimator,
+            adversary=ObliviousAdversary(stream),
+            ground_truth=frequency_truth(256, truth_of=lambda fv: fv.l0()),
+            validator=lambda z, l0: z <= l0 <= z * factor,
+            max_rounds=len(stream),
+            query_every=50,
+        )
+        assert result.algorithm_won
+
+
+class TestCrossFamilyConsistency:
+    def test_all_estimators_agree_on_shared_stream(self):
+        """One stream, many views: every estimator's answer is consistent
+        with the exact frequency vector."""
+        universe = 400
+        eps = 0.1
+        stream = planted_heavy_stream(universe, 6000, {9: 0.35, 77: 0.2}, seed=7)
+        vector = FrequencyVector(universe)
+        hh = RobustL1HeavyHitters(universe, accuracy=eps, seed=7)
+        mg = MisraGriesAlgorithm(universe, accuracy=eps)
+        l0 = SisL0Estimator(universe_size=universe, eps=0.5, c=0.25, seed=7)
+        counter = MorrisCountingAlgorithm(accuracy=0.25, seed=7)
+        for update in stream:
+            vector.apply(update)
+            hh.feed(update)
+            mg.feed(update)
+            l0.feed(update)
+            counter.feed(update)
+        heavy = vector.heavy_hitters(2 * eps)
+        assert heavy <= hh.heavy_hitters()
+        assert heavy <= mg.heavy_hitters()
+        z = l0.query()
+        assert z <= vector.l0() <= z * l0.approximation_factor()
+        assert abs(counter.query() - len(vector)) <= 0.5 * len(vector)

@@ -1,0 +1,189 @@
+"""Tests for modular algebra, rank decision (Thm 1.6), and the row basis."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stream import Update
+from repro.linalg.basis import StreamingRowBasis
+from repro.linalg.modular import (
+    integer_rank,
+    mod_kernel_vector,
+    mod_rank,
+    mod_row_echelon,
+    mod_solve_homogeneous,
+    rational_kernel_vector,
+)
+from repro.linalg.rank_decision import RankDecision, RowUpdate
+from repro.workloads.turnstile import matrix_row_stream
+
+small_matrices = st.lists(
+    st.lists(st.integers(-5, 5), min_size=4, max_size=4),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestModularAlgebra:
+    def test_rank_simple(self):
+        assert mod_rank([[1, 0], [0, 1]], 7) == 2
+        assert mod_rank([[1, 2], [2, 4]], 7) == 1
+        assert mod_rank([[0, 0], [0, 0]], 7) == 0
+        assert mod_rank([], 7) == 0
+
+    def test_rank_depends_on_modulus(self):
+        # [[1, 1], [1, 8]] has rank 2 over Q but rank 1 mod 7.
+        assert integer_rank([[1, 1], [1, 8]]) == 2
+        assert mod_rank([[1, 1], [1, 8]], 7) == 1
+
+    @given(small_matrices)
+    @settings(max_examples=80)
+    def test_mod_rank_vs_integer_rank_large_prime(self, matrix):
+        """Over a prime larger than any minor, the ranks agree."""
+        q = 1_000_003
+        assert mod_rank(matrix, q) == integer_rank(matrix)
+
+    @given(small_matrices)
+    @settings(max_examples=80)
+    def test_kernel_vector_is_in_kernel(self, matrix):
+        q = 97
+        kernel = mod_kernel_vector(matrix, q)
+        if kernel is None:
+            assert mod_rank(matrix, q) == 4
+        else:
+            assert any(kernel)
+            for row in matrix:
+                assert sum(r * k for r, k in zip(row, kernel)) % q == 0
+
+    def test_solve_homogeneous_counts_free_columns(self):
+        matrix = [[1, 0, 0, 0], [0, 1, 0, 0]]
+        solutions = mod_solve_homogeneous(matrix, 7)
+        assert len(solutions) == 2
+        for solution in solutions:
+            for row in matrix:
+                assert sum(r * s for r, s in zip(row, solution)) % 7 == 0
+
+    def test_echelon_pivots(self):
+        rows, pivots = mod_row_echelon([[0, 2], [3, 0]], 7)
+        assert pivots == [0, 1]
+        with pytest.raises(ValueError):
+            mod_row_echelon([[1]], 1)
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            mod_rank([[1, 2], [3]], 7)
+
+    @given(small_matrices)
+    @settings(max_examples=80)
+    def test_rational_kernel_vector(self, matrix):
+        kernel = rational_kernel_vector(matrix)
+        if kernel is None:
+            assert integer_rank(matrix) == 4
+        else:
+            assert any(kernel)
+            assert all(isinstance(v, int) for v in kernel)
+            for row in matrix:
+                assert sum(r * k for r, k in zip(row, kernel)) == 0
+
+
+class TestRankDecision:
+    def make_low_rank(self, n, rank, seed=0):
+        rng = random.Random(seed)
+        left = [[rng.randint(-2, 2) for _ in range(rank)] for _ in range(n)]
+        right = [[rng.randint(-2, 2) for _ in range(n)] for _ in range(rank)]
+        return [
+            [sum(left[i][t] * right[t][j] for t in range(rank)) for j in range(n)]
+            for i in range(n)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankDecision(n=4, k=5)
+        decision = RankDecision(n=4, k=2, entry_bound=20)
+        with pytest.raises(ValueError):
+            decision.apply(RowUpdate(4, 0, 1))
+
+    def test_decides_full_rank(self):
+        n = 6
+        decision = RankDecision(n=n, k=3, entry_bound=10, seed=1)
+        for i in range(n):
+            decision.apply(RowUpdate(i, i, 1))  # identity
+        assert decision.query() is True
+        assert decision.kernel_witness() is None or mod_rank(
+            decision.sketch, decision.modulus
+        ) >= 3
+
+    def test_decides_low_rank(self):
+        n = 6
+        matrix = self.make_low_rank(n, rank=1, seed=2)
+        decision = RankDecision(n=n, k=3, entry_bound=30, seed=2)
+        for update in matrix_row_stream(matrix, n):
+            decision.feed(update)
+        assert decision.query() is False
+        witness = decision.kernel_witness()
+        assert witness is not None and any(witness)
+
+    def test_turnstile_cancellation(self):
+        n = 4
+        decision = RankDecision(n=n, k=2, entry_bound=10, seed=3)
+        for i in range(n):
+            decision.apply(RowUpdate(i, i, 5))
+        for i in range(n):
+            decision.apply(RowUpdate(i, i, -5))
+        assert decision.query() is False  # zero matrix has rank 0 < 2
+
+    def test_enumeration_agrees_on_tiny_instances(self):
+        n = 3
+        for true_rank, seed in ((1, 4), (3, 5)):
+            if true_rank == 3:
+                matrix = [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+            else:
+                matrix = self.make_low_rank(n, 1, seed=seed)
+                if integer_rank(matrix) != 1:
+                    continue
+            decision = RankDecision(n=n, k=2, entry_bound=10, seed=seed)
+            for update in matrix_row_stream(matrix, n):
+                decision.feed(update)
+            assert decision.query() == decision.decide_by_enumeration(magnitude=2)
+
+    def test_oracle_entries_not_stored(self):
+        decision = RankDecision(n=8, k=2, entry_bound=10, seed=6)
+        before = decision.space_bits()
+        decision.apply(RowUpdate(0, 0, 1))
+        assert decision.space_bits() == before  # sketch registers pre-sized
+
+    def test_zero_delta_noop(self):
+        decision = RankDecision(n=4, k=2, entry_bound=10)
+        decision.apply(RowUpdate(1, 1, 0))
+        assert all(v == 0 for row in decision.sketch for v in row)
+
+
+class TestStreamingRowBasis:
+    def test_keeps_independent_rows(self):
+        basis = StreamingRowBasis(n=5, max_rank=3, entry_bound=10, seed=1)
+        assert basis.offer_row([1, 0, 0, 0, 0])
+        assert not basis.offer_row([2, 0, 0, 0, 0])  # dependent
+        assert basis.offer_row([0, 1, 0, 0, 0])
+        assert basis.offer_row([0, 0, 1, 0, 0])
+        assert not basis.offer_row([0, 0, 0, 1, 0])  # capacity reached
+        assert basis.query() == (0, 2, 3)
+        assert basis.rank_lower_bound() == 3
+
+    def test_detects_linear_combinations(self):
+        basis = StreamingRowBasis(n=4, max_rank=4, entry_bound=50, seed=2)
+        basis.offer_row([1, 2, 3, 4])
+        basis.offer_row([2, 0, 1, 1])
+        # Sum of the two kept rows: dependent.
+        assert not basis.offer_row([3, 2, 4, 5])
+
+    def test_row_length_validation(self):
+        basis = StreamingRowBasis(n=4, max_rank=2)
+        with pytest.raises(ValueError):
+            basis.offer_row([1, 2])
+
+    def test_process_is_not_the_api(self):
+        basis = StreamingRowBasis(n=4, max_rank=2)
+        with pytest.raises(NotImplementedError):
+            basis.feed(Update(0, 1))

@@ -1,0 +1,170 @@
+"""Tests for the executable lower bounds (Theorems 1.4, 1.9, 1.10, 1.11)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.problems import GapEqualityProblem, balanced_strings, hamming
+from repro.core.stream import FrequencyVector, Update
+from repro.counters.intervals import additive_error, multiplicative_error
+from repro.counters.obdd import exact_counter_program, truncated_counter_program
+from repro.lowerbounds.counting import (
+    best_h,
+    counting_lower_bound,
+    measure_program,
+)
+from repro.lowerbounds.fp_moments import (
+    ams_factory,
+    exact_f2_factory,
+    f2_of_combined,
+    gap_equality_f2_bridge,
+    run_fp_reduction,
+)
+from repro.lowerbounds.neighborhood import or_equality_graph, solve_or_equality
+from repro.lowerbounds.rank import (
+    ExactDiagonalRank,
+    rank_of_combined,
+    run_rank_reduction,
+)
+
+
+class TestCountingBound:
+    def test_best_h_monotone_in_horizon(self):
+        error = multiplicative_error(0.5)
+        values = [best_h(n, error) for n in (10, 100, 1000, 10_000)]
+        assert values == sorted(values)
+
+    def test_cube_root_scaling_for_multiplicative_error(self):
+        error = multiplicative_error(0.5)
+        h6 = best_h(10**6, error)
+        h9 = best_h(10**9, error)
+        # Theta(n^{1/3}): three orders of magnitude -> one order in h.
+        assert 8 <= h9 / h6 <= 12
+
+    def test_sqrt_scaling_for_additive_error(self):
+        error = additive_error(4.0)
+        h4 = best_h(10**4, error)
+        h6 = best_h(10**6, error)
+        assert 8 <= h6 / h4 <= 12  # Theta(sqrt(n))
+
+    def test_zero_error_gives_full_horizon(self):
+        assert best_h(100, lambda k: 0.0) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            best_h(0, multiplicative_error(0.5))
+
+    def test_certificate_fields(self):
+        certificate = counting_lower_bound(10**6, multiplicative_error(0.5))
+        assert certificate.min_states == certificate.h + 1
+        assert certificate.min_bits >= 7
+        assert "forcing" in certificate.explains()
+
+    def test_measure_exact_program(self):
+        measured = measure_program(
+            exact_counter_program(), 100, multiplicative_error(0.5)
+        )
+        assert measured.is_correct
+        assert measured.max_intervals == 101
+        assert measured.implied_bits >= 7
+
+    def test_measure_truncated_program(self):
+        measured = measure_program(
+            truncated_counter_program(4), 100, multiplicative_error(0.5)
+        )
+        assert not measured.is_correct
+        assert measured.violations > 0
+        assert measured.max_intervals <= 4
+
+
+class TestFpReduction:
+    @given(st.integers(0, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_f2_formula_matches_exact_computation(self, pair_index):
+        n = 6
+        strings = balanced_strings(n, n // 2)
+        x = strings[pair_index % len(strings)]
+        y = strings[(pair_index * 7 + 3) % len(strings)]
+        vector = FrequencyVector(n)
+        for i, bit in enumerate(x):
+            if bit:
+                vector.apply(Update(i, 1))
+        for i, bit in enumerate(y):
+            if bit:
+                vector.apply(Update(i, 1))
+        assert vector.fp_moment(2) == f2_of_combined(n, hamming(x, y))
+
+    def test_bridge_interprets_thresholds(self):
+        problem = GapEqualityProblem(6, gap=3)
+        bridge = gap_equality_f2_bridge(problem)
+        assert bridge.interpret(12.0, None) is True  # 2n = 12: equal
+        assert bridge.interpret(9.0, None) is False  # 2n - gap = 9: far
+
+    def test_exact_algorithm_derandomizes(self):
+        outcome, row = run_fp_reduction(
+            6, exact_f2_factory(6), alice_seeds=(0, 1), bob_seeds=(0,)
+        )
+        assert outcome.succeeded
+        assert row.reduction_succeeded
+        assert row.protocol_bits is not None
+        assert not outcome.failed_inputs
+
+    def test_sublinear_sketch_fails(self):
+        outcome, row = run_fp_reduction(
+            6, ams_factory(6, rows=1), alice_seeds=(0, 1, 2), bob_seeds=(0, 1)
+        )
+        assert not outcome.succeeded
+        assert row.failed_inputs > 0
+
+
+class TestRankReduction:
+    def test_rank_formula(self):
+        assert rank_of_combined(6, 0) == 3  # equal: support n/2
+        assert rank_of_combined(6, 4) == 5
+
+    def test_exact_diagonal_rank(self):
+        algorithm = ExactDiagonalRank(4)
+        algorithm.feed(Update(0, 1))  # (0,0) entry
+        algorithm.feed(Update(5, 1))  # (1,1) entry
+        assert algorithm.query() == 2
+        with pytest.raises(ValueError):
+            algorithm.feed(Update(1, 1))  # off-diagonal
+
+    def test_exact_algorithm_derandomizes(self):
+        outcome, row = run_rank_reduction(
+            6,
+            lambda seed: ExactDiagonalRank(6),
+            alice_seeds=(0,),
+            bob_seeds=(0,),
+        )
+        assert outcome.succeeded
+        assert row.protocol_bits is not None
+
+
+class TestNeighborhoodBound:
+    def test_graph_structure_encodes_equalities(self):
+        xs = [(1, 0, 1), (0, 1, 1)]
+        ys = [(1, 0, 1), (1, 1, 0)]
+        total, arrivals = or_equality_graph(xs, ys)
+        assert total == 2 * 2 + 3
+        by_vertex = {a.vertex: a.neighbors for a in arrivals}
+        # u_0 and v_0 share a neighborhood (x_0 == y_0); u_1 and v_1 differ.
+        assert by_vertex[0] == by_vertex[2]
+        assert by_vertex[1] != by_vertex[3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            or_equality_graph([], [])
+        with pytest.raises(ValueError):
+            or_equality_graph([(1, 0)], [(1, 0), (0, 1)])
+        with pytest.raises(ValueError):
+            or_equality_graph([(1, 0)], [(1, 0, 1)])
+
+    @pytest.mark.parametrize("use_crhf", [False, True])
+    def test_solve_or_equality(self, use_crhf):
+        xs = [(1, 0, 1, 0), (0, 1, 1, 0), (1, 1, 0, 0)]
+        ys = [(1, 0, 1, 0), (1, 1, 0, 0), (1, 1, 0, 0)]
+        report = solve_or_equality(xs, ys, use_crhf=use_crhf, seed=3)
+        assert report.truth == (1, 0, 1)
+        assert report.correct
+        assert report.space_bits > 0

@@ -1,0 +1,36 @@
+"""Tests for the Corollary 2.19 tightness check (Theorem 1.3 is tight)."""
+
+from repro.graphs.neighborhood import CRHFNeighborhoodIdentifier
+from repro.lowerbounds.neighborhood import (
+    crhf_identifier_is_tight,
+    randomized_lower_bound_bits,
+)
+from repro.workloads.graphs import random_vertex_stream
+
+
+class TestRandomizedBound:
+    def test_n_log_n_growth(self):
+        b64 = randomized_lower_bound_bits(64)
+        b4096 = randomized_lower_bound_bits(4096)
+        assert b64 == 64 * 6
+        assert b4096 == 4096 * 12
+        # Growth between n log n rates, not quadratic.
+        assert 100 < b4096 / b64 < 200
+
+    def test_tiny_n(self):
+        assert randomized_lower_bound_bits(1) == 1
+
+    def test_crhf_identifier_sits_between_bounds(self):
+        """Theorem 1.3's O(n log n) against Corollary 2.19's Omega(n log n):
+        the measured footprint must be within a constant of the floor, and
+        the ratio must not grow with n (tightness)."""
+        ratios = []
+        for n in (64, 128, 256):
+            identifier = CRHFNeighborhoodIdentifier(n, seed=n)
+            for arrival in random_vertex_stream(n, seed=n):
+                identifier.offer(arrival)
+            measured = identifier.space_bits()
+            assert crhf_identifier_is_tight(n, measured)
+            ratios.append(measured / randomized_lower_bound_bits(n))
+        # Ratio stays flat or falls as n grows (digest width is fixed).
+        assert ratios[-1] <= ratios[0] * 1.5

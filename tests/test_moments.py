@@ -1,0 +1,130 @@
+"""Tests for F_p moments, AMS, and the inner-product estimator (Cor 2.8)."""
+
+import pytest
+
+from repro.core.stream import FrequencyVector, Update
+from repro.moments.ams import AMSSketch
+from repro.moments.frequency import ExactFpMoment
+from repro.moments.inner_product import InnerProductEstimator, SampledVector
+
+
+class TestExactFp:
+    def test_f2(self):
+        algorithm = ExactFpMoment(universe_size=10, p=2)
+        algorithm.feed(Update(1, 3))
+        algorithm.feed(Update(2, -4))
+        assert algorithm.query() == 25.0
+
+    def test_f0(self):
+        algorithm = ExactFpMoment(universe_size=10, p=0)
+        algorithm.feed(Update(1, 3))
+        algorithm.feed(Update(2, -4))
+        algorithm.feed(Update(1, -3))
+        assert algorithm.query() == 1.0
+
+    def test_rejects_negative_p(self):
+        with pytest.raises(ValueError):
+            ExactFpMoment(10, p=-1)
+
+    def test_space_scales_with_support(self):
+        algorithm = ExactFpMoment(universe_size=1000, p=2)
+        empty = algorithm.space_bits()
+        for i in range(100):
+            algorithm.feed(Update(i, 1))
+        assert algorithm.space_bits() > empty
+
+
+class TestAMS:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AMSSketch(100, rows=0)
+
+    def test_sign_is_deterministic_given_seeds(self):
+        sketch = AMSSketch(100, rows=4, seed=1)
+        assert sketch.sign(2, 17) == sketch.sign(2, 17)
+        assert sketch.sign(2, 17) in (-1, 1)
+
+    def test_unbiased_over_seeds(self):
+        vector = FrequencyVector(32)
+        updates = [Update(i, (i % 4) + 1) for i in range(12)]
+        for update in updates:
+            vector.apply(update)
+        truth = vector.fp_moment(2)
+        estimates = []
+        for seed in range(60):
+            sketch = AMSSketch(32, rows=8, seed=seed)
+            for update in updates:
+                sketch.feed(update)
+            estimates.append(sketch.query())
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - truth) < 0.35 * truth
+
+    def test_sign_matrix_shape(self):
+        sketch = AMSSketch(10, rows=3, seed=2)
+        matrix = sketch.sign_matrix()
+        assert len(matrix) == 3 and len(matrix[0]) == 10
+        assert all(v in (-1, 1) for row in matrix for v in row)
+
+    def test_state_view_reveals_seeds(self):
+        sketch = AMSSketch(10, rows=3, seed=3)
+        view = sketch.state_view()
+        assert len(view["row_seeds"]) == 3
+        assert view["accumulators"] == (0, 0, 0)
+
+    def test_linearity(self):
+        sketch = AMSSketch(10, rows=3, seed=4)
+        sketch.feed(Update(5, 7))
+        sketch.feed(Update(5, -7))
+        assert sketch.query() == 0.0
+
+
+class TestSampledVector:
+    def test_rate_one_is_exact(self):
+        sampled = SampledVector(100, length_guess=1, accuracy=0.3, failure_probability=0.05)
+        assert sampled.probability == 1.0
+        sampled.process(Update(3, 5))
+        assert sampled.scaled() == {3: 5.0}
+
+    def test_rejects_deletions(self):
+        sampled = SampledVector(100, 100, 0.3, 0.05)
+        with pytest.raises(ValueError):
+            sampled.process(Update(1, -1))
+
+
+class TestInnerProductEstimator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InnerProductEstimator(100, accuracy=0.0)
+
+    def test_error_within_corollary_bound(self):
+        eps = 0.2
+        estimator = InnerProductEstimator(500, accuracy=eps, seed=1)
+        f_exact = FrequencyVector(500)
+        g_exact = FrequencyVector(500)
+        for i in range(3000):
+            fu = Update(i % 50, 1)
+            gu = Update(i % 60, 1)
+            estimator.update_f(fu)
+            estimator.update_g(gu)
+            f_exact.apply(fu)
+            g_exact.apply(gu)
+        truth = f_exact.inner_product(g_exact)
+        estimate = estimator.estimate()
+        bound = 12 * eps * f_exact.l1() * g_exact.l1()  # Lemma 2.7 constant
+        assert abs(estimate - truth) <= bound
+
+    def test_disjoint_supports_give_zero(self):
+        estimator = InnerProductEstimator(100, accuracy=0.3, seed=2)
+        for i in range(500):
+            estimator.update_f(Update(i % 10, 1))
+            estimator.update_g(Update(50 + i % 10, 1))
+        assert estimator.estimate() == 0.0
+
+    def test_error_bound_helper(self):
+        estimator = InnerProductEstimator(100, accuracy=0.1)
+        assert estimator.error_bound(10.0, 20.0) == pytest.approx(20.0)
+
+    def test_space_is_reported(self):
+        estimator = InnerProductEstimator(100, accuracy=0.3, seed=3)
+        estimator.update_f(Update(1, 1))
+        assert estimator.space_bits() > 0

@@ -1,0 +1,71 @@
+"""Property tests for the epoch scheme and the robust HH guarantee shape."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.randomness import WitnessedRandom
+from repro.core.stream import Update
+from repro.heavyhitters.epochs import MorrisDoublingScheme
+from repro.heavyhitters.robust_l1 import RobustL1HeavyHitters
+
+
+@given(
+    st.floats(min_value=2.0, max_value=64.0),
+    st.integers(1, 400),
+    st.integers(0, 100),
+)
+@settings(max_examples=60, deadline=None)
+def test_epoch_invariants(base, ticks, seed):
+    """At all times: exactly two live instances, consecutive indices, the
+    active one first, and the clock estimate below the standby guess."""
+    starts = []
+    scheme = MorrisDoublingScheme(
+        base=base,
+        factory=lambda epoch, guess, rnd: starts.append((epoch, guess)) or epoch,
+        random=WitnessedRandom(seed=seed),
+    )
+    for _ in range(ticks):
+        scheme.tick(1)
+        live = sorted(scheme.instances)
+        assert len(live) == 2
+        assert live == [scheme.epoch + 1, scheme.epoch + 2]
+        assert scheme.active_epoch == live[0]
+        # The clock has not yet passed the active guess (else it would
+        # have rotated inside tick()).
+        assert scheme.clock.estimate() < scheme.guess(scheme.active_epoch)
+    # Guesses of started instances grow geometrically (sorted + distinct
+    # once above the ceiling of 1).
+    guesses = [g for _, g in starts]
+    assert guesses == sorted(guesses)
+
+
+@given(st.integers(0, 40))
+@settings(max_examples=20, deadline=None)
+def test_robust_hh_candidate_list_is_always_small(seed):
+    """The O(1/eps) candidate-list size bound holds at every point in the
+    stream, not just at the end."""
+    eps = 0.2
+    algorithm = RobustL1HeavyHitters(1000, accuracy=eps, seed=seed)
+    import random
+
+    rng = random.Random(seed)
+    cap = 2 / (eps / 2)  # MG capacity per instance
+    for i in range(400):
+        item = 7 if rng.random() < 0.4 else rng.randrange(1000)
+        algorithm.feed(Update(item))
+        assert len(algorithm.query()) <= cap
+
+
+@given(st.integers(0, 20))
+@settings(max_examples=20, deadline=None)
+def test_robust_hh_estimates_never_exceed_stream_mass_wildly(seed):
+    """Scaled estimates are 1/p-granular but must stay within a small
+    multiple of the true stream mass (no runaway scaling after epoch
+    rotations)."""
+    algorithm = RobustL1HeavyHitters(100, accuracy=0.2, seed=seed)
+    mass = 0
+    for i in range(300):
+        algorithm.feed(Update(i % 10))
+        mass += 1
+    for estimate in algorithm.query().values():
+        assert estimate <= 8 * mass

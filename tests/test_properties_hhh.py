@@ -1,0 +1,92 @@
+"""Property tests for hierarchical-heavy-hitter invariants (Def 2.9)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stream import FrequencyVector, Update
+from repro.hhh.domain import (
+    HierarchicalDomain,
+    Prefix,
+    conditioned_count,
+    exact_hhh,
+)
+
+DOMAIN = HierarchicalDomain(branching=2, height=4)
+
+mass_assignments = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(1, 20)), min_size=1, max_size=20
+)
+
+
+def vector_of(pairs) -> FrequencyVector:
+    fv = FrequencyVector(16)
+    for item, count in pairs:
+        fv.apply(Update(item, count))
+    return fv
+
+
+@given(mass_assignments, st.floats(0.05, 0.9))
+@settings(max_examples=80, deadline=None)
+def test_conditioned_counts_sum_below_total(pairs, threshold):
+    """The chosen HHHs partition (a subset of) the mass: their conditioned
+    counts are disjoint by construction, so they sum to at most ||f||_1."""
+    fv = vector_of(pairs)
+    chosen = exact_hhh(DOMAIN, fv, threshold)
+    assert sum(chosen.values()) <= fv.l1()
+    assert all(value > 0 for value in chosen.values())
+
+
+@given(mass_assignments, st.floats(0.05, 0.9))
+@settings(max_examples=80, deadline=None)
+def test_every_chosen_prefix_meets_the_bar(pairs, threshold):
+    fv = vector_of(pairs)
+    bar = threshold * fv.l1()
+    chosen = exact_hhh(DOMAIN, fv, threshold)
+    for value in chosen.values():
+        assert value >= bar
+
+
+@given(mass_assignments)
+@settings(max_examples=60, deadline=None)
+def test_root_is_chosen_at_low_thresholds(pairs):
+    """With threshold small enough, some set of prefixes covering all mass
+    is chosen; in particular every heavy leaf is accounted for."""
+    fv = vector_of(pairs)
+    chosen = exact_hhh(DOMAIN, fv, threshold=0.05)
+    # Every support leaf lies below some chosen prefix OR contributes to
+    # an ancestor's conditioned count that was too light only if the leaf
+    # mass is below the bar -- check coverage of heavy leaves explicitly.
+    bar = 0.05 * fv.l1()
+    for item, count in fv.items():
+        if count >= bar:
+            assert any(
+                DOMAIN.is_ancestor(prefix, Prefix(0, item)) for prefix in chosen
+            )
+
+
+@given(mass_assignments, st.floats(0.1, 0.9))
+@settings(max_examples=60, deadline=None)
+def test_no_unchosen_prefix_exceeds_bar_given_chosen(pairs, threshold):
+    """Definition 2.9 closure: after selection, no prefix's conditioned
+    count (w.r.t. the chosen set) still clears the bar."""
+    fv = vector_of(pairs)
+    bar = threshold * fv.l1()
+    chosen = exact_hhh(DOMAIN, fv, threshold)
+    chosen_set = set(chosen)
+    for prefix in DOMAIN.all_prefixes():
+        if prefix in chosen_set:
+            continue
+        residual = conditioned_count(DOMAIN, fv, prefix, chosen_set)
+        assert residual < bar
+
+
+@given(mass_assignments, st.floats(0.1, 0.9))
+@settings(max_examples=60, deadline=None)
+def test_chosen_value_matches_conditioned_count_of_lower_levels(pairs, threshold):
+    """The recorded value of each chosen prefix equals its conditioned
+    count w.r.t. the strictly-lower-level chosen prefixes."""
+    fv = vector_of(pairs)
+    chosen = exact_hhh(DOMAIN, fv, threshold)
+    for prefix, value in chosen.items():
+        lower = {p for p in chosen if p.level < prefix.level}
+        assert value == conditioned_count(DOMAIN, fv, prefix, lower)

@@ -1,0 +1,120 @@
+"""Property tests on turnstile invariants across the library.
+
+The unifying property: every *linear* structure (SIS sketches, CountSketch,
+AMS, the rank-decision sketch) must be exactly order-independent and must
+return to its initial state when the stream cancels -- the paper's
+turnstile claims (Theorem 1.5, Remark 2.23) hinge on linearity.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stream import FrequencyVector, Update
+from repro.distinct.sis_l0 import SisL0Estimator
+from repro.heavyhitters.count_sketch import CountSketch
+from repro.linalg.rank_decision import RankDecision
+from repro.moments.ams import AMSSketch
+
+turnstile_updates = st.lists(
+    st.tuples(st.integers(0, 31), st.integers(-4, 4)), max_size=60
+)
+
+
+def apply_all(algorithm, pairs):
+    for item, delta in pairs:
+        algorithm.feed(Update(item, delta))
+
+
+@given(turnstile_updates)
+@settings(max_examples=50, deadline=None)
+def test_sis_l0_is_order_independent(pairs):
+    a = SisL0Estimator(universe_size=32, eps=0.5, c=0.25, seed=1)
+    b = SisL0Estimator(universe_size=32, eps=0.5, c=0.25, seed=1)
+    apply_all(a, pairs)
+    shuffled = list(pairs)
+    random.Random(0).shuffle(shuffled)
+    apply_all(b, shuffled)
+    assert a.query() == b.query()
+    assert {k: tuple(v) for k, v in a.sketches.items()} == {
+        k: tuple(v) for k, v in b.sketches.items()
+    }
+
+
+@given(turnstile_updates)
+@settings(max_examples=50, deadline=None)
+def test_sis_l0_cancellation_returns_to_zero(pairs):
+    estimator = SisL0Estimator(universe_size=32, eps=0.5, c=0.25, seed=2)
+    apply_all(estimator, pairs)
+    apply_all(estimator, [(item, -delta) for item, delta in pairs])
+    assert estimator.query() == 0
+    assert estimator.sketches == {}
+
+
+@given(turnstile_updates)
+@settings(max_examples=50, deadline=None)
+def test_sis_l0_bound_holds_on_any_turnstile_stream(pairs):
+    estimator = SisL0Estimator(universe_size=32, eps=0.5, c=0.25, seed=3)
+    vector = FrequencyVector(32)
+    for item, delta in pairs:
+        estimator.feed(Update(item, delta))
+        vector.apply(Update(item, delta))
+    z = estimator.query()
+    assert z <= vector.l0() <= z * estimator.approximation_factor()
+
+
+@given(turnstile_updates)
+@settings(max_examples=40, deadline=None)
+def test_count_sketch_cancellation(pairs):
+    sketch = CountSketch(universe_size=32, width=8, depth=3, seed=4)
+    apply_all(sketch, pairs)
+    apply_all(sketch, [(item, -delta) for item, delta in pairs])
+    assert all(all(v == 0 for v in row) for row in sketch.table)
+
+
+@given(turnstile_updates)
+@settings(max_examples=40, deadline=None)
+def test_ams_linearity_in_order(pairs):
+    a = AMSSketch(universe_size=32, rows=4, seed=5)
+    b = AMSSketch(universe_size=32, rows=4, seed=5)
+    apply_all(a, pairs)
+    shuffled = list(pairs)
+    random.Random(1).shuffle(shuffled)
+    apply_all(b, shuffled)
+    assert a.accumulators == b.accumulators
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(-3, 3)),
+        max_size=30,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_rank_sketch_is_linear(entries):
+    from repro.linalg.rank_decision import RowUpdate
+
+    a = RankDecision(n=4, k=2, entry_bound=200, seed=6)
+    b = RankDecision(n=4, k=2, entry_bound=200, seed=6)
+    for row, col, delta in entries:
+        a.apply(RowUpdate(row, col, delta))
+    shuffled = list(entries)
+    random.Random(2).shuffle(shuffled)
+    for row, col, delta in shuffled:
+        b.apply(RowUpdate(row, col, delta))
+    assert a.sketch == b.sketch
+
+
+@given(turnstile_updates)
+@settings(max_examples=30, deadline=None)
+def test_frequency_vector_is_the_reference(pairs):
+    """The oracle itself: applying then cancelling leaves nothing."""
+    vector = FrequencyVector(32)
+    for item, delta in pairs:
+        vector.apply(Update(item, delta))
+    for item, delta in pairs:
+        vector.apply(Update(item, -delta))
+    assert vector.l0() == 0
+    assert vector.l1() == 0

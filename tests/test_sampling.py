@@ -1,0 +1,113 @@
+"""Tests for Bernoulli (Theorem 2.3) and reservoir sampling."""
+
+import pytest
+
+from repro.core.randomness import WitnessedRandom
+from repro.core.stream import Update
+from repro.sampling.bernoulli import BernoulliSampler, bernoulli_rate
+from repro.sampling.reservoir import ReservoirSampler
+
+
+class TestBernoulliRate:
+    def test_formula_shape(self):
+        base = bernoulli_rate(1000, 10_000, 0.1, 0.05)
+        # Quadrupling eps divides the rate by 16.
+        relaxed = bernoulli_rate(1000, 10_000, 0.4, 0.05)
+        assert relaxed == pytest.approx(base / 16)
+        # Longer streams need proportionally lower rates.
+        longer = bernoulli_rate(1000, 100_000, 0.1, 0.05)
+        assert longer == pytest.approx(base / 10)
+
+    def test_capped_at_one(self):
+        assert bernoulli_rate(1000, 2, 0.1, 0.05) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bernoulli_rate(0, 10, 0.1, 0.05)
+        with pytest.raises(ValueError):
+            bernoulli_rate(10, 10, 1.5, 0.05)
+        with pytest.raises(ValueError):
+            bernoulli_rate(10, 10, 0.1, 0.0)
+
+
+class TestBernoulliSampler:
+    def test_probability_one_keeps_everything(self):
+        sampler = BernoulliSampler(probability=1.0, seed=1)
+        for item in (3, 3, 5):
+            sampler.offer(Update(item, 1))
+        assert sampler.samples == {3: 2, 5: 1}
+        assert sampler.scaled_count(3) == 2.0
+        assert sampler.scaled_total() == 3.0
+
+    def test_rejects_deletions(self):
+        sampler = BernoulliSampler(probability=0.5)
+        with pytest.raises(ValueError):
+            sampler.offer(Update(1, -1))
+
+    def test_batched_offer(self):
+        sampler = BernoulliSampler(probability=0.5, seed=2)
+        sampler.offer(Update(1, 100))
+        assert sampler.offered_total == 100
+        assert 20 <= sampler.samples.get(1, 0) <= 80  # ~Binomial(100, .5)
+
+    def test_unbiasedness_over_seeds(self):
+        total = 0.0
+        for seed in range(50):
+            sampler = BernoulliSampler(probability=0.1, seed=seed)
+            for _ in range(200):
+                sampler.offer(Update(7, 1))
+            total += sampler.scaled_count(7)
+        assert abs(total / 50 - 200) < 40
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliSampler(probability=0.0)
+
+    def test_space_counts_samples(self):
+        sampler = BernoulliSampler(probability=1.0, seed=0)
+        empty_bits = sampler.space_bits(1000)
+        sampler.offer(Update(1, 5))
+        assert sampler.space_bits(1000) > empty_bits
+
+
+class TestReservoir:
+    def test_fills_then_samples(self):
+        reservoir = ReservoirSampler(capacity=5, seed=3)
+        for item in range(5):
+            reservoir.offer(item)
+        assert sorted(reservoir.sample()) == [0, 1, 2, 3, 4]
+        for item in range(5, 1000):
+            reservoir.offer(item)
+        assert len(reservoir.sample()) == 5
+        assert reservoir.seen == 1000
+
+    def test_roughly_uniform(self):
+        """Each element should appear with probability k/n."""
+        hits = 0
+        trials = 300
+        for seed in range(trials):
+            reservoir = ReservoirSampler(capacity=10, seed=seed)
+            for item in range(100):
+                reservoir.offer(item)
+            if 0 in reservoir.sample():
+                hits += 1
+        # P[0 kept] = 10/100 = 0.1; allow wide slack.
+        assert 0.04 <= hits / trials <= 0.2
+
+    def test_density(self):
+        reservoir = ReservoirSampler(capacity=4, seed=1)
+        for item in (1, 1, 2, 2):
+            reservoir.offer(item)
+        assert reservoir.density({1}) == 0.5
+        assert ReservoirSampler(capacity=2).density({1}) == 0.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(capacity=0)
+
+    def test_shared_witnessed_source(self):
+        source = WitnessedRandom(seed=5, retain=None)
+        reservoir = ReservoirSampler(capacity=2, random=source)
+        for item in range(10):
+            reservoir.offer(item)
+        assert source.draws > 0  # replacement decisions are witnessed

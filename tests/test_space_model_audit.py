@@ -1,0 +1,113 @@
+"""Space-model audit: measured ``space_bits()`` against the theory formulas.
+
+Every theorem's space claim has a concrete formula shape; this file pins the
+implementations to those shapes with explicit constants, so accidental
+regressions (e.g. a log m register sneaking into a robust algorithm) fail
+loudly.
+"""
+
+import math
+
+from repro.core.space import bits_for_universe
+from repro.core.stream import Update
+from repro.counters.morris import MorrisCounter
+from repro.crypto.sis import sis_parameters_for_l0
+from repro.distinct.sis_l0 import SisL0Estimator
+from repro.graphs.neighborhood import CRHFNeighborhoodIdentifier
+from repro.heavyhitters.misra_gries import MisraGriesAlgorithm
+from repro.heavyhitters.robust_l1 import RobustL1HeavyHitters
+from repro.linalg.rank_decision import RankDecision
+from repro.workloads.graphs import random_vertex_stream
+
+
+class TestMisraGriesFormula:
+    def test_matches_capacity_times_registers(self):
+        n, eps, m = 4096, 0.1, 50_000
+        algorithm = MisraGriesAlgorithm(n, accuracy=eps)
+        for i in range(m):
+            algorithm.feed(Update(i % 64))
+        capacity = round(2 / eps)
+        expected = capacity * (
+            bits_for_universe(n) + max(1, m.bit_length())
+        )
+        assert algorithm.space_bits() == expected
+
+
+class TestRobustL1NoLogM:
+    def test_m_enters_only_through_the_clock(self):
+        """Feeding 100x more mass moves space by at most the Morris clock's
+        register growth (a few bits), never by a log m register."""
+        eps = 0.1
+        small = RobustL1HeavyHitters(4096, accuracy=eps, seed=1)
+        large = RobustL1HeavyHitters(4096, accuracy=eps, seed=1)
+        for i in range(100):
+            small.feed(Update(i % 64, 100))
+        for i in range(100):
+            large.feed(Update(i % 64, 10_000))
+        clock_growth = (
+            large.scheme.clock.space_bits() - small.scheme.clock.space_bits()
+        )
+        assert clock_growth <= 4
+        # Total space may fluctuate with epoch phase but must not grow by
+        # a log(100) = ~7-bit-per-counter term (capacity 4/eps = 40
+        # counters -> that would be ~280 bits).
+        assert large.space_bits() - small.space_bits() < 200
+
+
+class TestMorrisRegisterWidth:
+    def test_register_is_loglog_plus_parameter(self):
+        eps, delta = 0.25, 0.1
+        counter = MorrisCounter(accuracy=eps, failure_probability=delta, seed=1)
+        counter.increment(10**7)
+        a = 2 * eps * eps * delta
+        max_exponent = math.log(10**7 * a + 1) / math.log(1 + a)
+        register_bits = max(1, int(max_exponent).bit_length())
+        parameter_bits = math.ceil(math.log2(1 / a))
+        assert counter.space_bits() <= register_bits + parameter_bits + 2
+
+
+class TestSisL0Formula:
+    def test_explicit_mode_formula(self):
+        n, eps, c = 1024, 0.5, 0.25
+        estimator = SisL0Estimator(n, eps=eps, c=c, mode="explicit", seed=1)
+        params = sis_parameters_for_l0(n, eps, c)
+        entry_bits = (params.modulus - 1).bit_length()
+        chunks = math.ceil(n / params.cols)
+        expected = (
+            chunks * params.rows * entry_bits  # sketches: n^{1-eps+c eps}
+            + params.rows * params.cols * entry_bits  # matrix: n^{(1+c)eps}
+        )
+        assert estimator.space_bits() == expected
+
+    def test_oracle_mode_drops_matrix_term(self):
+        n = 1024
+        explicit = SisL0Estimator(n, eps=0.5, c=0.25, mode="explicit", seed=1)
+        oracle = SisL0Estimator(n, eps=0.5, c=0.25, mode="oracle", seed=1)
+        params = sis_parameters_for_l0(n, 0.5, 0.25)
+        entry_bits = (params.modulus - 1).bit_length()
+        matrix_term = params.rows * params.cols * entry_bits
+        saved = explicit.space_bits() - oracle.space_bits()
+        # The saving is the matrix term minus the (small) oracle key.
+        assert matrix_term - 512 <= saved <= matrix_term
+
+
+class TestRankDecisionFormula:
+    def test_nk2_scaling(self):
+        """Sketch bits scale ~ n k^2 log(n * entry_bound): doubling k should
+        roughly quadruple-and-a-bit the footprint at fixed n."""
+        n = 32
+        small = RankDecision(n=n, k=4, entry_bound=64, seed=1).space_bits()
+        large = RankDecision(n=n, k=8, entry_bound=64, seed=1).space_bits()
+        assert 3.0 <= large / small <= 5.0
+
+
+class TestNeighborhoodFormula:
+    def test_n_log_n_scaling(self):
+        bits = {}
+        for n in (64, 256):
+            identifier = CRHFNeighborhoodIdentifier(n, seed=n)
+            for arrival in random_vertex_stream(n, seed=n):
+                identifier.offer(arrival)
+            bits[n] = identifier.space_bits()
+        # 4x vertices with fixed digest width: ~4x bits (not 16x).
+        assert 3.5 <= bits[256] / bits[64] <= 4.5

@@ -1,0 +1,71 @@
+"""Pattern matching and fingerprints over non-binary alphabets.
+
+Algorithm 6 and Lemma 2.24 are alphabet-generic; these tests exercise the
+base-sigma exponent arithmetic (the ``H^sigma g^a`` recurrences) where
+sigma != 2, which the binary tests cannot."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.crhf import generate_crhf
+from repro.crypto.fingerprint import SlidingWindowFingerprint, StreamFingerprint
+from repro.strings.pattern_matching import RobustPatternMatcher
+from repro.strings.period import make_periodic, naive_occurrences
+from repro.strings.robust_fingerprint import RobustStringEquality
+
+CRHF = generate_crhf(security_bits=48, seed=17)
+
+quaternary = st.lists(st.integers(0, 3), max_size=40)
+
+
+class TestQuaternaryFingerprints:
+    @given(quaternary, quaternary)
+    @settings(max_examples=40, deadline=None)
+    def test_substring_digest_base4(self, prefix, suffix):
+        fp = StreamFingerprint(CRHF, alphabet_size=4)
+        fp.push_all(prefix)
+        snapshot = fp.snapshot()
+        fp.push_all(suffix)
+        assert fp.substring_digest(snapshot) == CRHF.hash_sequence(suffix, 4)
+
+    @given(st.lists(st.integers(0, 3), min_size=5, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_sliding_window_base4(self, text):
+        width = 4
+        window = SlidingWindowFingerprint(CRHF, alphabet_size=4, width=width)
+        for position, symbol in enumerate(text):
+            digest = window.push(symbol)
+            if position >= width - 1:
+                assert digest == CRHF.hash_sequence(
+                    text[position - width + 1 : position + 1], 4
+                )
+
+    def test_equality_over_bytes_alphabet(self):
+        eq = RobustStringEquality(alphabet_size=256, crhf=CRHF)
+        for byte in b"white-box":
+            eq.push_u(byte)
+            eq.push_v(byte)
+        assert eq.equal()
+        eq.push_u(1)
+        eq.push_v(2)
+        assert not eq.equal()
+
+
+class TestQuaternaryMatching:
+    @given(st.lists(st.integers(0, 3), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive_base4(self, text):
+        pattern = make_periodic([1, 3, 2], 6)
+        matcher = RobustPatternMatcher(pattern, alphabet_size=4, crhf=CRHF)
+        matcher.push_all(text)
+        assert list(matcher.occurrences()) == naive_occurrences(pattern, text)
+
+    def test_dna_style_search(self):
+        # ACGT -> 0..3; find the tandem repeat ACGACG.
+        encode = {"A": 0, "C": 1, "G": 2, "T": 3}
+        pattern = [encode[c] for c in "ACGACG"]
+        text = [encode[c] for c in "TTACGACGACGTTACGACGTT"]
+        matcher = RobustPatternMatcher(pattern, alphabet_size=4, crhf=CRHF)
+        matcher.push_all(text)
+        assert list(matcher.occurrences()) == naive_occurrences(pattern, text)
+        assert matcher.p == 3

@@ -1,0 +1,85 @@
+"""Tests contrasting the paper-literal chained matcher with the exact one.
+
+The scientific payload: the chained bookkeeping is O(1)-candidate (the
+Theorem 1.7 accounting) and agrees with the exact matcher wherever window-
+match progressions are contiguous -- but a crafted gapped progression makes
+it miss an occurrence, which is precisely why the library default keeps
+the pending FIFO (see module docstrings).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.crhf import generate_crhf
+from repro.strings.chained_matching import ChainedPatternMatcher
+from repro.strings.pattern_matching import RobustPatternMatcher
+from repro.strings.period import make_periodic, naive_occurrences
+
+CRHF = generate_crhf(security_bits=48, seed=31)
+
+
+class TestChainedMatcher:
+    def test_simple_occurrences(self):
+        matcher = ChainedPatternMatcher([1, 0, 1, 0], crhf=CRHF)
+        matcher.push_all([0, 1, 0, 1, 0, 0])
+        assert matcher.occurrences() == (1,)
+
+    def test_contiguous_periodic_run(self):
+        matcher = ChainedPatternMatcher([0, 1, 0, 1], crhf=CRHF)
+        matcher.push_all([0, 1] * 5)
+        assert matcher.occurrences() == (0, 2, 4, 6)
+
+    def test_space_is_constant_candidates(self):
+        matcher = ChainedPatternMatcher([0, 1] * 8, crhf=CRHF)
+        matcher.push_all([0, 1] * 200)
+        # One chain, two cursors, one window: no queue growth.
+        assert matcher.space_bits() < 1200
+
+    def test_gapped_progression_miss_is_real(self):
+        """The corner the chaining rule does not cover.
+
+        Pattern (100)^3, period 3.  Text: first block at 0, garbage block,
+        then a full occurrence at 6 (same residue class mod 3).  The
+        chained matcher absorbs position 6's window match into the pending
+        (doomed) candidate at 0 and reports nothing; the exact matcher
+        finds the occurrence.
+        """
+        pattern = [1, 0, 0] * 3
+        text = [1, 0, 0] + [1, 1, 1] + pattern + [0, 0]
+        truth = naive_occurrences(pattern, text)
+        assert truth == [6]
+
+        chained = ChainedPatternMatcher(pattern, crhf=CRHF)
+        chained.push_all(text)
+        exact = RobustPatternMatcher(pattern, crhf=CRHF)
+        exact.push_all(text)
+
+        assert exact.occurrences() == (6,)
+        assert chained.occurrences() == ()  # the documented miss
+
+    @given(st.lists(st.integers(0, 1), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_never_reports_false_positives(self, text):
+        """Chained verification is still digest-sound: anything reported
+        is a true occurrence (completeness is what the corner costs)."""
+        pattern = make_periodic([1, 0], 6)
+        matcher = ChainedPatternMatcher(pattern, crhf=CRHF)
+        matcher.push_all(text)
+        truth = set(naive_occurrences(pattern, text))
+        assert set(matcher.occurrences()) <= truth
+
+    @given(st.integers(0, 30), st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_on_well_separated_plants(self, gap_a, gap_b):
+        """With occurrences separated by >= n symbols of random filler the
+        progression structure holds and both matchers agree."""
+        pattern = make_periodic([1, 1, 0], 9)
+        filler_a = [0] * (gap_a + 9)
+        filler_b = [0] * (gap_b + 9)
+        text = filler_a + pattern + filler_b + pattern + [0]
+        chained = ChainedPatternMatcher(pattern, crhf=CRHF)
+        chained.push_all(text)
+        exact = RobustPatternMatcher(pattern, crhf=CRHF)
+        exact.push_all(text)
+        assert chained.occurrences() == exact.occurrences()
+        assert list(exact.occurrences()) == naive_occurrences(pattern, text)

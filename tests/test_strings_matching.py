@@ -1,0 +1,152 @@
+"""Tests for Karp-Rabin, robust equality (Lemma 2.24), Algorithm 6."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.crhf import generate_crhf
+from repro.strings.karp_rabin import KarpRabin, fermat_collision_pair
+from repro.strings.pattern_matching import RobustPatternMatcher
+from repro.strings.period import make_periodic, naive_occurrences
+from repro.strings.robust_fingerprint import RobustStringEquality
+
+CRHF = generate_crhf(security_bits=48, seed=11)
+
+
+class TestKarpRabin:
+    def test_polynomial_evaluation(self):
+        kr = KarpRabin(prime=101, x=7)
+        kr.push_all([1, 0, 1])  # 1*7 + 0*49 + 1*343 mod 101
+        assert kr.digest() == (7 + 343) % 101
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KarpRabin(prime=100, x=3)  # composite
+        with pytest.raises(ValueError):
+            KarpRabin(prime=101, x=1)
+
+    def test_random_instance(self):
+        kr = KarpRabin.random_instance(bits=16, seed=1)
+        assert kr.prime.bit_length() >= 16
+
+    def test_fermat_collision(self):
+        prime = 101
+        u, v = fermat_collision_pair(prime, length=prime)
+        assert u != v
+        assert KarpRabin.of(u, prime, 7) == KarpRabin.of(v, prime, 7)
+        # The collision is generator-independent.
+        assert KarpRabin.of(u, prime, 19) == KarpRabin.of(v, prime, 19)
+
+    def test_collision_needs_room(self):
+        with pytest.raises(ValueError):
+            fermat_collision_pair(101, length=50)
+
+    def test_space_is_constant(self):
+        kr = KarpRabin(prime=101, x=7)
+        before = kr.space_bits()
+        kr.push_all([1] * 100)
+        assert kr.space_bits() == before
+
+
+class TestRobustEquality:
+    def test_equal_streams(self):
+        eq = RobustStringEquality(crhf=CRHF)
+        for bit in (1, 0, 1, 1):
+            eq.push_u(bit)
+            eq.push_v(bit)
+        assert eq.equal()
+
+    def test_unequal_streams(self):
+        eq = RobustStringEquality(crhf=CRHF)
+        for u_bit, v_bit in ((1, 1), (0, 1), (1, 1)):
+            eq.push_u(u_bit)
+            eq.push_v(v_bit)
+        assert not eq.equal()
+
+    def test_length_mismatch(self):
+        eq = RobustStringEquality(crhf=CRHF)
+        eq.push_u(1)
+        assert not eq.equal()
+
+    def test_space_constant_in_length(self):
+        eq = RobustStringEquality(crhf=CRHF)
+        for _ in range(1000):
+            eq.push_u(1)
+            eq.push_v(1)
+        assert eq.space_bits() < 1000  # digests, not strings
+
+
+class TestRobustPatternMatcher:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RobustPatternMatcher([], crhf=CRHF)
+        with pytest.raises(ValueError):
+            RobustPatternMatcher([0, 1], pattern_period=0, crhf=CRHF)
+        with pytest.raises(ValueError):
+            RobustPatternMatcher([0, 1, 1], pattern_period=2, crhf=CRHF)
+        with pytest.raises(ValueError):
+            RobustPatternMatcher([0, 2], alphabet_size=2, crhf=CRHF)
+
+    def test_period_is_inferred(self):
+        matcher = RobustPatternMatcher([0, 1, 0, 1], crhf=CRHF)
+        assert matcher.p == 2
+
+    def test_finds_planted_occurrence(self):
+        pattern = [1, 0, 1, 0]
+        text = [0, 0, 1, 0, 1, 0, 0, 0]
+        matcher = RobustPatternMatcher(pattern, crhf=CRHF)
+        matcher.push_all(text)
+        assert matcher.occurrences() == (2,)
+
+    def test_overlapping_periodic_occurrences(self):
+        # Pattern 0101 in 010101: occurrences at 0 and 2 (period 2 apart).
+        matcher = RobustPatternMatcher([0, 1, 0, 1], crhf=CRHF)
+        matcher.push_all([0, 1, 0, 1, 0, 1])
+        assert matcher.occurrences() == (0, 2)
+
+    def test_pattern_equal_to_period_block(self):
+        # n == p: every window match is an occurrence.
+        matcher = RobustPatternMatcher([1, 1, 0], pattern_period=3, crhf=CRHF)
+        matcher.push_all([1, 1, 0, 1, 1, 0])
+        assert matcher.occurrences() == (0, 3)
+
+    def test_gapped_progression_is_not_missed(self):
+        """The corner that breaks naive m-chaining: a progression match,
+        a gap, then a true occurrence on the same residue class."""
+        pattern = [1, 0, 0, 1, 0, 0, 1, 0, 0]  # period 3, n = 9
+        # Build text: first period block matches at 0, then garbage, then a
+        # true occurrence at position 6 (same residue mod 3).
+        text = [1, 0, 0] + [1, 1, 1] + pattern + [0, 0]
+        matcher = RobustPatternMatcher(pattern, crhf=CRHF)
+        matcher.push_all(text)
+        assert matcher.occurrences() == tuple(naive_occurrences(pattern, text))
+
+    @given(
+        st.integers(1, 4),
+        st.integers(0, 3),
+        st.lists(st.integers(0, 1), min_size=0, max_size=80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_matcher(self, unit_len, extra, text):
+        """Exhaustive agreement with the naive matcher on random texts."""
+        unit = [(i * 7 + 3) % 2 for i in range(unit_len)]
+        if len(set(unit)) == 1 and unit_len > 1:
+            unit[-1] ^= 1
+        pattern = make_periodic(unit, unit_len * 2 + extra)
+        matcher = RobustPatternMatcher(pattern, crhf=CRHF)
+        matcher.push_all(text)
+        assert list(matcher.occurrences()) == naive_occurrences(pattern, text)
+
+    def test_streaming_reports_are_incremental(self):
+        pattern = [1, 0]
+        matcher = RobustPatternMatcher(pattern, crhf=CRHF)
+        reported = []
+        for symbol in [1, 0, 1, 0, 1]:
+            reported.extend(matcher.push(symbol))
+        assert reported == [0, 2]
+
+    def test_space_reporting(self):
+        matcher = RobustPatternMatcher([1, 0, 1, 0], crhf=CRHF)
+        matcher.push_all([1, 0] * 50)
+        assert matcher.space_bits() > 0
+        assert matcher.pending_candidates() <= 3

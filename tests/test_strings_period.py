@@ -1,0 +1,102 @@
+"""Tests for string periods (Lemma 2.25 substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.period import (
+    check_lemma_2_25,
+    failure_function,
+    has_period,
+    make_periodic,
+    naive_occurrences,
+    period,
+)
+
+
+class TestFailureFunction:
+    def test_known_values(self):
+        # "abab": borders a, ab -> fail = [0, 0, 1, 2]
+        assert failure_function([0, 1, 0, 1]) == [0, 0, 1, 2]
+        assert failure_function([0, 0, 0]) == [0, 1, 2]
+        assert failure_function([0]) == [0]
+
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=40))
+    @settings(max_examples=80)
+    def test_matches_naive_border(self, s):
+        fail = failure_function(s)
+        for i, value in enumerate(fail):
+            prefix = s[: i + 1]
+            borders = [
+                k
+                for k in range(len(prefix))
+                if prefix[:k] == prefix[len(prefix) - k :]
+            ]
+            assert value == max(borders)
+
+
+class TestPeriod:
+    def test_known_periods(self):
+        assert period([0, 1, 0, 1, 0, 1]) == 2
+        assert period([0, 1, 0, 1, 0]) == 2
+        assert period([0, 0, 0]) == 1
+        assert period([0, 1, 2]) == 3  # no border: period = length
+        assert period([0, 1, 0, 0, 1]) == 3  # abaab
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            period([])
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+    @settings(max_examples=80)
+    def test_period_is_a_period_and_minimal(self, s):
+        p = period(s)
+        assert has_period(s, p)
+        for smaller in range(1, p):
+            assert not has_period(s, smaller)
+
+    def test_has_period_validation(self):
+        with pytest.raises(ValueError):
+            has_period([0, 1], 0)
+
+
+class TestMakePeriodic:
+    def test_truncation(self):
+        assert make_periodic([0, 1, 2], 7) == [0, 1, 2, 0, 1, 2, 0]
+        assert make_periodic([5], 3) == [5, 5, 5]
+        assert make_periodic([1, 2], 0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_periodic([], 4)
+        with pytest.raises(ValueError):
+            make_periodic([1], -1)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=6), st.integers(1, 40))
+    @settings(max_examples=60)
+    def test_result_has_unit_period(self, unit, length):
+        if length >= len(unit):
+            result = make_periodic(unit, length)
+            assert has_period(result, len(unit))
+
+
+class TestNaiveOccurrences:
+    def test_simple(self):
+        assert naive_occurrences([0, 1], [0, 1, 0, 1, 1]) == [0, 2]
+        assert naive_occurrences([1, 1], [1, 1, 1, 1]) == [0, 1, 2]
+        assert naive_occurrences([2], [0, 1]) == []
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            naive_occurrences([], [0, 1])
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=2, max_size=5),
+    st.lists(st.integers(0, 1), max_size=60),
+)
+@settings(max_examples=80)
+def test_lemma_2_25_on_random_texts(unit, text):
+    """Occurrences of a periodic pattern are >= its period apart."""
+    pattern = make_periodic(unit, len(unit) * 2)
+    assert check_lemma_2_25(pattern, text)

@@ -1,0 +1,156 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.core.stream import FrequencyVector, Update
+from repro.hhh.domain import HierarchicalDomain, Prefix
+from repro.workloads.frequency import (
+    batched,
+    interleave,
+    planted_heavy_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.workloads.graphs import planted_twin_graph, random_vertex_stream
+from repro.workloads.hierarchy import planted_hhh_stream
+from repro.workloads.text import random_periodic_pattern, text_with_occurrences
+from repro.workloads.turnstile import (
+    churn_stream,
+    insert_delete_stream,
+    matrix_row_stream,
+    sparse_survivors_stream,
+)
+from repro.strings.period import has_period, naive_occurrences
+
+
+class TestFrequencyWorkloads:
+    def test_uniform_stream_shape(self):
+        stream = uniform_stream(100, 500, seed=1)
+        assert len(stream) == 500
+        assert all(0 <= u.item < 100 and u.delta == 1 for u in stream)
+
+    def test_zipf_is_skewed(self):
+        stream = zipf_stream(1000, 5000, skew=1.5, seed=2)
+        counts = {}
+        for update in stream:
+            counts[update.item] = counts.get(update.item, 0) + 1
+        # Low ranks dominate high ranks.
+        low = sum(counts.get(i, 0) for i in range(10))
+        high = sum(counts.get(i, 0) for i in range(500, 510))
+        assert low > 5 * (high + 1)
+        with pytest.raises(ValueError):
+            zipf_stream(10, 10, skew=0.0)
+
+    def test_planted_heavy_fractions(self):
+        stream = planted_heavy_stream(1000, 10_000, {7: 0.3, 42: 0.1}, seed=3)
+        assert len(stream) == 10_000
+        count_7 = sum(1 for u in stream if u.item == 7)
+        assert abs(count_7 - 3000) <= 5  # rounding only: planting is exact
+
+    def test_planted_validation(self):
+        with pytest.raises(ValueError):
+            planted_heavy_stream(100, 10, {1: 0.7, 2: 0.5})
+        with pytest.raises(ValueError):
+            planted_heavy_stream(1, 10, {0: 0.5})
+
+    def test_batched_preserves_mass(self):
+        stream = [Update(1, 1)] * 10 + [Update(2, 1)] * 3 + [Update(1, 1)] * 2
+        merged = list(batched(stream, chunk=8))
+        assert len(merged) < len(stream)
+        mass = {}
+        for update in merged:
+            mass[update.item] = mass.get(update.item, 0) + update.delta
+        assert mass == {1: 12, 2: 3}
+
+    def test_interleave_preserves_multiset(self):
+        a = [Update(1, 1)] * 5
+        b = [Update(2, 1)] * 7
+        merged = interleave(a, b, seed=4)
+        assert len(merged) == 12
+        assert sum(1 for u in merged if u.item == 1) == 5
+
+
+class TestTurnstileWorkloads:
+    def test_insert_delete_nets_to_survivors(self):
+        updates = insert_delete_stream(
+            100, survivors=[3, 50], churn_items=20, churn_rounds=2, seed=5
+        )
+        vector = FrequencyVector(100)
+        for update in updates:
+            vector.apply(update)
+        assert vector.support == frozenset({3, 50})
+
+    def test_insert_delete_validation(self):
+        with pytest.raises(ValueError):
+            insert_delete_stream(10, survivors=[0], churn_items=10)
+
+    def test_sparse_survivors(self):
+        updates, true_l0 = sparse_survivors_stream(200, 25, seed=6)
+        vector = FrequencyVector(200)
+        for update in updates:
+            vector.apply(update)
+        assert vector.l0() == true_l0 == 25
+
+    def test_churn_stream_is_bounded(self):
+        updates = churn_stream(100, 500, alive_target=10, seed=7)
+        vector = FrequencyVector(100)
+        for update in updates:
+            vector.apply(update)
+        assert all(v >= 0 for _, v in vector.items())
+
+    def test_matrix_row_stream_reconstructs(self):
+        matrix = [[1, 0, -2], [0, 3, 0], [4, 0, 5]]
+        updates = matrix_row_stream(matrix, 3, shuffle=False)
+        rebuilt = [[0] * 3 for _ in range(3)]
+        for update in updates:
+            r, c = divmod(update.item, 3)
+            rebuilt[r][c] += update.delta
+        assert rebuilt == matrix
+
+
+class TestHierarchyWorkloads:
+    def test_planted_prefix_gets_its_fraction(self):
+        domain = HierarchicalDomain(branching=2, height=4)
+        prefix = Prefix(2, 1)  # leaves 4..7
+        stream = planted_hhh_stream(domain, 4000, {prefix: 0.4}, seed=8)
+        below = sum(1 for u in stream if u.item in domain.leaves_below(prefix))
+        assert below >= 0.4 * 4000 - 1  # planted mass plus background hits
+
+    def test_validation(self):
+        domain = HierarchicalDomain(branching=2, height=2)
+        with pytest.raises(ValueError):
+            planted_hhh_stream(domain, 10, {Prefix(0, 0): 1.5})
+
+
+class TestGraphWorkloads:
+    def test_twins_share_neighborhoods(self):
+        arrivals = planted_twin_graph(20, [(2, 7)], seed=9)
+        by_vertex = {a.vertex: a.neighbors for a in arrivals}
+        assert by_vertex[2] == by_vertex[7]
+        assert 2 not in by_vertex[2] and 7 not in by_vertex[2]
+
+    def test_random_stream_covers_all_vertices(self):
+        arrivals = random_vertex_stream(15, seed=10)
+        assert {a.vertex for a in arrivals} == set(range(15))
+
+
+class TestTextWorkloads:
+    def test_pattern_has_requested_period(self):
+        pattern = random_periodic_pattern(12, 4, seed=11)
+        assert len(pattern) == 12
+        assert has_period(pattern, 4)
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            random_periodic_pattern(4, 5)
+
+    def test_planted_occurrences_present(self):
+        pattern = random_periodic_pattern(8, 2, seed=12)
+        text = text_with_occurrences(pattern, 100, [5, 60], seed=12)
+        found = naive_occurrences(pattern, text)
+        assert 5 in found and 60 in found
+
+    def test_plant_bounds_checked(self):
+        pattern = [0, 1, 0, 1]
+        with pytest.raises(ValueError):
+            text_with_occurrences(pattern, 10, [8])

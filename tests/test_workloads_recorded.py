@@ -1,0 +1,98 @@
+"""Tests for game recording/replay (frozen adversarial workloads)."""
+
+import pytest
+
+from repro.adversaries.sketch_attack import KernelStreamAdversary, ams_sketch_from_view
+from repro.adversaries.stress import ThresholdDancerAdversary
+from repro.core.game import frequency_truth
+from repro.heavyhitters.robust_l1 import RobustL1HeavyHitters
+from repro.moments.ams import AMSSketch
+from repro.moments.frequency import ExactFpMoment
+from repro.workloads.recorded import RecordedGame, record_game, replay
+
+
+def f2_validator(answer, truth):
+    if truth == 0:
+        return True
+    return 0.5 <= (answer or 0) / truth <= 2.0
+
+
+class TestRecordReplay:
+    def make_attack_recording(self, seed=3):
+        universe = 16
+
+        def extract(view):
+            clone = ams_sketch_from_view(view)
+            clone.universe_size = universe
+            return clone
+
+        return record_game(
+            algorithm=AMSSketch(universe_size=universe, rows=4, seed=seed),
+            adversary=KernelStreamAdversary(extract),
+            ground_truth=frequency_truth(16, truth_of=lambda fv: fv.fp_moment(2)),
+            validator=f2_validator,
+            max_rounds=32,
+        )
+
+    def test_recording_captures_the_attack(self):
+        recorded = self.make_attack_recording()
+        assert not recorded.original_result.algorithm_won
+        assert recorded.rounds > 0
+
+    def test_replay_reproduces_failure_on_same_seed(self):
+        recorded = self.make_attack_recording(seed=3)
+        result = replay(
+            recorded,
+            algorithm=AMSSketch(universe_size=16, rows=4, seed=3),
+            ground_truth=frequency_truth(16, truth_of=lambda fv: fv.fp_moment(2)),
+            validator=f2_validator,
+        )
+        assert not result.algorithm_won  # the frozen attack still bites
+
+    def test_replay_against_patched_algorithm_passes(self):
+        """The frozen kernel stream is harmless to an exact algorithm --
+        exactly the workflow: freeze an attack, verify the fix."""
+        recorded = self.make_attack_recording(seed=3)
+        result = replay(
+            recorded,
+            algorithm=ExactFpMoment(universe_size=16, p=2),
+            ground_truth=frequency_truth(16, truth_of=lambda fv: fv.fp_moment(2)),
+            validator=f2_validator,
+        )
+        assert result.algorithm_won
+
+    def test_replay_of_benign_game(self):
+        eps = 0.1
+        recorded = record_game(
+            algorithm=RobustL1HeavyHitters(100, accuracy=eps, seed=5),
+            adversary=ThresholdDancerAdversary(
+                max_rounds=1500, universe_size=100, threshold=eps
+            ),
+            ground_truth=frequency_truth(
+                100, truth_of=lambda fv: fv.heavy_hitters(2 * eps)
+            ),
+            validator=lambda answer, heavy: all(h in answer for h in heavy),
+            max_rounds=1500,
+            query_every=100,
+        )
+        assert recorded.original_result.algorithm_won
+        result = replay(
+            recorded,
+            algorithm=RobustL1HeavyHitters(100, accuracy=eps, seed=5),
+            ground_truth=frequency_truth(
+                100, truth_of=lambda fv: fv.heavy_hitters(2 * eps)
+            ),
+            validator=lambda answer, heavy: all(h in answer for h in heavy),
+            query_every=100,
+        )
+        assert result.algorithm_won
+
+    def test_empty_recording_rejected(self):
+        empty = RecordedGame(updates=[], original_result=None, algorithm_name="x")
+        with pytest.raises(ValueError):
+            replay(
+                empty,
+                algorithm=ExactFpMoment(universe_size=4, p=2),
+                ground_truth=frequency_truth(4, truth_of=lambda fv: 0),
+                validator=lambda a, t: True,
+            )

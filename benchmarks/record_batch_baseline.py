@@ -1,0 +1,104 @@
+"""Record the per-update vs batched throughput baseline (BENCH_batch.json).
+
+Runs CountMin and CountSketch over a 10^6-update uniform stream on a 10^6
+universe twice -- once through the classic per-update ``feed`` loop, once
+through ``StreamEngine.drive_arrays`` -- and writes updates/sec plus the
+speedup ratio to ``BENCH_batch.json`` at the repo root.  Future PRs append
+their own runs next to this baseline to track the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_batch_baseline.py [--quick]
+
+``--quick`` drops to 10^5 updates (CI smoke); the committed baseline uses
+the full 10^6 x 10^6 configuration from the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.engine import StreamEngine
+from repro.core.stream import updates_from_arrays
+from repro.heavyhitters.count_min import CountMinSketch
+from repro.heavyhitters.count_sketch import CountSketch
+from repro.workloads.frequency import uniform_arrays
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def measure(name: str, factory, items, deltas) -> dict:
+    """Time the per-update loop and the engine path on one sketch family."""
+    updates = updates_from_arrays(items, deltas)
+    length = len(updates)
+
+    loop_alg = factory()
+    start = time.perf_counter()
+    for update in updates:
+        loop_alg.feed(update)
+    loop_seconds = time.perf_counter() - start
+
+    engine = StreamEngine()
+    batch_alg = factory()
+    start = time.perf_counter()
+    engine.drive_arrays(batch_alg, items, deltas)
+    batch_seconds = time.perf_counter() - start
+
+    # Sanity: both paths must agree before the numbers mean anything.
+    loop_state = loop_alg.state_view().fields
+    batch_state = batch_alg.state_view().fields
+    if dict(loop_state) != dict(batch_state):
+        raise AssertionError(f"{name}: batched state diverged from loop state")
+
+    return {
+        "sketch": name,
+        "updates": length,
+        "per_update_seconds": round(loop_seconds, 4),
+        "per_update_ups": round(length / loop_seconds),
+        "batched_seconds": round(batch_seconds, 4),
+        "batched_ups": round(length / batch_seconds),
+        "speedup": round(loop_seconds / batch_seconds, 2),
+    }
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    n = 1_000_000
+    m = 100_000 if quick else 1_000_000
+    items, deltas = uniform_arrays(n, m, seed=12345)
+
+    results = [
+        measure(
+            "count-min 4x64",
+            lambda: CountMinSketch(n, width=64, depth=4, seed=1),
+            items,
+            deltas,
+        ),
+        measure(
+            "count-sketch 4x64",
+            lambda: CountSketch(n, width=64, depth=4, seed=2),
+            items,
+            deltas,
+        ),
+    ]
+    payload = {
+        "benchmark": "per-update vs StreamEngine batched throughput",
+        "universe_size": n,
+        "stream_length": m,
+        "chunk_size": StreamEngine().chunk_size,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    out = REPO_ROOT / "BENCH_batch.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    worst = min(r["speedup"] for r in results)
+    print(f"\nworst-case speedup: {worst}x -> {out}")
+
+
+if __name__ == "__main__":
+    main()

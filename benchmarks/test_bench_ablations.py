@@ -14,7 +14,6 @@ Assertions encode the expected monotonicity, so these run as tests too.
 
 import pytest
 
-from repro.core.stream import Update
 from repro.counters.morris import MorrisCounter
 from repro.crypto.crhf import generate_crhf
 from repro.crypto.fingerprint import StreamFingerprint

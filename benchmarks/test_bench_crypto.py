@@ -6,8 +6,6 @@ cost -- these benches make those costs visible and comparable to the
 non-crypto baselines (Karp-Rabin, plain hashing).
 """
 
-import pytest
-
 from repro.crypto.crhf import generate_crhf
 from repro.crypto.fingerprint import SlidingWindowFingerprint, StreamFingerprint
 from repro.crypto.random_oracle import RandomOracle

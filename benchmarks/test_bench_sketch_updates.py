@@ -2,11 +2,14 @@
 
 These are the ops/sec numbers a systems adopter would ask about, and they
 calibrate the experiment harness (how long a 10^6-update sweep takes).
+The ``TestBatchedThroughput`` class measures the StreamEngine's vectorized
+path against the per-update loop on the same workloads; run
+``python benchmarks/record_batch_baseline.py`` for the full 10^6-update
+comparison recorded in ``BENCH_batch.json``.
 """
 
-import pytest
-
-from repro.core.stream import Update
+from repro.core.engine import StreamEngine
+from repro.core.stream import Update, updates_to_arrays
 from repro.counters.deterministic import BucketedTimerCounter
 from repro.counters.morris import MorrisCounter
 from repro.distinct.sis_l0 import SisL0Estimator
@@ -105,3 +108,40 @@ class TestSketchThroughput:
         benchmark.pedantic(
             lambda: drive(estimator, updates), rounds=3, iterations=1
         )
+
+
+class TestBatchedThroughput:
+    """Engine fast path vs the per-update loop on identical workloads."""
+
+    def test_count_min_engine_batched(self, benchmark, hh_stream):
+        items, deltas = updates_to_arrays(hh_stream)
+        engine = StreamEngine()
+
+        def run():
+            sketch = CountMinSketch(10_000, width=64, depth=4, seed=5)
+            engine.drive_arrays(sketch, items, deltas)
+            return sketch.total
+
+        assert benchmark(run) == len(hh_stream)
+
+    def test_count_sketch_engine_batched(self, benchmark, hh_stream):
+        items, deltas = updates_to_arrays(hh_stream)
+        engine = StreamEngine()
+
+        def run():
+            sketch = CountSketch(10_000, width=64, depth=4, seed=6)
+            engine.drive_arrays(sketch, items, deltas)
+            return sketch
+
+        benchmark(run)
+
+    def test_ams_engine_batched(self, benchmark, hh_stream):
+        items, deltas = updates_to_arrays(hh_stream[:2000])
+        engine = StreamEngine()
+
+        def run():
+            sketch = AMSSketch(10_000, rows=16, seed=7)
+            engine.drive_arrays(sketch, items, deltas)
+            return sketch
+
+        benchmark.pedantic(run, rounds=3, iterations=1)

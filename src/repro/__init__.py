@@ -42,13 +42,14 @@ experiments
     repro.experiments``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import (
     FrequencyVector,
     GameResult,
     StateView,
     StreamAlgorithm,
+    StreamEngine,
     Update,
     WhiteBoxAdversary,
     WitnessedRandom,
@@ -60,6 +61,7 @@ __all__ = [
     "GameResult",
     "StateView",
     "StreamAlgorithm",
+    "StreamEngine",
     "Update",
     "WhiteBoxAdversary",
     "WitnessedRandom",

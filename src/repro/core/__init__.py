@@ -8,6 +8,7 @@ from repro.core.adversary import (
     WhiteBoxAdversary,
 )
 from repro.core.algorithm import DeterministicAlgorithm, StateView, StreamAlgorithm
+from repro.core.engine import DEFAULT_CHUNK_SIZE, StreamEngine
 from repro.core.game import GameResult, GroundTruth, RoundRecord, frequency_truth, run_game
 from repro.core.randomness import RandomDraw, WitnessedRandom
 from repro.core.space import (
@@ -19,12 +20,19 @@ from repro.core.space import (
     log2_ceil,
     loglog_bits,
 )
-from repro.core.stream import FrequencyVector, Update, stream_from_items
+from repro.core.stream import (
+    FrequencyVector,
+    Update,
+    stream_from_items,
+    updates_from_arrays,
+    updates_to_arrays,
+)
 
 __all__ = [
     "AdversaryView",
     "BlackBoxAdversary",
     "BudgetExhausted",
+    "DEFAULT_CHUNK_SIZE",
     "DeterministicAlgorithm",
     "FrequencyVector",
     "GameResult",
@@ -34,6 +42,7 @@ __all__ = [
     "RoundRecord",
     "StateView",
     "StreamAlgorithm",
+    "StreamEngine",
     "Update",
     "WhiteBoxAdversary",
     "WitnessedRandom",
@@ -47,4 +56,6 @@ __all__ = [
     "loglog_bits",
     "run_game",
     "stream_from_items",
+    "updates_from_arrays",
+    "updates_to_arrays",
 ]

@@ -15,7 +15,7 @@ carries an operation budget that attack implementations debit through
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.core.algorithm import StateView
@@ -66,6 +66,13 @@ class WhiteBoxAdversary(abc.ABC):
 
     name: str = "white-box-adversary"
 
+    #: Whether this adversary's choices depend on observed states/outputs.
+    #: The safe default is ``True``; non-adaptive adversaries override it to
+    #: ``False`` so :class:`repro.core.engine.StreamEngine` may batch their
+    #: games (adaptive games must see a state view after every update and
+    #: automatically degrade to chunk size 1).
+    adaptive: bool = True
+
     def __init__(self, budget: Optional[int] = None) -> None:
         if budget is not None and budget <= 0:
             raise ValueError(f"budget must be positive or None, got {budget}")
@@ -97,6 +104,7 @@ class ObliviousAdversary(WhiteBoxAdversary):
     """
 
     name = "oblivious"
+    adaptive = False
 
     def __init__(self, updates: Sequence[Update]) -> None:
         super().__init__(budget=None)
@@ -106,6 +114,17 @@ class ObliviousAdversary(WhiteBoxAdversary):
         if view.round_index >= len(self._updates):
             return None
         return self._updates[view.round_index]
+
+    def committed_updates(
+        self, start: int, count: int
+    ) -> Sequence[Update]:
+        """The committed stream slice ``[start, start + count)``.
+
+        The engine's batched game loop reads the fixed stream directly
+        instead of round-tripping through ``next_update`` -- legitimate
+        precisely because an oblivious adversary committed in advance.
+        """
+        return self._updates[start : start + count]
 
 
 class BlackBoxAdversary(WhiteBoxAdversary):

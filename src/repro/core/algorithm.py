@@ -97,12 +97,38 @@ class StreamAlgorithm(abc.ABC):
         """Internal data-structure contents; override in subclasses."""
         return {"updates_processed": self.updates_processed}
 
+    def process_batch(self, items, deltas) -> None:
+        """Consume a batch of updates ``(items[i], deltas[i])`` at once.
+
+        The batching contract (see :mod:`repro.core.engine`): the final
+        internal state, every estimate, and the randomness transcript must be
+        *identical* to feeding the same updates one at a time through
+        :meth:`process`.  The default implementation guarantees this by
+        looping; array-backed sketches override it with numpy-vectorized
+        scatter updates, which is equivalent because their update rules are
+        commutative integer additions that draw no randomness.
+
+        ``items`` and ``deltas`` are equal-length sequences (lists or numpy
+        integer arrays).
+        """
+        for item, delta in zip(items, deltas):
+            self.process(Update(int(item), int(delta)))
+
     # -- conveniences -------------------------------------------------------
 
     def feed(self, update: Update) -> None:
         """Process an update and maintain the position counter."""
         self.process(update)
         self.updates_processed += 1
+
+    def feed_batch(self, items, deltas) -> None:
+        """Process a batch and maintain the position counter."""
+        if len(items) != len(deltas):
+            raise ValueError(
+                f"items/deltas length mismatch: {len(items)} != {len(deltas)}"
+            )
+        self.process_batch(items, deltas)
+        self.updates_processed += len(items)
 
     def consume(self, updates) -> "StreamAlgorithm":
         """Feed a whole iterable of updates; returns self for chaining."""

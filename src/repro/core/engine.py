@@ -1,0 +1,325 @@
+"""StreamEngine: chunked, vectorized driving of streams, games, experiments.
+
+Why an engine
+-------------
+Every algorithm in the library exposes the one-update interface
+``process(update)`` the paper's game is defined over.  Driving a 10^6-update
+workload through that interface costs 10^6 Python-level calls per algorithm
+-- the dominant cost of every large experiment.  The engine instead slices a
+workload into chunks of ``(items, deltas)`` numpy arrays and hands each chunk
+to :meth:`~repro.core.algorithm.StreamAlgorithm.feed_batch`, which the
+array-backed sketches (CountMin, CountSketch, AMS, the exact moment/distinct
+structures) override with vectorized scatter updates.
+
+The batching contract
+---------------------
+``process_batch(items, deltas)`` must leave the algorithm in *exactly* the
+state that feeding the same updates one at a time would: identical tables,
+identical estimates, identical randomness transcript, identical
+``space_bits()``.  Vectorized overrides satisfy this because their update
+rules are commutative integer additions whose hash parameters were all drawn
+at construction time -- processing draws no randomness, so the transcript is
+untouched on either path.  ``tests/test_batch_equivalence.py`` enforces the
+contract bit-for-bit on random turnstile streams.
+
+Two situations force the chunk size down to 1:
+
+* **Adaptive adversaries.**  In the white-box game the adversary chooses
+  update ``u_{t+1}`` after observing the state view at time ``t``.  Batching
+  would hide intermediate states, so :meth:`StreamEngine.play` inspects the
+  adversary's ``adaptive`` flag and degrades to the per-round
+  :func:`repro.core.game.run_game` loop whenever it is ``True`` (the safe
+  default).  Non-adaptive adversaries (e.g.
+  :class:`~repro.core.adversary.ObliviousAdversary`) commit to their stream
+  in advance, so their games batch freely -- validation then happens at
+  chunk boundaries instead of every round, which cannot change who *can*
+  win, only how often the referee looks.
+* **Huge coefficients.**  The vectorized paths use int64 arrays.  Updates
+  whose items or deltas exceed int64 (kernel-attack streams built from exact
+  rational elimination can produce them) are detected via
+  :class:`OverflowError` and routed through the per-update path, preserving
+  Python's arbitrary-precision arithmetic.
+
+Intermediate answers
+--------------------
+``query_every`` in :meth:`drive` mirrors the game runner's thinning: the
+engine queries at chunk boundaries, never inside a chunk.  Experiments that
+only read final answers (most of them) keep ``query_every=None`` and pay
+zero query overhead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.adversary import BudgetExhausted, WhiteBoxAdversary
+from repro.core.algorithm import StreamAlgorithm
+from repro.core.game import (
+    GameResult,
+    GroundTruth,
+    RoundRecord,
+    Validator,
+    run_game,
+)
+from repro.core.stream import updates_to_arrays
+
+__all__ = ["StreamEngine", "DEFAULT_CHUNK_SIZE"]
+
+#: Default chunk size: large enough to amortize numpy dispatch, small enough
+#: that per-chunk scratch arrays stay cache-friendly.
+DEFAULT_CHUNK_SIZE = 8192
+
+
+class StreamEngine:
+    """Drives streams through algorithms in vectorized chunks.
+
+    Parameters
+    ----------
+    chunk_size:
+        Number of updates handed to ``feed_batch`` at a time.  ``1`` turns
+        the engine into the classic per-update loop.
+    """
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+
+    # -- plain streams ------------------------------------------------------
+
+    def drive(
+        self,
+        algorithms,
+        updates,
+        on_chunk: Optional[Callable[[int], None]] = None,
+    ):
+        """Feed ``updates`` to one algorithm (or a lockstep list of them).
+
+        Accepts a single :class:`StreamAlgorithm` or a sequence of them; all
+        algorithms see every chunk, in order, exactly as the per-update
+        lockstep loops in the experiments did.  ``updates`` may be a list or
+        any iterable (generators are consumed chunk by chunk).
+        ``on_chunk(position)`` fires after each chunk (position = number of
+        updates consumed so far) -- experiments hook intermediate
+        measurements there.
+
+        Returns the algorithm (or list) for chaining.
+        """
+        single = isinstance(algorithms, StreamAlgorithm)
+        targets = [algorithms] if single else list(algorithms)
+        consumed = 0
+        for chunk in _chunked(updates, self.chunk_size):
+            try:
+                items, deltas = updates_to_arrays(chunk)
+            except OverflowError:
+                # Beyond-int64 coefficients: exact per-update arithmetic.
+                for target in targets:
+                    for update in chunk:
+                        target.feed(update)
+            else:
+                for target in targets:
+                    target.feed_batch(items, deltas)
+            consumed += len(chunk)
+            if on_chunk is not None:
+                on_chunk(consumed)
+        return algorithms
+
+    def drive_arrays(self, algorithms, items, deltas):
+        """Feed a pre-built ``(items, deltas)`` array pair in chunks.
+
+        The array-native fast path for workload generators that never
+        materialize :class:`Update` objects at all.
+        """
+        single = isinstance(algorithms, StreamAlgorithm)
+        targets = [algorithms] if single else list(algorithms)
+        items = np.asarray(items, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if len(items) != len(deltas):
+            raise ValueError(
+                f"items/deltas length mismatch: {len(items)} != {len(deltas)}"
+            )
+        for start in range(0, len(items), self.chunk_size):
+            sl = slice(start, start + self.chunk_size)
+            for target in targets:
+                target.feed_batch(items[sl], deltas[sl])
+        return algorithms
+
+    # -- games --------------------------------------------------------------
+
+    def play(
+        self,
+        algorithm: StreamAlgorithm,
+        adversary: WhiteBoxAdversary,
+        ground_truth: GroundTruth,
+        validator: Validator,
+        max_rounds: int,
+        query_every: int = 1,
+        record_failures: int = 16,
+        retain_history: Optional[int] = 64,
+    ) -> GameResult:
+        """Play the white-box game, batching when the adversary permits.
+
+        Adaptive adversaries (``adversary.adaptive`` is ``True``, the safe
+        default) need the state view after *every* update, so the engine
+        degrades to chunk size 1 by delegating to
+        :func:`repro.core.game.run_game` unchanged.  Non-adaptive adversaries
+        committed to their stream up front; their updates are pulled in
+        chunks and batch-fed to the algorithm and the ground truth.
+
+        Batched-mode semantics (explicitly coarser than ``run_game``):
+
+        * Validation happens at chunk boundaries, at the first boundary
+          where at least ``query_every`` rounds have elapsed since the last
+          check (plus always at stream end).  ``query_every`` finer than the
+          chunk size is therefore coarsened to the chunk size, and
+          ``total_failures`` counts failed *checkpoints*, not failed rounds
+          -- don't compare it numerically against a per-round game.
+        * ``retain_history`` does not apply: no per-round history is
+          accumulated (the adversary declared it reads none).
+        """
+        if getattr(adversary, "adaptive", True) or self.chunk_size == 1:
+            return run_game(
+                algorithm,
+                adversary,
+                ground_truth,
+                validator,
+                max_rounds,
+                query_every=query_every,
+                record_failures=record_failures,
+                retain_history=retain_history,
+            )
+        return self._play_batched(
+            algorithm,
+            adversary,
+            ground_truth,
+            validator,
+            max_rounds,
+            query_every,
+            record_failures,
+        )
+
+    def _play_batched(
+        self,
+        algorithm: StreamAlgorithm,
+        adversary: WhiteBoxAdversary,
+        ground_truth: GroundTruth,
+        validator: Validator,
+        max_rounds: int,
+        query_every: int,
+        record_failures: int,
+    ) -> GameResult:
+        """Chunked game loop for adversaries that committed to their stream."""
+        if query_every <= 0:
+            raise ValueError(f"query_every must be positive, got {query_every}")
+        result = GameResult(rounds_played=0)
+        failure_count = 0
+        round_index = 0
+        last_checked = 0
+        last_update = None
+        ended = False
+
+        def validate() -> None:
+            nonlocal failure_count, last_checked
+            last_checked = round_index
+            answer = algorithm.query()
+            truth = ground_truth.truth()
+            result.final_answer = answer
+            result.final_truth = truth
+            if not validator(answer, truth):
+                failure_count += 1
+                if len(result.failures) < record_failures:
+                    result.failures.append(
+                        RoundRecord(
+                            round_index - 1, last_update, answer, truth, False
+                        )
+                    )
+        # Non-adaptive adversaries may expose their committed stream as a
+        # slice; otherwise we pull per-round with history-free views.
+        committed = getattr(adversary, "committed_updates", None)
+
+        while round_index < max_rounds and not ended:
+            want = min(self.chunk_size, max_rounds - round_index)
+            if committed is not None:
+                pending = list(committed(round_index, want))
+                if len(pending) < want:
+                    result.adversary_gave_up = True
+                    ended = True
+            else:
+                pending = []
+                while len(pending) < want:
+                    view = _blind_view(round_index + len(pending))
+                    try:
+                        update = adversary.next_update(view)
+                    except BudgetExhausted:
+                        result.budget_exhausted = True
+                        ended = True
+                        break
+                    if update is None:
+                        result.adversary_gave_up = True
+                        ended = True
+                        break
+                    pending.append(update)
+            if not pending:
+                break
+
+            ingest_batch = getattr(ground_truth, "ingest_batch", None)
+            try:
+                items, deltas = updates_to_arrays(pending)
+            except OverflowError:
+                for update in pending:
+                    ground_truth.ingest(update)
+                    algorithm.feed(update)
+            else:
+                if ingest_batch is not None:
+                    ingest_batch(items, deltas)
+                else:
+                    for update in pending:
+                        ground_truth.ingest(update)
+                algorithm.feed_batch(items, deltas)
+            round_index += len(pending)
+            result.rounds_played = round_index
+            last_update = pending[-1]
+
+            at_end = ended or round_index >= max_rounds
+            if round_index - last_checked >= query_every or at_end:
+                validate()
+            space = algorithm.space_bits()
+            result.final_space_bits = space
+            result.max_space_bits = max(result.max_space_bits, space)
+
+        # The stream may have ended on an empty pull after unvalidated
+        # chunks; always leave with a fresh final answer.
+        if round_index > last_checked:
+            validate()
+        result.total_failures = failure_count
+        return result
+
+
+def _chunked(updates, size: int):
+    """Yield ``updates`` in lists of at most ``size`` (sequence or iterable)."""
+    if hasattr(updates, "__len__") and hasattr(updates, "__getitem__"):
+        for start in range(0, len(updates), size):
+            yield updates[start : start + size]
+        return
+    iterator = iter(updates)
+    while True:
+        chunk = list(itertools.islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def _blind_view(round_index: int):
+    """A history-free view for non-adaptive adversaries inside a chunk.
+
+    They declared (``adaptive = False``) that their choices never read
+    states/outputs, so only ``round_index`` is populated.
+    """
+    from repro.core.adversary import AdversaryView
+
+    return AdversaryView(
+        round_index=round_index, updates=(), states=(), outputs=()
+    )

@@ -42,9 +42,14 @@ class GroundTruth:
         self,
         ingest: Callable[[Update], None],
         truth: Callable[[], Any],
+        ingest_batch: Optional[Callable[[Any, Any], None]] = None,
     ) -> None:
         self.ingest = ingest
         self.truth = truth
+        #: Optional vectorized mirror: ``ingest_batch(items, deltas)``.  The
+        #: engine's batched game loop uses it when present; ``None`` means
+        #: loop over ``ingest``.
+        self.ingest_batch = ingest_batch
 
 
 def frequency_truth(
@@ -54,7 +59,11 @@ def frequency_truth(
 ) -> GroundTruth:
     """Ground truth backed by an exact :class:`FrequencyVector`."""
     vector = FrequencyVector(universe_size, allow_negative=allow_negative)
-    return GroundTruth(ingest=vector.apply, truth=lambda: truth_of(vector))
+    return GroundTruth(
+        ingest=vector.apply,
+        truth=lambda: truth_of(vector),
+        ingest_batch=vector.apply_batch,
+    )
 
 
 @dataclass(frozen=True)

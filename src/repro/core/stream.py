@@ -14,10 +14,31 @@ and exposes the norms and moments the paper studies (``F_p``, ``L_p``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
 
-__all__ = ["Update", "FrequencyVector", "stream_from_items"]
+import numpy as np
+
+__all__ = [
+    "Update",
+    "FrequencyVector",
+    "stream_from_items",
+    "updates_to_arrays",
+    "updates_from_arrays",
+    "aggregate_batch",
+    "INT64_HASH_BOUND",
+    "INT64_SAFE_MASS",
+]
+
+#: ``a * item + b`` stays inside int64 when both ``a`` and ``item`` are below
+#: this bound (product < 9e18 < 2^63).  Shared by every sketch whose
+#: vectorized path evaluates linear hashes in int64.
+INT64_HASH_BOUND = 3_000_000_000
+
+#: Cumulative |delta| mass above which int64 cell accumulation could wrap;
+#: structures holding int64 counters promote to exact (object) arithmetic
+#: once the mass they have absorbed reaches this.
+INT64_SAFE_MASS = 2**62
 
 
 @dataclass(frozen=True)
@@ -41,6 +62,65 @@ def stream_from_items(items: Iterable[int]) -> Iterator[Update]:
     """Wrap a sequence of item identifiers as unit-insertion updates."""
     for item in items:
         yield Update(item, 1)
+
+
+def updates_to_arrays(updates: Sequence[Update]) -> tuple[np.ndarray, np.ndarray]:
+    """Split a sequence of updates into ``(items, deltas)`` int64 arrays.
+
+    Raises :class:`OverflowError` if any item or delta exceeds int64 -- the
+    engine catches that and falls back to the per-update path, so kernel
+    attacks streaming huge rational coefficients keep exact arithmetic.
+    """
+    n = len(updates)
+    items = np.fromiter((u.item for u in updates), dtype=np.int64, count=n)
+    deltas = np.fromiter((u.delta for u in updates), dtype=np.int64, count=n)
+    return items, deltas
+
+
+def updates_from_arrays(items, deltas) -> list[Update]:
+    """Inverse of :func:`updates_to_arrays` (tests / per-update fallbacks)."""
+    return [Update(int(i), int(d)) for i, d in zip(items, deltas)]
+
+
+def aggregate_batch(
+    items, deltas, universe_size: int | None = None
+) -> tuple[list[int], list[int]]:
+    """Aggregate a batch's per-item deltas *exactly*.
+
+    Returns ``(unique_items, aggregated_deltas)`` as Python int lists --
+    the one batching primitive shared by every structure whose update rule
+    is a commutative per-coordinate addition (frequency vectors, exact
+    L0/F_p, AMS rows, SIS chunk sketches).  Validates ``items >= 0`` (and
+    ``< universe_size`` when given).  Summation runs in int64 numpy when the
+    aggregated totals provably fit, and falls back to exact Python
+    aggregation otherwise, so the result never wraps.
+    """
+    items = np.asarray(items, dtype=np.int64)
+    deltas = np.asarray(deltas, dtype=np.int64)
+    if items.shape != deltas.shape:
+        raise ValueError(
+            f"items/deltas length mismatch: {items.size} != {deltas.size}"
+        )
+    if items.size == 0:
+        return [], []
+    if int(items.min()) < 0:
+        raise ValueError("item must be non-negative")
+    if universe_size is not None and int(items.max()) >= universe_size:
+        raise ValueError(
+            f"item {int(items.max())} outside universe [0, {universe_size})"
+        )
+    unique, inverse = np.unique(items, return_inverse=True)
+    # Exact Python bound on any aggregated total (abs() in Python avoids the
+    # int64-min wraparound of np.abs).
+    max_abs = max(abs(int(deltas.min())), abs(int(deltas.max())))
+    if max_abs * items.size < INT64_SAFE_MASS:
+        aggregated = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(aggregated, inverse, deltas)
+        return unique.tolist(), aggregated.tolist()
+    totals = [0] * len(unique)
+    for index, delta in zip(inverse.tolist(), deltas.tolist()):
+        totals[index] += delta
+    return unique.tolist(), totals
 
 
 class FrequencyVector:
@@ -91,6 +171,30 @@ class FrequencyVector:
         """Apply a sequence of updates."""
         for update in updates:
             self.apply(update)
+
+    def apply_batch(self, items, deltas) -> None:
+        """Apply a whole batch, aggregating per-item deltas with numpy.
+
+        Equivalent to applying the updates one at a time: coordinate updates
+        commute.  Strict (``allow_negative=False``) vectors fall back to the
+        per-update loop so intermediate-negativity errors are preserved.
+        """
+        if len(items) != len(deltas):
+            raise ValueError(
+                f"items/deltas length mismatch: {len(items)} != {len(deltas)}"
+            )
+        if not self.allow_negative:
+            for item, delta in zip(items, deltas):
+                self.apply(Update(int(item), int(delta)))
+            return
+        unique, aggregated = aggregate_batch(items, deltas, self.universe_size)
+        for item, delta in zip(unique, aggregated):
+            new_value = self._counts.get(item, 0) + delta
+            if new_value == 0:
+                self._counts.pop(item, None)
+            else:
+                self._counts[item] = new_value
+        self._length += len(items)
 
     # -- queries ----------------------------------------------------------
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Hashable, Sequence
+from typing import Callable, Hashable
 
 from repro.counters.intervals import ErrorFunction, Interval, IntervalFamily
 

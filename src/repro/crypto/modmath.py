@@ -9,6 +9,7 @@ caller-supplied randomness, built on Python's arbitrary-precision integers.
 
 from __future__ import annotations
 
+import functools
 import random
 from typing import Optional
 
@@ -77,8 +78,16 @@ def is_probable_prime(n: int, extra_rounds: int = 8, rng: Optional[random.Random
     return True
 
 
+@functools.lru_cache(maxsize=4096)
 def next_prime(n: int) -> int:
-    """Smallest prime ``>= n``."""
+    """Smallest prime ``>= n``.
+
+    Memoized: every sketch constructor calls this with
+    ``max(universe_size, width) + 1``, and experiment sweeps build thousands
+    of sketches over the same handful of universes -- recomputing the
+    Miller-Rabin walk each time was pure waste.  The function is pure, so
+    caching is observationally transparent.
+    """
     if n <= 2:
         return 2
     candidate = n | 1  # odd

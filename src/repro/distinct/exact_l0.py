@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.core.algorithm import DeterministicAlgorithm
 from repro.core.space import bits_for_signed_int, bits_for_universe
-from repro.core.stream import Update
+from repro.core.stream import Update, aggregate_batch
 
 __all__ = ["ExactL0"]
 
@@ -36,6 +36,20 @@ class ExactL0(DeterministicAlgorithm):
             self.counts.pop(update.item, None)
         else:
             self.counts[update.item] = value
+
+    def process_batch(self, items, deltas) -> None:
+        """Aggregate per-item deltas with numpy, then one dict pass.
+
+        Coordinate additions commute, so the final count dict is identical
+        to the per-update path.
+        """
+        unique, aggregated = aggregate_batch(items, deltas, self.universe_size)
+        for item, delta in zip(unique, aggregated):
+            value = self.counts.get(item, 0) + delta
+            if value == 0:
+                self.counts.pop(item, None)
+            else:
+                self.counts[item] = value
 
     def query(self) -> int:
         return len(self.counts)

@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import heapq
 
+import numpy as np
+
 from repro.core.algorithm import StreamAlgorithm
 from repro.core.space import bits_for_universe
-from repro.core.stream import Update
+from repro.core.stream import INT64_HASH_BOUND, Update
 from repro.crypto.modmath import next_prime
 
 __all__ = ["KMVEstimator"]
@@ -54,7 +56,10 @@ class KMVEstimator(StreamAlgorithm):
             raise ValueError("KMV supports insertion-only streams")
         if update.delta == 0:
             return
-        value = self.hash_value(update.item)
+        self._offer(self.hash_value(update.item))
+
+    def _offer(self, value: int) -> None:
+        """Insert one hash value into the bottom-k structure."""
         if value in self._members:
             return
         if len(self._heap) < self.k:
@@ -64,6 +69,29 @@ class KMVEstimator(StreamAlgorithm):
             evicted = -heapq.heappushpop(self._heap, -value)
             self._members.discard(evicted)
             self._members.add(value)
+
+    def process_batch(self, items, deltas) -> None:
+        """Vectorized hashing; heap maintenance over unique hash values.
+
+        The bottom-k set is order-independent (it is the k smallest distinct
+        hash values seen), so offering the batch's unique hashes in sorted
+        order yields the same final state as the per-update path.
+        """
+        if self.prime >= INT64_HASH_BOUND:
+            super().process_batch(items, deltas)
+            return
+        items = np.asarray(items, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if items.size == 0:
+            return
+        if int(deltas.min()) < 0:
+            raise ValueError("KMV supports insertion-only streams")
+        live = items[deltas > 0]
+        if live.size == 0:
+            return
+        values = (self.hash_a * live + self.hash_b) % self.prime
+        for value in np.unique(values).tolist():
+            self._offer(value)
 
     def query(self) -> float:
         """The KMV estimate ``(k - 1) * prime / kth_min`` (or exact count

@@ -33,8 +33,7 @@ import math
 from typing import Optional
 
 from repro.core.algorithm import StreamAlgorithm
-from repro.core.space import bits_for_int
-from repro.core.stream import Update
+from repro.core.stream import Update, aggregate_batch
 from repro.crypto.random_oracle import RandomOracle
 from repro.crypto.sis import SISMatrix, SISParams, sis_parameters_for_l0
 
@@ -99,6 +98,31 @@ class SisL0Estimator(StreamAlgorithm):
         self.matrix.accumulate(sketch, offset, update.delta)
         if not any(sketch):
             del self.sketches[chunk]
+
+    def process_batch(self, items, deltas) -> None:
+        """Batch update: numpy chunk/offset split + per-item aggregation.
+
+        Deltas landing on the same coordinate are summed before touching the
+        sketch (the sketch map is linear, so this is exact); sketches that
+        net out to zero are evicted once at the end of the batch.  Modular
+        accumulation stays in exact Python integers.
+        """
+        unique, aggregated = aggregate_batch(items, deltas, self.universe_size)
+        touched: set[int] = set()
+        for item, delta in zip(unique, aggregated):
+            if delta == 0:
+                continue
+            chunk, offset = divmod(item, self.chunk_width)
+            sketch = self.sketches.get(chunk)
+            if sketch is None:
+                sketch = self.matrix.zero_sketch()
+                self.sketches[chunk] = sketch
+            self.matrix.accumulate(sketch, offset, delta)
+            touched.add(chunk)
+        for chunk in touched:
+            sketch = self.sketches.get(chunk)
+            if sketch is not None and not any(sketch):
+                del self.sketches[chunk]
 
     # -- queries -------------------------------------------------------------
 

@@ -10,7 +10,7 @@ claim made measurable (see DESIGN.md §4 and EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 __all__ = ["ExperimentResult", "register", "get_experiment", "all_experiments", "render_table"]
 

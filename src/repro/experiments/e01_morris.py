@@ -13,7 +13,6 @@ Claims measured:
 from __future__ import annotations
 
 from repro.core.game import frequency_truth, run_game
-from repro.core.stream import Update
 from repro.counters.exact import ExactCounter
 from repro.counters.morris import MorrisCounter, MorrisCountingAlgorithm
 from repro.experiments.base import ExperimentResult, register

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 
+from repro.core.engine import StreamEngine
 from repro.core.stream import Update
 from repro.experiments.base import ExperimentResult, register
 from repro.heavyhitters.misra_gries import MisraGriesAlgorithm
@@ -59,6 +60,7 @@ def run(quick: bool = True) -> ExperimentResult:
     """Run E02: Algorithm 2 vs Misra-Gries space (Theorem 1.1)."""
     universe = 100_000
     lengths = [10**4, 10**5, 10**6] if quick else [10**4, 10**5, 10**6, 10**7]
+    engine = StreamEngine()
     rows = []
     for eps in (0.1, 0.05):
         heavies = {7: 2.5 * eps, 42: 1.5 * eps, 99: eps}
@@ -68,9 +70,9 @@ def run(quick: bool = True) -> ExperimentResult:
             robust = RobustL1HeavyHitters(
                 universe_size=universe, accuracy=eps, seed=17
             )
-            for update in batched_planted_stream(universe, m, heavies, seed=m):
-                mg.feed(update)
-                robust.feed(update)
+            engine.drive(
+                [mg, robust], batched_planted_stream(universe, m, heavies, seed=m)
+            )
             mg_found = mg.heavy_hitters()
             robust_found = robust.heavy_hitters()
             rows.append(

@@ -9,6 +9,7 @@ stays flat while the raw-identity alternative grows with ``log n``.
 
 from __future__ import annotations
 
+from repro.core.engine import StreamEngine
 from repro.core.space import bits_for_universe
 from repro.experiments.base import ExperimentResult, register
 from repro.experiments.e02_robust_hh import batched_planted_stream
@@ -44,9 +45,9 @@ def run(quick: bool = True) -> ExperimentResult:
             seed=23,
         )
         raw = RobustL1HeavyHitters(universe_size=n, accuracy=eps, seed=23)
-        for update in batched_planted_stream(n, m, heavies, seed=n):
-            alg.feed(update)
-            raw.feed(update)
+        StreamEngine().drive(
+            [alg, raw], batched_planted_stream(n, m, heavies, seed=n)
+        )
         reported = alg.query()
         rows.append(
             {

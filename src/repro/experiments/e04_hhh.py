@@ -9,6 +9,7 @@ hierarchical heavy hitter must be identified.
 
 from __future__ import annotations
 
+from repro.core.engine import StreamEngine
 from repro.experiments.base import ExperimentResult, register
 from repro.hhh.domain import HierarchicalDomain, Prefix
 from repro.hhh.hss import HierarchicalSpaceSaving
@@ -47,9 +48,7 @@ def run(quick: bool = True) -> ExperimentResult:
         robust = RobustHHH(
             domain, gamma=gamma, accuracy=eps, seed=29, capacity_per_level=64
         )
-        for update in stream:
-            det.feed(update)
-            robust.feed(update)
+        StreamEngine().drive([det, robust], stream)
         det_found = set(det.query())
         robust_found = set(robust.query())
         planted_set = set(planted)

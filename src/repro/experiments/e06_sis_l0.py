@@ -11,6 +11,7 @@ Measured claims:
 
 from __future__ import annotations
 
+from repro.core.engine import StreamEngine
 from repro.distinct.sis_l0 import SisL0Estimator
 from repro.experiments.base import ExperimentResult, register
 from repro.workloads.turnstile import insert_delete_stream, sparse_survivors_stream
@@ -30,9 +31,7 @@ def run(quick: bool = True) -> ExperimentResult:
             )
             explicit = SisL0Estimator(n, eps=eps, c=0.25, mode="explicit", seed=n)
             oracle = SisL0Estimator(n, eps=eps, c=0.25, mode="oracle", seed=n)
-            for update in survivors:
-                explicit.feed(update)
-                oracle.feed(update)
+            StreamEngine().drive([explicit, oracle], survivors)
             z = explicit.query()
             factor = explicit.approximation_factor()
             rows.append(
@@ -55,8 +54,7 @@ def run(quick: bool = True) -> ExperimentResult:
         n, survivors=[5, 700, 900], churn_items=200, churn_rounds=3, seed=3
     )
     estimator = SisL0Estimator(n, eps=0.5, c=0.25, seed=11)
-    for update in updates:
-        estimator.feed(update)
+    StreamEngine().drive(estimator, updates)
     z = estimator.query()
     rows.append(
         {

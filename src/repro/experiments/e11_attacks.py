@@ -17,6 +17,7 @@ from repro.adversaries.sketch_attack import (
     ams_attack_updates,
     count_sketch_kernel_vector,
 )
+from repro.core.engine import StreamEngine
 from repro.core.stream import Update
 from repro.distinct.kmv import KMVEstimator
 from repro.experiments.base import ExperimentResult, register
@@ -40,8 +41,9 @@ def run(quick: bool = True) -> ExperimentResult:
         sketch = AMSSketch(universe_size=universe, rows=6, seed=seed)
         updates = ams_attack_updates(sketch)
         truth = sum(u.delta * u.delta for u in updates)
-        for update in updates:
-            sketch.feed(update)
+        # Kernel coefficients may exceed int64; the engine detects that and
+        # keeps exact per-update arithmetic.
+        StreamEngine().drive(sketch, updates)
         if sketch.query() == 0 and truth > 0:
             successes += 1
     rows.append(
@@ -96,8 +98,7 @@ def run(quick: bool = True) -> ExperimentResult:
         probe = AMSSketch(universe_size=universe, rows=6, seed=seed)
         updates = ams_attack_updates(probe)
         exact = ExactFpMoment(universe_size=universe, p=2)
-        for update in updates:
-            exact.feed(update)
+        StreamEngine().drive(exact, updates)
         truth = sum(u.delta * u.delta for u in updates)
         if exact.query() == truth:
             survived += 1

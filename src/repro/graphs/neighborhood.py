@@ -18,7 +18,7 @@ with *identical* neighborhoods.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.algorithm import DeterministicAlgorithm, StreamAlgorithm
 from repro.core.space import bits_for_universe

@@ -8,13 +8,26 @@ cell pattern, inflating a chosen victim item's estimate without ever
 inserting it -- :mod:`repro.adversaries.sketch_attack` does exactly this.
 Pairwise-independent hashing is implemented honestly (random linear maps
 over a prime field) so the oblivious guarantees hold in experiments.
+
+The table is a ``depth x width`` int64 numpy array and ``process_batch``
+vectorizes the whole update pipeline (row-wise ``(a * items + b) % p % w``
+hashing, ``np.add.at`` scatter adds), which is what lets the engine push
+10^6-update streams through at numpy speed.  Cell counts start in int64 --
+ample for the paper's ``||f||_inf <= poly(n)`` regime -- and the table
+*promotes itself to exact object arithmetic* once the absorbed |delta|
+mass could make any cell wrap, so kernel-attack streams with huge
+coefficients keep Python's arbitrary precision on both paths.  The batch
+path additionally falls back to the scalar loop when hash arithmetic
+could overflow int64 (universes beyond ~3e9).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.algorithm import StreamAlgorithm
 from repro.core.space import bits_for_int, bits_for_universe
-from repro.core.stream import Update
+from repro.core.stream import INT64_HASH_BOUND, INT64_SAFE_MASS, Update
 from repro.crypto.modmath import next_prime
 
 __all__ = ["CountMinSketch"]
@@ -41,21 +54,63 @@ class CountMinSketch(StreamAlgorithm):
             (self.random.randint(1, self.prime - 1), self.random.randint(0, self.prime - 1))
             for _ in range(depth)
         ]
-        self.table = [[0] * width for _ in range(depth)]
+        self.table = np.zeros((depth, width), dtype=np.int64)
         self.total = 0
+        self._vectorizable = self.prime < INT64_HASH_BOUND
+        self._absorbed_mass = 0  # running |delta| upper bound, see _note_mass
 
     def _cell(self, row: int, item: int) -> int:
         a, b = self.row_params[row]
         return ((a * item + b) % self.prime) % self.width
 
+    def _note_mass(self, amount: int) -> None:
+        """Account absorbed |delta| mass; promote to exact arithmetic.
+
+        No cell magnitude can exceed the total absorbed mass, so while it
+        stays below ``INT64_SAFE_MASS`` the int64 table cannot wrap; past
+        that the table becomes an object array of exact Python ints (same
+        values, slower -- only huge-coefficient streams ever get here).
+        """
+        self._absorbed_mass += amount
+        if self._absorbed_mass >= INT64_SAFE_MASS and self.table.dtype != object:
+            self.table = self.table.astype(object)
+
     def process(self, update: Update) -> None:
+        self._note_mass(abs(update.delta))
         self.total += update.delta
         for row in range(self.depth):
-            self.table[row][self._cell(row, update.item)] += update.delta
+            self.table[row, self._cell(row, update.item)] += update.delta
+
+    def process_batch(self, items, deltas) -> None:
+        """Vectorized batch: row-wise hashing + scatter adds.
+
+        Bit-identical to the per-update path (integer additions commute and
+        no randomness is drawn after construction).
+        """
+        if not self._vectorizable:
+            super().process_batch(items, deltas)
+            return
+        items = np.asarray(items, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if items.size == 0:
+            return
+        max_abs = max(abs(int(deltas.min())), abs(int(deltas.max())))
+        self._note_mass(max_abs * items.size)
+        if self.table.dtype == object:
+            scatter = deltas.astype(object)
+            self.total += sum(deltas.tolist())
+        else:
+            scatter = deltas
+            self.total += int(deltas.sum(dtype=np.int64))
+        for row, (a, b) in enumerate(self.row_params):
+            cells = ((a * items + b) % self.prime) % self.width
+            np.add.at(self.table[row], cells, scatter)
 
     def estimate(self, item: int) -> int:
         """``min_r table[r][h_r(item)]`` -- an overestimate (insertions)."""
-        return min(self.table[row][self._cell(row, item)] for row in range(self.depth))
+        return min(
+            int(self.table[row, self._cell(row, item)]) for row in range(self.depth)
+        )
 
     def query(self) -> dict[int, int]:
         """Estimates for all tracked cells are not enumerable; games query
@@ -73,5 +128,5 @@ class CountMinSketch(StreamAlgorithm):
             "row_params": tuple(self.row_params),
             "prime": self.prime,
             "width": self.width,
-            "table": tuple(tuple(row) for row in self.table),
+            "table": tuple(tuple(row) for row in self.table.tolist()),
         }

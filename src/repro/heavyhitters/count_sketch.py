@@ -8,13 +8,23 @@ kernel, making the sketch blind to an arbitrarily large frequency vector.
 :mod:`repro.adversaries.sketch_attack` implements that attack against this
 class; the experiments use it for the Theorem 1.9 narrative (sublinear
 linear sketches cannot be white-box robust).
+
+The table is a ``depth x width`` int64 numpy array; ``process_batch``
+vectorizes bucket hashing, sign evaluation, and the signed scatter add.
+Estimates are computed over exact Python integers so queries are identical
+whichever path filled the table.  Like CountMin, the table promotes itself
+to exact object arithmetic once the absorbed |delta| mass could wrap an
+int64 cell -- kernel-attack streams whose rational-elimination
+coefficients grow with ``depth * width`` keep arbitrary precision.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.algorithm import StreamAlgorithm
 from repro.core.space import bits_for_int, bits_for_universe
-from repro.core.stream import Update
+from repro.core.stream import INT64_HASH_BOUND, INT64_SAFE_MASS, Update
 from repro.crypto.modmath import next_prime
 
 __all__ = ["CountSketch"]
@@ -43,7 +53,9 @@ class CountSketch(StreamAlgorithm):
             (self.random.randint(1, self.prime - 1), self.random.randint(0, self.prime - 1))
             for _ in range(depth)
         ]
-        self.table = [[0] * width for _ in range(depth)]
+        self.table = np.zeros((depth, width), dtype=np.int64)
+        self._vectorizable = self.prime < INT64_HASH_BOUND
+        self._absorbed_mass = 0
 
     def _bucket(self, row: int, item: int) -> int:
         a, b = self.bucket_params[row]
@@ -53,16 +65,51 @@ class CountSketch(StreamAlgorithm):
         a, b = self.sign_params[row]
         return 1 if ((a * item + b) % self.prime) % 2 == 0 else -1
 
+    def _note_mass(self, amount: int) -> None:
+        """Promote to exact (object) cells before int64 could wrap.
+
+        Cell magnitudes are bounded by the total absorbed |delta| mass;
+        see ``CountMinSketch._note_mass``.
+        """
+        self._absorbed_mass += amount
+        if self._absorbed_mass >= INT64_SAFE_MASS and self.table.dtype != object:
+            self.table = self.table.astype(object)
+
     def process(self, update: Update) -> None:
+        self._note_mass(abs(update.delta))
         for row in range(self.depth):
-            self.table[row][self._bucket(row, update.item)] += (
+            self.table[row, self._bucket(row, update.item)] += (
                 self._sign(row, update.item) * update.delta
             )
+
+    def process_batch(self, items, deltas) -> None:
+        """Vectorized batch: bucket/sign hashing + signed scatter adds."""
+        if not self._vectorizable:
+            super().process_batch(items, deltas)
+            return
+        items = np.asarray(items, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if items.size == 0:
+            return
+        max_abs = max(abs(int(deltas.min())), abs(int(deltas.max())))
+        self._note_mass(max_abs * items.size)
+        exact = self.table.dtype == object
+        for row in range(self.depth):
+            a, b = self.bucket_params[row]
+            buckets = ((a * items + b) % self.prime) % self.width
+            a, b = self.sign_params[row]
+            signs = 1 - 2 * (((a * items + b) % self.prime) % 2)
+            signed = (
+                signs.astype(object) * deltas.astype(object)
+                if exact
+                else signs * deltas
+            )
+            np.add.at(self.table[row], buckets, signed)
 
     def estimate(self, item: int) -> float:
         """Median-of-rows point estimate of one item's frequency."""
         values = sorted(
-            self._sign(row, item) * self.table[row][self._bucket(row, item)]
+            self._sign(row, item) * int(self.table[row, self._bucket(row, item)])
             for row in range(self.depth)
         )
         mid = len(values) // 2
@@ -73,7 +120,7 @@ class CountSketch(StreamAlgorithm):
     def f2_estimate(self) -> float:
         """Median-of-rows estimate of ``F_2`` (each row's bucket-square sum)."""
         row_estimates = sorted(
-            float(sum(v * v for v in row)) for row in self.table
+            float(sum(v * v for v in row.tolist())) for row in self.table
         )
         mid = len(row_estimates) // 2
         if len(row_estimates) % 2:
@@ -96,7 +143,7 @@ class CountSketch(StreamAlgorithm):
         ]
 
     def space_bits(self) -> int:
-        magnitude = max((abs(v) for row in self.table for v in row), default=1)
+        magnitude = int(np.abs(self.table).max()) if self.table.size else 1
         cell_bits = bits_for_int(max(1, magnitude)) + 1
         param_bits = 4 * self.depth * bits_for_universe(self.prime)
         return self.depth * self.width * cell_bits + param_bits
@@ -107,5 +154,5 @@ class CountSketch(StreamAlgorithm):
             "sign_params": tuple(self.sign_params),
             "prime": self.prime,
             "width": self.width,
-            "table": tuple(tuple(row) for row in self.table),
+            "table": tuple(tuple(row) for row in self.table.tolist()),
         }

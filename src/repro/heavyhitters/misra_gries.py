@@ -12,8 +12,6 @@ which is the cost Theorem 1.1 removes.
 
 from __future__ import annotations
 
-from typing import Iterable
-
 from repro.core.algorithm import DeterministicAlgorithm
 from repro.core.space import bits_for_int, bits_for_universe
 from repro.core.stream import Update

@@ -30,8 +30,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
-
 from repro.counters.intervals import ErrorFunction
 from repro.counters.obdd import CounterProgram, interval_profile, program_errors
 

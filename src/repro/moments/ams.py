@@ -25,9 +25,13 @@ import random
 
 from repro.core.algorithm import StreamAlgorithm
 from repro.core.space import bits_for_int
-from repro.core.stream import Update
+from repro.core.stream import Update, aggregate_batch
 
 __all__ = ["AMSSketch"]
+
+#: Per-row sign-memo capacity; the cache flushes (not grows) beyond this so
+#: harness memory stays bounded regardless of stream/universe size.
+_SIGN_CACHE_MAX = 1 << 14
 
 
 class AMSSketch(StreamAlgorithm):
@@ -44,6 +48,13 @@ class AMSSketch(StreamAlgorithm):
         # Per-row seeds drawn from the witnessed source: white-box visible.
         self.row_seeds = [self.random.bits(32) for _ in range(rows)]
         self.accumulators = [0] * rows
+        # Memoized sign evaluations, one dict per row: the sign of an item
+        # is a pure function of the public seed, so caching it changes no
+        # observable behavior while making repeat items (and every batch)
+        # cheap.  Bounded (flushed at _SIGN_CACHE_MAX entries) so harness
+        # memory stays sublinear; not part of the state view -- it is
+        # derivable data and space_bits() rightly never charges for it.
+        self._sign_cache: list[dict[int, int]] = [{} for _ in range(rows)]
 
     def sign(self, row: int, item: int) -> int:
         """The (row, item) entry of the sign matrix, derived from the seed.
@@ -51,12 +62,39 @@ class AMSSketch(StreamAlgorithm):
         Deterministic given the (public) seed -- this is what the white-box
         adversary evaluates to build the kernel.
         """
-        h = random.Random((self.row_seeds[row] << 20) ^ item)
-        return 1 if h.getrandbits(1) else -1
+        try:
+            cache = self._sign_cache[row]
+        except AttributeError:  # clones built via __new__ (sketch_attack)
+            self._sign_cache = [{} for _ in range(self.rows)]
+            cache = self._sign_cache[row]
+        value = cache.get(item)
+        if value is None:
+            h = random.Random((self.row_seeds[row] << 20) ^ item)
+            value = 1 if h.getrandbits(1) else -1
+            if len(cache) >= _SIGN_CACHE_MAX:
+                cache.clear()
+            cache[item] = value
+        return value
 
     def process(self, update: Update) -> None:
         for row in range(self.rows):
             self.accumulators[row] += self.sign(row, update.item) * update.delta
+
+    def process_batch(self, items, deltas) -> None:
+        """Batch update: aggregate per-item deltas, then one dot per row.
+
+        Sign evaluation is inherently scalar (a seeded PRG per item) but is
+        memoized and amortized over the unique items of the batch; the
+        accumulator arithmetic stays in exact Python integers, so results
+        are bit-identical to the per-update path.
+        """
+        unique, aggregated = aggregate_batch(items, deltas)
+        for row in range(self.rows):
+            self.accumulators[row] += sum(
+                self.sign(row, item) * delta
+                for item, delta in zip(unique, aggregated)
+                if delta
+            )
 
     def query(self) -> float:
         """Mean of squared accumulators -- unbiased for F2 (obliviously)."""

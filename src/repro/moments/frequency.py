@@ -31,6 +31,10 @@ class ExactFpMoment(DeterministicAlgorithm):
     def process(self, update: Update) -> None:
         self.vector.apply(update)
 
+    def process_batch(self, items, deltas) -> None:
+        """Vectorized batch via the frequency vector's aggregated apply."""
+        self.vector.apply_batch(items, deltas)
+
     def query(self) -> float:
         return self.vector.fp_moment(self.p)
 

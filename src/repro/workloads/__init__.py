@@ -4,7 +4,11 @@ from repro.workloads.frequency import (
     batched,
     interleave,
     planted_heavy_stream,
+    stream_arrays,
+    turnstile_arrays,
+    uniform_arrays,
     uniform_stream,
+    zipf_arrays,
     zipf_stream,
 )
 from repro.workloads.graphs import planted_twin_graph, random_vertex_stream
@@ -29,7 +33,11 @@ __all__ = [
     "random_periodic_pattern",
     "random_vertex_stream",
     "sparse_survivors_stream",
+    "stream_arrays",
     "text_with_occurrences",
+    "turnstile_arrays",
+    "uniform_arrays",
     "uniform_stream",
+    "zipf_arrays",
     "zipf_stream",
 ]

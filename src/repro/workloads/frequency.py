@@ -5,6 +5,13 @@ streams, :func:`batched` coalesces runs of the same item into one update
 with a larger delta -- the batched-coin APIs make this distribution-exact
 for every algorithm in the library, turning 10^7-unit workloads into 10^5
 update objects.
+
+For the :class:`~repro.core.engine.StreamEngine` fast path there are also
+array-native generators (:func:`uniform_arrays`, :func:`zipf_arrays`,
+:func:`turnstile_arrays`) that never materialize ``Update`` objects at all:
+they emit ``(items, deltas)`` int64 numpy pairs ready for
+``engine.drive_arrays`` -- the representation the vectorized sketches
+consume directly.
 """
 
 from __future__ import annotations
@@ -12,7 +19,9 @@ from __future__ import annotations
 import random
 from typing import Iterable, Iterator
 
-from repro.core.stream import Update
+import numpy as np
+
+from repro.core.stream import Update, updates_to_arrays
 
 __all__ = [
     "uniform_stream",
@@ -20,6 +29,10 @@ __all__ = [
     "planted_heavy_stream",
     "batched",
     "interleave",
+    "stream_arrays",
+    "uniform_arrays",
+    "zipf_arrays",
+    "turnstile_arrays",
 ]
 
 
@@ -89,6 +102,49 @@ def batched(updates: Iterable[Update], chunk: int = 64) -> Iterator[Update]:
         pending_item, pending_delta = update.item, update.delta
     if pending_item is not None:
         yield Update(pending_item, pending_delta)
+
+
+def stream_arrays(updates: Iterable[Update]) -> tuple[np.ndarray, np.ndarray]:
+    """``(items, deltas)`` arrays from any update stream (engine fast path)."""
+    return updates_to_arrays(list(updates))
+
+
+def uniform_arrays(
+    universe_size: int, length: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """``length`` unit insertions drawn uniformly, as int64 array pairs."""
+    rng = np.random.default_rng(seed)
+    items = rng.integers(0, universe_size, size=length, dtype=np.int64)
+    return items, np.ones(length, dtype=np.int64)
+
+
+def zipf_arrays(
+    universe_size: int, length: int, skew: float = 1.1, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Zipf-distributed unit insertions as int64 array pairs."""
+    if skew <= 0:
+        raise ValueError(f"skew must be positive, got {skew}")
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / (np.arange(1, universe_size + 1, dtype=np.float64) ** skew)
+    weights /= weights.sum()
+    items = rng.choice(universe_size, size=length, p=weights).astype(np.int64)
+    return items, np.ones(length, dtype=np.int64)
+
+
+def turnstile_arrays(
+    universe_size: int,
+    length: int,
+    max_delta: int = 8,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random turnstile stream: uniform items, deltas in ``[-max_delta, max_delta] \\ {0}``."""
+    if max_delta < 1:
+        raise ValueError(f"max_delta must be >= 1, got {max_delta}")
+    rng = np.random.default_rng(seed)
+    items = rng.integers(0, universe_size, size=length, dtype=np.int64)
+    deltas = rng.integers(1, max_delta + 1, size=length, dtype=np.int64)
+    deltas *= rng.choice(np.array([-1, 1], dtype=np.int64), size=length)
+    return items, deltas
 
 
 def interleave(*streams: list[Update], seed: int = 0) -> list[Update]:

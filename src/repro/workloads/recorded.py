@@ -14,8 +14,8 @@ whether the original failure (or success) reproduces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.core.adversary import AdversaryView, ObliviousAdversary, WhiteBoxAdversary
 from repro.core.algorithm import StreamAlgorithm

@@ -1,7 +1,5 @@
 """Tests for communication problems, protocols, and the §3.3 matrix."""
 
-import math
-
 import pytest
 
 from repro.comm.matrix import build_matrix
@@ -19,8 +17,6 @@ from repro.comm.protocols import (
     fooling_set_bound,
     verify_protocol,
 )
-from repro.comm.reduction import StreamBridge
-from repro.core.stream import Update
 from repro.lowerbounds.fp_moments import exact_f2_factory, gap_equality_f2_bridge
 
 

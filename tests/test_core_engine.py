@@ -1,0 +1,175 @@
+"""Tests for the StreamEngine: chunking, lockstep driving, batched games."""
+
+import pytest
+
+from repro.core.adversary import AdversaryView, ObliviousAdversary, WhiteBoxAdversary
+from repro.core.engine import DEFAULT_CHUNK_SIZE, StreamEngine
+from repro.core.game import frequency_truth, run_game
+from repro.core.stream import Update
+from repro.distinct.exact_l0 import ExactL0
+from repro.heavyhitters.count_min import CountMinSketch
+from repro.workloads.frequency import uniform_arrays, uniform_stream
+
+
+class TestDrive:
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            StreamEngine(chunk_size=0)
+
+    def test_drive_single_algorithm(self):
+        updates = uniform_stream(100, 500, seed=1)
+        sketch = StreamEngine(chunk_size=64).drive(
+            CountMinSketch(100, width=16, depth=3, seed=1), updates
+        )
+        assert sketch.updates_processed == 500
+        assert sketch.total == 500
+
+    def test_drive_lockstep_list(self):
+        updates = uniform_stream(100, 300, seed=2)
+        a = CountMinSketch(100, width=16, depth=3, seed=3)
+        b = ExactL0(100)
+        StreamEngine(chunk_size=50).drive([a, b], updates)
+        assert a.updates_processed == 300
+        assert b.updates_processed == 300
+
+    def test_drive_accepts_generators(self):
+        def gen():
+            for i in range(200):
+                yield Update(i % 40, 1)
+
+        sketch = StreamEngine(chunk_size=32).drive(
+            CountMinSketch(40, width=8, depth=2, seed=4), gen()
+        )
+        assert sketch.updates_processed == 200
+
+    def test_on_chunk_positions(self):
+        positions = []
+        StreamEngine(chunk_size=64).drive(
+            ExactL0(50),
+            uniform_stream(50, 150, seed=5),
+            on_chunk=positions.append,
+        )
+        assert positions == [64, 128, 150]
+
+    def test_drive_arrays(self):
+        items, deltas = uniform_arrays(100, 1000, seed=6)
+        sketch = StreamEngine().drive_arrays(
+            CountMinSketch(100, width=16, depth=3, seed=7), items, deltas
+        )
+        assert sketch.updates_processed == 1000
+        assert sketch.total == 1000
+
+    def test_drive_arrays_length_mismatch(self):
+        with pytest.raises(ValueError):
+            StreamEngine().drive_arrays(ExactL0(10), [1, 2], [1])
+
+    def test_default_chunk_size_sane(self):
+        assert StreamEngine().chunk_size == DEFAULT_CHUNK_SIZE
+
+
+class TestPlay:
+    def _setup(self, updates):
+        algorithm = ExactL0(64)
+        adversary = ObliviousAdversary(updates)
+        truth = frequency_truth(64, lambda vector: vector.l0())
+        validator = lambda answer, exact: answer == exact  # noqa: E731
+        return algorithm, adversary, truth, validator
+
+    def test_oblivious_game_batches_and_matches_reference(self):
+        updates = uniform_stream(64, 400, seed=8)
+        algorithm, adversary, truth, validator = self._setup(updates)
+        batched = StreamEngine(chunk_size=128).play(
+            algorithm, adversary, truth, validator, max_rounds=400
+        )
+        algorithm2, adversary2, truth2, _ = self._setup(updates)
+        reference = run_game(
+            algorithm2, adversary2, truth2, validator, max_rounds=400
+        )
+        assert batched.rounds_played == reference.rounds_played == 400
+        assert batched.algorithm_won and reference.algorithm_won
+        assert batched.final_answer == reference.final_answer
+        assert batched.final_truth == reference.final_truth
+        assert batched.final_space_bits == reference.final_space_bits
+
+    def test_oblivious_stream_shorter_than_rounds(self):
+        updates = uniform_stream(64, 100, seed=9)
+        algorithm, adversary, truth, validator = self._setup(updates)
+        result = StreamEngine(chunk_size=32).play(
+            algorithm, adversary, truth, validator, max_rounds=1000
+        )
+        assert result.rounds_played == 100
+        assert result.adversary_gave_up
+
+    def test_batched_game_detects_failures(self):
+        updates = uniform_stream(64, 60, seed=10)
+        algorithm, adversary, truth, _ = self._setup(updates)
+        always_wrong = lambda answer, exact: False  # noqa: E731
+        result = StreamEngine(chunk_size=16).play(
+            algorithm, adversary, truth, always_wrong, max_rounds=60
+        )
+        assert not result.algorithm_won
+        assert result.total_failures == 60 // 16 + 1  # one per chunk boundary
+
+    def test_batched_game_honors_coarse_query_every(self):
+        """query_every coarser than the chunk size thins the checkpoints."""
+        updates = uniform_stream(64, 128, seed=12)
+        algorithm, adversary, truth, _ = self._setup(updates)
+        always_wrong = lambda answer, exact: False  # noqa: E731
+        result = StreamEngine(chunk_size=16).play(
+            algorithm, adversary, truth, always_wrong,
+            max_rounds=128, query_every=64,
+        )
+        # Checks at rounds 64 and 128 only.
+        assert result.total_failures == 2
+        assert result.final_truth is not None
+
+    def test_batched_game_validates_final_short_stream(self):
+        """A stream ending between checkpoints still gets a final answer."""
+        updates = uniform_stream(64, 40, seed=13)
+        algorithm, adversary, truth, validator = self._setup(updates)
+        result = StreamEngine(chunk_size=16).play(
+            algorithm, adversary, truth, validator,
+            max_rounds=1000, query_every=500,
+        )
+        assert result.rounds_played == 40
+        assert result.final_answer is not None
+        assert result.final_answer == result.final_truth
+
+    def test_adaptive_adversary_degrades_to_per_round(self):
+        """An adaptive adversary must see every intermediate state."""
+
+        class StateCountingAdversary(WhiteBoxAdversary):
+            adaptive = True
+
+            def __init__(self):
+                super().__init__()
+                self.states_seen = 0
+
+            def next_update(self, view: AdversaryView):
+                if view.latest_state is not None:
+                    self.states_seen += 1
+                if view.round_index >= 10:
+                    return None
+                return Update(view.round_index, 1)
+
+        adversary = StateCountingAdversary()
+        truth = frequency_truth(64, lambda vector: vector.l0())
+        result = StreamEngine(chunk_size=1024).play(
+            ExactL0(64),
+            adversary,
+            truth,
+            lambda answer, exact: answer == exact,
+            max_rounds=10,
+        )
+        assert result.rounds_played == 10
+        # Per-round loop handed the adversary a fresh state every round
+        # after the first (round 0 precedes any state).
+        assert adversary.states_seen == 9
+
+    def test_adaptive_flag_defaults_true(self):
+        class Minimal(WhiteBoxAdversary):
+            def next_update(self, view):
+                return None
+
+        assert Minimal().adaptive is True
+        assert ObliviousAdversary([]).adaptive is False

@@ -2,7 +2,6 @@
 constructive companion)."""
 
 import pytest
-from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.counters.intervals import (

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.random_oracle import RandomOracle
 from repro.crypto.sis import SISMatrix, SISParams, sis_parameters_for_l0
 
 

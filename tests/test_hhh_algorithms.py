@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.stream import FrequencyVector, Update
 from repro.hhh.bern_hhh import BernHHH
-from repro.hhh.domain import HierarchicalDomain, Prefix, conditioned_count, exact_hhh
+from repro.hhh.domain import HierarchicalDomain, Prefix, conditioned_count
 from repro.hhh.hss import HierarchicalSpaceSaving, select_hhh
 from repro.hhh.robust_hhh import RobustHHH
 from repro.workloads.hierarchy import planted_hhh_stream

@@ -1,7 +1,5 @@
 """Additional BernHHH / robust-HHH edge coverage."""
 
-import pytest
-
 from repro.core.stream import Update
 from repro.hhh.bern_hhh import BernHHH
 from repro.hhh.domain import HierarchicalDomain, Prefix

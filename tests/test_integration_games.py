@@ -5,8 +5,6 @@ runner -- on each family the paper treats, checking that the robust
 algorithms win their games and the oblivious baselines lose theirs.
 """
 
-import pytest
-
 from repro.adversaries.sketch_attack import KernelStreamAdversary, ams_sketch_from_view
 from repro.adversaries.stress import SampleEvasionAdversary
 from repro.core.adversary import ObliviousAdversary

@@ -8,7 +8,6 @@ turnstile claims (Theorem 1.5, Remark 2.23) hinge on linearity.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

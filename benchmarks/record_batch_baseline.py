@@ -94,7 +94,11 @@ def main() -> None:
         "results": results,
     }
     out = REPO_ROOT / "BENCH_batch.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    # Read-modify-write: other recorders (record_shard_baseline.py) append
+    # their own top-level keys to the same file; preserve them.
+    existing = json.loads(out.read_text()) if out.exists() else {}
+    existing.update(payload)
+    out.write_text(json.dumps(existing, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     worst = min(r["speedup"] for r in results)
     print(f"\nworst-case speedup: {worst}x -> {out}")

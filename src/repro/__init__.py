@@ -40,13 +40,17 @@ workloads
 experiments
     The theorem-by-theorem experiment harness (``python -m
     repro.experiments``).
+parallel
+    The scaling layer: mergeable-sketch sharding
+    (``ShardedStreamEngine``), universe partitioning, asyncio ingestion.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core import (
     FrequencyVector,
     GameResult,
+    MergeableSketch,
     StateView,
     StreamAlgorithm,
     StreamEngine,
@@ -59,6 +63,7 @@ from repro.core import (
 __all__ = [
     "FrequencyVector",
     "GameResult",
+    "MergeableSketch",
     "StateView",
     "StreamAlgorithm",
     "StreamEngine",

@@ -7,7 +7,12 @@ from repro.core.adversary import (
     ObliviousAdversary,
     WhiteBoxAdversary,
 )
-from repro.core.algorithm import DeterministicAlgorithm, StateView, StreamAlgorithm
+from repro.core.algorithm import (
+    DeterministicAlgorithm,
+    MergeableSketch,
+    StateView,
+    StreamAlgorithm,
+)
 from repro.core.engine import DEFAULT_CHUNK_SIZE, StreamEngine
 from repro.core.game import GameResult, GroundTruth, RoundRecord, frequency_truth, run_game
 from repro.core.randomness import RandomDraw, WitnessedRandom
@@ -37,6 +42,7 @@ __all__ = [
     "FrequencyVector",
     "GameResult",
     "GroundTruth",
+    "MergeableSketch",
     "ObliviousAdversary",
     "RandomDraw",
     "RoundRecord",

@@ -14,18 +14,34 @@ implements:
 ``state_view`` is a real API, not a debugging aid: the attack modules in
 :mod:`repro.adversaries` consume it to mount white-box attacks (e.g., reading
 the AMS sign matrix out of the view and streaming one of its kernel vectors).
+
+Mergeable sketches
+------------------
+The paper's sketches are linear or chunk-decomposable maps of the frequency
+vector: CountMin/CountSketch/AMS tables add coordinate-wise, exact
+F_p/L0 vectors add, KMV bottom-k sets union, and the SIS-L0 chunk sketches
+add mod q.  :class:`MergeableSketch` captures that as a protocol --
+``merge(other)`` absorbs a replica built *from the same construction
+randomness* so that ``merge`` of shards fed disjoint sub-streams reproduces,
+bit for bit, the state of one instance fed the whole stream.  This is what
+the sharded engine (:mod:`repro.parallel`) is built on.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.core.randomness import RandomDraw, WitnessedRandom
 from repro.core.stream import Update
 
-__all__ = ["StateView", "StreamAlgorithm", "DeterministicAlgorithm"]
+__all__ = [
+    "StateView",
+    "StreamAlgorithm",
+    "DeterministicAlgorithm",
+    "MergeableSketch",
+]
 
 
 @dataclass(frozen=True)
@@ -135,6 +151,59 @@ class StreamAlgorithm(abc.ABC):
         for update in updates:
             self.feed(update)
         return self
+
+
+class MergeableSketch(abc.ABC):
+    """Protocol for sketches whose shard replicas combine exactly.
+
+    The merge contract
+    ------------------
+    Two instances are *mergeable* when they were constructed with identical
+    parameters and identical construction randomness (same seed), so their
+    hash functions / sign vectors / SIS matrices coincide.  For such twins,
+    ``a.merge(b)`` must leave ``a`` in exactly the state one instance would
+    hold after processing ``a``'s updates followed by ``b``'s -- same data
+    structures, same estimates, same ``space_bits()``.  Because every
+    mergeable sketch in this library draws randomness only at construction,
+    the randomness transcripts of the twins are already identical and merging
+    leaves them untouched.
+
+    Subclasses implement :meth:`_merge_key` (the construction fingerprint
+    compatibility is checked against) and :meth:`_merge_state` (the actual
+    state combination); the template methods here add the type/key checks
+    and position accounting.
+    """
+
+    def merge(self, other: "MergeableSketch") -> None:
+        """Absorb ``other``'s state into ``self`` (``self`` += ``other``)."""
+        self._check_mergeable(other)
+        self._merge_state(other)
+        self.updates_processed += other.updates_processed
+
+    def merge_batch(self, others: Iterable["MergeableSketch"]) -> None:
+        """Absorb a sequence of replicas (shard fan-in)."""
+        for other in others:
+            self.merge(other)
+
+    def _check_mergeable(self, other: "MergeableSketch") -> None:
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        if self._merge_key() != other._merge_key():
+            raise ValueError(
+                f"{type(self).__name__} replicas disagree on construction "
+                "parameters/randomness; shards must be built from one shared seed"
+            )
+
+    @abc.abstractmethod
+    def _merge_key(self) -> tuple:
+        """Construction fingerprint: parameters + construction randomness."""
+
+    @abc.abstractmethod
+    def _merge_state(self, other: "MergeableSketch") -> None:
+        """Combine ``other``'s data structures into ``self`` (both verified
+        compatible)."""
 
 
 class DeterministicAlgorithm(StreamAlgorithm):

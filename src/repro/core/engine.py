@@ -178,7 +178,11 @@ class StreamEngine:
           ``total_failures`` counts failed *checkpoints*, not failed rounds
           -- don't compare it numerically against a per-round game.
         * ``retain_history`` does not apply: no per-round history is
-          accumulated (the adversary declared it reads none).
+          accumulated (the adversary declared it reads none).  Instead the
+          result carries the array-native transcript: ``chunk_rounds`` /
+          ``chunk_space_bits`` sample space at every chunk boundary and
+          ``checkpoint_rounds`` / ``checkpoint_answers`` record each
+          validated answer (see :meth:`GameResult.trace_arrays`).
         """
         if getattr(adversary, "adaptive", True) or self.chunk_size == 1:
             return run_game(
@@ -228,6 +232,8 @@ class StreamEngine:
             truth = ground_truth.truth()
             result.final_answer = answer
             result.final_truth = truth
+            result.checkpoint_rounds.append(round_index)
+            result.checkpoint_answers.append(answer)
             if not validator(answer, truth):
                 failure_count += 1
                 if len(result.failures) < record_failures:
@@ -289,6 +295,10 @@ class StreamEngine:
             space = algorithm.space_bits()
             result.final_space_bits = space
             result.max_space_bits = max(result.max_space_bits, space)
+            # Array-native game transcript: one (position, space) sample per
+            # chunk; answers were sampled inside validate().
+            result.chunk_rounds.append(round_index)
+            result.chunk_space_bits.append(space)
 
         # The stream may have ended on an empty pull after unvalidated
         # chunks; always leave with a fresh final answer.

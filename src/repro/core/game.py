@@ -79,7 +79,15 @@ class RoundRecord:
 
 @dataclass
 class GameResult:
-    """Outcome of a full game."""
+    """Outcome of a full game.
+
+    The ``chunk_*`` / ``checkpoint_*`` lists are the array-native game
+    transcript recorded by the engine's batched loop
+    (:meth:`repro.core.engine.StreamEngine._play_batched`): space after
+    every chunk, and the answer at every validation checkpoint.  The
+    per-round loop (:func:`run_game`) leaves them empty -- its adversaries
+    read full per-round history through :class:`AdversaryView` instead.
+    """
 
     rounds_played: int
     failures: list[RoundRecord] = field(default_factory=list)
@@ -90,6 +98,14 @@ class GameResult:
     final_truth: Any = None
     final_space_bits: int = 0
     max_space_bits: int = 0
+    #: Stream position after each batched chunk (cumulative rounds).
+    chunk_rounds: list[int] = field(default_factory=list)
+    #: ``space_bits()`` after each batched chunk (pairs with chunk_rounds).
+    chunk_space_bits: list[int] = field(default_factory=list)
+    #: Stream positions at which the answer was validated.
+    checkpoint_rounds: list[int] = field(default_factory=list)
+    #: The answers produced at those checkpoints.
+    checkpoint_answers: list[Any] = field(default_factory=list)
 
     @property
     def algorithm_won(self) -> bool:
@@ -99,6 +115,22 @@ class GameResult:
     @property
     def first_failure(self) -> Optional[RoundRecord]:
         return self.failures[0] if self.failures else None
+
+    def trace_arrays(self) -> dict[str, "np.ndarray"]:
+        """The chunk/checkpoint traces as numpy arrays (experiment tables).
+
+        ``rounds``/``space_bits`` trace the space trajectory per chunk;
+        ``checkpoint_rounds``/``checkpoint_answers`` trace the answers
+        (answers stay ``object`` dtype -- queries may return sets/dicts).
+        """
+        import numpy as np
+
+        return {
+            "rounds": np.asarray(self.chunk_rounds, dtype=np.int64),
+            "space_bits": np.asarray(self.chunk_space_bits, dtype=np.int64),
+            "checkpoint_rounds": np.asarray(self.checkpoint_rounds, dtype=np.int64),
+            "checkpoint_answers": np.asarray(self.checkpoint_answers, dtype=object),
+        }
 
 
 def run_game(

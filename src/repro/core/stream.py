@@ -26,6 +26,7 @@ __all__ = [
     "updates_to_arrays",
     "updates_from_arrays",
     "aggregate_batch",
+    "add_tables_with_promotion",
     "INT64_HASH_BOUND",
     "INT64_SAFE_MASS",
 ]
@@ -123,6 +124,28 @@ def aggregate_batch(
     return unique.tolist(), totals
 
 
+def add_tables_with_promotion(
+    table: np.ndarray, other: np.ndarray, absorbed_mass: int
+) -> np.ndarray:
+    """``table + other`` with exact-arithmetic promotion, for sketch merges.
+
+    ``absorbed_mass`` is the *combined* |delta| mass both tables have
+    absorbed -- an upper bound on any cell of the sum.  While it stays
+    below :data:`INT64_SAFE_MASS` the int64 addition cannot wrap; at or
+    past it both operands are promoted to exact object cells *before*
+    adding, so the sum is computed in whichever arithmetic is safe.  The
+    one shared promotion policy for every int64-table sketch
+    (CountMin/CountSketch merges).
+    """
+    if absorbed_mass >= INT64_SAFE_MASS and table.dtype != object:
+        table = table.astype(object)
+    if table.dtype == object and other.dtype != object:
+        other = other.astype(object)
+    elif other.dtype == object and table.dtype != object:
+        table = table.astype(object)
+    return table + other
+
+
 class FrequencyVector:
     """Exact frequency vector over universe ``[0, n)``.
 
@@ -195,6 +218,29 @@ class FrequencyVector:
             else:
                 self._counts[item] = new_value
         self._length += len(items)
+
+    def merge_from(self, other: "FrequencyVector") -> None:
+        """Add another vector's coordinates into this one (shard fan-in).
+
+        Exact: coordinate additions commute, so merging shard vectors fed
+        disjoint sub-streams equals one vector fed the whole stream.  The
+        stream-position counter adds, matching the combined stream length.
+        """
+        if other.universe_size != self.universe_size:
+            raise ValueError(
+                f"universe mismatch: {other.universe_size} != {self.universe_size}"
+            )
+        for item, value in other._counts.items():
+            new_value = self._counts.get(item, 0) + value
+            if new_value < 0 and not self.allow_negative:
+                raise ValueError(
+                    f"merge would drive item {item} negative in a strict vector"
+                )
+            if new_value == 0:
+                self._counts.pop(item, None)
+            else:
+                self._counts[item] = new_value
+        self._length += other._length
 
     # -- queries ----------------------------------------------------------
 

@@ -18,12 +18,17 @@ Two materializations are provided:
   :class:`~repro.crypto.random_oracle.RandomOracle` (space charged only for
   the oracle key), realizing the random-oracle space bound of Theorem 1.5.
 
-All arithmetic uses exact Python integers: the moduli are ``poly(n)`` and
-would overflow fixed-width numpy products; the sketch dimensions are tiny
-(``n^{c eps}`` rows) so exact arithmetic costs little.  Column values are
-cached for speed; the cache is an engineering artifact and is *not* charged
-to ``space_bits`` in oracle mode (the paper's accounting: the column "can be
-generated on the fly via access to the random oracle").
+Arithmetic is exact on both of two paths.  The historical path uses Python
+integers throughout: the moduli are ``poly(n)`` and can overflow fixed-width
+numpy products.  When the modulus is small enough that every product and
+partial sum provably fits an int64 (``q^2 * chunk_width < 2^63``), the
+vectorized :meth:`SISMatrix.accumulate_batch` switches to an int64 numpy
+path -- same values mod q, an order of magnitude faster -- and falls back
+to exact object-dtype arithmetic otherwise.  Column values (and the int64
+column matrix) are cached for speed; the caches are engineering artifacts
+and are *not* charged to ``space_bits`` in oracle mode (the paper's
+accounting: the column "can be generated on the fly via access to the
+random oracle").
 """
 
 from __future__ import annotations
@@ -91,6 +96,7 @@ class SISMatrix:
         self.params = params
         self.mode = mode
         self._column_cache: dict[int, tuple[int, ...]] = {}
+        self._columns_int64: Optional[np.ndarray] = None
         if mode == "explicit":
             rng = random.Random(seed)
             q = params.modulus
@@ -125,6 +131,49 @@ class SISMatrix:
         columns = [self.column(j) for j in range(self.params.cols)]
         return np.array(columns, dtype=object).T
 
+    # -- int64 fast path ---------------------------------------------------
+
+    @property
+    def int64_compatible(self) -> bool:
+        """Whether the int64 batch path is exact for this instance.
+
+        The guard ``q^2 * chunk_width < 2^63`` bounds every product
+        ``(delta mod q) * entry`` and every partial sum over a chunk's
+        aggregated coordinates inside int64, so the vectorized arithmetic
+        can never wrap.  Paper-default moduli (``q ~ n^3``) fail it for
+        large ``n`` and keep the exact object path.
+        """
+        q = self.params.modulus
+        return q * q * max(1, self.params.cols) < 2**63
+
+    def int64_batch_limit(self) -> int:
+        """How many ``(delta mod q) * entry`` terms may accumulate in int64.
+
+        Callers scattering un-aggregated batches must split them at this
+        length; each term is below ``q^2`` and the running register starts
+        below ``q``, so ``limit * q^2 + q <= 2^62 + q < 2^63`` is safe.
+        """
+        q = self.params.modulus
+        return max(1, 2**62 // (q * q))
+
+    def columns_int64(self) -> np.ndarray:
+        """The full matrix as a cached ``(cols, rows)`` int64 array.
+
+        Only valid when :attr:`int64_compatible`; in oracle mode this
+        materializes every column through the oracle once (a cache, like
+        ``_column_cache`` -- not charged to ``space_bits``).
+        """
+        if not self.int64_compatible:
+            raise OverflowError(
+                "modulus too large for the int64 fast path "
+                f"(q={self.params.modulus}, cols={self.params.cols})"
+            )
+        if self._columns_int64 is None:
+            self._columns_int64 = np.array(
+                [self.column(j) for j in range(self.params.cols)], dtype=np.int64
+            ).reshape(self.params.cols, self.params.rows)
+        return self._columns_int64
+
     # -- sketching ---------------------------------------------------------
 
     def zero_sketch(self) -> list[int]:
@@ -155,6 +204,35 @@ class SISMatrix:
         column = self.column(index)
         for row in range(self.params.rows):
             sketch[row] = (sketch[row] + delta * column[row]) % q
+
+    def accumulate_batch(self, sketch: list[int], offsets, deltas) -> None:
+        """Vectorized turnstile update: ``sketch += sum_i deltas[i] * A_{offsets[i]}``.
+
+        The batched form of :meth:`accumulate` used by the L0 estimator's
+        chunk-grouped batch path.  When :attr:`int64_compatible` (the
+        ``q^2 * chunk_width < 2^63`` regime) the whole contribution is one
+        int64 gather-multiply-sum; otherwise it falls back to exact
+        object-dtype numpy arithmetic.  Both paths reduce deltas mod q first
+        (the sketch lives in ``Z_q``), so arbitrarily large Python-int
+        deltas are handled exactly either way.
+        """
+        count = len(offsets)
+        if count == 0:
+            return
+        q = self.params.modulus
+        if self.int64_compatible and count <= self.int64_batch_limit():
+            cols = self.columns_int64()
+            offs = np.asarray(offsets, dtype=np.int64)
+            reduced = np.array([int(d) % q for d in deltas], dtype=np.int64)
+            contribution = (reduced[:, None] * cols[offs]).sum(axis=0)
+            for row in range(self.params.rows):
+                sketch[row] = (sketch[row] + int(contribution[row])) % q
+            return
+        gathered = np.array([self.column(int(o)) for o in offsets], dtype=object)
+        reduced = np.array([int(d) % q for d in deltas], dtype=object)
+        contribution = (reduced[:, None] * gathered).sum(axis=0)
+        for row in range(self.params.rows):
+            sketch[row] = (sketch[row] + int(contribution[row])) % q
 
     def is_short_kernel_vector(
         self, z: Sequence[int], infinity_bound: Optional[float] = None

@@ -9,14 +9,14 @@ costs.
 
 from __future__ import annotations
 
-from repro.core.algorithm import DeterministicAlgorithm
+from repro.core.algorithm import DeterministicAlgorithm, MergeableSketch
 from repro.core.space import bits_for_signed_int, bits_for_universe
 from repro.core.stream import Update, aggregate_batch
 
 __all__ = ["ExactL0"]
 
 
-class ExactL0(DeterministicAlgorithm):
+class ExactL0(MergeableSketch, DeterministicAlgorithm):
     """Tracks the full sparse frequency vector; answers L0 exactly."""
 
     name = "exact-l0"
@@ -45,6 +45,20 @@ class ExactL0(DeterministicAlgorithm):
         """
         unique, aggregated = aggregate_batch(items, deltas, self.universe_size)
         for item, delta in zip(unique, aggregated):
+            value = self.counts.get(item, 0) + delta
+            if value == 0:
+                self.counts.pop(item, None)
+            else:
+                self.counts[item] = value
+
+    # -- merging (sharded engines) ----------------------------------------
+
+    def _merge_key(self) -> tuple:
+        return (self.universe_size,)
+
+    def _merge_state(self, other: "ExactL0") -> None:
+        """Sparse count dicts add coordinate-wise; zeros are evicted."""
+        for item, delta in other.counts.items():
             value = self.counts.get(item, 0) + delta
             if value == 0:
                 self.counts.pop(item, None)

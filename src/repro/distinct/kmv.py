@@ -20,7 +20,7 @@ import heapq
 
 import numpy as np
 
-from repro.core.algorithm import StreamAlgorithm
+from repro.core.algorithm import MergeableSketch, StreamAlgorithm
 from repro.core.space import bits_for_universe
 from repro.core.stream import INT64_HASH_BOUND, Update
 from repro.crypto.modmath import next_prime
@@ -28,7 +28,7 @@ from repro.crypto.modmath import next_prime
 __all__ = ["KMVEstimator"]
 
 
-class KMVEstimator(StreamAlgorithm):
+class KMVEstimator(MergeableSketch, StreamAlgorithm):
     """Bottom-k distinct counting with a random linear hash."""
 
     name = "kmv"
@@ -91,6 +91,28 @@ class KMVEstimator(StreamAlgorithm):
             return
         values = (self.hash_a * live + self.hash_b) % self.prime
         for value in np.unique(values).tolist():
+            self._offer(value)
+
+    # -- merging (sharded engines) ----------------------------------------
+
+    def _merge_key(self) -> tuple:
+        return (
+            self.universe_size,
+            self.k,
+            self.prime,
+            self.hash_a,
+            self.hash_b,
+            self.random.seed,
+        )
+
+    def _merge_state(self, other: "KMVEstimator") -> None:
+        """Bottom-k union: offer the other replica's kept hash values.
+
+        The bottom-k set is the k smallest *distinct* hash values seen by
+        either replica -- order-independent, so offering the other side's
+        members reproduces a single instance's state exactly.
+        """
+        for value in sorted(other._members):
             self._offer(value)
 
     def query(self) -> float:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -25,7 +26,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="full parameter sweeps (default: quick mode)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="drive shard-aware experiments (e02, e06, e11) through an "
+        "N-shard ShardedStreamEngine and report merged-state equivalence",
+    )
     args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
 
     if args.experiment == "all":
         targets = list(all_experiments().items())
@@ -34,7 +45,13 @@ def main(argv: list[str] | None = None) -> int:
 
     for experiment_id, run in targets:
         started = time.perf_counter()
-        result = run(quick=not args.full)
+        kwargs = {"quick": not args.full}
+        if args.shards > 1:
+            if "shards" in inspect.signature(run).parameters:
+                kwargs["shards"] = args.shards
+            elif args.experiment != "all":
+                print(f"[{experiment_id} has no sharded path; running unsharded]")
+        result = run(**kwargs)
         elapsed = time.perf_counter() - started
         print(result.render())
         print(f"[{experiment_id} took {elapsed:.1f}s]")

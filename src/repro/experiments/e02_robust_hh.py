@@ -15,8 +15,10 @@ import random
 from repro.core.engine import StreamEngine
 from repro.core.stream import Update
 from repro.experiments.base import ExperimentResult, register
+from repro.heavyhitters.count_min import CountMinSketch
 from repro.heavyhitters.misra_gries import MisraGriesAlgorithm
 from repro.heavyhitters.robust_l1 import RobustL1HeavyHitters
+from repro.parallel import ShardedStreamEngine
 
 __all__ = ["run", "batched_planted_stream"]
 
@@ -56,8 +58,16 @@ def batched_planted_stream(
 
 
 @register("e02")
-def run(quick: bool = True) -> ExperimentResult:
-    """Run E02: Algorithm 2 vs Misra-Gries space (Theorem 1.1)."""
+def run(quick: bool = True, shards: int = 1) -> ExperimentResult:
+    """Run E02: Algorithm 2 vs Misra-Gries space (Theorem 1.1).
+
+    With ``shards > 1`` the same planted streams additionally drive a
+    CountMin sketch both single-engine and sharded; ``cm_sharded_match``
+    certifies the merged shard table is bit-identical and ``cm_recall``
+    shows the sharded estimates flag every planted heavy hitter.  (The
+    robust Algorithm 2 itself draws per-update randomness, so it is driven
+    unsharded -- sharding in this library is for mergeable sketches.)
+    """
     universe = 100_000
     lengths = [10**4, 10**5, 10**6] if quick else [10**4, 10**5, 10**6, 10**7]
     engine = StreamEngine()
@@ -75,17 +85,46 @@ def run(quick: bool = True) -> ExperimentResult:
             )
             mg_found = mg.heavy_hitters()
             robust_found = robust.heavy_hitters()
-            rows.append(
-                {
-                    "eps": eps,
-                    "m": m,
-                    "mg_bits": mg.space_bits(),
-                    "robust_bits": robust.space_bits(),
-                    "mg_recall": len(true_heavy & mg_found) / len(true_heavy),
-                    "robust_recall": len(true_heavy & robust_found) / len(true_heavy),
-                    "robust_candidates": len(robust.query()),
+            row = {
+                "eps": eps,
+                "m": m,
+                "mg_bits": mg.space_bits(),
+                "robust_bits": robust.space_bits(),
+                "mg_recall": len(true_heavy & mg_found) / len(true_heavy),
+                "robust_recall": len(true_heavy & robust_found) / len(true_heavy),
+                "robust_candidates": len(robust.query()),
+            }
+            if shards > 1:
+                def make_cm(universe=universe, eps=eps):
+                    width = max(16, int(round(4.0 / eps)))
+                    return CountMinSketch(universe, width=width, depth=4, seed=23)
+
+                single_cm = make_cm()
+                engine.drive(
+                    single_cm, batched_planted_stream(universe, m, heavies, seed=m)
+                )
+                sharded = ShardedStreamEngine(make_cm, num_shards=shards)
+                sharded.drive(batched_planted_stream(universe, m, heavies, seed=m))
+                merged = sharded.merged()
+                found = {
+                    item
+                    for item in true_heavy
+                    if sharded.algorithm.estimate(item) >= eps * m
                 }
-            )
+                row["shards"] = shards
+                row["cm_sharded_match"] = (
+                    merged.table.tolist() == single_cm.table.tolist()
+                    and merged.total == single_cm.total
+                )
+                if not row["cm_sharded_match"]:
+                    # Engineering invariant, not a statistical outcome: a
+                    # divergent merge must fail loudly (see e06).
+                    raise RuntimeError(
+                        f"e02: {shards}-shard merged CountMin diverged at "
+                        f"eps={eps}, m={m}"
+                    )
+                row["cm_recall"] = len(found) / len(true_heavy)
+            rows.append(row)
     # Crossover commentary: robust bits flat vs MG growing.
     return ExperimentResult(
         experiment_id="e02",

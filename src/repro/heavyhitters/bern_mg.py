@@ -17,7 +17,7 @@ from typing import Optional
 
 from repro.core.randomness import WitnessedRandom
 from repro.core.space import bits_for_float, bits_for_int, bits_for_universe
-from repro.core.stream import Update
+from repro.core.stream import Update, aggregate_batch
 from repro.heavyhitters.misra_gries import MisraGries
 from repro.sampling.bernoulli import bernoulli_rate
 
@@ -68,6 +68,39 @@ class BernMG:
             kept = self.random.binomial(update.delta, self.probability)
         if kept:
             self.summary.offer(update.item, kept)
+
+    def process_batch(self, items, deltas) -> None:
+        """Batch the coin flips: one Binomial draw per *unique* item.
+
+        A batch carrying total delta ``d_i`` for item ``i`` is ``d_i``
+        independent ``Bernoulli(p)`` coins however the updates were split,
+        so drawing ``Binomial(d_i, p)`` once per unique item samples the
+        kept counts from exactly the per-update distribution while the
+        transcript shrinks from ``O(batch)`` coin entries to
+        ``O(unique items)`` batched entries -- the same information, as
+        :mod:`repro.core.randomness` argues for batched draws.
+
+        Distribution-level, not bit-level, equivalence: the per-update path
+        spends its coins in stream order, this path per sorted unique item,
+        so the summary may resolve decrement ties differently.  Theorem
+        2.3/2.2's guarantees are order-free (they bound the sampled counts
+        and the MG undercount), hence unaffected.
+        """
+        # Validate the raw deltas (not the aggregate): the per-update path
+        # rejects any negative update, even one a later one would cancel.
+        if any(int(delta) < 0 for delta in deltas):
+            raise ValueError("BernMG is defined for insertion streams")
+        unique, aggregated = aggregate_batch(items, deltas)
+        for item, delta in zip(unique, aggregated):
+            if delta == 0:
+                continue
+            self.updates_seen += delta
+            if delta == 1:
+                kept = 1 if self.random.bernoulli(self.probability) else 0
+            else:
+                kept = self.random.binomial(delta, self.probability)
+            if kept:
+                self.summary.offer(item, kept)
 
     def estimate(self, item: int) -> float:
         """Scaled frequency estimate ``MG_count / p``."""

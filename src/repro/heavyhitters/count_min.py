@@ -25,15 +25,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.algorithm import StreamAlgorithm
+from repro.core.algorithm import MergeableSketch, StreamAlgorithm
 from repro.core.space import bits_for_int, bits_for_universe
-from repro.core.stream import INT64_HASH_BOUND, INT64_SAFE_MASS, Update
+from repro.core.stream import (
+    INT64_HASH_BOUND,
+    INT64_SAFE_MASS,
+    Update,
+    add_tables_with_promotion,
+)
 from repro.crypto.modmath import next_prime
 
 __all__ = ["CountMinSketch"]
 
 
-class CountMinSketch(StreamAlgorithm):
+class CountMinSketch(MergeableSketch, StreamAlgorithm):
     """Standard depth x width CountMin with pairwise-independent rows."""
 
     name = "count-min"
@@ -105,6 +110,26 @@ class CountMinSketch(StreamAlgorithm):
         for row, (a, b) in enumerate(self.row_params):
             cells = ((a * items + b) % self.prime) % self.width
             np.add.at(self.table[row], cells, scatter)
+
+    # -- merging (sharded engines) ----------------------------------------
+
+    def _merge_key(self) -> tuple:
+        return (
+            self.universe_size,
+            self.width,
+            self.depth,
+            self.prime,
+            self.random.seed,
+            tuple(self.row_params),
+        )
+
+    def _merge_state(self, other: "CountMinSketch") -> None:
+        """Tables add cell-wise (the sketch is a linear map of ``f``)."""
+        self._absorbed_mass += other._absorbed_mass
+        self.table = add_tables_with_promotion(
+            self.table, other.table, self._absorbed_mass
+        )
+        self.total += other.total
 
     def estimate(self, item: int) -> int:
         """``min_r table[r][h_r(item)]`` -- an overestimate (insertions)."""

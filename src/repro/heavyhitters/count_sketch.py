@@ -22,15 +22,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.algorithm import StreamAlgorithm
+from repro.core.algorithm import MergeableSketch, StreamAlgorithm
 from repro.core.space import bits_for_int, bits_for_universe
-from repro.core.stream import INT64_HASH_BOUND, INT64_SAFE_MASS, Update
+from repro.core.stream import (
+    INT64_HASH_BOUND,
+    INT64_SAFE_MASS,
+    Update,
+    add_tables_with_promotion,
+)
 from repro.crypto.modmath import next_prime
 
 __all__ = ["CountSketch"]
 
 
-class CountSketch(StreamAlgorithm):
+class CountSketch(MergeableSketch, StreamAlgorithm):
     """Standard CountSketch: per-row bucket hash + sign hash; median estimate."""
 
     name = "count-sketch"
@@ -105,6 +110,26 @@ class CountSketch(StreamAlgorithm):
                 else signs * deltas
             )
             np.add.at(self.table[row], buckets, signed)
+
+    # -- merging (sharded engines) ----------------------------------------
+
+    def _merge_key(self) -> tuple:
+        return (
+            self.universe_size,
+            self.width,
+            self.depth,
+            self.prime,
+            self.random.seed,
+            tuple(self.bucket_params),
+            tuple(self.sign_params),
+        )
+
+    def _merge_state(self, other: "CountSketch") -> None:
+        """Signed tables add cell-wise; promotion precedes the addition."""
+        self._absorbed_mass += other._absorbed_mass
+        self.table = add_tables_with_promotion(
+            self.table, other.table, self._absorbed_mass
+        )
 
     def estimate(self, item: int) -> float:
         """Median-of-rows point estimate of one item's frequency."""

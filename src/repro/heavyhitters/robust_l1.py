@@ -83,6 +83,30 @@ class RobustL1HeavyHitters(StreamAlgorithm):
         self.scheme.tick(update.delta)
         self.scheme.broadcast(lambda instance: instance.process(update))
 
+    def process_batch(self, items, deltas) -> None:
+        """Batched path: one clock advance + batched BernMG coin draws.
+
+        The Morris clock absorbs the batch total in one call (its
+        ``increment`` skips failed promotion coins with geometric draws),
+        and each live BernMG instance keeps whole items with single
+        Binomial draws (:meth:`BernMG.process_batch`) -- no per-update
+        Python loop anywhere on the hot path.
+
+        Semantics: distribution-level, like the component draws.  Epoch
+        rotations coarsen to batch boundaries (the clock is advanced once
+        per batch), shifting instance start points by at most one chunk --
+        well inside the slack the epoch analysis already grants the
+        ``(1 +- eps)``-approximate clock, since a chunk is a vanishing
+        fraction of the ``B^{j-1}`` stream prefix an instance must cover.
+        """
+        total = 0
+        for delta in deltas:
+            if delta < 0:
+                raise ValueError("the heavy-hitters algorithm expects insertions")
+            total += int(delta)
+        self.scheme.tick(total)
+        self.scheme.broadcast(lambda instance: instance.process_batch(items, deltas))
+
     # -- queries -------------------------------------------------------------
 
     def query(self) -> dict[int, float]:

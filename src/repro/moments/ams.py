@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 
-from repro.core.algorithm import StreamAlgorithm
+from repro.core.algorithm import MergeableSketch, StreamAlgorithm
 from repro.core.space import bits_for_int
 from repro.core.stream import Update, aggregate_batch
 
@@ -34,7 +34,7 @@ __all__ = ["AMSSketch"]
 _SIGN_CACHE_MAX = 1 << 14
 
 
-class AMSSketch(StreamAlgorithm):
+class AMSSketch(MergeableSketch, StreamAlgorithm):
     """Mean-of-squares AMS estimator with ``rows`` independent sign vectors."""
 
     name = "ams-f2"
@@ -95,6 +95,21 @@ class AMSSketch(StreamAlgorithm):
                 for item, delta in zip(unique, aggregated)
                 if delta
             )
+
+    # -- merging (sharded engines) ----------------------------------------
+
+    def _merge_key(self) -> tuple:
+        return (self.universe_size, self.rows, self.random.seed, tuple(self.row_seeds))
+
+    def _merge_state(self, other: "AMSSketch") -> None:
+        """Accumulators add row-wise: ``<Z_r, f + g> = <Z_r, f> + <Z_r, g>``.
+
+        Exact Python integers on both sides, so no overflow concern.
+        """
+        self.accumulators = [
+            mine + theirs
+            for mine, theirs in zip(self.accumulators, other.accumulators)
+        ]
 
     def query(self) -> float:
         """Mean of squared accumulators -- unbiased for F2 (obliviously)."""

@@ -9,14 +9,14 @@ in experiment E11.
 
 from __future__ import annotations
 
-from repro.core.algorithm import DeterministicAlgorithm
+from repro.core.algorithm import DeterministicAlgorithm, MergeableSketch
 from repro.core.space import bits_for_signed_int, bits_for_universe
 from repro.core.stream import FrequencyVector, Update
 
 __all__ = ["ExactFpMoment"]
 
 
-class ExactFpMoment(DeterministicAlgorithm):
+class ExactFpMoment(MergeableSketch, DeterministicAlgorithm):
     """Maintains the exact (sparse) frequency vector; answers ``F_p``."""
 
     name = "exact-fp"
@@ -34,6 +34,15 @@ class ExactFpMoment(DeterministicAlgorithm):
     def process_batch(self, items, deltas) -> None:
         """Vectorized batch via the frequency vector's aggregated apply."""
         self.vector.apply_batch(items, deltas)
+
+    # -- merging (sharded engines) ----------------------------------------
+
+    def _merge_key(self) -> tuple:
+        return (self.vector.universe_size, self.p, self.vector.allow_negative)
+
+    def _merge_state(self, other: "ExactFpMoment") -> None:
+        """Exact frequency vectors add coordinate-wise."""
+        self.vector.merge_from(other.vector)
 
     def query(self) -> float:
         return self.vector.fp_moment(self.p)

@@ -1,0 +1,188 @@
+"""Asyncio ingestion front-end: overlap chunk production with scatter.
+
+Network-style workloads (see ``examples/network_monitoring.py``) produce
+update chunks from a live source -- a packet ring, a socket, a Python
+generator -- while the engine scatters the previous chunk into the
+sketches.  Serially those two phases alternate; this module pipelines them
+with a bounded :class:`asyncio.Queue` between a producer (pulling chunks
+from a sync or async source) and a consumer (calling ``feed_batch``), each
+running on its own single-thread executor so generator-side Python work and
+GIL-releasing numpy scatter genuinely overlap on multi-core hosts.
+
+The pipeline preserves stream order end to end: one producer, one consumer,
+a FIFO queue.  Targets therefore end in exactly the state the synchronous
+``StreamEngine.drive_arrays`` path produces -- the ingest tests assert that
+bit-for-bit -- and any :class:`~repro.core.algorithm.StreamAlgorithm`
+works, including :class:`~repro.parallel.sharded.ShardedAlgorithm` (whose
+scatter then fans out a second time, across shards).
+
+Usage::
+
+    stats = ingest(sketch, chunk_arrays(items, deltas, 8192))
+    # or, inside an event loop:
+    stats = await ingest_async(sketch, source)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import AsyncIterable, Iterable, Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.core.algorithm import StreamAlgorithm
+from repro.core.engine import DEFAULT_CHUNK_SIZE
+from repro.core.stream import Update, updates_to_arrays
+
+__all__ = [
+    "IngestStats",
+    "chunk_arrays",
+    "chunk_updates",
+    "ingest",
+    "ingest_async",
+]
+
+#: One (items, deltas) array pair.
+Chunk = tuple[np.ndarray, np.ndarray]
+ChunkSource = Union[Iterable[Chunk], AsyncIterable[Chunk]]
+
+_SENTINEL = object()
+
+
+@dataclass
+class IngestStats:
+    """What one ingestion run did (throughput bookkeeping for benchmarks)."""
+
+    chunks: int = 0
+    updates: int = 0
+    seconds: float = 0.0
+    #: Time the consumer spent inside ``feed_batch`` (scatter-bound share).
+    scatter_seconds: float = 0.0
+    queue_depth: int = 0
+    targets: int = field(default=1)
+
+    @property
+    def updates_per_second(self) -> float:
+        return self.updates / self.seconds if self.seconds > 0 else 0.0
+
+
+def chunk_arrays(items, deltas, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[Chunk]:
+    """Slice one big array pair into engine-sized chunks."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    items = np.asarray(items, dtype=np.int64)
+    deltas = np.asarray(deltas, dtype=np.int64)
+    if len(items) != len(deltas):
+        raise ValueError(
+            f"items/deltas length mismatch: {len(items)} != {len(deltas)}"
+        )
+    for start in range(0, len(items), chunk_size):
+        yield items[start : start + chunk_size], deltas[start : start + chunk_size]
+
+
+def chunk_updates(
+    updates: Iterable[Update], chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[Chunk]:
+    """Batch an :class:`Update` iterable into array chunks."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    pending: list[Update] = []
+    for update in updates:
+        pending.append(update)
+        if len(pending) >= chunk_size:
+            yield updates_to_arrays(pending)
+            pending = []
+    if pending:
+        yield updates_to_arrays(pending)
+
+
+async def ingest_async(
+    targets,
+    source: ChunkSource,
+    queue_depth: int = 4,
+) -> IngestStats:
+    """Pipelined ingestion: produce chunk ``t+1`` while scattering chunk ``t``.
+
+    Parameters
+    ----------
+    targets:
+        One :class:`StreamAlgorithm` or a lockstep sequence (every target
+        sees every chunk, in order, like ``StreamEngine.drive``).
+    source:
+        Sync or async iterable of ``(items, deltas)`` chunks.
+    queue_depth:
+        Bound on produced-but-unscattered chunks (backpressure).
+    """
+    if queue_depth <= 0:
+        raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+    single = isinstance(targets, StreamAlgorithm)
+    target_list: Sequence[StreamAlgorithm] = [targets] if single else list(targets)
+    stats = IngestStats(queue_depth=queue_depth, targets=len(target_list))
+    queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+    loop = asyncio.get_running_loop()
+    started = time.perf_counter()
+
+    async def produce() -> None:
+        # The sentinel must reach the consumer even when the source raises
+        # mid-stream, or the pipeline would deadlock on queue.get(); the
+        # source's exception then surfaces through `await producer`.
+        try:
+            if hasattr(source, "__aiter__"):
+                async for chunk in source:
+                    await queue.put(chunk)
+            else:
+                iterator = iter(source)
+                with ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="ingest-produce"
+                ) as pool:
+                    while True:
+                        chunk = await loop.run_in_executor(
+                            pool, next, iterator, _SENTINEL
+                        )
+                        if chunk is _SENTINEL:
+                            break
+                        await queue.put(chunk)
+        finally:
+            await queue.put(_SENTINEL)
+
+    async def consume() -> None:
+        def scatter(chunk: Chunk) -> float:
+            items, deltas = chunk
+            scatter_started = time.perf_counter()
+            for target in target_list:
+                target.feed_batch(items, deltas)
+            return time.perf_counter() - scatter_started
+
+        with ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="ingest-scatter"
+        ) as pool:
+            while True:
+                chunk = await queue.get()
+                if chunk is _SENTINEL:
+                    return
+                stats.scatter_seconds += await loop.run_in_executor(
+                    pool, scatter, chunk
+                )
+                stats.chunks += 1
+                stats.updates += len(chunk[0])
+
+    producer = asyncio.ensure_future(produce())
+    try:
+        await consume()
+        await producer
+    finally:
+        producer.cancel()
+    stats.seconds = time.perf_counter() - started
+    return stats
+
+
+def ingest(
+    targets,
+    source: ChunkSource,
+    queue_depth: int = 4,
+) -> IngestStats:
+    """Synchronous wrapper around :func:`ingest_async` (runs its own loop)."""
+    return asyncio.run(ingest_async(targets, source, queue_depth=queue_depth))

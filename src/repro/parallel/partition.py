@@ -1,0 +1,118 @@
+"""Vectorized universe partitioning for the sharded stream engine.
+
+The sharded engine splits the universe ``[n]`` across shards by *item*, not
+by stream position: every update to item ``x`` is routed to shard
+``h(x) mod N`` for a fixed hash ``h``, so each shard sees a sub-stream that
+touches a fixed subset of the universe.  Because the mergeable sketches are
+linear (or, like KMV, order-independent set maps), the merged shard states
+equal one instance's state on the full stream regardless of how the
+universe is cut -- the partition only controls load balance.
+
+The hash is a multiplicative (Fibonacci) hash over 64-bit words: multiply
+by an odd constant derived from the seed and keep high bits of the
+product.  Power-of-two shard counts read their shard index straight from
+the top bits (no modulo on the hot path); other counts reduce a high
+window mod ``N``.  The hash is evaluated two ways that agree bit-for-bit:
+
+* :meth:`UniversePartitioner.assign_array` -- numpy uint64 arithmetic
+  (wraparound is the intended mod-2^64 semantics) for whole update chunks;
+* :meth:`UniversePartitioner.assign` -- exact Python integers, used by the
+  per-update game path and for beyond-int64 items, masked to 64 bits so it
+  matches the vector path on the shared domain.
+
+:meth:`UniversePartitioner.split` is the engine's scatter primitive: one
+hash pass, one stable argsort, and contiguous per-shard array views --
+cheaper than per-shard boolean masks and order-preserving within every
+shard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UniversePartitioner"]
+
+#: 2^64 / golden ratio, the classic Fibonacci-hashing multiplier.
+_PHI64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+#: For non-power-of-two shard counts: reduce this many top bits mod N
+#: (plenty of entropy for any realistic N while staying in safe int range).
+_WINDOW_SHIFT = 33
+
+
+class UniversePartitioner:
+    """Deterministic item -> shard assignment shared by all engine paths.
+
+    Parameters
+    ----------
+    num_shards:
+        ``N``; assignments land in ``[0, N)``.
+    seed:
+        Perturbs the multiplier so distinct engines cut the universe
+        differently.  The multiplier stays odd (a bijection mod 2^64).
+    """
+
+    def __init__(self, num_shards: int, seed: int = 0) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        self.seed = seed
+        # splitmix64-style seed stirring keeps multipliers well spread.
+        stirred = (seed * 0xBF58476D1CE4E5B9 + 0x94D049BB133111EB) & _MASK64
+        self.multiplier = (_PHI64 ^ stirred) | 1
+        self._bits = num_shards.bit_length() - 1
+        self._power_of_two = num_shards == (1 << self._bits)
+
+    def assign(self, item: int) -> int:
+        """Shard index of one item (exact Python arithmetic, any int size)."""
+        if item < 0:
+            raise ValueError(f"item must be non-negative, got {item}")
+        mixed = ((item & _MASK64) * self.multiplier) & _MASK64
+        if self._power_of_two:
+            return mixed >> (64 - self._bits) if self._bits else 0
+        return (mixed >> _WINDOW_SHIFT) % self.num_shards
+
+    def assign_array(self, items: np.ndarray) -> np.ndarray:
+        """Shard indices for an int64 item array (vectorized, wrap-exact)."""
+        mixed = np.asarray(items).astype(np.uint64) * np.uint64(self.multiplier)
+        if self._power_of_two:
+            if not self._bits:
+                return np.zeros(len(mixed), dtype=np.uint64)
+            return mixed >> np.uint64(64 - self._bits)
+        return (mixed >> np.uint64(_WINDOW_SHIFT)) % np.uint64(self.num_shards)
+
+    def split(
+        self, items: np.ndarray, deltas: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray] | None]:
+        """Per-shard ``(items, deltas)`` pairs, order-preserving, one sort.
+
+        A stable argsort on the shard ids groups each shard's updates into
+        one contiguous slice while keeping them in stream order; empty
+        shards get ``None``.  Returned arrays are views into the sorted
+        copies -- callers must not mutate them.
+        """
+        if self.num_shards == 1:
+            return [(items, deltas)]
+        ids = self.assign_array(items)
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        sorted_items = items[order]
+        sorted_deltas = deltas[order]
+        bounds = np.searchsorted(
+            sorted_ids, np.arange(self.num_shards + 1, dtype=np.uint64)
+        )
+        parts: list[tuple[np.ndarray, np.ndarray] | None] = []
+        for shard in range(self.num_shards):
+            low, high = int(bounds[shard]), int(bounds[shard + 1])
+            if high > low:
+                parts.append(
+                    (sorted_items[low:high], sorted_deltas[low:high])
+                )
+            else:
+                parts.append(None)
+        return parts
+
+    def masks(self, items: np.ndarray) -> list[np.ndarray]:
+        """Per-shard boolean masks over ``items`` (diagnostics/tests)."""
+        ids = self.assign_array(items)
+        return [ids == shard for shard in range(self.num_shards)]

@@ -1,0 +1,293 @@
+"""The universe-partitioned sharded engine: N sketch replicas, one state.
+
+Design
+------
+:class:`ShardedAlgorithm` wraps ``N`` replicas of one
+:class:`~repro.core.algorithm.MergeableSketch` -- all built by a caller
+factory from the *same* construction seed, so their hash functions / sign
+vectors / SIS matrices coincide -- and routes every update to the shard
+owning its item (:class:`~repro.parallel.partition.UniversePartitioner`).
+Batches are partitioned with one vectorized hash and scattered with
+order-preserving masks, so each shard consumes exactly the sub-stream of
+its items, in stream order, through the same ``process_batch`` fast paths
+a single engine would use.
+
+Because the sketches are mergeable, the sum of the shard states *is* the
+single-engine state: :meth:`ShardedAlgorithm.merged` clones shard 0 and
+absorbs the rest, producing an instance whose tables, estimates,
+``space_bits()`` and randomness transcript are bit-identical to one
+replica fed the whole stream.  ``query``/``state_view``/``space_bits`` on
+the wrapper answer from that merged view, which makes the wrapper a
+drop-in :class:`~repro.core.algorithm.StreamAlgorithm`: the white-box game
+(``StreamEngine.play``), adaptive adversaries reading per-round state
+views, and every experiment driver see exactly the state they would
+against a single engine.  Sharding changes *where* the work happens, never
+what the adversary observes -- which is the point: the white-box model's
+attacks work against sharded deployments too (experiment E11's
+``--shards`` path demonstrates it).
+
+:class:`ShardedStreamEngine` packages the wrapper with a
+:class:`~repro.core.engine.StreamEngine` whose default chunk grows with the
+shard count (each shard then scatters near-default-sized sub-chunks).  With
+``parallel=True`` the per-shard scatters run on a thread pool; the numpy
+kernels release the GIL, so multi-core hosts overlap shard work (a
+single-CPU host degrades gracefully to the serial path's throughput).
+Process-level shards and multi-host merge are deliberate follow-ons -- the
+merge protocol here is the part they will reuse.
+"""
+
+from __future__ import annotations
+
+import copy
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.algorithm import MergeableSketch, StateView, StreamAlgorithm
+from repro.core.engine import DEFAULT_CHUNK_SIZE, StreamEngine
+from repro.core.game import GameResult, GroundTruth, Validator
+from repro.core.adversary import WhiteBoxAdversary
+from repro.core.stream import Update
+from repro.parallel.partition import UniversePartitioner
+
+__all__ = ["ShardedAlgorithm", "ShardedStreamEngine"]
+
+
+class ShardedAlgorithm(StreamAlgorithm):
+    """N mergeable replicas behind the single-algorithm interface.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning one replica.  It must return
+        identically-constructed instances (same parameters, same seed) on
+        every call; this is verified via the sketches' merge keys.
+    num_shards:
+        Number of replicas / universe parts.
+    partitioner:
+        Item -> shard map; defaults to a seed-0
+        :class:`UniversePartitioner`.
+    parallel:
+        When ``True``, batch scatters run on a ``num_shards``-wide thread
+        pool (worthwhile on multi-core hosts; the sketches' numpy kernels
+        release the GIL).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], StreamAlgorithm],
+        num_shards: int,
+        partitioner: Optional[UniversePartitioner] = None,
+        parallel: bool = False,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        super().__init__(seed=0)
+        self.shards: list[StreamAlgorithm] = [factory() for _ in range(num_shards)]
+        first = self.shards[0]
+        if not isinstance(first, MergeableSketch):
+            raise TypeError(
+                f"{type(first).__name__} is not a MergeableSketch; only "
+                "mergeable sketches can be sharded"
+            )
+        for shard in self.shards[1:]:
+            # Raises early (TypeError/ValueError) if the factory is not
+            # deterministic -- e.g. it forgot to pin the seed.
+            first._check_mergeable(shard)
+        self.num_shards = num_shards
+        self.partitioner = partitioner or UniversePartitioner(num_shards)
+        self.name = f"sharded-{first.name}-x{num_shards}"
+        self._executor = (
+            ThreadPoolExecutor(
+                max_workers=num_shards, thread_name_prefix="shard"
+            )
+            if parallel and num_shards > 1
+            else None
+        )
+        self._merged_cache: Optional[StreamAlgorithm] = None
+
+    # -- routing -----------------------------------------------------------
+
+    def process(self, update: Update) -> None:
+        """Route one update to the shard owning its item."""
+        self._merged_cache = None
+        self.shards[self.partitioner.assign(update.item)].feed(update)
+
+    def process_batch(self, items, deltas) -> None:
+        """Partition a chunk with one vectorized hash; scatter per shard.
+
+        ``UniversePartitioner.split`` groups each shard's updates into one
+        contiguous slice while preserving stream order -- with
+        commutative/mergeable update rules that makes the merged final
+        state independent of the interleaving.
+        """
+        self._merged_cache = None
+        items = np.asarray(items, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if items.size == 0:
+            return
+        parts = self.partitioner.split(items, deltas)
+        if self._executor is not None:
+            futures = [
+                self._executor.submit(shard.feed_batch, part[0], part[1])
+                for shard, part in zip(self.shards, parts)
+                if part is not None
+            ]
+            for future in futures:
+                future.result()
+        else:
+            for shard, part in zip(self.shards, parts):
+                if part is not None:
+                    shard.feed_batch(part[0], part[1])
+
+    # -- the merged single-engine view --------------------------------------
+
+    def merged(self) -> StreamAlgorithm:
+        """A full sketch equal to one instance fed the whole stream.
+
+        Clones shard 0 (whose construction randomness every replica
+        shares) and absorbs the remaining shards.  The result is cached
+        until the next update; game loops that query every round pay one
+        merge per round, exactly the coarseness the white-box model
+        demands.
+        """
+        if self._merged_cache is None:
+            clone = copy.deepcopy(self.shards[0])
+            clone.merge_batch(self.shards[1:])
+            self._merged_cache = clone
+        return self._merged_cache
+
+    def query(self):
+        return self.merged().query()
+
+    def state_view(self) -> StateView:
+        """The merged white-box view: what a single engine would expose.
+
+        The transcript is shard 0's, which equals every other shard's (one
+        shared seed, no processing-time draws) and therefore the single
+        engine's.
+        """
+        return self.merged().state_view()
+
+    def space_bits(self) -> int:
+        """Space of the merged state -- the single-engine accounting."""
+        return self.merged().space_bits()
+
+    def physical_space_bits(self) -> int:
+        """What the deployment actually holds: every replica's state."""
+        return sum(shard.space_bits() for shard in self.shards)
+
+    def shard_loads(self) -> list[int]:
+        """Updates routed to each shard so far (load-balance diagnostics)."""
+        return [shard.updates_processed for shard in self.shards]
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial wrappers)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __getattr__(self, attribute: str):
+        """Estimator conveniences (``estimate``, heavy-hitter helpers,
+        ``f2_estimate``, ...) resolve against the merged view, so sharded
+        wrappers answer the same call surface as the sketch they wrap.
+        The returned attribute binds the *current* merged snapshot -- fetch
+        it again after further updates rather than holding it."""
+        if attribute.startswith("_") or attribute in ("shards", "merged"):
+            raise AttributeError(attribute)
+        return getattr(self.merged(), attribute)
+
+
+class ShardedStreamEngine:
+    """Drives streams through a :class:`ShardedAlgorithm`.
+
+    The front door of the sharded subsystem: builds the wrapper, sizes the
+    chunking so each shard scatters near-default batches, and mirrors the
+    :class:`~repro.core.engine.StreamEngine` driving surface (``drive``,
+    ``drive_arrays``, ``play``).
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning one identically-seeded replica.
+    num_shards:
+        Number of shard workers.
+    chunk_size:
+        Updates per partition round; defaults to
+        ``DEFAULT_CHUNK_SIZE * num_shards`` so per-shard sub-chunks stay
+        near the single-engine sweet spot.
+    parallel:
+        Scatter sub-chunks on a thread pool (see :class:`ShardedAlgorithm`).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], StreamAlgorithm],
+        num_shards: int,
+        chunk_size: Optional[int] = None,
+        partitioner: Optional[UniversePartitioner] = None,
+        parallel: bool = False,
+    ) -> None:
+        self.algorithm = ShardedAlgorithm(
+            factory, num_shards, partitioner=partitioner, parallel=parallel
+        )
+        self.engine = StreamEngine(
+            chunk_size=chunk_size
+            if chunk_size is not None
+            else DEFAULT_CHUNK_SIZE * num_shards
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return self.algorithm.num_shards
+
+    def drive(self, updates, on_chunk=None) -> ShardedAlgorithm:
+        """Feed an update iterable through the partition/scatter pipeline."""
+        self.engine.drive(self.algorithm, updates, on_chunk=on_chunk)
+        return self.algorithm
+
+    def drive_arrays(self, items, deltas) -> ShardedAlgorithm:
+        """Array-native fast path (mirrors ``StreamEngine.drive_arrays``)."""
+        self.engine.drive_arrays(self.algorithm, items, deltas)
+        return self.algorithm
+
+    def play(
+        self,
+        adversary: WhiteBoxAdversary,
+        ground_truth: GroundTruth,
+        validator: Validator,
+        max_rounds: int,
+        **kwargs,
+    ) -> GameResult:
+        """The white-box game against the *merged* state.
+
+        Adaptive adversaries degrade to the per-round loop and observe a
+        merged state view after every update -- the same view a single
+        engine would hand them.
+        """
+        return self.engine.play(
+            self.algorithm, adversary, ground_truth, validator, max_rounds, **kwargs
+        )
+
+    def merged(self) -> StreamAlgorithm:
+        """The bit-exact single-engine-equivalent sketch (shard fan-in)."""
+        return self.algorithm.merged()
+
+    def query(self):
+        """Answer the game's query from the merged state."""
+        return self.algorithm.query()
+
+    def state_view(self) -> StateView:
+        """The merged white-box state view (see :class:`ShardedAlgorithm`)."""
+        return self.algorithm.state_view()
+
+    def close(self) -> None:
+        """Shut down the shard worker pool (no-op for serial engines)."""
+        self.algorithm.close()
+
+    def __enter__(self) -> "ShardedStreamEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -22,8 +22,11 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core.engine import StreamEngine
-from repro.core.stream import updates_from_arrays
+import numpy as np
+
+from repro.core.engine import DEFAULT_CHUNK_SIZE, StreamEngine
+from repro.core.stream import linear_hash_rows, updates_from_arrays
+from repro.crypto.modmath import next_prime
 from repro.heavyhitters.count_min import CountMinSketch
 from repro.heavyhitters.count_sketch import CountSketch
 from repro.workloads.frequency import uniform_arrays
@@ -65,6 +68,50 @@ def measure(name: str, factory, items, deltas) -> dict:
     }
 
 
+def measure_hash_reduction(universe: int, rounds: int = 400) -> dict:
+    """Before/after row for the hash-reduction satellite (ROADMAP item).
+
+    Times the old division-bound row hash ``(a*x + b) % p % w`` against
+    the shipped division-free ``linear_hash_rows`` on engine-sized chunks
+    (the shape of the real hot loop: one row hash per depth per chunk),
+    verifying bit-equality on every round before the numbers count.
+    """
+    prime = next_prime(universe + 1)
+    a, b, width = 48271, 8191, 64
+    rng = np.random.default_rng(42)
+    chunk = rng.integers(0, universe, DEFAULT_CHUNK_SIZE, dtype=np.int64)
+
+    old = ((a * chunk + b) % prime) % width
+    new = linear_hash_rows(chunk, a, b, prime, width)
+    if not np.array_equal(old, new):
+        raise AssertionError("hash reduction diverged from the % p % w path")
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        ((a * chunk + b) % prime) % width
+    old_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(rounds):
+        linear_hash_rows(chunk, a, b, prime, width)
+    new_seconds = time.perf_counter() - start
+    hashed = rounds * DEFAULT_CHUNK_SIZE
+    return {
+        "kernel": "row hash (a*x+b) mod p mod w",
+        "chunk_size": DEFAULT_CHUNK_SIZE,
+        "prime": prime,
+        "width": width,
+        "before_ns_per_item": round(old_seconds / hashed * 1e9, 2),
+        "after_ns_per_item": round(new_seconds / hashed * 1e9, 2),
+        "speedup": round(old_seconds / new_seconds, 2),
+        "note": (
+            "before = two remainder ufuncs (hardware division); after = "
+            "barrett_mod quotient lowering (x - (x // p) * p, multiply+"
+            "shift); bit-equality asserted before timing "
+            "(tests/test_fast_hash_reduction.py pins it)"
+        ),
+    }
+
+
 def main() -> None:
     quick = "--quick" in sys.argv
     n = 1_000_000
@@ -92,6 +139,7 @@ def main() -> None:
         "chunk_size": StreamEngine().chunk_size,
         "python": platform.python_version(),
         "results": results,
+        "hash_reduction": measure_hash_reduction(n),
     }
     out = REPO_ROOT / "BENCH_batch.json"
     # Read-modify-write: other recorders (record_shard_baseline.py) append

@@ -24,6 +24,14 @@ overhead; SIS-L0's speedup comes from the int64 fast path the sharded
 subsystem ships.  With ``parallel=True`` on a multi-core host the
 per-shard scatters overlap (numpy kernels release the GIL).
 
+A second section, ``process_scaling``, detects ``os.cpu_count()`` and
+races the three scatter backends (serial / thread / process) at a shard
+count sized to the host, each verified bit-identical to the single
+engine before its numbers count.  On a single-CPU host the parallel
+backends measure dispatch overhead (shared-memory transport + snapshot
+fan-in for the process pool) rather than speedup -- the payload records
+the core count so readers can tell which regime produced the numbers.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/record_shard_baseline.py [--quick]
@@ -115,6 +123,46 @@ def measure_family(name: str, factory, seed_factory, items, deltas) -> dict:
     }
 
 
+def measure_backends(name: str, factory, items, deltas, num_shards: int) -> dict:
+    """Race serial vs thread vs process scatter at one shard count.
+
+    Every backend's merged state is verified bit-identical to the single
+    batched engine before its timing counts -- the process rows therefore
+    also certify the wire-format snapshot fan-in end to end.
+    """
+    length = len(items)
+    reference_alg = factory()
+    StreamEngine().drive_arrays(reference_alg, items, deltas)
+    reference = _state_signature(reference_alg)
+
+    rows = []
+    serial_seconds = None
+    for backend in ("serial", "thread", "process"):
+        with ShardedStreamEngine(
+            factory, num_shards=num_shards, backend=backend
+        ) as engine:
+            start = time.perf_counter()
+            engine.drive_arrays(items, deltas)
+            merged = engine.merged()  # process backend: snapshot fan-in
+            seconds = time.perf_counter() - start
+            if _state_signature(merged) != reference:
+                raise AssertionError(
+                    f"{name}: {backend} backend merged state diverged"
+                )
+        if backend == "serial":
+            serial_seconds = seconds
+        rows.append(
+            {
+                "backend": backend,
+                "shards": num_shards,
+                "seconds": round(seconds, 4),
+                "ups": round(length / seconds),
+                "speedup_vs_serial": round(serial_seconds / seconds, 2),
+            }
+        )
+    return {"sketch": name, "updates": length, "backends": rows}
+
+
 def main() -> None:
     quick = "--quick" in sys.argv
     n = 1_000_000
@@ -156,11 +204,49 @@ def main() -> None:
         "results": results,
     }
 
+    # Backend race: shard count sized to the detected cores (capped so the
+    # run stays honest and quick on small hosts; never below 2 shards so
+    # the parallel backends actually fan out).
+    cpus = os.cpu_count() or 1
+    backend_shards = max(2, min(4, cpus))
+    backend_items = items[: len(items) // 4]
+    backend_deltas = deltas[: len(deltas) // 4]
+    process_payload = {
+        "benchmark": "scatter backend race (serial vs thread vs process)",
+        "cpus": cpus,
+        "shards": backend_shards,
+        "stream_length": len(backend_items),
+        "note": (
+            "process rows include wire-format snapshot fan-in (merged "
+            "state verified bit-identical each run); on a 1-CPU host the "
+            "parallel backends measure dispatch overhead, on multi-core "
+            "hosts they overlap shard scatters"
+        ),
+        "results": [
+            measure_backends(
+                "count-min 4x64",
+                lambda: CountMinSketch(n, width=64, depth=4, seed=1),
+                backend_items,
+                backend_deltas,
+                backend_shards,
+            ),
+            measure_backends(
+                "sis-l0 q~2^20",
+                lambda: SisL0Estimator(n, params=_sis_params(n), seed=2),
+                backend_items,
+                backend_deltas,
+                backend_shards,
+            ),
+        ],
+    }
+
     out = REPO_ROOT / "BENCH_batch.json"
     existing = json.loads(out.read_text()) if out.exists() else {}
     existing["shard_scaling"] = payload
+    existing["process_scaling"] = process_payload
     out.write_text(json.dumps(existing, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
+    print(json.dumps(process_payload, indent=2))
     for family in results:
         print(
             f"{family['sketch']}: 4-shard vs seed batched "

@@ -19,8 +19,17 @@ with the asyncio ingestion front-end pipelining packet-chunk production
 against the scatter -- the deployment shape for a collector fleet, with a
 distinct-flow count from the SIS-L0 sketch riding the same pipeline.
 
+Part three is the distributed deployment shape: the same fleet on
+``backend="process"`` (per-shard worker processes, shared-memory chunk
+transport, wire-format snapshot fan-in), with checkpointed ingestion --
+the run is "killed" mid-stream and resumed from the checkpoint file,
+finishing bit-identical to the uninterrupted collector.
+
 Run:  python examples/network_monitoring.py
 """
+
+import os
+import tempfile
 
 import numpy as np
 
@@ -32,6 +41,7 @@ from repro.heavyhitters.count_min import CountMinSketch
 from repro.hhh.domain import HierarchicalDomain, Prefix, exact_hhh
 from repro.hhh.hss import HierarchicalSpaceSaving
 from repro.hhh.robust_hhh import RobustHHH
+from repro.distributed import resume_from, tail_chunks
 from repro.parallel import ShardedStreamEngine, chunk_arrays, ingest
 from repro.workloads.hierarchy import planted_hhh_stream
 from repro.workloads.frequency import zipf_arrays
@@ -90,6 +100,73 @@ def sharded_flow_monitor(
     print()
 
 
+def distributed_flow_monitor(
+    flows: int = 100_000, packets: int = 120_000, shards: int = 2
+) -> None:
+    """Part three: process workers + checkpointed, kill-and-resume ingest."""
+    items, deltas = zipf_arrays(flows, packets, skew=1.2, seed=21)
+    with tempfile.TemporaryDirectory() as workdir:
+        _run_distributed_monitor(
+            os.path.join(workdir, "flow-monitor.ckpt"),
+            flows,
+            items,
+            deltas,
+            packets,
+            shards,
+        )
+
+
+def _run_distributed_monitor(checkpoint, flows, items, deltas, packets, shards):
+    def make_counter() -> CountMinSketch:
+        return CountMinSketch(flows, width=256, depth=4, seed=42)
+
+    # Uninterrupted single collector: the recovery target to match.
+    reference = make_counter()
+    reference.feed_batch(items, deltas)
+
+    # The collector fleet: per-shard worker *processes*.  Chunk data
+    # reaches workers through shared memory; merged() fans their state
+    # back in as fingerprint-verified wire snapshots.  The run
+    # checkpoints every ~2^14 packets and "dies" 60% through the stream.
+    crash_at = int(0.6 * packets)
+    with ShardedStreamEngine(
+        make_counter, num_shards=shards, backend="process"
+    ) as fleet:
+        stats = ingest(
+            fleet.algorithm,
+            chunk_arrays(items[:crash_at], deltas[:crash_at], 8192),
+            checkpoint_path=checkpoint,
+            checkpoint_every=1 << 14,
+        )
+    print(f"-- distributed flow monitor ({shards} process workers) --")
+    print(
+        f"  ingested {stats.updates} packets, wrote {stats.checkpoints} "
+        f"checkpoints, then the collector 'died' at packet {crash_at}"
+    )
+
+    # Recovery: a fresh fleet restores the checkpointed merged state and
+    # replays only the unabsorbed tail of the packet stream.
+    with ShardedStreamEngine(
+        make_counter, num_shards=shards, backend="process"
+    ) as recovered:
+        position = resume_from(checkpoint, recovered.algorithm)
+        ingest(
+            recovered.algorithm,
+            tail_chunks(chunk_arrays(items, deltas, 8192), position),
+            checkpoint_path=checkpoint,
+            start_position=position,
+        )
+        merged = recovered.merged()
+        match = bool(np.array_equal(merged.table, reference.table))
+        replayed = packets - position
+        print(
+            f"  resumed at packet {position}, replayed only {replayed} "
+            f"({100 * replayed / packets:.0f}% of the stream)"
+        )
+        print(f"  recovered table == uninterrupted collector table: {match}")
+    print()
+
+
 def main() -> None:
     # An 8-bit address space, split like IPv4 prefixes: height 8, branching 2.
     domain = HierarchicalDomain(branching=2, height=8)
@@ -141,6 +218,7 @@ def main() -> None:
     print("Morris clock's log log m bits (Theorem 2.14).")
     print()
     sharded_flow_monitor()
+    distributed_flow_monitor()
 
 
 if __name__ == "__main__":

@@ -43,9 +43,12 @@ experiments
 parallel
     The scaling layer: mergeable-sketch sharding
     (``ShardedStreamEngine``), universe partitioning, asyncio ingestion.
+distributed
+    The deployment layer: wire-format sketch snapshots, process-parallel
+    shard workers (``backend="process"``), checkpoint/recovery.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.core import (
     FrequencyVector,

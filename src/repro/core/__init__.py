@@ -10,6 +10,7 @@ from repro.core.adversary import (
 from repro.core.algorithm import (
     DeterministicAlgorithm,
     MergeableSketch,
+    SerializableSketch,
     StateView,
     StreamAlgorithm,
 )
@@ -28,6 +29,8 @@ from repro.core.space import (
 from repro.core.stream import (
     FrequencyVector,
     Update,
+    barrett_mod,
+    linear_hash_rows,
     stream_from_items,
     updates_from_arrays,
     updates_to_arrays,
@@ -46,18 +49,21 @@ __all__ = [
     "ObliviousAdversary",
     "RandomDraw",
     "RoundRecord",
+    "SerializableSketch",
     "StateView",
     "StreamAlgorithm",
     "StreamEngine",
     "Update",
     "WhiteBoxAdversary",
     "WitnessedRandom",
+    "barrett_mod",
     "bits_for_float",
     "bits_for_int",
     "bits_for_range",
     "bits_for_signed_int",
     "bits_for_universe",
     "frequency_truth",
+    "linear_hash_rows",
     "log2_ceil",
     "loglog_bits",
     "run_game",

@@ -25,11 +25,27 @@ add mod q.  :class:`MergeableSketch` captures that as a protocol --
 randomness* so that ``merge`` of shards fed disjoint sub-streams reproduces,
 bit for bit, the state of one instance fed the whole stream.  This is what
 the sharded engine (:mod:`repro.parallel`) is built on.
+
+Serializable sketches
+---------------------
+:class:`SerializableSketch` extends the merge contract across process and
+machine boundaries: ``snapshot()`` emits a canonical, versioned byte
+representation of the sketch's *state* (never its construction randomness
+-- that is pinned by the shared seed), headed by a construction
+fingerprint derived from ``_merge_key()``.  ``restore(data)`` replays a
+snapshot into an identically-constructed instance, and
+``merge_snapshot(data)`` fans a remote replica's state in, both verifying
+the fingerprint first -- so merging stays exact even when the replica
+crossed a wire (:mod:`repro.distributed` builds the codec, the
+process-parallel shard workers, and checkpoint/recovery on top of this).
+Subclasses implement ``_snapshot_state()`` (plain-data dict of mutable
+state) and ``_restore_state(state)`` (the inverse).
 """
 
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
@@ -41,6 +57,7 @@ __all__ = [
     "StreamAlgorithm",
     "DeterministicAlgorithm",
     "MergeableSketch",
+    "SerializableSketch",
 ]
 
 
@@ -153,7 +170,76 @@ class StreamAlgorithm(abc.ABC):
         return self
 
 
-class MergeableSketch(abc.ABC):
+class SerializableSketch(abc.ABC):
+    """Protocol for sketches whose state crosses process/machine boundaries.
+
+    The wire contract
+    -----------------
+    ``snapshot()`` returns a canonical, versioned byte string: a header
+    carrying the class name and a digest of the construction fingerprint
+    (``_merge_key()`` -- parameters plus construction randomness), followed
+    by a deterministic encoding of ``_snapshot_state()``.  ``restore(data)``
+    replays such a snapshot into ``self``, *replacing* its mutable state;
+    it requires ``self`` to be an identically-constructed instance and
+    raises :class:`repro.distributed.codec.FingerprintMismatch` otherwise.
+    ``merge_snapshot(data)`` absorbs a remote replica's state without
+    disturbing local state -- the serialized form of
+    :meth:`MergeableSketch.merge`, and the primitive multi-host fan-in is
+    built from.
+
+    Only mutable state is serialized.  Construction randomness (hash
+    parameters, sign seeds, SIS matrices) is never on the wire: it is
+    reproduced by constructing the twin from the shared seed, and the
+    fingerprint check proves both sides agree before any state moves.
+
+    Subclasses implement :meth:`_snapshot_state` (a dict of plain data --
+    ints of any size, floats, strings, bytes, tuples, dicts, int64/object
+    ndarrays) and :meth:`_restore_state` (its inverse); the codec lives in
+    :mod:`repro.distributed.codec`.
+    """
+
+    def snapshot(self) -> bytes:
+        """Canonical wire-format snapshot of the current state."""
+        from repro.distributed.codec import snapshot_sketch
+
+        return snapshot_sketch(self)
+
+    def restore(self, data: bytes) -> "SerializableSketch":
+        """Replace this instance's state with a snapshot's (verified).
+
+        Returns ``self`` for chaining.  The randomness transcript is
+        untouched: construction draws already happened identically on both
+        sides (the fingerprint proves it), and no mergeable sketch draws
+        randomness while processing.
+        """
+        from repro.distributed.codec import restore_sketch
+
+        return restore_sketch(self, data)
+
+    def merge_snapshot(self, data: bytes) -> None:
+        """Fan a serialized replica's state into this instance (verified).
+
+        Equivalent to ``self.merge(replica)`` where ``replica`` is the
+        instance the snapshot was taken from -- bit for bit, because the
+        codec round-trips state exactly and the fingerprint check enforces
+        shared construction randomness.
+        """
+        from repro.distributed.codec import restore_sketch
+
+        twin = copy.deepcopy(self)
+        restore_sketch(twin, data)
+        self.merge(twin)  # type: ignore[attr-defined]  # MergeableSketch
+
+    @abc.abstractmethod
+    def _snapshot_state(self) -> dict:
+        """All mutable state as a plain-data dict (codec-encodable)."""
+
+    @abc.abstractmethod
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        """Replace mutable state from a decoded :meth:`_snapshot_state`."""
+
+
+class MergeableSketch(SerializableSketch):
     """Protocol for sketches whose shard replicas combine exactly.
 
     The merge contract

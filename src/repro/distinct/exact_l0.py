@@ -65,6 +65,12 @@ class ExactL0(MergeableSketch, DeterministicAlgorithm):
             else:
                 self.counts[item] = value
 
+    def _snapshot_state(self) -> dict:
+        return {"counts": dict(self.counts)}
+
+    def _restore_state(self, state) -> None:
+        self.counts = {int(k): v for k, v in state["counts"].items()}
+
     def query(self) -> int:
         return len(self.counts)
 

@@ -115,6 +115,16 @@ class KMVEstimator(MergeableSketch, StreamAlgorithm):
         for value in sorted(other._members):
             self._offer(value)
 
+    def _snapshot_state(self) -> dict:
+        # The bottom-k structure is fully determined by its member set; the
+        # heap is just an access path and is rebuilt on restore.
+        return {"kept": tuple(sorted(self._members))}
+
+    def _restore_state(self, state) -> None:
+        self._members = {int(v) for v in state["kept"]}
+        self._heap = [-value for value in self._members]
+        heapq.heapify(self._heap)
+
     def query(self) -> float:
         """The KMV estimate ``(k - 1) * prime / kth_min`` (or exact count
         while fewer than k distinct hashes have been seen)."""

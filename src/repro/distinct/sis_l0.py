@@ -227,6 +227,38 @@ class SisL0Estimator(MergeableSketch, StreamAlgorithm):
             if not any(sketch):
                 del self._sketches[chunk]
 
+    def _snapshot_state(self) -> dict:
+        """Chunk registers in whichever representation is active.
+
+        The merge key (and therefore the snapshot fingerprint) pins the
+        SIS construction -- (q, rows, cols), mode, seed -- *and* the
+        representation flag, so a snapshot only restores into an instance
+        holding the same SIS instance in the same storage mode.
+        """
+        if self.int64_fast_path:
+            return {"dense": self._dense}
+        return {
+            "sketches": {
+                chunk: tuple(vector) for chunk, vector in self._sketches.items()
+            }
+        }
+
+    def _restore_state(self, state) -> None:
+        if self.int64_fast_path:
+            dense = state["dense"]
+            expected = (self.num_chunks, self.params.rows)
+            if not isinstance(dense, np.ndarray) or dense.shape != expected:
+                raise ValueError(
+                    f"sis-l0 snapshot register shape {getattr(dense, 'shape', None)} "
+                    f"!= {expected}"
+                )
+            self._dense = dense
+        else:
+            self._sketches = {
+                int(chunk): list(vector)
+                for chunk, vector in state["sketches"].items()
+            }
+
     # -- queries -------------------------------------------------------------
 
     @property

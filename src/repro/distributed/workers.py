@@ -1,0 +1,343 @@
+"""Process-parallel shard workers: real parallelism past the GIL.
+
+The PR-2 sharded engine scatters per-shard sub-chunks on threads, which
+overlaps the numpy kernels (they release the GIL) but serializes every
+Python-bound update path -- AMS sign evaluation, exact-dict maintenance,
+KMV heap work.  :class:`ProcessShardPool` moves each shard replica into
+its own ``multiprocessing`` worker process:
+
+* **chunk data out** travels through one shared-memory block per worker
+  (a ``(2, capacity)`` int64 array holding items and deltas), so scatter
+  never pickles update arrays -- the parent writes, the worker copies
+  out, and a pipe message carries only the count;
+* **state back** travels as wire-format snapshots
+  (:mod:`repro.distributed.codec`): fan-in asks every worker for
+  ``snapshot()`` bytes and the parent rebuilds the merged sketch via
+  ``restore`` + ``merge_snapshot``, construction-fingerprint-verified --
+  exactly the multi-host merge path, exercised on one host.
+
+Workers are started with the ``fork`` start method: each child inherits
+its already-constructed replica (factories never need to be picklable,
+matching the thread backend's contract).  On platforms without ``fork``
+the pool raises -- callers keep the thread backend there.
+
+Exactness: every replica still sees exactly the sub-stream of its items
+in stream order (the parent waits for all acknowledgements before the
+batch call returns, and each worker drains its pipe in FIFO order), and
+the merge protocol is byte-identical to the in-process one, so
+``ShardedAlgorithm(backend="process").merged()`` is bit-identical to the
+single-engine state -- the process-backend equivalence tests enforce it
+against every mergeable sketch family.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.algorithm import SerializableSketch, StreamAlgorithm
+from repro.core.stream import Update
+
+__all__ = ["ProcessShardPool"]
+
+#: Initial shared-memory capacity (updates per worker); grows on demand.
+DEFAULT_BUFFER_CAPACITY = 1 << 14
+
+
+def _shard_worker(
+    connection, shm_name: str, capacity: int, sketch: StreamAlgorithm
+) -> None:
+    """One worker: drain commands in FIFO order against the local replica.
+
+    Commands (tuples; first element is the verb):
+
+    * ``("feed", count)`` -- consume ``count`` updates from the shared
+      block, ack ``("ok",)``;
+    * ``("feed_obj", pairs)`` -- per-update path for beyond-int64
+      coefficients (exact Python ints over the pipe), ack ``("ok",)``;
+    * ``("remap", name, capacity)`` -- switch to a grown shared block,
+      ack;
+    * ``("snapshot",)`` -- reply ``("snap", bytes)``;
+    * ``("restore", data)`` -- replace replica state from snapshot bytes
+      (checkpoint recovery), ack;
+    * ``("load",)`` -- reply ``("load", updates_processed)``;
+    * ``("stop",)`` -- ack and exit.
+
+    The row layout of the shared block is ``(2, capacity)`` with the
+    capacity carried explicitly (at start and in every remap): deriving
+    it from ``shm.size`` would break on platforms that round shared
+    segments up to page multiples (macOS), silently misaligning the
+    deltas row against the parent's view.
+
+    A command that raises (e.g. a sketch rejecting an invalid update)
+    replies ``("error", message)`` and kills the worker: a failed feed
+    may have been partially applied, so the replica can no longer claim
+    exactness -- the parent surfaces the original error and deployments
+    recover from the last checkpoint.
+    """
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        while True:
+            message = connection.recv()
+            verb = message[0]
+            try:
+                if verb == "feed":
+                    count = message[1]
+                    block = np.ndarray(
+                        (2, capacity), dtype=np.int64, buffer=shm.buf
+                    )
+                    sketch.feed_batch(
+                        block[0, :count].copy(), block[1, :count].copy()
+                    )
+                    connection.send(("ok",))
+                elif verb == "feed_obj":
+                    for item, delta in message[1]:
+                        sketch.feed(Update(item, delta))
+                    connection.send(("ok",))
+                elif verb == "remap":
+                    shm.close()
+                    shm = shared_memory.SharedMemory(name=message[1])
+                    capacity = message[2]
+                    connection.send(("ok",))
+                elif verb == "snapshot":
+                    connection.send(("snap", sketch.snapshot()))
+                elif verb == "restore":
+                    sketch.restore(message[1])
+                    connection.send(("ok",))
+                elif verb == "load":
+                    connection.send(("load", sketch.updates_processed))
+                elif verb == "stop":
+                    connection.send(("ok",))
+                    return
+                else:  # pragma: no cover - protocol bug guard
+                    raise RuntimeError(f"unknown worker command {verb!r}")
+            except Exception as exc:
+                connection.send(("error", f"{type(exc).__name__}: {exc}"))
+                raise
+    except (EOFError, KeyboardInterrupt):  # parent died; exit quietly
+        pass
+    finally:
+        shm.close()
+
+
+class ProcessShardPool:
+    """Owns one worker process (and one shared block) per shard replica.
+
+    Parameters
+    ----------
+    shards:
+        The constructed replicas.  Each worker inherits its replica at
+        fork time; the parent's copies stay untouched and serve only as
+        templates for fan-in (``ShardedAlgorithm.merged`` restores
+        snapshots into deep copies of shard 0).
+    buffer_capacity:
+        Initial per-worker shared-memory capacity in updates; blocks grow
+        automatically when a scatter part exceeds them.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[StreamAlgorithm],
+        buffer_capacity: int = DEFAULT_BUFFER_CAPACITY,
+    ) -> None:
+        if not shards:
+            raise ValueError("ProcessShardPool needs at least one shard")
+        if buffer_capacity <= 0:
+            raise ValueError(
+                f"buffer_capacity must be positive, got {buffer_capacity}"
+            )
+        if not isinstance(shards[0], SerializableSketch):
+            raise TypeError(
+                f"{type(shards[0]).__name__} is not a SerializableSketch; "
+                "process-backend fan-in needs wire-format snapshots"
+            )
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "process backend requires the 'fork' start method (so shard "
+                "factories need not be picklable); use backend='thread' on "
+                "this platform"
+            )
+        context = multiprocessing.get_context("fork")
+        self.num_shards = len(shards)
+        self._capacities = [buffer_capacity] * self.num_shards
+        self._blocks: list[Optional[shared_memory.SharedMemory]] = []
+        self._connections = []
+        self._processes = []
+        self._closed = False
+        try:
+            for shard in shards:
+                block = shared_memory.SharedMemory(
+                    create=True, size=2 * 8 * buffer_capacity
+                )
+                parent_end, worker_end = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker,
+                    args=(worker_end, block.name, buffer_capacity, shard),
+                    daemon=True,
+                )
+                process.start()
+                worker_end.close()
+                self._blocks.append(block)
+                self._connections.append(parent_end)
+                self._processes.append(process)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- scatter -----------------------------------------------------------
+
+    def _ensure_capacity(self, shard: int, count: int) -> None:
+        if count <= self._capacities[shard]:
+            return
+        capacity = self._capacities[shard]
+        while capacity < count:
+            capacity *= 2
+        grown = shared_memory.SharedMemory(create=True, size=2 * 8 * capacity)
+        self._connections[shard].send(("remap", grown.name, capacity))
+        self._expect(shard, "ok")
+        old = self._blocks[shard]
+        self._blocks[shard] = grown
+        self._capacities[shard] = capacity
+        old.close()
+        old.unlink()
+
+    def _expect(self, shard: int, verb: str):
+        try:
+            reply = self._connections[shard].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard worker {shard} died (pipe closed); state is lost -- "
+                "resume from the last checkpoint"
+            ) from None
+        if reply[0] == "error":
+            raise RuntimeError(
+                f"shard worker {shard} failed and shut down ({reply[1]}); "
+                "its replica state is no longer exact -- resume from the "
+                "last checkpoint"
+            )
+        if reply[0] != verb:
+            raise RuntimeError(
+                f"shard worker {shard}: expected {verb!r}, got {reply[0]!r}"
+            )
+        return reply
+
+    def _drain(self, pending: list[int]) -> list[Exception]:
+        """Consume one reply from every listed worker, collecting errors.
+
+        The barrier must drain *all* outstanding acks even when one
+        worker fails: leaving a queued ``("ok",)`` unread would let the
+        next scatter's ack check return stale before its worker copied
+        the new chunk out of shared memory -- silent divergence.
+        """
+        failures: list[Exception] = []
+        for shard in pending:
+            try:
+                self._expect(shard, "ok")
+            except RuntimeError as exc:
+                failures.append(exc)
+        return failures
+
+    def scatter(self, parts) -> None:
+        """Dispatch per-shard ``(items, deltas)`` parts; wait for all acks.
+
+        ``parts`` aligns with the shard list (``None`` = no updates for
+        that shard this chunk).  All workers run concurrently; the call
+        returns once every shard has absorbed its sub-chunk, preserving
+        the thread backend's barrier semantics.  On any worker failure
+        every outstanding ack is still drained before the first error is
+        raised, so surviving workers' pipes stay synchronized.
+        """
+        pending: list[int] = []
+        try:
+            for shard, part in enumerate(parts):
+                if part is None:
+                    continue
+                items, deltas = part
+                count = len(items)
+                self._ensure_capacity(shard, count)
+                block = np.ndarray(
+                    (2, self._capacities[shard]),
+                    dtype=np.int64,
+                    buffer=self._blocks[shard].buf,
+                )
+                block[0, :count] = items
+                block[1, :count] = deltas
+                self._connections[shard].send(("feed", count))
+                pending.append(shard)
+        except BaseException:
+            self._drain(pending)
+            raise
+        failures = self._drain(pending)
+        if failures:
+            raise failures[0]
+
+    def feed_updates(self, shard: int, pairs: list[tuple[int, int]]) -> None:
+        """Per-update path (exact Python ints; beyond-int64 coefficients)."""
+        self._connections[shard].send(("feed_obj", pairs))
+        self._expect(shard, "ok")
+
+    # -- fan-in ------------------------------------------------------------
+
+    def snapshots(self) -> list[bytes]:
+        """Wire-format snapshots of every replica (concurrent round-trip)."""
+        for connection in self._connections:
+            connection.send(("snapshot",))
+        return [self._expect(shard, "snap")[1] for shard in range(self.num_shards)]
+
+    def restore(self, shard: int, data: bytes) -> None:
+        """Replace one worker's replica state from snapshot bytes."""
+        self._connections[shard].send(("restore", data))
+        self._expect(shard, "ok")
+
+    def shard_loads(self) -> list[int]:
+        """Updates processed by each worker's replica."""
+        for connection in self._connections:
+            connection.send(("load",))
+        return [self._expect(shard, "load")[1] for shard in range(self.num_shards)]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop workers and release shared memory (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for shard, connection in enumerate(self._connections):
+            try:
+                connection.recv()
+            except (EOFError, OSError):
+                pass
+            connection.close()
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - hung-worker guard
+                process.terminate()
+                process.join(timeout=5)
+        for block in self._blocks:
+            if block is None:
+                continue
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ProcessShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

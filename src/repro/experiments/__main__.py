@@ -34,6 +34,15 @@ def main(argv: list[str] | None = None) -> int:
         help="drive shard-aware experiments (e02, e06, e11) through an "
         "N-shard ShardedStreamEngine and report merged-state equivalence",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint-aware experiments (e02, e06, e11) additionally run "
+        "a kill-and-resume certification against this checkpoint file: an "
+        "interrupted run resumed from PATH must reproduce the uninterrupted "
+        "run's final state bit-for-bit",
+    )
     args = parser.parse_args(argv)
     if args.shards < 1:
         parser.error(f"--shards must be >= 1, got {args.shards}")
@@ -46,11 +55,17 @@ def main(argv: list[str] | None = None) -> int:
     for experiment_id, run in targets:
         started = time.perf_counter()
         kwargs = {"quick": not args.full}
+        parameters = inspect.signature(run).parameters
         if args.shards > 1:
-            if "shards" in inspect.signature(run).parameters:
+            if "shards" in parameters:
                 kwargs["shards"] = args.shards
             elif args.experiment != "all":
                 print(f"[{experiment_id} has no sharded path; running unsharded]")
+        if args.checkpoint is not None:
+            if "checkpoint" in parameters:
+                kwargs["checkpoint"] = args.checkpoint
+            elif args.experiment != "all":
+                print(f"[{experiment_id} has no checkpoint path; skipping it]")
         result = run(**kwargs)
         elapsed = time.perf_counter() - started
         print(result.render())

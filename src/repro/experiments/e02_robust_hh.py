@@ -58,7 +58,9 @@ def batched_planted_stream(
 
 
 @register("e02")
-def run(quick: bool = True, shards: int = 1) -> ExperimentResult:
+def run(
+    quick: bool = True, shards: int = 1, checkpoint: str | None = None
+) -> ExperimentResult:
     """Run E02: Algorithm 2 vs Misra-Gries space (Theorem 1.1).
 
     With ``shards > 1`` the same planted streams additionally drive a
@@ -67,6 +69,11 @@ def run(quick: bool = True, shards: int = 1) -> ExperimentResult:
     shows the sharded estimates flag every planted heavy hitter.  (The
     robust Algorithm 2 itself draws per-update randomness, so it is driven
     unsharded -- sharding in this library is for mergeable sketches.)
+
+    With ``checkpoint`` set, a CountMin run over a planted stream is
+    killed halfway, checkpointed to that path, resumed in a fresh
+    instance, and certified bit-identical to the uninterrupted run
+    (``checkpoint_resume_ok`` row).
     """
     universe = 100_000
     lengths = [10**4, 10**5, 10**6] if quick else [10**4, 10**5, 10**6, 10**7]
@@ -125,6 +132,35 @@ def run(quick: bool = True, shards: int = 1) -> ExperimentResult:
                     )
                 row["cm_recall"] = len(found) / len(true_heavy)
             rows.append(row)
+    if checkpoint is not None:
+        from repro.core.stream import updates_to_arrays
+        from repro.distributed.checkpoint import verify_checkpoint_resume
+
+        items, deltas = updates_to_arrays(
+            list(
+                batched_planted_stream(
+                    universe, 50_000, {7: 0.25, 42: 0.15, 99: 0.1}, seed=7
+                )
+            )
+        )
+        resumed_ok = verify_checkpoint_resume(
+            lambda: CountMinSketch(universe, width=64, depth=4, seed=23),
+            items,
+            deltas,
+            checkpoint,
+        )
+        if not resumed_ok:
+            # Engineering invariant, like the sharded-match columns: a
+            # resumed run that diverges is a bug and must fail loudly.
+            raise RuntimeError("e02: checkpoint resume diverged from the "
+                               "uninterrupted CountMin run")
+        rows.append(
+            {
+                "eps": "ckpt",
+                "m": len(items),
+                "checkpoint_resume_ok": resumed_ok,
+            }
+        )
     # Crossover commentary: robust bits flat vs MG growing.
     return ExperimentResult(
         experiment_id="e02",

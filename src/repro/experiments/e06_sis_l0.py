@@ -21,7 +21,9 @@ __all__ = ["run"]
 
 
 @register("e06")
-def run(quick: bool = True, shards: int = 1) -> ExperimentResult:
+def run(
+    quick: bool = True, shards: int = 1, checkpoint: str | None = None
+) -> ExperimentResult:
     """Run E06: SIS-sketch L0 bounds and space (Theorem 1.5).
 
     With ``shards > 1`` every explicit-mode estimator is additionally
@@ -29,6 +31,11 @@ def run(quick: bool = True, shards: int = 1) -> ExperimentResult:
     column certifies that the merged shard state answers identically
     (Theorem 1.5's guarantee is preserved verbatim under sharding because
     the chunk sketches are linear).
+
+    With ``checkpoint`` set, a SIS-L0 run over a churn stream is killed
+    halfway, checkpointed to that path (the snapshot header carries the
+    SIS construction fingerprint -- q, rows/cols, mode, seed), resumed
+    fresh, and certified bit-identical (``checkpoint_resume_ok`` row).
     """
     rows = []
     universes = [256, 1024] if quick else [256, 1024, 4096, 16384]
@@ -99,6 +106,34 @@ def run(quick: bool = True, shards: int = 1) -> ExperimentResult:
             "oracle_agrees": "-",
         }
     )
+    if checkpoint is not None:
+        from repro.core.stream import updates_to_arrays
+        from repro.distributed.checkpoint import verify_checkpoint_resume
+
+        churn = insert_delete_stream(
+            n, survivors=[5, 700, 900], churn_items=300, churn_rounds=5, seed=9
+        )
+        items, deltas = updates_to_arrays(list(churn))
+        resumed_ok = verify_checkpoint_resume(
+            lambda: SisL0Estimator(n, eps=0.5, c=0.25, seed=11),
+            items,
+            deltas,
+            checkpoint,
+        )
+        if not resumed_ok:
+            # Same loud-failure policy as sharded_match: this certifies an
+            # engineering invariant, not a statistical claim.
+            raise RuntimeError("e06: checkpoint resume diverged from the "
+                               "uninterrupted SIS-L0 run")
+        rows.append(
+            {
+                "n": n,
+                "eps": "ckpt",
+                "true_l0": "-",
+                "z": "-",
+                "checkpoint_resume_ok": resumed_ok,
+            }
+        )
     return ExperimentResult(
         experiment_id="e06",
         title="SIS-sketch L0 on turnstile streams (Theorem 1.5)",

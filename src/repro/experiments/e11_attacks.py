@@ -32,7 +32,9 @@ __all__ = ["run"]
 
 
 @register("e11")
-def run(quick: bool = True, shards: int = 1) -> ExperimentResult:
+def run(
+    quick: bool = True, shards: int = 1, checkpoint: str | None = None
+) -> ExperimentResult:
     """Run E11: white-box attacks vs the Omega(n) dichotomy (Thm 1.9).
 
     With ``shards > 1`` the AMS kernel attack is replayed against a
@@ -41,6 +43,13 @@ def run(quick: bool = True, shards: int = 1) -> ExperimentResult:
     would expose), streams the kernel, and wins identically -- sharding
     relocates state, it does not hide it.  The row also reports the
     array-native game transcript recorded by the batched loop.
+
+    With ``checkpoint`` set, an AMS deployment is killed mid-stream,
+    resumed from the checkpoint file, and certified bit-identical -- and
+    because snapshots carry the full mutable state, the kernel attack
+    works against a restored sketch exactly as against the original
+    (recovery does not re-randomize; the white-box model would not let
+    it hide anyway).
     """
     trials = 5 if quick else 25
     universe = 64
@@ -156,6 +165,43 @@ def run(quick: bool = True, shards: int = 1) -> ExperimentResult:
             "space_vs_n": "linear (Omega(n) per Thm 1.9)",
         }
     )
+    if checkpoint is not None:
+        from repro.distributed.checkpoint import verify_checkpoint_resume
+        from repro.workloads.frequency import uniform_arrays
+
+        items, deltas = uniform_arrays(universe, 20_000, seed=13)
+        resumed_ok = verify_checkpoint_resume(
+            lambda: AMSSketch(universe_size=universe, rows=6, seed=3),
+            items,
+            deltas,
+            checkpoint,
+        )
+        if not resumed_ok:
+            raise RuntimeError("e11: checkpoint resume diverged from the "
+                               "uninterrupted AMS run")
+        # The attack-after-recovery demonstration: restore the mid-stream
+        # state from the file and stream a kernel vector at it.  The
+        # sketch stays *blind* -- its answer does not move while the true
+        # F2 jumps by ||v||^2 -- because recovery restores the same public
+        # sign seeds the attacker reads from the snapshot.
+        from repro.distributed.checkpoint import resume_from
+
+        recovered = AMSSketch(universe_size=universe, rows=6, seed=3)
+        resume_from(checkpoint, recovered)
+        answer_before = recovered.query()
+        attack = ams_attack_updates(recovered)
+        truth = sum(u.delta * u.delta for u in attack)
+        StreamEngine().drive(recovered, attack)
+        blind = recovered.query() == answer_before and truth > 0
+        rows.append(
+            {
+                "target": "AMS (resumed from checkpoint)",
+                "attack": "kernel stream post-recovery",
+                "success_rate": 1.0 if blind else 0.0,
+                "space_vs_n": "sublinear",
+                "checkpoint_resume_ok": resumed_ok,
+            }
+        )
     return ExperimentResult(
         experiment_id="e11",
         title="White-box kernel/hash attacks on oblivious sketches (Thm 1.9)",

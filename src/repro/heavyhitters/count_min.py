@@ -32,6 +32,7 @@ from repro.core.stream import (
     INT64_SAFE_MASS,
     Update,
     add_tables_with_promotion,
+    linear_hash_rows,
 )
 from repro.crypto.modmath import next_prime
 
@@ -108,7 +109,8 @@ class CountMinSketch(MergeableSketch, StreamAlgorithm):
             scatter = deltas
             self.total += int(deltas.sum(dtype=np.int64))
         for row, (a, b) in enumerate(self.row_params):
-            cells = ((a * items + b) % self.prime) % self.width
+            # Division-free row hash; bit-identical to % prime % width.
+            cells = linear_hash_rows(items, a, b, self.prime, self.width)
             np.add.at(self.table[row], cells, scatter)
 
     # -- merging (sharded engines) ----------------------------------------
@@ -130,6 +132,20 @@ class CountMinSketch(MergeableSketch, StreamAlgorithm):
             self.table, other.table, self._absorbed_mass
         )
         self.total += other.total
+
+    def _snapshot_state(self) -> dict:
+        return {
+            "table": self.table,
+            "total": self.total,
+            "absorbed_mass": self._absorbed_mass,
+        }
+
+    def _restore_state(self, state) -> None:
+        # The codec preserves dtype, so a promoted (object) table restores
+        # promoted -- exact arithmetic survives the wire.
+        self.table = state["table"]
+        self.total = state["total"]
+        self._absorbed_mass = state["absorbed_mass"]
 
     def estimate(self, item: int) -> int:
         """``min_r table[r][h_r(item)]`` -- an overestimate (insertions)."""

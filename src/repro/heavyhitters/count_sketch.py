@@ -29,6 +29,8 @@ from repro.core.stream import (
     INT64_SAFE_MASS,
     Update,
     add_tables_with_promotion,
+    barrett_mod,
+    linear_hash_rows,
 )
 from repro.crypto.modmath import next_prime
 
@@ -101,9 +103,11 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
         exact = self.table.dtype == object
         for row in range(self.depth):
             a, b = self.bucket_params[row]
-            buckets = ((a * items + b) % self.prime) % self.width
+            # Division-free hashing (bit-identical to % prime % width /
+            # % prime % 2); the parity reduction is a bitwise and.
+            buckets = linear_hash_rows(items, a, b, self.prime, self.width)
             a, b = self.sign_params[row]
-            signs = 1 - 2 * (((a * items + b) % self.prime) % 2)
+            signs = 1 - 2 * (barrett_mod(a * items + b, self.prime) & 1)
             signed = (
                 signs.astype(object) * deltas.astype(object)
                 if exact
@@ -130,6 +134,13 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
         self.table = add_tables_with_promotion(
             self.table, other.table, self._absorbed_mass
         )
+
+    def _snapshot_state(self) -> dict:
+        return {"table": self.table, "absorbed_mass": self._absorbed_mass}
+
+    def _restore_state(self, state) -> None:
+        self.table = state["table"]
+        self._absorbed_mass = state["absorbed_mass"]
 
     def estimate(self, item: int) -> float:
         """Median-of-rows point estimate of one item's frequency."""

@@ -111,6 +111,13 @@ class AMSSketch(MergeableSketch, StreamAlgorithm):
             for mine, theirs in zip(self.accumulators, other.accumulators)
         ]
 
+    def _snapshot_state(self) -> dict:
+        # Exact Python ints; the sign cache is derived data and stays local.
+        return {"accumulators": list(self.accumulators)}
+
+    def _restore_state(self, state) -> None:
+        self.accumulators = list(state["accumulators"])
+
     def query(self) -> float:
         """Mean of squared accumulators -- unbiased for F2 (obliviously)."""
         return sum(a * a for a in self.accumulators) / self.rows

@@ -44,6 +44,20 @@ class ExactFpMoment(MergeableSketch, DeterministicAlgorithm):
         """Exact frequency vectors add coordinate-wise."""
         self.vector.merge_from(other.vector)
 
+    def _snapshot_state(self) -> dict:
+        return {
+            "counts": dict(self.vector.items()),
+            "length": len(self.vector),
+        }
+
+    def _restore_state(self, state) -> None:
+        vector = FrequencyVector(
+            self.vector.universe_size, allow_negative=self.vector.allow_negative
+        )
+        vector._counts = {int(k): v for k, v in state["counts"].items()}
+        vector._length = state["length"]
+        self.vector = vector
+
     def query(self) -> float:
         return self.vector.fp_moment(self.p)
 

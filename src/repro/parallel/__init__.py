@@ -10,11 +10,14 @@ Three pieces, designed to compose:
   white-box state views from the bit-exact merged state) and
   :class:`ShardedStreamEngine` (the driving surface);
 * :mod:`repro.parallel.ingest` -- the asyncio front-end that overlaps
-  chunk production with scatter.
+  chunk production with scatter (optionally checkpointing to disk via
+  ``checkpoint_path=``; see :mod:`repro.distributed.checkpoint`).
 
 The underlying merge protocol is
 :class:`repro.core.algorithm.MergeableSketch`, implemented by CountMin,
-CountSketch, AMS, exact F_p/L0, KMV, and SIS-L0.
+CountSketch, AMS, exact F_p/L0, KMV, and SIS-L0.  The sharded engine's
+``backend="process"`` mode and the wire-format snapshot fan-in behind it
+live in :mod:`repro.distributed`.
 """
 
 from repro.parallel.ingest import (

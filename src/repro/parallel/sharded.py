@@ -28,12 +28,20 @@ attacks work against sharded deployments too (experiment E11's
 
 :class:`ShardedStreamEngine` packages the wrapper with a
 :class:`~repro.core.engine.StreamEngine` whose default chunk grows with the
-shard count (each shard then scatters near-default-sized sub-chunks).  With
-``parallel=True`` the per-shard scatters run on a thread pool; the numpy
-kernels release the GIL, so multi-core hosts overlap shard work (a
-single-CPU host degrades gracefully to the serial path's throughput).
-Process-level shards and multi-host merge are deliberate follow-ons -- the
-merge protocol here is the part they will reuse.
+shard count (each shard then scatters near-default-sized sub-chunks).
+Three scatter backends share the routing/merge machinery:
+
+* ``backend="serial"`` -- one process, one thread (the default);
+* ``backend="thread"`` -- per-shard scatters on a thread pool; the numpy
+  kernels release the GIL, so multi-core hosts overlap the array-bound
+  work (``parallel=True`` remains an alias);
+* ``backend="process"`` -- per-shard worker *processes*
+  (:class:`repro.distributed.workers.ProcessShardPool`): chunk data
+  travels through shared memory, fan-in travels as wire-format snapshots
+  (:mod:`repro.distributed.codec`), and the Python-bound sketches (AMS
+  sign evaluation, exact dicts, KMV heaps) parallelize past the GIL.
+  The merged state stays bit-identical to the single-engine state -- the
+  fan-in path *is* the multi-host merge protocol, run over localhost.
 """
 
 from __future__ import annotations
@@ -53,6 +61,8 @@ from repro.parallel.partition import UniversePartitioner
 
 __all__ = ["ShardedAlgorithm", "ShardedStreamEngine"]
 
+_BACKENDS = ("serial", "thread", "process")
+
 
 class ShardedAlgorithm(StreamAlgorithm):
     """N mergeable replicas behind the single-algorithm interface.
@@ -69,9 +79,10 @@ class ShardedAlgorithm(StreamAlgorithm):
         Item -> shard map; defaults to a seed-0
         :class:`UniversePartitioner`.
     parallel:
-        When ``True``, batch scatters run on a ``num_shards``-wide thread
-        pool (worthwhile on multi-core hosts; the sketches' numpy kernels
-        release the GIL).
+        Back-compat alias: ``parallel=True`` selects the thread backend.
+    backend:
+        ``"serial"``, ``"thread"``, or ``"process"`` (see the module
+        docstring).  Overrides ``parallel`` when given.
     """
 
     def __init__(
@@ -80,9 +91,16 @@ class ShardedAlgorithm(StreamAlgorithm):
         num_shards: int,
         partitioner: Optional[UniversePartitioner] = None,
         parallel: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if backend is None:
+            backend = "thread" if parallel else "serial"
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+            )
         super().__init__(seed=0)
         self.shards: list[StreamAlgorithm] = [factory() for _ in range(num_shards)]
         first = self.shards[0]
@@ -96,23 +114,52 @@ class ShardedAlgorithm(StreamAlgorithm):
             # deterministic -- e.g. it forgot to pin the seed.
             first._check_mergeable(shard)
         self.num_shards = num_shards
+        self.backend = backend
         self.partitioner = partitioner or UniversePartitioner(num_shards)
         self.name = f"sharded-{first.name}-x{num_shards}"
         self._executor = (
             ThreadPoolExecutor(
                 max_workers=num_shards, thread_name_prefix="shard"
             )
-            if parallel and num_shards > 1
+            if backend == "thread" and num_shards > 1
             else None
         )
+        if backend == "process":
+            from repro.distributed.workers import ProcessShardPool
+
+            # Workers inherit the replicas at fork; the parent's copies
+            # stay empty and serve as fan-in templates for merged().
+            self._pool = ProcessShardPool(self.shards)
+        else:
+            self._pool = None
         self._merged_cache: Optional[StreamAlgorithm] = None
+
+    def _live_pool(self):
+        """The worker pool, or ``None`` for in-process backends.
+
+        A closed process-backend wrapper raises instead of silently
+        falling through to the parent's never-fed template replicas --
+        the worker state is gone, so any further routing or query would
+        return wrong answers without an error.
+        """
+        if self.backend == "process" and self._pool is None:
+            raise RuntimeError(
+                "process-backend ShardedAlgorithm is closed; its worker "
+                "state is gone (resume from a checkpoint on a fresh fleet)"
+            )
+        return self._pool
 
     # -- routing -----------------------------------------------------------
 
     def process(self, update: Update) -> None:
         """Route one update to the shard owning its item."""
+        pool = self._live_pool()
         self._merged_cache = None
-        self.shards[self.partitioner.assign(update.item)].feed(update)
+        shard = self.partitioner.assign(update.item)
+        if pool is not None:
+            pool.feed_updates(shard, [(update.item, update.delta)])
+        else:
+            self.shards[shard].feed(update)
 
     def process_batch(self, items, deltas) -> None:
         """Partition a chunk with one vectorized hash; scatter per shard.
@@ -122,13 +169,16 @@ class ShardedAlgorithm(StreamAlgorithm):
         commutative/mergeable update rules that makes the merged final
         state independent of the interleaving.
         """
+        pool = self._live_pool()
         self._merged_cache = None
         items = np.asarray(items, dtype=np.int64)
         deltas = np.asarray(deltas, dtype=np.int64)
         if items.size == 0:
             return
         parts = self.partitioner.split(items, deltas)
-        if self._executor is not None:
+        if pool is not None:
+            pool.scatter(parts)
+        elif self._executor is not None:
             futures = [
                 self._executor.submit(shard.feed_batch, part[0], part[1])
                 for shard, part in zip(self.shards, parts)
@@ -147,16 +197,50 @@ class ShardedAlgorithm(StreamAlgorithm):
         """A full sketch equal to one instance fed the whole stream.
 
         Clones shard 0 (whose construction randomness every replica
-        shares) and absorbs the remaining shards.  The result is cached
-        until the next update; game loops that query every round pay one
-        merge per round, exactly the coarseness the white-box model
-        demands.
+        shares) and absorbs the remaining shards.  The process backend
+        fans worker state in as wire-format snapshots -- ``restore`` for
+        the first, fingerprint-verified ``merge_snapshot`` for the rest
+        -- which is bit-identical to the in-process merge.  The result is
+        cached until the next update; game loops that query every round
+        pay one merge per round, exactly the coarseness the white-box
+        model demands.
         """
+        pool = self._live_pool()
         if self._merged_cache is None:
             clone = copy.deepcopy(self.shards[0])
-            clone.merge_batch(self.shards[1:])
+            if pool is not None:
+                snapshots = pool.snapshots()
+                clone.restore(snapshots[0])
+                if len(snapshots) > 1:
+                    # One construction twin, restored per snapshot: cheaper
+                    # than merge_snapshot's per-call deepcopy of the
+                    # accumulated clone state, and byte-identical (restore
+                    # replaces the twin's state wholesale each time).
+                    twin = copy.deepcopy(self.shards[0])
+                    for snapshot in snapshots[1:]:
+                        twin.restore(snapshot)
+                        clone.merge(twin)
+            else:
+                clone.merge_batch(self.shards[1:])
             self._merged_cache = clone
         return self._merged_cache
+
+    def load_snapshot(self, data: bytes) -> None:
+        """Load a wire-format snapshot into the fleet (checkpoint resume).
+
+        The snapshot -- typically a checkpointed *merged* state -- lands
+        in shard 0 whole; because merging is exact, a fleet holding the
+        merged state in one shard and nothing in the others continues
+        exactly like the uninterrupted deployment.  Intended for freshly
+        constructed fleets; shard 0's previous state is replaced.
+        """
+        pool = self._live_pool()
+        self._merged_cache = None
+        if pool is not None:
+            pool.restore(0, data)
+        else:
+            self.shards[0].restore(data)
+        self.updates_processed = sum(self.shard_loads())
 
     def query(self):
         return self.merged().query()
@@ -176,10 +260,19 @@ class ShardedAlgorithm(StreamAlgorithm):
 
     def physical_space_bits(self) -> int:
         """What the deployment actually holds: every replica's state."""
-        return sum(shard.space_bits() for shard in self.shards)
+        pool = self._live_pool()
+        if pool is None:
+            return sum(shard.space_bits() for shard in self.shards)
+        twin = copy.deepcopy(self.shards[0])
+        return sum(
+            twin.restore(snapshot).space_bits() for snapshot in pool.snapshots()
+        )
 
     def shard_loads(self) -> list[int]:
         """Updates routed to each shard so far (load-balance diagnostics)."""
+        pool = self._live_pool()
+        if pool is not None:
+            return pool.shard_loads()
         return [shard.updates_processed for shard in self.shards]
 
     def close(self) -> None:
@@ -187,6 +280,9 @@ class ShardedAlgorithm(StreamAlgorithm):
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def __getattr__(self, attribute: str):
         """Estimator conveniences (``estimate``, heavy-hitter helpers,
@@ -218,7 +314,10 @@ class ShardedStreamEngine:
         ``DEFAULT_CHUNK_SIZE * num_shards`` so per-shard sub-chunks stay
         near the single-engine sweet spot.
     parallel:
-        Scatter sub-chunks on a thread pool (see :class:`ShardedAlgorithm`).
+        Back-compat alias for ``backend="thread"``.
+    backend:
+        ``"serial"`` / ``"thread"`` / ``"process"`` scatter backend (see
+        :class:`ShardedAlgorithm`).
     """
 
     def __init__(
@@ -228,9 +327,14 @@ class ShardedStreamEngine:
         chunk_size: Optional[int] = None,
         partitioner: Optional[UniversePartitioner] = None,
         parallel: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         self.algorithm = ShardedAlgorithm(
-            factory, num_shards, partitioner=partitioner, parallel=parallel
+            factory,
+            num_shards,
+            partitioner=partitioner,
+            parallel=parallel,
+            backend=backend,
         )
         self.engine = StreamEngine(
             chunk_size=chunk_size
@@ -241,6 +345,14 @@ class ShardedStreamEngine:
     @property
     def num_shards(self) -> int:
         return self.algorithm.num_shards
+
+    @property
+    def backend(self) -> str:
+        return self.algorithm.backend
+
+    def load_snapshot(self, data: bytes) -> None:
+        """Load a wire-format snapshot (see :meth:`ShardedAlgorithm.load_snapshot`)."""
+        self.algorithm.load_snapshot(data)
 
     def drive(self, updates, on_chunk=None) -> ShardedAlgorithm:
         """Feed an update iterable through the partition/scatter pipeline."""

@@ -1,0 +1,319 @@
+"""Wire-format snapshot round trips: the serialized merge contract.
+
+For every mergeable sketch family, ``restore(snapshot(s))`` must
+reproduce the state bit for bit (white-box fields, randomness transcript,
+``space_bits``, query, stream position) -- across dtype boundaries (SIS
+int64 dense vs object-dtype exact, CountMin int64 vs promoted object
+tables) -- and ``merge_snapshot`` fan-in must equal in-process ``merge``.
+Malformed bytes must fail loudly: fingerprint mismatches (wrong seed,
+wrong parameters, wrong class), truncation, and corruption each raise
+typed errors before any state moves.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.stream import Update
+from repro.distinct.exact_l0 import ExactL0
+from repro.distinct.kmv import KMVEstimator
+from repro.distinct.sis_l0 import SisL0Estimator
+from repro.distributed.codec import (
+    FingerprintMismatch,
+    SnapshotError,
+    construction_fingerprint,
+    decode_value,
+    encode_value,
+)
+from repro.heavyhitters.count_min import CountMinSketch
+from repro.heavyhitters.count_sketch import CountSketch
+from repro.moments.ams import AMSSketch
+from repro.moments.frequency import ExactFpMoment
+
+#: name -> (factory, universe, insertions_only); mirrors the sharded
+#: equivalence table so the snapshot tests cover the same seven families
+#: (plus both SIS storage modes).
+FAMILIES = {
+    "count-min": (
+        lambda: CountMinSketch(500, width=32, depth=4, seed=9),
+        500,
+        False,
+    ),
+    "count-sketch": (
+        lambda: CountSketch(400, width=16, depth=5, seed=11),
+        400,
+        False,
+    ),
+    "ams": (lambda: AMSSketch(128, rows=8, seed=13), 128, False),
+    "exact-fp": (lambda: ExactFpMoment(300, p=2), 300, False),
+    "exact-l0": (lambda: ExactL0(300), 300, False),
+    "kmv": (lambda: KMVEstimator(5000, k=32, seed=29), 5000, True),
+    "sis-l0-int64": (
+        lambda: SisL0Estimator(512, eps=0.5, c=0.25, seed=37),
+        512,
+        False,
+    ),
+    "sis-l0-exact": (
+        lambda: SisL0Estimator(512, eps=0.5, c=0.25, seed=37, force_exact=True),
+        512,
+        False,
+    ),
+}
+
+
+def turnstile_updates(universe, length, seed, insertions_only=False):
+    rng = random.Random(seed)
+    updates = []
+    for _ in range(length):
+        delta = rng.randint(1, 9)
+        if not insertions_only and rng.random() < 0.4:
+            delta = -delta
+        updates.append(Update(rng.randrange(universe), delta))
+    return updates
+
+
+def assert_state_identical(expected, actual):
+    expected_view = expected.state_view()
+    actual_view = actual.state_view()
+    assert dict(expected_view.fields) == dict(actual_view.fields)
+    assert expected_view.randomness == actual_view.randomness
+    assert expected.updates_processed == actual.updates_processed
+    assert expected.space_bits() == actual.space_bits()
+    assert expected.query() == actual.query()
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**200,
+            -(2**200),
+            3.25,
+            "snapshot",
+            b"\x00\xff",
+            (1, (2, "x"), None),
+            [1, -2, [3.5]],
+            {"a": 1, 7: (True, b"q"), "nested": {"k": [1, 2]}},
+        ],
+    )
+    def test_scalar_and_container_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_int64_ndarray_round_trip_preserves_shape_and_dtype(self):
+        array = np.arange(24, dtype=np.int64).reshape(4, 6) - 7
+        out = decode_value(encode_value(array))
+        assert out.dtype == np.int64
+        assert out.shape == (4, 6)
+        assert np.array_equal(out, array)
+
+    def test_object_ndarray_round_trip_keeps_exact_ints(self):
+        array = np.array([[2**100, -5], [0, 2**64]], dtype=object)
+        out = decode_value(encode_value(array))
+        assert out.dtype == object
+        assert out.shape == (2, 2)
+        assert out.tolist() == array.tolist()
+
+    def test_dict_key_types_survive(self):
+        value = {1: "int-key", "1": "str-key"}
+        assert decode_value(encode_value(value)) == value
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(SnapshotError):
+            decode_value(encode_value(42) + b"\x00")
+
+    def test_truncated_value_rejected(self):
+        data = encode_value([1, 2, 3, "abcdef"])
+        with pytest.raises(SnapshotError):
+            decode_value(data[:-3])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SnapshotError):
+            encode_value({1, 2, 3})
+
+    def test_float32_array_rejected(self):
+        with pytest.raises(SnapshotError):
+            encode_value(np.zeros(3, dtype=np.float32))
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_restore_is_bit_exact(self, name):
+        make, universe, insertions_only = FAMILIES[name]
+        source = make()
+        for update in turnstile_updates(universe, 1500, 17, insertions_only):
+            source.feed(update)
+        target = make().restore(source.snapshot())
+        assert_state_identical(source, target)
+
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_merge_snapshot_equals_in_process_merge(self, name):
+        make, universe, insertions_only = FAMILIES[name]
+        updates = turnstile_updates(universe, 1200, 23, insertions_only)
+        thirds = [updates[0:400], updates[400:800], updates[800:1200]]
+        replicas = []
+        for part in thirds:
+            replica = make()
+            for update in part:
+                replica.feed(update)
+            replicas.append(replica)
+        single = make()
+        for update in updates:
+            single.feed(update)
+        merged = make()
+        merged.restore(replicas[0].snapshot())
+        for replica in replicas[1:]:
+            merged.merge_snapshot(replica.snapshot())
+        assert_state_identical(single, merged)
+
+    def test_empty_sketch_round_trips(self):
+        make, _, _ = FAMILIES["count-min"]
+        source = make()
+        target = make().restore(source.snapshot())
+        assert_state_identical(source, target)
+
+    def test_snapshot_is_deterministic(self):
+        make, universe, _ = FAMILIES["sis-l0-int64"]
+        updates = turnstile_updates(universe, 500, 31)
+        first, second = make(), make()
+        for update in updates:
+            first.feed(update)
+            second.feed(update)
+        assert first.snapshot() == second.snapshot()
+
+    def test_equal_states_from_different_histories_give_equal_bytes(self):
+        """Canonical dict ordering: insertion order must not leak into the
+        bytes -- replicas reaching the same counts via different update
+        orders snapshot identically (byte-level dedup/digest comparisons
+        rely on it)."""
+        a = ExactL0(300)
+        b = ExactL0(300)
+        for update in [Update(1, 2), Update(2, 3), Update(5, 1)]:
+            a.feed(update)
+        # Same final counts, different insertion/eviction history.
+        for update in [
+            Update(5, 1),
+            Update(2, 3),
+            Update(1, 7),
+            Update(1, -7),
+            Update(1, 2),
+        ]:
+            b.feed(update)
+        b.updates_processed = a.updates_processed  # align the position field
+        assert a.counts == b.counts
+        assert a.snapshot() == b.snapshot()
+        assert encode_value({"x": 1, "y": 2}) == encode_value({"y": 2, "x": 1})
+
+    def test_restore_replaces_previous_state(self):
+        make, universe, _ = FAMILIES["exact-l0"]
+        source = make()
+        for update in turnstile_updates(universe, 300, 5):
+            source.feed(update)
+        target = make()
+        for update in turnstile_updates(universe, 300, 6):
+            target.feed(update)
+        target.restore(source.snapshot())
+        assert_state_identical(source, target)
+
+
+class TestDtypeBoundaries:
+    def test_count_min_promoted_object_table_round_trips(self):
+        """A table past the int64 safe mass restores as exact object cells."""
+        big = 2**62 - 1
+        source = CountMinSketch(100, width=8, depth=2, seed=1)
+        source.feed_batch([5, 5], [big, big])
+        assert source.table.dtype == object
+        target = CountMinSketch(100, width=8, depth=2, seed=1)
+        target.restore(source.snapshot())
+        assert target.table.dtype == object
+        assert target.estimate(5) == 2 * big
+        assert_state_identical(source, target)
+
+    def test_sis_int64_and_exact_modes_disagree_on_fingerprint(self):
+        """The storage mode is part of the construction fingerprint: an
+        int64-dense snapshot cannot restore into an exact-dict replica."""
+        dense = SisL0Estimator(512, eps=0.5, c=0.25, seed=37)
+        exact = SisL0Estimator(512, eps=0.5, c=0.25, seed=37, force_exact=True)
+        with pytest.raises(FingerprintMismatch):
+            exact.restore(dense.snapshot())
+
+    def test_sis_modes_have_identical_observable_state_after_restore(self):
+        updates = turnstile_updates(512, 800, 41)
+        dense_src = SisL0Estimator(512, eps=0.5, c=0.25, seed=37)
+        exact_src = SisL0Estimator(512, eps=0.5, c=0.25, seed=37, force_exact=True)
+        for update in updates:
+            dense_src.feed(update)
+            exact_src.feed(update)
+        dense_tgt = SisL0Estimator(512, eps=0.5, c=0.25, seed=37)
+        dense_tgt.restore(dense_src.snapshot())
+        exact_tgt = SisL0Estimator(512, eps=0.5, c=0.25, seed=37, force_exact=True)
+        exact_tgt.restore(exact_src.snapshot())
+        # The two storage modes expose the same observable fields.
+        assert dict(dense_tgt.state_view().fields) == dict(
+            exact_tgt.state_view().fields
+        )
+        assert dense_tgt.query() == exact_tgt.query()
+
+
+class TestRejection:
+    def test_wrong_seed_rejected(self):
+        source = CountMinSketch(500, width=32, depth=4, seed=9)
+        stranger = CountMinSketch(500, width=32, depth=4, seed=10)
+        with pytest.raises(FingerprintMismatch):
+            stranger.restore(source.snapshot())
+        with pytest.raises(FingerprintMismatch):
+            stranger.merge_snapshot(source.snapshot())
+
+    def test_wrong_parameters_rejected(self):
+        source = CountMinSketch(500, width=32, depth=4, seed=9)
+        narrower = CountMinSketch(500, width=16, depth=4, seed=9)
+        with pytest.raises(FingerprintMismatch):
+            narrower.restore(source.snapshot())
+
+    def test_wrong_class_rejected(self):
+        source = CountMinSketch(500, width=32, depth=4, seed=9)
+        other = CountSketch(500, width=32, depth=4, seed=9)
+        with pytest.raises(FingerprintMismatch):
+            other.restore(source.snapshot())
+
+    def test_sis_construction_parameters_pin_the_fingerprint(self):
+        """The SIS instance (q, dimensions) is part of the wire identity --
+        hardness assumptions survive transport."""
+        a = SisL0Estimator(512, eps=0.5, c=0.25, seed=37)
+        b = SisL0Estimator(512, eps=1.0 / 3.0, c=0.25, seed=37)
+        assert construction_fingerprint(a) != construction_fingerprint(b)
+        with pytest.raises(FingerprintMismatch):
+            b.restore(a.snapshot())
+
+    def test_truncated_snapshot_rejected(self):
+        source = CountMinSketch(500, width=32, depth=4, seed=9)
+        data = source.snapshot()
+        for cut in (0, 3, 10, len(data) // 2, len(data) - 1):
+            with pytest.raises(SnapshotError):
+                CountMinSketch(500, width=32, depth=4, seed=9).restore(data[:cut])
+
+    def test_corrupted_payload_rejected(self):
+        source = CountMinSketch(500, width=32, depth=4, seed=9)
+        source.feed(Update(3, 7))
+        data = bytearray(source.snapshot())
+        data[-1] ^= 0xFF
+        with pytest.raises(SnapshotError):
+            CountMinSketch(500, width=32, depth=4, seed=9).restore(bytes(data))
+
+    def test_not_a_snapshot_rejected(self):
+        with pytest.raises(SnapshotError):
+            CountMinSketch(100, width=8, depth=2, seed=1).restore(b"hello world")
+
+    def test_failed_restore_leaves_target_untouched(self):
+        target = CountMinSketch(500, width=32, depth=4, seed=9)
+        target.feed(Update(1, 5))
+        before = dict(target.state_view().fields)
+        source = CountMinSketch(500, width=32, depth=4, seed=10)
+        with pytest.raises(FingerprintMismatch):
+            target.restore(source.snapshot())
+        assert dict(target.state_view().fields) == before

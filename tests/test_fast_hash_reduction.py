@@ -1,0 +1,121 @@
+"""Bit-equivalence of the division-free hash reduction vs the old path.
+
+The batched CountMin/CountSketch hash used to be ``(a*x + b) % p % w``
+with two remainder ufuncs -- the division-bound hot loop of the single
+engine.  :func:`repro.core.stream.barrett_mod` replaces each remainder
+with the multiply+shift quotient lowering (``r = x - (x // p) * p``);
+these tests pin the new path to the old formula bit for bit, over random
+parameters, adversarial edge values (exact multiples, ``p - 1``, tiny
+primes and widths), and through the sketches' own batch-vs-loop contract.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.stream import INT64_HASH_BOUND, Update, barrett_mod, linear_hash_rows
+from repro.crypto.modmath import next_prime
+from repro.heavyhitters.count_min import CountMinSketch
+from repro.heavyhitters.count_sketch import CountSketch
+
+PRIME_SEEDS = [3, 67, 257, 10_007, 1_000_003, 2**31 - 1, 2_999_999_999]
+WIDTHS = [1, 2, 3, 5, 7, 16, 63, 64, 1023, 8191]
+
+
+class TestBarrettMod:
+    @pytest.mark.parametrize("prime_seed", PRIME_SEEDS)
+    def test_matches_remainder_on_random_values(self, prime_seed):
+        modulus = next_prime(prime_seed)
+        rng = np.random.default_rng(prime_seed)
+        high = min(modulus * modulus, 2**62)
+        values = rng.integers(0, high, 4000, dtype=np.int64)
+        assert np.array_equal(barrett_mod(values, modulus), values % modulus)
+
+    def test_exact_multiples_and_boundaries(self):
+        for modulus in (2, 3, 67, 1_000_003):
+            values = np.array(
+                [0, 1, modulus - 1, modulus, modulus + 1, 17 * modulus,
+                 17 * modulus - 1, 17 * modulus + 1],
+                dtype=np.int64,
+            )
+            assert np.array_equal(barrett_mod(values, modulus), values % modulus)
+
+    def test_negative_values_keep_floor_semantics(self):
+        values = np.array([-1, -7, -100, -(2**40)], dtype=np.int64)
+        assert np.array_equal(barrett_mod(values, 7), values % 7)
+
+    def test_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            barrett_mod(np.array([1], dtype=np.int64), 0)
+
+    def test_does_not_mutate_input(self):
+        values = np.arange(100, dtype=np.int64)
+        barrett_mod(values, 7)
+        assert np.array_equal(values, np.arange(100, dtype=np.int64))
+
+
+class TestLinearHashRows:
+    def test_matches_old_formula_across_parameter_sweep(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            prime = next_prime(rng.choice(PRIME_SEEDS))
+            if prime >= INT64_HASH_BOUND:
+                continue
+            width = rng.choice(WIDTHS)
+            a = rng.randint(1, prime - 1)
+            b = rng.randint(0, prime - 1)
+            items = np.array(
+                [0, 1, prime - 1]
+                + [rng.randrange(min(prime, 2**31)) for _ in range(300)],
+                dtype=np.int64,
+            )
+            old = ((a * items + b) % prime) % width
+            assert np.array_equal(
+                linear_hash_rows(items, a, b, prime, width), old
+            ), (prime, width, a, b)
+
+    def test_near_int64_hash_bound(self):
+        """The largest prime the vectorized gate admits stays exact."""
+        prime = next_prime(INT64_HASH_BOUND - 10**6)
+        assert prime < INT64_HASH_BOUND
+        a, b = prime - 1, prime - 1
+        items = np.array([0, 1, prime // 2, prime - 1], dtype=np.int64)
+        old = ((a * items + b) % prime) % 64
+        assert np.array_equal(linear_hash_rows(items, a, b, prime, 64), old)
+
+
+class TestSketchPathsStillBitEquivalent:
+    """The batching contract, re-pinned through the new hash kernel."""
+
+    def _stream(self, universe, length, seed):
+        rng = random.Random(seed)
+        return [
+            Update(rng.randrange(universe), rng.choice([-3, -1, 1, 2, 5]))
+            for _ in range(length)
+        ]
+
+    @pytest.mark.parametrize("width", [4, 7, 64])
+    def test_count_min_batch_equals_loop(self, width):
+        updates = self._stream(2000, 3000, seed=width)
+        loop = CountMinSketch(2000, width=width, depth=4, seed=3)
+        for update in updates:
+            loop.feed(update)
+        batched = CountMinSketch(2000, width=width, depth=4, seed=3)
+        items = np.array([u.item for u in updates], dtype=np.int64)
+        deltas = np.array([u.delta for u in updates], dtype=np.int64)
+        batched.feed_batch(items, deltas)
+        assert np.array_equal(loop.table, batched.table)
+        assert loop.total == batched.total
+
+    @pytest.mark.parametrize("width", [3, 16, 63])
+    def test_count_sketch_batch_equals_loop(self, width):
+        updates = self._stream(1500, 3000, seed=width)
+        loop = CountSketch(1500, width=width, depth=5, seed=5)
+        for update in updates:
+            loop.feed(update)
+        batched = CountSketch(1500, width=width, depth=5, seed=5)
+        items = np.array([u.item for u in updates], dtype=np.int64)
+        deltas = np.array([u.delta for u in updates], dtype=np.int64)
+        batched.feed_batch(items, deltas)
+        assert np.array_equal(loop.table, batched.table)

@@ -27,10 +27,11 @@ per-shard scatters overlap (numpy kernels release the GIL).
 A second section, ``process_scaling``, detects ``os.cpu_count()`` and
 races the three scatter backends (serial / thread / process) at a shard
 count sized to the host, each verified bit-identical to the single
-engine before its numbers count.  On a single-CPU host the parallel
-backends measure dispatch overhead (shared-memory transport + snapshot
-fan-in for the process pool) rather than speedup -- the payload records
-the core count so readers can tell which regime produced the numbers.
+engine before its numbers count; every backend row is tagged with the
+detected core count.  On a single-CPU host the parallel backends can
+only measure dispatch overhead (shared-memory transport + snapshot
+fan-in for the process pool), so the race is *skipped* there and the
+payload records the skip reason instead of overhead-dominated numbers.
 
 Usage::
 
@@ -135,6 +136,7 @@ def measure_backends(name: str, factory, items, deltas, num_shards: int) -> dict
     StreamEngine().drive_arrays(reference_alg, items, deltas)
     reference = _state_signature(reference_alg)
 
+    cpus = os.cpu_count() or 1
     rows = []
     serial_seconds = None
     for backend in ("serial", "thread", "process"):
@@ -155,6 +157,7 @@ def measure_backends(name: str, factory, items, deltas, num_shards: int) -> dict
             {
                 "backend": backend,
                 "shards": num_shards,
+                "cpus": cpus,
                 "seconds": round(seconds, 4),
                 "ups": round(length / seconds),
                 "speedup_vs_serial": round(serial_seconds / seconds, 2),
@@ -206,39 +209,55 @@ def main() -> None:
 
     # Backend race: shard count sized to the detected cores (capped so the
     # run stays honest and quick on small hosts; never below 2 shards so
-    # the parallel backends actually fan out).
+    # the parallel backends actually fan out).  On a single-CPU host the
+    # parallel backends can only measure dispatch overhead -- the race is
+    # skipped outright, with the reason recorded, rather than committing
+    # overhead-dominated numbers as if they were scaling data.
     cpus = os.cpu_count() or 1
-    backend_shards = max(2, min(4, cpus))
-    backend_items = items[: len(items) // 4]
-    backend_deltas = deltas[: len(deltas) // 4]
-    process_payload = {
-        "benchmark": "scatter backend race (serial vs thread vs process)",
-        "cpus": cpus,
-        "shards": backend_shards,
-        "stream_length": len(backend_items),
-        "note": (
-            "process rows include wire-format snapshot fan-in (merged "
-            "state verified bit-identical each run); on a 1-CPU host the "
-            "parallel backends measure dispatch overhead, on multi-core "
-            "hosts they overlap shard scatters"
-        ),
-        "results": [
-            measure_backends(
-                "count-min 4x64",
-                lambda: CountMinSketch(n, width=64, depth=4, seed=1),
-                backend_items,
-                backend_deltas,
-                backend_shards,
+    if cpus < 2:
+        process_payload = {
+            "benchmark": "scatter backend race (serial vs thread vs process)",
+            "cpus": cpus,
+            "skipped": True,
+            "reason": (
+                "single-CPU host: thread/process backends have no cores to "
+                "overlap on, so their rows would measure shared-memory "
+                "transport + snapshot fan-in dispatch overhead, not "
+                "scaling -- re-record on a multi-core host"
             ),
-            measure_backends(
-                "sis-l0 q~2^20",
-                lambda: SisL0Estimator(n, params=_sis_params(n), seed=2),
-                backend_items,
-                backend_deltas,
-                backend_shards,
+        }
+    else:
+        backend_shards = max(2, min(4, cpus))
+        backend_items = items[: len(items) // 4]
+        backend_deltas = deltas[: len(deltas) // 4]
+        process_payload = {
+            "benchmark": "scatter backend race (serial vs thread vs process)",
+            "cpus": cpus,
+            "shards": backend_shards,
+            "stream_length": len(backend_items),
+            "note": (
+                "process rows include wire-format snapshot fan-in (merged "
+                "state verified bit-identical each run) and run the "
+                "double-buffered pipelined scatter: chunk t+1's partition/"
+                "copy overlaps chunk t's worker scatter"
             ),
-        ],
-    }
+            "results": [
+                measure_backends(
+                    "count-min 4x64",
+                    lambda: CountMinSketch(n, width=64, depth=4, seed=1),
+                    backend_items,
+                    backend_deltas,
+                    backend_shards,
+                ),
+                measure_backends(
+                    "sis-l0 q~2^20",
+                    lambda: SisL0Estimator(n, params=_sis_params(n), seed=2),
+                    backend_items,
+                    backend_deltas,
+                    backend_shards,
+                ),
+            ],
+        }
 
     out = REPO_ROOT / "BENCH_batch.json"
     existing = json.loads(out.read_text()) if out.exists() else {}

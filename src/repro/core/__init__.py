@@ -15,6 +15,7 @@ from repro.core.algorithm import (
     StreamAlgorithm,
 )
 from repro.core.engine import DEFAULT_CHUNK_SIZE, StreamEngine
+from repro.core.kernels import native_kernels_available, scatter_add
 from repro.core.game import GameResult, GroundTruth, RoundRecord, frequency_truth, run_game
 from repro.core.randomness import RandomDraw, WitnessedRandom
 from repro.core.space import (
@@ -66,7 +67,9 @@ __all__ = [
     "linear_hash_rows",
     "log2_ceil",
     "loglog_bits",
+    "native_kernels_available",
     "run_game",
+    "scatter_add",
     "stream_from_items",
     "updates_from_arrays",
     "updates_to_arrays",

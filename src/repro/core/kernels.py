@@ -1,0 +1,651 @@
+"""Fused scatter-add kernels -- the library's one hot-loop layer.
+
+Every batched sketch update bottoms out in the same three-step shape:
+hash a chunk of items, (optionally) weight the deltas, and scatter-add
+into a small table.  Before this module each sketch ran that shape as a
+chain of numpy ufunc passes (one hash kernel, one weight multiply, one
+``np.add.at``), each pass streaming the whole chunk through memory.  The
+kernels here fuse the chain two ways:
+
+**Native tier.**  A few dozen lines of C -- compiled *on demand* with the
+host's system compiler (``cc``/``gcc``/``clang``), loaded through
+:mod:`ctypes`, and cached under ``~/.cache/repro-kernels`` keyed by a
+hash of the source and flags -- run the entire hash+scatter chain in a
+single pass per row, with the modular reductions lowered to the
+double-reciprocal trick (``q = trunc(v * (1.0/p))`` plus a branchless
++-1 correction, exact for all ``0 <= v < 2**52``; the gates below refuse
+anything larger).  The compiler is invoked exactly once per machine; the
+``.so`` is reused across processes, and the calls release the GIL, so
+the thread scatter backend gets real parallelism out of them.  No
+compiler, a failed compile, a failed self-check, or
+``REPRO_NATIVE_KERNELS=0`` all degrade silently to the numpy tier --
+the native tier is an accelerator, never a dependency.
+
+**Numpy tier.**  Always available, bit-identical, and itself fused where
+that wins: constant-delta scatters (the unit-insertion workloads that
+dominate every benchmark) collapse to one unweighted ``np.bincount``
+(pure int64 -- exact for any constant, no float64 round-trip), and
+varying-delta scatters keep numpy's indexed ``np.add.at`` loops.  A
+float64-weighted ``np.bincount`` was evaluated for the varying case and
+rejected: it is only exact while the batch's absolute delta mass stays
+below 2**53, and on numpy >= 1.24 (whose ``add.at`` dispatches to typed
+indexed loops) it also measures *slower* -- so the int64-exact path is
+the fast path and nothing ever rounds through float64.
+
+Exactness contract: every entry point is bit-identical to its reference
+formulation (the per-row ``np.add.at`` loops, the stable-argsort
+partition) for every input the gates admit, and refuses -- returning
+``False`` so the caller keeps its reference path -- for every input they
+do not.  ``tests/test_fused_scatter.py`` pins the equivalence on both
+tiers, including overflow edges, object-dtype tables, and empty and
+singleton batches.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "NATIVE_HASH_BOUND",
+    "count_min_scatter",
+    "count_sketch_scatter",
+    "native_kernels_available",
+    "partition_scatter",
+    "scatter_add",
+    "sis_dense_scatter",
+]
+
+#: Primes (and SIS moduli) below this bound keep every hash intermediate
+#: ``a*x + b < p**2`` under 2**52, where the native kernels' double-
+#: reciprocal quotient is provably exact after a +-1 correction (error
+#: <= (v/p) * 2**-52 < 1 for all v < 2**52, p >= 2).  Larger parameters
+#: stay on the numpy tier, whose int64 Barrett path admits primes up to
+#: ``INT64_HASH_BOUND``.
+NATIVE_HASH_BOUND = 1 << 26
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* Exact v mod p for 0 <= v < 2^52, p >= 2: double-reciprocal quotient
+   plus branchless +-1 correction.  trunc == floor (v is nonnegative),
+   and |v*inv - v/p| < 1 under the caller's 2^52 gate. */
+static inline int64_t mod_dr(int64_t v, int64_t p, double inv)
+{
+    int64_t q = (int64_t)((double)v * inv);
+    int64_t m = v - q * p;
+    m += (m >> 63) & p;
+    m -= p & -(int64_t)(m >= p);
+    return m;
+}
+
+#define BLOCK 512
+
+/* Hash one block of items into cells: ((a*x + b) mod p) mod w.  Kept as
+   a separate table-free loop so the compiler can vectorize it; the
+   scatter loop below is loop-carried on the table and stays scalar. */
+static void hash_block(const int64_t *items, int64_t cnt,
+                       int64_t a, int64_t b, int64_t prime,
+                       int64_t width, int64_t wmask,
+                       double inv_p, double inv_w, int64_t *cells)
+{
+    int64_t i;
+    for (i = 0; i < cnt; ++i) {
+        int64_t m = mod_dr(a * items[i] + b, prime, inv_p);
+        cells[i] = wmask ? (m & wmask) : mod_dr(m, width, inv_w);
+    }
+}
+
+/* Fused CountMin batch: per row, hash + scatter-add in one pass.
+   deltas == NULL means unit insertions. */
+void repro_cm_scatter(int64_t *table, int64_t depth, int64_t width,
+                      const int64_t *items, const int64_t *deltas,
+                      int64_t n, const int64_t *a, const int64_t *b,
+                      int64_t prime)
+{
+    double inv_p = 1.0 / (double)prime;
+    double inv_w = 1.0 / (double)width;
+    int64_t wmask = (width & (width - 1)) ? 0 : width - 1;
+    int64_t cells[BLOCK];
+    int64_t start, r, i;
+    for (start = 0; start < n; start += BLOCK) {
+        int64_t cnt = n - start < BLOCK ? n - start : BLOCK;
+        for (r = 0; r < depth; ++r) {
+            int64_t *row = table + r * width;
+            hash_block(items + start, cnt, a[r], b[r], prime, width,
+                       wmask, inv_p, inv_w, cells);
+            if (deltas) {
+                const int64_t *d = deltas + start;
+                for (i = 0; i < cnt; ++i) row[cells[i]] += d[i];
+            } else {
+                for (i = 0; i < cnt; ++i) row[cells[i]] += 1;
+            }
+        }
+    }
+}
+
+/* Fused CountSketch batch: bucket hash + sign hash + signed scatter. */
+void repro_cs_scatter(int64_t *table, int64_t depth, int64_t width,
+                      const int64_t *items, const int64_t *deltas,
+                      int64_t n, const int64_t *ba, const int64_t *bb,
+                      const int64_t *sa, const int64_t *sb, int64_t prime)
+{
+    double inv_p = 1.0 / (double)prime;
+    double inv_w = 1.0 / (double)width;
+    int64_t wmask = (width & (width - 1)) ? 0 : width - 1;
+    int64_t cells[BLOCK];
+    int64_t sgn[BLOCK];
+    int64_t start, r, i;
+    for (start = 0; start < n; start += BLOCK) {
+        int64_t cnt = n - start < BLOCK ? n - start : BLOCK;
+        const int64_t *blk = items + start;
+        for (r = 0; r < depth; ++r) {
+            int64_t *row = table + r * width;
+            hash_block(blk, cnt, ba[r], bb[r], prime, width, wmask,
+                       inv_p, inv_w, cells);
+            {
+                int64_t sar = sa[r], sbr = sb[r];
+                for (i = 0; i < cnt; ++i) {
+                    int64_t sm = mod_dr(sar * blk[i] + sbr, prime, inv_p);
+                    sgn[i] = 1 - ((sm & 1) << 1);
+                }
+            }
+            if (deltas) {
+                const int64_t *d = deltas + start;
+                for (i = 0; i < cnt; ++i) row[cells[i]] += sgn[i] * d[i];
+            } else {
+                for (i = 0; i < cnt; ++i) row[cells[i]] += sgn[i];
+            }
+        }
+    }
+}
+
+/* Fused SIS dense batch: gather the column, multiply by the reduced
+   delta, accumulate mod q at every step (registers stay in [0, q), so
+   no batch-limit splitting is ever needed). */
+void repro_sis_scatter(int64_t *dense, int64_t rows,
+                       const int64_t *chunks, const int64_t *offsets,
+                       const int64_t *reduced, int64_t n,
+                       const int64_t *cols, int64_t q)
+{
+    double inv_q = 1.0 / (double)q;
+    int64_t i, r;
+    for (i = 0; i < n; ++i) {
+        int64_t d = reduced[i];
+        int64_t *reg = dense + chunks[i] * rows;
+        const int64_t *col = cols + offsets[i] * rows;
+        if (!d) continue;
+        for (r = 0; r < rows; ++r)
+            reg[r] = mod_dr(reg[r] + d * col[r], q, inv_q);
+    }
+}
+
+/* Fused universe partition: Fibonacci hash + counting sort + stable
+   scatter, one pass each.  counts must hold 2*num_shards slots (the
+   second half is the running-write-position scratch); shard ids land in
+   scratch (length n) for the scatter pass. */
+void repro_partition(const int64_t *items, const int64_t *deltas,
+                     int64_t n, uint64_t multiplier, int64_t shard_bits,
+                     int64_t window_shift, int64_t num_shards,
+                     int64_t power_of_two, int64_t *out_items,
+                     int64_t *out_deltas, int64_t *counts,
+                     int64_t *scratch)
+{
+    int64_t *next = counts + num_shards;
+    int64_t i, s, pos;
+    for (s = 0; s < num_shards; ++s) counts[s] = 0;
+    for (i = 0; i < n; ++i) {
+        uint64_t mixed = (uint64_t)items[i] * multiplier;
+        int64_t id = power_of_two
+            ? (int64_t)(shard_bits ? (mixed >> (64 - shard_bits)) : 0)
+            : (int64_t)((mixed >> window_shift) % (uint64_t)num_shards);
+        scratch[i] = id;
+        counts[id]++;
+    }
+    pos = 0;
+    for (s = 0; s < num_shards; ++s) { next[s] = pos; pos += counts[s]; }
+    for (i = 0; i < n; ++i) {
+        int64_t dst = next[scratch[i]]++;
+        out_items[dst] = items[i];
+        out_deltas[dst] = deltas[i];
+    }
+}
+"""
+
+_I64 = ctypes.c_int64
+_P64 = ctypes.c_void_p
+_SIGNATURES = {
+    "repro_cm_scatter": [_P64, _I64, _I64, _P64, _P64, _I64, _P64, _P64, _I64],
+    "repro_cs_scatter": [
+        _P64, _I64, _I64, _P64, _P64, _I64, _P64, _P64, _P64, _P64, _I64,
+    ],
+    "repro_sis_scatter": [_P64, _I64, _P64, _P64, _P64, _I64, _P64, _I64],
+    "repro_partition": [
+        _P64, _P64, _I64, ctypes.c_uint64, _I64, _I64, _I64, _I64,
+        _P64, _P64, _P64, _P64,
+    ],
+}
+
+_build_lock = threading.Lock()
+_lib: Optional[ctypes.CDLL] = None
+_lib_tried = False
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(base) / "repro-kernels"
+
+
+def _cpu_identity() -> str:
+    """Best-effort CPU fingerprint for the build-cache key.
+
+    ``-march=native`` libraries are only valid on the microarchitecture
+    that built them; a cache shared across machines (NFS home, baked
+    container image, restored CI cache) must therefore key on the CPU,
+    or loading a stale ``.so`` would SIGILL the process instead of
+    falling back to the numpy tier.
+    """
+    parts = [platform.machine()]
+    try:
+        with open("/proc/cpuinfo") as info:
+            for line in info:
+                if line.startswith(("model name", "flags", "Features")):
+                    parts.append(line.strip())
+                if len(parts) > 2:
+                    break
+    except OSError:
+        parts.append(platform.processor())
+    return "|".join(parts)
+
+
+def _find_compiler() -> Optional[str]:
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _compile(compiler: str, flags: list[str], out_path: Path) -> bool:
+    """Compile the kernel source to ``out_path`` atomically; False on failure."""
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(dir=out_path.parent) as tmp:
+        src = Path(tmp) / "kernels.c"
+        src.write_text(_C_SOURCE)
+        obj = Path(tmp) / out_path.name
+        command = [compiler, *flags, "-o", str(obj), str(src)]
+        try:
+            result = subprocess.run(
+                command, capture_output=True, timeout=120, check=False
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return False
+        if result.returncode != 0 or not obj.exists():
+            return False
+        try:
+            os.replace(obj, out_path)
+        except OSError:
+            return False
+    return True
+
+
+def _self_check(lib: ctypes.CDLL) -> bool:
+    """Smoke every compiled kernel against tiny numpy references.
+
+    Guards against a miscompiling toolchain (or an exotic ABI) silently
+    poisoning sketch state: any mismatch in any of the four kernels
+    discards the native tier wholesale.
+    """
+    items = np.array([0, 1, 5, 6, 6, 3], dtype=np.int64)
+    deltas = np.array([1, -2, 3, 1, 1, 4], dtype=np.int64)
+    prime, width, depth = 13, 3, 2
+    a = np.array([3, 7], dtype=np.int64)
+    b = np.array([1, 4], dtype=np.int64)
+    table = np.zeros((depth, width), dtype=np.int64)
+    lib.repro_cm_scatter(
+        table.ctypes.data, _I64(depth), _I64(width), items.ctypes.data,
+        deltas.ctypes.data, _I64(items.size), a.ctypes.data, b.ctypes.data,
+        _I64(prime),
+    )
+    expected = np.zeros_like(table)
+    for row in range(depth):
+        cells = ((a[row] * items + b[row]) % prime) % width
+        np.add.at(expected[row], cells, deltas)
+    if not np.array_equal(table, expected):
+        return False
+
+    sa = np.array([5, 2], dtype=np.int64)
+    sb = np.array([0, 11], dtype=np.int64)
+    table[:] = 0
+    lib.repro_cs_scatter(
+        table.ctypes.data, _I64(depth), _I64(width), items.ctypes.data,
+        deltas.ctypes.data, _I64(items.size), a.ctypes.data, b.ctypes.data,
+        sa.ctypes.data, sb.ctypes.data, _I64(prime),
+    )
+    expected[:] = 0
+    for row in range(depth):
+        cells = ((a[row] * items + b[row]) % prime) % width
+        signs = 1 - 2 * (((sa[row] * items + sb[row]) % prime) % 2)
+        np.add.at(expected[row], cells, signs * deltas)
+    if not np.array_equal(table, expected):
+        return False
+
+    rows, num_chunks, modulus = 3, 4, 11
+    chunks = np.array([0, 3, 0, 2], dtype=np.int64)
+    offsets = np.array([1, 0, 1, 2], dtype=np.int64)
+    reduced = np.array([4, 10, 7, 0], dtype=np.int64)
+    cols = np.arange(9, dtype=np.int64).reshape(3, rows) % modulus
+    dense = np.ones((num_chunks, rows), dtype=np.int64)
+    lib.repro_sis_scatter(
+        dense.ctypes.data, _I64(rows), chunks.ctypes.data,
+        offsets.ctypes.data, reduced.ctypes.data, _I64(chunks.size),
+        cols.ctypes.data, _I64(modulus),
+    )
+    expected_dense = np.ones((num_chunks, rows), dtype=np.int64)
+    for chunk, offset, value in zip(chunks, offsets, reduced):
+        expected_dense[chunk] = (
+            expected_dense[chunk] + value * cols[offset]
+        ) % modulus
+    if not np.array_equal(dense, expected_dense):
+        return False
+
+    out_items = np.empty_like(items)
+    out_deltas = np.empty_like(deltas)
+    counts = np.empty(8, dtype=np.int64)
+    scratch = np.empty(items.size, dtype=np.int64)
+    lib.repro_partition(
+        items.ctypes.data, deltas.ctypes.data, _I64(items.size),
+        ctypes.c_uint64(0x9E3779B97F4A7C15), _I64(2), _I64(33), _I64(4),
+        _I64(1), out_items.ctypes.data, out_deltas.ctypes.data,
+        counts.ctypes.data, scratch.ctypes.data,
+    )
+    ids = (items.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(62)
+    order = np.argsort(ids, kind="stable")
+    return np.array_equal(out_items, items[order]) and np.array_equal(
+        out_deltas, deltas[order]
+    )
+
+
+def _load_native() -> Optional[ctypes.CDLL]:
+    """Build (once per machine) and load the native kernel library."""
+    if os.environ.get("REPRO_NATIVE_KERNELS", "").strip() == "0":
+        return None
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    flag_sets = [
+        ["-O3", "-march=native", "-fPIC", "-shared"],
+        ["-O3", "-fPIC", "-shared"],
+    ]
+    cpu = _cpu_identity()
+    for flags in flag_sets:
+        key = hashlib.sha256(
+            ("\x00".join([_C_SOURCE, compiler, cpu, *flags])).encode()
+        ).hexdigest()[:16]
+        path = _cache_dir() / f"repro-kernels-{key}.so"
+        try:
+            if not path.exists() and not _compile(compiler, flags, path):
+                continue
+            lib = ctypes.CDLL(str(path))
+        except OSError:
+            continue
+        for name, argtypes in _SIGNATURES.items():
+            getattr(lib, name).argtypes = argtypes
+            getattr(lib, name).restype = None
+        if _self_check(lib):
+            return lib
+    return None
+
+
+def _native() -> Optional[ctypes.CDLL]:
+    global _lib, _lib_tried
+    if not _lib_tried:
+        with _build_lock:
+            if not _lib_tried:
+                _lib = _load_native()
+                _lib_tried = True
+    return _lib
+
+
+def native_kernels_available() -> bool:
+    """Whether the compiled tier is active (builds it on first call)."""
+    return _native() is not None
+
+
+def _reset_native_for_tests() -> None:
+    """Drop the cached library handle so env-var gates re-evaluate."""
+    global _lib, _lib_tried
+    with _build_lock:
+        _lib = None
+        _lib_tried = False
+
+
+def _contiguous_i64(*arrays: np.ndarray) -> bool:
+    return all(
+        a.dtype == np.int64 and a.flags.c_contiguous for a in arrays
+    )
+
+
+# -- numpy tier ------------------------------------------------------------
+
+
+def scatter_add(out: np.ndarray, indices: np.ndarray, weights) -> None:
+    """``out[indices] += weights`` -- the one scatter-add primitive.
+
+    ``weights`` may be an array or a Python-int constant.  Constants take
+    the fused path: one unweighted ``np.bincount`` (int64 end to end --
+    exact for any constant the table itself can hold, never a float64
+    round-trip) scaled and added in whole-array ops.  Array weights use
+    numpy's indexed ``np.add.at`` loops, which are exact at every int64
+    mass and, on numpy >= 1.24, at least as fast as a float64-weighted
+    bincount would be.  Object-dtype outputs (promoted exact tables)
+    always take ``np.add.at``.  Callers remain responsible for the
+    no-wrap guarantee on ``out`` itself (the sketches' absorbed-mass
+    promotion), exactly as with the reference formulation.
+    """
+    if isinstance(weights, (int, np.integer)) and out.dtype == np.int64:
+        counts = np.bincount(indices, minlength=out.size)
+        if weights != 1:
+            counts *= int(weights)
+        out += counts
+        return
+    np.add.at(out, indices, weights)
+
+
+# -- fused sketch entry points --------------------------------------------
+
+
+def _items_in_hash_domain(items: np.ndarray, prime: int) -> bool:
+    """Whether every item satisfies the ``0 <= x < prime`` hash contract.
+
+    The C kernels index table rows with the hashed cell directly, so an
+    out-of-contract item (negative, or large enough to wrap ``a*x + b``)
+    must never reach them -- the reference numpy path degrades to a
+    garbage-but-in-range cell for such inputs, the native path would
+    write out of bounds.  One vectorized min/max pass buys the guarantee.
+    """
+    if items.size == 0:
+        return False
+    return int(items.min()) >= 0 and int(items.max()) < prime
+
+
+def count_min_scatter(
+    table: np.ndarray,
+    items: np.ndarray,
+    deltas: np.ndarray,
+    row_a: np.ndarray,
+    row_b: np.ndarray,
+    prime: int,
+    unit_deltas: bool,
+) -> bool:
+    """Native fused CountMin batch; ``False`` keeps the caller's path.
+
+    Gates: int64 contiguous operands, ``prime < NATIVE_HASH_BOUND``, and
+    every item inside the ``0 <= x < prime`` hash domain (together these
+    keep every ``a*x + b`` nonnegative and under 2**52, the range where
+    the kernel's double-reciprocal reduction is exact).
+    """
+    lib = _native()
+    if (
+        lib is None
+        or prime >= NATIVE_HASH_BOUND
+        or not _contiguous_i64(table, items, deltas, row_a, row_b)
+        or not _items_in_hash_domain(items, prime)
+    ):
+        return False
+    lib.repro_cm_scatter(
+        table.ctypes.data,
+        _I64(table.shape[0]),
+        _I64(table.shape[1]),
+        items.ctypes.data,
+        None if unit_deltas else deltas.ctypes.data,
+        _I64(items.size),
+        row_a.ctypes.data,
+        row_b.ctypes.data,
+        _I64(prime),
+    )
+    return True
+
+
+def count_sketch_scatter(
+    table: np.ndarray,
+    items: np.ndarray,
+    deltas: np.ndarray,
+    bucket_a: np.ndarray,
+    bucket_b: np.ndarray,
+    sign_a: np.ndarray,
+    sign_b: np.ndarray,
+    prime: int,
+    unit_deltas: bool,
+) -> bool:
+    """Native fused CountSketch batch; ``False`` keeps the caller's path.
+
+    Same gates as :func:`count_min_scatter`, including the item-domain
+    check that keeps the C kernel's table writes in bounds.
+    """
+    lib = _native()
+    if (
+        lib is None
+        or prime >= NATIVE_HASH_BOUND
+        or not _contiguous_i64(
+            table, items, deltas, bucket_a, bucket_b, sign_a, sign_b
+        )
+        or not _items_in_hash_domain(items, prime)
+    ):
+        return False
+    lib.repro_cs_scatter(
+        table.ctypes.data,
+        _I64(table.shape[0]),
+        _I64(table.shape[1]),
+        items.ctypes.data,
+        None if unit_deltas else deltas.ctypes.data,
+        _I64(items.size),
+        bucket_a.ctypes.data,
+        bucket_b.ctypes.data,
+        sign_a.ctypes.data,
+        sign_b.ctypes.data,
+        _I64(prime),
+    )
+    return True
+
+
+def sis_dense_scatter(
+    dense: np.ndarray,
+    chunks: np.ndarray,
+    offsets: np.ndarray,
+    reduced: np.ndarray,
+    cols: np.ndarray,
+    modulus: int,
+) -> bool:
+    """Native fused SIS dense batch; ``False`` keeps the caller's path.
+
+    ``reduced`` must already be the deltas mod q (residues in ``[0, q)``
+    -- the caller reduces with exact int64 numpy ``%``).  The kernel
+    accumulates mod q at every step, so registers never leave ``[0, q)``
+    and the caller's batch-limit splitting is unnecessary on this path.
+    Gates: ``modulus < NATIVE_HASH_BOUND`` keeps ``reg + d*col < q**2``
+    under 2**52, and one min/max pass per index operand keeps every C
+    write inside ``dense`` and every read inside ``cols`` -- out-of-range
+    inputs refuse (the reference path raises IndexError for them; the
+    kernel must never turn that into a heap write).
+    """
+    lib = _native()
+    if (
+        lib is None
+        or modulus >= NATIVE_HASH_BOUND
+        or not _contiguous_i64(dense, chunks, offsets, reduced, cols)
+        or chunks.size == 0
+        or int(chunks.min()) < 0
+        or int(chunks.max()) >= dense.shape[0]
+        or int(offsets.min()) < 0
+        or int(offsets.max()) >= cols.shape[0]
+        or int(reduced.min()) < 0
+        or int(reduced.max()) >= modulus
+    ):
+        return False
+    lib.repro_sis_scatter(
+        dense.ctypes.data,
+        _I64(dense.shape[1]),
+        chunks.ctypes.data,
+        offsets.ctypes.data,
+        reduced.ctypes.data,
+        _I64(chunks.size),
+        cols.ctypes.data,
+        _I64(modulus),
+    )
+    return True
+
+
+def partition_scatter(
+    items: np.ndarray,
+    deltas: np.ndarray,
+    multiplier: int,
+    shard_bits: int,
+    window_shift: int,
+    num_shards: int,
+    power_of_two: bool,
+):
+    """Native fused partition: hash + counting sort + stable scatter.
+
+    Returns ``(sorted_items, sorted_deltas, counts)`` -- shard-grouped
+    copies in stream order plus per-shard counts -- or ``None`` when the
+    native tier is unavailable.  Bit-identical to hashing with
+    ``UniversePartitioner.assign_array`` and stable-sorting by shard id.
+    """
+    lib = _native()
+    if lib is None or not _contiguous_i64(items, deltas):
+        return None
+    n = items.size
+    out_items = np.empty(n, dtype=np.int64)
+    out_deltas = np.empty(n, dtype=np.int64)
+    counts = np.empty(2 * num_shards, dtype=np.int64)
+    scratch = np.empty(n, dtype=np.int64)
+    lib.repro_partition(
+        items.ctypes.data,
+        deltas.ctypes.data,
+        _I64(n),
+        ctypes.c_uint64(multiplier),
+        _I64(shard_bits),
+        _I64(window_shift),
+        _I64(num_shards),
+        _I64(1 if power_of_two else 0),
+        out_items.ctypes.data,
+        out_deltas.ctypes.data,
+        counts.ctypes.data,
+        scratch.ctypes.data,
+    )
+    return out_items, out_deltas, counts[:num_shards]

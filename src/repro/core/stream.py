@@ -155,10 +155,17 @@ def aggregate_batch(
     unique, inverse = np.unique(items, return_inverse=True)
     # Exact Python bound on any aggregated total (abs() in Python avoids the
     # int64-min wraparound of np.abs).
-    max_abs = max(abs(int(deltas.min())), abs(int(deltas.max())))
+    dmin, dmax = int(deltas.min()), int(deltas.max())
+    max_abs = max(abs(dmin), abs(dmax))
     if max_abs * items.size < INT64_SAFE_MASS:
+        from repro.core import kernels
+
         aggregated = np.zeros(len(unique), dtype=np.int64)
-        np.add.at(aggregated, inverse, deltas)
+        # Constant deltas (unit insertions above all) take the fused
+        # unweighted-bincount path inside scatter_add.
+        kernels.scatter_add(
+            aggregated, inverse, dmin if dmin == dmax else deltas
+        )
         return unique.tolist(), aggregated.tolist()
     totals = [0] * len(unique)
     for index, delta in zip(inverse.tolist(), deltas.tolist()):

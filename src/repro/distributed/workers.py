@@ -6,15 +6,31 @@ Python-bound update path -- AMS sign evaluation, exact-dict maintenance,
 KMV heap work.  :class:`ProcessShardPool` moves each shard replica into
 its own ``multiprocessing`` worker process:
 
-* **chunk data out** travels through one shared-memory block per worker
-  (a ``(2, capacity)`` int64 array holding items and deltas), so scatter
-  never pickles update arrays -- the parent writes, the worker copies
-  out, and a pipe message carries only the count;
+* **chunk data out** travels through *two* shared-memory blocks per
+  worker (each a ``(2, capacity)`` int64 array holding items and
+  deltas), so scatter never pickles update arrays -- the parent writes,
+  the worker copies out, and a pipe message carries only the count and
+  the buffer index;
 * **state back** travels as wire-format snapshots
   (:mod:`repro.distributed.codec`): fan-in asks every worker for
   ``snapshot()`` bytes and the parent rebuilds the merged sketch via
   ``restore`` + ``merge_snapshot``, construction-fingerprint-verified --
   exactly the multi-host merge path, exercised on one host.
+
+**Double-buffered pipelined scatter.**  ``scatter`` no longer waits for
+worker acknowledgements (the PR-3 barrier): it writes each sub-chunk
+into whichever of the shard's two blocks is free, dispatches, and
+returns.  A block is reused only after the acknowledgement for its
+*previous* feed has been drained (at most two feeds in flight per
+shard), so chunk ``t+1``'s partition and copy in the parent overlap
+chunk ``t``'s scatter work in every worker.  In-order delivery per shard
+is the pipe's FIFO; every state-reading operation (snapshots, loads,
+restore, the per-update path, close) drains all outstanding
+acknowledgements first, so observable state is always a chunk-boundary
+state and the merged result stays bit-identical to the serial backend.
+Worker failures surface at the next synchronization point -- a later
+``scatter`` needing the buffer, or the flush before a query -- with all
+other pipes drained first, exactly like the old barrier's error path.
 
 Workers are started with the ``fork`` start method: each child inherits
 its already-constructed replica (factories never need to be picklable,
@@ -22,9 +38,9 @@ matching the thread backend's contract).  On platforms without ``fork``
 the pool raises -- callers keep the thread backend there.
 
 Exactness: every replica still sees exactly the sub-stream of its items
-in stream order (the parent waits for all acknowledgements before the
-batch call returns, and each worker drains its pipe in FIFO order), and
-the merge protocol is byte-identical to the in-process one, so
+in stream order (one pipe per worker, drained in FIFO order; a block is
+never overwritten while its feed is unacknowledged), and the merge
+protocol is byte-identical to the in-process one, so
 ``ShardedAlgorithm(backend="process").merged()`` is bit-identical to the
 single-engine state -- the process-backend equivalence tests enforce it
 against every mergeable sketch family.
@@ -43,30 +59,33 @@ from repro.core.stream import Update
 
 __all__ = ["ProcessShardPool"]
 
-#: Initial shared-memory capacity (updates per worker); grows on demand.
+#: Initial shared-memory capacity (updates per block); grows on demand.
 DEFAULT_BUFFER_CAPACITY = 1 << 14
+
+#: Blocks (and therefore feeds in flight) per worker.
+_BUFFERS_PER_SHARD = 2
 
 
 def _shard_worker(
-    connection, shm_name: str, capacity: int, sketch: StreamAlgorithm
+    connection, shm_names: Sequence[str], capacity: int, sketch: StreamAlgorithm
 ) -> None:
     """One worker: drain commands in FIFO order against the local replica.
 
     Commands (tuples; first element is the verb):
 
-    * ``("feed", count)`` -- consume ``count`` updates from the shared
-      block, ack ``("ok",)``;
+    * ``("feed", count, buf)`` -- consume ``count`` updates from shared
+      block ``buf`` (0 or 1), ack ``("ok",)``;
     * ``("feed_obj", pairs)`` -- per-update path for beyond-int64
       coefficients (exact Python ints over the pipe), ack ``("ok",)``;
-    * ``("remap", name, capacity)`` -- switch to a grown shared block,
-      ack;
+    * ``("remap", names, capacity)`` -- switch to a grown pair of shared
+      blocks, ack;
     * ``("snapshot",)`` -- reply ``("snap", bytes)``;
     * ``("restore", data)`` -- replace replica state from snapshot bytes
       (checkpoint recovery), ack;
     * ``("load",)`` -- reply ``("load", updates_processed)``;
     * ``("stop",)`` -- ack and exit.
 
-    The row layout of the shared block is ``(2, capacity)`` with the
+    The row layout of each shared block is ``(2, capacity)`` with the
     capacity carried explicitly (at start and in every remap): deriving
     it from ``shm.size`` would break on platforms that round shared
     segments up to page multiples (macOS), silently misaligning the
@@ -78,16 +97,16 @@ def _shard_worker(
     exactness -- the parent surfaces the original error and deployments
     recover from the last checkpoint.
     """
-    shm = shared_memory.SharedMemory(name=shm_name)
+    shms = [shared_memory.SharedMemory(name=name) for name in shm_names]
     try:
         while True:
             message = connection.recv()
             verb = message[0]
             try:
                 if verb == "feed":
-                    count = message[1]
+                    count, buf = message[1], message[2]
                     block = np.ndarray(
-                        (2, capacity), dtype=np.int64, buffer=shm.buf
+                        (2, capacity), dtype=np.int64, buffer=shms[buf].buf
                     )
                     sketch.feed_batch(
                         block[0, :count].copy(), block[1, :count].copy()
@@ -98,8 +117,12 @@ def _shard_worker(
                         sketch.feed(Update(item, delta))
                     connection.send(("ok",))
                 elif verb == "remap":
-                    shm.close()
-                    shm = shared_memory.SharedMemory(name=message[1])
+                    for shm in shms:
+                        shm.close()
+                    shms = [
+                        shared_memory.SharedMemory(name=name)
+                        for name in message[1]
+                    ]
                     capacity = message[2]
                     connection.send(("ok",))
                 elif verb == "snapshot":
@@ -120,11 +143,12 @@ def _shard_worker(
     except (EOFError, KeyboardInterrupt):  # parent died; exit quietly
         pass
     finally:
-        shm.close()
+        for shm in shms:
+            shm.close()
 
 
 class ProcessShardPool:
-    """Owns one worker process (and one shared block) per shard replica.
+    """Owns one worker process (and two shared blocks) per shard replica.
 
     Parameters
     ----------
@@ -134,8 +158,9 @@ class ProcessShardPool:
         templates for fan-in (``ShardedAlgorithm.merged`` restores
         snapshots into deep copies of shard 0).
     buffer_capacity:
-        Initial per-worker shared-memory capacity in updates; blocks grow
-        automatically when a scatter part exceeds them.
+        Initial per-block shared-memory capacity in updates; both of a
+        worker's blocks grow automatically when a scatter part exceeds
+        them.
     """
 
     def __init__(
@@ -163,46 +188,55 @@ class ProcessShardPool:
         context = multiprocessing.get_context("fork")
         self.num_shards = len(shards)
         self._capacities = [buffer_capacity] * self.num_shards
-        self._blocks: list[Optional[shared_memory.SharedMemory]] = []
+        self._blocks: list[list[shared_memory.SharedMemory]] = []
         self._connections = []
         self._processes = []
+        #: Unacknowledged feeds per shard (0..2) and the next block to use.
+        self._outstanding = [0] * self.num_shards
+        self._next_buf = [0] * self.num_shards
         self._closed = False
         try:
             for shard in shards:
-                block = shared_memory.SharedMemory(
-                    create=True, size=2 * 8 * buffer_capacity
-                )
+                pair = self._create_block_pair(buffer_capacity)
+                self._blocks.append(pair)
                 parent_end, worker_end = context.Pipe()
                 process = context.Process(
                     target=_shard_worker,
-                    args=(worker_end, block.name, buffer_capacity, shard),
+                    args=(
+                        worker_end,
+                        [block.name for block in pair],
+                        buffer_capacity,
+                        shard,
+                    ),
                     daemon=True,
                 )
                 process.start()
                 worker_end.close()
-                self._blocks.append(block)
                 self._connections.append(parent_end)
                 self._processes.append(process)
         except BaseException:
             self.close()
             raise
 
-    # -- scatter -----------------------------------------------------------
+    @staticmethod
+    def _create_block_pair(capacity: int) -> list[shared_memory.SharedMemory]:
+        """Create one worker's two blocks; leak-free on partial failure."""
+        pair: list[shared_memory.SharedMemory] = []
+        try:
+            for _ in range(_BUFFERS_PER_SHARD):
+                pair.append(
+                    shared_memory.SharedMemory(
+                        create=True, size=2 * 8 * capacity
+                    )
+                )
+        except BaseException:
+            for block in pair:
+                block.close()
+                block.unlink()
+            raise
+        return pair
 
-    def _ensure_capacity(self, shard: int, count: int) -> None:
-        if count <= self._capacities[shard]:
-            return
-        capacity = self._capacities[shard]
-        while capacity < count:
-            capacity *= 2
-        grown = shared_memory.SharedMemory(create=True, size=2 * 8 * capacity)
-        self._connections[shard].send(("remap", grown.name, capacity))
-        self._expect(shard, "ok")
-        old = self._blocks[shard]
-        self._blocks[shard] = grown
-        self._capacities[shard] = capacity
-        old.close()
-        old.unlink()
+    # -- ack plumbing ------------------------------------------------------
 
     def _expect(self, shard: int, verb: str):
         try:
@@ -224,76 +258,168 @@ class ProcessShardPool:
             )
         return reply
 
-    def _drain(self, pending: list[int]) -> list[Exception]:
-        """Consume one reply from every listed worker, collecting errors.
+    def _drain_shard(self, shard: int) -> Optional[Exception]:
+        """Drain every outstanding feed ack of one shard.
 
-        The barrier must drain *all* outstanding acks even when one
-        worker fails: leaving a queued ``("ok",)`` unread would let the
-        next scatter's ack check return stale before its worker copied
-        the new chunk out of shared memory -- silent divergence.
+        Returns the failure (instead of raising) so callers can finish
+        draining the *other* shards first: leaving a queued ``("ok",)``
+        unread would let a later command's ack check return stale before
+        its worker copied a chunk out of shared memory -- silent
+        divergence.  After a failure the shard's pipe is dead; its
+        outstanding count is zeroed so cleanup can proceed.
         """
-        failures: list[Exception] = []
-        for shard in pending:
-            try:
+        try:
+            while self._outstanding[shard] > 0:
+                self._outstanding[shard] -= 1
                 self._expect(shard, "ok")
-            except RuntimeError as exc:
-                failures.append(exc)
-        return failures
+        except RuntimeError as exc:
+            self._outstanding[shard] = 0
+            return exc
+        return None
+
+    def flush(self) -> None:
+        """Drain all outstanding feed acks (the pipeline's sync point).
+
+        Every state-reading operation calls this first, so queries only
+        ever observe chunk-boundary states.  Raises the first worker
+        failure -- after draining every other shard's pipe.
+        """
+        failures = []
+        for shard in range(self.num_shards):
+            failure = self._drain_shard(shard)
+            if failure is not None:
+                failures.append(failure)
+        if failures:
+            raise failures[0]
+
+    # -- scatter -----------------------------------------------------------
+
+    def _ensure_capacity(self, shard: int, count: int) -> None:
+        if count <= self._capacities[shard]:
+            return
+        capacity = self._capacities[shard]
+        while capacity < count:
+            capacity *= 2
+        # The worker must be idle before its blocks are swapped out.
+        failure = self._drain_shard(shard)
+        if failure is not None:
+            raise failure
+        grown = self._create_block_pair(capacity)
+        try:
+            self._connections[shard].send(
+                ("remap", [block.name for block in grown], capacity)
+            )
+            self._expect(shard, "ok")
+        except BaseException:
+            # Not yet tracked in self._blocks -- reclaim the segments
+            # here or they leak for the process lifetime.
+            for block in grown:
+                block.close()
+                block.unlink()
+            raise
+        old = self._blocks[shard]
+        self._blocks[shard] = grown
+        self._capacities[shard] = capacity
+        self._next_buf[shard] = 0
+        for block in old:
+            block.close()
+            block.unlink()
 
     def scatter(self, parts) -> None:
-        """Dispatch per-shard ``(items, deltas)`` parts; wait for all acks.
+        """Dispatch per-shard ``(items, deltas)`` parts without a barrier.
 
         ``parts`` aligns with the shard list (``None`` = no updates for
-        that shard this chunk).  All workers run concurrently; the call
-        returns once every shard has absorbed its sub-chunk, preserving
-        the thread backend's barrier semantics.  On any worker failure
-        every outstanding ack is still drained before the first error is
-        raised, so surviving workers' pipes stay synchronized.
+        that shard this chunk).  Each part is written into the shard's
+        free block and dispatched; the call returns as soon as every
+        part is in flight, leaving up to two chunks per worker
+        unacknowledged -- the caller's next partition/copy overlaps the
+        workers' scatter.  A block is reused only after its previous
+        feed's ack arrives, so data is never overwritten mid-read.  On
+        any worker failure every shard's outstanding acks are drained
+        before the first error is raised, so surviving workers' pipes
+        stay synchronized.
         """
-        pending: list[int] = []
         try:
+            # Opportunistically consume acks that already arrived: keeps
+            # the outstanding counts low and surfaces worker failures as
+            # early as the pipe delivers them, without ever blocking.
+            for shard in range(self.num_shards):
+                while self._outstanding[shard] and self._connections[shard].poll(0):
+                    self._outstanding[shard] -= 1
+                    self._expect(shard, "ok")
             for shard, part in enumerate(parts):
                 if part is None:
                     continue
                 items, deltas = part
                 count = len(items)
                 self._ensure_capacity(shard, count)
+                while self._outstanding[shard] >= _BUFFERS_PER_SHARD:
+                    self._outstanding[shard] -= 1
+                    self._expect(shard, "ok")
+                buf = self._next_buf[shard]
                 block = np.ndarray(
                     (2, self._capacities[shard]),
                     dtype=np.int64,
-                    buffer=self._blocks[shard].buf,
+                    buffer=self._blocks[shard][buf].buf,
                 )
                 block[0, :count] = items
                 block[1, :count] = deltas
-                self._connections[shard].send(("feed", count))
-                pending.append(shard)
-        except BaseException:
-            self._drain(pending)
+                self._connections[shard].send(("feed", count, buf))
+                self._outstanding[shard] += 1
+                self._next_buf[shard] = buf ^ 1
+        except BaseException as exc:
+            # Drain every shard before anything propagates, so surviving
+            # pipes stay aligned -- and prefer a drained worker failure
+            # (which names the original sketch error and the checkpoint
+            # remedy) over a bare transport error like BrokenPipeError
+            # from sending to the worker that just died.
+            failures = []
+            for shard in range(self.num_shards):
+                failure = self._drain_shard(shard)
+                if failure is not None:
+                    failures.append(failure)
+            if failures and isinstance(exc, (OSError, EOFError)):
+                # Only transport errors are replaced; interrupts and the
+                # already-informative RuntimeErrors propagate untouched.
+                raise failures[0] from exc
             raise
-        failures = self._drain(pending)
-        if failures:
-            raise failures[0]
 
     def feed_updates(self, shard: int, pairs: list[tuple[int, int]]) -> None:
-        """Per-update path (exact Python ints; beyond-int64 coefficients)."""
+        """Per-update path (exact Python ints; beyond-int64 coefficients).
+
+        Synchronous: outstanding feeds drain first so the ack stream
+        stays aligned, then the updates round-trip through the pipe.
+        """
+        failure = self._drain_shard(shard)
+        if failure is not None:
+            raise failure
         self._connections[shard].send(("feed_obj", pairs))
         self._expect(shard, "ok")
 
     # -- fan-in ------------------------------------------------------------
 
     def snapshots(self) -> list[bytes]:
-        """Wire-format snapshots of every replica (concurrent round-trip)."""
+        """Wire-format snapshots of every replica (concurrent round-trip).
+
+        Flushes the scatter pipeline first: snapshots always observe a
+        chunk-boundary state, identical to the serial backend's.
+        """
+        self.flush()
         for connection in self._connections:
             connection.send(("snapshot",))
         return [self._expect(shard, "snap")[1] for shard in range(self.num_shards)]
 
     def restore(self, shard: int, data: bytes) -> None:
         """Replace one worker's replica state from snapshot bytes."""
+        failure = self._drain_shard(shard)
+        if failure is not None:
+            raise failure
         self._connections[shard].send(("restore", data))
         self._expect(shard, "ok")
 
     def shard_loads(self) -> list[int]:
         """Updates processed by each worker's replica."""
+        self.flush()
         for connection in self._connections:
             connection.send(("load",))
         return [self._expect(shard, "load")[1] for shard in range(self.num_shards)]
@@ -305,6 +431,10 @@ class ProcessShardPool:
         if self._closed:
             return
         self._closed = True
+        for shard in range(len(self._connections)):
+            # Best-effort drain so the stop ack below is really a stop ack;
+            # failures are moot during teardown.
+            self._drain_shard(shard)
         for connection in self._connections:
             try:
                 connection.send(("stop",))
@@ -321,14 +451,13 @@ class ProcessShardPool:
             if process.is_alive():  # pragma: no cover - hung-worker guard
                 process.terminate()
                 process.join(timeout=5)
-        for block in self._blocks:
-            if block is None:
-                continue
-            block.close()
-            try:
-                block.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+        for pair in self._blocks:
+            for block in pair:
+                block.close()
+                try:
+                    block.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
 
     def __enter__(self) -> "ProcessShardPool":
         return self

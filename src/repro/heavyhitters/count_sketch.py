@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.algorithm import MergeableSketch, StreamAlgorithm
 from repro.core.space import bits_for_int, bits_for_universe
 from repro.core.stream import (
@@ -60,6 +61,11 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
             (self.random.randint(1, self.prime - 1), self.random.randint(0, self.prime - 1))
             for _ in range(depth)
         ]
+        # Hash coefficients as arrays for the fused kernel entry points.
+        self._bucket_a = np.array([a for a, _ in self.bucket_params], dtype=np.int64)
+        self._bucket_b = np.array([b for _, b in self.bucket_params], dtype=np.int64)
+        self._sign_a = np.array([a for a, _ in self.sign_params], dtype=np.int64)
+        self._sign_b = np.array([b for _, b in self.sign_params], dtype=np.int64)
         self.table = np.zeros((depth, width), dtype=np.int64)
         self._vectorizable = self.prime < INT64_HASH_BOUND
         self._absorbed_mass = 0
@@ -94,13 +100,20 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
         if not self._vectorizable:
             super().process_batch(items, deltas)
             return
-        items = np.asarray(items, dtype=np.int64)
-        deltas = np.asarray(deltas, dtype=np.int64)
+        items = np.ascontiguousarray(items, dtype=np.int64)
+        deltas = np.ascontiguousarray(deltas, dtype=np.int64)
         if items.size == 0:
             return
-        max_abs = max(abs(int(deltas.min())), abs(int(deltas.max())))
+        dmin, dmax = int(deltas.min()), int(deltas.max())
+        max_abs = max(abs(dmin), abs(dmax))
         self._note_mass(max_abs * items.size)
         exact = self.table.dtype == object
+        if not exact and kernels.count_sketch_scatter(
+            self.table, items, deltas, self._bucket_a, self._bucket_b,
+            self._sign_a, self._sign_b, self.prime,
+            unit_deltas=dmin == dmax == 1,
+        ):
+            return
         for row in range(self.depth):
             a, b = self.bucket_params[row]
             # Division-free hashing (bit-identical to % prime % width /
@@ -113,7 +126,7 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
                 if exact
                 else signs * deltas
             )
-            np.add.at(self.table[row], buckets, signed)
+            kernels.scatter_add(self.table[row], buckets, signed)
 
     # -- merging (sharded engines) ----------------------------------------
 

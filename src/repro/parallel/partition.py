@@ -21,16 +21,35 @@ window mod ``N``.  The hash is evaluated two ways that agree bit-for-bit:
   matches the vector path on the shared domain.
 
 :meth:`UniversePartitioner.split` is the engine's scatter primitive: one
-hash pass, one stable argsort, and contiguous per-shard array views --
-cheaper than per-shard boolean masks and order-preserving within every
-shard.
+hash pass, an O(n) counting sort on the shard ids, and contiguous
+per-shard array views in stream order.  Three tiers, all bit-identical:
+
+* the **native kernel** (:func:`repro.core.kernels.partition_scatter`)
+  fuses hash + count + cumsum + stable scatter into three C passes;
+* small shard counts use **bincount + per-shard gathers** (each
+  ``flatnonzero`` pass emits one shard's positions already in stream
+  order -- the counting-sort scatter run shard-major instead of
+  element-major);
+* large shard counts fall back to a **stable argsort over a narrowed
+  id dtype** (numpy's stable sort on <= 16-bit integers is an LSD radix
+  sort, i.e. counting-sort passes), with bincount/cumsum bounds.
+
+Every tier replaced the old stable argsort over 64-bit ids, which paid
+an O(n log n) comparison sort per chunk.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core import kernels
+
 __all__ = ["UniversePartitioner"]
+
+#: Up to this many shards the counting-sort scatter runs shard-major
+#: (one vectorized gather per shard); beyond it the radix-argsort tier
+#: wins.  Crossover measured on the benchmark host.
+_GATHER_TIER_MAX_SHARDS = 16
 
 #: 2^64 / golden ratio, the classic Fibonacci-hashing multiplier.
 _PHI64 = 0x9E3779B97F4A7C15
@@ -84,30 +103,68 @@ class UniversePartitioner:
     def split(
         self, items: np.ndarray, deltas: np.ndarray
     ) -> list[tuple[np.ndarray, np.ndarray] | None]:
-        """Per-shard ``(items, deltas)`` pairs, order-preserving, one sort.
+        """Per-shard ``(items, deltas)`` pairs via an O(n) counting sort.
 
-        A stable argsort on the shard ids groups each shard's updates into
-        one contiguous slice while keeping them in stream order; empty
-        shards get ``None``.  Returned arrays are views into the sorted
-        copies -- callers must not mutate them.
+        Groups each shard's updates into one contiguous block while
+        keeping them in stream order (the scatter is stable); empty
+        shards get ``None``.  Returned arrays are views into the
+        shard-grouped copies -- callers must not mutate them.  All three
+        tiers (see the module docstring) produce identical views; the
+        equivalence against the old stable-argsort formulation is pinned
+        by ``tests/test_fused_scatter.py``.
         """
         if self.num_shards == 1:
             return [(items, deltas)]
+        native = kernels.partition_scatter(
+            items,
+            deltas,
+            self.multiplier,
+            self._bits,
+            _WINDOW_SHIFT,
+            self.num_shards,
+            self._power_of_two,
+        )
+        if native is not None:
+            sorted_items, sorted_deltas, counts = native
+            parts: list[tuple[np.ndarray, np.ndarray] | None] = []
+            low = 0
+            for shard in range(self.num_shards):
+                high = low + int(counts[shard])
+                if high > low:
+                    parts.append(
+                        (sorted_items[low:high], sorted_deltas[low:high])
+                    )
+                else:
+                    parts.append(None)
+                low = high
+            return parts
         ids = self.assign_array(items)
-        order = np.argsort(ids, kind="stable")
-        sorted_ids = ids[order]
+        if self.num_shards <= _GATHER_TIER_MAX_SHARDS:
+            counts = np.bincount(
+                ids.astype(np.int64), minlength=self.num_shards
+            )
+            parts = []
+            for shard in range(self.num_shards):
+                if counts[shard]:
+                    positions = np.flatnonzero(ids == shard)
+                    parts.append((items[positions], deltas[positions]))
+                else:
+                    parts.append(None)
+            return parts
+        # Radix tier: a stable sort over a narrowed id dtype is LSD
+        # radix (counting-sort passes) inside numpy; bounds come from
+        # bincount + cumsum rather than a binary search.
+        narrow = ids.astype(np.uint16 if self.num_shards <= 65536 else np.int64)
+        order = np.argsort(narrow, kind="stable")
         sorted_items = items[order]
         sorted_deltas = deltas[order]
-        bounds = np.searchsorted(
-            sorted_ids, np.arange(self.num_shards + 1, dtype=np.uint64)
-        )
-        parts: list[tuple[np.ndarray, np.ndarray] | None] = []
+        counts = np.bincount(ids.astype(np.int64), minlength=self.num_shards)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        parts = []
         for shard in range(self.num_shards):
             low, high = int(bounds[shard]), int(bounds[shard + 1])
             if high > low:
-                parts.append(
-                    (sorted_items[low:high], sorted_deltas[low:high])
-                )
+                parts.append((sorted_items[low:high], sorted_deltas[low:high]))
             else:
                 parts.append(None)
         return parts

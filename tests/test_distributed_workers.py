@@ -276,7 +276,11 @@ class TestPoolMechanics:
         ) as engine:
             with pytest.raises(RuntimeError, match="insertion-only"):
                 # KMV rejects deletions; the worker dies informatively.
+                # The double-buffered scatter is pipelined, so the error
+                # surfaces at the next synchronization point -- here the
+                # merge's flush -- rather than inside the dispatch itself.
                 engine.algorithm.process_batch(
                     np.array([1, 2], dtype=np.int64),
                     np.array([-1, -1], dtype=np.int64),
                 )
+                engine.merged()

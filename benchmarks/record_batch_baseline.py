@@ -6,6 +6,14 @@ through ``StreamEngine.drive_arrays`` -- and writes updates/sec plus the
 speedup ratio to ``BENCH_batch.json`` at the repo root.  Future PRs append
 their own runs next to this baseline to track the perf trajectory.
 
+The ``query_path`` section records the read side: scalar ``estimate``
+loops vs ``estimate_batch`` on the numpy and native kernel tiers at
+10^6- and 10^7-item probe sets, plus the adversary hot loops the query
+engine rebuilt (the black-box full-vector probe loop and the
+CountSketch row-structure materialization) -- every batched answer
+verified bit/float-identical to the scalar path before its timing
+counts.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/record_batch_baseline.py [--quick]
@@ -17,6 +25,7 @@ the full 10^6 x 10^6 configuration from the acceptance criteria.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -24,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.adversaries.blackbox_attack import BlackBoxSignLearner
 from repro.core import kernels
 from repro.core.engine import DEFAULT_CHUNK_SIZE, StreamEngine
 from repro.core.stream import barrett_mod, linear_hash_rows, updates_from_arrays
@@ -32,6 +42,7 @@ from repro.crypto.sis import SISParams
 from repro.distinct.sis_l0 import SisL0Estimator
 from repro.heavyhitters.count_min import CountMinSketch
 from repro.heavyhitters.count_sketch import CountSketch
+from repro.moments.ams import AMSSketch
 from repro.parallel.partition import UniversePartitioner
 from repro.workloads.frequency import uniform_arrays
 
@@ -314,6 +325,175 @@ def measure_scatter_fusion(n: int, lengths: tuple[int, ...]) -> dict:
     }
 
 
+class _numpy_tier:
+    """Context manager forcing the numpy kernel tier inside this process.
+
+    Flips the ``REPRO_NATIVE_KERNELS`` kill switch and drops the cached
+    library handle, exactly as a compiler-less host would run; restores
+    (and rebuilds from the on-disk cache, so no recompilation) on exit.
+    """
+
+    def __enter__(self):
+        self._prior = os.environ.get("REPRO_NATIVE_KERNELS")
+        os.environ["REPRO_NATIVE_KERNELS"] = "0"
+        kernels._reset_native_for_tests()
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._prior is None:
+            os.environ.pop("REPRO_NATIVE_KERNELS", None)
+        else:
+            os.environ["REPRO_NATIVE_KERNELS"] = self._prior
+        kernels._reset_native_for_tests()
+
+
+def _measure_estimate_tiers(name: str, sketch, probe) -> dict:
+    """Scalar vs numpy vs native batched estimates on one filled sketch.
+
+    The scalar pass doubles as the reference: both batched tiers are
+    verified bit/float-identical to it before their timings count.
+    """
+    start = time.perf_counter()
+    reference = [sketch.estimate(int(item)) for item in probe]
+    scalar_seconds = time.perf_counter() - start
+
+    with _numpy_tier():
+        numpy_answers = sketch.estimate_batch(probe)
+        if numpy_answers.tolist() != reference:
+            raise AssertionError(f"{name}: numpy-tier estimates diverged")
+        start = time.perf_counter()
+        sketch.estimate_batch(probe)
+        numpy_seconds = time.perf_counter() - start
+
+    native_row = {}
+    if kernels.native_kernels_available():
+        native_answers = sketch.estimate_batch(probe)
+        if native_answers.tolist() != reference:
+            raise AssertionError(f"{name}: native-tier estimates diverged")
+        start = time.perf_counter()
+        sketch.estimate_batch(probe)
+        native_seconds = time.perf_counter() - start
+        native_row = {
+            "native_seconds": round(native_seconds, 4),
+            "native_eps": round(len(probe) / native_seconds),
+            "native_speedup_vs_scalar": round(
+                scalar_seconds / native_seconds, 2
+            ),
+        }
+    return {
+        "sketch": name,
+        "probes": len(probe),
+        "scalar_seconds": round(scalar_seconds, 4),
+        "scalar_eps": round(len(probe) / scalar_seconds),
+        "numpy_seconds": round(numpy_seconds, 4),
+        "numpy_eps": round(len(probe) / numpy_seconds),
+        "numpy_speedup_vs_scalar": round(scalar_seconds / numpy_seconds, 2),
+        "verified": True,
+        **native_row,
+    }
+
+
+def _measure_blackbox_loop(universe: int) -> dict:
+    """Before/after for the black-box full-vector probe loop.
+
+    "Before" replays the one-coordinate-at-a-time scan (the pre-engine
+    ``learn_coordinate`` loop); "after" runs the blocked
+    ``learn_full_vector``.  Learned vectors and interaction counts are
+    verified identical before the numbers count.
+    """
+    scalar_learner = BlackBoxSignLearner(AMSSketch(universe, rows=1, seed=5))
+    start = time.perf_counter()
+    before_vector = [
+        scalar_learner.learn_coordinate(j) for j in range(universe)
+    ]
+    before = time.perf_counter() - start
+
+    blocked_learner = BlackBoxSignLearner(AMSSketch(universe, rows=1, seed=5))
+    start = time.perf_counter()
+    after_vector = blocked_learner.learn_full_vector()
+    after = time.perf_counter() - start
+
+    if before_vector != after_vector:
+        raise AssertionError("blocked probe loop learned a different vector")
+    if scalar_learner.interactions != blocked_learner.interactions:
+        raise AssertionError("blocked probe loop changed interaction counts")
+    return {
+        "loop": "blackbox learn_full_vector (AMS rows=1)",
+        "universe": universe,
+        "interactions": blocked_learner.interactions,
+        "before_seconds": round(before, 4),
+        "after_seconds": round(after, 4),
+        "before_us_per_coordinate": round(before / universe * 1e6, 2),
+        "after_us_per_coordinate": round(after / universe * 1e6, 2),
+        "speedup": round(before / after, 2),
+    }
+
+
+def _measure_row_structure(universe: int) -> dict:
+    """Before/after for the CountSketch linear-structure materialization."""
+    sketch = CountSketch(universe, width=64, depth=4, seed=6)
+
+    start = time.perf_counter()
+    before_structure = [
+        [(sketch._bucket(row, item), sketch._sign(row, item))
+         for item in range(universe)]
+        for row in range(sketch.depth)
+    ]
+    before = time.perf_counter() - start
+
+    start = time.perf_counter()
+    buckets, signs = sketch.sketch_matrix_row_structure()
+    after = time.perf_counter() - start
+
+    for row in range(sketch.depth):
+        row_pairs = list(zip(buckets[row].tolist(), signs[row].tolist()))
+        if row_pairs != before_structure[row]:
+            raise AssertionError("vectorized row structure diverged")
+    return {
+        "loop": "count-sketch sketch_matrix_row_structure (depth 4)",
+        "universe": universe,
+        "before_seconds": round(before, 4),
+        "after_seconds": round(after, 4),
+        "speedup": round(before / after, 2),
+    }
+
+
+def measure_query_path(n: int, probe_lengths: tuple[int, ...], quick: bool) -> dict:
+    """The query_path section: batched estimates + adversary hot loops."""
+    fill_items, fill_deltas = uniform_arrays(n, min(probe_lengths), seed=99)
+    count_min = CountMinSketch(n, width=64, depth=4, seed=1)
+    count_sketch = CountSketch(n, width=64, depth=4, seed=2)
+    StreamEngine().drive_arrays(count_min, fill_items, fill_deltas)
+    StreamEngine().drive_arrays(count_sketch, fill_items, fill_deltas)
+
+    rows = []
+    rng = np.random.default_rng(2718)
+    for length in probe_lengths:
+        probe = rng.integers(0, n, length, dtype=np.int64)
+        rows.append(_measure_estimate_tiers("count-min 4x64", count_min, probe))
+        rows.append(
+            _measure_estimate_tiers("count-sketch 4x64", count_sketch, probe)
+        )
+    return {
+        "benchmark": "scalar estimate loop vs estimate_batch tiers",
+        "native_kernels": kernels.native_kernels_available(),
+        "universe_size": n,
+        "note": (
+            "scalar = per-item estimate() calls (the reference the batched "
+            "answers are verified bit/float-identical against before any "
+            "timing counts); numpy = estimate_batch with the native tier "
+            "killed (REPRO_NATIVE_KERNELS=0); native = the fused "
+            "hash+gather+row-min kernel for CountMin and the fused "
+            "hash+sign+gather+median numpy path for CountSketch"
+        ),
+        "results": rows,
+        "adversary_loops": [
+            _measure_blackbox_loop(5_000 if quick else 20_000),
+            _measure_row_structure(20_000 if quick else 100_000),
+        ],
+    }
+
+
 def main() -> None:
     quick = "--quick" in sys.argv
     n = 1_000_000
@@ -344,6 +524,11 @@ def main() -> None:
         "hash_reduction": measure_hash_reduction(n),
         "scatter_fusion": measure_scatter_fusion(
             n, (100_000, 1_000_000) if quick else (1_000_000, 10_000_000)
+        ),
+        "query_path": measure_query_path(
+            n,
+            (100_000, 1_000_000) if quick else (1_000_000, 10_000_000),
+            quick,
         ),
     }
     out = REPO_ROOT / "BENCH_batch.json"

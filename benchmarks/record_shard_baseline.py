@@ -36,6 +36,12 @@ payload records the skip reason instead of overhead-dominated numbers.
 Usage::
 
     PYTHONPATH=src python benchmarks/record_shard_baseline.py [--quick]
+        [--require-backends]
+
+``--require-backends`` turns the single-CPU skip into a hard failure: the
+CI shard-smoke job passes it so the backend race is *recorded* on every
+multi-core runner (GitHub runners expose 2 cores) instead of silently
+degrading to skip rows if the runner shape ever changes.
 """
 
 from __future__ import annotations
@@ -209,12 +215,22 @@ def main() -> None:
 
     # Backend race: shard count sized to the detected cores (capped so the
     # run stays honest and quick on small hosts; never below 2 shards so
-    # the parallel backends actually fan out).  On a single-CPU host the
-    # parallel backends can only measure dispatch overhead -- the race is
-    # skipped outright, with the reason recorded, rather than committing
-    # overhead-dominated numbers as if they were scaling data.
+    # the parallel backends actually fan out).  The race runs whenever
+    # os.cpu_count() > 1; on a single-CPU host the parallel backends can
+    # only measure dispatch overhead -- the race is skipped outright, with
+    # the reason recorded, rather than committing overhead-dominated
+    # numbers as if they were scaling data.  --require-backends (the CI
+    # shard-smoke job's mode) refuses the skip, so multi-core runners
+    # always record real serial/thread/process rows.
     cpus = os.cpu_count() or 1
     if cpus < 2:
+        if "--require-backends" in sys.argv:
+            print(
+                "--require-backends: single-CPU host cannot record the "
+                "backend race",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
         process_payload = {
             "benchmark": "scatter backend race (serial vs thread vs process)",
             "cpus": cpus,
@@ -223,7 +239,9 @@ def main() -> None:
                 "single-CPU host: thread/process backends have no cores to "
                 "overlap on, so their rows would measure shared-memory "
                 "transport + snapshot fan-in dispatch overhead, not "
-                "scaling -- re-record on a multi-core host"
+                "scaling -- the CI shard-smoke job records the race on its "
+                "2-core runners (--require-backends), and a multi-core "
+                "dev host re-records these committed rows"
             ),
         }
     else:

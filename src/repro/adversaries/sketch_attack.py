@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.core.adversary import AdversaryView, WhiteBoxAdversary
 from repro.core.stream import Update
 from repro.heavyhitters.count_sketch import CountSketch
@@ -48,10 +50,8 @@ def ams_kernel_vector(sketch: AMSSketch, support: Optional[int] = None) -> list[
         raise ValueError(
             "universe too small to host a kernel vector of this support"
         )
-    submatrix = [
-        [sketch.sign(row, item) for item in range(columns)]
-        for row in range(sketch.rows)
-    ]
+    chosen = np.arange(columns, dtype=np.int64)
+    submatrix = [sketch.sign_row(row, chosen).tolist() for row in range(sketch.rows)]
     small = rational_kernel_vector(submatrix)
     if small is None:
         raise RuntimeError(
@@ -71,17 +71,17 @@ def count_sketch_kernel_vector(sketch: CountSketch) -> list[int]:
         raise ValueError(
             "universe too small: need depth*width + 1 columns for dependence"
         )
-    # Row (r, b): entry sign_r(i) if bucket_r(i) == b else 0.
-    submatrix = []
+    # Row (r, b): entry sign_r(i) if bucket_r(i) == b else 0 -- scattered
+    # from the vectorized (depth, columns) bucket/sign structure instead
+    # of evaluating O(depth * width * columns) scalar hashes.
+    buckets, signs = sketch.sketch_matrix_row_structure(
+        np.arange(columns, dtype=np.int64)
+    )
+    dense = np.zeros((sketch.depth * sketch.width, columns), dtype=np.int64)
+    item_index = np.arange(columns)
     for row in range(sketch.depth):
-        for bucket in range(sketch.width):
-            submatrix.append(
-                [
-                    sketch._sign(row, item) if sketch._bucket(row, item) == bucket else 0
-                    for item in range(columns)
-                ]
-            )
-    small = rational_kernel_vector(submatrix)
+        dense[row * sketch.width + buckets[row], item_index] = signs[row]
+    small = rational_kernel_vector(dense.tolist())
     if small is None:
         raise RuntimeError("no rational kernel found for CountSketch map")
     vector = [0] * sketch.universe_size

@@ -15,6 +15,13 @@ implements:
 :mod:`repro.adversaries` consume it to mount white-box attacks (e.g., reading
 the AMS sign matrix out of the view and streaming one of its kernel vectors).
 
+Algorithms that answer *point queries* (``estimate(item)``) additionally
+expose :meth:`StreamAlgorithm.estimate_batch` -- the query engine's batching
+protocol, mirroring ``process_batch`` on the read side: a scalar-loop
+default plus bit/float-identical vectorized overrides in every sketch
+family, which is what lets adversarial game loops probe millions of
+coordinates per round at numpy (or compiled-kernel) speed.
+
 Mergeable sketches
 ------------------
 The paper's sketches are linear or chunk-decomposable maps of the frequency
@@ -49,6 +56,8 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
+import numpy as np
+
 from repro.core.randomness import RandomDraw, WitnessedRandom
 from repro.core.stream import Update
 
@@ -69,8 +78,15 @@ class StateView:
     ----------
     fields:
         All internal data-structure contents, keyed by descriptive names.
-        Values should be plain data (ints, tuples, dicts, numpy arrays); the
-        adversary may inspect them arbitrarily.
+        Values should be plain *comparable* data (ints, tuples, dicts,
+        digest strings); the adversary may inspect them arbitrarily.
+        Large array state (the CountMin/CountSketch tables) rides as a
+        ``sha256`` content fingerprint (``table_digest``) rather than a
+        per-round tuple materialization -- the adversary loses nothing
+        it could not already derive (every cell is reconstructible from
+        the stream history plus the hash parameters in the same view,
+        and the in-repo attacks read only those parameters), while
+        equality comparisons between views stay exact.
     randomness:
         The full transcript of random draws made so far.
     """
@@ -146,6 +162,34 @@ class StreamAlgorithm(abc.ABC):
         """
         for item, delta in zip(items, deltas):
             self.process(Update(int(item), int(delta)))
+
+    def estimate_batch(self, items) -> np.ndarray:
+        """Batched point queries: ``array([estimate(i) for i in items])``.
+
+        The read-side twin of :meth:`process_batch`.  The batching
+        contract is the same: overrides must return values
+        *bit/float-identical* to calling the algorithm's scalar
+        ``estimate`` once per probe item -- same integers, same float
+        roundings, same tie resolutions -- so a game, experiment, or
+        adversary that switches to the batched path observes exactly the
+        answers the per-item path would have produced
+        (``tests/test_query_engine.py`` pins this per family).
+
+        The default loops the scalar path (converting each probe to a
+        Python int so arbitrary-precision arithmetic is preserved);
+        array-backed sketches override it with fused hash+gather kernels
+        (:mod:`repro.core.kernels`) or vectorized dict-to-array lookups.
+        Algorithms without a point ``estimate`` raise :class:`TypeError`.
+        """
+        estimate = getattr(self, "estimate", None)
+        if estimate is None:
+            raise TypeError(
+                f"{type(self).__name__} has no point estimate to batch"
+            )
+        values = [estimate(int(item)) for item in items]
+        if not values:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(values)
 
     # -- conveniences -------------------------------------------------------
 

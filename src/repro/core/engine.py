@@ -159,6 +159,7 @@ class StreamEngine:
         query_every: int = 1,
         record_failures: int = 16,
         retain_history: Optional[int] = 64,
+        probe_items=None,
     ) -> GameResult:
         """Play the white-box game, batching when the adversary permits.
 
@@ -177,6 +178,11 @@ class StreamEngine:
           chunk size is therefore coarsened to the chunk size, and
           ``total_failures`` counts failed *checkpoints*, not failed rounds
           -- don't compare it numerically against a per-round game.
+        * ``probe_items`` (either mode) turns every validation checkpoint
+          into a batched point-query round as well: one vectorized
+          ``estimate_batch(probe_items)`` call per checkpoint, recorded in
+          ``checkpoint_estimates`` -- the batched per-round query path,
+          answering exactly what per-item ``estimate`` calls would.
         * ``retain_history`` does not apply: no per-round history is
           accumulated (the adversary declared it reads none).  Instead the
           result carries the array-native transcript: ``chunk_rounds`` /
@@ -194,6 +200,7 @@ class StreamEngine:
                 query_every=query_every,
                 record_failures=record_failures,
                 retain_history=retain_history,
+                probe_items=probe_items,
             )
         return self._play_batched(
             algorithm,
@@ -203,6 +210,7 @@ class StreamEngine:
             max_rounds,
             query_every,
             record_failures,
+            probe_items,
         )
 
     def _play_batched(
@@ -214,6 +222,7 @@ class StreamEngine:
         max_rounds: int,
         query_every: int,
         record_failures: int,
+        probe_items=None,
     ) -> GameResult:
         """Chunked game loop for adversaries that committed to their stream."""
         if query_every <= 0:
@@ -234,6 +243,10 @@ class StreamEngine:
             result.final_truth = truth
             result.checkpoint_rounds.append(round_index)
             result.checkpoint_answers.append(answer)
+            if probe_items is not None:
+                result.checkpoint_estimates.append(
+                    algorithm.estimate_batch(probe_items)
+                )
             if not validator(answer, truth):
                 failure_count += 1
                 if len(result.failures) < record_failures:

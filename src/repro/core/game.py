@@ -106,6 +106,10 @@ class GameResult:
     checkpoint_rounds: list[int] = field(default_factory=list)
     #: The answers produced at those checkpoints.
     checkpoint_answers: list[Any] = field(default_factory=list)
+    #: Batched per-round probe answers: one ``estimate_batch(probe_items)``
+    #: array per validation checkpoint, recorded by either game loop when
+    #: the caller passes ``probe_items`` (the vectorized query path).
+    checkpoint_estimates: list[Any] = field(default_factory=list)
 
     @property
     def algorithm_won(self) -> bool:
@@ -130,6 +134,13 @@ class GameResult:
             "space_bits": np.asarray(self.chunk_space_bits, dtype=np.int64),
             "checkpoint_rounds": np.asarray(self.checkpoint_rounds, dtype=np.int64),
             "checkpoint_answers": np.asarray(self.checkpoint_answers, dtype=object),
+            # One row per checkpoint, one column per probe item (the probe
+            # set is fixed for a game, so the rows always stack).
+            "checkpoint_estimates": (
+                np.stack(self.checkpoint_estimates)
+                if self.checkpoint_estimates
+                else np.empty((0, 0))
+            ),
         }
 
 
@@ -142,6 +153,7 @@ def run_game(
     query_every: int = 1,
     record_failures: int = 16,
     retain_history: Optional[int] = 64,
+    probe_items=None,
 ) -> GameResult:
     """Play the white-box game for up to ``max_rounds`` rounds.
 
@@ -160,6 +172,13 @@ def run_game(
         history; bounding it is a harness memory optimization -- every
         adversary implemented in :mod:`repro.adversaries` decides from the
         latest state, and tests that need full history pass ``None``.
+    probe_items:
+        Optional array of items to point-query at every validation round
+        through one vectorized ``estimate_batch`` call -- the batched
+        per-round query path.  Each probe's answers land in
+        ``checkpoint_estimates`` with the round recorded in
+        ``checkpoint_rounds``; answers are bit/float-identical to calling
+        the scalar ``estimate`` per item (the batching contract).
 
     Returns
     -------
@@ -203,6 +222,13 @@ def run_game(
             valid = validator(answer, truth)
             result.final_answer = answer
             result.final_truth = truth
+            if probe_items is not None:
+                # Keep the checkpoint lists paired, as in the batched loop.
+                result.checkpoint_rounds.append(round_index + 1)
+                result.checkpoint_answers.append(answer)
+                result.checkpoint_estimates.append(
+                    algorithm.estimate_batch(probe_items)
+                )
             if not valid:
                 failure_count += 1
                 if len(result.failures) < record_failures:

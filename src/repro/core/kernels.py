@@ -1,4 +1,4 @@
-"""Fused scatter-add kernels -- the library's one hot-loop layer.
+"""Fused scatter/gather kernels -- the library's one hot-loop layer.
 
 Every batched sketch update bottoms out in the same three-step shape:
 hash a chunk of items, (optionally) weight the deltas, and scatter-add
@@ -6,6 +6,16 @@ into a small table.  Before this module each sketch ran that shape as a
 chain of numpy ufunc passes (one hash kernel, one weight multiply, one
 ``np.add.at``), each pass streaming the whole chunk through memory.  The
 kernels here fuse the chain two ways:
+
+The *query* side mirrors the shape: a batched point estimate hashes a
+chunk of probe items and gathers table cells instead of scattering into
+them.  ``count_min_estimate`` fuses hash+gather+row-min into one native
+pass, and ``ams_sign_bits`` decodes AMS sign bits -- a full CPython
+``random.Random(seed).getrandbits(1)`` (MT19937 ``init_by_array``
+seeding plus one tempered output word) per item, bit-identical to the
+interpreter's own derivation -- without entering the Python interpreter
+per item, which is what makes the adversary probe loops in
+:mod:`repro.adversaries.blackbox_attack` fast.
 
 **Native tier.**  A few dozen lines of C -- compiled *on demand* with the
 host's system compiler (``cc``/``gcc``/``clang``), loaded through
@@ -58,6 +68,8 @@ import numpy as np
 
 __all__ = [
     "NATIVE_HASH_BOUND",
+    "ams_sign_bits",
+    "count_min_estimate",
     "count_min_scatter",
     "count_sketch_scatter",
     "native_kernels_available",
@@ -190,6 +202,103 @@ void repro_sis_scatter(int64_t *dense, int64_t rows,
     }
 }
 
+/* Fused CountMin batched estimate: per block, hash every row and fold
+   the gathered cells into a running minimum -- one pass over the probe
+   items, no (depth, n) intermediate. */
+void repro_cm_estimate(const int64_t *table, int64_t depth, int64_t width,
+                       const int64_t *items, int64_t n, const int64_t *a,
+                       const int64_t *b, int64_t prime, int64_t *out)
+{
+    double inv_p = 1.0 / (double)prime;
+    double inv_w = 1.0 / (double)width;
+    int64_t wmask = (width & (width - 1)) ? 0 : width - 1;
+    int64_t cells[BLOCK];
+    int64_t start, r, i;
+    for (start = 0; start < n; start += BLOCK) {
+        int64_t cnt = n - start < BLOCK ? n - start : BLOCK;
+        for (r = 0; r < depth; ++r) {
+            const int64_t *row = table + r * width;
+            int64_t *dst = out + start;
+            hash_block(items + start, cnt, a[r], b[r], prime, width,
+                       wmask, inv_p, inv_w, cells);
+            if (r == 0) {
+                for (i = 0; i < cnt; ++i) dst[i] = row[cells[i]];
+            } else {
+                for (i = 0; i < cnt; ++i) {
+                    int64_t v = row[cells[i]];
+                    if (v < dst[i]) dst[i] = v;
+                }
+            }
+        }
+    }
+}
+
+#define MT_N 624
+
+/* mt[] <- init_genrand(s): the MT19937 state fill CPython seeds with. */
+static void mt_init_genrand(uint32_t *mt, uint32_t s)
+{
+    int i;
+    mt[0] = s;
+    for (i = 1; i < MT_N; i++)
+        mt[i] = (uint32_t)(1812433253UL * (mt[i - 1] ^ (mt[i - 1] >> 30)) + i);
+}
+
+/* First output bit of CPython's random.Random(seed).getrandbits(1) for
+   0 <= seed < 2^64: init_by_array over the 1-or-2-word little-endian
+   key (exactly random_seed() in Modules/_randommodule.c), then the
+   index-0 twist step and tempering of genrand_uint32 -- only the first
+   word is ever read, so the remaining 623 twist steps are skipped.
+   base[] is the shared init_genrand(19650218) state, computed once per
+   batch. */
+static int64_t mt_first_bit(const uint32_t *base, uint64_t seed)
+{
+    uint32_t mt[MT_N];
+    uint32_t key[2];
+    uint32_t y, y0;
+    int keylen, i, j, k;
+    key[0] = (uint32_t)(seed & 0xffffffffUL);
+    key[1] = (uint32_t)(seed >> 32);
+    keylen = key[1] ? 2 : 1;
+    for (i = 0; i < MT_N; i++) mt[i] = base[i];
+    i = 1; j = 0;
+    for (k = MT_N; k; k--) {
+        mt[i] = (uint32_t)((mt[i] ^ ((mt[i - 1] ^ (mt[i - 1] >> 30))
+                                     * 1664525UL)) + key[j] + (uint32_t)j);
+        i++; j++;
+        if (i >= MT_N) { mt[0] = mt[MT_N - 1]; i = 1; }
+        if (j >= keylen) j = 0;
+    }
+    for (k = MT_N - 1; k; k--) {
+        mt[i] = (uint32_t)((mt[i] ^ ((mt[i - 1] ^ (mt[i - 1] >> 30))
+                                     * 1566083941UL)) - (uint32_t)i);
+        i++;
+        if (i >= MT_N) { mt[0] = mt[MT_N - 1]; i = 1; }
+    }
+    mt[0] = 0x80000000UL;
+    y = (mt[0] & 0x80000000UL) | (mt[1] & 0x7fffffffUL);
+    y0 = mt[397] ^ (y >> 1) ^ ((y & 1) ? 0x9908b0dfUL : 0UL);
+    y0 ^= (y0 >> 11);
+    y0 ^= (y0 << 7) & 0x9d2c5680UL;
+    y0 ^= (y0 << 15) & 0xefc60000UL;
+    y0 ^= (y0 >> 18);
+    return (int64_t)(y0 >> 31);
+}
+
+/* AMS sign decode: out[i] = +-1 with the same bit CPython's
+   random.Random((row_seed << 20) ^ items[i]).getrandbits(1) draws. */
+void repro_ams_signs(uint64_t base_seed, const int64_t *items, int64_t n,
+                     int64_t *out)
+{
+    uint32_t base[MT_N];
+    int64_t i;
+    mt_init_genrand(base, 19650218UL);
+    for (i = 0; i < n; ++i) {
+        uint64_t seed = base_seed ^ (uint64_t)items[i];
+        out[i] = mt_first_bit(base, seed) ? 1 : -1;
+    }
+}
+
 /* Fused universe partition: Fibonacci hash + counting sort + stable
    scatter, one pass each.  counts must hold 2*num_shards slots (the
    second half is the running-write-position scratch); shard ids land in
@@ -230,6 +339,8 @@ _SIGNATURES = {
         _P64, _I64, _I64, _P64, _P64, _I64, _P64, _P64, _P64, _P64, _I64,
     ],
     "repro_sis_scatter": [_P64, _I64, _P64, _P64, _P64, _I64, _P64, _I64],
+    "repro_cm_estimate": [_P64, _I64, _I64, _P64, _I64, _P64, _P64, _I64, _P64],
+    "repro_ams_signs": [ctypes.c_uint64, _P64, _I64, _P64],
     "repro_partition": [
         _P64, _P64, _I64, ctypes.c_uint64, _I64, _I64, _I64, _I64,
         _P64, _P64, _P64, _P64,
@@ -361,6 +472,41 @@ def _self_check(lib: ctypes.CDLL) -> bool:
             expected_dense[chunk] + value * cols[offset]
         ) % modulus
     if not np.array_equal(dense, expected_dense):
+        return False
+
+    probe = np.array([0, 2, 6, 12, 9], dtype=np.int64)
+    estimates = np.empty(probe.size, dtype=np.int64)
+    lib.repro_cm_estimate(
+        table.ctypes.data, _I64(depth), _I64(width), probe.ctypes.data,
+        _I64(probe.size), a.ctypes.data, b.ctypes.data, _I64(prime),
+        estimates.ctypes.data,
+    )
+    expected_est = np.min(
+        np.stack(
+            [table[r, ((a[r] * probe + b[r]) % prime) % width] for r in range(depth)]
+        ),
+        axis=0,
+    )
+    if not np.array_equal(estimates, expected_est):
+        return False
+
+    import random as _random
+
+    base_seed = 1234567 << 20
+    sign_items = np.array([0, 1, 2, 77, (1 << 33) + 5], dtype=np.int64)
+    signs_out = np.empty(sign_items.size, dtype=np.int64)
+    lib.repro_ams_signs(
+        ctypes.c_uint64(base_seed), sign_items.ctypes.data,
+        _I64(sign_items.size), signs_out.ctypes.data,
+    )
+    expected_signs = np.array(
+        [
+            1 if _random.Random(base_seed ^ int(item)).getrandbits(1) else -1
+            for item in sign_items
+        ],
+        dtype=np.int64,
+    )
+    if not np.array_equal(signs_out, expected_signs):
         return False
 
     out_items = np.empty_like(items)
@@ -561,6 +707,73 @@ def count_sketch_scatter(
         _I64(prime),
     )
     return True
+
+
+def count_min_estimate(
+    table: np.ndarray,
+    items: np.ndarray,
+    row_a: np.ndarray,
+    row_b: np.ndarray,
+    prime: int,
+) -> Optional[np.ndarray]:
+    """Native fused CountMin batched estimate; ``None`` keeps the caller's path.
+
+    One pass per block: hash every row, gather its cells, fold the
+    running minimum -- the read-side twin of :func:`count_min_scatter`,
+    with the same gates (int64 contiguous operands, ``prime <
+    NATIVE_HASH_BOUND``, items inside the ``0 <= x < prime`` hash
+    domain so the double-reciprocal reduction stays exact and every
+    table read stays in bounds).
+    """
+    lib = _native()
+    if (
+        lib is None
+        or prime >= NATIVE_HASH_BOUND
+        or not _contiguous_i64(table, items, row_a, row_b)
+        or not _items_in_hash_domain(items, prime)
+    ):
+        return None
+    out = np.empty(items.size, dtype=np.int64)
+    lib.repro_cm_estimate(
+        table.ctypes.data,
+        _I64(table.shape[0]),
+        _I64(table.shape[1]),
+        items.ctypes.data,
+        _I64(items.size),
+        row_a.ctypes.data,
+        row_b.ctypes.data,
+        _I64(prime),
+        out.ctypes.data,
+    )
+    return out
+
+
+def ams_sign_bits(base_seed: int, items: np.ndarray) -> Optional[np.ndarray]:
+    """Native AMS sign decode; ``None`` keeps the caller's scalar path.
+
+    Returns the ``+-1`` array whose entries equal CPython's
+    ``random.Random(base_seed ^ item).getrandbits(1)`` mapped to
+    ``{1, -1}`` -- bit-identical to :meth:`repro.moments.ams.AMSSketch.sign`
+    (the self-check pins it against the interpreter at load time).
+    Gates: nonnegative int64 items and ``0 <= base_seed < 2**64`` keep
+    ``base_seed ^ item`` a valid 1-or-2-word MT19937 key.
+    """
+    lib = _native()
+    if (
+        lib is None
+        or not 0 <= base_seed < 1 << 64
+        or not _contiguous_i64(items)
+        or (items.size and int(items.min()) < 0)
+    ):
+        return None
+    out = np.empty(items.size, dtype=np.int64)
+    lib.repro_ams_signs(
+        ctypes.c_uint64(base_seed),
+        items.ctypes.data,
+        _I64(items.size),
+        out.ctypes.data,
+    )
+    return out
 
 
 def sis_dense_scatter(

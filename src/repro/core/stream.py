@@ -14,6 +14,7 @@ and exposes the norms and moments the paper studies (``F_p``, ``L_p``,
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -29,6 +30,8 @@ __all__ = [
     "add_tables_with_promotion",
     "barrett_mod",
     "linear_hash_rows",
+    "lookup_counters_batch",
+    "table_fingerprint",
     "INT64_HASH_BOUND",
     "INT64_SAFE_MASS",
 ]
@@ -171,6 +174,77 @@ def aggregate_batch(
     for index, delta in zip(inverse.tolist(), deltas.tolist()):
         totals[index] += delta
     return unique.tolist(), totals
+
+
+def table_fingerprint(table: np.ndarray) -> str:
+    """Content fingerprint of a sketch table for white-box state views.
+
+    ``sha256`` over dtype, shape, and the raw cell buffer: tables holding
+    equal values fingerprint equal, any mutated cell changes the digest,
+    and a ``state_view()`` snapshot no longer materializes
+    ``O(depth * width)`` Python tuples -- adaptive games snapshot the
+    state *every round*, so this runs on the per-round hot path.  The
+    fingerprint is a commitment, not a redaction: the white-box model
+    still exposes the full table (``sketch.table``, and the hash
+    parameters in the same view let the adversary reconstruct every
+    cell's address); the view just stops paying quadratic materialization
+    for it.  Equality is over *values*, matching the tuple
+    materialization this replaces: a preemptively promoted object table
+    whose cells still fit int64 hashes identically to its int64 twin
+    (the absorbed-mass promotion is a conservative bound, so the loop
+    and batch paths may promote at different points while holding equal
+    cells); only tables with genuinely beyond-int64 cells hash their
+    repr'd values (their raw buffer would be interpreter pointers).
+    """
+    payload_dtype = table.dtype.str
+    if table.dtype == object:
+        try:
+            canonical = table.astype(np.int64)
+        except (OverflowError, TypeError, ValueError):
+            payload = repr(table.tolist()).encode()
+        else:
+            payload = canonical.tobytes()
+            payload_dtype = canonical.dtype.str
+    else:
+        payload = table.tobytes()
+    meta = f"{payload_dtype}:{table.shape}:".encode()
+    return hashlib.sha256(meta + payload).hexdigest()
+
+
+def lookup_counters_batch(counters, items, default: int = 0) -> np.ndarray:
+    """Vectorized ``[counters.get(i, default) for i in items]``.
+
+    The one dict-to-array primitive behind the counter summaries'
+    ``estimate_batch`` paths (Misra-Gries, SpaceSaving, and the BernMG /
+    robust heavy-hitters wrappers above them): keys and values are pulled
+    into int64 arrays once, sorted, and every probe resolved with a single
+    ``np.searchsorted`` pass -- ``O((k + n) log k)`` for ``k`` counters and
+    ``n`` probes, no per-probe Python.  Exactness contract: returns the
+    same integers the dict lookups produce; any key, value, probe, or
+    default beyond int64 (huge-coefficient attack summaries) routes the
+    whole call through the exact Python loop instead of wrapping.
+    """
+    try:
+        probe = np.asarray(items, dtype=np.int64)
+        count = len(counters)
+        keys = np.fromiter(counters.keys(), dtype=np.int64, count=count)
+        values = np.fromiter(counters.values(), dtype=np.int64, count=count)
+        fill = np.int64(default)
+    except (OverflowError, TypeError, ValueError):
+        looked_up = [counters.get(int(item), default) for item in items]
+        if not looked_up:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(looked_up)
+    if probe.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if count == 0:
+        return np.full(probe.shape, fill, dtype=np.int64)
+    order = np.argsort(keys)
+    keys = keys[order]
+    values = values[order]
+    pos = np.searchsorted(keys, probe)
+    np.minimum(pos, count - 1, out=pos)
+    return np.where(keys[pos] == probe, values[pos], fill)
 
 
 def add_tables_with_promotion(

@@ -113,10 +113,14 @@ def run(
                 sharded = ShardedStreamEngine(make_cm, num_shards=shards)
                 sharded.drive(batched_planted_stream(universe, m, heavies, seed=m))
                 merged = sharded.merged()
+                # One batched point query over the fleet (one merge fan-in,
+                # one vectorized estimate pass) instead of per-item calls.
+                candidates = sorted(true_heavy)
+                estimates = sharded.estimate_batch(candidates)
                 found = {
                     item
-                    for item in true_heavy
-                    if sharded.algorithm.estimate(item) >= eps * m
+                    for item, estimate in zip(candidates, estimates.tolist())
+                    if estimate >= eps * m
                 }
                 row["shards"] = shards
                 row["cm_sharded_match"] = (

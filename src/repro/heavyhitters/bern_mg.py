@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.core.randomness import WitnessedRandom
 from repro.core.space import bits_for_float, bits_for_int, bits_for_universe
 from repro.core.stream import Update, aggregate_batch
@@ -105,6 +107,15 @@ class BernMG:
     def estimate(self, item: int) -> float:
         """Scaled frequency estimate ``MG_count / p``."""
         return self.summary.estimate(item) / self.probability
+
+    def estimate_batch(self, items) -> np.ndarray:
+        """Batched scaled estimates: one vectorized lookup, one divide.
+
+        Float-identical to the scalar path -- the int64 counts convert
+        to float64 with the same rounding CPython's int/float division
+        applies before dividing by the stored rate.
+        """
+        return self.summary.estimate_batch(items) / self.probability
 
     def candidates(self) -> dict[int, float]:
         """The O(1/eps)-sized candidate list with scaled estimates."""

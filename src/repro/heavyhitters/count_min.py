@@ -36,6 +36,7 @@ from repro.core.stream import (
     Update,
     add_tables_with_promotion,
     linear_hash_rows,
+    table_fingerprint,
 )
 from repro.crypto.modmath import next_prime
 
@@ -165,6 +166,54 @@ class CountMinSketch(MergeableSketch, StreamAlgorithm):
             int(self.table[row, self._cell(row, item)]) for row in range(self.depth)
         )
 
+    def estimate_batch(self, items) -> np.ndarray:
+        """Vectorized ``min_r table[r][h_r(item)]`` over a probe array.
+
+        Tiers mirror :meth:`process_batch`: the native fused
+        hash+gather+row-min kernel when available, per-row
+        ``linear_hash_rows`` + gather + running ``np.minimum`` in numpy
+        otherwise -- both bit-identical to the scalar loop (int64 cells
+        hold exact counts, and the hash paths are the pinned
+        division-free reductions).  Promoted (object) tables,
+        out-of-hash-domain probes, and beyond-int64 items fall back to
+        the exact scalar loop.
+        """
+        try:
+            probe = np.ascontiguousarray(items, dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return super().estimate_batch(items)
+        if probe.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if (
+            not self._vectorizable
+            or self.table.dtype == object
+            or int(probe.min()) < 0
+            or int(probe.max()) >= self.prime
+        ):
+            return super().estimate_batch(probe)
+        fused = kernels.count_min_estimate(
+            self.table, probe, self._row_a, self._row_b, self.prime
+        )
+        if fused is not None:
+            return fused
+        # Blocked so the per-row hash/gather scratch stays cache-resident
+        # on huge probe sets (the native kernel blocks internally too).
+        out = np.empty(probe.size, dtype=np.int64)
+        block = 1 << 15
+        for start in range(0, probe.size, block):
+            piece = probe[start : start + block]
+            acc: np.ndarray | None = None
+            for row, (a, b) in enumerate(self.row_params):
+                cells = linear_hash_rows(piece, a, b, self.prime, self.width)
+                gathered = self.table[row].take(cells)
+                acc = (
+                    gathered
+                    if acc is None
+                    else np.minimum(acc, gathered, out=acc)
+                )
+            out[start : start + piece.size] = acc
+        return out
+
     def query(self) -> dict[int, int]:
         """Estimates for all tracked cells are not enumerable; games query
         specific items via :meth:`estimate`.  The generic query returns the
@@ -177,9 +226,14 @@ class CountMinSketch(MergeableSketch, StreamAlgorithm):
         return self.depth * self.width * cell_bits + param_bits
 
     def _state_fields(self) -> dict:
+        # The table rides as a content fingerprint, not materialized
+        # tuples: equal tables compare equal, mutations change it, and
+        # per-round state snapshots stay O(depth * width) bytes hashed
+        # instead of Python-tuple allocations (the full table remains
+        # white-box readable as ``self.table``).
         return {
             "row_params": tuple(self.row_params),
             "prime": self.prime,
             "width": self.width,
-            "table": tuple(tuple(row) for row in self.table.tolist()),
+            "table_digest": table_fingerprint(self.table),
         }

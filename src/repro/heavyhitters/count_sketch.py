@@ -32,6 +32,7 @@ from repro.core.stream import (
     add_tables_with_promotion,
     barrett_mod,
     linear_hash_rows,
+    table_fingerprint,
 )
 from repro.crypto.modmath import next_prime
 
@@ -78,6 +79,20 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
         a, b = self.sign_params[row]
         return 1 if ((a * item + b) % self.prime) % 2 == 0 else -1
 
+    def _row_hashes(self, row: int, items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One row's vectorized ``(buckets, signs)`` over an item array.
+
+        The single copy of the division-free bucket/sign derivation
+        (bit-identical to ``_bucket``/``_sign`` under the int64-hash
+        caller contract: ``0 <= items < prime < INT64_HASH_BOUND``);
+        shared by the batched update, estimate, and row-structure paths.
+        """
+        a, b = self.bucket_params[row]
+        buckets = linear_hash_rows(items, a, b, self.prime, self.width)
+        a, b = self.sign_params[row]
+        signs = 1 - 2 * (barrett_mod(a * items + b, self.prime) & 1)
+        return buckets, signs
+
     def _note_mass(self, amount: int) -> None:
         """Promote to exact (object) cells before int64 could wrap.
 
@@ -115,12 +130,7 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
         ):
             return
         for row in range(self.depth):
-            a, b = self.bucket_params[row]
-            # Division-free hashing (bit-identical to % prime % width /
-            # % prime % 2); the parity reduction is a bitwise and.
-            buckets = linear_hash_rows(items, a, b, self.prime, self.width)
-            a, b = self.sign_params[row]
-            signs = 1 - 2 * (barrett_mod(a * items + b, self.prime) & 1)
+            buckets, signs = self._row_hashes(row, items)
             signed = (
                 signs.astype(object) * deltas.astype(object)
                 if exact
@@ -166,11 +176,77 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
             return float(values[mid])
         return (values[mid - 1] + values[mid]) / 2.0
 
+    def estimate_batch(self, items) -> np.ndarray:
+        """Vectorized median-of-rows estimates: fused hash+sign+gather+median.
+
+        Bit/float-identical to the scalar loop: signed gathers stay in
+        int64 (cell magnitudes are bounded by the absorbed mass, which is
+        below ``INT64_SAFE_MASS`` whenever the table is still int64, so
+        neither the sign multiply nor the even-depth midpoint sum can
+        wrap), the per-probe sort reproduces the scalar path's value
+        ordering (ties are between equal integers), odd depths convert
+        the middle value exactly as ``float()`` does, and even depths
+        compute ``(lo + hi) / 2.0`` from the exact integer sum with the
+        same int64 -> float64 rounding CPython applies.  Promoted
+        (object) tables and out-of-domain probes fall back to the exact
+        scalar loop.
+        """
+        try:
+            probe = np.ascontiguousarray(items, dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return super().estimate_batch(items)
+        if probe.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if (
+            not self._vectorizable
+            or self.table.dtype == object
+            or int(probe.min()) < 0
+            or int(probe.max()) >= self.prime
+        ):
+            return super().estimate_batch(probe)
+        # Blocked so the (depth, block) signed-gather scratch stays
+        # cache-resident on huge probe sets.
+        out = np.empty(probe.size, dtype=np.float64)
+        block = 1 << 15
+        scratch = np.empty((self.depth, min(block, probe.size)), dtype=np.int64)
+        mid = self.depth // 2
+        for start in range(0, probe.size, block):
+            piece = probe[start : start + block]
+            values = scratch[:, : piece.size]
+            for row in range(self.depth):
+                buckets, signs = self._row_hashes(row, piece)
+                np.multiply(
+                    signs, self.table[row].take(buckets), out=values[row]
+                )
+            values.sort(axis=0)
+            window = slice(start, start + piece.size)
+            if self.depth % 2:
+                out[window] = values[mid]
+            else:
+                out[window] = (values[mid - 1] + values[mid]) / 2.0
+        return out
+
     def f2_estimate(self) -> float:
-        """Median-of-rows estimate of ``F_2`` (each row's bucket-square sum)."""
-        row_estimates = sorted(
-            float(sum(v * v for v in row.tolist())) for row in self.table
-        )
+        """Median-of-rows estimate of ``F_2`` (each row's bucket-square sum).
+
+        Row sums run as one int64 ``np.einsum`` contraction per row while
+        ``width * mass^2`` provably fits (mass bounds every |cell|, so
+        each square is at most ``mass^2`` and the row sum at most
+        ``width * mass^2``); past that bound -- huge-coefficient attack
+        streams, or already-promoted object tables -- the exact
+        Python-int path takes over, so the estimate never wraps.
+        """
+        if (
+            self.table.dtype == object
+            or self._absorbed_mass**2 * self.width >= INT64_SAFE_MASS * 2
+        ):
+            row_estimates = sorted(
+                float(sum(v * v for v in row.tolist())) for row in self.table
+            )
+        else:
+            row_estimates = sorted(
+                float(np.einsum("i,i->", row, row)) for row in self.table
+            )
         mid = len(row_estimates) // 2
         if len(row_estimates) % 2:
             return row_estimates[mid]
@@ -179,17 +255,40 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
     def query(self) -> float:
         return self.f2_estimate()
 
-    def sketch_matrix_row_structure(self) -> list[list[tuple[int, int]]]:
-        """The sketch's linear structure: per row, (bucket, sign) per item.
+    def sketch_matrix_row_structure(
+        self, items=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The sketch's linear structure as ``(buckets, signs)`` arrays.
 
-        Exposed for the kernel attack; in the white-box model this is public
-        information (it is derivable from the state view's parameters).
-        Materializes only for small universes.
+        Two ``(depth, len(items))`` int64 ndarrays over ``items``
+        (default: the whole universe): ``buckets[r, i]`` is the bucket
+        row ``r`` hashes item ``i`` into and ``signs[r, i]`` its ``+-1``
+        sign -- the linear map, hashed through :func:`linear_hash_rows`
+        instead of materializing ``O(depth * universe)`` Python tuples.
+        Exposed for the kernel attack; in the white-box model this is
+        public information (it is derivable from the state view's
+        parameters).
         """
-        return [
-            [(self._bucket(row, item), self._sign(row, item)) for item in range(self.universe_size)]
-            for row in range(self.depth)
-        ]
+        if items is None:
+            items = np.arange(self.universe_size, dtype=np.int64)
+        else:
+            items = np.ascontiguousarray(items, dtype=np.int64)
+        buckets = np.empty((self.depth, items.size), dtype=np.int64)
+        signs = np.empty((self.depth, items.size), dtype=np.int64)
+        if not self._vectorizable or (
+            items.size
+            and not 0 <= int(items.min()) <= int(items.max()) < self.prime
+        ):
+            # Beyond-int64 hash range, or probe items outside the
+            # division-free hash domain: exact scalar hashes.
+            for row in range(self.depth):
+                for index, item in enumerate(items.tolist()):
+                    buckets[row, index] = self._bucket(row, item)
+                    signs[row, index] = self._sign(row, item)
+            return buckets, signs
+        for row in range(self.depth):
+            buckets[row], signs[row] = self._row_hashes(row, items)
+        return buckets, signs
 
     def space_bits(self) -> int:
         magnitude = int(np.abs(self.table).max()) if self.table.size else 1
@@ -198,10 +297,11 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
         return self.depth * self.width * cell_bits + param_bits
 
     def _state_fields(self) -> dict:
+        # Fingerprinted table, as in ``CountMinSketch._state_fields``.
         return {
             "bucket_params": tuple(self.bucket_params),
             "sign_params": tuple(self.sign_params),
             "prime": self.prime,
             "width": self.width,
-            "table": tuple(tuple(row) for row in self.table.tolist()),
+            "table_digest": table_fingerprint(self.table),
         }

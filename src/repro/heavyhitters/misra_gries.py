@@ -12,9 +12,11 @@ which is the cost Theorem 1.1 removes.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.algorithm import DeterministicAlgorithm
 from repro.core.space import bits_for_int, bits_for_universe
-from repro.core.stream import Update
+from repro.core.stream import Update, lookup_counters_batch
 
 __all__ = ["MisraGries", "MisraGriesAlgorithm"]
 
@@ -57,6 +59,16 @@ class MisraGries:
     def estimate(self, item: int) -> int:
         """Lower-bound estimate: ``f_i - offered/(capacity+1) <= est <= f_i``."""
         return self.counters.get(item, 0)
+
+    def estimate_batch(self, items) -> np.ndarray:
+        """Vectorized :meth:`estimate` over a probe array.
+
+        One sorted dict-to-array lookup
+        (:func:`repro.core.stream.lookup_counters_batch`); identical
+        integers to the scalar path, with the exact-Python fallback for
+        beyond-int64 counters.
+        """
+        return lookup_counters_batch(self.counters, items, default=0)
 
     def items(self) -> dict[int, int]:
         """The current summary (item -> estimate)."""
@@ -105,6 +117,14 @@ class MisraGriesAlgorithm(DeterministicAlgorithm):
     def query(self) -> dict[int, float]:
         """The candidate list with estimates (Theorem 2.2's output shape)."""
         return {item: float(v) for item, v in self.summary.items().items()}
+
+    def estimate(self, item: int) -> int:
+        """Deterministic lower-bound point estimate from the summary."""
+        return self.summary.estimate(item)
+
+    def estimate_batch(self, items) -> np.ndarray:
+        """Vectorized summary lookups (see :meth:`MisraGries.estimate_batch`)."""
+        return self.summary.estimate_batch(items)
 
     def heavy_hitters(self) -> frozenset[int]:
         """Items whose estimate clears (eps/2) of the stream."""

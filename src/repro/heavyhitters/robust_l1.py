@@ -22,6 +22,8 @@ state for an adversary to exploit.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.algorithm import StreamAlgorithm
 from repro.core.randomness import WitnessedRandom
 from repro.core.stream import Update
@@ -127,6 +129,10 @@ class RobustL1HeavyHitters(StreamAlgorithm):
     def estimate(self, item: int) -> float:
         """Scaled frequency estimate from the active instance."""
         return self.scheme.active.estimate(item)
+
+    def estimate_batch(self, items) -> np.ndarray:
+        """Batched scaled estimates from the active BernMG instance."""
+        return self.scheme.active.estimate_batch(items)
 
     def length_estimate(self) -> float:
         """The Morris clock's stream-position estimate."""

@@ -11,7 +11,10 @@ Deterministic, hence white-box robust.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.space import bits_for_int, bits_for_universe
+from repro.core.stream import lookup_counters_batch
 
 __all__ = ["SpaceSaving"]
 
@@ -54,6 +57,19 @@ class SpaceSaving:
         if len(self.counters) < self.capacity:
             return 0
         return min(self.counters.values())
+
+    def estimate_batch(self, items) -> np.ndarray:
+        """Vectorized :meth:`estimate` over a probe array.
+
+        One sorted dict-to-array lookup with the SpaceSaving absent-item
+        default (0 while slots remain, the minimum counter once full);
+        identical integers to the scalar path.
+        """
+        if len(self.counters) < self.capacity:
+            default = 0
+        else:
+            default = min(self.counters.values())
+        return lookup_counters_batch(self.counters, items, default=default)
 
     def items(self) -> dict[int, int]:
         """The current summary (item -> estimate)."""

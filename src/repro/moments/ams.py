@@ -23,6 +23,9 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
+
+from repro.core import kernels
 from repro.core.algorithm import MergeableSketch, StreamAlgorithm
 from repro.core.space import bits_for_int
 from repro.core.stream import Update, aggregate_batch
@@ -76,6 +79,68 @@ class AMSSketch(MergeableSketch, StreamAlgorithm):
             cache[item] = value
         return value
 
+    def sign_row(self, row: int, items) -> np.ndarray:
+        """One row of the sign matrix over a probe array.
+
+        Routes through the native MT19937 decode kernel
+        (:func:`repro.core.kernels.ams_sign_bits`) when available --
+        bit-identical to :meth:`sign`, because the kernel replays
+        CPython's own ``random.Random(seed).getrandbits(1)`` seeding and
+        first output word (the kernel self-check pins it against the
+        interpreter) -- and the memoized scalar derivation otherwise.
+        Read-only: the memo is neither consulted nor filled on the
+        kernel path.
+        """
+        probe = np.ascontiguousarray(items, dtype=np.int64)
+        decoded = kernels.ams_sign_bits(self.row_seeds[row] << 20, probe)
+        if decoded is not None:
+            return decoded
+        return np.array(
+            [self.sign(row, int(item)) for item in probe], dtype=np.int64
+        )
+
+    def query_after_pairs(self, base_item: int, items) -> np.ndarray:
+        """Batched probe answers: :meth:`query` after ``e_base + e_j``.
+
+        For each probe item ``j``, the value :meth:`query` would return
+        if ``Update(base_item, 1)`` and ``Update(j, 1)`` were processed
+        from the current state -- without mutating anything.  This is
+        the fused form of the black-box probe -> query -> unprobe
+        interaction sequence: the two deletions of a probe return the
+        exact-integer accumulators to precisely their prior values, so
+        running probes one at a time visits the same states and reads
+        the same answers this computes in one vectorized pass
+        (``tests/test_adversaries_blackbox.py`` pins the equality).
+        Accumulators large enough to threaten int64/float53 exactness
+        fall back to exact per-probe Python arithmetic.
+        """
+        probe = np.ascontiguousarray(items, dtype=np.int64)
+        if probe.size == 0:
+            return np.empty(0, dtype=np.float64)
+        shifted_base = [
+            acc + self.sign(row, base_item)
+            for row, acc in enumerate(self.accumulators)
+        ]
+        # Gate: |a| < 2^24 keeps every square < 2^48 and the row sum
+        # < 2^53 for up to 32 rows -- exact in int64 and in float64.
+        if self.rows <= 32 and all(abs(v) < 1 << 24 for v in shifted_base):
+            total = np.zeros(probe.size, dtype=np.int64)
+            for row, offset in enumerate(shifted_base):
+                shifted = self.sign_row(row, probe) + offset
+                total += shifted * shifted
+            return total / self.rows
+        sign_rows = [self.sign_row(row, probe) for row in range(self.rows)]
+        out = np.empty(probe.size, dtype=np.float64)
+        for index in range(probe.size):
+            out[index] = (
+                sum(
+                    (shifted_base[row] + int(sign_rows[row][index])) ** 2
+                    for row in range(self.rows)
+                )
+                / self.rows
+            )
+        return out
+
     def process(self, update: Update) -> None:
         for row in range(self.rows):
             self.accumulators[row] += self.sign(row, update.item) * update.delta
@@ -123,11 +188,13 @@ class AMSSketch(MergeableSketch, StreamAlgorithm):
         return sum(a * a for a in self.accumulators) / self.rows
 
     def sign_matrix(self) -> list[list[int]]:
-        """Materialize the full sign matrix (tests / attacks, small n)."""
-        return [
-            [self.sign(row, item) for item in range(self.universe_size)]
-            for row in range(self.rows)
-        ]
+        """Materialize the full sign matrix (tests / attacks, small n).
+
+        Decoded row-wise through :meth:`sign_row`, so the native kernel
+        carries the whole materialization when available.
+        """
+        items = np.arange(self.universe_size, dtype=np.int64)
+        return [self.sign_row(row, items).tolist() for row in range(self.rows)]
 
     def space_bits(self) -> int:
         magnitude = max((abs(a) for a in self.accumulators), default=1)

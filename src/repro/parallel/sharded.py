@@ -245,6 +245,16 @@ class ShardedAlgorithm(StreamAlgorithm):
     def query(self):
         return self.merged().query()
 
+    def estimate_batch(self, items) -> np.ndarray:
+        """Batched point estimates answered by the merged view.
+
+        One fan-in (cached until the next update), then the underlying
+        sketch's vectorized ``estimate_batch`` -- so games over fleets
+        batch their probes exactly like single-engine games, with
+        bit/float-identical answers.
+        """
+        return self.merged().estimate_batch(items)
+
     def state_view(self) -> StateView:
         """The merged white-box view: what a single engine would expose.
 
@@ -389,6 +399,10 @@ class ShardedStreamEngine:
     def query(self):
         """Answer the game's query from the merged state."""
         return self.algorithm.query()
+
+    def estimate_batch(self, items) -> np.ndarray:
+        """Batched point estimates from the merged state (one fan-in)."""
+        return self.algorithm.estimate_batch(items)
 
     def state_view(self) -> StateView:
         """The merged white-box state view (see :class:`ShardedAlgorithm`)."""

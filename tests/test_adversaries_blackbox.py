@@ -52,6 +52,66 @@ class TestBlackBoxLearner:
         assert learner.interactions % 5 == 0
 
 
+class TestBlockedProbes:
+    """The fused block probe must be indistinguishable from scalar probes."""
+
+    def test_blocked_learner_matches_scalar_learner(self):
+        blocked_sketch = AMSSketch(257, rows=1, seed=9)
+        scalar_sketch = AMSSketch(257, rows=1, seed=9)
+        blocked = BlackBoxSignLearner(blocked_sketch)
+        scalar = BlackBoxSignLearner(scalar_sketch)
+        vector = blocked.learn_full_vector(block_size=64)
+        reference = [scalar.learn_coordinate(j) for j in range(257)]
+        assert vector == reference
+        assert blocked.interactions == scalar.interactions == 5 * 256
+
+    def test_query_after_pairs_equals_probe_sequence(self):
+        sketch = AMSSketch(100, rows=2, seed=21)
+        for item in range(7):
+            sketch.feed(Update(item, 3))
+        before = list(sketch.accumulators)
+        probe = list(range(1, 60))
+        batched = sketch.query_after_pairs(0, probe)
+        replayed = []
+        for j in probe:
+            sketch.feed(Update(0, 1))
+            sketch.feed(Update(j, 1))
+            replayed.append(sketch.query())
+            sketch.feed(Update(0, -1))
+            sketch.feed(Update(j, -1))
+        assert sketch.accumulators == before
+        assert batched.tolist() == replayed
+
+    def test_probes_leave_state_untouched(self):
+        sketch = AMSSketch(64, rows=1, seed=2)
+        learner = BlackBoxSignLearner(sketch)
+        learner.probe_block(range(64))
+        assert sketch.query() == 0.0
+        assert sketch.updates_processed == 0
+
+    def test_block_size_validation(self):
+        learner = BlackBoxSignLearner(AMSSketch(16, rows=1, seed=1))
+        with pytest.raises(ValueError):
+            learner.learn_full_vector(block_size=0)
+
+    def test_duplicate_coordinates_charged_once(self):
+        """A repeated coordinate in one block costs 5, like the caching
+        scalar loop -- not 5 per occurrence."""
+        learner = BlackBoxSignLearner(AMSSketch(16, rows=1, seed=1))
+        learner.probe_block([7, 7, 7, 3])
+        assert learner.interactions == 5 * 2
+
+    def test_sign_row_matches_scalar_sign(self):
+        sketch = AMSSketch(512, rows=3, seed=31)
+        import numpy as np
+
+        coords = np.arange(512, dtype=np.int64)
+        for row in range(3):
+            assert sketch.sign_row(row, coords).tolist() == [
+                sketch.sign(row, j) for j in range(512)
+            ]
+
+
 class TestCompareAttackRounds:
     def test_gap_is_measured(self):
         report = compare_attack_rounds(universe_size=32, seed=7)

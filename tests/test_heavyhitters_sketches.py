@@ -95,9 +95,35 @@ class TestCountSketch:
 
     def test_row_structure_matches_hashes(self):
         sketch = CountSketch(12, width=4, depth=2, seed=8)
-        structure = sketch.sketch_matrix_row_structure()
-        assert len(structure) == 2
-        assert len(structure[0]) == 12
-        bucket, sign = structure[1][5]
-        assert bucket == sketch._bucket(1, 5)
-        assert sign == sketch._sign(1, 5)
+        buckets, signs = sketch.sketch_matrix_row_structure()
+        assert buckets.shape == signs.shape == (2, 12)
+        for row in range(2):
+            for item in range(12):
+                assert buckets[row, item] == sketch._bucket(row, item)
+                assert signs[row, item] == sketch._sign(row, item)
+
+    def test_row_structure_probe_subset(self):
+        sketch = CountSketch(40, width=4, depth=3, seed=8)
+        probe = [5, 0, 17, 17, 39]
+        buckets, signs = sketch.sketch_matrix_row_structure(probe)
+        assert buckets.shape == (3, 5)
+        for row in range(3):
+            assert buckets[row].tolist() == [
+                sketch._bucket(row, item) for item in probe
+            ]
+            assert signs[row].tolist() == [
+                sketch._sign(row, item) for item in probe
+            ]
+
+    def test_row_structure_out_of_domain_probes(self):
+        """Probes outside [0, prime) agree with the scalar hashes."""
+        sketch = CountSketch(40, width=4, depth=2, seed=8)
+        probe = [3, sketch.prime, sketch.prime + 9]
+        buckets, signs = sketch.sketch_matrix_row_structure(probe)
+        for row in range(2):
+            assert buckets[row].tolist() == [
+                sketch._bucket(row, item) for item in probe
+            ]
+            assert signs[row].tolist() == [
+                sketch._sign(row, item) for item in probe
+            ]

@@ -1,0 +1,239 @@
+"""Record network-service throughput numbers (``service_path`` section).
+
+Hosts a :class:`repro.service.SketchServer` on localhost and drives it
+the way a deployment would -- concurrent client swarms pipelining large
+update frames -- then merges the results into the ``service_path`` key of
+``BENCH_batch.json`` (all other keys are preserved):
+
+* ``single_client`` -- one blocking :class:`SketchClient` streaming the
+  whole stream through ``feed_chunks`` (pipelined acknowledgements), for
+  serial and process-backend fleets;
+* ``client_swarm`` -- ``--clients`` threads (default 4), each feeding a
+  strided slice of the stream to a **process-backend** fleet, timed
+  wall-clock across the whole swarm.  This is the acceptance row: the
+  aggregate rate must clear ``TARGET_UPS`` (1M updates/sec) and the
+  server-side merged estimates must come back bit/float-identical to a
+  serial ``StreamEngine`` run over the same stream before the row is
+  recorded (``verified: true``).
+
+Every row's exactness check compares the full wire path -- client frame
+encode, server decode, partition/scatter into the fleet, snapshot
+fan-in, estimate packing -- against the local single-engine truth, so
+the recorded numbers certify correctness, not just speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_service_baseline.py
+        [--quick] [--clients N] [--require-target]
+
+``--quick`` shrinks the stream (CI-sized); ``--require-target`` turns a
+missed 1M-updates/sec target into a hard failure (the CI service-smoke
+job passes it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import StreamEngine
+from repro.heavyhitters.count_min import CountMinSketch
+from repro.service import SketchClient, SketchServer
+from repro.workloads.frequency import uniform_arrays
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The acceptance bar: aggregate swarm throughput on localhost.
+TARGET_UPS = 1_000_000
+
+#: Frame size for the feed path.  Large frames amortize the per-message
+#: codec + syscall cost; 64k updates/frame is ~1 MiB on the wire.
+FEED_CHUNK = 1 << 16
+
+
+def _chunks(items: np.ndarray, deltas: np.ndarray, step: int):
+    for i in range(0, len(items), step):
+        yield items[i : i + step], deltas[i : i + step]
+
+
+def _verify(client: SketchClient, reference, probe: np.ndarray) -> None:
+    """The wire answer must be byte-identical to the local truth."""
+    estimates = client.estimate(probe)
+    expected = reference.estimate_batch(probe)
+    if estimates.tobytes() != expected.tobytes():
+        raise AssertionError("service estimates diverged from serial engine")
+    if client.snapshot() != reference.snapshot():
+        raise AssertionError("service snapshot diverged from serial engine")
+
+
+def measure_single_client(
+    factory, backend: str, num_shards: int, items, deltas, reference, probe
+) -> dict:
+    """One client, one fleet: the pipelined feed_chunks path end to end."""
+    server = SketchServer(
+        factory, num_shards=num_shards, backend=backend, chunk_size=FEED_CHUNK
+    )
+    with server.run_in_thread() as srv:
+        with SketchClient.connect("127.0.0.1", srv.port) as client:
+            start = time.perf_counter()
+            ack = client.feed_chunks(_chunks(items, deltas, FEED_CHUNK))
+            seconds = time.perf_counter() - start
+            assert ack["position"] == len(items)
+            _verify(client, reference, probe)
+    return {
+        "mode": "single_client",
+        "backend": backend,
+        "shards": num_shards,
+        "updates": len(items),
+        "seconds": round(seconds, 4),
+        "ups": round(len(items) / seconds),
+        "verified": True,
+    }
+
+
+def measure_swarm(
+    factory, num_clients: int, num_shards: int, items, deltas, reference, probe
+) -> dict:
+    """``num_clients`` concurrent clients vs one process-backend fleet.
+
+    Each client owns the strided slice ``k, k+N, k+2N, ...`` of the
+    chunk sequence; commutative update rules make the merged state
+    independent of how the server interleaves them, which the post-run
+    exactness check certifies.
+    """
+    server = SketchServer(
+        factory, num_shards=num_shards, backend="process", chunk_size=FEED_CHUNK
+    )
+    failures: list[BaseException] = []
+    with server.run_in_thread() as srv:
+
+        def feed_slice(offset: int) -> None:
+            try:
+                with SketchClient.connect("127.0.0.1", srv.port) as client:
+                    client.feed_chunks(
+                        (
+                            items[i : i + FEED_CHUNK],
+                            deltas[i : i + FEED_CHUNK],
+                        )
+                        for i in range(
+                            offset * FEED_CHUNK,
+                            len(items),
+                            num_clients * FEED_CHUNK,
+                        )
+                    )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=feed_slice, args=(k,), name=f"client-{k}")
+            for k in range(num_clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - start
+        if failures:
+            raise failures[0]
+        with SketchClient.connect("127.0.0.1", srv.port) as client:
+            position = client.ping()["position"]
+            assert position == len(items), (position, len(items))
+            _verify(client, reference, probe)
+            stats = client.stats()
+    ups = len(items) / seconds
+    return {
+        "mode": "client_swarm",
+        "backend": "process",
+        "clients": num_clients,
+        "shards": num_shards,
+        "updates": len(items),
+        "seconds": round(seconds, 4),
+        "ups": round(ups),
+        "target_ups": TARGET_UPS,
+        "target_met": ups >= TARGET_UPS,
+        "server_frames": stats["frames"],
+        "verified": True,
+    }
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    num_clients = 4
+    if "--clients" in sys.argv:
+        num_clients = int(sys.argv[sys.argv.index("--clients") + 1])
+    n = 1_000_000
+    m = 1_000_000 if quick else 4_000_000
+    items, deltas = uniform_arrays(n, m, seed=20260807)
+    probe = np.arange(4096, dtype=np.int64)
+
+    def factory():
+        return CountMinSketch(n, width=64, depth=4, seed=1)
+
+    # The local truth every wire answer is checked against.
+    reference = factory()
+    start = time.perf_counter()
+    StreamEngine(chunk_size=FEED_CHUNK).drive_arrays([reference], items, deltas)
+    serial_seconds = time.perf_counter() - start
+
+    results = [
+        measure_single_client(
+            factory, "serial", 1, items, deltas, reference, probe
+        ),
+        measure_single_client(
+            factory, "process", 2, items, deltas, reference, probe
+        ),
+        measure_swarm(factory, num_clients, 2, items, deltas, reference, probe),
+    ]
+    swarm = results[-1]
+
+    payload = {
+        "benchmark": (
+            "network service path (TCP localhost, merged state verified "
+            "bit-identical to a serial engine run)"
+        ),
+        "universe_size": n,
+        "stream_length": m,
+        "feed_chunk": FEED_CHUNK,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "serial_engine_seconds": round(serial_seconds, 4),
+        "serial_engine_ups": round(m / serial_seconds),
+        "note": (
+            "every row re-checks the full wire path (frame encode/decode, "
+            "partition/scatter, snapshot fan-in, estimate packing) against "
+            "the local single-engine truth before its timing is recorded; "
+            "the client_swarm row is the acceptance row -- concurrent "
+            "clients against a process-backend fleet must clear target_ups "
+            "aggregate"
+        ),
+        "results": results,
+    }
+
+    out = REPO_ROOT / "BENCH_batch.json"
+    existing = json.loads(out.read_text()) if out.exists() else {}
+    existing["service_path"] = payload
+    out.write_text(json.dumps(existing, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(
+        f"swarm: {swarm['clients']} clients -> {swarm['ups']:,} updates/sec "
+        f"(target {TARGET_UPS:,}, met={swarm['target_met']}) -> {out}"
+    )
+    if "--require-target" in sys.argv and not swarm["target_met"]:
+        print(
+            f"--require-target: swarm sustained {swarm['ups']:,} updates/sec, "
+            f"below the {TARGET_UPS:,} bar",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

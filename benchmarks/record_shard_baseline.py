@@ -21,7 +21,7 @@ batched path.  Honesty note, recorded in the payload: this host exposes
 already numpy-bound single-engine path (partitioning adds work and there
 is nothing to overlap), so its shard columns measure pure partitioning
 overhead; SIS-L0's speedup comes from the int64 fast path the sharded
-subsystem ships.  With ``parallel=True`` on a multi-core host the
+subsystem ships.  With ``backend="thread"`` on a multi-core host the
 per-shard scatters overlap (numpy kernels release the GIL).
 
 A second section, ``process_scaling``, detects ``os.cpu_count()`` and
@@ -207,7 +207,7 @@ def main() -> None:
             "seed_batched = pre-sharding engine (SIS-L0 in exact arithmetic); "
             "shard rows run the serial scatter -- on a single-core host they "
             "measure partition overhead for CountMin, while SIS-L0's gain is "
-            "the int64 dense fast path; parallel=True overlaps shard scatters "
+            "the int64 dense fast path; backend='thread' overlaps shard scatters "
             "on multi-core hosts"
         ),
         "results": results,

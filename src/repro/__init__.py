@@ -46,9 +46,14 @@ parallel
 distributed
     The deployment layer: wire-format sketch snapshots, process-parallel
     shard workers (``backend="process"``), checkpoint/recovery.
+service
+    The network layer: the ``SketchServer`` asyncio TCP collector,
+    sync/async clients, and the multi-server ``SketchCoordinator``.
+api
+    The versioned stable import surface (``from repro.api import ...``).
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.core import (
     FrequencyVector,

@@ -1,0 +1,170 @@
+"""`repro.api` -- the versioned, stable public surface of the library.
+
+Why a facade
+------------
+The library grew layer by layer (batched engine, sharded fleets,
+process workers, kernels, the network service), and each layer's names
+live where they were built.  External consumers -- the service clients,
+deployment scripts, downstream experiments -- need one import path that
+does not move when internals refactor.  This module is that path:
+
+* every name in ``__all__`` is **stable**: it keeps its signature and
+  semantics within a major ``API_VERSION``, regardless of which
+  internal module currently implements it;
+* the deep module paths (``repro.parallel.sharded``, ...) keep working
+  but are *implementation* namespaces -- new code should import from
+  ``repro.api``;
+* deprecated spellings are shimmed, not broken: the ``parallel=``
+  backend flag and the positional ``queue_depth`` of
+  :func:`ingest`/:func:`ingest_async` still work one deprecation cycle,
+  emitting :class:`DeprecationWarning` (CI runs the shim tests with
+  warnings-as-errors to pin both the warning and the behavior);
+  accessing a *renamed* facade attribute goes through
+  :data:`DEPRECATED_ALIASES` and warns likewise.
+
+The surface, by layer::
+
+    driving     StreamEngine, DEFAULT_CHUNK_SIZE, Update, run_game,
+                GameResult, StreamAlgorithm, MergeableSketch,
+                SerializableSketch, StateView, WhiteBoxAdversary
+    sharding    ShardedAlgorithm, ShardedStreamEngine,
+                UniversePartitioner
+    ingestion   ingest, ingest_async, IngestStats, chunk_arrays,
+                chunk_updates
+    state       snapshot_sketch, restore_sketch,
+                construction_fingerprint, SnapshotError,
+                FingerprintMismatch, save_checkpoint, load_checkpoint,
+                resume_from, tail_chunks, CheckpointWriter,
+                verify_checkpoint_resume
+    service     SketchServer, SketchClient, AsyncSketchClient,
+                SketchCoordinator, ServiceError, ProtocolError,
+                PROTOCOL_VERSION
+
+See the README's "Public API" table for the name -> module map with
+deprecation status.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro import __version__
+from repro.core.adversary import WhiteBoxAdversary
+from repro.core.algorithm import (
+    MergeableSketch,
+    SerializableSketch,
+    StateView,
+    StreamAlgorithm,
+)
+from repro.core.engine import DEFAULT_CHUNK_SIZE, StreamEngine
+from repro.core.game import GameResult, run_game
+from repro.core.stream import Update
+from repro.distributed.checkpoint import (
+    CheckpointWriter,
+    load_checkpoint,
+    resume_from,
+    save_checkpoint,
+    tail_chunks,
+    verify_checkpoint_resume,
+)
+from repro.distributed.codec import (
+    FingerprintMismatch,
+    SnapshotError,
+    construction_fingerprint,
+    restore_sketch,
+    snapshot_sketch,
+)
+from repro.parallel.ingest import (
+    IngestStats,
+    chunk_arrays,
+    chunk_updates,
+    ingest,
+    ingest_async,
+)
+from repro.parallel.partition import UniversePartitioner
+from repro.parallel.sharded import ShardedAlgorithm, ShardedStreamEngine
+from repro.service import (
+    PROTOCOL_VERSION,
+    AsyncSketchClient,
+    ProtocolError,
+    ServiceError,
+    SketchClient,
+    SketchCoordinator,
+    SketchServer,
+)
+
+#: Major version of this surface.  Additions bump nothing; a removal or
+#: an incompatible signature change bumps the major and keeps the old
+#: spelling as a deprecated alias for one cycle.
+API_VERSION = "1.0"
+
+__all__ = [
+    "API_VERSION",
+    "AsyncSketchClient",
+    "CheckpointWriter",
+    "DEFAULT_CHUNK_SIZE",
+    "FingerprintMismatch",
+    "GameResult",
+    "IngestStats",
+    "MergeableSketch",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SerializableSketch",
+    "ServiceError",
+    "ShardedAlgorithm",
+    "ShardedStreamEngine",
+    "SketchClient",
+    "SketchCoordinator",
+    "SketchServer",
+    "SnapshotError",
+    "StateView",
+    "StreamAlgorithm",
+    "StreamEngine",
+    "UniversePartitioner",
+    "Update",
+    "WhiteBoxAdversary",
+    "__version__",
+    "chunk_arrays",
+    "chunk_updates",
+    "construction_fingerprint",
+    "ingest",
+    "ingest_async",
+    "load_checkpoint",
+    "restore_sketch",
+    "resume_from",
+    "run_game",
+    "save_checkpoint",
+    "snapshot_sketch",
+    "tail_chunks",
+    "verify_checkpoint_resume",
+]
+
+#: Legacy facade spellings -> canonical names.  Served by module
+#: ``__getattr__`` with a :class:`DeprecationWarning`; removed at the
+#: next major ``API_VERSION``.
+DEPRECATED_ALIASES = {
+    # Pre-facade spellings of the snapshot/checkpoint entry points that
+    # early deployment scripts used via the repro.distributed namespace.
+    "encode_sketch": "snapshot_sketch",
+    "decode_sketch": "restore_sketch",
+    # The PR-2-era name for the sharded driving surface.
+    "ShardedEngine": "ShardedStreamEngine",
+}
+
+
+def __getattr__(name: str):
+    canonical = DEPRECATED_ALIASES.get(name)
+    if canonical is not None:
+        warnings.warn(
+            f"repro.api.{name} is a deprecated spelling of "
+            f"repro.api.{canonical} and will be removed in the next major "
+            "API version",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return globals()[canonical]
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(__all__) | set(DEPRECATED_ALIASES))

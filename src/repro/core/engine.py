@@ -90,11 +90,49 @@ class StreamEngine:
 
     # -- plain streams ------------------------------------------------------
 
+    def _checkpoint_writer(
+        self,
+        targets,
+        checkpoint_path,
+        checkpoint_every: Optional[int],
+        start_position: int,
+    ):
+        """Build the chunk-boundary checkpoint policy ``drive`` paths share.
+
+        Same parameter names and semantics as :func:`repro.parallel.ingest`:
+        the first target snapshots to ``checkpoint_path`` every
+        ``checkpoint_every`` updates and once at stream end, with positions
+        kept absolute via ``start_position``.
+        """
+        if start_position < 0:
+            raise ValueError(
+                f"start_position must be non-negative, got {start_position}"
+            )
+        if checkpoint_path is None:
+            return None
+        from repro.distributed.checkpoint import (
+            DEFAULT_CHECKPOINT_EVERY,
+            CheckpointWriter,
+        )
+
+        writer = CheckpointWriter(
+            checkpoint_path,
+            targets[0],
+            every=checkpoint_every
+            if checkpoint_every is not None
+            else DEFAULT_CHECKPOINT_EVERY,
+        )
+        writer.last_position = start_position
+        return writer
+
     def drive(
         self,
         algorithms,
         updates,
         on_chunk: Optional[Callable[[int], None]] = None,
+        checkpoint_path=None,
+        checkpoint_every: Optional[int] = None,
+        start_position: int = 0,
     ):
         """Feed ``updates`` to one algorithm (or a lockstep list of them).
 
@@ -103,14 +141,23 @@ class StreamEngine:
         lockstep loops in the experiments did.  ``updates`` may be a list or
         any iterable (generators are consumed chunk by chunk).
         ``on_chunk(position)`` fires after each chunk (position = number of
-        updates consumed so far) -- experiments hook intermediate
-        measurements there.
+        updates consumed so far, plus ``start_position``) -- experiments
+        hook intermediate measurements there.
+
+        The checkpoint parameters mirror :func:`repro.parallel.ingest`
+        exactly: pass ``checkpoint_path`` and the first algorithm snapshots
+        there every ``checkpoint_every`` updates at chunk boundaries (plus
+        once at stream end), with ``start_position`` keeping recorded
+        positions absolute across resumes.
 
         Returns the algorithm (or list) for chaining.
         """
         single = isinstance(algorithms, StreamAlgorithm)
         targets = [algorithms] if single else list(algorithms)
-        consumed = 0
+        writer = self._checkpoint_writer(
+            targets, checkpoint_path, checkpoint_every, start_position
+        )
+        position = start_position
         for chunk in _chunked(updates, self.chunk_size):
             try:
                 items, deltas = updates_to_arrays(chunk)
@@ -122,16 +169,30 @@ class StreamEngine:
             else:
                 for target in targets:
                     target.feed_batch(items, deltas)
-            consumed += len(chunk)
+            position += len(chunk)
             if on_chunk is not None:
-                on_chunk(consumed)
+                on_chunk(position)
+            if writer is not None:
+                writer.maybe(position)
+        if writer is not None and writer.last_position != position:
+            writer.flush(position)
         return algorithms
 
-    def drive_arrays(self, algorithms, items, deltas):
+    def drive_arrays(
+        self,
+        algorithms,
+        items,
+        deltas,
+        on_chunk: Optional[Callable[[int], None]] = None,
+        checkpoint_path=None,
+        checkpoint_every: Optional[int] = None,
+        start_position: int = 0,
+    ):
         """Feed a pre-built ``(items, deltas)`` array pair in chunks.
 
         The array-native fast path for workload generators that never
-        materialize :class:`Update` objects at all.
+        materialize :class:`Update` objects at all.  ``on_chunk`` and the
+        checkpoint parameters behave exactly as in :meth:`drive`.
         """
         single = isinstance(algorithms, StreamAlgorithm)
         targets = [algorithms] if single else list(algorithms)
@@ -141,10 +202,21 @@ class StreamEngine:
             raise ValueError(
                 f"items/deltas length mismatch: {len(items)} != {len(deltas)}"
             )
+        writer = self._checkpoint_writer(
+            targets, checkpoint_path, checkpoint_every, start_position
+        )
+        position = start_position
         for start in range(0, len(items), self.chunk_size):
             sl = slice(start, start + self.chunk_size)
             for target in targets:
                 target.feed_batch(items[sl], deltas[sl])
+            position = start_position + min(start + self.chunk_size, len(items))
+            if on_chunk is not None:
+                on_chunk(position)
+            if writer is not None:
+                writer.maybe(position)
+        if writer is not None and writer.last_position != position:
+            writer.flush(position)
         return algorithms
 
     # -- games --------------------------------------------------------------

@@ -23,8 +23,21 @@ stream end.  A killed run resumes with ``resume_from`` + ``tail_chunks``
 and replays only the unabsorbed tail -- the kill-and-resume tests verify
 the resumed state is bit-identical to an uninterrupted run.
 
+Signatures follow the :class:`~repro.core.engine.StreamEngine` driving
+conventions (the ``repro.api`` facade re-exports both): ``(targets,
+source)`` positionally -- where ``source`` may also be one ``(items,
+deltas)`` array pair, chunked by ``chunk_size`` exactly like
+``drive_arrays`` -- then keyword-only tuning, an ``on_chunk(position)``
+callback with ``drive``'s semantics, and the same checkpoint parameter
+names (``checkpoint_path`` / ``checkpoint_every`` / ``start_position``)
+``StreamEngine.drive`` accepts.  Both entry points always return
+:class:`IngestStats`.  The pre-unification positional ``queue_depth``
+spelling still works but emits a :class:`DeprecationWarning`.
+
 Usage::
 
+    stats = ingest(sketch, (items, deltas), chunk_size=8192)
+    # equivalently, with an explicit chunk source:
     stats = ingest(sketch, chunk_arrays(items, deltas, 8192))
     # or, inside an event loop:
     stats = await ingest_async(sketch, source)
@@ -40,9 +53,10 @@ from __future__ import annotations
 
 import asyncio
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import AsyncIterable, Iterable, Iterator, Optional, Sequence, Union
+from typing import AsyncIterable, Callable, Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -116,9 +130,57 @@ def chunk_updates(
         yield updates_to_arrays(pending)
 
 
+def _legacy_queue_depth(args: tuple, queue_depth: int, name: str) -> int:
+    """Shim for the pre-unification positional ``queue_depth`` spelling."""
+    if not args:
+        return queue_depth
+    if len(args) > 1:
+        raise TypeError(
+            f"{name}() takes 2 positional arguments (targets, source); "
+            "chunking/checkpoint options are keyword-only"
+        )
+    warnings.warn(
+        f"passing queue_depth positionally to {name}() is deprecated; "
+        "use the keyword queue_depth=",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return args[0]
+
+
+def _as_chunk_source(source, chunk_size: Optional[int]) -> ChunkSource:
+    """Normalize ``source``: one array pair becomes engine-sized chunks.
+
+    Mirrors ``StreamEngine.drive_arrays``: a ``(items, deltas)`` pair of
+    equal-length array-likes is sliced into ``chunk_size`` chunks (the
+    engine default when unset).  Anything else must already be a sync or
+    async iterable of chunks, for which ``chunk_size`` has no meaning --
+    passing it there is an error, not a silent no-op.
+    """
+    is_pair = (
+        isinstance(source, tuple)
+        and len(source) == 2
+        and all(hasattr(part, "__len__") for part in source)
+        and not isinstance(source[0], tuple)
+    )
+    if is_pair:
+        return chunk_arrays(
+            source[0], source[1], chunk_size or DEFAULT_CHUNK_SIZE
+        )
+    if chunk_size is not None:
+        raise ValueError(
+            "chunk_size only applies when source is one (items, deltas) "
+            "array pair; this source already yields chunks"
+        )
+    return source
+
+
 async def ingest_async(
     targets,
     source: ChunkSource,
+    *args,
+    chunk_size: Optional[int] = None,
+    on_chunk: Optional[Callable[[int], None]] = None,
     queue_depth: int = 4,
     checkpoint_path=None,
     checkpoint_every: Optional[int] = None,
@@ -132,7 +194,16 @@ async def ingest_async(
         One :class:`StreamAlgorithm` or a lockstep sequence (every target
         sees every chunk, in order, like ``StreamEngine.drive``).
     source:
-        Sync or async iterable of ``(items, deltas)`` chunks.
+        Sync or async iterable of ``(items, deltas)`` chunks, or one
+        ``(items, deltas)`` array pair (chunked like ``drive_arrays``).
+    chunk_size:
+        Chunk size used when ``source`` is one array pair (defaults to
+        the engine's ``DEFAULT_CHUNK_SIZE``; an error for pre-chunked
+        sources).
+    on_chunk:
+        ``on_chunk(position)`` fires after each chunk's scatter completes
+        -- ``StreamEngine.drive``'s hook, with absolute positions
+        (``start_position`` included) when resuming.
     queue_depth:
         Bound on produced-but-unscattered chunks (backpressure).
     checkpoint_path:
@@ -145,7 +216,14 @@ async def ingest_async(
     start_position:
         Absolute position of the first incoming update -- nonzero when
         resuming, so recorded checkpoint positions stay absolute.
+
+    Returns
+    -------
+    IngestStats
+        Always -- throughput, scatter share, checkpoint count, position.
     """
+    queue_depth = _legacy_queue_depth(args, queue_depth, "ingest_async")
+    source = _as_chunk_source(source, chunk_size)
     if queue_depth <= 0:
         raise ValueError(f"queue_depth must be positive, got {queue_depth}")
     if start_position < 0:
@@ -222,6 +300,8 @@ async def ingest_async(
                 stats.chunks += 1
                 stats.updates += len(chunk[0])
                 stats.position += len(chunk[0])
+                if on_chunk is not None:
+                    on_chunk(stats.position)
                 # Chunk-boundary checkpointing: the scatter for this chunk
                 # has completed, so the snapshot is a consistent prefix
                 # state at an exactly-known position.
@@ -246,16 +326,25 @@ async def ingest_async(
 def ingest(
     targets,
     source: ChunkSource,
+    *args,
+    chunk_size: Optional[int] = None,
+    on_chunk: Optional[Callable[[int], None]] = None,
     queue_depth: int = 4,
     checkpoint_path=None,
     checkpoint_every: Optional[int] = None,
     start_position: int = 0,
 ) -> IngestStats:
-    """Synchronous wrapper around :func:`ingest_async` (runs its own loop)."""
+    """Synchronous wrapper around :func:`ingest_async` (runs its own loop).
+
+    Same signature and :class:`IngestStats` return as the async form.
+    """
+    queue_depth = _legacy_queue_depth(args, queue_depth, "ingest")
     return asyncio.run(
         ingest_async(
             targets,
             source,
+            chunk_size=chunk_size,
+            on_chunk=on_chunk,
             queue_depth=queue_depth,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,

@@ -34,7 +34,8 @@ Three scatter backends share the routing/merge machinery:
 * ``backend="serial"`` -- one process, one thread (the default);
 * ``backend="thread"`` -- per-shard scatters on a thread pool; the numpy
   kernels release the GIL, so multi-core hosts overlap the array-bound
-  work (``parallel=True`` remains an alias);
+  work (the PR-2 ``parallel=True`` spelling is deprecated; it still
+  selects this backend but emits a :class:`DeprecationWarning`);
 * ``backend="process"`` -- per-shard worker *processes*
   (:class:`repro.distributed.workers.ProcessShardPool`): chunk data
   travels through shared memory, fan-in travels as wire-format snapshots
@@ -47,6 +48,7 @@ Three scatter backends share the routing/merge machinery:
 from __future__ import annotations
 
 import copy
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Optional
 
@@ -64,6 +66,31 @@ __all__ = ["ShardedAlgorithm", "ShardedStreamEngine"]
 _BACKENDS = ("serial", "thread", "process")
 
 
+def _resolve_backend(parallel: Optional[bool], backend: Optional[str]) -> str:
+    """Resolve the scatter backend, warning on the deprecated alias.
+
+    ``parallel=`` was the PR-2 spelling for "scatter on threads"; the
+    backend triple replaced it in PR 3.  Passing it (with either value)
+    now emits a :class:`DeprecationWarning`; an explicit ``backend=``
+    always wins, silently, so migrated callers never warn.
+    """
+    if backend is None and parallel is not None:
+        warnings.warn(
+            "the parallel= flag is deprecated; pass backend='thread' "
+            "(parallel=True) or backend='serial' (parallel=False) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        backend = "thread" if parallel else "serial"
+    if backend is None:
+        backend = "serial"
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+        )
+    return backend
+
+
 class ShardedAlgorithm(StreamAlgorithm):
     """N mergeable replicas behind the single-algorithm interface.
 
@@ -79,10 +106,12 @@ class ShardedAlgorithm(StreamAlgorithm):
         Item -> shard map; defaults to a seed-0
         :class:`UniversePartitioner`.
     parallel:
-        Back-compat alias: ``parallel=True`` selects the thread backend.
+        Deprecated alias for ``backend`` (``True`` -> ``"thread"``,
+        ``False`` -> ``"serial"``); passing it emits a
+        :class:`DeprecationWarning`.
     backend:
-        ``"serial"``, ``"thread"``, or ``"process"`` (see the module
-        docstring).  Overrides ``parallel`` when given.
+        ``"serial"`` (default), ``"thread"``, or ``"process"`` (see the
+        module docstring).
     """
 
     def __init__(
@@ -90,17 +119,12 @@ class ShardedAlgorithm(StreamAlgorithm):
         factory: Callable[[], StreamAlgorithm],
         num_shards: int,
         partitioner: Optional[UniversePartitioner] = None,
-        parallel: bool = False,
+        parallel: Optional[bool] = None,
         backend: Optional[str] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
-        if backend is None:
-            backend = "thread" if parallel else "serial"
-        if backend not in _BACKENDS:
-            raise ValueError(
-                f"unknown backend {backend!r}; expected one of {_BACKENDS}"
-            )
+        backend = _resolve_backend(parallel, backend)
         super().__init__(seed=0)
         self.shards: list[StreamAlgorithm] = [factory() for _ in range(num_shards)]
         first = self.shards[0]
@@ -324,7 +348,8 @@ class ShardedStreamEngine:
         ``DEFAULT_CHUNK_SIZE * num_shards`` so per-shard sub-chunks stay
         near the single-engine sweet spot.
     parallel:
-        Back-compat alias for ``backend="thread"``.
+        Deprecated alias for ``backend`` (``True`` -> ``"thread"``,
+        ``False`` -> ``"serial"``); emits a :class:`DeprecationWarning`.
     backend:
         ``"serial"`` / ``"thread"`` / ``"process"`` scatter backend (see
         :class:`ShardedAlgorithm`).
@@ -336,14 +361,16 @@ class ShardedStreamEngine:
         num_shards: int,
         chunk_size: Optional[int] = None,
         partitioner: Optional[UniversePartitioner] = None,
-        parallel: bool = False,
+        parallel: Optional[bool] = None,
         backend: Optional[str] = None,
     ) -> None:
+        # Resolve the deprecated alias here (one warning, pointing at the
+        # caller) rather than letting it tunnel through ShardedAlgorithm.
+        backend = _resolve_backend(parallel, backend)
         self.algorithm = ShardedAlgorithm(
             factory,
             num_shards,
             partitioner=partitioner,
-            parallel=parallel,
             backend=backend,
         )
         self.engine = StreamEngine(
@@ -364,14 +391,23 @@ class ShardedStreamEngine:
         """Load a wire-format snapshot (see :meth:`ShardedAlgorithm.load_snapshot`)."""
         self.algorithm.load_snapshot(data)
 
-    def drive(self, updates, on_chunk=None) -> ShardedAlgorithm:
-        """Feed an update iterable through the partition/scatter pipeline."""
-        self.engine.drive(self.algorithm, updates, on_chunk=on_chunk)
+    def drive(self, updates, on_chunk=None, **checkpoint_kwargs) -> ShardedAlgorithm:
+        """Feed an update iterable through the partition/scatter pipeline.
+
+        Accepts ``StreamEngine.drive``'s full keyword surface, including
+        the ``checkpoint_path`` / ``checkpoint_every`` / ``start_position``
+        parameters (sharded engines checkpoint their merged state).
+        """
+        self.engine.drive(
+            self.algorithm, updates, on_chunk=on_chunk, **checkpoint_kwargs
+        )
         return self.algorithm
 
-    def drive_arrays(self, items, deltas) -> ShardedAlgorithm:
+    def drive_arrays(self, items, deltas, on_chunk=None, **checkpoint_kwargs) -> ShardedAlgorithm:
         """Array-native fast path (mirrors ``StreamEngine.drive_arrays``)."""
-        self.engine.drive_arrays(self.algorithm, items, deltas)
+        self.engine.drive_arrays(
+            self.algorithm, items, deltas, on_chunk=on_chunk, **checkpoint_kwargs
+        )
         return self.algorithm
 
     def play(

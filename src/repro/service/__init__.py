@@ -1,0 +1,49 @@
+"""The network front-end: sketch fleets behind sockets.
+
+Everything below the network already existed -- mergeable sketches with
+wire-format snapshots (:mod:`repro.distributed.codec`), process-parallel
+shard fleets (:mod:`repro.distributed.workers`), checkpoint/recovery
+(:mod:`repro.distributed.checkpoint`), batched queries.  This package
+puts a service boundary in front of it:
+
+* :mod:`repro.service.protocol` -- one length-prefixed request/response
+  message schema shared by client, server, and coordinator, encoded
+  with the snapshot codec (raw int64 array payloads, fingerprint-
+  verified snapshot transport);
+* :mod:`repro.service.server` -- :class:`SketchServer`, the asyncio TCP
+  collector that decodes update batches straight into a
+  :class:`~repro.parallel.sharded.ShardedStreamEngine` with
+  backpressure, per-connection stats, and chunk-boundary checkpointing;
+* :mod:`repro.service.client` -- :class:`SketchClient` (blocking) and
+  :class:`AsyncSketchClient` (asyncio), pipelined feeding plus the full
+  query/snapshot/checkpoint surface;
+* :mod:`repro.service.coordinator` -- :class:`SketchCoordinator`, which
+  owns the :class:`~repro.parallel.partition.UniversePartitioner`,
+  routes per-server batch slices and merge-snapshot payloads between
+  fleets, and does checkpoint/recovery over the wire.
+
+The stable import surface for all of it is :mod:`repro.api`.
+"""
+
+from repro.service.client import AsyncSketchClient, SketchClient
+from repro.service.coordinator import SketchCoordinator
+from repro.service.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServiceError,
+)
+from repro.service.server import ConnectionStats, ServerStats, SketchServer
+
+__all__ = [
+    "AsyncSketchClient",
+    "ConnectionStats",
+    "DEFAULT_MAX_FRAME",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerStats",
+    "ServiceError",
+    "SketchClient",
+    "SketchCoordinator",
+    "SketchServer",
+]

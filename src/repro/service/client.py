@@ -1,0 +1,369 @@
+"""`SketchClient` / `AsyncSketchClient`: the sketch service client library.
+
+Both clients expose the same call surface over the
+:mod:`repro.service.protocol` frame format:
+
+``hello`` / ``ping`` / ``stats``
+    identity, liveness, and monitoring counters;
+``feed(items, deltas)`` / ``feed_chunks(source, window=...)``
+    update ingestion -- ``feed_chunks`` pipelines up to ``window``
+    unacknowledged batches so the socket, the server's reader, and the
+    fleet's scatter all overlap (the network edition of the ingest
+    queue);
+``estimate(items)`` / ``query(kind=...)``
+    batched point estimates (exact int64 or bit-exact float64 arrays)
+    and the family's native query (``kind="f2"`` -> ``f2_estimate``);
+``snapshot()`` / ``load_snapshot(data)`` / ``checkpoint()``
+    wire-format state movement -- the same fingerprint-verified bytes
+    the in-process merge protocol trusts.
+
+The sync client is a plain blocking socket (no event loop), which makes
+it safe to drive from anywhere -- benchmark harnesses, shell tools,
+worker threads.  The async client mirrors it coroutine-for-method for
+callers already inside a loop (the coordinator uses it).
+
+Server-side failures raise the *same* exceptions a local engine would
+(:class:`~repro.distributed.codec.FingerprintMismatch`,
+:class:`~repro.distributed.codec.SnapshotError`) or
+:class:`~repro.service.protocol.ServiceError` carrying the remote
+exception class; framing corruption raises
+:class:`~repro.service.protocol.ProtocolError` and invalidates the
+connection.  ``connect(retries=...)`` retries the TCP connect with a
+fixed interval, which is all a client needs to ride out a server
+restart (see the reconnect tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.service.protocol import (
+    DEFAULT_MAX_FRAME,
+    make_request,
+    raise_for_reply,
+    read_message,
+    recv_message,
+    send_message,
+    unpack_array,
+    write_message,
+    ProtocolError,
+)
+
+__all__ = ["SketchClient", "AsyncSketchClient"]
+
+#: Default pipelining window for feed_chunks (unacknowledged batches).
+DEFAULT_WINDOW = 8
+
+
+def _as_feed_arrays(items, deltas) -> tuple[np.ndarray, np.ndarray]:
+    items = np.ascontiguousarray(items, dtype=np.int64)
+    deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+    if items.shape != deltas.shape or items.ndim != 1:
+        raise ValueError(
+            "feed needs aligned one-dimensional items/deltas arrays, got "
+            f"shapes {items.shape} and {deltas.shape}"
+        )
+    return items, deltas
+
+
+class SketchClient:
+    """Blocking-socket client for one :class:`SketchServer`.
+
+    Usage::
+
+        with SketchClient.connect("127.0.0.1", port) as client:
+            client.feed(items, deltas)
+            counts = client.estimate(probe_items)
+    """
+
+    def __init__(self, sock: socket.socket, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self._sock = sock
+        self._max_frame = max_frame
+        self._request_seq = 0
+        self.server_info: Optional[dict] = None
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        retries: int = 0,
+        retry_interval: float = 0.05,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        hello: bool = True,
+    ) -> "SketchClient":
+        """Connect (optionally retrying) and perform the ``hello`` handshake.
+
+        ``retries`` extra attempts spaced ``retry_interval`` seconds apart
+        ride out a server restart; the handshake pins the server's sketch
+        class and construction fingerprint in ``client.server_info``.
+        """
+        attempt = 0
+        while True:
+            try:
+                sock = socket.create_connection((host, port))
+                break
+            except OSError:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                time.sleep(retry_interval)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        client = cls(sock, max_frame=max_frame)
+        if hello:
+            client.server_info = client.hello()
+        return client
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _send(self, op: str, **fields) -> int:
+        self._request_seq += 1
+        send_message(self._sock, make_request(op, self._request_seq, **fields))
+        return self._request_seq
+
+    def _drain(self, request_id: int):
+        return raise_for_reply(
+            recv_message(self._sock, self._max_frame), request_id
+        )
+
+    def _request(self, op: str, **fields):
+        return self._drain(self._send(op, **fields))
+
+    # -- the call surface ---------------------------------------------------
+
+    def hello(self) -> dict:
+        """Server identity: sketch class, fingerprint, fleet shape."""
+        return self._request("hello")
+
+    def ping(self) -> dict:
+        """Liveness probe; returns ``{"pong": True, "position": ...}``."""
+        return self._request("ping")
+
+    def stats(self) -> dict:
+        """The server's operational monitoring counters."""
+        return self._request("stats")
+
+    def feed(self, items, deltas) -> dict:
+        """Send one update batch; returns ``{"count", "position"}``."""
+        items, deltas = _as_feed_arrays(items, deltas)
+        return self._request("feed", items=items, deltas=deltas)
+
+    def feed_chunks(self, source, window: int = DEFAULT_WINDOW) -> dict:
+        """Stream ``(items, deltas)`` chunks with pipelined acknowledgements.
+
+        Keeps up to ``window`` batches in flight: the socket send of
+        chunk ``t+1`` overlaps the server's scatter of chunk ``t``.
+        Returns ``{"count": total updates, "position": last ack'd}``.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        pending: deque[int] = deque()
+        total = 0
+        position = None
+        for items, deltas in source:
+            items, deltas = _as_feed_arrays(items, deltas)
+            total += len(items)
+            pending.append(self._send("feed", items=items, deltas=deltas))
+            if len(pending) >= window:
+                position = self._drain(pending.popleft())["position"]
+        while pending:
+            position = self._drain(pending.popleft())["position"]
+        return {"count": total, "position": position}
+
+    def estimate(self, items) -> np.ndarray:
+        """Batched point estimates from the server's merged state."""
+        items = np.ascontiguousarray(items, dtype=np.int64)
+        return unpack_array(self._request("estimate", items=items))
+
+    def query(self, kind: Optional[str] = None):
+        """The sketch family's native query (``kind="f2"`` for F2)."""
+        return self._request("query", kind=kind)
+
+    def f2_estimate(self) -> float:
+        """Second-moment estimate from the server's merged state."""
+        return self.query(kind="f2")
+
+    def snapshot(self) -> bytes:
+        """Wire-format snapshot of the server's merged state."""
+        return self._request("snapshot")
+
+    def load_snapshot(self, data: bytes, position: Optional[int] = None) -> dict:
+        """Restore a snapshot into the server's fleet (recovery)."""
+        fields = {"snapshot": bytes(data)}
+        if position is not None:
+            fields["position"] = int(position)
+        return self._request("load_snapshot", **fields)
+
+    def checkpoint(self) -> dict:
+        """Force a server-side checkpoint write now."""
+        return self._request("checkpoint")
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SketchClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncSketchClient:
+    """Asyncio counterpart of :class:`SketchClient` (same surface)."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self._request_seq = 0
+        self.server_info: Optional[dict] = None
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        retries: int = 0,
+        retry_interval: float = 0.05,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        hello: bool = True,
+    ) -> "AsyncSketchClient":
+        attempt = 0
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                break
+            except OSError:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                await asyncio.sleep(retry_interval)
+        client = cls(reader, writer, max_frame=max_frame)
+        if hello:
+            client.server_info = await client.hello()
+        return client
+
+    # -- plumbing -----------------------------------------------------------
+
+    async def _send(self, op: str, **fields) -> int:
+        self._request_seq += 1
+        await write_message(
+            self._writer, make_request(op, self._request_seq, **fields)
+        )
+        return self._request_seq
+
+    async def _drain(self, request_id: int):
+        message = await read_message(self._reader, self._max_frame)
+        if message is None:
+            raise ProtocolError("connection closed while awaiting a reply")
+        return raise_for_reply(message, request_id)
+
+    async def _request(self, op: str, **fields):
+        return await self._drain(await self._send(op, **fields))
+
+    # -- the call surface ---------------------------------------------------
+
+    async def hello(self) -> dict:
+        """See :meth:`SketchClient.hello`."""
+        return await self._request("hello")
+
+    async def ping(self) -> dict:
+        """See :meth:`SketchClient.ping`."""
+        return await self._request("ping")
+
+    async def stats(self) -> dict:
+        """See :meth:`SketchClient.stats`."""
+        return await self._request("stats")
+
+    async def feed(self, items, deltas) -> dict:
+        """See :meth:`SketchClient.feed`."""
+        items, deltas = _as_feed_arrays(items, deltas)
+        return await self._request("feed", items=items, deltas=deltas)
+
+    async def feed_chunks(self, source, window: int = DEFAULT_WINDOW) -> dict:
+        """Pipelined chunk streaming (see :meth:`SketchClient.feed_chunks`).
+
+        ``source`` may be a sync or async iterable of chunk pairs.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        pending: deque[int] = deque()
+        total = 0
+        position = None
+
+        async def _push(items, deltas) -> None:
+            nonlocal position, total
+            items, deltas = _as_feed_arrays(items, deltas)
+            total += len(items)
+            pending.append(await self._send("feed", items=items, deltas=deltas))
+            if len(pending) >= window:
+                position = (await self._drain(pending.popleft()))["position"]
+
+        if hasattr(source, "__aiter__"):
+            async for items, deltas in source:
+                await _push(items, deltas)
+        else:
+            for items, deltas in source:
+                await _push(items, deltas)
+        while pending:
+            position = (await self._drain(pending.popleft()))["position"]
+        return {"count": total, "position": position}
+
+    async def estimate(self, items) -> np.ndarray:
+        """See :meth:`SketchClient.estimate`."""
+        items = np.ascontiguousarray(items, dtype=np.int64)
+        return unpack_array(await self._request("estimate", items=items))
+
+    async def query(self, kind: Optional[str] = None):
+        """See :meth:`SketchClient.query`."""
+        return await self._request("query", kind=kind)
+
+    async def f2_estimate(self) -> float:
+        """See :meth:`SketchClient.f2_estimate`."""
+        return await self.query(kind="f2")
+
+    async def snapshot(self) -> bytes:
+        """See :meth:`SketchClient.snapshot`."""
+        return await self._request("snapshot")
+
+    async def load_snapshot(self, data: bytes, position: Optional[int] = None) -> dict:
+        """See :meth:`SketchClient.load_snapshot`."""
+        fields = {"snapshot": bytes(data)}
+        if position is not None:
+            fields["position"] = int(position)
+        return await self._request("load_snapshot", **fields)
+
+    async def checkpoint(self) -> dict:
+        """See :meth:`SketchClient.checkpoint`."""
+        return await self._request("checkpoint")
+
+    async def close(self) -> None:
+        """Close the connection and wait for the transport to drop."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncSketchClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

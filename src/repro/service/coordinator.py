@@ -1,0 +1,242 @@
+"""`SketchCoordinator`: universe partitioning across a fleet of servers.
+
+Where :class:`~repro.service.server.SketchServer` scales one host (its
+shards share a process pool), the coordinator scales *hosts*: it owns
+the :class:`~repro.parallel.partition.UniversePartitioner`, routes each
+update batch's per-server slices to the servers owning them, and fans
+state back in as wire-format snapshots -- the same
+fingerprint-verified ``restore`` / ``merge_snapshot`` payloads the
+in-process merge protocol uses, now routed between worker pools over
+TCP.  Because every server's fleet is built from the same factory (the
+``hello`` handshake proves it: all construction fingerprints must
+coincide), the merged result is bit-identical to one engine fed the
+whole stream -- the multi-host deployment inherits the single-engine
+white-box semantics unchanged.
+
+Checkpoint/recovery rides the same wire: ``checkpoint(path)`` pulls and
+merges all server snapshots and writes one standard checkpoint file
+(:mod:`repro.distributed.checkpoint`); ``recover(path)`` pushes the
+checkpointed merged state into server 0 of a fresh fleet -- merging
+being exact, a fleet holding the merged state in one server and nothing
+in the others continues exactly like the uninterrupted deployment, and
+the caller replays the stream tail from the returned position.
+
+The coordinator is asyncio-native (it multiplexes N server connections
+concurrently); wrap calls with :func:`asyncio.run` from sync code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.algorithm import StreamAlgorithm
+from repro.distributed.checkpoint import load_checkpoint, save_checkpoint
+from repro.distributed.codec import (
+    FingerprintMismatch,
+    construction_fingerprint,
+)
+from repro.parallel.partition import UniversePartitioner
+from repro.service.client import AsyncSketchClient
+
+__all__ = ["SketchCoordinator"]
+
+
+class SketchCoordinator:
+    """Routes one logical stream across many sketch servers.
+
+    Parameters
+    ----------
+    factory:
+        The same zero-argument replica factory every server was built
+        with; the coordinator keeps one local *template* instance (never
+        fed) for fingerprint checks and merge fan-in.
+    addresses:
+        ``(host, port)`` pairs, one per server; their order defines the
+        partition index.
+    partitioner:
+        Item -> server map; defaults to a seed-0
+        :class:`UniversePartitioner` over ``len(addresses)`` parts --
+        the same default a :class:`ShardedAlgorithm` of that width uses,
+        so a coordinator fleet partitions identically to a local fleet.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], StreamAlgorithm],
+        addresses: Sequence[tuple[str, int]],
+        partitioner: Optional[UniversePartitioner] = None,
+    ) -> None:
+        if not addresses:
+            raise ValueError("coordinator needs at least one server address")
+        self.factory = factory
+        self.addresses = list(addresses)
+        self.partitioner = partitioner or UniversePartitioner(len(self.addresses))
+        self.template = factory()
+        self.fingerprint = construction_fingerprint(self.template)
+        self.clients: list[AsyncSketchClient] = []
+        #: Updates routed so far (absolute once ``recover`` seeds it).
+        self.position = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def connect(self, retries: int = 0, retry_interval: float = 0.05) -> "SketchCoordinator":
+        """Connect to every server and verify construction identity.
+
+        A server whose ``hello`` fingerprint differs from the local
+        template's was built with other parameters or another seed;
+        routing updates to it would silently break merge exactness, so
+        the handshake raises :class:`FingerprintMismatch` instead.
+        """
+        if self.clients:
+            raise RuntimeError("coordinator already connected")
+        self.clients = list(
+            await asyncio.gather(
+                *(
+                    AsyncSketchClient.connect(
+                        host, port, retries=retries, retry_interval=retry_interval
+                    )
+                    for host, port in self.addresses
+                )
+            )
+        )
+        for address, client in zip(self.addresses, self.clients):
+            fingerprint = client.server_info["fingerprint"]
+            if fingerprint != self.fingerprint:
+                await self.close()
+                raise FingerprintMismatch(
+                    f"server {address[0]}:{address[1]} holds a differently-"
+                    "constructed sketch; every server must be built from the "
+                    "coordinator's factory (same parameters, same seed)"
+                )
+        return self
+
+    async def close(self) -> None:
+        """Close every server connection (idempotent)."""
+        clients, self.clients = self.clients, []
+        for client in clients:
+            await client.close()
+
+    async def __aenter__(self) -> "SketchCoordinator":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def _require_clients(self) -> list[AsyncSketchClient]:
+        if not self.clients:
+            raise RuntimeError("coordinator is not connected (call connect())")
+        return self.clients
+
+    # -- routing ------------------------------------------------------------
+
+    async def feed(self, items, deltas) -> int:
+        """Partition one batch and feed every server its slice, concurrently.
+
+        Returns the coordinator's stream position after the batch.  The
+        per-server slices preserve stream order (the partitioner's
+        counting sort is stable), so each server sees exactly the
+        sub-stream of its items -- the distributed mirror of
+        ``ShardedAlgorithm.process_batch``.
+        """
+        clients = self._require_clients()
+        items = np.ascontiguousarray(items, dtype=np.int64)
+        deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+        if items.size:
+            parts = self.partitioner.split(items, deltas)
+            await asyncio.gather(
+                *(
+                    client.feed(part[0], part[1])
+                    for client, part in zip(clients, parts)
+                    if part is not None and len(part[0])
+                )
+            )
+            self.position += int(items.size)
+        return self.position
+
+    async def feed_chunks(self, source) -> int:
+        """Drive a sync iterable of ``(items, deltas)`` chunks through
+        :meth:`feed`; returns the final position."""
+        for items, deltas in source:
+            await self.feed(items, deltas)
+        return self.position
+
+    # -- fan-in: the wire merge --------------------------------------------
+
+    async def merged(self) -> StreamAlgorithm:
+        """One sketch equal to a single engine fed the whole stream.
+
+        Pulls every server's merged snapshot concurrently and folds them
+        into a deep copy of the local template -- ``restore`` for the
+        first payload, fingerprint-verified merges for the rest, exactly
+        the :meth:`ShardedAlgorithm.merged` fan-in with TCP in the
+        middle.
+        """
+        clients = self._require_clients()
+        snapshots = await asyncio.gather(
+            *(client.snapshot() for client in clients)
+        )
+        merged = copy.deepcopy(self.template)
+        merged.restore(snapshots[0])
+        if len(snapshots) > 1:
+            twin = copy.deepcopy(self.template)
+            for snapshot in snapshots[1:]:
+                twin.restore(snapshot)
+                merged.merge(twin)
+        return merged
+
+    async def estimate(self, items) -> np.ndarray:
+        """Batched point estimates answered from the wire-merged state."""
+        return (await self.merged()).estimate_batch(items)
+
+    async def query(self, kind: Optional[str] = None):
+        """The family's native query from the wire-merged state."""
+        merged = await self.merged()
+        if kind in (None, "default"):
+            return merged.query()
+        if kind == "f2":
+            return merged.f2_estimate()
+        raise ValueError(f"unknown query kind {kind!r}")
+
+    async def stats(self) -> list[dict]:
+        """Every server's liveness/monitoring payload, in address order."""
+        clients = self._require_clients()
+        return list(await asyncio.gather(*(client.stats() for client in clients)))
+
+    # -- checkpoint / recovery over the wire --------------------------------
+
+    async def checkpoint(self, path) -> int:
+        """Write one standard checkpoint file of the fleet's merged state.
+
+        The file is indistinguishable from a local engine's checkpoint --
+        it can resume a single engine, a local sharded fleet, or another
+        coordinator fleet of any width.  Returns the recorded position.
+        """
+        merged = await self.merged()
+        save_checkpoint(
+            path,
+            merged,
+            self.position,
+            meta={"servers": len(self.addresses), "source": "coordinator"},
+        )
+        return self.position
+
+    async def recover(self, path) -> int:
+        """Restore a checkpoint into a fresh fleet; returns the position.
+
+        The merged snapshot lands whole in server 0 (the other servers
+        stay empty -- exact merging makes that equivalent to the
+        uninterrupted deployment).  The caller replays the stream tail
+        from the returned position, e.g. via
+        :func:`repro.distributed.checkpoint.tail_chunks`.
+        """
+        clients = self._require_clients()
+        checkpoint = load_checkpoint(path)
+        await clients[0].load_snapshot(
+            checkpoint.snapshot, position=checkpoint.position
+        )
+        self.position = checkpoint.position
+        return self.position

@@ -1,0 +1,516 @@
+"""`SketchServer`: the asyncio collector in front of a sketch fleet.
+
+Architecture
+------------
+One asyncio TCP server accepts many concurrent clients speaking the
+:mod:`repro.service.protocol` frame format.  Each connection handler
+reads requests in order; update batches decode straight out of the frame
+into int64 arrays and go down the existing
+:class:`~repro.parallel.sharded.ShardedStreamEngine` chunk path --
+partition, scatter, (optionally) process-pool fan-out -- with no
+intermediate copies beyond the codec's own array materialization.
+
+**Serialization point.**  Every engine operation (feeds from all
+connections, queries, snapshots) runs on one single-thread executor, so
+the engine sees a linear history exactly like a local driver -- queries
+observe chunk-boundary states, and the merged state stays bit-identical
+to a serial run over the concatenation of all clients' updates in the
+order the executor absorbed them (the sketches' update rules commute, so
+*any* interleaving of client sub-streams lands in the same final state).
+While the executor thread scatters chunk ``t``, the event loop keeps
+reading chunk ``t+1`` off other sockets -- the same produce/scatter
+overlap :func:`repro.parallel.ingest` pipelines, here fed by the
+network.
+
+**Backpressure.**  At most ``queue_depth`` engine operations may be
+queued on the executor at once (an :class:`asyncio.Semaphore`); beyond
+that, connection handlers stop reading and the kernel's TCP flow control
+pushes back on the clients -- a slow sketch never buffers an unbounded
+stream in user space.
+
+**Liveness & monitoring.**  ``stats`` / ``ping`` ops expose the
+operational counters a deployed randomness-bearing component needs
+(uptime, per-connection and aggregate update/query/error counts, seconds
+since the last absorbed batch, checkpoint positions) in the spirit of
+the beacon liveness/monitoring design this service's threat model
+inherits -- an estimate-drift monitor polls ``stats`` and ``estimate``
+without touching the ingest path.
+
+**Checkpointing.**  ``checkpoint_path`` arms the same chunk-boundary
+:class:`~repro.distributed.checkpoint.CheckpointWriter` policy the
+ingest front-end uses, over the *merged* fleet state; a ``checkpoint``
+op forces a write.  A restarted server resumes by restoring the
+checkpoint snapshot -- over the wire via a ``load_snapshot`` request or
+locally with ``resume_path`` -- after which reconnecting clients replay
+only the tail (see ``tests/test_service.py``'s restart round-trip).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.core.algorithm import StreamAlgorithm
+from repro.distributed.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    CheckpointWriter,
+    resume_from,
+)
+from repro.distributed.codec import (
+    FingerprintMismatch,
+    _parse_envelope,
+    construction_fingerprint,
+    snapshot_class_name,
+)
+from repro.parallel.partition import UniversePartitioner
+from repro.parallel.sharded import ShardedStreamEngine
+from repro.service.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    make_error_reply,
+    make_reply,
+    pack_array,
+    read_message,
+    sanitize_value,
+    write_message,
+)
+
+__all__ = ["ConnectionStats", "ServerStats", "SketchServer"]
+
+
+@dataclass
+class ConnectionStats:
+    """Per-connection counters (reported by the ``stats`` op)."""
+
+    peer: str = ""
+    frames: int = 0
+    updates: int = 0
+    queries: int = 0
+    errors: int = 0
+    opened_at: float = 0.0
+
+
+@dataclass
+class ServerStats:
+    """Aggregate liveness/monitoring counters for one server."""
+
+    started_at: float = 0.0
+    connections_total: int = 0
+    connections_open: int = 0
+    frames: int = 0
+    updates: int = 0
+    queries: int = 0
+    errors: int = 0
+    checkpoints: int = 0
+    last_feed_at: float = 0.0
+    #: Open connections' stats, keyed by a monotonically increasing id.
+    connections: dict = field(default_factory=dict)
+
+
+class SketchServer:
+    """Asyncio TCP collector feeding one sharded sketch fleet.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building one identically-seeded replica
+        (the :class:`ShardedStreamEngine` contract).
+    num_shards / backend / chunk_size / partitioner:
+        Passed to :class:`ShardedStreamEngine` unchanged
+        (``backend="process"`` puts a worker-process fleet behind the
+        socket).
+    host / port:
+        Listen address; port 0 picks a free port (read ``server.port``
+        after :meth:`start`).
+    queue_depth:
+        Bound on engine operations queued behind the serialization
+        executor -- the service-side backpressure knob.
+    max_frame:
+        Per-frame byte cap (oversized frames close the connection).
+    checkpoint_path / checkpoint_every / start_position:
+        The ingest/drive checkpoint convention, applied to the merged
+        fleet state at batch boundaries.
+    resume_path:
+        Restore this checkpoint file into the fleet before serving
+        (sets the stream position; equivalent to a client-driven
+        ``load_snapshot``).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], StreamAlgorithm],
+        num_shards: int = 1,
+        backend: str = "serial",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        chunk_size: Optional[int] = None,
+        partitioner: Optional[UniversePartitioner] = None,
+        queue_depth: int = 8,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        checkpoint_path=None,
+        checkpoint_every: Optional[int] = None,
+        start_position: int = 0,
+        resume_path=None,
+    ) -> None:
+        if queue_depth <= 0:
+            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        self.engine = ShardedStreamEngine(
+            factory,
+            num_shards,
+            chunk_size=chunk_size,
+            partitioner=partitioner,
+            backend=backend,
+        )
+        #: Construction identity of the fleet (every replica's, by the
+        #: merge-key check) -- sent in ``hello`` so clients and the
+        #: coordinator can reject a mis-seeded server before feeding it.
+        template = self.engine.algorithm.shards[0]
+        self.fingerprint = construction_fingerprint(template)
+        self.sketch_class = snapshot_class_name(template)
+        self.host = host
+        self._requested_port = port
+        self.port: Optional[int] = None
+        self.queue_depth = queue_depth
+        self.max_frame = max_frame
+        self.position = start_position
+        self._writer: Optional[CheckpointWriter] = None
+        if checkpoint_path is not None:
+            self._writer = CheckpointWriter(
+                checkpoint_path,
+                self.engine.algorithm,
+                every=checkpoint_every
+                if checkpoint_every is not None
+                else DEFAULT_CHECKPOINT_EVERY,
+            )
+        if resume_path is not None:
+            self.position = resume_from(resume_path, self.engine.algorithm)
+        if self._writer is not None:
+            self._writer.last_position = self.position
+        self.stats = ServerStats(started_at=time.monotonic())
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._engine_pool: Optional[ThreadPoolExecutor] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._connection_seq = 0
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "SketchServer":
+        """Bind and start accepting connections; resolves the port."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._engine_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="sketch-engine"
+        )
+        self._slots = asyncio.Semaphore(self.queue_depth)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """``start()`` (if needed) then serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, flush a final checkpoint, shut the fleet down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Reap connection handlers still draining their sockets, so the
+        # event loop can close without orphaned tasks.
+        for task in list(self._handler_tasks):
+            task.cancel()
+        if self._handler_tasks:
+            await asyncio.gather(*self._handler_tasks, return_exceptions=True)
+        if self._writer is not None and self._writer.last_position != self.position:
+            await self._engine_call(self._checkpoint_now)
+        if self._engine_pool is not None:
+            self._engine_pool.shutdown(wait=True)
+        self.engine.close()
+
+    @contextlib.contextmanager
+    def run_in_thread(self):
+        """Run the server on a daemon-thread event loop (sync callers).
+
+        Yields the server once it is listening (``server.port`` is set);
+        stops it on exit.  This is how the load harness and the sync
+        client tests host an in-process server.
+        """
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+        stop_requested = asyncio.Event()
+        failure: list[BaseException] = []
+
+        async def _run() -> None:
+            try:
+                await self.start()
+            except BaseException as exc:  # surface bind errors to the caller
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            # start_server() already accepts in the background; _run just
+            # keeps the loop alive until the exit path asks it to stop,
+            # then runs the full shutdown *inside* the loop so the final
+            # checkpoint and fleet teardown always complete.
+            await stop_requested.wait()
+            await self.stop()
+
+        def _main() -> None:
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(_run())
+            finally:
+                loop.close()
+
+        thread = threading.Thread(
+            target=_main, name="sketch-server", daemon=True
+        )
+        thread.start()
+        started.wait()
+        if failure:
+            thread.join(timeout=5)
+            raise failure[0]
+        try:
+            yield self
+        finally:
+            loop.call_soon_threadsafe(stop_requested.set)
+            thread.join(timeout=30)
+
+    # -- engine serialization ----------------------------------------------
+
+    async def _engine_call(self, fn, *args):
+        """Run one engine operation on the single serialization thread.
+
+        The semaphore bounds queued operations (backpressure); FIFO
+        submission order on a one-thread pool is the linear history every
+        correctness claim leans on.
+        """
+        async with self._slots:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._engine_pool, fn, *args)
+
+    def _feed(self, items: np.ndarray, deltas: np.ndarray) -> int:
+        self.engine.algorithm.process_batch(items, deltas)
+        self.position += len(items)
+        if self._writer is not None and self._writer.maybe(self.position):
+            self.stats.checkpoints += 1
+        return self.position
+
+    def _checkpoint_now(self) -> dict:
+        if self._writer is None:
+            raise RuntimeError(
+                "server has no checkpoint_path configured; pass one at "
+                "construction to enable checkpointing"
+            )
+        self._writer.flush(self.position)
+        self.stats.checkpoints += 1
+        return {"path": str(self._writer.path), "position": self.position}
+
+    def _load_snapshot(self, data: bytes, position: Optional[int]) -> int:
+        # Reject mis-constructed snapshots *before* they reach the fleet: a
+        # process-backend worker that trips the fingerprint check mid-restore
+        # dies with its replica state, whereas rejecting here costs nothing.
+        _, fingerprint, _ = _parse_envelope(data)
+        if fingerprint != self.fingerprint:
+            raise FingerprintMismatch(
+                f"{self.sketch_class}: snapshot construction fingerprint "
+                "disagrees with this server's fleet; the snapshot must come "
+                "from an identically-constructed sketch (same parameters, "
+                "same seed)"
+            )
+        self.engine.load_snapshot(data)
+        self.position = (
+            int(position)
+            if position is not None
+            else self.engine.algorithm.updates_processed
+        )
+        if self._writer is not None:
+            self._writer.last_position = self.position
+        return self.position
+
+    def _stats_payload(self) -> dict:
+        """The monitoring snapshot: liveness first, then counters."""
+        now = time.monotonic()
+        stats = self.stats
+        return {
+            "status": "ok",
+            "uptime_seconds": now - stats.started_at,
+            "seconds_since_last_feed": (
+                now - stats.last_feed_at if stats.last_feed_at else None
+            ),
+            "position": self.position,
+            "connections_open": stats.connections_open,
+            "connections_total": stats.connections_total,
+            "frames": stats.frames,
+            "updates": stats.updates,
+            "queries": stats.queries,
+            "errors": stats.errors,
+            "checkpoints": stats.checkpoints,
+            "queue_depth": self.queue_depth,
+            "num_shards": self.engine.num_shards,
+            "backend": self.engine.backend,
+            "shard_loads": list(self.engine.algorithm.shard_loads()),
+            "connections": {
+                key: {
+                    "peer": c.peer,
+                    "frames": c.frames,
+                    "updates": c.updates,
+                    "queries": c.queries,
+                    "errors": c.errors,
+                    "open_seconds": now - c.opened_at,
+                }
+                for key, c in stats.connections.items()
+            },
+        }
+
+    # -- request dispatch ---------------------------------------------------
+
+    async def _dispatch(self, message: dict, connection: ConnectionStats):
+        op = message["op"]
+        if op == "hello":
+            return {
+                "server": "repro-sketch-service",
+                "protocol_version": PROTOCOL_VERSION,
+                "repro_version": __version__,
+                "sketch": self.sketch_class,
+                "fingerprint": self.fingerprint,
+                "num_shards": self.engine.num_shards,
+                "backend": self.engine.backend,
+            }
+        if op == "ping":
+            return {"pong": True, "position": self.position}
+        if op == "feed":
+            items = message.get("items")
+            deltas = message.get("deltas")
+            if (
+                not isinstance(items, np.ndarray)
+                or not isinstance(deltas, np.ndarray)
+                or items.dtype != np.int64
+                or deltas.dtype != np.int64
+                or items.shape != deltas.shape
+                or items.ndim != 1
+            ):
+                raise ValueError(
+                    "feed needs aligned one-dimensional int64 'items' and "
+                    "'deltas' arrays"
+                )
+            position = await self._engine_call(self._feed, items, deltas)
+            connection.updates += len(items)
+            self.stats.updates += len(items)
+            self.stats.last_feed_at = time.monotonic()
+            return {"count": len(items), "position": position}
+        if op == "estimate":
+            items = message.get("items")
+            if not isinstance(items, np.ndarray) or items.dtype != np.int64:
+                raise ValueError("estimate needs an int64 'items' array")
+            connection.queries += 1
+            self.stats.queries += 1
+            estimates = await self._engine_call(
+                self.engine.estimate_batch, items
+            )
+            return pack_array(np.asarray(estimates))
+        if op == "query":
+            connection.queries += 1
+            self.stats.queries += 1
+            kind = message.get("kind")
+            if kind in (None, "default"):
+                return sanitize_value(await self._engine_call(self.engine.query))
+            if kind == "f2":
+                return sanitize_value(
+                    await self._engine_call(
+                        lambda: self.engine.algorithm.f2_estimate()
+                    )
+                )
+            raise ValueError(f"unknown query kind {kind!r}")
+        if op == "snapshot":
+            connection.queries += 1
+            self.stats.queries += 1
+            return await self._engine_call(
+                lambda: self.engine.merged().snapshot()
+            )
+        if op == "load_snapshot":
+            data = message.get("snapshot")
+            if not isinstance(data, (bytes, bytearray)):
+                raise ValueError("load_snapshot needs snapshot bytes")
+            position = await self._engine_call(
+                self._load_snapshot, bytes(data), message.get("position")
+            )
+            return {"position": position}
+        if op == "checkpoint":
+            return await self._engine_call(self._checkpoint_now)
+        if op == "stats":
+            return await self._engine_call(self._stats_payload)
+        raise ValueError(f"unknown op {op!r}")
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        key = self._connection_seq
+        self._connection_seq += 1
+        peer = writer.get_extra_info("peername")
+        connection = ConnectionStats(
+            peer=f"{peer[0]}:{peer[1]}" if peer else "?",
+            opened_at=time.monotonic(),
+        )
+        self.stats.connections_total += 1
+        self.stats.connections_open += 1
+        self.stats.connections[key] = connection
+        try:
+            while True:
+                try:
+                    message = await read_message(reader, self.max_frame)
+                except ProtocolError:
+                    # Framing is unrecoverable mid-stream: count and drop.
+                    connection.errors += 1
+                    self.stats.errors += 1
+                    break
+                if message is None:  # clean EOF
+                    break
+                connection.frames += 1
+                self.stats.frames += 1
+                request_id = message.get("id")
+                try:
+                    result = await self._dispatch(message, connection)
+                    reply = make_reply(request_id, result)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    connection.errors += 1
+                    self.stats.errors += 1
+                    reply = make_error_reply(request_id, exc)
+                await write_message(writer, reply)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Only stop() cancels handlers (shutdown reap); finishing
+            # normally here keeps asyncio's stream-protocol done-callback
+            # from re-raising the cancellation into the event loop.
+            pass
+        finally:
+            self.stats.connections_open -= 1
+            self.stats.connections.pop(key, None)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()

@@ -1,0 +1,534 @@
+"""The network service: framing, exactness over sockets, failure modes.
+
+Covers the protocol layer in isolation (message/frame round trips,
+malformed-frame rejection, array packing, error-reply mapping), the
+server/client path end to end (feed -> estimate bit-exact against a
+serial ``StreamEngine`` run, with concurrent clients and with a
+process-backend fleet), the coordinator (universe partitioning across
+two servers, wire merge, fleet checkpoint), and the recovery story
+(fingerprint-mismatch rejection that leaves the fleet intact, server
+restart from checkpoint with a reconnecting client replaying the tail).
+
+Everything runs on localhost with OS-assigned ports; servers host their
+event loop on a daemon thread via ``run_in_thread()`` so the sync client
+tests stay loop-free.
+"""
+
+import asyncio
+import os
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.engine import StreamEngine
+from repro.distributed.checkpoint import tail_chunks
+from repro.distributed.codec import FingerprintMismatch, SnapshotError
+from repro.heavyhitters.count_min import CountMinSketch
+from repro.heavyhitters.count_sketch import CountSketch
+from repro.service import (
+    AsyncSketchClient,
+    ProtocolError,
+    ServiceError,
+    SketchClient,
+    SketchCoordinator,
+    SketchServer,
+)
+from repro.service.protocol import (
+    MAGIC,
+    make_error_reply,
+    make_reply,
+    make_request,
+    pack_array,
+    pack_message,
+    raise_for_reply,
+    sanitize_value,
+    unpack_array,
+    unpack_message,
+)
+from repro.workloads.frequency import uniform_arrays
+
+UNIVERSE = 1 << 14
+STREAM_LENGTH = 20_000
+CHUNK = 4 * 1024
+
+
+def count_min_factory():
+    return CountMinSketch(universe_size=UNIVERSE, depth=4, width=512, seed=7)
+
+
+def other_seed_factory():
+    return CountMinSketch(universe_size=UNIVERSE, depth=4, width=512, seed=8)
+
+
+def count_sketch_factory():
+    return CountSketch(universe_size=UNIVERSE, width=512, depth=5, seed=11)
+
+
+def stream(seed=0, length=STREAM_LENGTH):
+    rng = np.random.default_rng(seed)
+    items = rng.integers(0, UNIVERSE, size=length, dtype=np.int64)
+    deltas = rng.integers(-2, 5, size=length, dtype=np.int64)
+    return items, deltas
+
+
+def serial_reference(factory, items, deltas):
+    sketch = factory()
+    StreamEngine(chunk_size=CHUNK).drive_arrays([sketch], items, deltas)
+    return sketch
+
+
+PROBE = np.arange(256, dtype=np.int64)
+
+
+# -- protocol layer, no sockets ----------------------------------------------
+
+
+class TestMessageCodec:
+    def test_request_round_trip(self):
+        items, deltas = stream(3, 100)
+        message = make_request("feed", 17, items=items, deltas=deltas)
+        decoded = unpack_message(pack_message(message)[8:])
+        assert decoded["op"] == "feed" and decoded["id"] == 17
+        assert np.array_equal(decoded["items"], items)
+        assert np.array_equal(decoded["deltas"], deltas)
+
+    def test_reply_round_trip(self):
+        reply = make_reply(3, {"count": 5, "position": 10})
+        decoded = unpack_message(pack_message(reply)[8:])
+        assert raise_for_reply(decoded, 3) == {"count": 5, "position": 10}
+
+    def test_frame_carries_magic_and_length(self):
+        frame = pack_message(make_request("ping", 1))
+        assert frame[:4] == MAGIC
+        (length,) = struct.unpack(">I", frame[4:8])
+        assert length == len(frame) - 8
+
+    def test_non_dict_payload_rejected(self):
+        from repro.distributed.codec import encode_value
+
+        with pytest.raises(ProtocolError):
+            unpack_message(encode_value([1, 2, 3]))
+
+    def test_payload_without_op_rejected(self):
+        from repro.distributed.codec import encode_value
+
+        with pytest.raises(ProtocolError):
+            unpack_message(encode_value({"id": 1}))
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_message(b"\xff\xfe\xfd not a codec value")
+
+    def test_message_must_have_string_op(self):
+        with pytest.raises(ProtocolError):
+            pack_message({"op": 42})
+        with pytest.raises(ProtocolError):
+            pack_message({"id": 1})
+
+    def test_int64_array_pack_bit_exact(self):
+        array = np.array([0, -1, 2**62, -(2**62)], dtype=np.int64)
+        assert np.array_equal(unpack_array(pack_array(array)), array)
+
+    def test_float64_array_pack_bit_exact(self):
+        rng = np.random.default_rng(0)
+        array = rng.standard_normal(257)
+        round_tripped = unpack_array(pack_array(array))
+        # bit-identical, not approximately equal
+        assert array.tobytes() == round_tripped.tobytes()
+
+    def test_float64_survives_message_round_trip(self):
+        array = np.array([0.1 + 0.2, 1e-308, -0.0, 3.14159e200])
+        message = make_reply(1, pack_array(array))
+        result = raise_for_reply(unpack_message(pack_message(message)[8:]), 1)
+        assert array.tobytes() == unpack_array(result).tobytes()
+
+    def test_error_reply_maps_to_local_exception_types(self):
+        for exc, expected in [
+            (FingerprintMismatch("nope"), FingerprintMismatch),
+            (SnapshotError("bad"), SnapshotError),
+            (ValueError("v"), ServiceError),
+            (RuntimeError("r"), ServiceError),
+        ]:
+            reply = unpack_message(pack_message(make_error_reply(9, exc))[8:])
+            with pytest.raises(expected):
+                raise_for_reply(reply, 9)
+
+    def test_service_error_carries_remote_kind(self):
+        reply = make_error_reply(1, KeyError("missing"))
+        with pytest.raises(ServiceError) as info:
+            raise_for_reply(reply, 1)
+        assert info.value.kind == "KeyError"
+
+    def test_mismatched_reply_id_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            raise_for_reply(make_reply(2, None), 3)
+
+    def test_sanitize_folds_numpy_scalars(self):
+        value = {"f2": np.float64(1.5), "count": np.int64(3), "seq": [np.int32(1)]}
+        clean = sanitize_value(value)
+        assert type(clean["f2"]) is float and type(clean["count"]) is int
+        assert type(clean["seq"][0]) is int
+
+
+# -- malformed frames against a live server ----------------------------------
+
+
+class TestMalformedFrames:
+    def test_bad_magic_closes_connection_not_server(self):
+        server = SketchServer(count_min_factory, chunk_size=CHUNK)
+        with server.run_in_thread() as srv:
+            raw = socket.create_connection(("127.0.0.1", srv.port))
+            raw.sendall(b"XXXX" + struct.pack(">I", 4) + b"junk")
+            # server drops the connection without replying
+            assert raw.recv(1024) == b""
+            raw.close()
+            # ...but keeps serving other clients
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                assert client.ping()["pong"]
+                assert client.stats()["errors"] >= 1
+
+    def test_oversized_frame_rejected(self):
+        server = SketchServer(count_min_factory, chunk_size=CHUNK, max_frame=1024)
+        with server.run_in_thread() as srv:
+            raw = socket.create_connection(("127.0.0.1", srv.port))
+            raw.sendall(MAGIC + struct.pack(">I", 1 << 30))
+            assert raw.recv(1024) == b""
+            raw.close()
+
+    def test_truncated_frame_is_protocol_error_client_side(self):
+        from repro.service.protocol import recv_message
+
+        server = SketchServer(count_min_factory, chunk_size=CHUNK)
+        with server.run_in_thread() as srv:
+            client = SketchClient.connect("127.0.0.1", srv.port, hello=False)
+            # hand-feed a frame whose payload never arrives, then half-close:
+            # the server sees EOF inside the frame, drops the connection
+            # without a reply, and the client's read surfaces that
+            client._sock.sendall(MAGIC + struct.pack(">I", 100) + b"short")
+            client._sock.shutdown(socket.SHUT_WR)
+            with pytest.raises(ProtocolError):
+                recv_message(client._sock)
+            client.close()
+
+
+# -- end-to-end exactness ----------------------------------------------------
+
+
+class TestServerExactness:
+    def test_single_client_matches_serial_engine(self):
+        items, deltas = stream(1)
+        reference = serial_reference(count_min_factory, items, deltas)
+        server = SketchServer(count_min_factory, num_shards=2, chunk_size=CHUNK)
+        with server.run_in_thread() as srv:
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                ack = client.feed_chunks(
+                    (items[i : i + CHUNK], deltas[i : i + CHUNK])
+                    for i in range(0, len(items), CHUNK)
+                )
+                assert ack["count"] == len(items)
+                assert ack["position"] == len(items)
+                estimates = client.estimate(PROBE)
+                assert np.array_equal(
+                    estimates, reference.estimate_batch(PROBE)
+                )
+                # the snapshot over the wire equals the local merged state
+                assert client.snapshot() == reference.snapshot()
+
+    def test_concurrent_clients_bit_exact(self):
+        """Many clients, interleaved over TCP, one merged truth.
+
+        Update rules commute, so whatever order the server absorbs the
+        four sub-streams in, the final state must equal one serial engine
+        fed the concatenation.
+        """
+        import threading
+
+        items, deltas = stream(2, 40_000)
+        reference = serial_reference(count_min_factory, items, deltas)
+        server = SketchServer(
+            count_min_factory, num_shards=2, chunk_size=CHUNK, queue_depth=4
+        )
+        errors = []
+        with server.run_in_thread() as srv:
+
+            def feed_slice(start):
+                try:
+                    with SketchClient.connect("127.0.0.1", srv.port) as c:
+                        c.feed_chunks(
+                            (
+                                items[i : i + 1024],
+                                deltas[i : i + 1024],
+                            )
+                            for i in range(start, len(items), 4 * 1024)
+                        )
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=feed_slice, args=(k * 1024,))
+                for k in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                assert client.ping()["position"] == len(items)
+                assert np.array_equal(
+                    client.estimate(PROBE), reference.estimate_batch(PROBE)
+                )
+                assert client.snapshot() == reference.snapshot()
+
+    def test_process_backend_fleet_bit_exact(self):
+        items, deltas = stream(4)
+        reference = serial_reference(count_min_factory, items, deltas)
+        server = SketchServer(
+            count_min_factory, num_shards=2, backend="process", chunk_size=CHUNK
+        )
+        with server.run_in_thread() as srv:
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                client.feed(items, deltas)
+                assert np.array_equal(
+                    client.estimate(PROBE), reference.estimate_batch(PROBE)
+                )
+
+    def test_float_estimates_bit_identical(self):
+        """CountSketch medians are float64; the wire must not perturb them."""
+        items, deltas = stream(5)
+        reference = serial_reference(count_sketch_factory, items, deltas)
+        server = SketchServer(count_sketch_factory, chunk_size=CHUNK)
+        with server.run_in_thread() as srv:
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                client.feed(items, deltas)
+                estimates = client.estimate(PROBE)
+                expected = reference.estimate_batch(PROBE)
+                assert estimates.tobytes() == expected.tobytes()
+
+    def test_f2_query_over_the_wire(self):
+        items, deltas = stream(6)
+        reference = serial_reference(count_sketch_factory, items, deltas)
+        server = SketchServer(count_sketch_factory, chunk_size=CHUNK)
+        with server.run_in_thread() as srv:
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                client.feed(items, deltas)
+                assert client.f2_estimate() == reference.f2_estimate()
+
+    def test_hello_pins_identity(self):
+        server = SketchServer(count_min_factory, num_shards=3, chunk_size=CHUNK)
+        with server.run_in_thread() as srv:
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                info = client.server_info
+                assert info["sketch"].endswith("CountMinSketch")
+                assert info["fingerprint"] == srv.fingerprint
+                assert info["num_shards"] == 3
+
+
+# -- application errors leave the connection usable --------------------------
+
+
+class TestApplicationErrors:
+    def test_unknown_op_and_bad_kind_then_connection_survives(self):
+        server = SketchServer(count_min_factory, chunk_size=CHUNK)
+        with server.run_in_thread() as srv:
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                with pytest.raises(ServiceError) as info:
+                    client._request("definitely_not_an_op")
+                assert info.value.kind == "ValueError"
+                with pytest.raises(ServiceError):
+                    client.query(kind="nope")
+                assert client.ping()["pong"]
+
+    def test_misaligned_feed_rejected_client_side(self):
+        server = SketchServer(count_min_factory, chunk_size=CHUNK)
+        with server.run_in_thread() as srv:
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                with pytest.raises(ValueError):
+                    client.feed(np.arange(5, dtype=np.int64), np.ones(4, dtype=np.int64))
+
+    def test_fingerprint_mismatch_rejected_and_fleet_intact(self):
+        items, deltas = stream(7)
+        reference = serial_reference(count_min_factory, items, deltas)
+        server = SketchServer(count_min_factory, num_shards=2, chunk_size=CHUNK)
+        with server.run_in_thread() as srv:
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                client.feed(items, deltas)
+                with pytest.raises(FingerprintMismatch):
+                    client.load_snapshot(other_seed_factory().snapshot())
+                # the rejected snapshot must not have touched the fleet
+                assert np.array_equal(
+                    client.estimate(PROBE), reference.estimate_batch(PROBE)
+                )
+
+    def test_checkpoint_without_path_is_remote_error(self):
+        server = SketchServer(count_min_factory, chunk_size=CHUNK)
+        with server.run_in_thread() as srv:
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                with pytest.raises(ServiceError) as info:
+                    client.checkpoint()
+                assert info.value.kind == "RuntimeError"
+
+
+# -- restart / reconnect -----------------------------------------------------
+
+
+class TestRestartRecovery:
+    def test_client_reconnects_after_server_restart_from_checkpoint(self, tmp_path):
+        """Kill the server mid-stream, restart from its checkpoint, replay
+        the tail through a reconnecting client: final state bit-exact."""
+        items, deltas = stream(8, 30_000)
+        reference = serial_reference(count_min_factory, items, deltas)
+        path = tmp_path / "service.ckpt"
+        cut = 20_000
+
+        first = SketchServer(
+            count_min_factory,
+            num_shards=2,
+            chunk_size=CHUNK,
+            checkpoint_path=path,
+            checkpoint_every=5_000,
+        )
+        with first.run_in_thread() as srv:
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                client.feed(items[:cut], deltas[:cut])
+                client.checkpoint()  # pin the cut point on disk
+        # server gone; a fresh one resumes from the file
+        assert path.exists()
+        second = SketchServer(
+            count_min_factory, num_shards=2, chunk_size=CHUNK, resume_path=path
+        )
+        with second.run_in_thread() as srv:
+            client = SketchClient.connect(
+                "127.0.0.1", srv.port, retries=20, retry_interval=0.05
+            )
+            with client:
+                position = client.ping()["position"]
+                assert position == cut
+                # replay only the tail, exactly like local recovery
+                chunks = (
+                    (items[i : i + CHUNK], deltas[i : i + CHUNK])
+                    for i in range(0, len(items), CHUNK)
+                )
+                for tail_items, tail_deltas in tail_chunks(chunks, position):
+                    client.feed(tail_items, tail_deltas)
+                assert np.array_equal(
+                    client.estimate(PROBE), reference.estimate_batch(PROBE)
+                )
+                assert client.snapshot() == reference.snapshot()
+
+    def test_connect_retries_ride_out_a_down_server(self):
+        # grab a port with no listener
+        probe_sock = socket.socket()
+        probe_sock.bind(("127.0.0.1", 0))
+        port = probe_sock.getsockname()[1]
+        probe_sock.close()
+        with pytest.raises(OSError):
+            SketchClient.connect("127.0.0.1", port, retries=2, retry_interval=0.01)
+
+
+# -- the coordinator ---------------------------------------------------------
+
+
+class TestCoordinator:
+    def run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_two_server_fleet_bit_exact_and_checkpoints(self, tmp_path):
+        items, deltas = stream(9)
+        reference = serial_reference(count_min_factory, items, deltas)
+        s1 = SketchServer(count_min_factory, chunk_size=CHUNK)
+        s2 = SketchServer(count_min_factory, chunk_size=CHUNK)
+        path = tmp_path / "fleet.ckpt"
+
+        async def scenario():
+            coordinator = SketchCoordinator(
+                count_min_factory,
+                [("127.0.0.1", s1.port), ("127.0.0.1", s2.port)],
+            )
+            await coordinator.connect()
+            position = await coordinator.feed_chunks(
+                (items[i : i + CHUNK], deltas[i : i + CHUNK])
+                for i in range(0, len(items), CHUNK)
+            )
+            assert position == len(items)
+            estimates = await coordinator.estimate(PROBE)
+            assert np.array_equal(estimates, reference.estimate_batch(PROBE))
+            merged = await coordinator.merged()
+            assert merged.snapshot() == reference.snapshot()
+            # per-server stats cover the whole stream between them
+            stats = await coordinator.stats()
+            assert sum(s["position"] for s in stats) == len(items)
+            assert await coordinator.checkpoint(path) == len(items)
+            await coordinator.close()
+
+        with s1.run_in_thread(), s2.run_in_thread():
+            self.run(scenario())
+        assert path.exists()
+
+        # recovery into a brand-new fleet
+        f1 = SketchServer(count_min_factory, chunk_size=CHUNK)
+        f2 = SketchServer(count_min_factory, chunk_size=CHUNK)
+
+        async def recovery():
+            coordinator = SketchCoordinator(
+                count_min_factory,
+                [("127.0.0.1", f1.port), ("127.0.0.1", f2.port)],
+            )
+            await coordinator.connect()
+            assert await coordinator.recover(path) == len(items)
+            estimates = await coordinator.estimate(PROBE)
+            assert np.array_equal(estimates, reference.estimate_batch(PROBE))
+            await coordinator.close()
+
+        with f1.run_in_thread(), f2.run_in_thread():
+            self.run(recovery())
+
+    def test_mis_seeded_server_rejected_at_connect(self):
+        good = SketchServer(count_min_factory, chunk_size=CHUNK)
+        bad = SketchServer(other_seed_factory, chunk_size=CHUNK)
+        with good.run_in_thread(), bad.run_in_thread():
+
+            async def scenario():
+                coordinator = SketchCoordinator(
+                    count_min_factory,
+                    [("127.0.0.1", good.port), ("127.0.0.1", bad.port)],
+                )
+                with pytest.raises(FingerprintMismatch):
+                    await coordinator.connect()
+                assert not coordinator.clients  # connections torn down
+
+            self.run(scenario())
+
+    def test_coordinator_requires_addresses(self):
+        with pytest.raises(ValueError):
+            SketchCoordinator(count_min_factory, [])
+
+
+# -- the async client --------------------------------------------------------
+
+
+class TestAsyncClient:
+    def test_async_feed_estimate_round_trip(self):
+        items, deltas = stream(10)
+        reference = serial_reference(count_min_factory, items, deltas)
+        server = SketchServer(count_min_factory, num_shards=2, chunk_size=CHUNK)
+        with server.run_in_thread() as srv:
+
+            async def scenario():
+                async with await AsyncSketchClient.connect(
+                    "127.0.0.1", srv.port
+                ) as client:
+                    ack = await client.feed_chunks(
+                        (items[i : i + CHUNK], deltas[i : i + CHUNK])
+                        for i in range(0, len(items), CHUNK)
+                    )
+                    assert ack["position"] == len(items)
+                    estimates = await client.estimate(PROBE)
+                    assert np.array_equal(
+                        estimates, reference.estimate_batch(PROBE)
+                    )
+                    assert (await client.snapshot()) == reference.snapshot()
+
+            asyncio.run(scenario())

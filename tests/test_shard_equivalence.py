@@ -146,7 +146,7 @@ class TestShardedEquivalence:
         serial = ShardedStreamEngine(make, num_shards=4, chunk_size=64)
         serial.drive(updates)
         with ShardedStreamEngine(
-            make, num_shards=4, chunk_size=64, parallel=True
+            make, num_shards=4, chunk_size=64, backend="thread"
         ) as threaded:
             threaded.drive(updates)
             assert dict(serial.state_view().fields) == dict(

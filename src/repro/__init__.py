@@ -49,11 +49,14 @@ distributed
 service
     The network layer: the ``SketchServer`` asyncio TCP collector,
     sync/async clients, and the multi-server ``SketchCoordinator``.
+obs
+    The telemetry layer: mergeable metrics registry, chunk-level
+    tracing, drift/budget monitors, Prometheus exposition.
 api
     The versioned stable import surface (``from repro.api import ...``).
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.core import (
     FrequencyVector,

@@ -19,10 +19,10 @@ separation of Theorem 1.5 versus Theorem 1.9 made measurable.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.core.stream import Update
 from repro.crypto.lattice import brute_force_short_kernel, lll_short_kernel
 from repro.distinct.kmv import KMVEstimator
@@ -113,15 +113,18 @@ def attack_sis_l0(
     3. on success, stream the vector into chunk 0 and check the estimator
        now reports 0 nonzero chunks despite a nonzero chunk.
     """
-    start = time.perf_counter()
-    vector, tried = brute_force_short_kernel(
-        estimator.matrix, coefficient_bound=brute_force_bound, max_candidates=max_candidates
-    )
-    method = "brute-force"
-    if vector is None and try_lll:
-        method = "lll"
-        vector = lll_short_kernel(estimator.matrix)
-    elapsed = time.perf_counter() - start
+    # obs.timer always measures (the report keeps its wall time even
+    # under REPRO_OBS=0) and lands the search in the same
+    # repro_phase_seconds family as engine chunks and service requests.
+    with obs.timer("attack.sis_search") as search:
+        vector, tried = brute_force_short_kernel(
+            estimator.matrix, coefficient_bound=brute_force_bound, max_candidates=max_candidates
+        )
+        method = "brute-force"
+        if vector is None and try_lll:
+            method = "lll"
+            vector = lll_short_kernel(estimator.matrix)
+    elapsed = search.seconds
     if vector is None:
         return SisAttackReport(
             method=method,

@@ -39,6 +39,9 @@ The surface, by layer::
     service     SketchServer, SketchClient, AsyncSketchClient,
                 SketchCoordinator, ServiceError, ProtocolError,
                 PROTOCOL_VERSION
+    telemetry   MetricsRegistry, get_registry, merge_snapshots,
+                render_prometheus, get_tracer, obs_timer,
+                EstimateDriftMonitor, InteractionBudgetMonitor, Alarm
 
 See the README's "Public API" table for the name -> module map with
 deprecation status.
@@ -74,6 +77,17 @@ from repro.distributed.codec import (
     restore_sketch,
     snapshot_sketch,
 )
+from repro.obs import (
+    Alarm,
+    EstimateDriftMonitor,
+    InteractionBudgetMonitor,
+    MetricsRegistry,
+    get_registry,
+    get_tracer,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs import timer as obs_timer
 from repro.parallel.ingest import (
     IngestStats,
     chunk_arrays,
@@ -100,13 +114,17 @@ API_VERSION = "1.0"
 
 __all__ = [
     "API_VERSION",
+    "Alarm",
     "AsyncSketchClient",
     "CheckpointWriter",
     "DEFAULT_CHUNK_SIZE",
+    "EstimateDriftMonitor",
     "FingerprintMismatch",
     "GameResult",
     "IngestStats",
+    "InteractionBudgetMonitor",
     "MergeableSketch",
+    "MetricsRegistry",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "SerializableSketch",
@@ -127,9 +145,14 @@ __all__ = [
     "chunk_arrays",
     "chunk_updates",
     "construction_fingerprint",
+    "get_registry",
+    "get_tracer",
     "ingest",
     "ingest_async",
     "load_checkpoint",
+    "merge_snapshots",
+    "obs_timer",
+    "render_prometheus",
     "restore_sketch",
     "resume_from",
     "run_game",

@@ -52,11 +52,139 @@ state) and ``_restore_state(state)`` (the inverse).
 from __future__ import annotations
 
 import abc
+import bisect
 import copy
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 import numpy as np
+
+from repro.obs.metrics import SIZE_BUCKETS, get_registry as _get_obs_registry
+
+# feed_batch is the one chokepoint every driving path shares -- the
+# engine's chunk loop, serial shard scatters, and forked process-backend
+# workers all pass through it -- so these per-batch instruments make
+# sketch-level throughput backend-invariant: a process fleet's merged
+# registry equals a serial run's bit-exactly (tests/test_obs.py pins it).
+_obs_registry = _get_obs_registry()
+_obs_batches = _obs_registry.counter(
+    "repro_sketch_batches_total", "feed_batch calls, by sketch name"
+)
+_obs_updates = _obs_registry.counter(
+    "repro_sketch_updates_total", "Updates absorbed via feed_batch, by sketch name"
+)
+_obs_batch_sizes = _obs_registry.histogram(
+    "repro_sketch_batch_updates",
+    "feed_batch sizes, by sketch name",
+    buckets=SIZE_BUCKETS,
+)
+#: Backstop fold depth: pending batch sizes normally fold at snapshot
+#: (scrape) time; a recorder that crosses this depth folds inline so the
+#: buffer stays bounded even if nothing ever scrapes.
+_PENDING_FOLD_AT = 8192
+
+
+class _SketchSeries:
+    """Per-sketch telemetry with lock-free recording, scrape-time folds.
+
+    ``record`` is the chokepoint's hot path, so it takes no lock at all:
+    it appends the batch size to a pending :class:`~collections.deque`
+    (``append`` is GIL-atomic) and returns.  ``fold`` drains pending
+    into the three shared series (batch counter, update counter, size
+    histogram) under the registry lock; each popped size folds exactly
+    once even with concurrent recorders or folders.  Snapshots fold
+    first via the registry collector hook, so totals stay exact at
+    every scrape/merge boundary -- the cost moves off the feed path,
+    it doesn't vanish.
+    """
+
+    __slots__ = (
+        "lock", "batch_values", "update_values", "size_values", "key",
+        "buckets", "pending",
+    )
+
+    def __init__(self, name: str) -> None:
+        batches = _obs_batches.bind(sketch=name)
+        updates = _obs_updates.bind(sketch=name)
+        sizes = _obs_batch_sizes.bind(sketch=name)
+        self.lock = _obs_registry.lock
+        self.batch_values = batches._values
+        self.update_values = updates._values
+        self.size_values = sizes._values
+        self.key = batches.key
+        self.buckets = sizes.instrument.buckets
+        self.pending: deque = deque()
+
+    def record(self, count: int) -> None:
+        pending = self.pending
+        pending.append(count)
+        if len(pending) >= _PENDING_FOLD_AT:
+            self.fold()
+
+    def fold(self) -> None:
+        pending = self.pending
+        if not pending:
+            return
+        key = self.key
+        buckets = self.buckets
+        with self.lock:
+            batches = 0
+            total = 0
+            series = counts = None
+            last_count = None
+            slot = 0
+            while True:
+                try:
+                    count = pending.popleft()
+                except IndexError:
+                    break
+                if series is None:
+                    series = self.size_values.get(key)
+                    if series is None:
+                        series = [[0] * (len(buckets) + 1), 0.0, 0]
+                        self.size_values[key] = series
+                    counts = series[0]
+                batches += 1
+                total += count
+                if count != last_count:
+                    last_count = count
+                    slot = bisect.bisect_left(buckets, count)
+                counts[slot] += 1
+            if not batches:
+                return
+            values = self.batch_values
+            values[key] = values.get(key, 0) + batches
+            values = self.update_values
+            values[key] = values.get(key, 0) + total
+            series[1] += total
+            series[2] += batches
+
+
+# Fused series per sketch name, cached at module scope (never on the
+# instances: sketches get deep-copied and shipped across process
+# boundaries, and registry handles must not ride along).
+_obs_by_name: dict[str, _SketchSeries] = {}
+
+
+def _obs_sketch_series(name: str) -> _SketchSeries:
+    series = _obs_by_name.get(name)
+    if series is None:
+        series = _obs_by_name[name] = _SketchSeries(name)
+    return series
+
+
+def _obs_fold_pending() -> None:
+    for series in list(_obs_by_name.values()):
+        series.fold()
+
+
+def _obs_discard_pending() -> None:
+    for series in list(_obs_by_name.values()):
+        series.pending.clear()
+
+
+_obs_registry.add_collector(_obs_fold_pending, _obs_discard_pending)
 
 from repro.core.randomness import RandomDraw, WitnessedRandom
 from repro.core.stream import Update
@@ -200,12 +328,15 @@ class StreamAlgorithm(abc.ABC):
 
     def feed_batch(self, items, deltas) -> None:
         """Process a batch and maintain the position counter."""
-        if len(items) != len(deltas):
+        count = len(items)
+        if count != len(deltas):
             raise ValueError(
-                f"items/deltas length mismatch: {len(items)} != {len(deltas)}"
+                f"items/deltas length mismatch: {count} != {len(deltas)}"
             )
         self.process_batch(items, deltas)
-        self.updates_processed += len(items)
+        self.updates_processed += count
+        if _obs_registry.enabled:
+            _obs_sketch_series(self.name).record(count)
 
     def consume(self, updates) -> "StreamAlgorithm":
         """Feed a whole iterable of updates; returns self for chaining."""

@@ -61,10 +61,13 @@ import shutil
 import subprocess
 import tempfile
 import threading
+from collections import deque
 from pathlib import Path
 from typing import Optional
 
 import numpy as np
+
+from repro.obs.metrics import get_registry as _get_obs_registry
 
 __all__ = [
     "NATIVE_HASH_BOUND",
@@ -74,9 +77,70 @@ __all__ = [
     "count_sketch_scatter",
     "native_kernels_available",
     "partition_scatter",
+    "record_dispatch",
     "scatter_add",
     "sis_dense_scatter",
 ]
+
+_obs_registry = _get_obs_registry()
+_obs_dispatch = _obs_registry.counter(
+    "repro_kernel_dispatch_total",
+    "Kernel dispatches by entry point and executed tier",
+)
+# (kernel, tier) -> pending-dispatch deque; the working set is a handful
+# of pairs, so the dict stays tiny and the hot path never formats labels
+# or takes a lock -- deque appends are GIL-atomic and the counts fold
+# into the registry at snapshot time (or at the backstop depth below).
+_obs_dispatch_pending: dict[tuple, deque] = {}
+_OBS_DISPATCH_FOLD_AT = 8192
+
+
+def record_dispatch(kernel: str, tier: str) -> None:
+    """Count one kernel dispatch under the tier that actually ran it.
+
+    Callers record at the dispatch *site* -- after the tiered entry
+    points above accept or refuse -- so the counter reflects executed
+    tiers (``native`` / ``numpy`` / ``scalar`` / ``gather`` / ``radix``),
+    not attempted ones.
+    """
+    if _obs_registry.enabled:
+        pending = _obs_dispatch_pending.get((kernel, tier))
+        if pending is None:
+            pending = _obs_dispatch_pending.setdefault(
+                (kernel, tier), deque()
+            )
+        pending.append(1)
+        if len(pending) >= _OBS_DISPATCH_FOLD_AT:
+            _obs_fold_dispatch()
+
+
+def _obs_fold_dispatch() -> None:
+    """Drain pending dispatch counts into the registry (fold hook).
+
+    Writes through a bound series rather than ``Counter.add`` so counts
+    recorded while enabled still land even if the registry has been
+    disabled by fold time (benchmarks flip the switch between runs).
+    """
+    for (kernel, tier), pending in list(_obs_dispatch_pending.items()):
+        count = 0
+        while True:
+            try:
+                pending.popleft()
+            except IndexError:
+                break
+            count += 1
+        if count:
+            bound = _obs_dispatch.bind(kernel=kernel, tier=tier)
+            with _obs_registry.lock:
+                bound.add_unlocked(count)
+
+
+def _obs_discard_dispatch() -> None:
+    for pending in list(_obs_dispatch_pending.values()):
+        pending.clear()
+
+
+_obs_registry.add_collector(_obs_fold_dispatch, _obs_discard_dispatch)
 
 #: Primes (and SIS moduli) below this bound keep every hash intermediate
 #: ``a*x + b < p**2`` under 2**52, where the native kernels' double-

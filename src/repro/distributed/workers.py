@@ -49,6 +49,7 @@ against every mergeable sketch family.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from multiprocessing import shared_memory
 from typing import Optional, Sequence
 
@@ -56,8 +57,30 @@ import numpy as np
 
 from repro.core.algorithm import SerializableSketch, StreamAlgorithm
 from repro.core.stream import Update
+from repro.obs import (
+    PHASE_SECONDS_HELP,
+    PHASE_SECONDS_METRIC,
+    TIME_BUCKETS,
+    get_registry as _get_obs_registry,
+    get_tracer as _get_obs_tracer,
+    reset as _obs_reset,
+)
 
 __all__ = ["ProcessShardPool"]
+
+_obs_registry = _get_obs_registry()
+_obs_tracer = _get_obs_tracer()
+_obs_feeds = _obs_registry.counter(
+    "repro_pool_feeds_total",
+    "Sub-chunk feeds dispatched to process-shard workers",
+)
+_obs_remaps = _obs_registry.counter(
+    "repro_pool_remaps_total",
+    "Shared-memory capacity growths (block remaps) in process pools",
+)
+_obs_phase_seconds = _obs_registry.histogram(
+    PHASE_SECONDS_METRIC, PHASE_SECONDS_HELP, buckets=TIME_BUCKETS
+)
 
 #: Initial shared-memory capacity (updates per block); grows on demand.
 DEFAULT_BUFFER_CAPACITY = 1 << 14
@@ -83,6 +106,8 @@ def _shard_worker(
     * ``("restore", data)`` -- replace replica state from snapshot bytes
       (checkpoint recovery), ack;
     * ``("load",)`` -- reply ``("load", updates_processed)``;
+    * ``("obs",)`` -- reply ``("obs", snapshot_dict)`` with the worker's
+      metrics-registry snapshot (the telemetry analogue of fan-in);
     * ``("stop",)`` -- ack and exit.
 
     The row layout of each shared block is ``(2, capacity)`` with the
@@ -97,6 +122,10 @@ def _shard_worker(
     exactness -- the parent surfaces the original error and deployments
     recover from the last checkpoint.
     """
+    # The fork-inherited registry still holds the parent's counts; clear
+    # it so this worker's snapshots carry only worker-side activity
+    # (parent + worker snapshots must partition the work under merge).
+    _obs_reset()
     shms = [shared_memory.SharedMemory(name=name) for name in shm_names]
     try:
         while True:
@@ -132,6 +161,8 @@ def _shard_worker(
                     connection.send(("ok",))
                 elif verb == "load":
                     connection.send(("load", sketch.updates_processed))
+                elif verb == "obs":
+                    connection.send(("obs", _obs_registry.snapshot()))
                 elif verb == "stop":
                     connection.send(("ok",))
                     return
@@ -284,11 +315,17 @@ class ProcessShardPool:
         ever observe chunk-boundary states.  Raises the first worker
         failure -- after draining every other shard's pipe.
         """
+        observing = _obs_registry.enabled and any(self._outstanding)
+        started = time.perf_counter() if observing else 0.0
         failures = []
         for shard in range(self.num_shards):
             failure = self._drain_shard(shard)
             if failure is not None:
                 failures.append(failure)
+        if observing:
+            duration = time.perf_counter() - started
+            _obs_phase_seconds.observe(duration, phase="pool.scatter.drain")
+            _obs_tracer.record("pool.scatter.drain", started, duration)
         if failures:
             raise failures[0]
 
@@ -324,6 +361,8 @@ class ProcessShardPool:
         for block in old:
             block.close()
             block.unlink()
+        if _obs_registry.enabled:
+            _obs_remaps.add(1, shard=str(shard))
 
     def scatter(self, parts) -> None:
         """Dispatch per-shard ``(items, deltas)`` parts without a barrier.
@@ -339,6 +378,10 @@ class ProcessShardPool:
         before the first error is raised, so surviving workers' pipes
         stay synchronized.
         """
+        observing = _obs_registry.enabled
+        started = time.perf_counter() if observing else 0.0
+        ack_wait = 0.0
+        fed = 0
         try:
             # Opportunistically consume acks that already arrived: keeps
             # the outstanding counts low and surfaces worker failures as
@@ -353,9 +396,13 @@ class ProcessShardPool:
                 items, deltas = part
                 count = len(items)
                 self._ensure_capacity(shard, count)
-                while self._outstanding[shard] >= _BUFFERS_PER_SHARD:
-                    self._outstanding[shard] -= 1
-                    self._expect(shard, "ok")
+                if self._outstanding[shard] >= _BUFFERS_PER_SHARD:
+                    wait_started = time.perf_counter() if observing else 0.0
+                    while self._outstanding[shard] >= _BUFFERS_PER_SHARD:
+                        self._outstanding[shard] -= 1
+                        self._expect(shard, "ok")
+                    if observing:
+                        ack_wait += time.perf_counter() - wait_started
                 buf = self._next_buf[shard]
                 block = np.ndarray(
                     (2, self._capacities[shard]),
@@ -367,6 +414,23 @@ class ProcessShardPool:
                 self._connections[shard].send(("feed", count, buf))
                 self._outstanding[shard] += 1
                 self._next_buf[shard] = buf ^ 1
+                fed += 1
+            if observing:
+                duration = time.perf_counter() - started
+                if fed:
+                    _obs_feeds.add(fed)
+                _obs_phase_seconds.observe(duration, phase="pool.scatter.feed")
+                if ack_wait > 0.0:
+                    _obs_phase_seconds.observe(
+                        ack_wait, phase="pool.scatter.ack"
+                    )
+                _obs_tracer.record(
+                    "pool.scatter.feed",
+                    started,
+                    duration,
+                    feeds=fed,
+                    ack_wait=ack_wait,
+                )
         except BaseException as exc:
             # Drain every shard before anything propagates, so surviving
             # pipes stay aligned -- and prefer a drained worker failure
@@ -423,6 +487,22 @@ class ProcessShardPool:
         for connection in self._connections:
             connection.send(("load",))
         return [self._expect(shard, "load")[1] for shard in range(self.num_shards)]
+
+    def metric_snapshots(self) -> list[dict]:
+        """Every worker's metrics-registry snapshot (concurrent round-trip).
+
+        The telemetry analogue of :meth:`snapshots`: flushes the scatter
+        pipeline first so worker counters sit at a chunk boundary, then
+        collects each worker's registry snapshot for
+        :func:`repro.obs.merge_snapshots` fan-in.  Workers reset their
+        fork-inherited registries at start, so parent and worker
+        snapshots partition the work -- merging the parent's snapshot
+        with these is bit-identical to the serial backend's registry.
+        """
+        self.flush()
+        for connection in self._connections:
+            connection.send(("obs",))
+        return [self._expect(shard, "obs")[1] for shard in range(self.num_shards)]
 
     # -- lifecycle ---------------------------------------------------------
 

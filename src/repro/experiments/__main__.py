@@ -5,8 +5,8 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-import time
 
+from repro import obs
 from repro.experiments import all_experiments, get_experiment
 
 
@@ -53,7 +53,6 @@ def main(argv: list[str] | None = None) -> int:
         targets = [(args.experiment, get_experiment(args.experiment))]
 
     for experiment_id, run in targets:
-        started = time.perf_counter()
         kwargs = {"quick": not args.full}
         parameters = inspect.signature(run).parameters
         if args.shards > 1:
@@ -66,10 +65,13 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["checkpoint"] = args.checkpoint
             elif args.experiment != "all":
                 print(f"[{experiment_id} has no checkpoint path; skipping it]")
-        result = run(**kwargs)
-        elapsed = time.perf_counter() - started
+        # obs.timer keeps the printed wall time even when the registry is
+        # disabled, and otherwise records the run into the shared
+        # repro_phase_seconds{phase="experiment"} family.
+        with obs.timer("experiment", experiment=experiment_id) as timed:
+            result = run(**kwargs)
         print(result.render())
-        print(f"[{experiment_id} took {elapsed:.1f}s]")
+        print(f"[{experiment_id} took {timed.seconds:.1f}s]")
         print()
     return 0
 

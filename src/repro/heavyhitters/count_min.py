@@ -101,6 +101,7 @@ class CountMinSketch(MergeableSketch, StreamAlgorithm):
         no randomness is drawn after construction).
         """
         if not self._vectorizable:
+            kernels.record_dispatch("count_min_scatter", "scalar")
             super().process_batch(items, deltas)
             return
         items = np.ascontiguousarray(items, dtype=np.int64)
@@ -119,8 +120,10 @@ class CountMinSketch(MergeableSketch, StreamAlgorithm):
                 self.table, items, deltas, self._row_a, self._row_b,
                 self.prime, unit_deltas=dmin == dmax == 1,
             ):
+                kernels.record_dispatch("count_min_scatter", "native")
                 return
             scatter = deltas if dmin != dmax else dmin
+        kernels.record_dispatch("count_min_scatter", "numpy")
         for row, (a, b) in enumerate(self.row_params):
             # Division-free row hash; bit-identical to % prime % width.
             cells = linear_hash_rows(items, a, b, self.prime, self.width)
@@ -181,6 +184,7 @@ class CountMinSketch(MergeableSketch, StreamAlgorithm):
         try:
             probe = np.ascontiguousarray(items, dtype=np.int64)
         except (OverflowError, TypeError, ValueError):
+            kernels.record_dispatch("count_min_estimate", "scalar")
             return super().estimate_batch(items)
         if probe.size == 0:
             return np.empty(0, dtype=np.int64)
@@ -190,12 +194,15 @@ class CountMinSketch(MergeableSketch, StreamAlgorithm):
             or int(probe.min()) < 0
             or int(probe.max()) >= self.prime
         ):
+            kernels.record_dispatch("count_min_estimate", "scalar")
             return super().estimate_batch(probe)
         fused = kernels.count_min_estimate(
             self.table, probe, self._row_a, self._row_b, self.prime
         )
         if fused is not None:
+            kernels.record_dispatch("count_min_estimate", "native")
             return fused
+        kernels.record_dispatch("count_min_estimate", "numpy")
         # Blocked so the per-row hash/gather scratch stays cache-resident
         # on huge probe sets (the native kernel blocks internally too).
         out = np.empty(probe.size, dtype=np.int64)

@@ -113,6 +113,7 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
     def process_batch(self, items, deltas) -> None:
         """Vectorized batch: bucket/sign hashing + signed scatter adds."""
         if not self._vectorizable:
+            kernels.record_dispatch("count_sketch_scatter", "scalar")
             super().process_batch(items, deltas)
             return
         items = np.ascontiguousarray(items, dtype=np.int64)
@@ -128,7 +129,9 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
             self._sign_a, self._sign_b, self.prime,
             unit_deltas=dmin == dmax == 1,
         ):
+            kernels.record_dispatch("count_sketch_scatter", "native")
             return
+        kernels.record_dispatch("count_sketch_scatter", "numpy")
         for row in range(self.depth):
             buckets, signs = self._row_hashes(row, items)
             signed = (
@@ -194,6 +197,7 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
         try:
             probe = np.ascontiguousarray(items, dtype=np.int64)
         except (OverflowError, TypeError, ValueError):
+            kernels.record_dispatch("count_sketch_estimate", "scalar")
             return super().estimate_batch(items)
         if probe.size == 0:
             return np.empty(0, dtype=np.float64)
@@ -203,7 +207,9 @@ class CountSketch(MergeableSketch, StreamAlgorithm):
             or int(probe.min()) < 0
             or int(probe.max()) >= self.prime
         ):
+            kernels.record_dispatch("count_sketch_estimate", "scalar")
             return super().estimate_batch(probe)
+        kernels.record_dispatch("count_sketch_estimate", "numpy")
         # Blocked so the (depth, block) signed-gather scratch stays
         # cache-resident on huge probe sets.
         out = np.empty(probe.size, dtype=np.float64)

@@ -1,0 +1,158 @@
+"""repro.obs -- the unified telemetry layer.
+
+One coherent observability surface across every tier of the pipeline
+(engine -> shards -> process fleet -> service):
+
+:mod:`repro.obs.metrics`
+    counters / gauges / fixed-bucket histograms whose state snapshots
+    and merges exactly like sketches -- process-backend workers ship
+    registry snapshots through the existing pipe fan-in and the parent
+    merges them bit-exactly;
+:mod:`repro.obs.trace`
+    chunk-level spans (monotonic start/duration, context-propagated
+    parent ids) in a bounded ring, with JSONL export;
+:mod:`repro.obs.monitors`
+    estimate-drift and interaction-budget alarms over game results;
+:mod:`repro.obs.expo`
+    Prometheus text exposition from any registry snapshot (the service's
+    ``metrics`` op renders server- and fleet-merged views with it).
+
+``REPRO_OBS=0`` is the kill switch: every telemetry instrument and the
+tracer no-op (the recorded ``obs_overhead`` benchmark pins the
+enabled-mode cost too).  :class:`RegistryStatsBase` books are the one
+exception -- they are functional accounting (service ``stats``
+payloads, ingest summaries), so they keep counting with the switch
+thrown.  :func:`timer` is the sanctioned phase stopwatch -- it always
+measures (callers may rely on ``.seconds`` regardless of the switch) and
+records a span plus a ``repro_phase_seconds`` observation only when
+observability is on, which is how experiment wall-times, attack search
+times, and engine chunk times land in one histogram family.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.obs.expo import EXPOSITION_CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import (
+    SIZE_BUCKETS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RegistryStatsBase,
+    counter_total,
+    counter_value,
+    env_enabled,
+    get_registry,
+    merge_snapshots,
+    snapshot_is_empty,
+)
+from repro.obs.monitors import (
+    Alarm,
+    EstimateDriftMonitor,
+    InteractionBudgetMonitor,
+)
+from repro.obs.trace import SpanRecord, Tracer, get_tracer
+
+__all__ = [
+    "Alarm",
+    "Counter",
+    "EXPOSITION_CONTENT_TYPE",
+    "EstimateDriftMonitor",
+    "Gauge",
+    "Histogram",
+    "InteractionBudgetMonitor",
+    "MetricsRegistry",
+    "PHASE_SECONDS_METRIC",
+    "PhaseTimer",
+    "RegistryStatsBase",
+    "SIZE_BUCKETS",
+    "SpanRecord",
+    "TIME_BUCKETS",
+    "Tracer",
+    "counter_total",
+    "counter_value",
+    "enabled",
+    "env_enabled",
+    "get_registry",
+    "get_tracer",
+    "merge_snapshots",
+    "render_prometheus",
+    "reset",
+    "snapshot_is_empty",
+    "timer",
+]
+
+#: The shared wall-time histogram family every instrumented phase
+#: observes into (label ``phase=`` distinguishes engine chunks, scatter
+#: phases, service requests, experiments, attack searches, ...).
+PHASE_SECONDS_METRIC = "repro_phase_seconds"
+PHASE_SECONDS_HELP = "Wall time of instrumented phases, in seconds"
+
+
+def enabled() -> bool:
+    """Whether the process-wide registry is currently recording."""
+    return get_registry().enabled
+
+
+def reset() -> None:
+    """Clear the process-wide registry and tracer (handles stay valid).
+
+    Process-backend shard workers call this right after fork so their
+    snapshots carry only worker-side activity -- fork-inherited parent
+    counts would otherwise double under the fan-in merge.
+    """
+    get_registry().reset()
+    get_tracer().clear()
+
+
+def phase_histogram(registry: Optional[MetricsRegistry] = None) -> Histogram:
+    """The shared ``repro_phase_seconds`` histogram (get-or-create)."""
+    return (registry or get_registry()).histogram(
+        PHASE_SECONDS_METRIC, PHASE_SECONDS_HELP, buckets=TIME_BUCKETS
+    )
+
+
+class PhaseTimer:
+    """Stopwatch for one named phase (build via :func:`timer`).
+
+    Always measures -- ``.seconds`` is valid even under ``REPRO_OBS=0``,
+    so report fields like attack wall-times never lose data -- and
+    records a span plus one ``repro_phase_seconds{phase=...}``
+    observation only when observability is enabled.
+    """
+
+    def __init__(self, phase: str, labels: dict) -> None:
+        self.phase = phase
+        self.labels = labels
+        self.seconds = 0.0
+        self._span = None
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        tracer = get_tracer()
+        if tracer.enabled:
+            self._span = tracer.span(self.phase, phase=self.phase, **self.labels)
+            self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.seconds = time.perf_counter() - self._start
+        if self._span is not None:
+            self._span.__exit__(*exc_info)
+            self._span = None
+        registry = get_registry()
+        if registry.enabled:
+            phase_histogram(registry).observe(
+                self.seconds, phase=self.phase, **self.labels
+            )
+        return False
+
+
+def timer(phase: str, **labels) -> PhaseTimer:
+    """Time one phase: ``with obs.timer("experiment", experiment="e02"):``."""
+    return PhaseTimer(phase, labels)

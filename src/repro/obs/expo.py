@@ -1,0 +1,105 @@
+"""Prometheus text exposition rendered from registry snapshots.
+
+Renders any :meth:`repro.obs.metrics.MetricsRegistry.snapshot` (or
+:func:`repro.obs.metrics.merge_snapshots` result) in the Prometheus text
+format (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=...}``
+histogram series with ``_sum`` / ``_count``).  Because it renders from
+*snapshots*, the same function serves a local registry, one server's
+``metrics`` op, and the coordinator's fleet-merged view -- exposition is
+a pure function of the mergeable state, exactly like sketch queries.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["EXPOSITION_CONTENT_TYPE", "render_prometheus"]
+
+#: What an HTTP bridge in front of :func:`render_prometheus` should
+#: declare (the classic Prometheus text format version).
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    if bound == int(bound):
+        return repr(float(bound))
+    return repr(bound)
+
+
+def _series_line(name: str, label_key: str, value) -> str:
+    if label_key:
+        return f"{name}{{{label_key}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def _with_le(label_key: str, bound_text: str) -> str:
+    le = f'le="{bound_text}"'
+    return f"{label_key},{le}" if label_key else le
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render one registry snapshot to Prometheus exposition text.
+
+    Metric families are emitted in sorted name order and series in
+    sorted label order, so two equal snapshots render byte-identically
+    -- the exposition analogue of the bit-exact merge contract.
+    """
+    lines: list[str] = []
+    for kind, section in (
+        ("counter", "counters"),
+        ("gauge", "gauges"),
+    ):
+        for name in sorted(snapshot.get(section, {})):
+            data = snapshot[section][name]
+            help_text = data.get("help", "")
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {kind}")
+            for label_key in sorted(data["values"]):
+                lines.append(
+                    _series_line(name, label_key, data["values"][label_key])
+                )
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        help_text = data.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} histogram")
+        bounds = [_format_bound(float(bound)) for bound in data["buckets"]]
+        for label_key in sorted(data["values"]):
+            counts, total, count = data["values"][label_key]
+            cumulative = 0
+            for bound_text, bucket_count in zip(bounds, counts):
+                cumulative += bucket_count
+                lines.append(
+                    _series_line(
+                        f"{name}_bucket",
+                        _with_le(label_key, bound_text),
+                        cumulative,
+                    )
+                )
+            lines.append(
+                _series_line(
+                    f"{name}_bucket", _with_le(label_key, "+Inf"), count
+                )
+            )
+            lines.append(_series_line(f"{name}_sum", label_key, total))
+            lines.append(_series_line(f"{name}_count", label_key, count))
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,234 @@
+"""Operational bias monitors: estimate-drift and interaction-budget alarms.
+
+The paper's subject is adversaries that *learn* a sketch's randomness by
+interacting with it; operationally that means two signals stop being
+debug niceties and become alarms:
+
+* **estimate drift** -- a white-box attack that has locked onto the
+  sketch's randomness shows up as the per-round probe estimates lurching
+  between checkpoints (e.g. a kernel vector zeroing a SIS chunk, or a
+  CountMin heavy-hitter estimate collapsing).  The
+  :class:`EstimateDriftMonitor` watches the batched per-checkpoint probe
+  vectors games already record (``GameResult.checkpoint_estimates``) and
+  raises when the relative sup-norm step between consecutive checkpoints
+  exceeds a threshold;
+* **interaction budget** -- robustness guarantees are stated against a
+  bounded number of adversary interactions, so a deployment should alarm
+  *before* the bound is spent.  The :class:`InteractionBudgetMonitor`
+  accumulates interaction counts (game rounds plus per-checkpoint probe
+  answers) and raises a warning at a configurable fraction of the budget
+  and a breach alarm past it.
+
+Alarms are structured (:class:`Alarm`), kept on the monitor, optionally
+forwarded to an ``on_alarm`` callback, and counted in the metrics
+registry (``repro_monitor_alarms_total{monitor=...,kind=...}``), so a
+fleet's merged exposition shows alarm counts next to the throughput
+counters they contextualize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["Alarm", "EstimateDriftMonitor", "InteractionBudgetMonitor"]
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One structured alarm raised by a monitor."""
+
+    monitor: str
+    kind: str
+    round_index: int
+    value: float
+    threshold: float
+    message: str
+
+
+class _MonitorBase:
+    """Alarm bookkeeping shared by the concrete monitors."""
+
+    def __init__(
+        self,
+        name: str,
+        on_alarm: Optional[Callable[[Alarm], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.on_alarm = on_alarm
+        self.alarms: list[Alarm] = []
+        self._alarm_counter = (registry or get_registry()).counter(
+            "repro_monitor_alarms_total",
+            "Structured alarms raised by obs monitors",
+        )
+
+    def _raise_alarm(
+        self, kind: str, round_index: int, value: float, threshold: float,
+        message: str,
+    ) -> Alarm:
+        alarm = Alarm(self.name, kind, round_index, value, threshold, message)
+        self.alarms.append(alarm)
+        self._alarm_counter.add(1, monitor=self.name, kind=kind)
+        if self.on_alarm is not None:
+            self.on_alarm(alarm)
+        return alarm
+
+
+class EstimateDriftMonitor(_MonitorBase):
+    """Alarms when per-round probe estimates lurch between checkpoints.
+
+    Parameters
+    ----------
+    max_drift:
+        Relative sup-norm threshold: with consecutive checkpoint
+        estimate vectors ``prev`` and ``cur``, the drift is
+        ``max_i |cur_i - prev_i| / max(|prev_i|, 1)`` -- the ``1`` floor
+        keeps zero/near-zero baselines from dividing away small absolute
+        steps.  A drift strictly above ``max_drift`` raises one
+        ``"estimate_drift"`` alarm for that checkpoint.
+    """
+
+    def __init__(
+        self,
+        max_drift: float,
+        *,
+        name: str = "estimate-drift",
+        on_alarm: Optional[Callable[[Alarm], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_drift < 0:
+            raise ValueError(f"max_drift must be non-negative, got {max_drift}")
+        super().__init__(name, on_alarm=on_alarm, registry=registry)
+        self.max_drift = float(max_drift)
+        self._previous: Optional[np.ndarray] = None
+
+    def observe_checkpoint(self, round_index: int, estimates) -> list[Alarm]:
+        """Feed one checkpoint's probe estimate vector; returns new alarms."""
+        current = np.asarray(estimates, dtype=np.float64)
+        raised: list[Alarm] = []
+        previous = self._previous
+        if (
+            previous is not None
+            and previous.shape == current.shape
+            and current.size
+        ):
+            denom = np.maximum(np.abs(previous), 1.0)
+            drift = float(np.max(np.abs(current - previous) / denom))
+            if drift > self.max_drift:
+                raised.append(
+                    self._raise_alarm(
+                        "estimate_drift",
+                        round_index,
+                        drift,
+                        self.max_drift,
+                        f"estimate drift {drift:.4g} exceeds "
+                        f"{self.max_drift:.4g} at round {round_index}",
+                    )
+                )
+        self._previous = current
+        return raised
+
+    def observe_result(self, result) -> list[Alarm]:
+        """Replay every checkpoint of one ``GameResult`` through the
+        monitor (uses ``checkpoint_rounds`` / ``checkpoint_estimates``)."""
+        raised: list[Alarm] = []
+        for round_index, estimates in zip(
+            result.checkpoint_rounds, result.checkpoint_estimates
+        ):
+            raised.extend(self.observe_checkpoint(int(round_index), estimates))
+        return raised
+
+    def reset(self) -> None:
+        """Forget the drift baseline (alarms are retained)."""
+        self._previous = None
+
+
+class InteractionBudgetMonitor(_MonitorBase):
+    """Alarms as cumulative adversary interactions approach a budget.
+
+    Parameters
+    ----------
+    budget:
+        Interaction bound the deployment's robustness guarantee assumes.
+    warn_fraction:
+        Fraction of ``budget`` at which a single ``"budget_warning"``
+        alarm fires (default 0.8); crossing the budget itself raises a
+        single ``"budget_exceeded"`` alarm.
+    """
+
+    def __init__(
+        self,
+        budget: int,
+        warn_fraction: float = 0.8,
+        *,
+        name: str = "interaction-budget",
+        on_alarm: Optional[Callable[[Alarm], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        if not 0.0 < warn_fraction <= 1.0:
+            raise ValueError(
+                f"warn_fraction must be in (0, 1], got {warn_fraction}"
+            )
+        super().__init__(name, on_alarm=on_alarm, registry=registry)
+        self.budget = int(budget)
+        self.warn_fraction = float(warn_fraction)
+        self.interactions = 0
+        self._warned = False
+        self._breached = False
+
+    def observe(self, interactions: int, round_index: int = 0) -> list[Alarm]:
+        """Add ``interactions`` to the running total; returns new alarms."""
+        if interactions < 0:
+            raise ValueError(
+                f"interactions must be non-negative, got {interactions}"
+            )
+        self.interactions += int(interactions)
+        raised: list[Alarm] = []
+        if not self._breached and self.interactions > self.budget:
+            self._breached = True
+            raised.append(
+                self._raise_alarm(
+                    "budget_exceeded",
+                    round_index,
+                    float(self.interactions),
+                    float(self.budget),
+                    f"interaction budget exceeded: {self.interactions} > "
+                    f"{self.budget}",
+                )
+            )
+        elif (
+            not self._warned
+            and self.interactions > self.warn_fraction * self.budget
+        ):
+            self._warned = True
+            raised.append(
+                self._raise_alarm(
+                    "budget_warning",
+                    round_index,
+                    float(self.interactions),
+                    self.warn_fraction * self.budget,
+                    f"interactions at {self.interactions} of budget "
+                    f"{self.budget} (warn fraction {self.warn_fraction})",
+                )
+            )
+        return raised
+
+    def observe_result(self, result) -> list[Alarm]:
+        """Account one ``GameResult``: every round is an interaction, and
+        every recorded checkpoint estimate is one probe answer handed to
+        the adversary."""
+        probes = sum(
+            len(np.atleast_1d(estimates))
+            for estimates in result.checkpoint_estimates
+        )
+        return self.observe(
+            int(result.rounds_played) + int(probes),
+            round_index=int(result.rounds_played),
+        )

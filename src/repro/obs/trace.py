@@ -1,0 +1,207 @@
+"""Chunk-level structured tracing: spans over the pipeline's hot boundaries.
+
+Metrics (:mod:`repro.obs.metrics`) answer "how much / how fast on
+average"; spans answer "what did *this* chunk do".  A span is a
+``(name, span_id, parent_id, start, duration, attrs)`` record with a
+monotonic (``perf_counter``) start: engine chunks, partitioner splits,
+process-pool scatter phases, and service requests each record one at
+their natural granularity (never per update), so tracing stays
+off-hot-path cheap and ``REPRO_OBS=0`` turns it off entirely.
+
+Parenting uses a :class:`contextvars.ContextVar`, so nesting composes
+across threads *and* asyncio tasks: an experiment's ``obs.timer`` span
+becomes the parent of every engine-chunk span driven inside it, and
+concurrent service requests on one event loop keep their span stacks
+separate.
+
+Storage is a bounded in-memory ring (`deque(maxlen=...)`) -- a
+long-running service retains the last ``capacity`` spans at O(1) cost --
+with :meth:`Tracer.export_jsonl` for offline analysis.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.metrics import env_enabled
+
+__all__ = ["SpanRecord", "Tracer", "get_tracer"]
+
+#: Default ring capacity (spans retained in memory).
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (times are ``perf_counter`` seconds)."""
+
+    name: str
+    span_id: int
+    parent_id: int
+    start: float
+    duration: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the JSONL export row)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Do-nothing span handed out when tracing is disabled."""
+
+    __slots__ = ()
+    span_id = 0
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager for one live span (created by :meth:`Tracer.span`)."""
+
+    __slots__ = (
+        "tracer", "name", "attrs", "span_id", "parent_id", "start",
+        "duration", "_token",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.duration: Optional[float] = None
+
+    def __enter__(self) -> "_SpanContext":
+        tracer = self.tracer
+        self.parent_id = tracer._current.get()
+        self.span_id = next(tracer._ids)
+        self._token = tracer._current.set(self.span_id)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.duration = time.perf_counter() - self.start
+        tracer = self.tracer
+        tracer._current.reset(self._token)
+        entry = (
+            self.name,
+            self.span_id,
+            self.parent_id,
+            self.start,
+            self.duration,
+            self.attrs,
+        )
+        with tracer._lock:
+            tracer._ring.append(entry)
+        return False
+
+
+class Tracer:
+    """Bounded-ring span recorder with context-propagated parent ids."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.enabled = env_enabled() if enabled is None else enabled
+        self.capacity = capacity
+        # Ring entries are plain tuples (the record() hot path runs once
+        # per chunk; dataclass construction is deferred to spans()).
+        self._ring: deque[tuple] = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self._current: contextvars.ContextVar[int] = contextvars.ContextVar(
+            "repro_obs_span", default=0
+        )
+        self._lock = threading.Lock()
+
+    def span(self, name: str, **attrs):
+        """Open one span around a ``with`` block (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanContext(self, name, attrs)
+
+    def record(self, name: str, start: float, duration: float, **attrs) -> None:
+        """Append one already-measured span (the hot-loop spelling:
+        callers time with two bare ``perf_counter`` reads and pay only a
+        tuple append when tracing is on).  The parent is whatever span
+        is ambient in the calling context."""
+        if not self.enabled:
+            return
+        entry = (name, next(self._ids), self._current.get(), start, duration, attrs)
+        with self._lock:
+            self._ring.append(entry)
+
+    def record_batch(self, name: str, rows) -> None:
+        """Append many already-measured spans in one locked pass.
+
+        ``rows`` is an iterable of ``(start, duration, attrs)`` triples;
+        all of them share the parent ambient at flush time.  This is the
+        bulk spelling drive loops use: accumulate rows locally, flush
+        the whole call's worth at once."""
+        if not self.enabled:
+            return
+        parent = self._current.get()
+        ids = self._ids
+        entries = [
+            (name, next(ids), parent, start, duration, attrs)
+            for start, duration, attrs in rows
+        ]
+        with self._lock:
+            self._ring.extend(entries)
+
+    def spans(self) -> list[SpanRecord]:
+        """The retained spans, oldest first."""
+        with self._lock:
+            entries = list(self._ring)
+        return [SpanRecord(*entry) for entry in entries]
+
+    def clear(self) -> None:
+        """Drop every retained span (capacity and enablement unchanged)."""
+        with self._lock:
+            self._ring.clear()
+
+    def export_jsonl(self, path) -> int:
+        """Write the retained spans as JSON lines; returns the count."""
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in spans:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+        return len(spans)
+
+
+_default_tracer: Optional[Tracer] = None
+_default_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer every built-in span reports to."""
+    global _default_tracer
+    if _default_tracer is None:
+        with _default_lock:
+            if _default_tracer is None:
+                _default_tracer = Tracer()
+    return _default_tracer

@@ -63,6 +63,7 @@ import numpy as np
 from repro.core.algorithm import StreamAlgorithm
 from repro.core.engine import DEFAULT_CHUNK_SIZE
 from repro.core.stream import Update, updates_to_arrays
+from repro.obs import get_registry as _get_obs_registry
 
 __all__ = [
     "IngestStats",
@@ -71,6 +72,18 @@ __all__ = [
     "ingest",
     "ingest_async",
 ]
+
+_obs_registry = _get_obs_registry()
+_obs_ingest_chunks = _obs_registry.counter(
+    "repro_ingest_chunks_total", "Chunks scattered by ingestion pipelines"
+)
+_obs_ingest_updates = _obs_registry.counter(
+    "repro_ingest_updates_total", "Updates scattered by ingestion pipelines"
+)
+_obs_ingest_checkpoints = _obs_registry.counter(
+    "repro_ingest_checkpoints_total",
+    "Checkpoints written by ingestion pipelines",
+)
 
 #: One (items, deltas) array pair.
 Chunk = tuple[np.ndarray, np.ndarray]
@@ -81,7 +94,14 @@ _SENTINEL = object()
 
 @dataclass
 class IngestStats:
-    """What one ingestion run did (throughput bookkeeping for benchmarks)."""
+    """What one ingestion run did (throughput bookkeeping for benchmarks).
+
+    The fields remain the per-run view callers read; :meth:`bump` is the
+    sanctioned mutation path and *mirrors* each increment into the
+    process-wide obs registry (``repro_ingest_{chunks,updates,
+    checkpoints}_total``), so concurrent runs keep exact per-run numbers
+    while the merged exposition shows process totals.
+    """
 
     chunks: int = 0
     updates: int = 0
@@ -98,6 +118,29 @@ class IngestStats:
     @property
     def updates_per_second(self) -> float:
         return self.updates / self.seconds if self.seconds > 0 else 0.0
+
+    def bump(
+        self,
+        *,
+        chunks: int = 0,
+        updates: int = 0,
+        checkpoints: int = 0,
+        scatter_seconds: float = 0.0,
+        position: int = 0,
+    ) -> None:
+        """Advance the per-run counts and mirror them into the registry."""
+        self.chunks += chunks
+        self.updates += updates
+        self.checkpoints += checkpoints
+        self.scatter_seconds += scatter_seconds
+        self.position += position
+        if _obs_registry.enabled:
+            if chunks:
+                _obs_ingest_chunks.add(chunks)
+            if updates:
+                _obs_ingest_updates.add(updates)
+            if checkpoints:
+                _obs_ingest_checkpoints.add(checkpoints)
 
 
 def chunk_arrays(items, deltas, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[Chunk]:
@@ -294,19 +337,22 @@ async def ingest_async(
                 chunk = await queue.get()
                 if chunk is _SENTINEL:
                     return
-                stats.scatter_seconds += await loop.run_in_executor(
+                scatter_seconds = await loop.run_in_executor(
                     pool, scatter, chunk
                 )
-                stats.chunks += 1
-                stats.updates += len(chunk[0])
-                stats.position += len(chunk[0])
+                stats.bump(
+                    chunks=1,
+                    updates=len(chunk[0]),
+                    position=len(chunk[0]),
+                    scatter_seconds=scatter_seconds,
+                )
                 if on_chunk is not None:
                     on_chunk(stats.position)
                 # Chunk-boundary checkpointing: the scatter for this chunk
                 # has completed, so the snapshot is a consistent prefix
                 # state at an exactly-known position.
                 if writer is not None and writer.maybe(stats.position):
-                    stats.checkpoints += 1
+                    stats.bump(checkpoints=1)
 
     producer = asyncio.ensure_future(produce())
     try:
@@ -318,7 +364,7 @@ async def ingest_async(
         # Final checkpoint at stream end, so a clean finish is resumable
         # (and re-runnable) without replaying anything.
         writer.flush(stats.position)
-        stats.checkpoints += 1
+        stats.bump(checkpoints=1)
     stats.seconds = time.perf_counter() - started
     return stats
 

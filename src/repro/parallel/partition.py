@@ -125,6 +125,7 @@ class UniversePartitioner:
             self._power_of_two,
         )
         if native is not None:
+            kernels.record_dispatch("partition_scatter", "native")
             sorted_items, sorted_deltas, counts = native
             parts: list[tuple[np.ndarray, np.ndarray] | None] = []
             low = 0
@@ -140,6 +141,7 @@ class UniversePartitioner:
             return parts
         ids = self.assign_array(items)
         if self.num_shards <= _GATHER_TIER_MAX_SHARDS:
+            kernels.record_dispatch("partition_scatter", "gather")
             counts = np.bincount(
                 ids.astype(np.int64), minlength=self.num_shards
             )
@@ -154,6 +156,7 @@ class UniversePartitioner:
         # Radix tier: a stable sort over a narrowed id dtype is LSD
         # radix (counting-sort passes) inside numpy; bounds come from
         # bincount + cumsum rather than a binary search.
+        kernels.record_dispatch("partition_scatter", "radix")
         narrow = ids.astype(np.uint16 if self.num_shards <= 65536 else np.int64)
         order = np.argsort(narrow, kind="stable")
         sorted_items = items[order]

@@ -309,6 +309,25 @@ class ShardedAlgorithm(StreamAlgorithm):
             return pool.shard_loads()
         return [shard.updates_processed for shard in self.shards]
 
+    def metrics_snapshot(self) -> dict:
+        """The fleet's merged obs-registry snapshot.
+
+        In-process backends share the parent's process-wide registry, so
+        its snapshot already covers every shard.  The process backend
+        merges the parent's snapshot with every worker's
+        (:meth:`ProcessShardPool.metric_snapshots`) through the same
+        commutative fan-in the sketches use -- counters like
+        ``repro_sketch_updates_total`` come out bit-identical to the
+        serial backend's.
+        """
+        from repro.obs import get_registry, merge_snapshots
+
+        parent = get_registry().snapshot()
+        pool = self._live_pool()
+        if pool is None:
+            return parent
+        return merge_snapshots([parent, *pool.metric_snapshots()])
+
     def close(self) -> None:
         """Shut down the worker pool (no-op for serial wrappers)."""
         if self._executor is not None:
@@ -443,6 +462,10 @@ class ShardedStreamEngine:
     def state_view(self) -> StateView:
         """The merged white-box state view (see :class:`ShardedAlgorithm`)."""
         return self.algorithm.state_view()
+
+    def metrics_snapshot(self) -> dict:
+        """The fleet-merged obs snapshot (see :class:`ShardedAlgorithm`)."""
+        return self.algorithm.metrics_snapshot()
 
     def close(self) -> None:
         """Shut down the shard worker pool (no-op for serial engines)."""

@@ -150,6 +150,16 @@ class SketchClient:
         """The server's operational monitoring counters."""
         return self._request("stats")
 
+    def metrics(self) -> dict:
+        """The server's fleet-merged telemetry.
+
+        Returns ``{"server", "snapshot", "exposition", "content_type"}``
+        -- the obs-registry snapshot (mergeable with other servers' via
+        :func:`repro.obs.merge_snapshots`) plus its Prometheus text
+        rendering.
+        """
+        return self._request("metrics")
+
     def feed(self, items, deltas) -> dict:
         """Send one update batch; returns ``{"count", "position"}``."""
         items, deltas = _as_feed_arrays(items, deltas)
@@ -291,6 +301,10 @@ class AsyncSketchClient:
     async def stats(self) -> dict:
         """See :meth:`SketchClient.stats`."""
         return await self._request("stats")
+
+    async def metrics(self) -> dict:
+        """See :meth:`SketchClient.metrics`."""
+        return await self._request("metrics")
 
     async def feed(self, items, deltas) -> dict:
         """See :meth:`SketchClient.feed`."""

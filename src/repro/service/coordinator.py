@@ -206,6 +206,34 @@ class SketchCoordinator:
         clients = self._require_clients()
         return list(await asyncio.gather(*(client.stats() for client in clients)))
 
+    async def metrics(self) -> dict:
+        """The whole fleet's telemetry as one merged registry snapshot.
+
+        Gathers every server's ``metrics`` reply and folds the snapshots
+        through :func:`repro.obs.merge_snapshots` -- the same
+        commutative fan-in each server already applied to its own
+        process-backend workers -- then renders one Prometheus
+        exposition.  Returns ``{"servers", "snapshot", "exposition",
+        "content_type"}``.
+        """
+        from repro.obs import (
+            EXPOSITION_CONTENT_TYPE,
+            merge_snapshots,
+            render_prometheus,
+        )
+
+        clients = self._require_clients()
+        replies = await asyncio.gather(
+            *(client.metrics() for client in clients)
+        )
+        snapshot = merge_snapshots([reply["snapshot"] for reply in replies])
+        return {
+            "servers": [reply["server"] for reply in replies],
+            "snapshot": snapshot,
+            "exposition": render_prometheus(snapshot),
+            "content_type": EXPOSITION_CONTENT_TYPE,
+        }
+
     # -- checkpoint / recovery over the wire --------------------------------
 
     async def checkpoint(self, path) -> int:

@@ -43,6 +43,8 @@ Ops
 ``load_snapshot``    restore a snapshot into the fleet (recovery)
 ``checkpoint``       force a checkpoint write now
 ``stats`` / ``ping`` liveness + operational monitoring counters
+``metrics``          obs-registry snapshot + Prometheus exposition text
+                     (fleet-merged telemetry; see :mod:`repro.obs`)
 """
 
 from __future__ import annotations
@@ -103,6 +105,7 @@ REQUEST_OPS = frozenset(
         "checkpoint",
         "stats",
         "ping",
+        "metrics",
     }
 )
 

@@ -34,7 +34,13 @@ operational counters a deployed randomness-bearing component needs
 since the last absorbed batch, checkpoint positions) in the spirit of
 the beacon liveness/monitoring design this service's threat model
 inherits -- an estimate-drift monitor polls ``stats`` and ``estimate``
-without touching the ingest path.
+without touching the ingest path.  The counters themselves live in the
+obs metrics registry (:mod:`repro.obs`): ``ServerStats`` /
+``ConnectionStats`` are thin views over labeled registry series, and the
+``metrics`` op returns the fleet-merged registry snapshot (parent plus
+process-backend workers) with its Prometheus text exposition -- the
+``stats`` payload and the exposition reconcile exactly because they
+render the same instruments.
 
 **Checkpointing.**  ``checkpoint_path`` arms the same chunk-boundary
 :class:`~repro.distributed.checkpoint.CheckpointWriter` policy the
@@ -49,10 +55,10 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
@@ -70,6 +76,14 @@ from repro.distributed.codec import (
     construction_fingerprint,
     snapshot_class_name,
 )
+from repro.obs import (
+    EXPOSITION_CONTENT_TYPE,
+    RegistryStatsBase,
+    get_registry as _get_obs_registry,
+    get_tracer as _get_obs_tracer,
+    phase_histogram as _obs_phase_histogram,
+    render_prometheus,
+)
 from repro.parallel.partition import UniversePartitioner
 from repro.parallel.sharded import ShardedStreamEngine
 from repro.service.protocol import (
@@ -86,34 +100,105 @@ from repro.service.protocol import (
 
 __all__ = ["ConnectionStats", "ServerStats", "SketchServer"]
 
+_obs_registry = _get_obs_registry()
+_obs_tracer = _get_obs_tracer()
+_obs_phase_seconds = _obs_phase_histogram()
 
-@dataclass
-class ConnectionStats:
-    """Per-connection counters (reported by the ``stats`` op)."""
-
-    peer: str = ""
-    frames: int = 0
-    updates: int = 0
-    queries: int = 0
-    errors: int = 0
-    opened_at: float = 0.0
+#: Distinguishes the ``server=`` label when several servers share one
+#: process (the coordinator tests host a whole fleet in-process).
+_SERVER_SEQ = itertools.count()
 
 
-@dataclass
-class ServerStats:
-    """Aggregate liveness/monitoring counters for one server."""
+class ConnectionStats(RegistryStatsBase):
+    """Per-connection counters (reported by the ``stats`` op).
 
-    started_at: float = 0.0
-    connections_total: int = 0
-    connections_open: int = 0
-    frames: int = 0
-    updates: int = 0
-    queries: int = 0
-    errors: int = 0
-    checkpoints: int = 0
-    last_feed_at: float = 0.0
-    #: Open connections' stats, keyed by a monotonically increasing id.
-    connections: dict = field(default_factory=dict)
+    The counter fields are live views over per-connection label series in
+    the obs registry (``repro_connection_*_total{server=,connection=}``);
+    mutate them through :meth:`bump`.  The server :meth:`dispose`\\ s the
+    label series when the connection closes, bounding cardinality.
+    """
+
+    _COUNTERS = {
+        "frames": (
+            "repro_connection_frames_total",
+            "Frames received per open service connection",
+        ),
+        "updates": (
+            "repro_connection_updates_total",
+            "Updates absorbed per open service connection",
+        ),
+        "queries": (
+            "repro_connection_queries_total",
+            "Queries answered per open service connection",
+        ),
+        "errors": (
+            "repro_connection_errors_total",
+            "Errors per open service connection",
+        ),
+    }
+
+    def __init__(
+        self,
+        peer: str = "",
+        opened_at: float = 0.0,
+        *,
+        server: str = "srv?",
+        connection: str = "0",
+    ) -> None:
+        self._init_metrics({"server": server, "connection": connection})
+        self.peer = peer
+        self.opened_at = opened_at
+
+
+class ServerStats(RegistryStatsBase):
+    """Aggregate liveness/monitoring counters for one server.
+
+    Counter fields are live views over ``repro_service_*{server=}``
+    series in the obs registry -- the ``stats`` payload and the
+    ``metrics`` exposition therefore reconcile exactly, being two
+    renderings of the same instruments.  :meth:`bump` is the sanctioned
+    mutation; direct assignment warns (:class:`DeprecationWarning`).
+    """
+
+    _COUNTERS = {
+        "connections_total": (
+            "repro_service_connections_total",
+            "Connections accepted since server start",
+        ),
+        "frames": (
+            "repro_service_frames_total",
+            "Request frames received",
+        ),
+        "updates": (
+            "repro_service_updates_total",
+            "Updates absorbed through feed requests",
+        ),
+        "queries": (
+            "repro_service_queries_total",
+            "Query-type requests answered",
+        ),
+        "errors": (
+            "repro_service_errors_total",
+            "Requests that failed (application or framing errors)",
+        ),
+        "checkpoints": (
+            "repro_service_checkpoints_total",
+            "Checkpoints written by the server",
+        ),
+    }
+    _GAUGES = {
+        "connections_open": (
+            "repro_service_connections_open",
+            "Currently open connections",
+        ),
+    }
+
+    def __init__(self, started_at: float = 0.0, *, server: str = "srv?") -> None:
+        self._init_metrics({"server": server})
+        self.started_at = started_at
+        self.last_feed_at = 0.0
+        #: Open connections' stats, keyed by a monotonically increasing id.
+        self.connections: dict = {}
 
 
 class SketchServer:
@@ -196,7 +281,9 @@ class SketchServer:
             self.position = resume_from(resume_path, self.engine.algorithm)
         if self._writer is not None:
             self._writer.last_position = self.position
-        self.stats = ServerStats(started_at=time.monotonic())
+        #: Stable ``server=`` label for this instance's metric series.
+        self.label = f"srv{next(_SERVER_SEQ)}"
+        self.stats = ServerStats(started_at=time.monotonic(), server=self.label)
         self._server: Optional[asyncio.base_events.Server] = None
         self._engine_pool: Optional[ThreadPoolExecutor] = None
         self._slots: Optional[asyncio.Semaphore] = None
@@ -313,7 +400,7 @@ class SketchServer:
         self.engine.algorithm.process_batch(items, deltas)
         self.position += len(items)
         if self._writer is not None and self._writer.maybe(self.position):
-            self.stats.checkpoints += 1
+            self.stats.bump(checkpoints=1)
         return self.position
 
     def _checkpoint_now(self) -> dict:
@@ -323,7 +410,7 @@ class SketchServer:
                 "construction to enable checkpointing"
             )
         self._writer.flush(self.position)
-        self.stats.checkpoints += 1
+        self.stats.bump(checkpoints=1)
         return {"path": str(self._writer.path), "position": self.position}
 
     def _load_snapshot(self, data: bytes, position: Optional[int]) -> int:
@@ -383,6 +470,21 @@ class SketchServer:
             },
         }
 
+    def _metrics_payload(self) -> dict:
+        """The fleet-merged obs snapshot plus its Prometheus rendering.
+
+        Runs on the engine thread: the process backend's
+        ``metric_snapshots`` flushes worker pipes, so it must serialize
+        with feeds exactly like every other state-reading operation.
+        """
+        snapshot = self.engine.algorithm.metrics_snapshot()
+        return {
+            "server": self.label,
+            "snapshot": snapshot,
+            "exposition": render_prometheus(snapshot),
+            "content_type": EXPOSITION_CONTENT_TYPE,
+        }
+
     # -- request dispatch ---------------------------------------------------
 
     async def _dispatch(self, message: dict, connection: ConnectionStats):
@@ -415,23 +517,23 @@ class SketchServer:
                     "'deltas' arrays"
                 )
             position = await self._engine_call(self._feed, items, deltas)
-            connection.updates += len(items)
-            self.stats.updates += len(items)
+            connection.bump(updates=len(items))
+            self.stats.bump(updates=len(items))
             self.stats.last_feed_at = time.monotonic()
             return {"count": len(items), "position": position}
         if op == "estimate":
             items = message.get("items")
             if not isinstance(items, np.ndarray) or items.dtype != np.int64:
                 raise ValueError("estimate needs an int64 'items' array")
-            connection.queries += 1
-            self.stats.queries += 1
+            connection.bump(queries=1)
+            self.stats.bump(queries=1)
             estimates = await self._engine_call(
                 self.engine.estimate_batch, items
             )
             return pack_array(np.asarray(estimates))
         if op == "query":
-            connection.queries += 1
-            self.stats.queries += 1
+            connection.bump(queries=1)
+            self.stats.bump(queries=1)
             kind = message.get("kind")
             if kind in (None, "default"):
                 return sanitize_value(await self._engine_call(self.engine.query))
@@ -443,8 +545,8 @@ class SketchServer:
                 )
             raise ValueError(f"unknown query kind {kind!r}")
         if op == "snapshot":
-            connection.queries += 1
-            self.stats.queries += 1
+            connection.bump(queries=1)
+            self.stats.bump(queries=1)
             return await self._engine_call(
                 lambda: self.engine.merged().snapshot()
             )
@@ -460,6 +562,10 @@ class SketchServer:
             return await self._engine_call(self._checkpoint_now)
         if op == "stats":
             return await self._engine_call(self._stats_payload)
+        if op == "metrics":
+            connection.bump(queries=1)
+            self.stats.bump(queries=1)
+            return sanitize_value(await self._engine_call(self._metrics_payload))
         raise ValueError(f"unknown op {op!r}")
 
     async def _handle_connection(self, reader, writer) -> None:
@@ -473,9 +579,10 @@ class SketchServer:
         connection = ConnectionStats(
             peer=f"{peer[0]}:{peer[1]}" if peer else "?",
             opened_at=time.monotonic(),
+            server=self.label,
+            connection=str(key),
         )
-        self.stats.connections_total += 1
-        self.stats.connections_open += 1
+        self.stats.bump(connections_total=1, connections_open=1)
         self.stats.connections[key] = connection
         try:
             while True:
@@ -483,23 +590,37 @@ class SketchServer:
                     message = await read_message(reader, self.max_frame)
                 except ProtocolError:
                     # Framing is unrecoverable mid-stream: count and drop.
-                    connection.errors += 1
-                    self.stats.errors += 1
+                    connection.bump(errors=1)
+                    self.stats.bump(errors=1)
                     break
                 if message is None:  # clean EOF
                     break
-                connection.frames += 1
-                self.stats.frames += 1
+                connection.bump(frames=1)
+                self.stats.bump(frames=1)
                 request_id = message.get("id")
+                started = time.perf_counter()
                 try:
                     result = await self._dispatch(message, connection)
                     reply = make_reply(request_id, result)
                 except asyncio.CancelledError:
                     raise
                 except Exception as exc:
-                    connection.errors += 1
-                    self.stats.errors += 1
+                    connection.bump(errors=1)
+                    self.stats.bump(errors=1)
                     reply = make_error_reply(request_id, exc)
+                if _obs_registry.enabled:
+                    duration = time.perf_counter() - started
+                    _obs_phase_seconds.observe(
+                        duration, phase="service.request"
+                    )
+                    _obs_tracer.record(
+                        "service.request",
+                        started,
+                        duration,
+                        server=self.label,
+                        op=message["op"],
+                        ok=reply.get("ok", False),
+                    )
                 await write_message(writer, reply)
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -509,8 +630,9 @@ class SketchServer:
             # from re-raising the cancellation into the event loop.
             pass
         finally:
-            self.stats.connections_open -= 1
+            self.stats.bump(connections_open=-1)
             self.stats.connections.pop(key, None)
+            connection.dispose()
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()

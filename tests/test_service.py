@@ -22,6 +22,7 @@ import struct
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.engine import StreamEngine
 from repro.distributed.checkpoint import tail_chunks
 from repro.distributed.codec import FingerprintMismatch, SnapshotError
@@ -504,6 +505,111 @@ class TestCoordinator:
     def test_coordinator_requires_addresses(self):
         with pytest.raises(ValueError):
             SketchCoordinator(count_min_factory, [])
+
+
+# -- the metrics op and fleet exposition --------------------------------------
+
+
+class TestServiceTelemetry:
+    @pytest.fixture(autouse=True)
+    def _force_obs_on(self):
+        """These assertions need recording on; force it so the class
+        stays meaningful under a ``REPRO_OBS=0`` environment (CI runs
+        the service suite in both modes)."""
+        registry = obs.get_registry()
+        prev = registry.enabled
+        registry.enabled = True
+        yield
+        registry.enabled = prev
+
+    def test_metrics_op_reconciles_with_server_stats(self):
+        """Four clients against a 2-shard process fleet: the ``metrics``
+        op's merged Prometheus view must reconcile exactly with the
+        ``stats`` op's counters and with the updates actually fed."""
+        obs.reset()
+        items, deltas = stream(11)
+        quarter = len(items) // 4
+        fed = quarter * 4
+        server = SketchServer(
+            count_min_factory, num_shards=2, backend="process", chunk_size=CHUNK
+        )
+        with server.run_in_thread() as srv:
+            for k in range(4):
+                with SketchClient.connect("127.0.0.1", srv.port) as client:
+                    client.feed(
+                        items[k * quarter : (k + 1) * quarter],
+                        deltas[k * quarter : (k + 1) * quarter],
+                    )
+            with SketchClient.connect("127.0.0.1", srv.port) as client:
+                stats = client.stats()
+                payload = client.metrics()
+        assert payload["server"] == srv.label
+        assert payload["content_type"].startswith("text/plain")
+        snapshot = payload["snapshot"]
+        assert stats["updates"] == fed
+        assert (
+            obs.counter_value(
+                snapshot, "repro_service_updates_total", server=srv.label
+            )
+            == fed
+        )
+        # 4 feed connections plus the stats/metrics one.
+        assert stats["connections_total"] == 5
+        assert (
+            obs.counter_value(
+                snapshot, "repro_service_connections_total", server=srv.label
+            )
+            == 5
+        )
+        # The fleet-merged sketch counters (worker registries fanned in
+        # over the pipes) account for every update the service absorbed.
+        assert (
+            obs.counter_value(
+                snapshot, "repro_sketch_updates_total", sketch="count-min"
+            )
+            == fed
+        )
+        line = f'repro_service_updates_total{{server="{srv.label}"}} {fed}'
+        assert line in payload["exposition"]
+
+    def test_coordinator_metrics_merges_fleet(self):
+        obs.reset()
+        items, deltas = stream(12)
+        s1 = SketchServer(count_min_factory, chunk_size=CHUNK)
+        s2 = SketchServer(count_min_factory, chunk_size=CHUNK)
+
+        async def scenario():
+            coordinator = SketchCoordinator(
+                count_min_factory,
+                [("127.0.0.1", s1.port), ("127.0.0.1", s2.port)],
+            )
+            await coordinator.connect()
+            await coordinator.feed_chunks(
+                (items[i : i + CHUNK], deltas[i : i + CHUNK])
+                for i in range(0, len(items), CHUNK)
+            )
+            payload = await coordinator.metrics()
+            await coordinator.close()
+            return payload
+
+        with s1.run_in_thread(), s2.run_in_thread():
+            payload = asyncio.run(scenario())
+        assert sorted(payload["servers"]) == sorted([s1.label, s2.label])
+        assert payload["content_type"].startswith("text/plain")
+        assert "repro_service_updates_total" in payload["exposition"]
+        snapshot = payload["snapshot"]
+        # Both servers run in this one process and therefore share one
+        # registry, so each server's snapshot already carries both
+        # server-labeled series and the coordinator's merge doubles them:
+        # the two labels sum to exactly 2x the updates the fleet split.
+        per_server = [
+            obs.counter_value(
+                snapshot, "repro_service_updates_total", server=server.label
+            )
+            for server in (s1, s2)
+        ]
+        assert all(value > 0 for value in per_server)
+        assert sum(per_server) == 2 * len(items)
 
 
 # -- the async client --------------------------------------------------------

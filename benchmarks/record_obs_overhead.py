@@ -3,7 +3,11 @@
 Measures ``StreamEngine.drive_arrays`` on the canonical CountMin 4x64
 configuration with the observability layer enabled vs disabled, at 10^6
 and 10^7 updates, and appends the rows under the ``obs_overhead`` key.
-Two properties are enforced before any number is recorded:
+A second experiment, recorded under ``gateway_overhead``, measures the
+same drive with an :class:`~repro.obs.gateway.ObservabilityGateway`
+being scraped at 1 Hz versus left unscraped -- the cost a live
+Prometheus target adds to the hot path.  Two properties are enforced
+before any number is recorded:
 
 * **Bit-equality.**  The sketch state digest must be identical across
   every run, enabled or disabled -- telemetry must never perturb the
@@ -153,6 +157,109 @@ def _measure_overhead(updates: int, pairs: int) -> dict:
     }
 
 
+def _measure_gateway_overhead(updates: int, pairs: int) -> dict:
+    """Gateway + 1 Hz ``/metrics`` scraper vs unscraped, interleaved.
+
+    Telemetry stays enabled in both arms so the delta isolates what a
+    live scrape target costs the hot path: HTTP accept/parse, a registry
+    snapshot, and the exposition render, once per second.  The idle
+    listener is shared by both arms (an unconnected asyncio server
+    consumes nothing), which keeps the pairs interleavable in-process.
+    Each timed arm batches enough drives to span more than one scrape
+    period -- otherwise a sub-second drive would never actually be
+    scraped mid-flight and the row would measure an idle socket.
+    """
+    import http.client
+    import math
+    import threading
+
+    from repro.obs import ObservabilityGateway
+
+    items, deltas = uniform_arrays(UNIVERSE, updates, seed=777)
+    registry = obs.get_registry()
+    prev_enabled = registry.enabled
+    registry.enabled = True
+    digests = set()
+    scrapes = [0]
+    scraping = threading.Event()
+    stop = threading.Event()
+    try:
+        with ObservabilityGateway().run_in_thread() as gw:
+
+            def scrape_loop() -> None:
+                while not stop.is_set():
+                    if scraping.is_set():
+                        conn = http.client.HTTPConnection(
+                            "127.0.0.1", gw.port, timeout=10.0
+                        )
+                        try:
+                            conn.request("GET", "/metrics")
+                            conn.getresponse().read()
+                            scrapes[0] += 1
+                        finally:
+                            conn.close()
+                    stop.wait(1.0)
+
+            scraper = threading.Thread(target=scrape_loop, daemon=True)
+            scraper.start()
+
+            warm_seconds, _ = _drive_once(items, deltas)
+            repeats = max(1, math.ceil(1.25 / max(warm_seconds, 1e-9)))
+
+            def once(scraped: bool) -> float:
+                (scraping.set if scraped else scraping.clear)()
+                total = 0.0
+                for _ in range(repeats):
+                    seconds, digest = _drive_once(items, deltas)
+                    total += seconds
+                    digests.add(digest)
+                return total / repeats
+
+            once(True)
+            once(False)
+            best_on = best_off = float("inf")
+            for _ in range(pairs):
+                best_off = min(best_off, once(False))
+                best_on = min(best_on, once(True))
+            stop.set()
+            scraper.join(timeout=5)
+    finally:
+        registry.enabled = prev_enabled
+    if scrapes[0] == 0:
+        raise AssertionError("scraper never reached the gateway mid-run")
+    if len(digests) != 1:
+        raise AssertionError(
+            f"scraping perturbed the sketch state: {sorted(digests)}"
+        )
+    overhead = 100.0 * (best_on - best_off) / best_off
+    return {
+        "updates": updates,
+        "pairs": pairs,
+        "repeats": repeats,
+        "scraped_seconds": round(best_on, 6),
+        "unscraped_seconds": round(best_off, 6),
+        "overhead_pct": round(overhead, 2),
+        "scrapes": scrapes[0],
+        "state_digest": digests.pop(),
+    }
+
+
+def measure_gateway_row(
+    updates: int, pairs: int, limit: float, attempts: int = 3
+) -> dict:
+    """One ``gateway_overhead`` row, retried under one-sided clock noise."""
+    row = None
+    for _ in range(attempts):
+        attempt = _measure_gateway_overhead(updates, pairs)
+        if row is None or attempt["overhead_pct"] < row["overhead_pct"]:
+            row = attempt
+        if row["overhead_pct"] <= limit:
+            break
+    row["limit_pct"] = limit
+    row["within_limit"] = row["overhead_pct"] <= limit
+    return row
+
+
 def measure_row(updates: int, pairs: int, limit: float, attempts: int = 3) -> dict:
     """One recorded row: kill-switch verification + bounded overhead.
 
@@ -192,6 +299,13 @@ def main() -> None:
         measure_row(updates, pairs, args.overhead_limit)
         for updates, pairs in scales
     ]
+    # The gateway row uses the largest scale; each timed arm already
+    # spans a full scrape period, so a few pairs suffice.
+    gateway_rows = [
+        measure_gateway_row(
+            scales[-1][0], min(scales[-1][1], 4), args.overhead_limit
+        )
+    ]
     payload = {
         "obs_overhead": {
             "benchmark": "telemetry overhead on StreamEngine.drive_arrays",
@@ -209,6 +323,23 @@ def main() -> None:
             ),
             "results": rows,
         },
+        "gateway_overhead": {
+            "benchmark": (
+                "observability gateway + 1 Hz /metrics scraper vs "
+                "unscraped, on StreamEngine.drive_arrays"
+            ),
+            "sketch": "count-min 4x64",
+            "universe_size": UNIVERSE,
+            "chunk_size": DEFAULT_CHUNK_SIZE,
+            "native_kernels": kernels.native_kernels_available(),
+            "note": (
+                "scraped vs unscraped interleaved in-process (best-of-N "
+                "pairs; the scrape loop pauses for the baseline arm), "
+                "telemetry enabled in both arms, sketch state digests "
+                "verified bit-equal across every run before timing counts"
+            ),
+            "results": gateway_rows,
+        },
     }
     print(json.dumps(payload, indent=2))
     if not args.quick:
@@ -218,8 +349,8 @@ def main() -> None:
         existing.update(payload)
         out.write_text(json.dumps(existing, indent=2) + "\n")
         print(f"-> {out}")
-    if not all(row["within_limit"] for row in rows):
-        worst = max(row["overhead_pct"] for row in rows)
+    if not all(row["within_limit"] for row in rows + gateway_rows):
+        worst = max(row["overhead_pct"] for row in rows + gateway_rows)
         print(f"FAIL: overhead {worst}% exceeds {args.overhead_limit}%")
         raise SystemExit(1)
 

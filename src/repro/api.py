@@ -41,7 +41,10 @@ The surface, by layer::
                 PROTOCOL_VERSION
     telemetry   MetricsRegistry, get_registry, merge_snapshots,
                 render_prometheus, get_tracer, obs_timer,
-                EstimateDriftMonitor, InteractionBudgetMonitor, Alarm
+                EstimateDriftMonitor, InteractionBudgetMonitor,
+                ShardSkewMonitor, Alarm
+    alerting    AlertEngine, ThresholdRule, RateRule, AbsenceRule,
+                merge_alert_payloads, ObservabilityGateway, export_otlp
 
 See the README's "Public API" table for the name -> module map with
 deprecation status.
@@ -78,12 +81,20 @@ from repro.distributed.codec import (
     snapshot_sketch,
 )
 from repro.obs import (
+    AbsenceRule,
     Alarm,
+    AlertEngine,
     EstimateDriftMonitor,
     InteractionBudgetMonitor,
     MetricsRegistry,
+    ObservabilityGateway,
+    RateRule,
+    ShardSkewMonitor,
+    ThresholdRule,
+    export_otlp,
     get_registry,
     get_tracer,
+    merge_alert_payloads,
     merge_snapshots,
     render_prometheus,
 )
@@ -114,7 +125,9 @@ API_VERSION = "1.0"
 
 __all__ = [
     "API_VERSION",
+    "AbsenceRule",
     "Alarm",
+    "AlertEngine",
     "AsyncSketchClient",
     "CheckpointWriter",
     "DEFAULT_CHUNK_SIZE",
@@ -125,10 +138,13 @@ __all__ = [
     "InteractionBudgetMonitor",
     "MergeableSketch",
     "MetricsRegistry",
+    "ObservabilityGateway",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RateRule",
     "SerializableSketch",
     "ServiceError",
+    "ShardSkewMonitor",
     "ShardedAlgorithm",
     "ShardedStreamEngine",
     "SketchClient",
@@ -138,6 +154,7 @@ __all__ = [
     "StateView",
     "StreamAlgorithm",
     "StreamEngine",
+    "ThresholdRule",
     "UniversePartitioner",
     "Update",
     "WhiteBoxAdversary",
@@ -145,11 +162,13 @@ __all__ = [
     "chunk_arrays",
     "chunk_updates",
     "construction_fingerprint",
+    "export_otlp",
     "get_registry",
     "get_tracer",
     "ingest",
     "ingest_async",
     "load_checkpoint",
+    "merge_alert_payloads",
     "merge_snapshots",
     "obs_timer",
     "render_prometheus",

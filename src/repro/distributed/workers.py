@@ -488,6 +488,15 @@ class ProcessShardPool:
             connection.send(("load",))
         return [self._expect(shard, "load")[1] for shard in range(self.num_shards)]
 
+    def workers_alive(self) -> list[bool]:
+        """Per-worker process liveness, pipe-free.
+
+        Reads ``Process.is_alive()`` only -- no command round-trip, no
+        pipeline flush -- so health probes can run from any thread while
+        feeds are in flight without perturbing the ack stream.
+        """
+        return [process.is_alive() for process in self._processes]
+
     def metric_snapshots(self) -> list[dict]:
         """Every worker's metrics-registry snapshot (concurrent round-trip).
 

@@ -12,10 +12,18 @@ One coherent observability surface across every tier of the pipeline
     chunk-level spans (monotonic start/duration, context-propagated
     parent ids) in a bounded ring, with JSONL export;
 :mod:`repro.obs.monitors`
-    estimate-drift and interaction-budget alarms over game results;
+    estimate-drift, interaction-budget, and shard-skew alarms over game
+    results and registry snapshots;
 :mod:`repro.obs.expo`
     Prometheus text exposition from any registry snapshot (the service's
-    ``metrics`` op renders server- and fleet-merged views with it).
+    ``metrics`` op renders server- and fleet-merged views with it);
+:mod:`repro.obs.alerts`
+    declarative alert rules (threshold / rate / absence with ``for:``
+    holds) evaluated into a pending -> firing -> resolved state machine,
+    fleet-mergeable most-severe-wins;
+:mod:`repro.obs.gateway`
+    the stdlib HTTP face: ``/metrics``, ``/healthz``, ``/readyz``,
+    ``/spans`` (OTLP/JSON), and ``/alerts`` on a real port.
 
 ``REPRO_OBS=0`` is the kill switch: every telemetry instrument and the
 tracer no-op (the recorded ``obs_overhead`` benchmark pins the
@@ -34,7 +42,21 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.obs.expo import EXPOSITION_CONTENT_TYPE, render_prometheus
+from repro.obs.alerts import (
+    AbsenceRule,
+    AlertEngine,
+    AlertState,
+    RateRule,
+    ThresholdRule,
+    merge_alert_payloads,
+)
+from repro.obs.expo import (
+    EXPOSITION_CONTENT_TYPE,
+    escape_label_value,
+    format_label_pairs,
+    render_prometheus,
+)
+from repro.obs.gateway import ObservabilityGateway
 from repro.obs.metrics import (
     SIZE_BUCKETS,
     TIME_BUCKETS,
@@ -54,11 +76,15 @@ from repro.obs.monitors import (
     Alarm,
     EstimateDriftMonitor,
     InteractionBudgetMonitor,
+    ShardSkewMonitor,
 )
-from repro.obs.trace import SpanRecord, Tracer, get_tracer
+from repro.obs.trace import SpanRecord, Tracer, export_otlp, get_tracer
 
 __all__ = [
+    "AbsenceRule",
     "Alarm",
+    "AlertEngine",
+    "AlertState",
     "Counter",
     "EXPOSITION_CONTENT_TYPE",
     "EstimateDriftMonitor",
@@ -66,19 +92,27 @@ __all__ = [
     "Histogram",
     "InteractionBudgetMonitor",
     "MetricsRegistry",
+    "ObservabilityGateway",
     "PHASE_SECONDS_METRIC",
     "PhaseTimer",
+    "RateRule",
     "RegistryStatsBase",
     "SIZE_BUCKETS",
+    "ShardSkewMonitor",
     "SpanRecord",
     "TIME_BUCKETS",
+    "ThresholdRule",
     "Tracer",
     "counter_total",
     "counter_value",
     "enabled",
     "env_enabled",
+    "escape_label_value",
+    "export_otlp",
+    "format_label_pairs",
     "get_registry",
     "get_tracer",
+    "merge_alert_payloads",
     "merge_snapshots",
     "render_prometheus",
     "reset",

@@ -1,0 +1,337 @@
+"""Declarative alerting over registry snapshots and bias monitors.
+
+Monitors (:mod:`repro.obs.monitors`) detect conditions; this module
+decides when a condition becomes a *page*.  An :class:`AlertEngine`
+holds declarative rules -- :class:`ThresholdRule` (value vs bound),
+:class:`RateRule` (per-second change between evaluations vs bound), and
+:class:`AbsenceRule` (metric stopped appearing) -- and evaluates them
+against registry snapshots, running any attached monitors'
+``observe_snapshot`` first so monitor-derived signals (e.g. the shard
+skew ratio) are in scope for the same evaluation.
+
+Each rule carries a Prometheus-style ``for_seconds`` hold: a true
+condition moves the rule ``inactive -> pending``, and only a condition
+that *stays* true for the hold duration promotes it ``pending ->
+firing``; a cleared condition takes ``firing -> resolved`` (and a
+pending that never fired quietly back to ``inactive``).  All timing
+flows through an injectable ``clock`` callable, so state transitions are
+deterministic under test -- no sleeps, no wall-clock flakes.
+
+State is fleet-mergeable like everything else in ``repro.obs``: the
+JSON payload one engine serves on ``/alerts`` (or over the ``alerts``
+service op) folds with :func:`merge_alert_payloads` -- per-rule, the
+most severe state wins (``firing > pending > resolved > inactive``) and
+the winning node is recorded -- so the coordinator's fleet view pages if
+*any* node pages.  Transitions are also counted in the metrics registry
+(``repro_alert_transitions_total{rule=...,state=...}``), putting alert
+history next to the counters that triggered it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.obs.expo import format_label_pairs
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "AbsenceRule",
+    "AlertEngine",
+    "AlertState",
+    "RateRule",
+    "ThresholdRule",
+    "merge_alert_payloads",
+]
+
+#: Counter tracking every alert state transition.
+ALERT_TRANSITIONS_METRIC = "repro_alert_transitions_total"
+
+#: Merge precedence (higher wins in the fleet fold).
+_STATE_RANK = {"inactive": 0, "resolved": 1, "pending": 2, "firing": 3}
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda value, bound: value > bound,
+    ">=": lambda value, bound: value >= bound,
+    "<": lambda value, bound: value < bound,
+    "<=": lambda value, bound: value <= bound,
+    "==": lambda value, bound: value == bound,
+    "!=": lambda value, bound: value != bound,
+}
+
+
+def _check_op(op: str) -> str:
+    if op not in _OPS:
+        raise ValueError(
+            f"unknown comparison {op!r}; expected one of {sorted(_OPS)}"
+        )
+    return op
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """Fire while ``metric <op> threshold`` holds.
+
+    ``metric`` resolves against monitor-derived values first, then
+    gauges, then counters; with ``labels`` the exact series is read,
+    without them a multi-series metric is summed.  A metric absent from
+    the evaluation scope reads as condition-false (use
+    :class:`AbsenceRule` to alert on absence itself).
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = ">"
+    for_seconds: float = 0.0
+    labels: Optional[Mapping[str, str]] = None
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        _check_op(self.op)
+
+
+@dataclass(frozen=True)
+class RateRule:
+    """Fire while the metric's per-second rate of change ``<op>`` bound.
+
+    The rate is the finite difference between consecutive engine
+    evaluations of the *same* rule (clock-timed), so the first
+    evaluation after startup or a value gap never fires.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = ">"
+    for_seconds: float = 0.0
+    labels: Optional[Mapping[str, str]] = None
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        _check_op(self.op)
+
+
+@dataclass(frozen=True)
+class AbsenceRule:
+    """Fire while the metric resolves to nothing at all.
+
+    The liveness spelling: a worker that stops reporting its heartbeat
+    counter goes *silent*, and silence -- not any value -- is the page.
+    """
+
+    name: str
+    metric: str
+    for_seconds: float = 0.0
+    labels: Optional[Mapping[str, str]] = None
+    severity: str = "critical"
+
+
+@dataclass
+class AlertState:
+    """Mutable evaluation state for one rule."""
+
+    rule: str
+    severity: str
+    state: str = "inactive"
+    since: float = 0.0
+    value: Optional[float] = None
+    pending_since: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the ``/alerts`` payload row)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "state": self.state,
+            "since": self.since,
+            "value": self.value,
+        }
+
+
+class AlertEngine:
+    """Evaluate declarative rules against snapshots + monitors.
+
+    Parameters
+    ----------
+    rules:
+        The rule set (:class:`ThresholdRule` / :class:`RateRule` /
+        :class:`AbsenceRule`); rule names must be unique.
+    monitors:
+        Objects with ``observe_snapshot(snapshot)`` (and optionally
+        ``derived_metrics()``); run before rule resolution on every
+        evaluation so derived values are in scope.
+    clock:
+        Monotonic-seconds callable driving ``for_seconds`` holds and
+        rates.  Inject a fake under test for deterministic transitions.
+    registry:
+        Where transition counters land (process registry by default).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence,
+        *,
+        monitors: Sequence = (),
+        clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+        self.rules = list(rules)
+        self.monitors = list(monitors)
+        self.clock = clock
+        self._registry = registry or get_registry()
+        self._transitions = self._registry.counter(
+            ALERT_TRANSITIONS_METRIC,
+            "Alert rule state transitions (pending/firing/resolved)",
+        )
+        self._states = {
+            rule.name: AlertState(rule.name, rule.severity) for rule in rules
+        }
+        # RateRule history: rule name -> (clock time, value).
+        self._rate_points: dict[str, tuple[float, float]] = {}
+        self._last_evaluated: Optional[float] = None
+
+    # -- value resolution -------------------------------------------------
+
+    def _resolve(self, metric, labels, snapshot, derived) -> Optional[float]:
+        if metric in derived:
+            return float(derived[metric])
+        for section in ("gauges", "counters"):
+            data = snapshot.get(section, {}).get(metric)
+            if not data or not data["values"]:
+                continue
+            values = data["values"]
+            if labels:
+                value = values.get(format_label_pairs(labels))
+                return None if value is None else float(value)
+            return float(sum(values.values()))
+        return None
+
+    # -- state machine ----------------------------------------------------
+
+    def _transition(self, state: AlertState, to: str, now: float) -> None:
+        state.state = to
+        state.since = now
+        self._transitions.add(1, rule=state.rule, state=to)
+
+    def _step(
+        self, rule, state: AlertState, condition: bool, now: float
+    ) -> None:
+        if condition:
+            if state.state in ("inactive", "resolved"):
+                state.pending_since = now
+                self._transition(state, "pending", now)
+            if (
+                state.state == "pending"
+                and now - state.pending_since >= rule.for_seconds
+            ):
+                self._transition(state, "firing", now)
+        else:
+            if state.state == "firing":
+                state.pending_since = None
+                self._transition(state, "resolved", now)
+            elif state.state == "pending":
+                state.pending_since = None
+                self._transition(state, "inactive", now)
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(self, snapshot: Optional[dict] = None) -> list[dict]:
+        """Run one evaluation pass; returns the current state dicts.
+
+        With no ``snapshot`` the engine's registry is snapshotted --
+        pass a fleet-merged snapshot to alert on the aggregate view.
+        """
+        if snapshot is None:
+            snapshot = self._registry.snapshot()
+        now = self.clock()
+        derived: dict[str, float] = {}
+        for monitor in self.monitors:
+            monitor.observe_snapshot(snapshot)
+            getter = getattr(monitor, "derived_metrics", None)
+            if getter is not None:
+                derived.update(getter())
+        for rule in self.rules:
+            state = self._states[rule.name]
+            value = self._resolve(rule.metric, rule.labels, snapshot, derived)
+            if isinstance(rule, AbsenceRule):
+                state.value = value
+                self._step(rule, state, value is None, now)
+                continue
+            if isinstance(rule, RateRule):
+                rate = None
+                if value is not None:
+                    point = self._rate_points.get(rule.name)
+                    if point is not None and now > point[0]:
+                        rate = (value - point[1]) / (now - point[0])
+                    self._rate_points[rule.name] = (now, value)
+                else:
+                    self._rate_points.pop(rule.name, None)
+                state.value = rate
+                condition = rate is not None and _OPS[rule.op](
+                    rate, rule.threshold
+                )
+                self._step(rule, state, condition, now)
+                continue
+            state.value = value
+            condition = value is not None and _OPS[rule.op](
+                value, rule.threshold
+            )
+            self._step(rule, state, condition, now)
+        self._last_evaluated = now
+        return self.states()
+
+    def states(self) -> list[dict]:
+        """Current state dicts, in rule-declaration order."""
+        return [self._states[rule.name].to_dict() for rule in self.rules]
+
+    def payload(self) -> dict:
+        """The JSON body the ``/alerts`` endpoint and ``alerts`` op serve."""
+        firing = sum(
+            1 for state in self._states.values() if state.state == "firing"
+        )
+        return {
+            "alerts": self.states(),
+            "firing": firing,
+            "evaluated_at": self._last_evaluated,
+        }
+
+
+def merge_alert_payloads(
+    payloads: Sequence[dict], sources: Optional[Sequence[str]] = None
+) -> dict:
+    """Fold per-node ``/alerts`` payloads into one fleet view.
+
+    Per rule name, the most severe state wins (``firing > pending >
+    resolved > inactive``; ties keep the first seen) and the winning
+    entry is annotated with its ``source`` when source labels are given.
+    Rules only some nodes know about still appear -- a fleet with mixed
+    rule sets degrades to the union, never drops a page.
+    """
+    if sources is not None and len(sources) != len(payloads):
+        raise ValueError(
+            f"{len(sources)} sources for {len(payloads)} payloads"
+        )
+    merged: dict[str, dict] = {}
+    for index, payload in enumerate(payloads):
+        source = sources[index] if sources is not None else None
+        for entry in payload.get("alerts", []):
+            candidate = dict(entry)
+            if source is not None:
+                candidate["source"] = source
+            current = merged.get(entry["rule"])
+            if current is None or (
+                _STATE_RANK.get(candidate["state"], 0)
+                > _STATE_RANK.get(current["state"], 0)
+            ):
+                merged[entry["rule"]] = candidate
+    alerts = list(merged.values())
+    return {
+        "alerts": alerts,
+        "firing": sum(1 for entry in alerts if entry["state"] == "firing"),
+        "nodes": len(payloads),
+    }

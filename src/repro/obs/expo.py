@@ -5,19 +5,78 @@ Renders any :meth:`repro.obs.metrics.MetricsRegistry.snapshot` (or
 format (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=...}``
 histogram series with ``_sum`` / ``_count``).  Because it renders from
 *snapshots*, the same function serves a local registry, one server's
-``metrics`` op, and the coordinator's fleet-merged view -- exposition is
-a pure function of the mergeable state, exactly like sketch queries.
+``metrics`` op, the observability gateway's ``/metrics`` endpoint, and
+the coordinator's fleet-merged view -- exposition is a pure function of
+the mergeable state, exactly like sketch queries.
+
+This module is also the canonical home of the exposition-format escaping
+rules: :func:`escape_label_value` (backslash, then double-quote, then
+newline -- the order matters, or escaped backslashes re-escape) and
+:func:`format_label_pairs` (label names in sorted order, values escaped).
+:mod:`repro.obs.metrics` builds its canonical label keys from these, so
+the storage key *is* the exposition spelling -- series sort stably and
+two equal snapshots render byte-identically, which the hand-written
+expected-text tests pin.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Mapping
 
-__all__ = ["EXPOSITION_CONTENT_TYPE", "render_prometheus"]
+__all__ = [
+    "EXPOSITION_CONTENT_TYPE",
+    "escape_help_text",
+    "escape_label_value",
+    "format_label_pairs",
+    "render_prometheus",
+]
 
 #: What an HTTP bridge in front of :func:`render_prometheus` should
 #: declare (the classic Prometheus text format version).
 EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+
+def escape_label_value(value) -> str:
+    """Escape one label value for the exposition format.
+
+    The spec requires exactly three escapes inside a quoted label value
+    -- backslash, double-quote, and newline -- and the backslash pass
+    must run first or it would re-escape the escapes the other two
+    introduce.  Values that need no escaping pass through without string
+    rebuilding (the hot-path case: label values are almost always plain
+    identifiers).
+    """
+    text = str(value)
+    if "\\" in text or '"' in text or "\n" in text:
+        text = (
+            text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        )
+    return text
+
+
+def format_label_pairs(labels: Mapping[str, object]) -> str:
+    """Canonical ``name="value"`` pair string for one label set.
+
+    Label *names* sort lexicographically (the stable order both the
+    registry storage keys and the rendered series rely on); values are
+    escaped via :func:`escape_label_value`.  Empty label sets format to
+    the empty string.
+    """
+    if not labels:
+        return ""
+    if len(labels) == 1:
+        ((key, value),) = labels.items()
+        return f'{key}="{escape_label_value(value)}"'
+    return ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+
+
+def escape_help_text(text: str) -> str:
+    """Escape a ``# HELP`` line (backslash first, then newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_value(value) -> str:
@@ -50,16 +109,14 @@ def _with_le(label_key: str, bound_text: str) -> str:
     return f"{label_key},{le}" if label_key else le
 
 
-def _escape_help(text: str) -> str:
-    return text.replace("\\", "\\\\").replace("\n", "\\n")
-
-
 def render_prometheus(snapshot: dict) -> str:
     """Render one registry snapshot to Prometheus exposition text.
 
     Metric families are emitted in sorted name order and series in
-    sorted label order, so two equal snapshots render byte-identically
-    -- the exposition analogue of the bit-exact merge contract.
+    sorted label-key order (the canonical escaped pair strings of
+    :func:`format_label_pairs`, compared lexicographically), so two
+    equal snapshots render byte-identically -- the exposition analogue
+    of the bit-exact merge contract.
     """
     lines: list[str] = []
     for kind, section in (
@@ -70,7 +127,7 @@ def render_prometheus(snapshot: dict) -> str:
             data = snapshot[section][name]
             help_text = data.get("help", "")
             if help_text:
-                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+                lines.append(f"# HELP {name} {escape_help_text(help_text)}")
             lines.append(f"# TYPE {name} {kind}")
             for label_key in sorted(data["values"]):
                 lines.append(
@@ -80,7 +137,7 @@ def render_prometheus(snapshot: dict) -> str:
         data = snapshot["histograms"][name]
         help_text = data.get("help", "")
         if help_text:
-            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# HELP {name} {escape_help_text(help_text)}")
         lines.append(f"# TYPE {name} histogram")
         bounds = [_format_bound(float(bound)) for bound in data["buckets"]]
         for label_key in sorted(data["values"]):

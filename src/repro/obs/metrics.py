@@ -46,6 +46,8 @@ import threading
 import warnings
 from typing import Iterable, Mapping, Optional, Sequence
 
+from repro.obs.expo import format_label_pairs
+
 __all__ = [
     "BoundCounter",
     "BoundHistogram",
@@ -91,32 +93,16 @@ def env_enabled() -> bool:
     )
 
 
-def _escape_label(value) -> str:
-    text = str(value)
-    if "\\" in text or '"' in text or "\n" in text:
-        text = (
-            text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-        )
-    return text
-
-
 def _label_key(labels: Mapping[str, object]) -> str:
     """Canonical (sorted, escaped) Prometheus-style label string.
 
-    The canonical string is both the storage key and the exposition
+    Delegates to :func:`repro.obs.expo.format_label_pairs` -- the
+    canonical string is both the storage key and the exposition
     spelling, so two registries that counted the same events always
-    produce byte-identical snapshots -- the property the fan-in
-    equality tests pin.
+    produce byte-identical snapshots (the property the fan-in equality
+    tests pin) and series sort identically everywhere they render.
     """
-    if not labels:
-        return ""
-    if len(labels) == 1:
-        ((key, value),) = labels.items()
-        return f'{key}="{_escape_label(value)}"'
-    return ",".join(
-        f'{key}="{_escape_label(value)}"'
-        for key, value in sorted(labels.items())
-    )
+    return format_label_pairs(labels)
 
 
 class _Instrument:

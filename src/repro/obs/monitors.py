@@ -17,7 +17,17 @@ debug niceties and become alarms:
   *before* the bound is spent.  The :class:`InteractionBudgetMonitor`
   accumulates interaction counts (game rounds plus per-checkpoint probe
   answers) and raises a warning at a configurable fraction of the budget
-  and a breach alarm past it.
+  and a breach alarm past it;
+* **shard skew** -- an adversary that has learned the universe
+  partition can aim its stream at one shard, overloading a single
+  worker while the fleet looks healthy in aggregate.  The
+  :class:`ShardSkewMonitor` watches the cumulative per-shard
+  ``repro_partition_shard_updates_total{shard=...}`` counters the
+  sharded engines maintain, computes the peak-to-mean update ratio over
+  each observation window, publishes it as the
+  ``repro_partition_shard_skew`` gauge, and raises when the ratio
+  exceeds a threshold.  It is the detector half of live re-sharding:
+  the alarm says *which* imbalance to re-shard away.
 
 Alarms are structured (:class:`Alarm`), kept on the monitor, optionally
 forwarded to an ``on_alarm`` callback, and counted in the metrics
@@ -35,7 +45,22 @@ import numpy as np
 
 from repro.obs.metrics import MetricsRegistry, get_registry
 
-__all__ = ["Alarm", "EstimateDriftMonitor", "InteractionBudgetMonitor"]
+__all__ = [
+    "Alarm",
+    "EstimateDriftMonitor",
+    "InteractionBudgetMonitor",
+    "SHARD_SKEW_METRIC",
+    "SHARD_UPDATES_METRIC",
+    "ShardSkewMonitor",
+]
+
+#: Cumulative per-shard update counter the sharded engines maintain
+#: (labelled ``shard="<index>"``; counted parent-side, post-partition).
+SHARD_UPDATES_METRIC = "repro_partition_shard_updates_total"
+
+#: Gauge the skew monitor publishes: peak-to-mean per-shard update ratio
+#: over the last observation window (1.0 = perfectly balanced).
+SHARD_SKEW_METRIC = "repro_partition_shard_skew"
 
 
 @dataclass(frozen=True)
@@ -232,3 +257,104 @@ class InteractionBudgetMonitor(_MonitorBase):
             int(result.rounds_played) + int(probes),
             round_index=int(result.rounds_played),
         )
+
+
+class ShardSkewMonitor(_MonitorBase):
+    """Alarms when per-shard update traffic concentrates on few shards.
+
+    Feeds on registry *snapshots* (local or fleet-merged): each
+    :meth:`observe_snapshot` call diffs the cumulative
+    ``repro_partition_shard_updates_total`` series against the previous
+    call, giving a window of per-shard update deltas.  The skew ratio is
+    ``max(delta) / mean(delta)`` -- 1.0 for a perfectly balanced window,
+    ``num_shards`` when every update hit one shard.  The ratio is
+    published as the ``repro_partition_shard_skew`` gauge and kept on
+    :attr:`ratio`; windows smaller than ``min_window`` total updates are
+    skipped *without* clearing the last ratio, so hold-duration alert
+    rules see a stable value between sparse scrapes instead of flapping.
+
+    Parameters
+    ----------
+    max_ratio:
+        Peak-to-mean ratio above which a ``"shard_skew"`` alarm is
+        raised for the window (must be >= 1).
+    min_window:
+        Minimum total updates a window needs before the ratio is
+        recomputed (guards against noise in near-idle windows).
+    num_shards:
+        Shard count to average over.  When given, shards that received
+        *zero* traffic in the window still dilute the mean -- an
+        adversary hammering shard 0 of 8 then scores 8.0 even if the
+        other seven series have not appeared in the snapshot yet.
+        Defaults to the number of shard series observed.
+    """
+
+    def __init__(
+        self,
+        max_ratio: float,
+        *,
+        min_window: int = 1,
+        num_shards: Optional[int] = None,
+        name: str = "shard-skew",
+        on_alarm: Optional[Callable[[Alarm], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_ratio < 1.0:
+            raise ValueError(f"max_ratio must be >= 1, got {max_ratio}")
+        if min_window <= 0:
+            raise ValueError(f"min_window must be positive, got {min_window}")
+        if num_shards is not None and num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        super().__init__(name, on_alarm=on_alarm, registry=registry)
+        self.max_ratio = float(max_ratio)
+        self.min_window = int(min_window)
+        self.num_shards = None if num_shards is None else int(num_shards)
+        #: Last computed peak-to-mean ratio (sticky across thin windows).
+        self.ratio = 0.0
+        self._gauge = (registry or get_registry()).gauge(
+            SHARD_SKEW_METRIC,
+            "Peak-to-mean per-shard update ratio over the last window",
+        )
+        self._last_totals: dict[str, float] = {}
+        self._windows = 0
+
+    def observe_snapshot(self, snapshot: dict) -> list[Alarm]:
+        """Diff one registry snapshot against the last; returns new alarms."""
+        data = snapshot.get("counters", {}).get(SHARD_UPDATES_METRIC)
+        totals = dict(data["values"]) if data else {}
+        previous = self._last_totals
+        deltas = [
+            totals[key] - previous.get(key, 0) for key in totals
+        ]
+        self._last_totals = totals
+        self._windows += 1
+        window_total = sum(deltas)
+        if window_total < self.min_window:
+            return []
+        shard_count = max(len(deltas), self.num_shards or 0)
+        mean = window_total / shard_count
+        ratio = max(deltas) / mean if mean > 0 else 0.0
+        self.ratio = float(ratio)
+        self._gauge.set(self.ratio)
+        if self.ratio > self.max_ratio:
+            return [
+                self._raise_alarm(
+                    "shard_skew",
+                    self._windows,
+                    self.ratio,
+                    self.max_ratio,
+                    f"shard skew ratio {self.ratio:.4g} exceeds "
+                    f"{self.max_ratio:.4g} over {int(window_total)} updates",
+                )
+            ]
+        return []
+
+    def derived_metrics(self) -> dict:
+        """Values alert rules can reference by metric name."""
+        return {SHARD_SKEW_METRIC: self.ratio}
+
+    def reset(self) -> None:
+        """Forget the diff baseline and ratio (alarms are retained)."""
+        self._last_totals = {}
+        self.ratio = 0.0
+        self._windows = 0

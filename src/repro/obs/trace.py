@@ -16,7 +16,14 @@ separate.
 
 Storage is a bounded in-memory ring (`deque(maxlen=...)`) -- a
 long-running service retains the last ``capacity`` spans at O(1) cost --
-with :meth:`Tracer.export_jsonl` for offline analysis.
+with :meth:`Tracer.export_jsonl` for offline analysis and
+:func:`export_otlp` for the gateway's ``/spans`` endpoint (OTLP/JSON
+``resourceSpans`` shape).  Overflow is *counted*, never silent: each
+span the ring evicts (or cannot admit) increments
+:attr:`Tracer.dropped`, the process-wide tracer surfaces the count as
+the ``repro_trace_dropped_total`` gauge at scrape time, and every OTLP
+export carries it -- a consumer can always tell a quiet pipeline from a
+saturated ring.
 """
 
 from __future__ import annotations
@@ -32,10 +39,20 @@ from typing import Optional
 
 from repro.obs.metrics import env_enabled
 
-__all__ = ["SpanRecord", "Tracer", "get_tracer"]
+__all__ = [
+    "SpanRecord",
+    "TRACE_DROPPED_METRIC",
+    "Tracer",
+    "export_otlp",
+    "get_tracer",
+]
 
 #: Default ring capacity (spans retained in memory).
 DEFAULT_CAPACITY = 4096
+
+#: Gauge surfacing the process-wide tracer's eviction count (set at
+#: scrape time by a registry collector hook; see :func:`get_tracer`).
+TRACE_DROPPED_METRIC = "repro_trace_dropped_total"
 
 
 @dataclass
@@ -113,12 +130,19 @@ class _SpanContext:
             self.attrs,
         )
         with tracer._lock:
+            if len(tracer._ring) == tracer.capacity:
+                tracer.dropped += 1
             tracer._ring.append(entry)
         return False
 
 
 class Tracer:
-    """Bounded-ring span recorder with context-propagated parent ids."""
+    """Bounded-ring span recorder with context-propagated parent ids.
+
+    :attr:`dropped` counts spans the bounded ring evicted (oldest-first
+    on overflow) since construction or the last :meth:`clear` --
+    exported alongside every span dump so saturation is visible.
+    """
 
     def __init__(
         self,
@@ -129,6 +153,8 @@ class Tracer:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.enabled = env_enabled() if enabled is None else enabled
         self.capacity = capacity
+        #: Spans evicted by ring overflow since the last clear().
+        self.dropped = 0
         # Ring entries are plain tuples (the record() hot path runs once
         # per chunk; dataclass construction is deferred to spans()).
         self._ring: deque[tuple] = deque(maxlen=capacity)
@@ -153,6 +179,8 @@ class Tracer:
             return
         entry = (name, next(self._ids), self._current.get(), start, duration, attrs)
         with self._lock:
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
             self._ring.append(entry)
 
     def record_batch(self, name: str, rows) -> None:
@@ -171,6 +199,9 @@ class Tracer:
             for start, duration, attrs in rows
         ]
         with self._lock:
+            overflow = len(self._ring) + len(entries) - self.capacity
+            if overflow > 0:
+                self.dropped += overflow
             self._ring.extend(entries)
 
     def spans(self) -> list[SpanRecord]:
@@ -180,9 +211,11 @@ class Tracer:
         return [SpanRecord(*entry) for entry in entries]
 
     def clear(self) -> None:
-        """Drop every retained span (capacity and enablement unchanged)."""
+        """Drop every retained span and zero the eviction count
+        (capacity and enablement unchanged)."""
         with self._lock:
             self._ring.clear()
+            self.dropped = 0
 
     def export_jsonl(self, path) -> int:
         """Write the retained spans as JSON lines; returns the count."""
@@ -193,15 +226,117 @@ class Tracer:
         return len(spans)
 
 
+def _otlp_attr_value(value) -> dict:
+    """One OTLP ``AnyValue`` (the typed union OTLP attributes use)."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _otlp_attrs(attrs: dict) -> list[dict]:
+    return [
+        {"key": str(key), "value": _otlp_attr_value(value)}
+        for key, value in attrs.items()
+    ]
+
+
+def export_otlp(tracer: Tracer, service_name: str = "repro") -> dict:
+    """Export the tracer's retained spans in OTLP/JSON shape.
+
+    Produces one ``resourceSpans`` entry (one scope, ``repro.obs``) with
+    8-byte hex span ids and unix-nano timestamps.  Span starts are
+    recorded as ``perf_counter`` seconds, so the wall-clock anchor is
+    computed once at export time (``time.time() - perf_counter()``) and
+    applied uniformly -- relative ordering and durations are exact, the
+    absolute epoch is approximate to within scheduler jitter.  The
+    payload carries ``dropped`` (ring evictions since the last clear) at
+    the top level so ``/spans`` consumers can distinguish a quiet
+    pipeline from a saturated ring.
+    """
+    spans = tracer.spans()
+    epoch_offset = time.time() - time.perf_counter()
+    otlp_spans = []
+    for record in spans:
+        start_ns = int((record.start + epoch_offset) * 1e9)
+        end_ns = start_ns + int(record.duration * 1e9)
+        span = {
+            "traceId": "0" * 32,
+            "spanId": f"{record.span_id & 0xFFFFFFFFFFFFFFFF:016x}",
+            "name": record.name,
+            "kind": 1,  # SPAN_KIND_INTERNAL
+            "startTimeUnixNano": str(start_ns),
+            "endTimeUnixNano": str(end_ns),
+            "attributes": _otlp_attrs(record.attrs),
+        }
+        if record.parent_id:
+            span["parentSpanId"] = (
+                f"{record.parent_id & 0xFFFFFFFFFFFFFFFF:016x}"
+            )
+        otlp_spans.append(span)
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [
+                        {
+                            "key": "service.name",
+                            "value": {"stringValue": service_name},
+                        }
+                    ]
+                },
+                "scopeSpans": [
+                    {
+                        "scope": {"name": "repro.obs"},
+                        "spans": otlp_spans,
+                    }
+                ],
+            }
+        ],
+        "dropped": tracer.dropped,
+    }
+
+
 _default_tracer: Optional[Tracer] = None
 _default_lock = threading.Lock()
 
 
 def get_tracer() -> Tracer:
-    """The process-wide tracer every built-in span reports to."""
+    """The process-wide tracer every built-in span reports to.
+
+    First construction also hooks the process registry: a collector
+    sets the ``repro_trace_dropped_total`` gauge from
+    :attr:`Tracer.dropped` at scrape time (only once spans have
+    actually been evicted, so quiet processes keep clean snapshots).
+    """
     global _default_tracer
     if _default_tracer is None:
         with _default_lock:
             if _default_tracer is None:
-                _default_tracer = Tracer()
+                tracer = Tracer()
+                _register_drop_collector(tracer)
+                _default_tracer = tracer
     return _default_tracer
+
+
+def _register_drop_collector(tracer: Tracer) -> None:
+    # Imported lazily: metrics imports nothing from here, but keeping
+    # the registry hookup out of module import keeps Tracer usable in
+    # isolation (tests build private tracers without touching the
+    # process registry).
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    gauge = registry.gauge(
+        TRACE_DROPPED_METRIC,
+        "Spans evicted from the process tracer ring since last clear.",
+    )
+
+    def _fold() -> None:
+        if tracer.dropped:
+            gauge.set(tracer.dropped)
+
+    registry.add_collector(_fold)

@@ -59,11 +59,24 @@ from repro.core.engine import DEFAULT_CHUNK_SIZE, StreamEngine
 from repro.core.game import GameResult, GroundTruth, Validator
 from repro.core.adversary import WhiteBoxAdversary
 from repro.core.stream import Update
+from repro.obs import get_registry as _get_obs_registry
+from repro.obs.monitors import SHARD_UPDATES_METRIC
 from repro.parallel.partition import UniversePartitioner
 
 __all__ = ["ShardedAlgorithm", "ShardedStreamEngine"]
 
 _BACKENDS = ("serial", "thread", "process")
+
+_obs_registry = _get_obs_registry()
+# Routed-update counts per shard, counted parent-side *after* the
+# partition split -- process-backend workers therefore never touch this
+# series and the fleet merge cannot double-count.  The skew monitor
+# (repro.obs.monitors.ShardSkewMonitor) diffs these series to detect an
+# adversary aiming its stream at one shard.
+_obs_shard_updates = _obs_registry.counter(
+    SHARD_UPDATES_METRIC,
+    "Updates routed to each shard by the universe partitioner",
+)
 
 
 def _resolve_backend(parallel: Optional[bool], backend: Optional[str]) -> str:
@@ -157,6 +170,10 @@ class ShardedAlgorithm(StreamAlgorithm):
         else:
             self._pool = None
         self._merged_cache: Optional[StreamAlgorithm] = None
+        self._shard_counters = [
+            _obs_shard_updates.bind(shard=str(index))
+            for index in range(num_shards)
+        ]
 
     def _live_pool(self):
         """The worker pool, or ``None`` for in-process backends.
@@ -180,6 +197,9 @@ class ShardedAlgorithm(StreamAlgorithm):
         pool = self._live_pool()
         self._merged_cache = None
         shard = self.partitioner.assign(update.item)
+        if _obs_registry.enabled:
+            with _obs_registry.lock:
+                self._shard_counters[shard].add_unlocked(1)
         if pool is not None:
             pool.feed_updates(shard, [(update.item, update.delta)])
         else:
@@ -200,6 +220,13 @@ class ShardedAlgorithm(StreamAlgorithm):
         if items.size == 0:
             return
         parts = self.partitioner.split(items, deltas)
+        if _obs_registry.enabled:
+            with _obs_registry.lock:
+                for index, part in enumerate(parts):
+                    if part is not None:
+                        self._shard_counters[index].add_unlocked(
+                            len(part[0])
+                        )
         if pool is not None:
             pool.scatter(parts)
         elif self._executor is not None:
@@ -308,6 +335,36 @@ class ShardedAlgorithm(StreamAlgorithm):
         if pool is not None:
             return pool.shard_loads()
         return [shard.updates_processed for shard in self.shards]
+
+    def health(self) -> dict:
+        """Fleet liveness summary (the gateway's readiness input).
+
+        Pipe-free by design: checks worker *process* liveness without a
+        round-trip, so health probes never queue behind a scatter in
+        flight.  In-process backends are alive as long as this object
+        is; a closed process backend reports unhealthy instead of
+        raising (probes must degrade, not error).
+        """
+        if self.backend == "process" and self._pool is None:
+            return {
+                "ok": False,
+                "backend": self.backend,
+                "num_shards": self.num_shards,
+                "workers_alive": [False] * self.num_shards,
+                "closed": True,
+            }
+        alive = (
+            self._pool.workers_alive()
+            if self._pool is not None
+            else [True] * self.num_shards
+        )
+        return {
+            "ok": all(alive),
+            "backend": self.backend,
+            "num_shards": self.num_shards,
+            "workers_alive": alive,
+            "closed": False,
+        }
 
     def metrics_snapshot(self) -> dict:
         """The fleet's merged obs-registry snapshot.
@@ -466,6 +523,10 @@ class ShardedStreamEngine:
     def metrics_snapshot(self) -> dict:
         """The fleet-merged obs snapshot (see :class:`ShardedAlgorithm`)."""
         return self.algorithm.metrics_snapshot()
+
+    def health(self) -> dict:
+        """Fleet liveness summary (see :meth:`ShardedAlgorithm.health`)."""
+        return self.algorithm.health()
 
     def close(self) -> None:
         """Shut down the shard worker pool (no-op for serial engines)."""

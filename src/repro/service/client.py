@@ -160,6 +160,17 @@ class SketchClient:
         """
         return self._request("metrics")
 
+    def alerts(self) -> dict:
+        """The server's current alert states.
+
+        Returns ``{"server", "alerts", "firing", "evaluated_at"}``; the
+        rule list is empty on servers without an attached
+        :class:`~repro.obs.alerts.AlertEngine`.  Each call runs one
+        evaluation pass on the server, so polling cadence is evaluation
+        cadence.
+        """
+        return self._request("alerts")
+
     def feed(self, items, deltas) -> dict:
         """Send one update batch; returns ``{"count", "position"}``."""
         items, deltas = _as_feed_arrays(items, deltas)
@@ -305,6 +316,10 @@ class AsyncSketchClient:
     async def metrics(self) -> dict:
         """See :meth:`SketchClient.metrics`."""
         return await self._request("metrics")
+
+    async def alerts(self) -> dict:
+        """See :meth:`SketchClient.alerts`."""
+        return await self._request("alerts")
 
     async def feed(self, items, deltas) -> dict:
         """See :meth:`SketchClient.feed`."""

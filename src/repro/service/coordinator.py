@@ -234,6 +234,26 @@ class SketchCoordinator:
             "content_type": EXPOSITION_CONTENT_TYPE,
         }
 
+    async def alerts(self) -> dict:
+        """The fleet's alert states, merged most-severe-wins.
+
+        Gathers every server's ``alerts`` reply (each server runs one
+        evaluation pass) and folds them with
+        :func:`repro.obs.alerts.merge_alert_payloads`: per rule, the
+        most severe state wins (``firing > pending > resolved >
+        inactive``) and the winning server's label is recorded as
+        ``source`` -- the fleet pages if any node pages.
+        """
+        from repro.obs.alerts import merge_alert_payloads
+
+        clients = self._require_clients()
+        replies = await asyncio.gather(
+            *(client.alerts() for client in clients)
+        )
+        return merge_alert_payloads(
+            replies, sources=[reply.get("server") for reply in replies]
+        )
+
     # -- checkpoint / recovery over the wire --------------------------------
 
     async def checkpoint(self, path) -> int:

@@ -45,6 +45,10 @@ Ops
 ``stats`` / ``ping`` liveness + operational monitoring counters
 ``metrics``          obs-registry snapshot + Prometheus exposition text
                      (fleet-merged telemetry; see :mod:`repro.obs`)
+``alerts``           current alert-rule states from the server's
+                     :class:`~repro.obs.alerts.AlertEngine` (evaluated
+                     on request; empty when no engine is attached) --
+                     the coordinator merges these into the fleet view
 """
 
 from __future__ import annotations
@@ -106,6 +110,7 @@ REQUEST_OPS = frozenset(
         "stats",
         "ping",
         "metrics",
+        "alerts",
     }
 )
 

@@ -228,6 +228,20 @@ class SketchServer:
         Restore this checkpoint file into the fleet before serving
         (sets the stream position; equivalent to a client-driven
         ``load_snapshot``).
+    gateway_port:
+        When given (0 picks a free port), :meth:`start` also binds an
+        :class:`~repro.obs.gateway.ObservabilityGateway` on the
+        server's own event loop (read ``server.gateway.port`` after
+        start).  Its ``/metrics`` and ``/alerts`` providers run through
+        the engine executor, so scrapes serialize with feeds exactly
+        like the ``metrics`` op; ``/healthz`` answers loop-side without
+        touching the engine (liveness must not queue behind a scatter),
+        and ``/readyz`` is an engine round-trip under a timeout --
+        ready means the fleet can actually absorb work *now*.
+    alert_engine:
+        Optional :class:`~repro.obs.alerts.AlertEngine` evaluated (on
+        the engine thread, against the fleet-merged snapshot) by the
+        ``alerts`` op and the gateway's ``/alerts`` endpoint.
     """
 
     def __init__(
@@ -246,6 +260,8 @@ class SketchServer:
         checkpoint_every: Optional[int] = None,
         start_position: int = 0,
         resume_path=None,
+        gateway_port: Optional[int] = None,
+        alert_engine=None,
     ) -> None:
         if queue_depth <= 0:
             raise ValueError(f"queue_depth must be positive, got {queue_depth}")
@@ -290,6 +306,11 @@ class SketchServer:
         self._connection_seq = 0
         self._handler_tasks: set[asyncio.Task] = set()
         self._closed = False
+        self.alert_engine = alert_engine
+        self._gateway_port = gateway_port
+        #: The attached observability gateway (set by :meth:`start` when
+        #: ``gateway_port`` was given; ``gateway.port`` is its bound port).
+        self.gateway = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -305,6 +326,9 @@ class SketchServer:
             self._handle_connection, self.host, self._requested_port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self._gateway_port is not None:
+            self.gateway = self._build_gateway(self._gateway_port)
+            await self.gateway.start()
         return self
 
     async def serve_forever(self) -> None:
@@ -319,6 +343,8 @@ class SketchServer:
         if self._closed:
             return
         self._closed = True
+        if self.gateway is not None:
+            await self.gateway.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -485,6 +511,88 @@ class SketchServer:
             "content_type": EXPOSITION_CONTENT_TYPE,
         }
 
+    def _alerts_payload(self) -> dict:
+        """One alert evaluation over the fleet-merged snapshot.
+
+        Runs on the engine thread for the same reason ``_metrics_payload``
+        does: the merged snapshot flushes process-backend worker pipes.
+        Servers without an attached engine answer an empty rule list --
+        the op stays uniform across the fleet so the coordinator's merge
+        never special-cases.
+        """
+        if self.alert_engine is None:
+            return {
+                "server": self.label,
+                "alerts": [],
+                "firing": 0,
+                "evaluated_at": None,
+            }
+        snapshot = self.engine.algorithm.metrics_snapshot()
+        self.alert_engine.evaluate(snapshot)
+        payload = self.alert_engine.payload()
+        payload["server"] = self.label
+        return payload
+
+    def _health_payload(self) -> tuple[bool, dict]:
+        """Loop-side liveness: serving means alive, no engine round-trip."""
+        now = time.monotonic()
+        stats = self.stats
+        return True, {
+            "status": "ok",
+            "server": self.label,
+            "uptime_seconds": now - stats.started_at,
+            "seconds_since_last_feed": (
+                now - stats.last_feed_at if stats.last_feed_at else None
+            ),
+            "position": self.position,
+            "connections_open": stats.connections_open,
+        }
+
+    def _build_gateway(self, port: int):
+        """The side-by-side gateway, providers bound to this server.
+
+        Metrics/alerts/readiness providers are coroutines over
+        :meth:`_engine_call` -- scrapes serialize with feeds, which the
+        process backend's single-reader metric pipes require.  Readiness
+        is a bounded engine round-trip reporting the fleet's
+        :meth:`~repro.parallel.sharded.ShardedAlgorithm.health`: a hung
+        or backlogged engine times out into 503 instead of wedging the
+        probe.
+        """
+        from repro.obs.gateway import ObservabilityGateway
+
+        async def _metrics_text() -> str:
+            payload = await self._engine_call(self._metrics_payload)
+            return payload["exposition"]
+
+        async def _ready() -> tuple[bool, dict]:
+            try:
+                health = await asyncio.wait_for(
+                    self._engine_call(self.engine.algorithm.health),
+                    timeout=5.0,
+                )
+            except asyncio.TimeoutError:
+                return False, {
+                    "status": "timeout",
+                    "server": self.label,
+                    "detail": "engine executor did not answer within 5s",
+                }
+            health["status"] = "ready" if health["ok"] else "degraded"
+            health["server"] = self.label
+            return health["ok"], health
+
+        async def _alerts() -> dict:
+            return await self._engine_call(self._alerts_payload)
+
+        return ObservabilityGateway(
+            host=self.host,
+            port=port,
+            metrics_provider=_metrics_text,
+            health_provider=self._health_payload,
+            ready_provider=_ready,
+            alerts_provider=_alerts,
+        )
+
     # -- request dispatch ---------------------------------------------------
 
     async def _dispatch(self, message: dict, connection: ConnectionStats):
@@ -566,6 +674,10 @@ class SketchServer:
             connection.bump(queries=1)
             self.stats.bump(queries=1)
             return sanitize_value(await self._engine_call(self._metrics_payload))
+        if op == "alerts":
+            connection.bump(queries=1)
+            self.stats.bump(queries=1)
+            return sanitize_value(await self._engine_call(self._alerts_payload))
         raise ValueError(f"unknown op {op!r}")
 
     async def _handle_connection(self, reader, writer) -> None:

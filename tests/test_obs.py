@@ -28,13 +28,18 @@ from repro.obs import (
     InteractionBudgetMonitor,
     MetricsRegistry,
     RegistryStatsBase,
+    ShardSkewMonitor,
     Tracer,
     counter_total,
     counter_value,
+    escape_label_value,
+    export_otlp,
+    format_label_pairs,
     merge_snapshots,
     render_prometheus,
     snapshot_is_empty,
 )
+from repro.obs.monitors import SHARD_SKEW_METRIC, SHARD_UPDATES_METRIC
 from repro.parallel.sharded import ShardedStreamEngine
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -237,6 +242,52 @@ class TestExposition:
     def test_empty_snapshot_renders_empty_string(self):
         assert render_prometheus(MetricsRegistry(enabled=True).snapshot()) == ""
 
+    def test_label_value_escaping_pinned(self):
+        # The three (and only three) escapes the text format requires,
+        # pinned character-for-character.  Backslash must escape first.
+        assert escape_label_value("plain") == "plain"
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("line1\nline2") == "line1\\nline2"
+        assert escape_label_value('\\"\n') == '\\\\\\"\\n'
+        assert escape_label_value(7) == "7"
+
+    def test_label_pairs_sort_stably_and_escape(self):
+        assert format_label_pairs({}) == ""
+        assert format_label_pairs({"b": "2", "a": "1"}) == 'a="1",b="2"'
+        assert (
+            format_label_pairs({"path": 'x"\n', "op": "feed"})
+            == 'op="feed",path="x\\"\\n"'
+        )
+
+    def test_hand_written_expected_text(self):
+        # One full render against an exact expected document: escaping,
+        # label-name sort, and series sort in a single pin.
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("evil_total", 'help with \\ and\nnewline')
+        counter.add(1, path='a\\b', op="z")
+        counter.add(2, op="a", path='quo"te')
+        registry.gauge("plain_gauge", "a gauge").set(2.5)
+        expected = (
+            "# HELP evil_total help with \\\\ and\\nnewline\n"
+            "# TYPE evil_total counter\n"
+            'evil_total{op="a",path="quo\\"te"} 2\n'
+            'evil_total{op="z",path="a\\\\b"} 1\n'
+            "# HELP plain_gauge a gauge\n"
+            "# TYPE plain_gauge gauge\n"
+            "plain_gauge 2.5\n"
+        )
+        assert render_prometheus(registry.snapshot()) == expected
+
+    def test_registry_keys_are_the_exposition_spelling(self):
+        # The storage key is format_label_pairs' output, so snapshots of
+        # equal state are equal dicts and render byte-identically even
+        # with escaped values in play.
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("c", "h").add(1, k='v"\n')
+        values = registry.snapshot()["counters"]["c"]["values"]
+        assert list(values) == ['k="v\\"\\n"']
+
 
 # -- tracing ------------------------------------------------------------------
 
@@ -278,6 +329,99 @@ class TestTracer:
         record = json.loads(out.read_text().splitlines()[0])
         assert record["name"] == "phase"
         assert record["attrs"] == {"path": "drive"}
+
+    def test_overflow_is_counted_not_silent(self):
+        tracer = Tracer(capacity=4, enabled=True)
+        for index in range(10):
+            tracer.record("tick", 0.0, 0.1, index=index)
+        assert tracer.dropped == 6
+        with tracer.span("one-more"):
+            pass
+        assert tracer.dropped == 7
+        tracer.record_batch("bulk", [(0.0, 0.1, {}) for _ in range(6)])
+        assert tracer.dropped == 13
+        assert len(tracer.spans()) == 4
+
+    def test_clear_zeroes_the_drop_count(self):
+        tracer = Tracer(capacity=2, enabled=True)
+        for _ in range(5):
+            tracer.record("tick", 0.0, 0.1)
+        assert tracer.dropped == 3
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert tracer.spans() == []
+
+    def test_under_capacity_batches_drop_nothing(self):
+        tracer = Tracer(capacity=8, enabled=True)
+        tracer.record_batch("bulk", [(0.0, 0.1, {}) for _ in range(5)])
+        assert tracer.dropped == 0
+
+    def test_dropped_gauge_exposed_at_scrape_time(self):
+        # The process-wide tracer's collector only writes the gauge once
+        # spans have actually been evicted.
+        obs.reset()
+        tracer = obs.get_tracer()
+        snapshot = obs.get_registry().snapshot()
+        assert (
+            "repro_trace_dropped_total" not in snapshot.get("gauges", {})
+        )
+        overflow = tracer.capacity + 5
+        tracer.record_batch(
+            "flood", [(0.0, 0.0, {}) for _ in range(overflow)]
+        )
+        snapshot = obs.get_registry().snapshot()
+        assert (
+            snapshot["gauges"]["repro_trace_dropped_total"]["values"][""] == 5
+        )
+        obs.reset()
+
+
+class TestOtlpExport:
+    def test_export_shape_and_parenting(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", op="drive"):
+            with tracer.span("inner"):
+                pass
+        payload = export_otlp(tracer, service_name="unit")
+        resource = payload["resourceSpans"][0]
+        assert resource["resource"]["attributes"] == [
+            {"key": "service.name", "value": {"stringValue": "unit"}}
+        ]
+        scope = resource["scopeSpans"][0]
+        assert scope["scope"]["name"] == "repro.obs"
+        inner, outer = scope["spans"]
+        assert (inner["name"], outer["name"]) == ("inner", "outer")
+        assert inner["parentSpanId"] == outer["spanId"]
+        assert "parentSpanId" not in outer
+        assert len(outer["spanId"]) == 16
+        assert int(outer["endTimeUnixNano"]) >= int(
+            outer["startTimeUnixNano"]
+        )
+        assert outer["attributes"] == [
+            {"key": "op", "value": {"stringValue": "drive"}}
+        ]
+        assert payload["dropped"] == 0
+        # The payload must be JSON-serializable as-is (the /spans body).
+        json.dumps(payload)
+
+    def test_export_carries_drop_count_and_attr_types(self):
+        tracer = Tracer(capacity=2, enabled=True)
+        tracer.record("a", 0.0, 0.1)
+        tracer.record("b", 0.2, 0.1, n=3, f=1.5, flag=True, s="x")
+        tracer.record("c", 0.4, 0.1)
+        payload = export_otlp(tracer)
+        assert payload["dropped"] == 1
+        spans = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert [span["name"] for span in spans] == ["b", "c"]
+        attrs = {
+            attr["key"]: attr["value"] for attr in spans[0]["attributes"]
+        }
+        assert attrs == {
+            "n": {"intValue": "3"},
+            "f": {"doubleValue": 1.5},
+            "flag": {"boolValue": True},
+            "s": {"stringValue": "x"},
+        }
 
 
 class TestPhaseTimer:
@@ -461,6 +605,112 @@ class TestInteractionBudgetMonitor:
         monitor = InteractionBudgetMonitor(10, registry=registry)
         with pytest.raises(ValueError):
             monitor.observe(-1)
+
+
+def _shard_snapshot(**totals):
+    """A registry-snapshot fragment carrying cumulative shard counters."""
+    return {
+        "counters": {
+            SHARD_UPDATES_METRIC: {
+                "help": "",
+                "values": {
+                    f'shard="{index}"': total
+                    for index, total in enumerate(totals.values())
+                },
+            }
+        }
+    }
+
+
+class TestShardSkewMonitor:
+    def test_skew_ratio_and_alarm_over_windows(self):
+        registry = MetricsRegistry(enabled=True)
+        # With two shards the peak-to-mean ratio lives in [1, 2].
+        monitor = ShardSkewMonitor(1.5, min_window=10, registry=registry)
+        # Balanced window: ratio 1.0, no alarm.
+        assert monitor.observe_snapshot(_shard_snapshot(a=50, b=50)) == []
+        assert monitor.ratio == 1.0
+        # Adversarially skewed window: 90 of 100 new updates on shard 0.
+        alarms = monitor.observe_snapshot(_shard_snapshot(a=140, b=60))
+        assert [alarm.kind for alarm in alarms] == ["shard_skew"]
+        assert monitor.ratio == pytest.approx(1.8)
+        gauges = registry.snapshot()["gauges"][SHARD_SKEW_METRIC]["values"]
+        assert gauges[""] == pytest.approx(monitor.ratio)
+        # Balanced again: ratio recovers, no new alarm.
+        assert monitor.observe_snapshot(_shard_snapshot(a=190, b=110)) == []
+        assert monitor.ratio == 1.0
+
+    def test_thin_windows_keep_the_last_ratio(self):
+        monitor = ShardSkewMonitor(
+            1.5, min_window=100, registry=MetricsRegistry(enabled=True)
+        )
+        monitor.observe_snapshot(_shard_snapshot(a=990, b=10))
+        skewed = monitor.ratio
+        assert skewed > 1.5
+        # A near-idle window must not reset the signal (hold-duration
+        # alert rules need a stable value between sparse scrapes).
+        assert monitor.observe_snapshot(_shard_snapshot(a=995, b=11)) == []
+        assert monitor.ratio == skewed
+
+    def test_num_shards_dilutes_missing_series(self):
+        monitor = ShardSkewMonitor(
+            2.0, min_window=10, num_shards=8,
+            registry=MetricsRegistry(enabled=True),
+        )
+        # Only one shard series exists: a hammered shard 0 of 8 scores 8.
+        alarms = monitor.observe_snapshot(_shard_snapshot(a=80))
+        assert [alarm.kind for alarm in alarms] == ["shard_skew"]
+        assert monitor.ratio == pytest.approx(8.0)
+
+    def test_derived_metrics_and_reset(self):
+        monitor = ShardSkewMonitor(
+            2.0, min_window=1, registry=MetricsRegistry(enabled=True)
+        )
+        monitor.observe_snapshot(_shard_snapshot(a=30, b=10))
+        assert monitor.derived_metrics() == {
+            SHARD_SKEW_METRIC: monitor.ratio
+        }
+        monitor.reset()
+        assert monitor.ratio == 0.0
+        assert monitor.derived_metrics() == {SHARD_SKEW_METRIC: 0.0}
+
+    def test_validation(self):
+        registry = MetricsRegistry(enabled=True)
+        with pytest.raises(ValueError):
+            ShardSkewMonitor(0.5, registry=registry)
+        with pytest.raises(ValueError):
+            ShardSkewMonitor(2.0, min_window=0, registry=registry)
+        with pytest.raises(ValueError):
+            ShardSkewMonitor(2.0, num_shards=0, registry=registry)
+
+    def test_sharded_engine_feeds_the_counters(self):
+        obs.reset()
+        items = np.arange(20_000, dtype=np.int64) % UNIVERSE
+        deltas = np.ones(20_000, dtype=np.int64)
+        with ShardedStreamEngine(
+            count_min_factory, 2, chunk_size=4096, backend="serial"
+        ) as engine:
+            engine.drive_arrays(items, deltas)
+            snapshot = engine.metrics_snapshot()
+        obs.reset()
+        per_shard = [
+            counter_value(snapshot, SHARD_UPDATES_METRIC, shard=str(index))
+            for index in range(2)
+        ]
+        assert sum(per_shard) == len(items)
+        assert all(count > 0 for count in per_shard)
+
+    def test_process_backend_does_not_double_count(self):
+        obs.reset()
+        items = np.arange(20_000, dtype=np.int64) % UNIVERSE
+        deltas = np.ones(20_000, dtype=np.int64)
+        with ShardedStreamEngine(
+            count_min_factory, 2, chunk_size=4096, backend="process"
+        ) as engine:
+            engine.drive_arrays(items, deltas)
+            snapshot = engine.metrics_snapshot()
+        obs.reset()
+        assert counter_total(snapshot, SHARD_UPDATES_METRIC) == len(items)
 
 
 # -- fan-in exactness ---------------------------------------------------------

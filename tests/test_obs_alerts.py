@@ -1,0 +1,333 @@
+"""The alert engine: rule semantics, the state machine, fleet merging.
+
+Everything here runs on a fake clock -- hold durations and rates are
+finite differences of injected times, so every pending -> firing ->
+resolved transition is pinned deterministically, with zero sleeps.  The
+acceptance scenario lives in ``TestSkewAlertLifecycle``: an adversarially
+skewed stream drives a real ``ShardedStreamEngine``'s per-shard counters
+through a ``ShardSkewMonitor``-backed rule from pending to firing, and a
+balanced tail resolves it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.heavyhitters.count_min import CountMinSketch
+from repro.obs import (
+    AbsenceRule,
+    AlertEngine,
+    MetricsRegistry,
+    RateRule,
+    ShardSkewMonitor,
+    ThresholdRule,
+    merge_alert_payloads,
+)
+from repro.obs.alerts import ALERT_TRANSITIONS_METRIC
+from repro.obs.monitors import SHARD_SKEW_METRIC
+from repro.parallel.sharded import ShardedStreamEngine
+
+UNIVERSE = 1 << 14
+
+
+@pytest.fixture(autouse=True)
+def _force_obs_on():
+    registry = obs.get_registry()
+    prev = registry.enabled
+    registry.enabled = True
+    yield
+    registry.enabled = prev
+
+
+def count_min_factory():
+    return CountMinSketch(universe_size=UNIVERSE, width=256, depth=4, seed=13)
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _gauge_snapshot(name: str, value) -> dict:
+    return {"gauges": {name: {"help": "", "values": {"": value}}}}
+
+
+def _counter_snapshot(name: str, series: dict) -> dict:
+    return {"counters": {name: {"help": "", "values": dict(series)}}}
+
+
+class TestRuleValidation:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdRule("r", "m", 1.0, op="~")
+        with pytest.raises(ValueError):
+            RateRule("r", "m", 1.0, op="almost")
+
+    def test_duplicate_rule_names_rejected(self):
+        rules = [
+            ThresholdRule("same", "m", 1.0),
+            AbsenceRule("same", "m2"),
+        ]
+        with pytest.raises(ValueError):
+            AlertEngine(rules, registry=MetricsRegistry(enabled=True))
+
+
+class TestThresholdRule:
+    def test_immediate_firing_without_hold(self):
+        clock = FakeClock()
+        engine = AlertEngine(
+            [ThresholdRule("hot", "temp", 10.0)],
+            clock=clock,
+            registry=MetricsRegistry(enabled=True),
+        )
+        (state,) = engine.evaluate(_gauge_snapshot("temp", 15.0))
+        assert state["state"] == "firing"
+        assert state["value"] == 15.0
+
+    def test_hold_duration_gates_firing(self):
+        clock = FakeClock()
+        engine = AlertEngine(
+            [ThresholdRule("hot", "temp", 10.0, for_seconds=30.0)],
+            clock=clock,
+            registry=MetricsRegistry(enabled=True),
+        )
+        (state,) = engine.evaluate(_gauge_snapshot("temp", 15.0))
+        assert state["state"] == "pending"
+        clock.advance(10.0)
+        (state,) = engine.evaluate(_gauge_snapshot("temp", 15.0))
+        assert state["state"] == "pending"
+        clock.advance(25.0)
+        (state,) = engine.evaluate(_gauge_snapshot("temp", 15.0))
+        assert state["state"] == "firing"
+        assert state["since"] == 35.0
+
+    def test_pending_that_clears_goes_inactive_not_resolved(self):
+        clock = FakeClock()
+        engine = AlertEngine(
+            [ThresholdRule("hot", "temp", 10.0, for_seconds=30.0)],
+            clock=clock,
+            registry=MetricsRegistry(enabled=True),
+        )
+        engine.evaluate(_gauge_snapshot("temp", 15.0))
+        clock.advance(5.0)
+        (state,) = engine.evaluate(_gauge_snapshot("temp", 5.0))
+        assert state["state"] == "inactive"
+
+    def test_missing_metric_is_condition_false(self):
+        engine = AlertEngine(
+            [ThresholdRule("hot", "absent_metric", 10.0)],
+            clock=FakeClock(),
+            registry=MetricsRegistry(enabled=True),
+        )
+        (state,) = engine.evaluate({})
+        assert state["state"] == "inactive"
+        assert state["value"] is None
+
+    def test_labelled_rule_reads_the_exact_series(self):
+        snapshot = _counter_snapshot(
+            "req_total", {'op="feed"': 90, 'op="query"': 5}
+        )
+        engine = AlertEngine(
+            [
+                ThresholdRule(
+                    "feeds", "req_total", 50.0, labels={"op": "feed"}
+                ),
+                ThresholdRule(
+                    "queries", "req_total", 50.0, labels={"op": "query"}
+                ),
+                ThresholdRule("all", "req_total", 90.0),
+            ],
+            clock=FakeClock(),
+            registry=MetricsRegistry(enabled=True),
+        )
+        states = {s["rule"]: s for s in engine.evaluate(snapshot)}
+        assert states["feeds"]["state"] == "firing"
+        assert states["queries"]["state"] == "inactive"
+        # Unlabelled rules sum every series (95 > 90).
+        assert states["all"]["state"] == "firing"
+
+    def test_transitions_are_counted(self):
+        registry = MetricsRegistry(enabled=True)
+        clock = FakeClock()
+        engine = AlertEngine(
+            [ThresholdRule("hot", "temp", 10.0)],
+            clock=clock,
+            registry=registry,
+        )
+        engine.evaluate(_gauge_snapshot("temp", 20.0))
+        engine.evaluate(_gauge_snapshot("temp", 1.0))
+        values = registry.snapshot()["counters"][ALERT_TRANSITIONS_METRIC][
+            "values"
+        ]
+        assert values['rule="hot",state="pending"'] == 1
+        assert values['rule="hot",state="firing"'] == 1
+        assert values['rule="hot",state="resolved"'] == 1
+
+
+class TestRateRule:
+    def test_rate_between_evaluations(self):
+        clock = FakeClock()
+        engine = AlertEngine(
+            [RateRule("surge", "req_total", 50.0)],
+            clock=clock,
+            registry=MetricsRegistry(enabled=True),
+        )
+        # First sighting establishes the baseline -- never fires.
+        (state,) = engine.evaluate(_counter_snapshot("req_total", {"": 100}))
+        assert state["state"] == "inactive"
+        assert state["value"] is None
+        clock.advance(10.0)
+        # +1000 over 10 s = 100/s > 50/s.
+        (state,) = engine.evaluate(_counter_snapshot("req_total", {"": 1100}))
+        assert state["state"] == "firing"
+        assert state["value"] == pytest.approx(100.0)
+        clock.advance(10.0)
+        (state,) = engine.evaluate(_counter_snapshot("req_total", {"": 1150}))
+        assert state["state"] == "resolved"
+        assert state["value"] == pytest.approx(5.0)
+
+    def test_value_gap_resets_the_baseline(self):
+        clock = FakeClock()
+        engine = AlertEngine(
+            [RateRule("surge", "req_total", 50.0)],
+            clock=clock,
+            registry=MetricsRegistry(enabled=True),
+        )
+        engine.evaluate(_counter_snapshot("req_total", {"": 100}))
+        clock.advance(10.0)
+        (state,) = engine.evaluate({})  # metric vanished
+        assert state["state"] == "inactive"
+        clock.advance(10.0)
+        # Reappearance is a fresh baseline, not a huge spurious rate.
+        (state,) = engine.evaluate(_counter_snapshot("req_total", {"": 9000}))
+        assert state["state"] == "inactive"
+
+
+class TestAbsenceRule:
+    def test_absence_fires_and_reappearance_resolves(self):
+        clock = FakeClock()
+        engine = AlertEngine(
+            [AbsenceRule("silent", "heartbeat_total", for_seconds=60.0)],
+            clock=clock,
+            registry=MetricsRegistry(enabled=True),
+        )
+        (state,) = engine.evaluate(
+            _counter_snapshot("heartbeat_total", {"": 5})
+        )
+        assert state["state"] == "inactive"
+        (state,) = engine.evaluate({})
+        assert state["state"] == "pending"
+        clock.advance(61.0)
+        (state,) = engine.evaluate({})
+        assert state["state"] == "firing"
+        (state,) = engine.evaluate(
+            _counter_snapshot("heartbeat_total", {"": 6})
+        )
+        assert state["state"] == "resolved"
+
+
+class TestMergeAlertPayloads:
+    def test_most_severe_state_wins_with_source(self):
+        quiet = {
+            "alerts": [
+                {"rule": "skew", "state": "inactive", "severity": "warning"}
+            ]
+        }
+        paging = {
+            "alerts": [
+                {"rule": "skew", "state": "firing", "severity": "warning"},
+                {"rule": "extra", "state": "pending", "severity": "info"},
+            ]
+        }
+        merged = merge_alert_payloads(
+            [quiet, paging], sources=["srv0", "srv1"]
+        )
+        by_rule = {entry["rule"]: entry for entry in merged["alerts"]}
+        assert by_rule["skew"]["state"] == "firing"
+        assert by_rule["skew"]["source"] == "srv1"
+        # Union semantics: rules only one node knows still appear.
+        assert by_rule["extra"]["state"] == "pending"
+        assert merged["firing"] == 1
+        assert merged["nodes"] == 2
+
+    def test_source_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            merge_alert_payloads([{"alerts": []}], sources=["a", "b"])
+
+
+class TestSkewAlertLifecycle:
+    """The acceptance scenario: skewed stream -> pending -> firing -> resolved.
+
+    A real sharded engine feeds the per-shard counters; the rule reads
+    the monitor-derived skew ratio (monitors run before resolution, so
+    the value is current for the same evaluation pass).
+    """
+
+    def test_pending_firing_resolved_over_adversarial_stream(self):
+        obs.reset()
+        clock = FakeClock()
+        registry = obs.get_registry()
+        monitor = ShardSkewMonitor(
+            1.5, min_window=100, num_shards=2, registry=registry
+        )
+        engine = AlertEngine(
+            [
+                ThresholdRule(
+                    "shard-skew",
+                    SHARD_SKEW_METRIC,
+                    1.5,
+                    for_seconds=30.0,
+                    severity="critical",
+                )
+            ],
+            monitors=[monitor],
+            clock=clock,
+            registry=registry,
+        )
+        with ShardedStreamEngine(
+            count_min_factory, 2, chunk_size=4096, backend="serial"
+        ) as sharded:
+            partitioner = sharded.algorithm.partitioner
+            all_items = np.arange(UNIVERSE, dtype=np.int64)
+            shard0_items = all_items[
+                partitioner.assign_array(all_items) == 0
+            ]
+            deltas = np.ones(4096, dtype=np.int64)
+
+            # Baseline: a balanced prefix.
+            rng = np.random.default_rng(0)
+            balanced = rng.choice(all_items, size=4096).astype(np.int64)
+            sharded.drive_arrays(balanced, deltas)
+            (state,) = engine.evaluate(sharded.metrics_snapshot())
+            assert state["state"] == "inactive"
+
+            # The adversary aims its whole stream at shard 0.
+            skewed = rng.choice(shard0_items, size=4096).astype(np.int64)
+            sharded.drive_arrays(skewed, deltas)
+            clock.advance(10.0)
+            (state,) = engine.evaluate(sharded.metrics_snapshot())
+            assert state["state"] == "pending"
+            assert state["value"] == pytest.approx(2.0)
+
+            # Still skewed past the hold duration: the page fires.
+            sharded.drive_arrays(skewed, deltas)
+            clock.advance(31.0)
+            (state,) = engine.evaluate(sharded.metrics_snapshot())
+            assert state["state"] == "firing"
+
+            # The attack ends; a balanced tail resolves the alert.
+            sharded.drive_arrays(balanced, deltas)
+            clock.advance(10.0)
+            (state,) = engine.evaluate(sharded.metrics_snapshot())
+            assert state["state"] == "resolved"
+            assert state["value"] < 1.5
+        payload = engine.payload()
+        assert payload["firing"] == 0
+        assert payload["evaluated_at"] == clock.now
+        obs.reset()

@@ -14,7 +14,11 @@ update frames -- then merges the results into the ``service_path`` key of
   aggregate rate must clear ``TARGET_UPS`` (1M updates/sec) and the
   server-side merged estimates must come back bit/float-identical to a
   serial ``StreamEngine`` run over the same stream before the row is
-  recorded (``verified: true``).
+  recorded (``verified: true``);
+* ``fault_recovery`` -- the single-client process feed re-run with one
+  shard worker SIGKILLed halfway through the stream: the supervisor
+  respawns it and replays its journal while the client keeps streaming,
+  and the row records the throughput cost against the fault-free run.
 
 Every row's exactness check compares the full wire path -- client frame
 encode, server decode, partition/scatter into the fleet, snapshot
@@ -164,6 +168,64 @@ def measure_swarm(
     }
 
 
+def measure_fault_recovery(
+    factory, num_shards: int, items, deltas, reference, probe, fault_free: dict
+) -> dict:
+    """One client vs a supervised process fleet with a SIGKILL mid-stream.
+
+    Halfway through the feed a shard worker is killed outright; the
+    supervisor respawns it and replays its journal while the client keeps
+    streaming.  The row records the throughput cost of that recovery
+    against the fault-free ``single_client`` process row -- and, like
+    every other row, it only lands after the merged wire-path state
+    checks out byte-identical to the serial engine, so "recovered" means
+    *exactly* recovered, not approximately.
+    """
+    from repro.testing.faults import kill_worker
+
+    server = SketchServer(
+        factory,
+        num_shards=num_shards,
+        backend="process",
+        chunk_size=FEED_CHUNK,
+        snapshot_every=8,
+    )
+    chunk_starts = list(range(0, len(items), FEED_CHUNK))
+    kill_at = max(1, len(chunk_starts) // 2)
+
+    def chunks():
+        for index, i in enumerate(chunk_starts):
+            if index == kill_at:
+                kill_worker(server, kill_at % num_shards)
+            yield items[i : i + FEED_CHUNK], deltas[i : i + FEED_CHUNK]
+
+    with server.run_in_thread() as srv:
+        with SketchClient.connect("127.0.0.1", srv.port) as client:
+            start = time.perf_counter()
+            ack = client.feed_chunks(chunks())
+            seconds = time.perf_counter() - start
+            assert ack["position"] == len(items)
+            _verify(client, reference, probe)
+        health = server.engine.algorithm.health()
+    if health["restarts"] < 1:
+        raise AssertionError("fault_recovery row ran without a worker restart")
+    if not health["ok"]:
+        raise AssertionError("fleet unhealthy after recovery")
+    ups = len(items) / seconds
+    return {
+        "mode": "fault_recovery",
+        "backend": "process",
+        "shards": num_shards,
+        "updates": len(items),
+        "worker_kills": health["restarts"],
+        "seconds": round(seconds, 4),
+        "ups": round(ups),
+        "fault_free_ups": fault_free["ups"],
+        "recovery_cost_pct": round(100.0 * (1.0 - ups / fault_free["ups"]), 2),
+        "verified": True,
+    }
+
+
 def main() -> None:
     quick = "--quick" in sys.argv
     num_clients = 4
@@ -193,6 +255,11 @@ def main() -> None:
         measure_swarm(factory, num_clients, 2, items, deltas, reference, probe),
     ]
     swarm = results[-1]
+    results.append(
+        measure_fault_recovery(
+            factory, 2, items, deltas, reference, probe, results[1]
+        )
+    )
 
     payload = {
         "benchmark": (
@@ -212,7 +279,10 @@ def main() -> None:
             "the local single-engine truth before its timing is recorded; "
             "the client_swarm row is the acceptance row -- concurrent "
             "clients against a process-backend fleet must clear target_ups "
-            "aggregate"
+            "aggregate; the fault_recovery row re-runs the single-client "
+            "process feed with a worker SIGKILLed mid-stream (supervised "
+            "respawn + journal replay) and records the throughput cost vs "
+            "the fault-free run, digest equality still enforced"
         ),
         "results": results,
     }

@@ -34,11 +34,13 @@ The surface, by layer::
     state       snapshot_sketch, restore_sketch,
                 construction_fingerprint, SnapshotError,
                 FingerprintMismatch, save_checkpoint, load_checkpoint,
-                resume_from, tail_chunks, CheckpointWriter,
-                verify_checkpoint_resume
+                load_latest_checkpoint, resume_from, tail_chunks,
+                CheckpointWriter, verify_checkpoint_resume
     service     SketchServer, SketchClient, AsyncSketchClient,
                 SketchCoordinator, ServiceError, ProtocolError,
                 PROTOCOL_VERSION
+    faults      RetryPolicy, ServerBusy, SequenceGap, FaultPlan,
+                ChaosProxy, default_fault_rules
     telemetry   MetricsRegistry, get_registry, merge_snapshots,
                 render_prometheus, get_tracer, obs_timer,
                 EstimateDriftMonitor, InteractionBudgetMonitor,
@@ -68,6 +70,7 @@ from repro.core.stream import Update
 from repro.distributed.checkpoint import (
     CheckpointWriter,
     load_checkpoint,
+    load_latest_checkpoint,
     resume_from,
     save_checkpoint,
     tail_chunks,
@@ -91,6 +94,7 @@ from repro.obs import (
     RateRule,
     ShardSkewMonitor,
     ThresholdRule,
+    default_fault_rules,
     export_otlp,
     get_registry,
     get_tracer,
@@ -112,11 +116,15 @@ from repro.service import (
     PROTOCOL_VERSION,
     AsyncSketchClient,
     ProtocolError,
+    RetryPolicy,
+    SequenceGap,
+    ServerBusy,
     ServiceError,
     SketchClient,
     SketchCoordinator,
     SketchServer,
 )
+from repro.testing.faults import ChaosProxy, FaultEvent, FaultPlan
 
 #: Major version of this surface.  Additions bump nothing; a removal or
 #: an incompatible signature change bumps the major and keeps the old
@@ -129,9 +137,12 @@ __all__ = [
     "Alarm",
     "AlertEngine",
     "AsyncSketchClient",
+    "ChaosProxy",
     "CheckpointWriter",
     "DEFAULT_CHUNK_SIZE",
     "EstimateDriftMonitor",
+    "FaultEvent",
+    "FaultPlan",
     "FingerprintMismatch",
     "GameResult",
     "IngestStats",
@@ -142,7 +153,10 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RateRule",
+    "RetryPolicy",
+    "SequenceGap",
     "SerializableSketch",
+    "ServerBusy",
     "ServiceError",
     "ShardSkewMonitor",
     "ShardedAlgorithm",
@@ -162,12 +176,14 @@ __all__ = [
     "chunk_arrays",
     "chunk_updates",
     "construction_fingerprint",
+    "default_fault_rules",
     "export_otlp",
     "get_registry",
     "get_tracer",
     "ingest",
     "ingest_async",
     "load_checkpoint",
+    "load_latest_checkpoint",
     "merge_alert_payloads",
     "merge_snapshots",
     "obs_timer",

@@ -43,7 +43,9 @@ from repro.distributed.codec import SnapshotError, decode_value, encode_value
 __all__ = [
     "Checkpoint",
     "CheckpointWriter",
+    "checkpoint_candidates",
     "load_checkpoint",
+    "load_latest_checkpoint",
     "resume_from",
     "save_checkpoint",
     "tail_chunks",
@@ -83,15 +85,60 @@ def _algorithm_restore(algorithm, data: bytes) -> None:
         algorithm.restore(data)
 
 
-def save_checkpoint(path, algorithm, position: int, meta: dict | None = None) -> Path:
+def _rotate_checkpoints(path: Path, keep: int) -> None:
+    """Shift ``path`` -> ``path.1`` -> ... -> ``path.keep`` (oldest drops).
+
+    Runs *before* the new head is renamed into place, so after every save
+    the newest ``keep`` predecessors survive as numbered siblings -- the
+    fallback chain :func:`load_latest_checkpoint` walks when the head is
+    torn or corrupt.
+    """
+    oldest = path.with_name(f"{path.name}.{keep}")
+    if oldest.exists():
+        oldest.unlink()
+    for index in range(keep - 1, 0, -1):
+        older = path.with_name(f"{path.name}.{index}")
+        if older.exists():
+            os.replace(older, path.with_name(f"{path.name}.{index + 1}"))
+    if path.exists():
+        os.replace(path, path.with_name(f"{path.name}.1"))
+
+
+def checkpoint_candidates(path) -> list[Path]:
+    """The head checkpoint plus its rotated predecessors, newest first."""
+    path = Path(path)
+    candidates = [path] if path.exists() else []
+    index = 1
+    while True:
+        rotated = path.with_name(f"{path.name}.{index}")
+        if not rotated.exists():
+            break
+        candidates.append(rotated)
+        index += 1
+    return candidates
+
+
+def save_checkpoint(
+    path,
+    algorithm,
+    position: int,
+    meta: dict | None = None,
+    *,
+    keep: int = 0,
+) -> Path:
     """Snapshot ``algorithm`` at stream position ``position`` to ``path``.
 
     Atomic: a torn write can never shadow a previous good checkpoint --
-    the bytes land in a temp sibling first and are renamed into place.
-    Returns the path.
+    the bytes land in a temp sibling first, are fsync'd, and renamed
+    into place (with the containing directory fsync'd after).  With
+    ``keep=N`` the previous head survives as ``path.1`` (and so on up to
+    ``path.N``) so a later corruption of the head still leaves verified
+    ancestors to fall back to.  Returns the path.
     """
     if position < 0:
         raise ValueError(f"position must be non-negative, got {position}")
+    if keep < 0:
+        raise ValueError(f"keep must be non-negative, got {keep}")
     path = Path(path)
     body = encode_value(
         {
@@ -109,6 +156,8 @@ def save_checkpoint(path, algorithm, position: int, meta: dict | None = None) ->
         # crash can make the rename stick while the blocks are still
         # unwritten, replacing the previous good checkpoint with garbage.
         os.fsync(handle.fileno())
+    if keep > 0:
+        _rotate_checkpoints(path, keep)
     os.replace(temp, path)
     try:
         directory = os.open(path.parent, os.O_RDONLY)
@@ -153,15 +202,48 @@ def load_checkpoint(path) -> Checkpoint:
     )
 
 
-def resume_from(path, algorithm) -> int:
+def load_latest_checkpoint(path) -> tuple[Checkpoint, Path]:
+    """The newest *verifiable* checkpoint among head + rotated siblings.
+
+    Walks :func:`checkpoint_candidates` newest-first, skipping files
+    whose magic/digest/body checks fail (a torn head write, a truncated
+    rotation) and returning the first one that verifies, with its path.
+    Raises :class:`SnapshotError` carrying every candidate's failure when
+    none survives -- silent resurrection of garbage is exactly what the
+    digest exists to prevent.
+    """
+    candidates = checkpoint_candidates(path)
+    if not candidates:
+        raise SnapshotError(f"{path}: no checkpoint file (or rotated sibling)")
+    failures = []
+    for candidate in candidates:
+        try:
+            return load_checkpoint(candidate), candidate
+        except (SnapshotError, OSError) as exc:
+            failures.append(f"{candidate.name}: {exc}")
+    raise SnapshotError(
+        f"{path}: no verifiable checkpoint among {len(candidates)} "
+        "candidate(s) -- " + "; ".join(failures)
+    )
+
+
+def resume_from(path, algorithm, *, fallback: bool = False) -> int:
     """Restore ``algorithm`` from a checkpoint; return the stream position.
 
     The caller replays the stream's tail from that position (e.g. via
     :func:`tail_chunks`).  Fingerprint verification happens inside
     ``restore``: resuming with the wrong seed or parameters raises
     :class:`~repro.distributed.codec.FingerprintMismatch`.
+
+    ``fallback=True`` resumes from the newest *verifiable* checkpoint
+    (see :func:`load_latest_checkpoint`) instead of failing outright on
+    a truncated or corrupt head file -- replaying a slightly longer tail
+    beats replaying the whole stream.
     """
-    checkpoint = load_checkpoint(path)
+    if fallback:
+        checkpoint, _ = load_latest_checkpoint(path)
+    else:
+        checkpoint = load_checkpoint(path)
     _algorithm_restore(algorithm, checkpoint.snapshot)
     return checkpoint.position
 
@@ -173,6 +255,8 @@ class CheckpointWriter:
     usable standalone around any drive loop.  ``maybe(position)`` saves
     when at least ``every`` updates passed since the last save;
     ``flush(position)`` saves unconditionally (end of stream).
+    ``keep=N`` retains the N previous checkpoints as rotated numbered
+    siblings (the durability fallback chain).
     """
 
     def __init__(
@@ -181,13 +265,18 @@ class CheckpointWriter:
         algorithm,
         every: int = DEFAULT_CHECKPOINT_EVERY,
         meta: dict | None = None,
+        *,
+        keep: int = 0,
     ) -> None:
         if every <= 0:
             raise ValueError(f"every must be positive, got {every}")
+        if keep < 0:
+            raise ValueError(f"keep must be non-negative, got {keep}")
         self.path = Path(path)
         self.algorithm = algorithm
         self.every = every
         self.meta = dict(meta or {})
+        self.keep = keep
         self.last_position = 0
         self.saves = 0
 
@@ -200,7 +289,9 @@ class CheckpointWriter:
 
     def flush(self, position: int) -> None:
         """Checkpoint unconditionally at ``position``."""
-        save_checkpoint(self.path, self.algorithm, position, meta=self.meta)
+        save_checkpoint(
+            self.path, self.algorithm, position, meta=self.meta, keep=self.keep
+        )
         self.last_position = position
         self.saves += 1
 

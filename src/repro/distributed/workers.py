@@ -37,6 +37,23 @@ its already-constructed replica (factories never need to be picklable,
 matching the thread backend's contract).  On platforms without ``fork``
 the pool raises -- callers keep the thread backend there.
 
+**Supervision.**  With ``supervise=True`` the pool heals worker *deaths*
+(SIGKILL, OOM, a crashed interpreter -- anything that closes the pipe or
+flips ``is_alive()``) instead of failing the run.  Recovery is built on
+the same state protocol as fan-in: each shard keeps a **baseline** (the
+replica's wire-format snapshot, refreshed every ``snapshot_every``
+chunks and for free on every ``snapshots()`` fan-in) plus a **journal**
+of the feeds dispatched since that baseline.  A death detected at any
+synchronization point forks a fresh worker from the untouched parent
+template, restores the baseline, and replays the journal synchronously
+-- the rebuilt replica is bit-exact, so the merged result is identical
+to a fault-free run.  Respawns are counted (``restarts`` per shard and
+the ``repro_worker_restarts_total`` counter) and ``recovering()`` is
+visible pipe-free so readiness probes flip during the rebuild.  Only
+transport-level deaths are supervised: a worker that *reports* an error
+(a sketch rejecting an update) still fails the run -- replaying the same
+bad update would crash-loop the shard forever.
+
 Exactness: every replica still sees exactly the sub-stream of its items
 in stream order (one pipe per worker, drained in FIFO order; a block is
 never overwritten while its feed is unacknowledged), and the merge
@@ -61,12 +78,13 @@ from repro.obs import (
     PHASE_SECONDS_HELP,
     PHASE_SECONDS_METRIC,
     TIME_BUCKETS,
+    WORKER_RESTARTS_METRIC,
     get_registry as _get_obs_registry,
     get_tracer as _get_obs_tracer,
     reset as _obs_reset,
 )
 
-__all__ = ["ProcessShardPool"]
+__all__ = ["ProcessShardPool", "WorkerDied"]
 
 _obs_registry = _get_obs_registry()
 _obs_tracer = _get_obs_tracer()
@@ -78,6 +96,10 @@ _obs_remaps = _obs_registry.counter(
     "repro_pool_remaps_total",
     "Shared-memory capacity growths (block remaps) in process pools",
 )
+_obs_restarts = _obs_registry.counter(
+    WORKER_RESTARTS_METRIC,
+    "Supervised shard-worker respawns (baseline restore + journal replay)",
+)
 _obs_phase_seconds = _obs_registry.histogram(
     PHASE_SECONDS_METRIC, PHASE_SECONDS_HELP, buckets=TIME_BUCKETS
 )
@@ -87,6 +109,20 @@ DEFAULT_BUFFER_CAPACITY = 1 << 14
 
 #: Blocks (and therefore feeds in flight) per worker.
 _BUFFERS_PER_SHARD = 2
+
+#: Default per-shard baseline snapshot cadence under supervision: a new
+#: baseline every this many journaled feeds bounds replay work (and
+#: journal memory) without snapshotting every chunk.
+DEFAULT_SNAPSHOT_EVERY = 32
+
+
+class WorkerDied(RuntimeError):
+    """A shard worker's transport died (pipe EOF / broken pipe / SIGKILL).
+
+    Distinct from a worker-*reported* error (which stays a plain
+    :class:`RuntimeError`): only transport deaths are safe to heal by
+    respawn-and-replay -- a reported sketch error would recur on replay.
+    """
 
 
 def _shard_worker(
@@ -171,7 +207,7 @@ def _shard_worker(
             except Exception as exc:
                 connection.send(("error", f"{type(exc).__name__}: {exc}"))
                 raise
-    except (EOFError, KeyboardInterrupt):  # parent died; exit quietly
+    except (EOFError, OSError, KeyboardInterrupt):  # parent died; exit quietly
         pass
     finally:
         for shm in shms:
@@ -192,18 +228,34 @@ class ProcessShardPool:
         Initial per-block shared-memory capacity in updates; both of a
         worker's blocks grow automatically when a scatter part exceeds
         them.
+    supervise:
+        Heal worker *deaths* (pipe EOF, ``is_alive()`` false) by
+        respawning from the parent template, restoring the last baseline
+        snapshot, and replaying the journal of feeds since -- bit-exact.
+        Worker-reported errors still fail the run (replay would recur).
+    snapshot_every:
+        Baseline snapshot cadence under supervision, in journaled feeds
+        per shard: smaller = cheaper replay after a death, larger =
+        fewer snapshot round-trips during healthy runs.
     """
 
     def __init__(
         self,
         shards: Sequence[StreamAlgorithm],
         buffer_capacity: int = DEFAULT_BUFFER_CAPACITY,
+        *,
+        supervise: bool = False,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     ) -> None:
         if not shards:
             raise ValueError("ProcessShardPool needs at least one shard")
         if buffer_capacity <= 0:
             raise ValueError(
                 f"buffer_capacity must be positive, got {buffer_capacity}"
+            )
+        if snapshot_every <= 0:
+            raise ValueError(
+                f"snapshot_every must be positive, got {snapshot_every}"
             )
         if not isinstance(shards[0], SerializableSketch):
             raise TypeError(
@@ -216,8 +268,18 @@ class ProcessShardPool:
                 "factories need not be picklable); use backend='thread' on "
                 "this platform"
             )
-        context = multiprocessing.get_context("fork")
+        self._context = multiprocessing.get_context("fork")
         self.num_shards = len(shards)
+        self.supervise = bool(supervise)
+        self.snapshot_every = snapshot_every
+        #: Completed respawns per shard (functional accounting: always
+        #: counts, unlike the kill-switchable registry counter).
+        self.restarts = [0] * self.num_shards
+        self._recovering = [False] * self.num_shards
+        #: The untouched replicas: respawn templates and fan-in scaffolding.
+        self._templates = list(shards)
+        self._baselines: list[Optional[bytes]] = [None] * self.num_shards
+        self._journals: list[list[tuple]] = [[] for _ in range(self.num_shards)]
         self._capacities = [buffer_capacity] * self.num_shards
         self._blocks: list[list[shared_memory.SharedMemory]] = []
         self._connections = []
@@ -227,27 +289,37 @@ class ProcessShardPool:
         self._next_buf = [0] * self.num_shards
         self._closed = False
         try:
-            for shard in shards:
-                pair = self._create_block_pair(buffer_capacity)
-                self._blocks.append(pair)
-                parent_end, worker_end = context.Pipe()
-                process = context.Process(
-                    target=_shard_worker,
-                    args=(
-                        worker_end,
-                        [block.name for block in pair],
-                        buffer_capacity,
-                        shard,
-                    ),
-                    daemon=True,
-                )
-                process.start()
-                worker_end.close()
-                self._connections.append(parent_end)
+            for shard in range(self.num_shards):
+                self._blocks.append(self._create_block_pair(buffer_capacity))
+                connection, process = self._start_process(shard)
+                self._connections.append(connection)
                 self._processes.append(process)
+            if self.supervise:
+                # Workers inherit their replicas at fork, so the template
+                # snapshot *is* each worker's initial state.
+                self._baselines = [
+                    template.snapshot() for template in self._templates
+                ]
         except BaseException:
             self.close()
             raise
+
+    def _start_process(self, shard: int):
+        """Fork one worker for ``shard`` against its current blocks."""
+        parent_end, worker_end = self._context.Pipe()
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(
+                worker_end,
+                [block.name for block in self._blocks[shard]],
+                self._capacities[shard],
+                self._templates[shard],
+            ),
+            daemon=True,
+        )
+        process.start()
+        worker_end.close()
+        return parent_end, process
 
     @staticmethod
     def _create_block_pair(capacity: int) -> list[shared_memory.SharedMemory]:
@@ -273,9 +345,20 @@ class ProcessShardPool:
         try:
             reply = self._connections[shard].recv()
         except EOFError:
-            raise RuntimeError(
+            raise WorkerDied(
                 f"shard worker {shard} died (pipe closed); state is lost -- "
                 "resume from the last checkpoint"
+            ) from None
+        except OSError as exc:
+            # A worker SIGKILLed with unread data still queued on its end
+            # of the pipe surfaces as ECONNRESET, not a clean EOF.  It is
+            # the same death either way; normalizing here keeps every
+            # recovery path (drain, scatter, sync round-trips) on the one
+            # WorkerDied contract instead of leaking a raw transport
+            # error past the ack accounting.
+            raise WorkerDied(
+                f"shard worker {shard} died mid-reply ({exc}); state is "
+                "lost -- resume from the last checkpoint"
             ) from None
         if reply[0] == "error":
             raise RuntimeError(
@@ -289,6 +372,137 @@ class ProcessShardPool:
             )
         return reply
 
+    # -- supervision -------------------------------------------------------
+
+    def _recover_or_raise(self, shard: int, exc: Exception) -> None:
+        """Respawn ``shard`` after a transport death, or re-raise.
+
+        ``OSError`` (a send into a dead worker's pipe) is normalized to
+        :class:`WorkerDied` first.  Unsupervised pools, pools mid-close,
+        and deaths *during* a recovery replay all propagate -- the last
+        guard is what keeps a crash-looping worker from recursing.
+        """
+        if isinstance(exc, OSError):
+            exc = WorkerDied(f"shard worker {shard} died ({exc})")
+        if (
+            not self.supervise
+            or self._closed
+            or self._recovering[shard]
+            or self._baselines[shard] is None
+        ):
+            raise exc
+        self._recover(shard, exc)
+
+    def _recover(self, shard: int, cause: Exception) -> None:
+        """Respawn one dead worker and rebuild its replica bit-exactly.
+
+        Fork a fresh worker from the untouched parent template (same
+        shared blocks -- the dead process can no longer write them),
+        restore the last baseline snapshot, then replay the journal of
+        feeds dispatched since that baseline, synchronously and in
+        order.  Construction-state fingerprints make the restore exact;
+        in-order replay makes the replica state exact.  A second death
+        during the replay propagates (no nested recovery).
+        """
+        observing = _obs_registry.enabled
+        started = time.perf_counter() if observing else 0.0
+        self._recovering[shard] = True
+        try:
+            try:
+                self._connections[shard].close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            process = self._processes[shard]
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - hung, not dead
+                process.terminate()
+                process.join(timeout=5)
+            self._outstanding[shard] = 0
+            self._next_buf[shard] = 0
+            connection, process = self._start_process(shard)
+            self._connections[shard] = connection
+            self._processes[shard] = process
+            connection.send(("restore", self._baselines[shard]))
+            self._expect(shard, "ok")
+            for entry in self._journals[shard]:
+                if entry[0] == "arrays":
+                    self._feed_block_sync(shard, entry[1], entry[2])
+                else:
+                    connection.send(("feed_obj", entry[1]))
+                    self._expect(shard, "ok")
+            self.restarts[shard] += 1
+            if observing:
+                _obs_restarts.add(1, shard=str(shard))
+                duration = time.perf_counter() - started
+                _obs_phase_seconds.observe(duration, phase="pool.recover")
+                _obs_tracer.record(
+                    "pool.recover",
+                    started,
+                    duration,
+                    shard=shard,
+                    replayed=len(self._journals[shard]),
+                )
+        finally:
+            self._recovering[shard] = False
+
+    def _feed_block_sync(self, shard: int, items, deltas) -> None:
+        """One synchronous block feed (recovery replay path).
+
+        Capacity never shrinks and every journaled part passed
+        ``_ensure_capacity`` when first dispatched, so replayed parts
+        always fit the current blocks.
+        """
+        count = len(items)
+        buf = self._next_buf[shard]
+        block = np.ndarray(
+            (2, self._capacities[shard]),
+            dtype=np.int64,
+            buffer=self._blocks[shard][buf].buf,
+        )
+        block[0, :count] = items
+        block[1, :count] = deltas
+        self._connections[shard].send(("feed", count, buf))
+        self._expect(shard, "ok")
+        self._next_buf[shard] = buf ^ 1
+
+    def _journal_feed(self, shard: int, entry: tuple) -> None:
+        """Record one dispatched feed; refresh the baseline when due.
+
+        The refresh happens *before* the entry is journaled: a baseline
+        snapshot only covers feeds already acknowledged, so the entry
+        about to be dispatched must stay in the (fresh) journal.
+        """
+        if len(self._journals[shard]) >= self.snapshot_every:
+            self._refresh_baseline(shard)
+        self._journals[shard].append(entry)
+
+    def _refresh_baseline(self, shard: int) -> None:
+        """Re-snapshot one shard and clear its journal (cadence point)."""
+        failure = self._drain_shard(shard)
+        if failure is not None:
+            raise failure
+        reply = self._sync_request(shard, ("snapshot",), "snap")
+        self._baselines[shard] = reply[1]
+        self._journals[shard].clear()
+
+    def _sync_request(self, shard: int, message: tuple, verb: str):
+        """One synchronous round-trip, respawning once on a dead worker."""
+        try:
+            self._connections[shard].send(message)
+            return self._expect(shard, verb)
+        except (WorkerDied, OSError) as exc:
+            self._recover_or_raise(shard, exc)
+            self._connections[shard].send(message)
+            return self._expect(shard, verb)
+
+    def recovering(self) -> bool:
+        """Whether any shard is mid-respawn (pipe-free; probe-safe)."""
+        return any(self._recovering)
+
+    def worker_pids(self) -> list[Optional[int]]:
+        """Per-worker process ids (fault injection targets them directly)."""
+        return [process.pid for process in self._processes]
+
     def _drain_shard(self, shard: int) -> Optional[Exception]:
         """Drain every outstanding feed ack of one shard.
 
@@ -296,13 +510,23 @@ class ProcessShardPool:
         draining the *other* shards first: leaving a queued ``("ok",)``
         unread would let a later command's ack check return stale before
         its worker copied a chunk out of shared memory -- silent
-        divergence.  After a failure the shard's pipe is dead; its
-        outstanding count is zeroed so cleanup can proceed.
+        divergence.  Under supervision a transport death recovers in
+        place (respawn + replay) and counts as success; worker-reported
+        errors still fail.  After an unrecovered failure the shard's
+        pipe is dead; its outstanding count is zeroed so cleanup can
+        proceed.
         """
         try:
             while self._outstanding[shard] > 0:
                 self._outstanding[shard] -= 1
                 self._expect(shard, "ok")
+        except WorkerDied as exc:
+            self._outstanding[shard] = 0
+            try:
+                self._recover_or_raise(shard, exc)
+            except RuntimeError as failure:
+                return failure
+            return None
         except RuntimeError as exc:
             self._outstanding[shard] = 0
             return exc
@@ -347,6 +571,15 @@ class ProcessShardPool:
                 ("remap", [block.name for block in grown], capacity)
             )
             self._expect(shard, "ok")
+        except (WorkerDied, OSError) as exc:
+            # Reclaim the untracked segments, heal the worker (it comes
+            # back on the *old* blocks), then redo the whole growth.
+            for block in grown:
+                block.close()
+                block.unlink()
+            self._recover_or_raise(shard, exc)
+            self._ensure_capacity(shard, count)
+            return
         except BaseException:
             # Not yet tracked in self._blocks -- reclaim the segments
             # here or they leak for the process lifetime.
@@ -387,20 +620,37 @@ class ProcessShardPool:
             # the outstanding counts low and surfaces worker failures as
             # early as the pipe delivers them, without ever blocking.
             for shard in range(self.num_shards):
-                while self._outstanding[shard] and self._connections[shard].poll(0):
-                    self._outstanding[shard] -= 1
-                    self._expect(shard, "ok")
+                try:
+                    while self._outstanding[shard] and self._connections[shard].poll(0):
+                        self._outstanding[shard] -= 1
+                        self._expect(shard, "ok")
+                except WorkerDied as exc:
+                    self._outstanding[shard] = 0
+                    self._recover_or_raise(shard, exc)
             for shard, part in enumerate(parts):
                 if part is None:
                     continue
                 items, deltas = part
                 count = len(items)
                 self._ensure_capacity(shard, count)
+                if self.supervise:
+                    # Journal before any transport: a death at any later
+                    # point replays this part along with the rest, so the
+                    # recovery paths below can simply skip the dispatch.
+                    self._journal_feed(shard, ("arrays", items, deltas))
                 if self._outstanding[shard] >= _BUFFERS_PER_SHARD:
                     wait_started = time.perf_counter() if observing else 0.0
-                    while self._outstanding[shard] >= _BUFFERS_PER_SHARD:
-                        self._outstanding[shard] -= 1
-                        self._expect(shard, "ok")
+                    try:
+                        while self._outstanding[shard] >= _BUFFERS_PER_SHARD:
+                            self._outstanding[shard] -= 1
+                            self._expect(shard, "ok")
+                    except WorkerDied as exc:
+                        self._outstanding[shard] = 0
+                        self._recover_or_raise(shard, exc)
+                        if observing:
+                            ack_wait += time.perf_counter() - wait_started
+                        fed += 1
+                        continue  # the replay already delivered this part
                     if observing:
                         ack_wait += time.perf_counter() - wait_started
                 buf = self._next_buf[shard]
@@ -411,7 +661,12 @@ class ProcessShardPool:
                 )
                 block[0, :count] = items
                 block[1, :count] = deltas
-                self._connections[shard].send(("feed", count, buf))
+                try:
+                    self._connections[shard].send(("feed", count, buf))
+                except OSError as exc:
+                    self._recover_or_raise(shard, exc)
+                    fed += 1
+                    continue  # the replay already delivered this part
                 self._outstanding[shard] += 1
                 self._next_buf[shard] = buf ^ 1
                 fed += 1
@@ -457,36 +712,81 @@ class ProcessShardPool:
         failure = self._drain_shard(shard)
         if failure is not None:
             raise failure
+        if self.supervise:
+            self._journal_feed(shard, ("pairs", list(pairs)))
+            try:
+                self._connections[shard].send(("feed_obj", pairs))
+                self._expect(shard, "ok")
+            except (WorkerDied, OSError) as exc:
+                # The replay already delivered the journaled pairs.
+                self._recover_or_raise(shard, exc)
+            return
         self._connections[shard].send(("feed_obj", pairs))
         self._expect(shard, "ok")
 
     # -- fan-in ------------------------------------------------------------
 
+    def _broadcast(self, message: tuple, verb: str) -> list[tuple]:
+        """Concurrent fan-in round-trip with per-shard death recovery.
+
+        Sends to every worker first (the round-trips overlap), then
+        collects in shard order; a dead worker heals in place and its
+        request is retried on the fresh process.
+        """
+        pending: list[Optional[Exception]] = []
+        for shard in range(self.num_shards):
+            try:
+                self._connections[shard].send(message)
+                pending.append(None)
+            except OSError as exc:
+                pending.append(exc)
+        results = []
+        for shard in range(self.num_shards):
+            failure = pending[shard]
+            if failure is None:
+                try:
+                    results.append(self._expect(shard, verb))
+                    continue
+                except WorkerDied as exc:
+                    failure = exc
+            self._recover_or_raise(shard, failure)
+            self._connections[shard].send(message)
+            results.append(self._expect(shard, verb))
+        return results
+
     def snapshots(self) -> list[bytes]:
         """Wire-format snapshots of every replica (concurrent round-trip).
 
         Flushes the scatter pipeline first: snapshots always observe a
-        chunk-boundary state, identical to the serial backend's.
+        chunk-boundary state, identical to the serial backend's.  Under
+        supervision this is also a free baseline refresh: the collected
+        snapshots *are* the new baselines, and the journals clear.
         """
         self.flush()
-        for connection in self._connections:
-            connection.send(("snapshot",))
-        return [self._expect(shard, "snap")[1] for shard in range(self.num_shards)]
+        data = [reply[1] for reply in self._broadcast(("snapshot",), "snap")]
+        if self.supervise:
+            for shard, snap in enumerate(data):
+                self._baselines[shard] = snap
+                self._journals[shard].clear()
+        return data
 
     def restore(self, shard: int, data: bytes) -> None:
         """Replace one worker's replica state from snapshot bytes."""
         failure = self._drain_shard(shard)
         if failure is not None:
             raise failure
+        if self.supervise:
+            self._sync_request(shard, ("restore", data), "ok")
+            self._baselines[shard] = data
+            self._journals[shard].clear()
+            return
         self._connections[shard].send(("restore", data))
         self._expect(shard, "ok")
 
     def shard_loads(self) -> list[int]:
         """Updates processed by each worker's replica."""
         self.flush()
-        for connection in self._connections:
-            connection.send(("load",))
-        return [self._expect(shard, "load")[1] for shard in range(self.num_shards)]
+        return [reply[1] for reply in self._broadcast(("load",), "load")]
 
     def workers_alive(self) -> list[bool]:
         """Per-worker process liveness, pipe-free.
@@ -507,11 +807,12 @@ class ProcessShardPool:
         fork-inherited registries at start, so parent and worker
         snapshots partition the work -- merging the parent's snapshot
         with these is bit-identical to the serial backend's registry.
+        (Caveat: a respawned worker re-counts its replayed feeds and the
+        dead worker's registry is gone, so telemetry equality only holds
+        for fault-free runs -- sketch state stays exact regardless.)
         """
         self.flush()
-        for connection in self._connections:
-            connection.send(("obs",))
-        return [self._expect(shard, "obs")[1] for shard in range(self.num_shards)]
+        return [reply[1] for reply in self._broadcast(("obs",), "obs")]
 
     # -- lifecycle ---------------------------------------------------------
 

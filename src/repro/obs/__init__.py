@@ -43,11 +43,15 @@ import time
 from typing import Optional
 
 from repro.obs.alerts import (
+    CLIENT_RETRIES_METRIC,
+    DEGRADED_READS_METRIC,
+    WORKER_RESTARTS_METRIC,
     AbsenceRule,
     AlertEngine,
     AlertState,
     RateRule,
     ThresholdRule,
+    default_fault_rules,
     merge_alert_payloads,
 )
 from repro.obs.expo import (
@@ -85,7 +89,9 @@ __all__ = [
     "Alarm",
     "AlertEngine",
     "AlertState",
+    "CLIENT_RETRIES_METRIC",
     "Counter",
+    "DEGRADED_READS_METRIC",
     "EXPOSITION_CONTENT_TYPE",
     "EstimateDriftMonitor",
     "Gauge",
@@ -103,8 +109,10 @@ __all__ = [
     "TIME_BUCKETS",
     "ThresholdRule",
     "Tracer",
+    "WORKER_RESTARTS_METRIC",
     "counter_total",
     "counter_value",
+    "default_fault_rules",
     "enabled",
     "env_enabled",
     "escape_label_value",

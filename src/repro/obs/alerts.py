@@ -40,13 +40,24 @@ __all__ = [
     "AbsenceRule",
     "AlertEngine",
     "AlertState",
+    "CLIENT_RETRIES_METRIC",
+    "DEGRADED_READS_METRIC",
     "RateRule",
     "ThresholdRule",
+    "WORKER_RESTARTS_METRIC",
+    "default_fault_rules",
     "merge_alert_payloads",
 ]
 
 #: Counter tracking every alert state transition.
 ALERT_TRANSITIONS_METRIC = "repro_alert_transitions_total"
+
+#: Fault-tolerance counters, named here (the lowest layer that both the
+#: producers -- the process pool, the service clients, the coordinator --
+#: and the default rules can import without a cycle).
+WORKER_RESTARTS_METRIC = "repro_worker_restarts_total"
+CLIENT_RETRIES_METRIC = "repro_client_retries_total"
+DEGRADED_READS_METRIC = "repro_coordinator_degraded_reads_total"
 
 #: Merge precedence (higher wins in the fleet fold).
 _STATE_RANK = {"inactive": 0, "resolved": 1, "pending": 2, "firing": 3}
@@ -335,3 +346,50 @@ def merge_alert_payloads(
         "firing": sum(1 for entry in alerts if entry["state"] == "firing"),
         "nodes": len(payloads),
     }
+
+
+def default_fault_rules(
+    *,
+    restart_rate: float = 0.05,
+    retry_rate: float = 1.0,
+    degraded_rate: float = 0.0,
+    for_seconds: float = 30.0,
+) -> list:
+    """The stock fault-tolerance rule set (attach to any AlertEngine).
+
+    All three are :class:`RateRule`\\ s over monotone counters: a restart
+    that happened an hour ago must not page forever, so the page tracks
+    the *rate* of new events between evaluations, not the lifetime total.
+
+    * ``worker-restart-storm`` -- supervised respawns are self-healing
+      one at a time, but a sustained restart rate means a worker is
+      crash-looping (critical);
+    * ``client-retry-storm`` -- client-side reconnect/backoff retries
+      above ``retry_rate``/s sustained for the hold window indicate a
+      flapping server or network (warning);
+    * ``degraded-reads`` -- any coordinator read served from a stale
+      cached snapshot fires immediately (``> 0`` rate, no hold): every
+      degraded answer is one an operator should know about.
+    """
+    return [
+        RateRule(
+            "worker-restart-storm",
+            WORKER_RESTARTS_METRIC,
+            restart_rate,
+            for_seconds=for_seconds,
+            severity="critical",
+        ),
+        RateRule(
+            "client-retry-storm",
+            CLIENT_RETRIES_METRIC,
+            retry_rate,
+            for_seconds=for_seconds,
+            severity="warning",
+        ),
+        RateRule(
+            "degraded-reads",
+            DEGRADED_READS_METRIC,
+            degraded_rate,
+            severity="warning",
+        ),
+    ]

@@ -544,6 +544,43 @@ def get_registry() -> MetricsRegistry:
     return _default_registry
 
 
+# -- fork safety -------------------------------------------------------------
+#
+# Supervised worker respawn forks *while the process is serving*: the
+# event-loop and gateway threads may hold the registry lock (stats bumps,
+# scrapes) at the exact fork instant, and a child that inherits a locked
+# lock deadlocks the moment its post-fork ``obs.reset()`` touches it.
+# Holding the lock across the fork (classic acquire-in-before, release-in
+# -both-halves) guarantees the child starts with a consistent, unlocked
+# registry.  Pool construction forks go through the same guard for free.
+
+_atfork_held: list = []
+
+
+def _atfork_acquire() -> None:
+    registry = _default_registry
+    if registry is not None:
+        registry._lock.acquire()
+        _atfork_held.append(registry._lock)
+
+
+def _atfork_release() -> None:
+    while _atfork_held:
+        lock = _atfork_held.pop()
+        try:
+            lock.release()
+        except RuntimeError:  # pragma: no cover - never held; be safe
+            pass
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(
+        before=_atfork_acquire,
+        after_in_parent=_atfork_release,
+        after_in_child=_atfork_release,
+    )
+
+
 class RegistryStatsBase:
     """Re-homes a stats dataclass surface onto registry instruments.
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 import contextvars
 import itertools
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -302,6 +303,37 @@ def export_otlp(tracer: Tracer, service_name: str = "repro") -> dict:
 
 _default_tracer: Optional[Tracer] = None
 _default_lock = threading.Lock()
+
+# Same fork discipline as the metrics registry (see
+# ``repro.obs.metrics``): supervised worker respawn forks mid-serving,
+# and a child inheriting a locked tracer ring deadlocks in its post-fork
+# ``obs.reset()``.  Hold the default tracer's lock across every fork.
+
+_atfork_held: list = []
+
+
+def _atfork_acquire() -> None:
+    tracer = _default_tracer
+    if tracer is not None:
+        tracer._lock.acquire()
+        _atfork_held.append(tracer._lock)
+
+
+def _atfork_release() -> None:
+    while _atfork_held:
+        lock = _atfork_held.pop()
+        try:
+            lock.release()
+        except RuntimeError:  # pragma: no cover - never held; be safe
+            pass
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(
+        before=_atfork_acquire,
+        after_in_parent=_atfork_release,
+        after_in_child=_atfork_release,
+    )
 
 
 def get_tracer() -> Tracer:

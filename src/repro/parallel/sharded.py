@@ -125,6 +125,13 @@ class ShardedAlgorithm(StreamAlgorithm):
     backend:
         ``"serial"`` (default), ``"thread"``, or ``"process"`` (see the
         module docstring).
+    supervise:
+        Process backend only: heal dead workers in place (respawn +
+        baseline restore + journal replay, bit-exact) instead of failing
+        the run.  See :class:`~repro.distributed.workers.ProcessShardPool`.
+    snapshot_every:
+        Per-shard baseline snapshot cadence (journaled feeds) under
+        supervision; ``None`` keeps the pool default.
     """
 
     def __init__(
@@ -134,6 +141,8 @@ class ShardedAlgorithm(StreamAlgorithm):
         partitioner: Optional[UniversePartitioner] = None,
         parallel: Optional[bool] = None,
         backend: Optional[str] = None,
+        supervise: bool = False,
+        snapshot_every: Optional[int] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -162,11 +171,22 @@ class ShardedAlgorithm(StreamAlgorithm):
             else None
         )
         if backend == "process":
-            from repro.distributed.workers import ProcessShardPool
+            from repro.distributed.workers import (
+                DEFAULT_SNAPSHOT_EVERY,
+                ProcessShardPool,
+            )
 
             # Workers inherit the replicas at fork; the parent's copies
             # stay empty and serve as fan-in templates for merged().
-            self._pool = ProcessShardPool(self.shards)
+            self._pool = ProcessShardPool(
+                self.shards,
+                supervise=supervise,
+                snapshot_every=(
+                    DEFAULT_SNAPSHOT_EVERY
+                    if snapshot_every is None
+                    else snapshot_every
+                ),
+            )
         else:
             self._pool = None
         self._merged_cache: Optional[StreamAlgorithm] = None
@@ -351,18 +371,30 @@ class ShardedAlgorithm(StreamAlgorithm):
                 "backend": self.backend,
                 "num_shards": self.num_shards,
                 "workers_alive": [False] * self.num_shards,
+                "restarts": 0,
+                "recovering": False,
+                "supervised": False,
                 "closed": True,
             }
+        pool = self._pool
         alive = (
-            self._pool.workers_alive()
-            if self._pool is not None
+            pool.workers_alive()
+            if pool is not None
             else [True] * self.num_shards
         )
+        recovering = pool.recovering() if pool is not None else False
+        supervised = bool(pool.supervise) if pool is not None else False
+        # A dead worker under supervision is a *recovering* fleet, not a
+        # failed one: the next synchronization point respawns it.  Not-ok
+        # either way -- readiness flips until the rebuild completes.
         return {
-            "ok": all(alive),
+            "ok": all(alive) and not recovering,
             "backend": self.backend,
             "num_shards": self.num_shards,
             "workers_alive": alive,
+            "restarts": sum(pool.restarts) if pool is not None else 0,
+            "recovering": recovering or (supervised and not all(alive)),
+            "supervised": supervised,
             "closed": False,
         }
 
@@ -429,6 +461,9 @@ class ShardedStreamEngine:
     backend:
         ``"serial"`` / ``"thread"`` / ``"process"`` scatter backend (see
         :class:`ShardedAlgorithm`).
+    supervise / snapshot_every:
+        Process-backend worker supervision knobs (see
+        :class:`ShardedAlgorithm`).
     """
 
     def __init__(
@@ -439,6 +474,8 @@ class ShardedStreamEngine:
         partitioner: Optional[UniversePartitioner] = None,
         parallel: Optional[bool] = None,
         backend: Optional[str] = None,
+        supervise: bool = False,
+        snapshot_every: Optional[int] = None,
     ) -> None:
         # Resolve the deprecated alias here (one warning, pointing at the
         # caller) rather than letting it tunnel through ShardedAlgorithm.
@@ -448,6 +485,8 @@ class ShardedStreamEngine:
             num_shards,
             partitioner=partitioner,
             backend=backend,
+            supervise=supervise,
+            snapshot_every=snapshot_every,
         )
         self.engine = StreamEngine(
             chunk_size=chunk_size

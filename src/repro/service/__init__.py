@@ -31,8 +31,11 @@ from repro.service.protocol import (
     DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
     ProtocolError,
+    SequenceGap,
+    ServerBusy,
     ServiceError,
 )
+from repro.service.retry import RetryPolicy, RetrySchedule
 from repro.service.server import ConnectionStats, ServerStats, SketchServer
 
 __all__ = [
@@ -41,6 +44,10 @@ __all__ = [
     "DEFAULT_MAX_FRAME",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RetryPolicy",
+    "RetrySchedule",
+    "SequenceGap",
+    "ServerBusy",
     "ServerStats",
     "ServiceError",
     "SketchClient",

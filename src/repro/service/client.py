@@ -28,9 +28,22 @@ Server-side failures raise the *same* exceptions a local engine would
 :class:`~repro.service.protocol.ServiceError` carrying the remote
 exception class; framing corruption raises
 :class:`~repro.service.protocol.ProtocolError` and invalidates the
-connection.  ``connect(retries=...)`` retries the TCP connect with a
-fixed interval, which is all a client needs to ride out a server
-restart (see the reconnect tests).
+connection.
+
+Fault tolerance
+---------------
+``connect`` rides out restarts through a
+:class:`~repro.service.retry.RetryPolicy` (capped exponential backoff
+under a total deadline; the bare ``retry_interval=`` kwarg is a
+deprecated fixed-interval shim).  ``feed_chunks(..., retry=policy)``
+goes further: every chunk carries this client's opaque ``client_id``
+and a contiguous ``seq`` number, so after a dropped connection, a
+truncated frame, or a ``busy`` shed the client reconnects and
+retransmits everything unacknowledged -- the server's contiguous-seq
+dedup acks duplicates without re-applying them, making the whole replay
+**exactly-once** (the chaos tests pin byte-identical final state
+against a serial engine).  Only idempotent-by-construction traffic
+auto-retries: connects, and sequenced feeds.
 """
 
 from __future__ import annotations
@@ -38,6 +51,8 @@ from __future__ import annotations
 import asyncio
 import socket
 import time
+import uuid
+import warnings
 from collections import deque
 from typing import Optional
 
@@ -53,7 +68,10 @@ from repro.service.protocol import (
     unpack_array,
     write_message,
     ProtocolError,
+    SequenceGap,
+    ServerBusy,
 )
+from repro.service.retry import RetryPolicy, count_retry
 
 __all__ = ["SketchClient", "AsyncSketchClient"]
 
@@ -72,6 +90,35 @@ def _as_feed_arrays(items, deltas) -> tuple[np.ndarray, np.ndarray]:
     return items, deltas
 
 
+def _resolve_retry(
+    retry: Optional[RetryPolicy],
+    retries: int,
+    retry_interval: Optional[float],
+    *,
+    stacklevel: int = 3,
+) -> RetryPolicy:
+    """Resolve ``connect``'s retry surface onto one :class:`RetryPolicy`.
+
+    ``retry_interval=`` was the fixed-interval spelling; passing it now
+    warns and maps onto :meth:`RetryPolicy.fixed` (same schedule,
+    byte-compatible behavior).  An explicit ``retry=`` policy always
+    wins, silently, so migrated callers never warn.  Bare ``retries=N``
+    stays supported and now gets the default capped-exponential shape.
+    """
+    if retry_interval is not None and retry is None:
+        warnings.warn(
+            "the retry_interval= kwarg is deprecated; pass "
+            "retry=RetryPolicy(...) (or RetryPolicy.fixed(interval, "
+            "retries) for the old fixed-interval schedule) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return RetryPolicy.fixed(retry_interval, retries)
+    if retry is not None:
+        return retry
+    return RetryPolicy(max_attempts=retries + 1)
+
+
 class SketchClient:
     """Blocking-socket client for one :class:`SketchServer`.
 
@@ -82,11 +129,26 @@ class SketchClient:
             counts = client.estimate(probe_items)
     """
 
-    def __init__(self, sock: socket.socket, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        *,
+        client_id: Optional[str] = None,
+    ) -> None:
         self._sock = sock
         self._max_frame = max_frame
         self._request_seq = 0
         self.server_info: Optional[dict] = None
+        #: Opaque identity for sequenced (exactly-once) feeds; stable
+        #: across reconnects of this client object.
+        self.client_id = client_id or uuid.uuid4().hex
+        self._feed_seq = 0
+        #: Retries this client consumed (connects + feed replays).
+        self.retries = 0
+        self._address: Optional[tuple[str, int]] = None
+        self._policy: Optional[RetryPolicy] = None
+        self._hello = False
 
     @classmethod
     def connect(
@@ -95,33 +157,82 @@ class SketchClient:
         port: int,
         *,
         retries: int = 0,
-        retry_interval: float = 0.05,
+        retry_interval: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
         max_frame: int = DEFAULT_MAX_FRAME,
         hello: bool = True,
+        client_id: Optional[str] = None,
     ) -> "SketchClient":
-        """Connect (optionally retrying) and perform the ``hello`` handshake.
+        """Connect under a retry policy and perform the ``hello`` handshake.
 
-        ``retries`` extra attempts spaced ``retry_interval`` seconds apart
-        ride out a server restart; the handshake pins the server's sketch
-        class and construction fingerprint in ``client.server_info``.
+        ``retry=`` takes a full :class:`RetryPolicy` (backoff, deadline,
+        per-op timeout); bare ``retries=N`` gets the default
+        capped-exponential shape.  ``retry_interval=`` is deprecated --
+        it warns and maps onto :meth:`RetryPolicy.fixed`.  The handshake
+        pins the server's sketch class and construction fingerprint in
+        ``client.server_info``.
         """
-        attempt = 0
-        while True:
-            try:
-                sock = socket.create_connection((host, port))
-                break
-            except OSError:
-                attempt += 1
-                if attempt > retries:
-                    raise
-                time.sleep(retry_interval)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        client = cls(sock, max_frame=max_frame)
+        policy = _resolve_retry(retry, retries, retry_interval)
+        client = cls(
+            cls._open_socket(host, port, policy),
+            max_frame=max_frame,
+            client_id=client_id,
+        )
+        client._address = (host, port)
+        client._policy = policy
+        client._hello = hello
         if hello:
             client.server_info = client.hello()
         return client
 
     # -- plumbing -----------------------------------------------------------
+
+    @staticmethod
+    def _open_socket(
+        host: str, port: int, policy: RetryPolicy
+    ) -> socket.socket:
+        schedule = policy.start()
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (host, port), timeout=policy.op_timeout
+                )
+                break
+            except OSError:
+                delay = schedule.next_delay()
+                if delay is None:
+                    raise
+                count_retry("connect")
+                time.sleep(delay)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(policy.op_timeout)
+        return sock
+
+    def _reopen(self) -> None:
+        """One fresh connection attempt to the remembered address.
+
+        Keeps this client's identity (``client_id``, feed ``seq``
+        counter) so the server's dedup recognizes replays.  A single
+        attempt by design: the resilient feed loop owns backoff, so a
+        refused connect surfaces as ``OSError`` for it to schedule.
+        """
+        if self._address is None:
+            raise RuntimeError(
+                "cannot reconnect: this client was not built via connect()"
+            )
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        policy = self._policy or RetryPolicy(max_attempts=1)
+        sock = socket.create_connection(
+            self._address, timeout=policy.op_timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(policy.op_timeout)
+        self._sock = sock
+        if self._hello:
+            self.server_info = self.hello()
 
     def _send(self, op: str, **fields) -> int:
         self._request_seq += 1
@@ -176,15 +287,30 @@ class SketchClient:
         items, deltas = _as_feed_arrays(items, deltas)
         return self._request("feed", items=items, deltas=deltas)
 
-    def feed_chunks(self, source, window: int = DEFAULT_WINDOW) -> dict:
+    def feed_chunks(
+        self,
+        source,
+        window: int = DEFAULT_WINDOW,
+        retry: Optional[RetryPolicy] = None,
+    ) -> dict:
         """Stream ``(items, deltas)`` chunks with pipelined acknowledgements.
 
         Keeps up to ``window`` batches in flight: the socket send of
         chunk ``t+1`` overlaps the server's scatter of chunk ``t``.
         Returns ``{"count": total updates, "position": last ack'd}``.
+
+        With ``retry=`` a policy, every chunk is sequenced (``client`` +
+        ``seq`` fields) and the stream survives faults: a dropped or
+        corrupted connection triggers reconnect-and-retransmit of every
+        unacknowledged chunk, and a ``busy``/gap rejection backs off and
+        resends -- the server's contiguous-seq dedup makes all of it
+        exactly-once.  Without it, behavior is the original fail-fast
+        pipeline.
         """
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
+        if retry is not None:
+            return self._feed_chunks_resilient(source, window, retry)
         pending: deque[int] = deque()
         total = 0
         position = None
@@ -196,6 +322,118 @@ class SketchClient:
                 position = self._drain(pending.popleft())["position"]
         while pending:
             position = self._drain(pending.popleft())["position"]
+        return {"count": total, "position": position}
+
+    def _feed_chunks_resilient(
+        self, source, window: int, policy: RetryPolicy
+    ) -> dict:
+        """Sequenced feed pipeline with reconnect-and-replay.
+
+        Invariants that make this exactly-once:
+
+        * every chunk gets the next contiguous ``seq`` *before* its
+          first send and keeps it across resends;
+        * the server rejects out-of-order seqs (:class:`SequenceGap`)
+          and sheds only *before* the engine (:class:`ServerBusy`), so
+          the unacknowledged set is always a contiguous suffix;
+        * on any transport fault we retransmit that whole suffix in seq
+          order -- acked duplicates return without re-applying.
+
+        One :class:`RetrySchedule` spans consecutive faults and resets
+        on any successful acknowledgement, so the deadline bounds each
+        outage rather than the whole (arbitrarily long) stream.
+        """
+        if self._address is None:
+            raise RuntimeError(
+                "feed_chunks(retry=...) needs a client built via connect()"
+            )
+        pending: deque[list] = deque()  # [request_id, seq, items, deltas]
+        failed: list[list] = []  # rejected (busy/gap), awaiting resend
+        state = {"schedule": None}
+        total = 0
+        position = None
+
+        def backoff(kind: str, exc: BaseException) -> None:
+            if state["schedule"] is None:
+                state["schedule"] = policy.start()
+            delay = state["schedule"].next_delay()
+            if delay is None:
+                raise exc
+            self.retries += 1
+            count_retry(kind)
+            time.sleep(delay)
+
+        def send_entry(entry: list) -> None:
+            entry[0] = self._send(
+                "feed",
+                items=entry[2],
+                deltas=entry[3],
+                client=self.client_id,
+                seq=entry[1],
+            )
+
+        def requeue_all() -> None:
+            entries = sorted([*failed, *pending], key=lambda entry: entry[1])
+            failed.clear()
+            pending.clear()
+            pending.extend(entries)
+
+        def reopen_and_replay(exc: BaseException) -> None:
+            requeue_all()
+            while True:
+                backoff("reconnect", exc)
+                try:
+                    self._reopen()
+                    for entry in pending:
+                        send_entry(entry)
+                except (OSError, ProtocolError) as retry_exc:
+                    exc = retry_exc
+                    continue
+                return
+
+        def drain_step() -> None:
+            nonlocal position
+            if failed and not pending:
+                # Whole suffix was rejected (busy or gap): back off,
+                # then resend it in seq order on the live connection.
+                backoff("feed-replay", failed[0][4])
+                requeue_all()
+                for entry in pending:
+                    send_entry(entry)
+                return
+            entry = pending[0]
+            try:
+                reply = self._drain(entry[0])
+            except (ServerBusy, SequenceGap) as exc:
+                pending.popleft()
+                failed.append(entry[:4] + [exc])
+                return
+            pending.popleft()
+            if not reply.get("duplicate"):
+                position = reply["position"]
+            state["schedule"] = None  # progress: fresh budget per outage
+
+        def pump(limit: int) -> None:
+            while len(pending) + len(failed) > limit or (
+                failed and not pending
+            ):
+                try:
+                    drain_step()
+                except (OSError, ProtocolError) as exc:
+                    reopen_and_replay(exc)
+
+        for items, deltas in source:
+            items, deltas = _as_feed_arrays(items, deltas)
+            total += len(items)
+            self._feed_seq += 1
+            entry = [None, self._feed_seq, items, deltas]
+            pending.append(entry)
+            try:
+                send_entry(entry)
+            except (OSError, ProtocolError) as exc:
+                reopen_and_replay(exc)
+            pump(window - 1)
+        pump(0)
         return {"count": total, "position": position}
 
     def estimate(self, items) -> np.ndarray:
@@ -248,12 +486,20 @@ class AsyncSketchClient:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         max_frame: int = DEFAULT_MAX_FRAME,
+        *,
+        client_id: Optional[str] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._max_frame = max_frame
         self._request_seq = 0
         self.server_info: Optional[dict] = None
+        self.client_id = client_id or uuid.uuid4().hex
+        self._feed_seq = 0
+        self.retries = 0
+        self._address: Optional[tuple[str, int]] = None
+        self._policy: Optional[RetryPolicy] = None
+        self._hello = False
 
     @classmethod
     async def connect(
@@ -262,26 +508,62 @@ class AsyncSketchClient:
         port: int,
         *,
         retries: int = 0,
-        retry_interval: float = 0.05,
+        retry_interval: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
         max_frame: int = DEFAULT_MAX_FRAME,
         hello: bool = True,
+        client_id: Optional[str] = None,
     ) -> "AsyncSketchClient":
-        attempt = 0
+        """See :meth:`SketchClient.connect` (same retry surface)."""
+        policy = _resolve_retry(retry, retries, retry_interval)
+        schedule = policy.start()
         while True:
             try:
-                reader, writer = await asyncio.open_connection(host, port)
+                reader, writer = await cls._open_stream(host, port, policy)
                 break
             except OSError:
-                attempt += 1
-                if attempt > retries:
+                delay = schedule.next_delay()
+                if delay is None:
                     raise
-                await asyncio.sleep(retry_interval)
-        client = cls(reader, writer, max_frame=max_frame)
+                count_retry("connect")
+                await asyncio.sleep(delay)
+        client = cls(reader, writer, max_frame=max_frame, client_id=client_id)
+        client._address = (host, port)
+        client._policy = policy
+        client._hello = hello
         if hello:
             client.server_info = await client.hello()
         return client
 
     # -- plumbing -----------------------------------------------------------
+
+    @staticmethod
+    async def _open_stream(host: str, port: int, policy: RetryPolicy):
+        opening = asyncio.open_connection(host, port)
+        if policy.op_timeout is not None:
+            try:
+                return await asyncio.wait_for(opening, policy.op_timeout)
+            except asyncio.TimeoutError:
+                raise OSError("connect timed out") from None
+        return await opening
+
+    async def _reopen(self) -> None:
+        """See :meth:`SketchClient._reopen` (one attempt, same identity)."""
+        if self._address is None:
+            raise RuntimeError(
+                "cannot reconnect: this client was not built via connect()"
+            )
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        policy = self._policy or RetryPolicy(max_attempts=1)
+        self._reader, self._writer = await self._open_stream(
+            self._address[0], self._address[1], policy
+        )
+        if self._hello:
+            self.server_info = await self.hello()
 
     async def _send(self, op: str, **fields) -> int:
         self._request_seq += 1
@@ -295,6 +577,15 @@ class AsyncSketchClient:
         if message is None:
             raise ProtocolError("connection closed while awaiting a reply")
         return raise_for_reply(message, request_id)
+
+    async def _drain_timed(self, request_id: int):
+        timeout = self._policy.op_timeout if self._policy else None
+        if timeout is None:
+            return await self._drain(request_id)
+        try:
+            return await asyncio.wait_for(self._drain(request_id), timeout)
+        except asyncio.TimeoutError:
+            raise OSError("reply timed out") from None
 
     async def _request(self, op: str, **fields):
         return await self._drain(await self._send(op, **fields))
@@ -326,13 +617,22 @@ class AsyncSketchClient:
         items, deltas = _as_feed_arrays(items, deltas)
         return await self._request("feed", items=items, deltas=deltas)
 
-    async def feed_chunks(self, source, window: int = DEFAULT_WINDOW) -> dict:
+    async def feed_chunks(
+        self,
+        source,
+        window: int = DEFAULT_WINDOW,
+        retry: Optional[RetryPolicy] = None,
+    ) -> dict:
         """Pipelined chunk streaming (see :meth:`SketchClient.feed_chunks`).
 
-        ``source`` may be a sync or async iterable of chunk pairs.
+        ``source`` may be a sync or async iterable of chunk pairs.  With
+        ``retry=`` a policy, chunks are sequenced and the stream
+        reconnects and retransmits exactly-once, as in the sync client.
         """
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
+        if retry is not None:
+            return await self._feed_chunks_resilient(source, window, retry)
         pending: deque[int] = deque()
         total = 0
         position = None
@@ -353,6 +653,109 @@ class AsyncSketchClient:
                 await _push(items, deltas)
         while pending:
             position = (await self._drain(pending.popleft()))["position"]
+        return {"count": total, "position": position}
+
+    async def _feed_chunks_resilient(
+        self, source, window: int, policy: RetryPolicy
+    ) -> dict:
+        """Async twin of :meth:`SketchClient._feed_chunks_resilient`."""
+        if self._address is None:
+            raise RuntimeError(
+                "feed_chunks(retry=...) needs a client built via connect()"
+            )
+        pending: deque[list] = deque()
+        failed: list[list] = []
+        state = {"schedule": None}
+        total = 0
+        position = None
+
+        async def backoff(kind: str, exc: BaseException) -> None:
+            if state["schedule"] is None:
+                state["schedule"] = policy.start()
+            delay = state["schedule"].next_delay()
+            if delay is None:
+                raise exc
+            self.retries += 1
+            count_retry(kind)
+            await asyncio.sleep(delay)
+
+        async def send_entry(entry: list) -> None:
+            entry[0] = await self._send(
+                "feed",
+                items=entry[2],
+                deltas=entry[3],
+                client=self.client_id,
+                seq=entry[1],
+            )
+
+        def requeue_all() -> None:
+            entries = sorted([*failed, *pending], key=lambda entry: entry[1])
+            failed.clear()
+            pending.clear()
+            pending.extend(entries)
+
+        async def reopen_and_replay(exc: BaseException) -> None:
+            requeue_all()
+            while True:
+                await backoff("reconnect", exc)
+                try:
+                    await self._reopen()
+                    for entry in pending:
+                        await send_entry(entry)
+                except (OSError, ProtocolError) as retry_exc:
+                    exc = retry_exc
+                    continue
+                return
+
+        async def drain_step() -> None:
+            nonlocal position
+            if failed and not pending:
+                await backoff("feed-replay", failed[0][4])
+                requeue_all()
+                for entry in pending:
+                    await send_entry(entry)
+                return
+            entry = pending[0]
+            try:
+                reply = await self._drain_timed(entry[0])
+            except (ServerBusy, SequenceGap) as exc:
+                pending.popleft()
+                failed.append(entry[:4] + [exc])
+                return
+            pending.popleft()
+            if not reply.get("duplicate"):
+                position = reply["position"]
+            state["schedule"] = None
+
+        async def pump(limit: int) -> None:
+            while len(pending) + len(failed) > limit or (
+                failed and not pending
+            ):
+                try:
+                    await drain_step()
+                except (OSError, ProtocolError) as exc:
+                    await reopen_and_replay(exc)
+
+        async def push(items, deltas) -> None:
+            nonlocal total
+            items, deltas = _as_feed_arrays(items, deltas)
+            total += len(items)
+            self._feed_seq += 1
+            entry = [None, self._feed_seq, items, deltas]
+            pending.append(entry)
+            try:
+                await send_entry(entry)
+            except (OSError, ProtocolError) as exc:
+                await reopen_and_replay(exc)
+            await pump(window - 1)
+
+        if hasattr(source, "__aiter__"):
+            async for items, deltas in source:
+                await push(items, deltas)
+        else:
+            for items, deltas in source:
+                await push(items, deltas)
+        await pump(0)
         return {"count": total, "position": position}
 
     async def estimate(self, items) -> np.ndarray:

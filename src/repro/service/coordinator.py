@@ -21,6 +21,20 @@ being exact, a fleet holding the merged state in one server and nothing
 in the others continues exactly like the uninterrupted deployment, and
 the caller replays the stream tail from the returned position.
 
+Failover
+--------
+The coordinator keeps a per-server snapshot cache (seeded at
+``connect``, refreshed by every successful :meth:`merged` fan-in).  When
+a server is down, :meth:`merged` *degrades* instead of failing: the dead
+server contributes its cached snapshot, the read is annotated in
+``coordinator.last_read`` (which servers were stale, and at what cached
+position), and ``repro_coordinator_degraded_reads_total`` counts it --
+an estimate served during an outage is old news for the dead shard's
+items, never wrong news for the rest.  A recovered server rejoins via
+:meth:`readmit`, which reconnects, re-verifies the construction
+fingerprint, and (when the server came back empty) pushes the cached
+snapshot through the same ``load_snapshot`` path :meth:`recover` uses.
+
 The coordinator is asyncio-native (it multiplexes N server connections
 concurrently); wrap calls with :func:`asyncio.run` from sync code.
 """
@@ -39,10 +53,21 @@ from repro.distributed.codec import (
     FingerprintMismatch,
     construction_fingerprint,
 )
+from repro.obs import (
+    DEGRADED_READS_METRIC,
+    get_registry as _get_obs_registry,
+)
 from repro.parallel.partition import UniversePartitioner
 from repro.service.client import AsyncSketchClient
+from repro.service.retry import RetryPolicy
 
 __all__ = ["SketchCoordinator"]
+
+_obs_registry = _get_obs_registry()
+_obs_degraded = _obs_registry.counter(
+    DEGRADED_READS_METRIC,
+    "Coordinator reads answered with at least one stale cached shard",
+)
 
 
 class SketchCoordinator:
@@ -80,25 +105,56 @@ class SketchCoordinator:
         self.clients: list[AsyncSketchClient] = []
         #: Updates routed so far (absolute once ``recover`` seeds it).
         self.position = 0
+        self._policy: Optional[RetryPolicy] = None
+        #: Per-server snapshot cache backing degraded reads: last known
+        #: good merged-state bytes and the coordinator position they
+        #: were observed at.
+        self._snapshots: list[Optional[bytes]] = [None] * len(self.addresses)
+        self._snapshot_positions: list[int] = [0] * len(self.addresses)
+        #: Annotation of the most recent :meth:`merged` fan-in:
+        #: ``{"degraded", "stale", "stale_positions", "position"}``.
+        self.last_read: dict = {
+            "degraded": False,
+            "stale": [],
+            "stale_positions": {},
+            "position": 0,
+        }
+        #: Per-server health from the last :meth:`health` sweep.
+        self.server_health: list[dict] = []
+        #: Degraded reads served so far (functional twin of the metric).
+        self.degraded_reads = 0
 
     # -- lifecycle ----------------------------------------------------------
 
-    async def connect(self, retries: int = 0, retry_interval: float = 0.05) -> "SketchCoordinator":
+    async def connect(
+        self,
+        retries: int = 0,
+        retry_interval: Optional[float] = None,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "SketchCoordinator":
         """Connect to every server and verify construction identity.
 
-        A server whose ``hello`` fingerprint differs from the local
-        template's was built with other parameters or another seed;
-        routing updates to it would silently break merge exactness, so
-        the handshake raises :class:`FingerprintMismatch` instead.
+        Retries follow the same surface as :meth:`SketchClient.connect`
+        (``retry=`` policy wins; bare ``retries=`` gets the default
+        exponential shape; ``retry_interval=`` is deprecated).  A server
+        whose ``hello`` fingerprint differs from the local template's
+        was built with other parameters or another seed; routing updates
+        to it would silently break merge exactness, so the handshake
+        raises :class:`FingerprintMismatch` instead.  The per-server
+        snapshot cache is seeded here so degraded reads are possible
+        from the first fan-in on.
         """
         if self.clients:
             raise RuntimeError("coordinator already connected")
+        from repro.service.client import _resolve_retry
+
+        policy = _resolve_retry(retry, retries, retry_interval)
+        self._policy = policy
         self.clients = list(
             await asyncio.gather(
                 *(
-                    AsyncSketchClient.connect(
-                        host, port, retries=retries, retry_interval=retry_interval
-                    )
+                    AsyncSketchClient.connect(host, port, retry=policy)
                     for host, port in self.addresses
                 )
             )
@@ -112,6 +168,11 @@ class SketchCoordinator:
                     "constructed sketch; every server must be built from the "
                     "coordinator's factory (same parameters, same seed)"
                 )
+        snapshots = await asyncio.gather(
+            *(client.snapshot() for client in self.clients)
+        )
+        self._snapshots = list(snapshots)
+        self._snapshot_positions = [self.position] * len(self.clients)
         return self
 
     async def close(self) -> None:
@@ -166,7 +227,7 @@ class SketchCoordinator:
 
     # -- fan-in: the wire merge --------------------------------------------
 
-    async def merged(self) -> StreamAlgorithm:
+    async def merged(self, allow_degraded: bool = True) -> StreamAlgorithm:
         """One sketch equal to a single engine fed the whole stream.
 
         Pulls every server's merged snapshot concurrently and folds them
@@ -174,11 +235,48 @@ class SketchCoordinator:
         first payload, fingerprint-verified merges for the rest, exactly
         the :meth:`ShardedAlgorithm.merged` fan-in with TCP in the
         middle.
+
+        With ``allow_degraded`` (the default), a server that cannot
+        answer contributes its *cached* snapshot instead of failing the
+        whole read; ``coordinator.last_read`` records which servers were
+        stale and at what cached position, and the degraded-reads
+        counter ticks (the ``degraded-reads`` default alert rule watches
+        it).  ``allow_degraded=False`` restores fail-fast semantics --
+        checkpoints use it, because a checkpoint must never quietly
+        freeze a dead shard's past.
         """
         clients = self._require_clients()
-        snapshots = await asyncio.gather(
-            *(client.snapshot() for client in clients)
+        results = await asyncio.gather(
+            *(client.snapshot() for client in clients),
+            return_exceptions=True,
         )
+        snapshots: list[bytes] = []
+        stale: list[int] = []
+        for index, result in enumerate(results):
+            if isinstance(result, BaseException):
+                if (
+                    not allow_degraded
+                    or self._snapshots[index] is None
+                ):
+                    raise result
+                snapshots.append(self._snapshots[index])
+                stale.append(index)
+            else:
+                snapshots.append(result)
+                self._snapshots[index] = result
+                self._snapshot_positions[index] = self.position
+        self.last_read = {
+            "degraded": bool(stale),
+            "stale": stale,
+            "stale_positions": {
+                index: self._snapshot_positions[index] for index in stale
+            },
+            "position": self.position,
+        }
+        if stale:
+            self.degraded_reads += 1
+            if _obs_registry.enabled:
+                _obs_degraded.add(1, servers=str(len(stale)))
         merged = copy.deepcopy(self.template)
         merged.restore(snapshots[0])
         if len(snapshots) > 1:
@@ -205,6 +303,76 @@ class SketchCoordinator:
         """Every server's liveness/monitoring payload, in address order."""
         clients = self._require_clients()
         return list(await asyncio.gather(*(client.stats() for client in clients)))
+
+    async def health(self) -> list[dict]:
+        """Ping every server; per-server ``{"address", "ok", ...}`` dicts.
+
+        A failed ping reports ``ok=False`` with the error text instead of
+        raising -- health sweeps must degrade, not error.  The result is
+        also stored in ``coordinator.server_health`` so a supervisor can
+        poll one attribute between sweeps.
+        """
+        clients = self._require_clients()
+        results = await asyncio.gather(
+            *(client.ping() for client in clients), return_exceptions=True
+        )
+        health = []
+        for address, result in zip(self.addresses, results):
+            entry: dict = {"address": f"{address[0]}:{address[1]}"}
+            if isinstance(result, BaseException):
+                entry["ok"] = False
+                entry["error"] = f"{type(result).__name__}: {result}"
+            else:
+                entry["ok"] = True
+                entry["position"] = result.get("position")
+            health.append(entry)
+        self.server_health = health
+        return health
+
+    async def readmit(self, index: int) -> dict:
+        """Reconnect server ``index`` and fold it back into the fleet.
+
+        The recovery mirror of a degraded read: reconnects under the
+        coordinator's retry policy, re-verifies the construction
+        fingerprint (a restarted-with-the-wrong-seed server must not
+        rejoin), and -- when the server came back *empty* (position 0)
+        while the cache holds state for it -- pushes the cached snapshot
+        through the same ``load_snapshot`` path :meth:`recover` uses, so
+        the shard resumes from its last observed state instead of
+        forgetting its history.  A server that restarted from its own
+        checkpoint (position > 0) keeps its richer state untouched.
+
+        Returns ``{"address", "restored", "position"}``.
+        """
+        clients = self._require_clients()
+        if not 0 <= index < len(clients):
+            raise IndexError(f"server index {index} outside fleet")
+        host, port = self.addresses[index]
+        await clients[index].close()
+        client = await AsyncSketchClient.connect(
+            host, port, retry=self._policy or RetryPolicy(max_attempts=1)
+        )
+        if client.server_info["fingerprint"] != self.fingerprint:
+            await client.close()
+            raise FingerprintMismatch(
+                f"server {host}:{port} came back differently-constructed; "
+                "refusing to re-admit it into the fleet"
+            )
+        clients[index] = client
+        restored = False
+        pong = await client.ping()
+        if not pong.get("position") and self._snapshots[index] is not None:
+            await client.load_snapshot(
+                self._snapshots[index],
+                position=self._snapshot_positions[index],
+            )
+            restored = True
+        pong = await client.ping()
+        return {
+            "address": f"{host}:{port}",
+            "restored": restored,
+            "position": pong.get("position"),
+        }
 
     async def metrics(self) -> dict:
         """The whole fleet's telemetry as one merged registry snapshot.
@@ -262,8 +430,9 @@ class SketchCoordinator:
         The file is indistinguishable from a local engine's checkpoint --
         it can resume a single engine, a local sharded fleet, or another
         coordinator fleet of any width.  Returns the recorded position.
+        Fail-fast: a checkpoint is never written from a degraded read.
         """
-        merged = await self.merged()
+        merged = await self.merged(allow_degraded=False)
         save_checkpoint(
             path,
             merged,

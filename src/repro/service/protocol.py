@@ -34,7 +34,13 @@ Ops
 ---
 ``hello``            server identity, API version, sketch class +
                      construction fingerprint, fleet shape
-``feed``             one ``(items, deltas)`` int64 update batch
+``feed``             one ``(items, deltas)`` int64 update batch;
+                     optional ``client`` (opaque id) + ``seq``
+                     (contiguous per-client counter) make it
+                     exactly-once under reconnect-and-replay: a
+                     duplicate seq acks without re-applying, a gap is
+                     rejected with :class:`SequenceGap` before the
+                     engine sees it
 ``estimate``         batched point queries (``items`` int64 array)
 ``query``            the sketch family's native query (``kind="f2"``
                      routes to ``f2_estimate``; default heavy-hitter /
@@ -71,6 +77,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_FRAME",
     "ProtocolError",
+    "SequenceGap",
+    "ServerBusy",
     "ServiceError",
     "pack_message",
     "unpack_message",
@@ -129,6 +137,33 @@ class ServiceError(RuntimeError):
     def __init__(self, kind: str, message: str) -> None:
         super().__init__(f"{kind}: {message}")
         self.kind = kind
+
+
+class ServerBusy(ServiceError):
+    """The server shed this request: its engine queue stayed saturated
+    past the configured queue deadline.  Retryable by construction --
+    the request was rejected *before* touching the engine, so resending
+    it later is safe (and sequenced feeds stay exactly-once)."""
+
+    def __init__(self, message: str) -> None:
+        RuntimeError.__init__(self, message)
+        self.kind = "ServerBusy"
+
+
+class SequenceGap(ServiceError):
+    """A sequenced feed skipped ahead of the server's contiguity window.
+
+    The server applies each client's feeds in contiguous ``seq`` order:
+    a gap means an earlier feed failed (shed, or lost with its
+    connection) while a later one arrived.  Rejecting the later one --
+    again before the engine -- keeps every client's failure set a
+    contiguous suffix, which is what makes retransmit-all-pending
+    exactly-once.
+    """
+
+    def __init__(self, message: str) -> None:
+        RuntimeError.__init__(self, message)
+        self.kind = "SequenceGap"
 
 
 # -- framing -----------------------------------------------------------------
@@ -270,6 +305,10 @@ def raise_for_reply(message: dict, request_id: int) -> Any:
         raise FingerprintMismatch(text)
     if kind == "SnapshotError":
         raise SnapshotError(text)
+    if kind == "ServerBusy":
+        raise ServerBusy(text)
+    if kind == "SequenceGap":
+        raise SequenceGap(text)
     raise ServiceError(kind, text)
 
 

@@ -90,6 +90,8 @@ from repro.service.protocol import (
     DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
     ProtocolError,
+    SequenceGap,
+    ServerBusy,
     make_error_reply,
     make_reply,
     pack_array,
@@ -185,6 +187,10 @@ class ServerStats(RegistryStatsBase):
             "repro_service_checkpoints_total",
             "Checkpoints written by the server",
         ),
+        "busy": (
+            "repro_service_busy_total",
+            "Requests shed with a retryable busy reply (queue deadline)",
+        ),
     }
     _GAUGES = {
         "connections_open": (
@@ -219,11 +225,28 @@ class SketchServer:
     queue_depth:
         Bound on engine operations queued behind the serialization
         executor -- the service-side backpressure knob.
+    queue_deadline:
+        Graceful degradation: when set, a request that cannot claim an
+        engine slot within this many seconds is *shed* with a retryable
+        :class:`~repro.service.protocol.ServerBusy` error instead of
+        waiting forever -- the request never touches the engine, so
+        resending it is safe (and sequenced feeds stay exactly-once).
+        ``None`` (the default) keeps the original unbounded wait, where
+        TCP flow control alone pushes back.
+    supervise / snapshot_every:
+        Passed to :class:`ShardedStreamEngine`: ``supervise=True`` (the
+        default here -- a network service should outlive its workers)
+        arms the process backend's supervised respawn, with a per-worker
+        baseline snapshot refreshed every ``snapshot_every`` journaled
+        feeds.  Ignored by the serial backend.
     max_frame:
         Per-frame byte cap (oversized frames close the connection).
-    checkpoint_path / checkpoint_every / start_position:
+    checkpoint_path / checkpoint_every / checkpoint_keep /
+    start_position:
         The ingest/drive checkpoint convention, applied to the merged
-        fleet state at batch boundaries.
+        fleet state at batch boundaries; ``checkpoint_keep`` retains
+        that many rotated predecessors of the checkpoint file so a
+        torn head write can fall back to the newest verifiable one.
     resume_path:
         Restore this checkpoint file into the fleet before serving
         (sets the stream position; equivalent to a client-driven
@@ -255,9 +278,13 @@ class SketchServer:
         chunk_size: Optional[int] = None,
         partitioner: Optional[UniversePartitioner] = None,
         queue_depth: int = 8,
+        queue_deadline: Optional[float] = None,
+        supervise: bool = True,
+        snapshot_every: Optional[int] = None,
         max_frame: int = DEFAULT_MAX_FRAME,
         checkpoint_path=None,
         checkpoint_every: Optional[int] = None,
+        checkpoint_keep: int = 0,
         start_position: int = 0,
         resume_path=None,
         gateway_port: Optional[int] = None,
@@ -265,12 +292,18 @@ class SketchServer:
     ) -> None:
         if queue_depth <= 0:
             raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        if queue_deadline is not None and queue_deadline <= 0:
+            raise ValueError(
+                f"queue_deadline must be positive, got {queue_deadline}"
+            )
         self.engine = ShardedStreamEngine(
             factory,
             num_shards,
             chunk_size=chunk_size,
             partitioner=partitioner,
             backend=backend,
+            supervise=supervise,
+            snapshot_every=snapshot_every,
         )
         #: Construction identity of the fleet (every replica's, by the
         #: merge-key check) -- sent in ``hello`` so clients and the
@@ -282,8 +315,16 @@ class SketchServer:
         self._requested_port = port
         self.port: Optional[int] = None
         self.queue_depth = queue_depth
+        self.queue_deadline = queue_deadline
         self.max_frame = max_frame
         self.position = start_position
+        #: Per-client last-applied feed ``seq`` (exactly-once dedup).
+        #: Touched only on the engine thread, whose single-thread FIFO
+        #: makes check-then-apply atomic across connections; lost on
+        #: restart, so an unknown client's first seq is accepted as-is
+        #: (documented caveat -- resuming clients replay from their
+        #: server-acknowledged positions anyway).
+        self._feed_seqs: dict = {}
         self._writer: Optional[CheckpointWriter] = None
         if checkpoint_path is not None:
             self._writer = CheckpointWriter(
@@ -292,9 +333,12 @@ class SketchServer:
                 every=checkpoint_every
                 if checkpoint_every is not None
                 else DEFAULT_CHECKPOINT_EVERY,
+                keep=checkpoint_keep,
             )
         if resume_path is not None:
-            self.position = resume_from(resume_path, self.engine.algorithm)
+            self.position = resume_from(
+                resume_path, self.engine.algorithm, fallback=True
+            )
         if self._writer is not None:
             self._writer.last_position = self.position
         #: Stable ``server=`` label for this instance's metric series.
@@ -354,6 +398,8 @@ class SketchServer:
             task.cancel()
         if self._handler_tasks:
             await asyncio.gather(*self._handler_tasks, return_exceptions=True)
+        # Shutdown must not shed its own final checkpoint.
+        self.queue_deadline = None
         if self._writer is not None and self._writer.last_position != self.position:
             await self._engine_call(self._checkpoint_now)
         if self._engine_pool is not None:
@@ -416,18 +462,58 @@ class SketchServer:
 
         The semaphore bounds queued operations (backpressure); FIFO
         submission order on a one-thread pool is the linear history every
-        correctness claim leans on.
+        correctness claim leans on.  With ``queue_deadline`` set, a
+        request that cannot claim a slot in time is shed with a
+        retryable :class:`ServerBusy` *before* reaching the engine.
         """
+        if self.queue_deadline is not None:
+            try:
+                await asyncio.wait_for(
+                    self._slots.acquire(), timeout=self.queue_deadline
+                )
+            except asyncio.TimeoutError:
+                self.stats.bump(busy=1)
+                raise ServerBusy(
+                    f"engine queue saturated past the {self.queue_deadline}s "
+                    "queue deadline; the request was not applied -- retry"
+                ) from None
+            try:
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(self._engine_pool, fn, *args)
+            finally:
+                self._slots.release()
         async with self._slots:
             loop = asyncio.get_running_loop()
             return await loop.run_in_executor(self._engine_pool, fn, *args)
 
-    def _feed(self, items: np.ndarray, deltas: np.ndarray) -> int:
+    def _feed(
+        self,
+        items: np.ndarray,
+        deltas: np.ndarray,
+        client_id: Optional[str] = None,
+        seq: Optional[int] = None,
+    ) -> tuple[int, bool]:
+        # Sequenced-feed dedup runs HERE, on the engine thread: the
+        # single-thread executor makes check-then-apply atomic across
+        # connections, so a dying connection's in-flight feed and its
+        # reconnected retransmit can never both apply.
+        if client_id is not None:
+            last = self._feed_seqs.get(client_id)
+            if last is not None:
+                if seq <= last:
+                    return self.position, True  # duplicate: ack, don't apply
+                if seq > last + 1:
+                    raise SequenceGap(
+                        f"client {client_id!r} sent seq {seq} after {last}; "
+                        "an earlier feed is missing -- resend from "
+                        f"seq {last + 1}"
+                    )
+            self._feed_seqs[client_id] = seq
         self.engine.algorithm.process_batch(items, deltas)
         self.position += len(items)
         if self._writer is not None and self._writer.maybe(self.position):
             self.stats.bump(checkpoints=1)
-        return self.position
+        return self.position, False
 
     def _checkpoint_now(self) -> dict:
         if self._writer is None:
@@ -479,7 +565,9 @@ class SketchServer:
             "queries": stats.queries,
             "errors": stats.errors,
             "checkpoints": stats.checkpoints,
+            "busy": stats.busy,
             "queue_depth": self.queue_depth,
+            "queue_deadline": self.queue_deadline,
             "num_shards": self.engine.num_shards,
             "backend": self.engine.backend,
             "shard_loads": list(self.engine.algorithm.shard_loads()),
@@ -566,6 +654,18 @@ class SketchServer:
             return payload["exposition"]
 
         async def _ready() -> tuple[bool, dict]:
+            # Loop-side pre-check first: ``health()`` reads process
+            # liveness and supervision flags without touching worker
+            # pipes, so /readyz flips to 503 the moment a worker dies or
+            # a respawn-and-replay is in flight -- even while the engine
+            # thread is busy doing that recovery.
+            health = self.engine.algorithm.health()
+            if not health.get("ok", True):
+                health["status"] = (
+                    "recovering" if health.get("recovering") else "degraded"
+                )
+                health["server"] = self.label
+                return False, health
             try:
                 health = await asyncio.wait_for(
                     self._engine_call(self.engine.algorithm.health),
@@ -624,7 +724,20 @@ class SketchServer:
                     "feed needs aligned one-dimensional int64 'items' and "
                     "'deltas' arrays"
                 )
-            position = await self._engine_call(self._feed, items, deltas)
+            client_id = message.get("client")
+            seq = message.get("seq")
+            if client_id is not None:
+                if not isinstance(client_id, str):
+                    raise ValueError("feed 'client' must be a string id")
+                if not isinstance(seq, int) or isinstance(seq, bool):
+                    raise ValueError(
+                        "a sequenced feed needs an integer 'seq'"
+                    )
+            position, duplicate = await self._engine_call(
+                self._feed, items, deltas, client_id, seq
+            )
+            if duplicate:
+                return {"count": 0, "position": position, "duplicate": True}
             connection.bump(updates=len(items))
             self.stats.bump(updates=len(items))
             self.stats.last_feed_at = time.monotonic()

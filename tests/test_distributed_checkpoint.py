@@ -23,7 +23,9 @@ from repro.core.engine import StreamEngine
 from repro.distinct.sis_l0 import SisL0Estimator
 from repro.distributed.checkpoint import (
     CheckpointWriter,
+    checkpoint_candidates,
     load_checkpoint,
+    load_latest_checkpoint,
     resume_from,
     save_checkpoint,
     tail_chunks,
@@ -108,6 +110,94 @@ class TestCheckpointFile:
         sketch.feed_batch(items, deltas)
         save_checkpoint(path, sketch, 100)
         assert load_checkpoint(path).position == 100
+
+
+class TestCheckpointRotation:
+    def test_keep_retains_last_n_predecessors(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        sketch = make_sketch()
+        items, deltas = stream_arrays(400)
+        for step in range(4):
+            sketch.feed_batch(
+                items[step * 100 : (step + 1) * 100],
+                deltas[step * 100 : (step + 1) * 100],
+            )
+            save_checkpoint(path, sketch, (step + 1) * 100, keep=2)
+        # head = 400, .1 = 300, .2 = 200; 100 rotated off the end
+        assert load_checkpoint(path).position == 400
+        assert load_checkpoint(tmp_path / "run.ckpt.1").position == 300
+        assert load_checkpoint(tmp_path / "run.ckpt.2").position == 200
+        assert not (tmp_path / "run.ckpt.3").exists()
+        candidates = checkpoint_candidates(path)
+        assert [c.name for c in candidates] == [
+            "run.ckpt",
+            "run.ckpt.1",
+            "run.ckpt.2",
+        ]
+
+    def test_truncated_head_falls_back_to_newest_verifiable(self, tmp_path):
+        """A torn head write (injected partial write) must not lose the
+        run: resume falls back to the newest rotated sibling that still
+        verifies, and replaying the slightly longer tail reproduces the
+        uninterrupted run bit for bit."""
+        path = tmp_path / "run.ckpt"
+        items, deltas = stream_arrays(300)
+        sketch = make_sketch()
+        sketch.feed_batch(items[:100], deltas[:100])
+        save_checkpoint(path, sketch, 100, keep=2)
+        sketch.feed_batch(items[100:200], deltas[100:200])
+        save_checkpoint(path, sketch, 200, keep=2)
+        # inject a partial write: the head is cut mid-body
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        checkpoint, source = load_latest_checkpoint(path)
+        assert checkpoint.position == 100
+        assert source.name == "run.ckpt.1"
+        with pytest.raises(SnapshotError):
+            resume_from(path, make_sketch())  # strict mode still fails
+        resumed = make_sketch()
+        position = resume_from(path, resumed, fallback=True)
+        assert position == 100
+        resumed.feed_batch(items[position:], deltas[position:])
+        reference = make_sketch()
+        reference.feed_batch(items, deltas)
+        assert_state_identical(reference, resumed)
+
+    def test_corrupt_head_and_sibling_fall_through_in_order(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        sketch = make_sketch()
+        for position in (10, 20, 30):
+            save_checkpoint(path, sketch, position, keep=2)
+        for victim in (path, tmp_path / "run.ckpt.1"):
+            blob = bytearray(victim.read_bytes())
+            blob[-1] ^= 0xFF
+            victim.write_bytes(bytes(blob))
+        checkpoint, source = load_latest_checkpoint(path)
+        assert checkpoint.position == 10
+        assert source.name == "run.ckpt.2"
+
+    def test_nothing_verifiable_raises_with_every_failure(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, make_sketch(), 10, keep=1)
+        save_checkpoint(path, make_sketch(), 20, keep=1)
+        for victim in (path, tmp_path / "run.ckpt.1"):
+            victim.write_bytes(b"garbage")
+        with pytest.raises(SnapshotError, match="no verifiable checkpoint"):
+            load_latest_checkpoint(path)
+        with pytest.raises(SnapshotError, match="no checkpoint file"):
+            load_latest_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_writer_passes_keep_through(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        writer = CheckpointWriter(path, make_sketch(), every=10, keep=1)
+        writer.flush(10)
+        writer.flush(20)
+        assert load_checkpoint(path).position == 20
+        assert load_checkpoint(tmp_path / "run.ckpt.1").position == 10
+        with pytest.raises(ValueError):
+            CheckpointWriter(path, make_sketch(), keep=-1)
+        with pytest.raises(ValueError):
+            save_checkpoint(path, make_sketch(), 0, keep=-2)
 
 
 class TestCheckpointWriter:

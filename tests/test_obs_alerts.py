@@ -23,7 +23,13 @@ from repro.obs import (
     ThresholdRule,
     merge_alert_payloads,
 )
-from repro.obs.alerts import ALERT_TRANSITIONS_METRIC
+from repro.obs.alerts import (
+    ALERT_TRANSITIONS_METRIC,
+    CLIENT_RETRIES_METRIC,
+    DEGRADED_READS_METRIC,
+    WORKER_RESTARTS_METRIC,
+    default_fault_rules,
+)
 from repro.obs.monitors import SHARD_SKEW_METRIC
 from repro.parallel.sharded import ShardedStreamEngine
 
@@ -331,3 +337,91 @@ class TestSkewAlertLifecycle:
         assert payload["firing"] == 0
         assert payload["evaluated_at"] == clock.now
         obs.reset()
+
+
+class TestDefaultFaultRules:
+    """The stock fault-tolerance rule set, pinned on a fake clock."""
+
+    def _engine(self, clock, **kwargs):
+        return AlertEngine(
+            default_fault_rules(**kwargs),
+            clock=clock,
+            registry=MetricsRegistry(enabled=True),
+        )
+
+    def test_rule_set_shape(self):
+        rules = default_fault_rules()
+        assert [r.name for r in rules] == [
+            "worker-restart-storm",
+            "client-retry-storm",
+            "degraded-reads",
+        ]
+        by_name = {r.name: r for r in rules}
+        assert by_name["worker-restart-storm"].severity == "critical"
+        assert by_name["worker-restart-storm"].metric == WORKER_RESTARTS_METRIC
+        assert by_name["client-retry-storm"].metric == CLIENT_RETRIES_METRIC
+        assert by_name["degraded-reads"].metric == DEGRADED_READS_METRIC
+        # every rule tracks a rate: an old incident must not page forever
+        assert all(isinstance(r, RateRule) for r in rules)
+
+    def test_restart_storm_pends_then_fires_then_resolves(self):
+        clock = FakeClock()
+        engine = self._engine(clock, for_seconds=30.0)
+        snap = lambda value: _counter_snapshot(
+            WORKER_RESTARTS_METRIC, {"": value}
+        )
+        engine.evaluate(snap(0))  # baseline observation: never fires
+        clock.advance(10.0)
+        states = {s["rule"]: s for s in engine.evaluate(snap(2))}
+        assert states["worker-restart-storm"]["state"] == "pending"
+        clock.advance(31.0)  # storm sustained past the hold window
+        states = {s["rule"]: s for s in engine.evaluate(snap(12))}
+        assert states["worker-restart-storm"]["state"] == "firing"
+        assert states["worker-restart-storm"]["severity"] == "critical"
+        clock.advance(10.0)  # restarts stop; the counter goes flat
+        states = {s["rule"]: s for s in engine.evaluate(snap(12))}
+        assert states["worker-restart-storm"]["state"] == "resolved"
+
+    def test_single_supervised_respawn_does_not_page(self):
+        """Self-healing is the feature: one respawn in a quiet hour must
+        stay below the storm threshold."""
+        clock = FakeClock()
+        engine = self._engine(clock)
+        snap = lambda value: _counter_snapshot(
+            WORKER_RESTARTS_METRIC, {"": value}
+        )
+        engine.evaluate(snap(0))
+        clock.advance(60.0)
+        states = {s["rule"]: s for s in engine.evaluate(snap(1))}
+        # 1 restart / 60 s = 0.017/s < the 0.05/s default
+        assert states["worker-restart-storm"]["state"] == "inactive"
+
+    def test_retry_storm_fires_on_sustained_retry_rate(self):
+        clock = FakeClock()
+        engine = self._engine(clock, retry_rate=1.0, for_seconds=30.0)
+        snap = lambda value: _counter_snapshot(
+            CLIENT_RETRIES_METRIC, {"kind=reconnect": value}
+        )
+        engine.evaluate(snap(0))
+        clock.advance(10.0)
+        states = {s["rule"]: s for s in engine.evaluate(snap(100))}
+        assert states["client-retry-storm"]["state"] == "pending"
+        clock.advance(31.0)
+        states = {s["rule"]: s for s in engine.evaluate(snap(500))}
+        assert states["client-retry-storm"]["state"] == "firing"
+        assert states["client-retry-storm"]["severity"] == "warning"
+
+    def test_any_degraded_read_fires_immediately(self):
+        """No hold window: every stale answer is operator news."""
+        clock = FakeClock()
+        engine = self._engine(clock)
+        snap = lambda value: _counter_snapshot(
+            DEGRADED_READS_METRIC, {"servers=1": value}
+        )
+        engine.evaluate(snap(0))
+        clock.advance(5.0)
+        states = {s["rule"]: s for s in engine.evaluate(snap(1))}
+        assert states["degraded-reads"]["state"] == "firing"
+        clock.advance(5.0)  # healthy again: no new degraded reads
+        states = {s["rule"]: s for s in engine.evaluate(snap(1))}
+        assert states["degraded-reads"]["state"] == "resolved"

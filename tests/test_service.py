@@ -31,6 +31,7 @@ from repro.heavyhitters.count_sketch import CountSketch
 from repro.service import (
     AsyncSketchClient,
     ProtocolError,
+    RetryPolicy,
     ServiceError,
     SketchClient,
     SketchCoordinator,
@@ -402,7 +403,9 @@ class TestRestartRecovery:
         )
         with second.run_in_thread() as srv:
             client = SketchClient.connect(
-                "127.0.0.1", srv.port, retries=20, retry_interval=0.05
+                "127.0.0.1",
+                srv.port,
+                retry=RetryPolicy.fixed(0.05, retries=20),
             )
             with client:
                 position = client.ping()["position"]
@@ -426,7 +429,22 @@ class TestRestartRecovery:
         port = probe_sock.getsockname()[1]
         probe_sock.close()
         with pytest.raises(OSError):
-            SketchClient.connect("127.0.0.1", port, retries=2, retry_interval=0.01)
+            SketchClient.connect(
+                "127.0.0.1",
+                port,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+            )
+
+    def test_retry_interval_kwarg_warns_but_still_works(self):
+        probe_sock = socket.socket()
+        probe_sock.bind(("127.0.0.1", 0))
+        port = probe_sock.getsockname()[1]
+        probe_sock.close()
+        with pytest.warns(DeprecationWarning, match="retry_interval"):
+            with pytest.raises(OSError):
+                SketchClient.connect(
+                    "127.0.0.1", port, retries=1, retry_interval=0.01
+                )
 
 
 # -- the coordinator ---------------------------------------------------------

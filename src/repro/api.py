@@ -38,9 +38,11 @@ The surface, by layer::
                 CheckpointWriter, verify_checkpoint_resume
     service     SketchServer, SketchClient, AsyncSketchClient,
                 SketchCoordinator, ServiceError, ProtocolError,
-                PROTOCOL_VERSION
+                PROTOCOL_VERSION, hedge_delay_from_metrics
+    healing     FleetProber, MembershipStateMachine,
+                ShardMigrationPlanner, default_membership_rules
     faults      RetryPolicy, ServerBusy, SequenceGap, FaultPlan,
-                ChaosProxy, default_fault_rules
+                ChaosProxy, ServerProcess, default_fault_rules
     telemetry   MetricsRegistry, get_registry, merge_snapshots,
                 render_prometheus, get_tracer, obs_timer,
                 EstimateDriftMonitor, InteractionBudgetMonitor,
@@ -95,6 +97,7 @@ from repro.obs import (
     ShardSkewMonitor,
     ThresholdRule,
     default_fault_rules,
+    default_membership_rules,
     export_otlp,
     get_registry,
     get_tracer,
@@ -115,16 +118,20 @@ from repro.parallel.sharded import ShardedAlgorithm, ShardedStreamEngine
 from repro.service import (
     PROTOCOL_VERSION,
     AsyncSketchClient,
+    FleetProber,
+    MembershipStateMachine,
     ProtocolError,
     RetryPolicy,
     SequenceGap,
     ServerBusy,
     ServiceError,
+    ShardMigrationPlanner,
     SketchClient,
     SketchCoordinator,
     SketchServer,
+    hedge_delay_from_metrics,
 )
-from repro.testing.faults import ChaosProxy, FaultEvent, FaultPlan
+from repro.testing.faults import ChaosProxy, FaultEvent, FaultPlan, ServerProcess
 
 #: Major version of this surface.  Additions bump nothing; a removal or
 #: an incompatible signature change bumps the major and keeps the old
@@ -144,9 +151,11 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FingerprintMismatch",
+    "FleetProber",
     "GameResult",
     "IngestStats",
     "InteractionBudgetMonitor",
+    "MembershipStateMachine",
     "MergeableSketch",
     "MetricsRegistry",
     "ObservabilityGateway",
@@ -157,7 +166,9 @@ __all__ = [
     "SequenceGap",
     "SerializableSketch",
     "ServerBusy",
+    "ServerProcess",
     "ServiceError",
+    "ShardMigrationPlanner",
     "ShardSkewMonitor",
     "ShardedAlgorithm",
     "ShardedStreamEngine",
@@ -177,9 +188,11 @@ __all__ = [
     "chunk_updates",
     "construction_fingerprint",
     "default_fault_rules",
+    "default_membership_rules",
     "export_otlp",
     "get_registry",
     "get_tracer",
+    "hedge_delay_from_metrics",
     "ingest",
     "ingest_async",
     "load_checkpoint",

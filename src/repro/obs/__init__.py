@@ -45,6 +45,10 @@ from typing import Optional
 from repro.obs.alerts import (
     CLIENT_RETRIES_METRIC,
     DEGRADED_READS_METRIC,
+    HEDGED_READS_METRIC,
+    MEMBERSHIP_METRIC,
+    MIGRATIONS_ACTIVE_METRIC,
+    SHARD_MIGRATIONS_METRIC,
     WORKER_RESTARTS_METRIC,
     AbsenceRule,
     AlertEngine,
@@ -52,6 +56,7 @@ from repro.obs.alerts import (
     RateRule,
     ThresholdRule,
     default_fault_rules,
+    default_membership_rules,
     merge_alert_payloads,
 )
 from repro.obs.expo import (
@@ -73,6 +78,7 @@ from repro.obs.metrics import (
     counter_value,
     env_enabled,
     get_registry,
+    histogram_quantile,
     merge_snapshots,
     snapshot_is_empty,
 )
@@ -95,14 +101,18 @@ __all__ = [
     "EXPOSITION_CONTENT_TYPE",
     "EstimateDriftMonitor",
     "Gauge",
+    "HEDGED_READS_METRIC",
     "Histogram",
     "InteractionBudgetMonitor",
+    "MEMBERSHIP_METRIC",
+    "MIGRATIONS_ACTIVE_METRIC",
     "MetricsRegistry",
     "ObservabilityGateway",
     "PHASE_SECONDS_METRIC",
     "PhaseTimer",
     "RateRule",
     "RegistryStatsBase",
+    "SHARD_MIGRATIONS_METRIC",
     "SIZE_BUCKETS",
     "ShardSkewMonitor",
     "SpanRecord",
@@ -113,6 +123,7 @@ __all__ = [
     "counter_total",
     "counter_value",
     "default_fault_rules",
+    "default_membership_rules",
     "enabled",
     "env_enabled",
     "escape_label_value",
@@ -120,6 +131,7 @@ __all__ = [
     "format_label_pairs",
     "get_registry",
     "get_tracer",
+    "histogram_quantile",
     "merge_alert_payloads",
     "merge_snapshots",
     "render_prometheus",

@@ -42,10 +42,15 @@ __all__ = [
     "AlertState",
     "CLIENT_RETRIES_METRIC",
     "DEGRADED_READS_METRIC",
+    "HEDGED_READS_METRIC",
+    "MEMBERSHIP_METRIC",
+    "MIGRATIONS_ACTIVE_METRIC",
     "RateRule",
+    "SHARD_MIGRATIONS_METRIC",
     "ThresholdRule",
     "WORKER_RESTARTS_METRIC",
     "default_fault_rules",
+    "default_membership_rules",
     "merge_alert_payloads",
 ]
 
@@ -58,6 +63,13 @@ ALERT_TRANSITIONS_METRIC = "repro_alert_transitions_total"
 WORKER_RESTARTS_METRIC = "repro_worker_restarts_total"
 CLIENT_RETRIES_METRIC = "repro_client_retries_total"
 DEGRADED_READS_METRIC = "repro_coordinator_degraded_reads_total"
+
+#: Self-healing fleet instruments (producers: the membership prober,
+#: the coordinator's migration path, and the hedging clients).
+MEMBERSHIP_METRIC = "repro_fleet_membership"
+SHARD_MIGRATIONS_METRIC = "repro_shard_migrations_total"
+MIGRATIONS_ACTIVE_METRIC = "repro_shard_migrations_active"
+HEDGED_READS_METRIC = "repro_hedged_reads_total"
 
 #: Merge precedence (higher wins in the fleet fold).
 _STATE_RANK = {"inactive": 0, "resolved": 1, "pending": 2, "firing": 3}
@@ -390,6 +402,51 @@ def default_fault_rules(
             "degraded-reads",
             DEGRADED_READS_METRIC,
             degraded_rate,
+            severity="warning",
+        ),
+    ]
+
+
+def default_membership_rules(
+    *,
+    hedge_rate: float = 1.0,
+    for_seconds: float = 30.0,
+) -> list:
+    """The stock self-healing-fleet rule set (attach to any AlertEngine).
+
+    * ``server-down`` -- the membership gauge reports at least one
+      server in the ``down`` state; fires immediately (critical): a
+      down server means shards are being served from a migrated copy
+      or a stale cache until it returns;
+    * ``migration-in-progress`` -- the coordinator is actively moving
+      a dead server's shards; no hold (warning), so operators see the
+      handoff window even when it completes quickly;
+    * ``hedge-backup-rate`` -- hedged reads are *winning on the backup
+      server* above ``hedge_rate``/s sustained for the hold window: the
+      primary's tail latency has degraded past its own p99 (warning).
+      Fast-path and primary-won hedges are excluded -- those are the
+      feature working, not a symptom.
+    """
+    return [
+        ThresholdRule(
+            "server-down",
+            MEMBERSHIP_METRIC,
+            0,
+            labels={"state": "down"},
+            severity="critical",
+        ),
+        ThresholdRule(
+            "migration-in-progress",
+            MIGRATIONS_ACTIVE_METRIC,
+            0,
+            severity="warning",
+        ),
+        RateRule(
+            "hedge-backup-rate",
+            HEDGED_READS_METRIC,
+            hedge_rate,
+            for_seconds=for_seconds,
+            labels={"outcome": "backup"},
             severity="warning",
         ),
     ]

@@ -61,6 +61,7 @@ __all__ = [
     "counter_total",
     "counter_value",
     "get_registry",
+    "histogram_quantile",
     "merge_snapshots",
     "snapshot_is_empty",
 ]
@@ -528,6 +529,48 @@ def counter_total(snapshot: dict, name: str):
     if data is None:
         return 0
     return sum(data["values"].values())
+
+
+def histogram_quantile(
+    snapshot: dict, name: str, quantile: float = 0.99, **labels
+) -> Optional[float]:
+    """Bucket-resolution quantile estimate from a snapshot histogram.
+
+    Prometheus-style conservative answer: walks the cumulative bucket
+    counts and returns the ``le`` upper bound of the bucket the rank
+    lands in (observations in the +Inf bucket clamp to the highest
+    finite bound).  With ``labels`` the named series is read; without,
+    every series of the histogram is summed first.  Returns ``None``
+    when the histogram or series is absent or empty -- callers fall
+    back to a static default (the hedged-read delay does exactly this).
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    data = snapshot.get("histograms", {}).get(name)
+    if data is None:
+        return None
+    if labels:
+        series = data["values"].get(_label_key(labels))
+        selected = [series] if series is not None else []
+    else:
+        selected = list(data["values"].values())
+    if not selected:
+        return None
+    bounds = [float(bound) for bound in data["buckets"]]
+    counts = [0] * (len(bounds) + 1)
+    for entry in selected:
+        for index, value in enumerate(entry[0]):
+            counts[index] += value
+    total = sum(counts)
+    if total <= 0:
+        return None
+    rank = quantile * total
+    cumulative = 0
+    for index, value in enumerate(counts):
+        cumulative += value
+        if cumulative >= rank:
+            return bounds[min(index, len(bounds) - 1)]
+    return bounds[-1]
 
 
 _default_registry: Optional[MetricsRegistry] = None

@@ -313,6 +313,27 @@ class ShardedAlgorithm(StreamAlgorithm):
             self.shards[0].restore(data)
         self.updates_processed = sum(self.shard_loads())
 
+    def merge_snapshot(self, data: bytes) -> None:
+        """Merge a wire-format snapshot into the fleet, keeping state.
+
+        The additive sibling of :meth:`load_snapshot`: the snapshot is
+        fingerprint-verified and *folded into* shard 0 instead of
+        replacing it, so a server can absorb a dead peer's shards while
+        its own keep counting (the coordinator's cross-server migration
+        path).  Exactness is the merge property itself: fold order
+        never changes the final state.
+        """
+        pool = self._live_pool()
+        self._merged_cache = None
+        if pool is not None:
+            twin = copy.deepcopy(self.shards[0])
+            twin.restore(pool.snapshots()[0])
+            twin.merge_snapshot(data)
+            pool.restore(0, twin.snapshot())
+        else:
+            self.shards[0].merge_snapshot(data)
+        self.updates_processed = sum(self.shard_loads())
+
     def query(self):
         return self.merged().query()
 
@@ -505,6 +526,10 @@ class ShardedStreamEngine:
     def load_snapshot(self, data: bytes) -> None:
         """Load a wire-format snapshot (see :meth:`ShardedAlgorithm.load_snapshot`)."""
         self.algorithm.load_snapshot(data)
+
+    def merge_snapshot(self, data: bytes) -> None:
+        """Fold a wire-format snapshot in (see :meth:`ShardedAlgorithm.merge_snapshot`)."""
+        self.algorithm.merge_snapshot(data)
 
     def drive(self, updates, on_chunk=None, **checkpoint_kwargs) -> ShardedAlgorithm:
         """Feed an update iterable through the partition/scatter pipeline.

@@ -20,13 +20,29 @@ puts a service boundary in front of it:
 * :mod:`repro.service.coordinator` -- :class:`SketchCoordinator`, which
   owns the :class:`~repro.parallel.partition.UniversePartitioner`,
   routes per-server batch slices and merge-snapshot payloads between
-  fleets, and does checkpoint/recovery over the wire.
+  fleets, and does checkpoint/recovery over the wire;
+* :mod:`repro.service.membership` -- the self-healing layer:
+  :class:`FleetProber` (background health probing driving a per-server
+  ``up / suspect / down / readmitting`` state machine with automatic
+  fingerprint-verified readmission), :class:`MembershipStateMachine`,
+  and :class:`ShardMigrationPlanner` (cross-server shard migration for
+  permanently lost servers).
 
 The stable import surface for all of it is :mod:`repro.api`.
 """
 
-from repro.service.client import AsyncSketchClient, SketchClient
+from repro.service.client import (
+    DEFAULT_HEDGE_DELAY,
+    AsyncSketchClient,
+    SketchClient,
+    hedge_delay_from_metrics,
+)
 from repro.service.coordinator import SketchCoordinator
+from repro.service.membership import (
+    FleetProber,
+    MembershipStateMachine,
+    ShardMigrationPlanner,
+)
 from repro.service.protocol import (
     DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
@@ -41,7 +57,10 @@ from repro.service.server import ConnectionStats, ServerStats, SketchServer
 __all__ = [
     "AsyncSketchClient",
     "ConnectionStats",
+    "DEFAULT_HEDGE_DELAY",
     "DEFAULT_MAX_FRAME",
+    "FleetProber",
+    "MembershipStateMachine",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RetryPolicy",
@@ -50,7 +69,9 @@ __all__ = [
     "ServerBusy",
     "ServerStats",
     "ServiceError",
+    "ShardMigrationPlanner",
     "SketchClient",
     "SketchCoordinator",
     "SketchServer",
+    "hedge_delay_from_metrics",
 ]

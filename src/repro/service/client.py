@@ -44,11 +44,27 @@ dedup acks duplicates without re-applying them, making the whole replay
 **exactly-once** (the chaos tests pin byte-identical final state
 against a serial engine).  Only idempotent-by-construction traffic
 auto-retries: connects, and sequenced feeds.
+
+Hedged reads
+------------
+``enable_hedging(host, port)`` arms the tail-latency defense for
+*replicated* deployments (two servers fed the same stream, verified by
+construction fingerprint): an ``estimate`` that has not answered within
+``hedge_delay`` seconds is fired again at the backup server and the
+first full reply wins.  The loser's reply is drained off its connection
+later (never interleaved with a live request), so the one-in-flight
+protocol invariant holds on both sockets.  The delay defaults to the
+p99 of the ``repro_phase_seconds`` estimate-latency series when
+observability is on (:func:`hedge_delay_from_metrics`); outcomes land
+in ``repro_hedged_reads_total{outcome=}`` -- ``fast`` (no hedge fired),
+``primary`` / ``backup`` (hedge fired, who won), ``failover`` (primary
+connection died, backup answered).
 """
 
 from __future__ import annotations
 
 import asyncio
+import select
 import socket
 import time
 import uuid
@@ -58,6 +74,14 @@ from typing import Optional
 
 import numpy as np
 
+from repro.distributed.codec import FingerprintMismatch
+from repro.obs import (
+    HEDGED_READS_METRIC,
+    PHASE_SECONDS_METRIC,
+    get_registry as _get_obs_registry,
+    histogram_quantile,
+    phase_histogram,
+)
 from repro.service.protocol import (
     DEFAULT_MAX_FRAME,
     make_request,
@@ -73,10 +97,61 @@ from repro.service.protocol import (
 )
 from repro.service.retry import RetryPolicy, count_retry
 
-__all__ = ["SketchClient", "AsyncSketchClient"]
+__all__ = [
+    "SketchClient",
+    "AsyncSketchClient",
+    "DEFAULT_HEDGE_DELAY",
+    "hedge_delay_from_metrics",
+]
 
 #: Default pipelining window for feed_chunks (unacknowledged batches).
 DEFAULT_WINDOW = 8
+
+#: Fallback hedge delay (seconds) when no latency histogram is recorded
+#: (fresh process, or the ``REPRO_OBS=0`` kill switch).
+DEFAULT_HEDGE_DELAY = 0.05
+
+#: Phase label client-side estimate latency records under.
+ESTIMATE_PHASE = "client.estimate"
+
+_obs_registry = _get_obs_registry()
+_obs_hedged = _obs_registry.counter(
+    HEDGED_READS_METRIC,
+    "Hedged estimate outcomes (fast/primary/backup/failover)",
+)
+
+
+def _observe_estimate(seconds: float) -> None:
+    if _obs_registry.enabled:
+        phase_histogram(_obs_registry).observe(seconds, phase=ESTIMATE_PHASE)
+
+
+def hedge_delay_from_metrics(
+    snapshot: Optional[dict] = None,
+    *,
+    quantile: float = 0.99,
+    default: float = DEFAULT_HEDGE_DELAY,
+) -> float:
+    """The adaptive hedge delay: p99 of observed request latency.
+
+    Reads the ``repro_phase_seconds`` histogram -- the client-side
+    ``client.estimate`` series first (recorded by every un-hedged or
+    fast-path estimate), the server-side ``service.request`` series as
+    a fallback (available when client and server share a process, or
+    when a scraped fleet snapshot is passed in).  Returns ``default``
+    when neither series exists, including under ``REPRO_OBS=0``.
+    """
+    if snapshot is None:
+        if not _obs_registry.enabled:
+            return default
+        snapshot = _obs_registry.snapshot()
+    for phase in (ESTIMATE_PHASE, "service.request"):
+        value = histogram_quantile(
+            snapshot, PHASE_SECONDS_METRIC, quantile, phase=phase
+        )
+        if value is not None:
+            return float(value)
+    return default
 
 
 def _as_feed_arrays(items, deltas) -> tuple[np.ndarray, np.ndarray]:
@@ -149,6 +224,12 @@ class SketchClient:
         self._address: Optional[tuple[str, int]] = None
         self._policy: Optional[RetryPolicy] = None
         self._hello = False
+        #: Abandoned hedged-request ids whose replies are still due on
+        #: this connection; ``_drain`` discards them on arrival.
+        self._stale_ids: set[int] = set()
+        self._hedge: Optional[dict] = None
+        #: Functional hedged-read accounting (works under ``REPRO_OBS=0``).
+        self.hedge_outcomes: dict[str, int] = {}
 
     @classmethod
     def connect(
@@ -231,6 +312,7 @@ class SketchClient:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         sock.settimeout(policy.op_timeout)
         self._sock = sock
+        self._stale_ids.clear()
         if self._hello:
             self.server_info = self.hello()
 
@@ -240,9 +322,15 @@ class SketchClient:
         return self._request_seq
 
     def _drain(self, request_id: int):
-        return raise_for_reply(
-            recv_message(self._sock, self._max_frame), request_id
-        )
+        while True:
+            message = recv_message(self._sock, self._max_frame)
+            reply_id = message.get("id")
+            if reply_id in self._stale_ids:
+                # A hedged request this client abandoned: its reply
+                # arrives here, out of band -- discard and keep reading.
+                self._stale_ids.discard(reply_id)
+                continue
+            return raise_for_reply(message, request_id)
 
     def _request(self, op: str, **fields):
         return self._drain(self._send(op, **fields))
@@ -282,10 +370,18 @@ class SketchClient:
         """
         return self._request("alerts")
 
-    def feed(self, items, deltas) -> dict:
-        """Send one update batch; returns ``{"count", "position"}``."""
+    def feed(self, items, deltas, *, seq: Optional[int] = None) -> dict:
+        """Send one update batch; returns ``{"count", "position"}``.
+
+        With ``seq=`` the batch is sequenced under this client's
+        identity (the exactly-once dedup channel ``feed_chunks`` uses);
+        resending the *same* seq after a lost acknowledgement is safe.
+        """
         items, deltas = _as_feed_arrays(items, deltas)
-        return self._request("feed", items=items, deltas=deltas)
+        fields = {"items": items, "deltas": deltas}
+        if seq is not None:
+            fields.update(client=self.client_id, seq=int(seq))
+        return self._request("feed", **fields)
 
     def feed_chunks(
         self,
@@ -437,9 +533,145 @@ class SketchClient:
         return {"count": total, "position": position}
 
     def estimate(self, items) -> np.ndarray:
-        """Batched point estimates from the server's merged state."""
+        """Batched point estimates from the server's merged state.
+
+        Idempotent by construction, so this is the one call
+        ``enable_hedging`` races against a backup replica.
+        """
         items = np.ascontiguousarray(items, dtype=np.int64)
-        return unpack_array(self._request("estimate", items=items))
+        if self._hedge is not None:
+            return unpack_array(self._hedged_request("estimate", items=items))
+        started = time.perf_counter()
+        reply = self._request("estimate", items=items)
+        _observe_estimate(time.perf_counter() - started)
+        return unpack_array(reply)
+
+    # -- hedged reads -------------------------------------------------------
+
+    def enable_hedging(
+        self, host: str, port: int, *, delay: Optional[float] = None
+    ) -> None:
+        """Arm hedged estimates against a backup replica at ``host:port``.
+
+        The backup connection opens lazily on the first hedge and its
+        construction fingerprint must match the primary's.  ``delay`` is
+        the seconds to wait on the primary before firing the hedge;
+        ``None`` (default) re-derives the p99 from the latency histogram
+        on every hedged call (:func:`hedge_delay_from_metrics`).
+        """
+        self._hedge = {"address": (host, int(port)), "delay": delay, "client": None}
+
+    def _count_hedge(self, outcome: str) -> None:
+        self.hedge_outcomes[outcome] = self.hedge_outcomes.get(outcome, 0) + 1
+        if _obs_registry.enabled:
+            _obs_hedged.add(1, outcome=outcome)
+
+    def _hedge_backup(self) -> "SketchClient":
+        hedge = self._hedge
+        backup = hedge["client"]
+        if backup is None or backup._sock.fileno() < 0:
+            host, port = hedge["address"]
+            backup = SketchClient.connect(
+                host, port, retry=self._policy or RetryPolicy(max_attempts=1)
+            )
+            mine = (self.server_info or {}).get("fingerprint")
+            theirs = (backup.server_info or {}).get("fingerprint")
+            if mine is not None and theirs is not None and mine != theirs:
+                backup.close()
+                raise FingerprintMismatch(
+                    "hedge backup's construction fingerprint disagrees with "
+                    "the primary's; hedged reads need identically "
+                    "constructed replicas"
+                )
+            hedge["client"] = backup
+        return backup
+
+    def _hedged_request(self, op: str, **fields):
+        hedge = self._hedge
+        started = time.perf_counter()
+        request_id = self._send(op, **fields)
+        delay = hedge["delay"]
+        if delay is None:
+            delay = hedge_delay_from_metrics()
+        primary_exc: Optional[BaseException] = None
+        readable, _, _ = select.select([self._sock], [], [], max(delay, 0.0))
+        if readable:
+            try:
+                reply = self._drain(request_id)
+            except (OSError, ProtocolError) as exc:
+                # Primary died inside the hedge window: hedge anyway --
+                # the backup turns a would-be error into a failover.
+                primary_exc = exc
+            else:
+                _observe_estimate(time.perf_counter() - started)
+                self._count_hedge("fast")
+                return reply
+        try:
+            backup = self._hedge_backup()
+            backup_id = backup._send(op, **fields)
+        except FingerprintMismatch:
+            raise
+        except (OSError, ProtocolError):
+            # Backup unusable: fall back to waiting out the primary.
+            hedge["client"] = None
+            if primary_exc is not None:
+                raise primary_exc
+            reply = self._drain(request_id)
+            _observe_estimate(time.perf_counter() - started)
+            self._count_hedge("fast")
+            return reply
+        timeout = self._policy.op_timeout if self._policy else None
+        backup_alive = True
+        while True:
+            socks = []
+            if primary_exc is None:
+                socks.append(self._sock)
+            if backup_alive:
+                socks.append(backup._sock)
+            if not socks:
+                raise primary_exc
+            readable, _, _ = select.select(socks, [], [], timeout)
+            if not readable:
+                raise OSError("hedged read timed out on both servers")
+            if primary_exc is None and self._sock in readable:
+                try:
+                    reply = self._drain(request_id)
+                except (OSError, ProtocolError) as exc:
+                    primary_exc = exc
+                    continue
+                except Exception:
+                    # The primary answered with an authoritative error;
+                    # the backup's eventual reply is abandoned.
+                    if backup_alive:
+                        backup._stale_ids.add(backup_id)
+                    raise
+                if backup_alive:
+                    backup._stale_ids.add(backup_id)
+                _observe_estimate(time.perf_counter() - started)
+                self._count_hedge("primary")
+                return reply
+            if backup_alive and backup._sock in readable:
+                try:
+                    reply = backup._drain(backup_id)
+                except (OSError, ProtocolError) as exc:
+                    backup.close()
+                    hedge["client"] = None
+                    backup_alive = False
+                    if primary_exc is not None:
+                        raise exc from primary_exc
+                    continue
+                except Exception:
+                    if primary_exc is None:
+                        self._stale_ids.add(request_id)
+                    raise
+                if primary_exc is None:
+                    self._stale_ids.add(request_id)
+                    outcome = "backup"
+                else:
+                    outcome = "failover"
+                _observe_estimate(time.perf_counter() - started)
+                self._count_hedge(outcome)
+                return reply
 
     def query(self, kind: Optional[str] = None):
         """The sketch family's native query (``kind="f2"`` for F2)."""
@@ -453,11 +685,23 @@ class SketchClient:
         """Wire-format snapshot of the server's merged state."""
         return self._request("snapshot")
 
-    def load_snapshot(self, data: bytes, position: Optional[int] = None) -> dict:
-        """Restore a snapshot into the server's fleet (recovery)."""
+    def load_snapshot(
+        self,
+        data: bytes,
+        position: Optional[int] = None,
+        *,
+        merge: bool = False,
+    ) -> dict:
+        """Restore a snapshot into the server's fleet (recovery).
+
+        ``merge=True`` folds the snapshot into the server's live state
+        instead of replacing it -- the shard-migration handoff.
+        """
         fields = {"snapshot": bytes(data)}
         if position is not None:
             fields["position"] = int(position)
+        if merge:
+            fields["merge"] = True
         return self._request("load_snapshot", **fields)
 
     def checkpoint(self) -> dict:
@@ -465,7 +709,10 @@ class SketchClient:
         return self._request("checkpoint")
 
     def close(self) -> None:
-        """Close the socket (idempotent)."""
+        """Close the socket and any hedge backup (idempotent)."""
+        if self._hedge is not None and self._hedge.get("client") is not None:
+            self._hedge["client"].close()
+            self._hedge["client"] = None
         try:
             self._sock.close()
         except OSError:
@@ -500,6 +747,11 @@ class AsyncSketchClient:
         self._address: Optional[tuple[str, int]] = None
         self._policy: Optional[RetryPolicy] = None
         self._hello = False
+        #: A hedged loser's drain task still reading this connection;
+        #: awaited (and its reply discarded) before the next send.
+        self._pending_drain: Optional[asyncio.Task] = None
+        self._hedge: Optional[dict] = None
+        self.hedge_outcomes: dict[str, int] = {}
 
     @classmethod
     async def connect(
@@ -553,6 +805,7 @@ class AsyncSketchClient:
             raise RuntimeError(
                 "cannot reconnect: this client was not built via connect()"
             )
+        await self._cancel_pending()
         self._writer.close()
         try:
             await self._writer.wait_closed()
@@ -565,7 +818,37 @@ class AsyncSketchClient:
         if self._hello:
             self.server_info = await self.hello()
 
+    async def _settle(self) -> None:
+        """Wait out an abandoned hedge drain before touching the stream.
+
+        The loser of a hedged race keeps a task reading its own reply
+        off this connection; letting a new request interleave with it
+        would desynchronize the one-in-flight protocol.  The task's
+        result (or failure) is discarded -- the race already answered.
+        """
+        task = self._pending_drain
+        if task is None:
+            return
+        self._pending_drain = None
+        try:
+            await task
+        except Exception:
+            pass
+
+    async def _cancel_pending(self) -> None:
+        """Drop an abandoned drain outright (the connection is going away)."""
+        task = self._pending_drain
+        if task is None:
+            return
+        self._pending_drain = None
+        task.cancel()
+        try:
+            await task
+        except BaseException:
+            pass
+
     async def _send(self, op: str, **fields) -> int:
+        await self._settle()
         self._request_seq += 1
         await write_message(
             self._writer, make_request(op, self._request_seq, **fields)
@@ -612,10 +895,13 @@ class AsyncSketchClient:
         """See :meth:`SketchClient.alerts`."""
         return await self._request("alerts")
 
-    async def feed(self, items, deltas) -> dict:
-        """See :meth:`SketchClient.feed`."""
+    async def feed(self, items, deltas, *, seq: Optional[int] = None) -> dict:
+        """See :meth:`SketchClient.feed` (``seq=`` sequences the batch)."""
         items, deltas = _as_feed_arrays(items, deltas)
-        return await self._request("feed", items=items, deltas=deltas)
+        fields = {"items": items, "deltas": deltas}
+        if seq is not None:
+            fields.update(client=self.client_id, seq=int(seq))
+        return await self._request("feed", **fields)
 
     async def feed_chunks(
         self,
@@ -759,9 +1045,136 @@ class AsyncSketchClient:
         return {"count": total, "position": position}
 
     async def estimate(self, items) -> np.ndarray:
-        """See :meth:`SketchClient.estimate`."""
+        """See :meth:`SketchClient.estimate` (hedged when armed)."""
         items = np.ascontiguousarray(items, dtype=np.int64)
-        return unpack_array(await self._request("estimate", items=items))
+        if self._hedge is not None:
+            return unpack_array(
+                await self._hedged_request("estimate", items=items)
+            )
+        started = time.perf_counter()
+        reply = await self._request("estimate", items=items)
+        _observe_estimate(time.perf_counter() - started)
+        return unpack_array(reply)
+
+    # -- hedged reads -------------------------------------------------------
+
+    def enable_hedging(
+        self, host: str, port: int, *, delay: Optional[float] = None
+    ) -> None:
+        """See :meth:`SketchClient.enable_hedging`."""
+        self._hedge = {"address": (host, int(port)), "delay": delay, "client": None}
+
+    def _count_hedge(self, outcome: str) -> None:
+        self.hedge_outcomes[outcome] = self.hedge_outcomes.get(outcome, 0) + 1
+        if _obs_registry.enabled:
+            _obs_hedged.add(1, outcome=outcome)
+
+    async def _hedge_backup(self) -> "AsyncSketchClient":
+        hedge = self._hedge
+        backup = hedge["client"]
+        if backup is None:
+            host, port = hedge["address"]
+            backup = await AsyncSketchClient.connect(
+                host, port, retry=self._policy or RetryPolicy(max_attempts=1)
+            )
+            mine = (self.server_info or {}).get("fingerprint")
+            theirs = (backup.server_info or {}).get("fingerprint")
+            if mine is not None and theirs is not None and mine != theirs:
+                await backup.close()
+                raise FingerprintMismatch(
+                    "hedge backup's construction fingerprint disagrees with "
+                    "the primary's; hedged reads need identically "
+                    "constructed replicas"
+                )
+            hedge["client"] = backup
+        return backup
+
+    @staticmethod
+    def _abandon(owner: "AsyncSketchClient", task: asyncio.Task) -> None:
+        """Park a losing drain on its connection (settled pre-next-send)."""
+        if task.done():
+            if not task.cancelled():
+                task.exception()  # retrieve, so failures never warn
+        else:
+            owner._pending_drain = task
+
+    async def _hedged_request(self, op: str, **fields):
+        hedge = self._hedge
+        started = time.perf_counter()
+        request_id = await self._send(op, **fields)
+        delay = hedge["delay"]
+        if delay is None:
+            delay = hedge_delay_from_metrics()
+        primary = asyncio.ensure_future(self._drain_timed(request_id))
+        done, _ = await asyncio.wait({primary}, timeout=max(delay, 0.0))
+        primary_exc: Optional[BaseException] = None
+        if done:
+            try:
+                reply = primary.result()
+            except (OSError, ProtocolError) as exc:
+                # Primary died inside the hedge window: hedge anyway --
+                # the backup turns a would-be error into a failover.
+                primary_exc = exc
+            else:
+                # Server-side (application) errors raised faithfully above.
+                _observe_estimate(time.perf_counter() - started)
+                self._count_hedge("fast")
+                return reply
+        try:
+            backup = await self._hedge_backup()
+            backup_id = await backup._send(op, **fields)
+        except FingerprintMismatch:
+            self._abandon(self, primary)
+            raise
+        except (OSError, ProtocolError):
+            hedge["client"] = None
+            if primary_exc is not None:
+                raise primary_exc
+            reply = await primary
+            _observe_estimate(time.perf_counter() - started)
+            self._count_hedge("fast")
+            return reply
+        secondary = asyncio.ensure_future(backup._drain_timed(backup_id))
+        if primary_exc is not None:
+            reply = await secondary  # backup's own failure propagates
+            _observe_estimate(time.perf_counter() - started)
+            self._count_hedge("failover")
+            return reply
+        done, _ = await asyncio.wait(
+            {primary, secondary}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if primary in done:
+            try:
+                reply = primary.result()
+            except (OSError, ProtocolError):
+                # Primary connection died mid-read: the backup is now
+                # the only answer.  Its own failure propagates.
+                reply = await secondary
+                _observe_estimate(time.perf_counter() - started)
+                self._count_hedge("failover")
+                return reply
+            except Exception:
+                self._abandon(backup, secondary)
+                raise
+            self._abandon(backup, secondary)
+            _observe_estimate(time.perf_counter() - started)
+            self._count_hedge("primary")
+            return reply
+        try:
+            reply = secondary.result()
+        except (OSError, ProtocolError):
+            hedge["client"] = None
+            reply = await primary  # wait out the primary alone
+            _observe_estimate(time.perf_counter() - started)
+            self._count_hedge("primary")
+            return reply
+        except Exception:
+            self._abandon(self, primary)
+            raise
+        self._abandon(self, primary)
+        _observe_estimate(time.perf_counter() - started)
+        self._count_hedge("backup")
+        return reply
 
     async def query(self, kind: Optional[str] = None):
         """See :meth:`SketchClient.query`."""
@@ -775,11 +1188,19 @@ class AsyncSketchClient:
         """See :meth:`SketchClient.snapshot`."""
         return await self._request("snapshot")
 
-    async def load_snapshot(self, data: bytes, position: Optional[int] = None) -> dict:
-        """See :meth:`SketchClient.load_snapshot`."""
+    async def load_snapshot(
+        self,
+        data: bytes,
+        position: Optional[int] = None,
+        *,
+        merge: bool = False,
+    ) -> dict:
+        """See :meth:`SketchClient.load_snapshot` (``merge=True`` folds in)."""
         fields = {"snapshot": bytes(data)}
         if position is not None:
             fields["position"] = int(position)
+        if merge:
+            fields["merge"] = True
         return await self._request("load_snapshot", **fields)
 
     async def checkpoint(self) -> dict:
@@ -788,6 +1209,11 @@ class AsyncSketchClient:
 
     async def close(self) -> None:
         """Close the connection and wait for the transport to drop."""
+        await self._cancel_pending()
+        if self._hedge is not None and self._hedge.get("client") is not None:
+            backup = self._hedge["client"]
+            self._hedge["client"] = None
+            await backup.close()
         self._writer.close()
         try:
             await self._writer.wait_closed()

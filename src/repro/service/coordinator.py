@@ -24,16 +24,35 @@ the caller replays the stream tail from the returned position.
 Failover
 --------
 The coordinator keeps a per-server snapshot cache (seeded at
-``connect``, refreshed by every successful :meth:`merged` fan-in).  When
-a server is down, :meth:`merged` *degrades* instead of failing: the dead
-server contributes its cached snapshot, the read is annotated in
-``coordinator.last_read`` (which servers were stale, and at what cached
-position), and ``repro_coordinator_degraded_reads_total`` counts it --
-an estimate served during an outage is old news for the dead shard's
-items, never wrong news for the rest.  A recovered server rejoins via
-:meth:`readmit`, which reconnects, re-verifies the construction
-fingerprint, and (when the server came back empty) pushes the cached
-snapshot through the same ``load_snapshot`` path :meth:`recover` uses.
+``connect``, refreshed by every successful :meth:`merged` fan-in and
+every ``journal_every``-chunk rotation) plus a per-server *journal* of
+update slices acknowledged since the last cache refresh.  Cache plus
+journal is the server's exact acknowledged state -- the invariant both
+recovery paths lean on.  When a server is down, :meth:`merged`
+*degrades* instead of failing: the dead server contributes its cached
+snapshot, the read is annotated in ``coordinator.last_read``, and
+``repro_coordinator_degraded_reads_total`` counts it -- an estimate
+served during an outage is old news for the dead shard's items, never
+wrong news for the rest.
+
+Two recovery paths close the loop:
+
+* :meth:`readmit` -- a *returning* server reconnects (same client
+  identity, so the server-side feed dedup keeps working), re-verifies
+  the construction fingerprint, and -- when it came back empty -- is
+  restored from the cache and replayed the journal, then the cache is
+  refreshed from its live state;
+* :meth:`migrate_server` -- a *permanently lost* server's state moves
+  to a survivor: its cached snapshot is folded into the destination via
+  a fingerprint-verified ``load_snapshot(merge=True)``, its journal is
+  replayed as sequenced feeds, and the routing table atomically remaps
+  its partitions.  In-flight :meth:`feed` retries re-resolve routing on
+  every attempt, so they replay against the new owner exactly-once.
+
+Both run under the coordinator's feed lock (one request in flight per
+connection; routing swaps happen only between chunk boundaries).  The
+background :class:`~repro.service.membership.FleetProber` drives both
+automatically -- see :meth:`start_prober`.
 
 The coordinator is asyncio-native (it multiplexes N server connections
 concurrently); wrap calls with :func:`asyncio.run` from sync code.
@@ -55,11 +74,14 @@ from repro.distributed.codec import (
 )
 from repro.obs import (
     DEGRADED_READS_METRIC,
+    MIGRATIONS_ACTIVE_METRIC,
+    SHARD_MIGRATIONS_METRIC,
     get_registry as _get_obs_registry,
 )
 from repro.parallel.partition import UniversePartitioner
 from repro.service.client import AsyncSketchClient
-from repro.service.retry import RetryPolicy
+from repro.service.protocol import ProtocolError
+from repro.service.retry import RetryPolicy, count_retry
 
 __all__ = ["SketchCoordinator"]
 
@@ -67,6 +89,14 @@ _obs_registry = _get_obs_registry()
 _obs_degraded = _obs_registry.counter(
     DEGRADED_READS_METRIC,
     "Coordinator reads answered with at least one stale cached shard",
+)
+_obs_migrations = _obs_registry.counter(
+    SHARD_MIGRATIONS_METRIC,
+    "Cross-server shard migrations completed",
+)
+_obs_migrations_active = _obs_registry.gauge(
+    MIGRATIONS_ACTIVE_METRIC,
+    "Shard migrations currently executing",
 )
 
 
@@ -83,10 +113,16 @@ class SketchCoordinator:
         ``(host, port)`` pairs, one per server; their order defines the
         partition index.
     partitioner:
-        Item -> server map; defaults to a seed-0
+        Item -> partition map; defaults to a seed-0
         :class:`UniversePartitioner` over ``len(addresses)`` parts --
         the same default a :class:`ShardedAlgorithm` of that width uses,
         so a coordinator fleet partitions identically to a local fleet.
+        Partitions map to servers through the ``routing`` table
+        (identity until a migration remaps a dead server's partitions).
+    journal_every:
+        Feed chunks between journal rotations (cache refresh + journal
+        clear).  Smaller keeps less replay state in memory; larger
+        snapshots the fleet less often.
     """
 
     def __init__(
@@ -94,9 +130,13 @@ class SketchCoordinator:
         factory: Callable[[], StreamAlgorithm],
         addresses: Sequence[tuple[str, int]],
         partitioner: Optional[UniversePartitioner] = None,
+        *,
+        journal_every: int = 8,
     ) -> None:
         if not addresses:
             raise ValueError("coordinator needs at least one server address")
+        if journal_every < 1:
+            raise ValueError(f"journal_every must be >= 1, got {journal_every}")
         self.factory = factory
         self.addresses = list(addresses)
         self.partitioner = partitioner or UniversePartitioner(len(self.addresses))
@@ -106,6 +146,26 @@ class SketchCoordinator:
         #: Updates routed so far (absolute once ``recover`` seeds it).
         self.position = 0
         self._policy: Optional[RetryPolicy] = None
+        #: Partition index -> owning server index.  Identity until a
+        #: migration remaps a dead server's partitions to a survivor.
+        self.routing: list[int] = list(range(len(self.addresses)))
+        #: Servers whose partitions have been migrated away (standby if
+        #: they return; they own no routing until re-planned).
+        self._migrated: set[int] = set()
+        #: Per-server replay journal: update slices acknowledged since
+        #: the last cache refresh.  Cache + journal = exact acked state.
+        self._journals: list[list[tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in self.addresses
+        ]
+        self._chunks_since_rotate = 0
+        self.journal_every = int(journal_every)
+        #: Updates routed per server (the migration planner's load key).
+        self.routed_updates: list[int] = [0] * len(self.addresses)
+        #: Migrations completed (functional twin of the metric).
+        self.migrations = 0
+        #: One request in flight per connection: feeds, fan-ins, and
+        #: routing swaps all serialize here (waits happen off-lock).
+        self._feed_lock = asyncio.Lock()
         #: Per-server snapshot cache backing degraded reads: last known
         #: good merged-state bytes and the coordinator position they
         #: were observed at.
@@ -123,6 +183,7 @@ class SketchCoordinator:
         self.server_health: list[dict] = []
         #: Degraded reads served so far (functional twin of the metric).
         self.degraded_reads = 0
+        self.prober = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -176,7 +237,10 @@ class SketchCoordinator:
         return self
 
     async def close(self) -> None:
-        """Close every server connection (idempotent)."""
+        """Stop the prober and close every server connection (idempotent)."""
+        if self.prober is not None:
+            prober, self.prober = self.prober, None
+            await prober.stop()
         clients, self.clients = self.clients, []
         for client in clients:
             await client.close()
@@ -192,30 +256,142 @@ class SketchCoordinator:
             raise RuntimeError("coordinator is not connected (call connect())")
         return self.clients
 
+    def start_prober(self, **kwargs):
+        """Attach and start a background :class:`FleetProber`.
+
+        Keyword arguments pass through to the prober constructor
+        (cadence policy, thresholds, clock).  The prober task runs on
+        the current loop until :meth:`close` (or ``prober.stop()``).
+        """
+        from repro.service.membership import FleetProber
+
+        if self.prober is not None:
+            raise RuntimeError("coordinator already has a prober attached")
+        self.prober = FleetProber(self, **kwargs)
+        self.prober.start()
+        return self.prober
+
     # -- routing ------------------------------------------------------------
 
+    async def _send_feed(
+        self, client: AsyncSketchClient, seq: int, items, deltas
+    ) -> dict:
+        """One sequenced feed attempt with a single inline reconnect.
+
+        Resending the *same* ``(client_id, seq)`` is the exactly-once
+        mechanism: a chunk that was applied but whose ack was lost comes
+        back as a duplicate-ack, never a double apply.
+        """
+        async def attempt() -> dict:
+            request_id = await client._send(
+                "feed",
+                items=items,
+                deltas=deltas,
+                client=client.client_id,
+                seq=seq,
+            )
+            return await client._drain_timed(request_id)
+
+        try:
+            return await attempt()
+        except (OSError, ProtocolError):
+            await client._reopen()
+            return await attempt()
+
     async def feed(self, items, deltas) -> int:
-        """Partition one batch and feed every server its slice, concurrently.
+        """Partition one batch and feed every owning server its slice.
 
         Returns the coordinator's stream position after the batch.  The
         per-server slices preserve stream order (the partitioner's
         counting sort is stable), so each server sees exactly the
         sub-stream of its items -- the distributed mirror of
         ``ShardedAlgorithm.process_batch``.
+
+        Slices are sequenced under the coordinator's per-server client
+        identity and retried under the connect policy: transient
+        failures (reset connections, ``busy`` sheds) back off and resend
+        the same sequence numbers, and every retry re-resolves the
+        routing table -- so a slice whose owner died mid-batch replays
+        against the server its partitions migrated to.  Backoff sleeps
+        happen outside the feed lock, so a stuck slice never blocks the
+        fan-in or a migration that would unstick it.
         """
         clients = self._require_clients()
         items = np.ascontiguousarray(items, dtype=np.int64)
         deltas = np.ascontiguousarray(deltas, dtype=np.int64)
-        if items.size:
-            parts = self.partitioner.split(items, deltas)
-            await asyncio.gather(
-                *(
-                    client.feed(part[0], part[1])
-                    for client, part in zip(clients, parts)
-                    if part is not None and len(part[0])
+        if not items.size:
+            return self.position
+        parts = self.partitioner.split(items, deltas)
+        pending: dict[int, tuple] = {
+            index: part
+            for index, part in enumerate(parts)
+            if part is not None and len(part[0])
+        }
+        # owner -> (seq, partition tuple, items, deltas): a reserved
+        # sequence number survives retries of the same slice group, and
+        # is re-drawn only when routing changes the group's composition.
+        reservations: dict[int, tuple] = {}
+        schedule = None
+        last_error: Optional[BaseException] = None
+        while pending:
+            async with self._feed_lock:
+                groups: dict[int, list[int]] = {}
+                for partition in sorted(pending):
+                    groups.setdefault(self.routing[partition], []).append(
+                        partition
+                    )
+                sends = []
+                for owner in sorted(groups):
+                    group = tuple(groups[owner])
+                    reserved = reservations.get(owner)
+                    if reserved is None or reserved[1] != group:
+                        client = clients[owner]
+                        client._feed_seq += 1
+                        if len(group) == 1:
+                            merged_items, merged_deltas = pending[group[0]]
+                        else:
+                            merged_items = np.concatenate(
+                                [pending[p][0] for p in group]
+                            )
+                            merged_deltas = np.concatenate(
+                                [pending[p][1] for p in group]
+                            )
+                        reserved = (
+                            client._feed_seq, group, merged_items, merged_deltas
+                        )
+                        reservations[owner] = reserved
+                    sends.append((owner, reserved))
+                results = await asyncio.gather(
+                    *(
+                        self._send_feed(
+                            clients[owner], entry[0], entry[2], entry[3]
+                        )
+                        for owner, entry in sends
+                    ),
+                    return_exceptions=True,
                 )
-            )
-            self.position += int(items.size)
+                for (owner, entry), result in zip(sends, results):
+                    if isinstance(result, BaseException):
+                        last_error = result
+                        continue
+                    for partition in entry[1]:
+                        pending.pop(partition, None)
+                    self._journals[owner].append((entry[2], entry[3]))
+                    self.routed_updates[owner] += int(entry[2].size)
+                    reservations.pop(owner, None)
+            if not pending:
+                break
+            if schedule is None:
+                schedule = (self._policy or RetryPolicy()).start()
+            delay = schedule.next_delay()
+            if delay is None:
+                raise last_error
+            count_retry("coordinator-feed")
+            await asyncio.sleep(delay)
+        self.position += int(items.size)
+        self._chunks_since_rotate += 1
+        if self._chunks_since_rotate >= self.journal_every:
+            await self._rotate_journals()
         return self.position
 
     async def feed_chunks(self, source) -> int:
@@ -225,16 +401,46 @@ class SketchCoordinator:
             await self.feed(items, deltas)
         return self.position
 
+    async def _rotate_journals(self) -> None:
+        """Refresh the snapshot cache and drop the replayed-past journals.
+
+        Best-effort per server: a server that cannot answer keeps its
+        journal (cache + journal stays its exact acked state, which is
+        precisely what a later migration or readmission replays).
+        """
+        clients = self._require_clients()
+        async with self._feed_lock:
+            self._chunks_since_rotate = 0
+            active = [
+                index
+                for index, journal in enumerate(self._journals)
+                if journal and index not in self._migrated
+            ]
+            if not active:
+                return
+            results = await asyncio.gather(
+                *(clients[index].snapshot() for index in active),
+                return_exceptions=True,
+            )
+            for index, result in zip(active, results):
+                if isinstance(result, BaseException):
+                    continue
+                self._snapshots[index] = result
+                self._snapshot_positions[index] = self.position
+                self._journals[index].clear()
+
     # -- fan-in: the wire merge --------------------------------------------
 
     async def merged(self, allow_degraded: bool = True) -> StreamAlgorithm:
         """One sketch equal to a single engine fed the whole stream.
 
-        Pulls every server's merged snapshot concurrently and folds them
-        into a deep copy of the local template -- ``restore`` for the
-        first payload, fingerprint-verified merges for the rest, exactly
-        the :meth:`ShardedAlgorithm.merged` fan-in with TCP in the
-        middle.
+        Pulls every active server's merged snapshot concurrently and
+        folds them into a deep copy of the local template -- ``restore``
+        for the first payload, fingerprint-verified merges for the rest,
+        exactly the :meth:`ShardedAlgorithm.merged` fan-in with TCP in
+        the middle.  Servers whose partitions migrated away are skipped
+        entirely (their state lives on, and is counted by, the
+        destination server).
 
         With ``allow_degraded`` (the default), a server that cannot
         answer contributes its *cached* snapshot instead of failing the
@@ -246,25 +452,32 @@ class SketchCoordinator:
         freeze a dead shard's past.
         """
         clients = self._require_clients()
-        results = await asyncio.gather(
-            *(client.snapshot() for client in clients),
-            return_exceptions=True,
-        )
-        snapshots: list[bytes] = []
-        stale: list[int] = []
-        for index, result in enumerate(results):
-            if isinstance(result, BaseException):
-                if (
-                    not allow_degraded
-                    or self._snapshots[index] is None
-                ):
-                    raise result
-                snapshots.append(self._snapshots[index])
-                stale.append(index)
-            else:
-                snapshots.append(result)
-                self._snapshots[index] = result
-                self._snapshot_positions[index] = self.position
+        async with self._feed_lock:
+            active = [
+                index
+                for index in range(len(clients))
+                if index not in self._migrated
+            ]
+            results = await asyncio.gather(
+                *(clients[index].snapshot() for index in active),
+                return_exceptions=True,
+            )
+            snapshots: list[bytes] = []
+            stale: list[int] = []
+            for index, result in zip(active, results):
+                if isinstance(result, BaseException):
+                    if (
+                        not allow_degraded
+                        or self._snapshots[index] is None
+                    ):
+                        raise result
+                    snapshots.append(self._snapshots[index])
+                    stale.append(index)
+                else:
+                    snapshots.append(result)
+                    self._snapshots[index] = result
+                    self._snapshot_positions[index] = self.position
+                    self._journals[index].clear()
         self.last_read = {
             "degraded": bool(stale),
             "stale": stale,
@@ -313,9 +526,10 @@ class SketchCoordinator:
         poll one attribute between sweeps.
         """
         clients = self._require_clients()
-        results = await asyncio.gather(
-            *(client.ping() for client in clients), return_exceptions=True
-        )
+        async with self._feed_lock:
+            results = await asyncio.gather(
+                *(client.ping() for client in clients), return_exceptions=True
+            )
         health = []
         for address, result in zip(self.addresses, results):
             entry: dict = {"address": f"{address[0]}:{address[1]}"}
@@ -329,49 +543,196 @@ class SketchCoordinator:
         self.server_health = health
         return health
 
+    # -- recovery: readmission and migration --------------------------------
+
     async def readmit(self, index: int) -> dict:
         """Reconnect server ``index`` and fold it back into the fleet.
 
         The recovery mirror of a degraded read: reconnects under the
-        coordinator's retry policy, re-verifies the construction
-        fingerprint (a restarted-with-the-wrong-seed server must not
-        rejoin), and -- when the server came back *empty* (position 0)
-        while the cache holds state for it -- pushes the cached snapshot
-        through the same ``load_snapshot`` path :meth:`recover` uses, so
-        the shard resumes from its last observed state instead of
-        forgetting its history.  A server that restarted from its own
-        checkpoint (position > 0) keeps its richer state untouched.
+        coordinator's retry policy *keeping the per-server client
+        identity* (so the server-side feed dedup still recognizes this
+        coordinator), re-verifies the construction fingerprint (a
+        restarted-with-the-wrong-seed server must not rejoin), and --
+        when the server came back *empty* (position 0) while the cache
+        holds state for it -- pushes the cached snapshot through the
+        same ``load_snapshot`` path :meth:`recover` uses and replays the
+        journal of slices acknowledged since that snapshot, so the shard
+        resumes from its exact acknowledged state.  A server that
+        restarted from its own checkpoint (position > 0) keeps its
+        richer state untouched.  On success the cache entry is refreshed
+        from the server's live state (a readmitted-then-relost server
+        must degrade to its *post*-readmission state, not its pre-outage
+        bytes).
 
-        Returns ``{"address", "restored", "position"}``.
+        A server whose partitions were migrated away rejoins as a
+        *standby*: it must come back empty (its state already lives on
+        the destination server; re-admitting non-empty state would
+        double-count) and receives no cache push and no routing.
+
+        Returns ``{"address", "restored", "position", "standby"}``.
         """
         clients = self._require_clients()
         if not 0 <= index < len(clients):
             raise IndexError(f"server index {index} outside fleet")
         host, port = self.addresses[index]
-        await clients[index].close()
-        client = await AsyncSketchClient.connect(
-            host, port, retry=self._policy or RetryPolicy(max_attempts=1)
-        )
-        if client.server_info["fingerprint"] != self.fingerprint:
-            await client.close()
-            raise FingerprintMismatch(
-                f"server {host}:{port} came back differently-constructed; "
-                "refusing to re-admit it into the fleet"
+        async with self._feed_lock:
+            old = clients[index]
+            await old.close()
+            client = await AsyncSketchClient.connect(
+                host,
+                port,
+                retry=self._policy or RetryPolicy(max_attempts=1),
+                client_id=old.client_id,
             )
-        clients[index] = client
-        restored = False
-        pong = await client.ping()
-        if not pong.get("position") and self._snapshots[index] is not None:
-            await client.load_snapshot(
-                self._snapshots[index],
-                position=self._snapshot_positions[index],
-            )
-            restored = True
-        pong = await client.ping()
+            client._feed_seq = old._feed_seq
+            if client.server_info["fingerprint"] != self.fingerprint:
+                await client.close()
+                raise FingerprintMismatch(
+                    f"server {host}:{port} came back differently-constructed; "
+                    "refusing to re-admit it into the fleet"
+                )
+            clients[index] = client
+            pong = await client.ping()
+            if index in self._migrated:
+                if pong.get("position"):
+                    raise RuntimeError(
+                        f"server {host}:{port} was migrated away but came "
+                        "back with state; its shards already live on another "
+                        "server, so re-admitting it would double-count -- "
+                        "restart it empty to rejoin as a standby"
+                    )
+                return {
+                    "address": f"{host}:{port}",
+                    "restored": False,
+                    "position": 0,
+                    "standby": True,
+                }
+            restored = False
+            if not pong.get("position") and self._snapshots[index] is not None:
+                await client.load_snapshot(
+                    self._snapshots[index],
+                    position=self._snapshot_positions[index],
+                )
+                for chunk_items, chunk_deltas in self._journals[index]:
+                    client._feed_seq += 1
+                    await self._send_feed(
+                        client, client._feed_seq, chunk_items, chunk_deltas
+                    )
+                restored = True
+            self._snapshots[index] = await client.snapshot()
+            self._snapshot_positions[index] = self.position
+            self._journals[index].clear()
+            pong = await client.ping()
         return {
             "address": f"{host}:{port}",
             "restored": restored,
             "position": pong.get("position"),
+            "standby": False,
+        }
+
+    def _pick_destination(self, index: int) -> int:
+        """Least-loaded surviving server (the default migration target)."""
+        candidates = [
+            candidate
+            for candidate in range(len(self.addresses))
+            if candidate != index and candidate not in self._migrated
+        ]
+        if not candidates:
+            raise RuntimeError(
+                "no surviving server to migrate to; the fleet is down"
+            )
+        return min(
+            candidates,
+            key=lambda candidate: (self.routed_updates[candidate], candidate),
+        )
+
+    async def migrate_server(
+        self, index: int, destination: Optional[int] = None
+    ) -> dict:
+        """Move a permanently lost server's shards to a survivor.
+
+        Transfers the coordinator's exact acknowledged record of server
+        ``index`` -- cached snapshot (folded into the destination via
+        fingerprint-verified ``load_snapshot(merge=True)``) plus journal
+        (replayed as sequenced feeds) -- then atomically remaps every
+        partition the dead server owned onto ``destination``.  Runs
+        under the feed lock, so the swap lands between chunk boundaries
+        and in-flight :meth:`feed` retries re-resolve against the new
+        owner.  Idempotent: an already-migrated index returns without
+        touching anything.
+
+        Slices the dead server applied but never acknowledged are
+        deliberately *not* transferred: its engine state is discarded
+        whole, and the unacknowledged slices are still pending in their
+        feed calls, which replay them against the destination --
+        exactly-once either way, byte-identical to a serial engine.
+
+        Returns ``{"migrated", "from", "to", "moved_updates",
+        "snapshot_bytes"}``.
+        """
+        clients = self._require_clients()
+        if not 0 <= index < len(clients):
+            raise IndexError(f"server index {index} outside fleet")
+        async with self._feed_lock:
+            if index in self._migrated:
+                return {
+                    "migrated": False,
+                    "from": index,
+                    "to": None,
+                    "moved_updates": 0,
+                    "snapshot_bytes": 0,
+                }
+            if destination is None:
+                destination = self._pick_destination(index)
+            if destination == index or destination in self._migrated:
+                raise ValueError(
+                    f"cannot migrate server {index} onto {destination}"
+                )
+            if not 0 <= destination < len(clients):
+                raise IndexError(
+                    f"destination index {destination} outside fleet"
+                )
+            _obs_migrations_active.add(1)
+            try:
+                dest = clients[destination]
+                snapshot = self._snapshots[index]
+                moved = 0
+                if snapshot is not None:
+                    await dest.load_snapshot(snapshot, merge=True)
+                for chunk_items, chunk_deltas in self._journals[index]:
+                    dest._feed_seq += 1
+                    await self._send_feed(
+                        dest, dest._feed_seq, chunk_items, chunk_deltas
+                    )
+                    moved += int(chunk_items.size)
+                self.routing = [
+                    destination if owner == index else owner
+                    for owner in self.routing
+                ]
+                self._migrated.add(index)
+                self._journals[index] = []
+                self._snapshots[index] = None
+                self._snapshot_positions[index] = 0
+                self.routed_updates[destination] += self.routed_updates[index]
+                self.routed_updates[index] = 0
+                try:
+                    self._snapshots[destination] = await dest.snapshot()
+                    self._snapshot_positions[destination] = self.position
+                    self._journals[destination].clear()
+                except (OSError, ProtocolError):
+                    pass  # cache refresh is opportunistic; journal covers it
+                self.migrations += 1
+                if _obs_registry.enabled:
+                    _obs_migrations.add(1)
+            finally:
+                _obs_migrations_active.add(-1)
+            await clients[index].close()
+        return {
+            "migrated": True,
+            "from": index,
+            "to": destination,
+            "moved_updates": moved,
+            "snapshot_bytes": len(snapshot) if snapshot is not None else 0,
         }
 
     async def metrics(self) -> dict:
@@ -391,9 +752,10 @@ class SketchCoordinator:
         )
 
         clients = self._require_clients()
-        replies = await asyncio.gather(
-            *(client.metrics() for client in clients)
-        )
+        async with self._feed_lock:
+            replies = await asyncio.gather(
+                *(client.metrics() for client in clients)
+            )
         snapshot = merge_snapshots([reply["snapshot"] for reply in replies])
         return {
             "servers": [reply["server"] for reply in replies],
@@ -415,9 +777,10 @@ class SketchCoordinator:
         from repro.obs.alerts import merge_alert_payloads
 
         clients = self._require_clients()
-        replies = await asyncio.gather(
-            *(client.alerts() for client in clients)
-        )
+        async with self._feed_lock:
+            replies = await asyncio.gather(
+                *(client.alerts() for client in clients)
+            )
         return merge_alert_payloads(
             replies, sources=[reply.get("server") for reply in replies]
         )

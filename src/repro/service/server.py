@@ -525,7 +525,9 @@ class SketchServer:
         self.stats.bump(checkpoints=1)
         return {"path": str(self._writer.path), "position": self.position}
 
-    def _load_snapshot(self, data: bytes, position: Optional[int]) -> int:
+    def _load_snapshot(
+        self, data: bytes, position: Optional[int], merge: bool = False
+    ) -> int:
         # Reject mis-constructed snapshots *before* they reach the fleet: a
         # process-backend worker that trips the fingerprint check mid-restore
         # dies with its replica state, whereas rejecting here costs nothing.
@@ -537,12 +539,21 @@ class SketchServer:
                 "from an identically-constructed sketch (same parameters, "
                 "same seed)"
             )
-        self.engine.load_snapshot(data)
-        self.position = (
-            int(position)
-            if position is not None
-            else self.engine.algorithm.updates_processed
-        )
+        if merge:
+            # Additive restore (shard migration): fold the snapshot into the
+            # live state and advance the feed position by the updates the
+            # snapshot carried (explicit `position` overrides the delta).
+            before = int(self.engine.algorithm.updates_processed)
+            self.engine.merge_snapshot(data)
+            gained = int(self.engine.algorithm.updates_processed) - before
+            self.position += int(position) if position is not None else gained
+        else:
+            self.engine.load_snapshot(data)
+            self.position = (
+                int(position)
+                if position is not None
+                else self.engine.algorithm.updates_processed
+            )
         if self._writer is not None:
             self._writer.last_position = self.position
         return self.position
@@ -776,7 +787,10 @@ class SketchServer:
             if not isinstance(data, (bytes, bytearray)):
                 raise ValueError("load_snapshot needs snapshot bytes")
             position = await self._engine_call(
-                self._load_snapshot, bytes(data), message.get("position")
+                self._load_snapshot,
+                bytes(data),
+                message.get("position"),
+                bool(message.get("merge")),
             )
             return {"position": position}
         if op == "checkpoint":

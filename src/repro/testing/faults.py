@@ -19,10 +19,19 @@ Three layers:
     wire faults at exactly the scheduled frame indices -- it parses the
     RSV1 framing on the client-to-server direction, so "truncate frame
     17" means frame 17, not "whatever bytes were in flight".
-:func:`kill_worker` / :func:`inject_worker_kills`
+:func:`kill_worker` / :func:`inject_worker_kills` / :func:`inject_chunk_faults`
     SIGKILL a process-backend shard worker (resolving pids through the
-    pool) and a chunk-source wrapper that fires the plan's kills at
-    their scheduled chunk boundaries.
+    pool) and chunk-source wrappers that fire the plan's chunk-boundary
+    faults (worker kills, and full ``server_crash`` events for the
+    self-healing suite) on schedule.
+:class:`ServerProcess`
+    A whole :class:`~repro.service.server.SketchServer` hosted in a
+    SIGKILL-able child process -- the ``server_crash`` fault's target.
+    Unlike a worker kill (one shard dies, the server supervises the
+    respawn), crashing a server process takes down its connections,
+    its engine, and its state in one blow; recovery is the
+    coordinator's job (migration or readmission), which is exactly
+    what the self-healing tests certify.
 
 The certification tests drive a sequenced client through the proxy at a
 fleet whose workers get killed mid-ingest, then assert the final merged
@@ -48,10 +57,13 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence
 from repro.service.protocol import MAGIC
 
 __all__ = [
+    "CHUNK_FAULT_KINDS",
     "ChaosProxy",
     "FaultEvent",
     "FaultPlan",
+    "ServerProcess",
     "WIRE_FAULT_KINDS",
+    "inject_chunk_faults",
     "inject_worker_kills",
     "kill_worker",
 ]
@@ -61,15 +73,19 @@ _HEADER = struct.Struct(">4sI")
 #: Wire-fault kinds the proxy knows how to inject.
 WIRE_FAULT_KINDS = ("conn_reset", "frame_truncate", "frame_delay", "slow_read")
 
+#: Chunk-boundary fault kinds (fired by :func:`inject_chunk_faults`).
+CHUNK_FAULT_KINDS = ("worker_kill", "server_crash")
+
 
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled fault.
 
-    ``at`` is a chunk index for ``worker_kill`` events and a global
-    client-to-server frame index for wire faults; ``target`` is the
-    shard to kill (worker kills only); ``param`` is the fault's knob
-    (delay seconds, slow-read duration).
+    ``at`` is a chunk index for ``worker_kill`` / ``server_crash``
+    events and a global client-to-server frame index for wire faults;
+    ``target`` is the shard to kill (worker kills) or the server index
+    to crash (server crashes); ``param`` is the fault's knob (delay
+    seconds, slow-read duration).
     """
 
     at: int
@@ -97,6 +113,11 @@ class FaultPlan:
         How many of each to schedule.
     num_shards:
         Kill targets are drawn uniformly from this many shards.
+    server_crashes / num_servers:
+        Full-server SIGKILLs at chunk boundaries, targets drawn
+        uniformly from ``num_servers`` servers.  Drawn *after* every
+        other event so plans without server crashes keep their exact
+        historical schedules (the pinned-digest tests rely on it).
     kinds:
         The wire-fault repertoire to draw from (defaults to all of
         :data:`WIRE_FAULT_KINDS`).
@@ -115,6 +136,8 @@ class FaultPlan:
         num_shards: int = 2,
         kinds: Sequence[str] = WIRE_FAULT_KINDS,
         delay: float = 0.05,
+        server_crashes: int = 0,
+        num_servers: int = 1,
     ) -> None:
         for kind in kinds:
             if kind not in WIRE_FAULT_KINDS:
@@ -123,6 +146,8 @@ class FaultPlan:
             raise ValueError("worker kills need a stream of at least 2 chunks")
         if wire_faults and frames < 2:
             raise ValueError("wire faults need a run of at least 2 frames")
+        if server_crashes and chunks < 2:
+            raise ValueError("server crashes need a stream of at least 2 chunks")
         self.seed = seed
         rng = random.Random(seed)
         events: list[FaultEvent] = []
@@ -153,16 +178,43 @@ class FaultPlan:
                         else 0.0,
                     )
                 )
+        # Server crashes draw last, behind a guard: a plan without them
+        # consumes the exact RNG sequence it always did, so historical
+        # schedules (and their pinned digests) are untouched.
+        if server_crashes:
+            boundaries = rng.sample(
+                range(1, chunks), min(server_crashes, chunks - 1)
+            )
+            for at in sorted(boundaries):
+                events.append(
+                    FaultEvent(
+                        at=at,
+                        kind="server_crash",
+                        target=rng.randrange(num_servers),
+                    )
+                )
         self.events: tuple[FaultEvent, ...] = tuple(events)
 
     def worker_kills(self) -> list[FaultEvent]:
-        """The scheduled SIGKILLs, in chunk order."""
+        """The scheduled worker SIGKILLs, in chunk order."""
         return [e for e in self.events if e.kind == "worker_kill"]
+
+    def server_crashes(self) -> list[FaultEvent]:
+        """The scheduled full-server SIGKILLs, in chunk order."""
+        return [e for e in self.events if e.kind == "server_crash"]
+
+    def chunk_faults(self) -> list[FaultEvent]:
+        """All chunk-boundary events (worker kills and server crashes),
+        in chunk order."""
+        return sorted(
+            (e for e in self.events if e.kind in CHUNK_FAULT_KINDS),
+            key=lambda e: e.at,
+        )
 
     def wire_faults(self) -> dict[int, FaultEvent]:
         """The scheduled wire faults, keyed by global frame index."""
         return {
-            e.at: e for e in self.events if e.kind != "worker_kill"
+            e.at: e for e in self.events if e.kind in WIRE_FAULT_KINDS
         }
 
     def kinds(self) -> set[str]:
@@ -485,3 +537,159 @@ def inject_worker_kills(
         if event is not None and index > 0:
             killer(event)
         yield chunk
+
+
+def inject_chunk_faults(
+    source: Iterable,
+    plan: FaultPlan,
+    killer: Callable[[FaultEvent], None],
+) -> Iterator:
+    """Like :func:`inject_worker_kills`, for *all* chunk-boundary faults.
+
+    Fires the plan's worker kills **and** server crashes at their
+    scheduled boundaries (a fault ``at=k`` fires after chunk ``k-1`` and
+    before chunk ``k``); ``killer`` receives each :class:`FaultEvent`
+    and dispatches on ``event.kind`` -- typically a worker kill goes to
+    :func:`kill_worker` and a ``server_crash`` to
+    :meth:`ServerProcess.crash` on ``servers[event.target]``.
+    """
+    faults: dict[int, list[FaultEvent]] = {}
+    for event in plan.chunk_faults():
+        faults.setdefault(event.at, []).append(event)
+    for index, chunk in enumerate(source):
+        for event in faults.pop(index, ()):
+            if index > 0:
+                killer(event)
+        yield chunk
+
+
+# -- whole-server crashes -----------------------------------------------------
+
+
+def _server_process_main(factory, host, port, conn, kwargs):
+    """Child entry point: host one SketchServer until killed."""
+    import asyncio
+
+    from repro.service.server import SketchServer
+
+    async def main() -> None:
+        server = SketchServer(factory, host=host, port=port, **kwargs)
+        try:
+            await server.start()
+        except Exception as exc:  # report instead of dying silently
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            return
+        conn.send(("ok", server.port))
+        await asyncio.Event().wait()  # serve until SIGKILL/terminate
+
+    asyncio.run(main())
+
+
+class ServerProcess:
+    """A :class:`SketchServer` in a SIGKILL-able child process.
+
+    The ``server_crash`` fault's target: where :func:`kill_worker` takes
+    out one shard worker under a still-supervising server,
+    :meth:`crash` takes out the *whole server* -- engine, supervisor,
+    connections, state -- with an uncatchable signal, exactly like a
+    machine loss.  :meth:`restart` brings a fresh, *empty* server back
+    up on the same port, which is the comeback the coordinator's
+    readmission path expects.
+
+    Uses the ``fork`` start method so test-local factories (closures)
+    survive the trip; ``start()`` blocks until the child reports its
+    bound port over a pipe.  Use as a context manager or pair
+    ``start()`` with ``stop()``.
+    """
+
+    def __init__(
+        self,
+        factory,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        start_timeout: float = 30.0,
+        **server_kwargs,
+    ) -> None:
+        self.factory = factory
+        self.host = host
+        self.port: Optional[int] = port if port else None
+        self._requested_port = port
+        self.start_timeout = start_timeout
+        self.server_kwargs = dict(server_kwargs)
+        self._process = None
+        self.crashes = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    def start(self) -> "ServerProcess":
+        """Fork the child and wait for it to report its bound port."""
+        import multiprocessing
+
+        if self.alive:
+            raise RuntimeError("server process already running")
+        context = multiprocessing.get_context("fork")
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        port = self.port if self.port is not None else self._requested_port
+        self._process = context.Process(
+            target=_server_process_main,
+            args=(self.factory, self.host, port, child_conn, self.server_kwargs),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        if not parent_conn.poll(self.start_timeout):
+            self.stop()
+            raise RuntimeError("server process did not come up in time")
+        status, value = parent_conn.recv()
+        parent_conn.close()
+        if status != "ok":
+            self.stop()
+            raise RuntimeError(f"server process failed to start: {value}")
+        self.port = int(value)
+        return self
+
+    def crash(self) -> int:
+        """SIGKILL the server process; blocks until it is reaped.
+
+        Returns the dead pid.  The port stays recorded so
+        :meth:`restart` can bring a fresh empty server back on the same
+        address -- clients and the coordinator keep their routing.
+        """
+        if not self.alive:
+            raise RuntimeError("server process is not running")
+        pid = self._process.pid
+        os.kill(pid, signal.SIGKILL)
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - SIGKILL is final
+            raise RuntimeError(f"server process {pid} survived SIGKILL")
+        self.crashes += 1
+        return pid
+
+    def restart(self) -> "ServerProcess":
+        """Start a fresh (empty) server on the recorded port."""
+        return self.start()
+
+    def stop(self) -> None:
+        """Terminate the child (escalating to SIGKILL); idempotent."""
+        process, self._process = self._process, None
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+
+    def __enter__(self) -> "ServerProcess":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
